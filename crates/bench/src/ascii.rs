@@ -1,0 +1,40 @@
+//! Tiny ASCII sparkline renderer for utilization time-series.
+
+/// Renders values in `[0, 1]` as a sparkline string (one glyph per sample).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(mt_bench::ascii::sparkline(&[0.0, 0.5, 1.0]), " ▄█");
+/// ```
+pub fn sparkline(values: &[f64]) -> String {
+    const GLYPHS: [char; 9] = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    values
+        .iter()
+        .map(|v| {
+            let clamped = v.clamp(0.0, 1.0);
+            let idx = (clamped * (GLYPHS.len() - 1) as f64).round() as usize;
+            GLYPHS[idx]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sparkline;
+
+    #[test]
+    fn maps_extremes_and_midpoints() {
+        assert_eq!(sparkline(&[0.0]), " ");
+        assert_eq!(sparkline(&[1.0]), "█");
+        assert_eq!(sparkline(&[0.5]), "▄");
+        // Out-of-range values clamp.
+        assert_eq!(sparkline(&[-1.0, 2.0]), " █");
+    }
+
+    #[test]
+    fn one_glyph_per_sample() {
+        let s = sparkline(&[0.1; 37]);
+        assert_eq!(s.chars().count(), 37);
+    }
+}

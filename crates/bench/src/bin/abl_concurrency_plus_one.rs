@@ -1,0 +1,42 @@
+//! Ablation: the "+1" extra multitask in auto-concurrency (§3.4).
+//!
+//! The job scheduler assigns enough multitasks to fill every resource
+//! scheduler "plus one additional monotask": without the spare, a round-robin
+//! queue class can be skipped because it is momentarily empty while a
+//! replacement multitask is being requested. We also sweep explicit override
+//! values to show the auto target sits at the knee.
+
+use cluster::{ClusterSpec, MachineSpec};
+use mt_bench::header;
+use workloads::{sort_job, SortConfig};
+
+fn main() {
+    header(
+        "Ablation: §3.4 concurrency",
+        "monotasks auto-concurrency (with/without +1) and overrides",
+        "auto target = cores + disk slots + net outstanding + 1 sits at the knee",
+    );
+    let cluster = ClusterSpec::new(20, MachineSpec::m2_4xlarge());
+    let cfg = SortConfig::new(150.0, 4, 20, 2);
+    let (job, blocks) = sort_job(&cfg);
+    let run_with = |mc: monotasks_core::MonoConfig| {
+        monotasks_core::run(&cluster, &[(job.clone(), blocks.clone())], &mc).jobs[0].duration_secs()
+    };
+    let auto = run_with(monotasks_core::MonoConfig::default());
+    let mut no_extra = monotasks_core::MonoConfig::default();
+    no_extra.extra_multitask = false;
+    let without = run_with(no_extra);
+    println!("auto (cores+disks+net+1 = 15): {auto:>8.1} s");
+    println!("auto without the +1 (14):      {without:>8.1} s");
+    println!();
+    println!("{:<22} {:>10}", "override", "total (s)");
+    for conc in [2usize, 4, 8, 12, 15, 20, 30, 60] {
+        let mut mc = monotasks_core::MonoConfig::default();
+        mc.concurrency_override = Some(conc);
+        println!(
+            "{:<22} {:>10.1}",
+            format!("{conc} multitasks"),
+            run_with(mc)
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! Ablation: buffer-cache vs flushed writes (§3.1 / §5.3 / §8).
+//!
+//! Monotasks "flush all writes to disk, to ensure that future disk monotasks
+//! get dedicated use of the disk, and because the ability to measure the
+//! disk write time is critical to performance clarity" — giving up the
+//! buffer-cache advantage Spark enjoys on small-output jobs (query 1c), in
+//! exchange for predictability. This binary quantifies the trade on both a
+//! cache-friendly query and a write-heavy sort where deferred flushes come
+//! back as contention.
+
+use cluster::{ClusterSpec, MachineSpec};
+use mt_bench::{header, run_mono};
+use workloads::{bdb_job, sort_job, BdbQuery, SortConfig};
+
+fn main() {
+    header(
+        "Ablation: write policy",
+        "Spark buffer-cache vs forced-flush vs monotasks flushed writes",
+        "cache wins when output fits and the job ends first; flushes win clarity",
+    );
+    // Query 1c: ETL-sized output, short job — the cache's best case.
+    let cluster5 = ClusterSpec::new(5, MachineSpec::m2_4xlarge());
+    let (q1c, q1c_blocks) = bdb_job(BdbQuery::Q1c, 5, 2);
+    let cached = sparklike::run(
+        &cluster5,
+        &[(q1c.clone(), q1c_blocks.clone())],
+        &sparklike::SparkConfig::default(),
+    );
+    let mut wt = sparklike::SparkConfig::default();
+    wt.write_through = true;
+    let synced = sparklike::run(&cluster5, &[(q1c.clone(), q1c_blocks.clone())], &wt);
+    let mono = run_mono(&cluster5, q1c, q1c_blocks);
+    println!("query 1c (write-heavy scan):");
+    println!(
+        "  spark, cached writes:   {:>8.1} s",
+        cached.jobs[0].duration_secs()
+    );
+    println!(
+        "  spark, forced flush:    {:>8.1} s",
+        synced.jobs[0].duration_secs()
+    );
+    println!(
+        "  monotasks (flushed):    {:>8.1} s",
+        mono.jobs[0].duration_secs()
+    );
+
+    // The HDD sort: deferred flushes contend with later reads.
+    let cluster20 = ClusterSpec::new(20, MachineSpec::m2_4xlarge());
+    let (sort, sort_blocks) = sort_job(&SortConfig::new(150.0, 4, 20, 2));
+    let cached = sparklike::run(
+        &cluster20,
+        &[(sort.clone(), sort_blocks.clone())],
+        &sparklike::SparkConfig::default(),
+    );
+    let synced = sparklike::run(&cluster20, &[(sort.clone(), sort_blocks.clone())], &wt);
+    let mono = run_mono(&cluster20, sort, sort_blocks);
+    println!("\n150 GiB HDD sort (write volume exceeds cache thresholds):");
+    println!(
+        "  spark, cached writes:   {:>8.1} s",
+        cached.jobs[0].duration_secs()
+    );
+    println!(
+        "  spark, forced flush:    {:>8.1} s",
+        synced.jobs[0].duration_secs()
+    );
+    println!(
+        "  monotasks (flushed):    {:>8.1} s",
+        mono.jobs[0].duration_secs()
+    );
+}

@@ -1,0 +1,32 @@
+//! Ablation: the network scheduler's outstanding-multitask limit (§3.3).
+//!
+//! The receiver-side scheduler balances two failure modes: one multitask at
+//! a time leaves the link idle whenever that multitask waits on one slow
+//! sender, while too many multitasks at once destroy the coarse-grained
+//! pipelining (no multitask's data completes early enough to start its
+//! compute monotask). The paper picked four "based on an experimental
+//! parameter sweep" — this binary is that sweep.
+
+use cluster::{ClusterSpec, MachineSpec};
+use mt_bench::header;
+use workloads::{sort_job, SortConfig};
+
+fn main() {
+    header(
+        "Ablation: §3.3 network scheduler",
+        "sweep of the outstanding-fetching-multitasks limit",
+        "paper picked 4: small limits underutilize, large limits unpipeline",
+    );
+    let cluster = ClusterSpec::new(20, MachineSpec::m2_4xlarge());
+    let mut cfg = SortConfig::new(150.0, 4, 20, 2);
+    cfg.map_tasks = Some(1600);
+    cfg.reduce_tasks = Some(1600);
+    let (job, blocks) = sort_job(&cfg);
+    println!("{:<14} {:>12}", "outstanding", "total (s)");
+    for n in [1usize, 2, 4, 8, 16, 32] {
+        let mut mc = monotasks_core::MonoConfig::default();
+        mc.net_outstanding = n;
+        let out = monotasks_core::run(&cluster, &[(job.clone(), blocks.clone())], &mc);
+        println!("{:<14} {:>12.1}", n, out.jobs[0].duration_secs());
+    }
+}

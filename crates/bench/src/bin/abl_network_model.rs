@@ -1,0 +1,52 @@
+//! Ablation: receiver-side network model vs a full-duplex max-min fabric.
+//!
+//! The paper's network scheduler is receiver-side (§3.3), and this repo's
+//! default model follows it: transfers consume receiver bandwidth only. The
+//! fabric mode adds sender-link constraints with max-min fairness. On the
+//! symmetric all-to-all shuffles of the evaluation the two agree — which is
+//! the justification for the simpler model — while a deliberately hot sender
+//! shows where the fabric is required.
+
+use cluster::{ClusterSpec, MachineSpec};
+use dataflow::{BlockMap, CostModel, JobBuilder};
+use mt_bench::{header, pct_diff};
+use workloads::{sort_job, SortConfig, GIB};
+
+fn run_with(cluster: &ClusterSpec, job: dataflow::JobSpec, blocks: BlockMap, duplex: bool) -> f64 {
+    let mut cfg = monotasks_core::MonoConfig::default();
+    cfg.full_duplex_network = duplex;
+    monotasks_core::run(cluster, &[(job, blocks)], &cfg).jobs[0].duration_secs()
+}
+
+fn main() {
+    header(
+        "Ablation: network model",
+        "receiver-side bandwidth vs full-duplex max-min fabric",
+        "symmetric shuffles agree; a hot sender needs the fabric",
+    );
+    let cluster = ClusterSpec::new(20, MachineSpec::m2_4xlarge());
+
+    let (job, blocks) = sort_job(&SortConfig::new(75.0, 10, 20, 2));
+    let rx = run_with(&cluster, job.clone(), blocks.clone(), false);
+    let fd = run_with(&cluster, job, blocks, true);
+    println!(
+        "symmetric 75 GiB sort:  rx-only {rx:>7.1} s   full-duplex {fd:>7.1} s   ({:+.1}%)",
+        pct_diff(rx, fd)
+    );
+
+    // Hot sender: one giant cached partition shuffled to everyone.
+    let total = 20.0 * GIB;
+    let hot = JobBuilder::new("hot", CostModel::spark_1_3())
+        .read_memory(total, total / 10_000.0, 1, true)
+        .map(1.0, 1.0, false)
+        .shuffle(160, true)
+        .map(1.0, 1.0, false)
+        .write_memory();
+    let blocks = BlockMap::round_robin(1, 1, 2);
+    let rx = run_with(&cluster, hot.clone(), blocks.clone(), false);
+    let fd = run_with(&cluster, hot, blocks, true);
+    println!(
+        "hot-sender broadcast:   rx-only {rx:>7.1} s   full-duplex {fd:>7.1} s   ({:+.1}%)",
+        pct_diff(rx, fd)
+    );
+}

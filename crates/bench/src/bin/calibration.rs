@@ -1,0 +1,79 @@
+//! Calibration audit (not a paper figure): prints mono-vs-spark runtimes and
+//! per-stage ideal resource times for the core workloads, so the cost-model
+//! constants in `dataflow::cost` and `cluster::hw` can be sanity-checked in
+//! one place.
+
+use cluster::{ClusterSpec, MachineSpec};
+use mt_bench::{pct_diff, run_mono, run_spark};
+use perfmodel::{profile_stages, Scenario};
+use workloads::{bdb_job, sort_job, BdbQuery, SortConfig};
+
+fn main() {
+    // Sort on HDDs (scaled-down §5.2 shape).
+    let cluster = ClusterSpec::new(20, MachineSpec::m2_4xlarge());
+    for longs in [1usize, 4, 10, 25] {
+        let cfg = SortConfig::new(150.0, longs, 20, 2);
+        let (job, blocks) = sort_job(&cfg);
+        let t0 = std::time::Instant::now();
+        let mono = run_mono(&cluster, job.clone(), blocks.clone());
+        let t_mono = t0.elapsed();
+        let t0 = std::time::Instant::now();
+        let spark = run_spark(&cluster, job, blocks);
+        let t_spark = t0.elapsed();
+        let m = mono.jobs[0].duration_secs();
+        let s = spark.jobs[0].duration_secs();
+        let profiles = profile_stages(&mono.records, &mono.jobs);
+        let scen = Scenario::of_cluster(&cluster);
+        print!(
+            "sort150 longs={longs:<3} mono={m:8.1}s spark={s:8.1}s diff={:+6.1}% ",
+            pct_diff(s, m)
+        );
+        for p in &profiles {
+            let t = perfmodel::model::ideal_times(p, &scen);
+            print!(
+                " st{} [cpu {:.0} disk {:.0} net {:.0} | meas {:.0}]",
+                p.stage.0, t.cpu, t.disk, t.network, p.measured_secs
+            );
+        }
+        println!("  (wall mono {:?} spark {:?})", t_mono, t_spark);
+    }
+
+    // BDB on 5×2HDD.
+    let cluster = ClusterSpec::new(5, MachineSpec::m2_4xlarge());
+    for q in [
+        BdbQuery::Q1a,
+        BdbQuery::Q1c,
+        BdbQuery::Q2b,
+        BdbQuery::Q2c,
+        BdbQuery::Q3c,
+        BdbQuery::Q4,
+    ] {
+        let (job, blocks) = bdb_job(q, 5, 2);
+        let t0 = std::time::Instant::now();
+        let mono = run_mono(&cluster, job.clone(), blocks.clone());
+        let spark = run_spark(&cluster, job.clone(), blocks.clone());
+        let mut wt = sparklike::SparkConfig::default();
+        wt.write_through = true;
+        let spark_wt = sparklike::run(&cluster, &[(job, blocks)], &wt);
+        let wall = t0.elapsed();
+        let m = mono.jobs[0].duration_secs();
+        let s = spark.jobs[0].duration_secs();
+        let profiles = profile_stages(&mono.records, &mono.jobs);
+        let scen = Scenario::of_cluster(&cluster);
+        let swt = spark_wt.jobs[0].duration_secs();
+        print!(
+            "bdb-{:<3} mono={m:7.1}s spark={s:7.1}s wt={swt:7.1}s diff={:+6.1}% diff_wt={:+6.1}% ",
+            q.label(),
+            pct_diff(s, m),
+            pct_diff(swt, m)
+        );
+        for p in &profiles {
+            let t = perfmodel::model::ideal_times(p, &scen);
+            print!(
+                " st{} [cpu {:.0} disk {:.0} net {:.0}]",
+                p.stage.0, t.cpu, t.disk, t.network
+            );
+        }
+        println!("  (wall {:?})", wall);
+    }
+}

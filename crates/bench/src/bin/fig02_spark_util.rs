@@ -1,0 +1,75 @@
+//! Figure 2: resource utilization during a Spark job is non-uniform.
+//!
+//! The paper plots a 30-second window of one machine running 8 concurrent
+//! Spark tasks, with utilization oscillating between CPU-bound and
+//! disk-bound. We run a sort-shaped job on one 8-core, 2-HDD worker under
+//! the baseline executor and print the per-second CPU and per-disk
+//! utilization series.
+
+use cluster::{ClusterSpec, MachineId, MachineSpec, ResourceSel};
+use mt_bench::header;
+use simcore::{SimDuration, SimTime};
+use workloads::{sort_job, SortConfig};
+
+fn main() {
+    header(
+        "Figure 2",
+        "Spark utilization oscillates between CPU and disk",
+        "utilization alternates between CPU-bound and disk-bound phases; \
+         at times all tasks block on the two disks",
+    );
+    let cluster = ClusterSpec::new(1, MachineSpec::m2_4xlarge());
+    // A disk-heavy sort (large values): tasks alternate between read+compute
+    // and serialize+write phases, so the machine swings between disk-bound
+    // and CPU-bound as the 8 concurrent tasks drift through their phases.
+    let mut cfg = SortConfig::new(8.0, 60, 1, 2);
+    cfg.map_tasks = Some(64);
+    cfg.reduce_tasks = Some(64);
+    let (job, blocks) = sort_job(&cfg);
+    let out = sparklike::run(
+        &cluster,
+        &[(job, blocks)],
+        &sparklike::SparkConfig::default(),
+    );
+    let end = out.makespan;
+    let window = SimTime::from_secs(30).min(end);
+    let sec = SimDuration::from_secs(1);
+    let cpu = out
+        .traces
+        .series(MachineId(0), ResourceSel::Cpu, SimTime::ZERO, window, sec);
+    let d0 = out.traces.series(
+        MachineId(0),
+        ResourceSel::Disk(0),
+        SimTime::ZERO,
+        window,
+        sec,
+    );
+    let d1 = out.traces.series(
+        MachineId(0),
+        ResourceSel::Disk(1),
+        SimTime::ZERO,
+        window,
+        sec,
+    );
+    println!("{:>4} {:>6} {:>6} {:>6}", "sec", "cpu", "disk1", "disk2");
+    for i in 0..cpu.len() {
+        println!("{:>4} {:>6.2} {:>6.2} {:>6.2}", i, cpu[i], d0[i], d1[i]);
+    }
+    // Oscillation summary: how often the bottleneck flips.
+    let mut flips = 0;
+    let mut prev_cpu_bound = None;
+    for i in 0..cpu.len() {
+        let cpu_bound = cpu[i] >= d0[i].max(d1[i]);
+        if let Some(p) = prev_cpu_bound {
+            if p != cpu_bound {
+                flips += 1;
+            }
+        }
+        prev_cpu_bound = Some(cpu_bound);
+    }
+    println!("\nbottleneck flips between CPU and disk in the window: {flips}");
+    println!("\ncpu   {}", mt_bench::ascii::sparkline(&cpu));
+    println!("disk1 {}", mt_bench::ascii::sparkline(&d0));
+    println!("disk2 {}", mt_bench::ascii::sparkline(&d1));
+    println!("\njob completed at {:.1}s", end.as_secs_f64());
+}

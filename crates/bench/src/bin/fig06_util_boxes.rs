@@ -1,0 +1,64 @@
+//! Figure 6: utilization of the most- and second-most-utilized resource
+//! during big data benchmark stages.
+//!
+//! Paper: boxes (25/50/75th percentiles, whiskers 5/95) over stages and
+//! machines show that "multiple resources were well-utilized during most
+//! stages" and "MonoSpark utilized resources as well as or better than
+//! Spark".
+
+use cluster::{trace::percentile, ClusterSpec, MachineSpec};
+use mt_bench::{header, run_mono, run_spark};
+use workloads::{bdb_job, BdbQuery};
+
+fn print_box(label: &str, samples: &[f64]) {
+    println!(
+        "{:<22} p5={:>5.2} p25={:>5.2} p50={:>5.2} p75={:>5.2} p95={:>5.2}  (n={})",
+        label,
+        percentile(samples, 5.0),
+        percentile(samples, 25.0),
+        percentile(samples, 50.0),
+        percentile(samples, 75.0),
+        percentile(samples, 95.0),
+        samples.len()
+    );
+}
+
+fn main() {
+    header(
+        "Figure 6",
+        "most/second-most utilized resource across BDB stages",
+        "multiple resources well-utilized; MonoSpark >= Spark utilization",
+    );
+    let cluster = ClusterSpec::new(5, MachineSpec::m2_4xlarge());
+    let mut spark_most = Vec::new();
+    let mut spark_second = Vec::new();
+    let mut mono_most = Vec::new();
+    let mut mono_second = Vec::new();
+    for q in BdbQuery::all() {
+        let (job, blocks) = bdb_job(q, 5, 2);
+        let spark = run_spark(&cluster, job.clone(), blocks.clone());
+        let mono = run_mono(&cluster, job, blocks);
+        for st in &spark.jobs[0].stages {
+            for (most, second) in spark.traces.top_two_samples(st.start, st.end) {
+                spark_most.push(most);
+                spark_second.push(second);
+            }
+        }
+        for st in &mono.jobs[0].stages {
+            for (most, second) in mono.traces.top_two_samples(st.start, st.end) {
+                mono_most.push(most);
+                mono_second.push(second);
+            }
+        }
+    }
+    print_box("spark: most utilized", &spark_most);
+    print_box("spark: second", &spark_second);
+    print_box("mono:  most utilized", &mono_most);
+    print_box("mono:  second", &mono_second);
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!(
+        "\nmean bottleneck utilization: spark {:.2}, mono {:.2} (paper: mono >= spark)",
+        mean(&spark_most),
+        mean(&mono_most)
+    );
+}

@@ -1,0 +1,58 @@
+//! Figure 7: machine-learning workload — per-stage Spark vs MonoSpark.
+//!
+//! Paper: a least-squares solve via block coordinate descent on 15 two-SSD
+//! workers, with native-code CPU efficiency and in-memory shuffle, is
+//! network-intensive; "MonoSpark provides performance on-par with Spark" in
+//! every stage.
+
+use cluster::{ClusterSpec, MachineSpec};
+use mt_bench::{header, pct_diff};
+use workloads::{ml_jobs, MlConfig};
+
+fn main() {
+    header(
+        "Figure 7",
+        "least-squares block coordinate descent, 15 workers x 2 SSDs",
+        "per-stage runtimes on par (network-intensive, in-memory shuffle)",
+    );
+    let cfg = MlConfig::default();
+    let cluster = ClusterSpec::new(cfg.machines, MachineSpec::i2_2xlarge(2));
+    println!(
+        "{:<18} {:>10} {:>10} {:>8}",
+        "stage", "spark (s)", "mono (s)", "diff"
+    );
+    for (i, (job, blocks)) in ml_jobs(&cfg).into_iter().enumerate() {
+        let spark = sparklike::run(
+            &cluster,
+            &[(job.clone(), blocks.clone())],
+            &sparklike::SparkConfig::default(),
+        );
+        let mono = monotasks_core::run(
+            &cluster,
+            &[(job, blocks)],
+            &monotasks_core::MonoConfig::default(),
+        );
+        for (si, (ss, ms)) in spark.jobs[0]
+            .stages
+            .iter()
+            .zip(&mono.jobs[0].stages)
+            .enumerate()
+        {
+            let s = ss.duration().as_secs_f64();
+            let m = ms.duration().as_secs_f64();
+            let name = if si == 0 {
+                "multiply (map)"
+            } else {
+                "sum (reduce)"
+            };
+            println!(
+                "iter{} {:<12} {:>10.1} {:>10.1} {:>+7.1}%",
+                i,
+                name,
+                s,
+                m,
+                pct_diff(s, m)
+            );
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Figure 8: sensitivity to the number of tasks (waves).
+//!
+//! Paper: for a job that reads input and computes on it, on 20 workers
+//! (160 cores), "Spark is faster than MonoSpark with only one or two waves
+//! of tasks, but by three waves, MonoSpark's pipelining across tasks has
+//! overcome the performance penalty of eliminating fine-grained pipelining."
+
+use cluster::{ClusterSpec, MachineSpec};
+use dataflow::{BlockMap, CostModel, JobBuilder};
+use mt_bench::{header, pct_diff, run_mono, run_spark};
+use workloads::GIB;
+
+fn main() {
+    header(
+        "Figure 8",
+        "read + compute job vs task count, 20 workers (160 cores)",
+        "Spark wins at 1-2 waves; parity from ~3 waves (480 tasks) on",
+    );
+    let cluster = ClusterSpec::new(20, MachineSpec::m2_4xlarge());
+    let total = 75.0 * GIB;
+    println!(
+        "{:<7} {:>6} {:>10} {:>10} {:>8}",
+        "tasks", "waves", "spark (s)", "mono (s)", "diff"
+    );
+    for tasks in [160usize, 320, 480, 800, 1600, 3200] {
+        let job = JobBuilder::new("readcompute", CostModel::spark_1_3())
+            .read_disk(total, total / 100.0, total / tasks as f64)
+            .map(1.0, 1.0, true)
+            .collect();
+        let blocks = BlockMap::round_robin(tasks, 20, 2);
+        let spark = run_spark(&cluster, job.clone(), blocks.clone());
+        let mono = run_mono(&cluster, job, blocks);
+        let s = spark.jobs[0].duration_secs();
+        let m = mono.jobs[0].duration_secs();
+        println!(
+            "{:<7} {:>6.1} {:>10.1} {:>10.1} {:>+7.1}%",
+            tasks,
+            tasks as f64 / 160.0,
+            s,
+            m,
+            pct_diff(s, m)
+        );
+    }
+}

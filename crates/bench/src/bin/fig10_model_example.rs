@@ -1,0 +1,66 @@
+//! Figure 10: the model, worked end-to-end on a real run.
+//!
+//! The paper's diagram: monotask runtimes → ideal CPU/network/disk times →
+//! job runtime = max → and the same arithmetic under "2× disk throughput".
+//! This binary performs exactly that walk on a measured sort stage, then
+//! validates the 2×-disk prediction against an actual re-run.
+
+use cluster::{ClusterSpec, DiskSpec, MachineSpec};
+use mt_bench::{header, pct_err, run_mono};
+use perfmodel::{predict_job, profile_stages, Scenario};
+use workloads::{sort_job, SortConfig};
+
+fn main() {
+    header(
+        "Figure 10",
+        "monotask times -> ideal resource times -> job runtime, then 2x disk",
+        "job runtime = max of per-resource ideal times; scaling disk moves it",
+    );
+    let cluster = ClusterSpec::new(4, MachineSpec::m2_4xlarge());
+    let cfg = SortConfig::new(20.0, 25, 4, 2);
+    let (job, blocks) = sort_job(&cfg);
+    let out = run_mono(&cluster, job, blocks);
+    let profiles = profile_stages(&out.records, &out.jobs);
+    let base = Scenario::of_cluster(&cluster);
+
+    println!("per-stage ideal resource times (seconds):");
+    println!(
+        "{:<8} {:>8} {:>8} {:>8} {:>10} {:>10}",
+        "stage", "cpu", "disk", "net", "max(model)", "measured"
+    );
+    for p in &profiles {
+        let t = perfmodel::model::ideal_times(p, &base);
+        println!(
+            "{:<8} {:>8.1} {:>8.1} {:>8.1} {:>10.1} {:>10.1}",
+            p.stage.0,
+            t.cpu,
+            t.disk,
+            t.network,
+            t.stage_time(),
+            p.measured_secs
+        );
+    }
+
+    // The right-hand side of Fig 10: double the disk throughput.
+    let mut fast_disk = base.clone();
+    for d in &mut fast_disk.machine.disks {
+        d.throughput *= 2.0;
+    }
+    let measured = out.jobs[0].duration_secs();
+    let predicted = predict_job(&profiles, measured, &base, &fast_disk);
+    println!("\nmeasured job runtime:          {measured:>7.1} s");
+    println!("predicted with 2x disk speed:  {predicted:>7.1} s");
+
+    // Validate against an actual run on 4 disks per machine (same aggregate
+    // bandwidth as 2x-fast disks, modulo scheduler slots).
+    let mut machine = MachineSpec::m2_4xlarge();
+    machine.disks = vec![DiskSpec::hdd(); 4];
+    let four = ClusterSpec::new(4, machine);
+    let cfg4 = SortConfig::new(20.0, 25, 4, 4);
+    let (job4, blocks4) = sort_job(&cfg4);
+    let actual = run_mono(&four, job4, blocks4).jobs[0].duration_secs();
+    println!(
+        "actual with 2x aggregate disk: {actual:>7.1} s  ({:.1}% err)",
+        pct_err(actual, predicted)
+    );
+}

@@ -1,0 +1,50 @@
+//! Figure 11: predicting runtime on a cluster with twice as many SSDs.
+//!
+//! Paper: monotask runtimes from a 20-machine, 1-SSD-per-worker cluster
+//! predict the runtime with 2 SSDs per worker within 9% (the CPU-bound
+//! 10-value sort shows the largest error because the model predicts no
+//! change; the other variants' predictions land within 5%).
+
+use cluster::{ClusterSpec, MachineSpec};
+use mt_bench::{header, pct_err, run_mono};
+use perfmodel::{predict_job, profile_stages, Scenario};
+use workloads::{sort_job, SortConfig};
+
+fn main() {
+    header(
+        "Figure 11",
+        "predict 1 SSD -> 2 SSDs per worker (sort, value-size sweep)",
+        "errors <= 9% (largest for the CPU-bound 10-value variant)",
+    );
+    let one = ClusterSpec::new(20, MachineSpec::i2_2xlarge(1));
+    let two = ClusterSpec::new(20, MachineSpec::i2_2xlarge(2));
+    println!(
+        "{:<8} {:>12} {:>14} {:>12} {:>8}",
+        "values", "1 SSD (s)", "predicted 2", "actual 2 (s)", "err"
+    );
+    for longs in [10usize, 20, 50] {
+        let mk = |disks: usize| {
+            let cfg = SortConfig::new(150.0, longs, 20, disks);
+            sort_job(&cfg)
+        };
+        let (job1, blocks1) = mk(1);
+        let base = run_mono(&one, job1, blocks1);
+        let profiles = profile_stages(&base.records, &base.jobs);
+        let predicted = predict_job(
+            &profiles,
+            base.jobs[0].duration_secs(),
+            &Scenario::of_cluster(&one),
+            &Scenario::of_cluster(&two),
+        );
+        let (job2, blocks2) = mk(2);
+        let actual = run_mono(&two, job2, blocks2);
+        println!(
+            "{:<8} {:>12.1} {:>14.1} {:>12.1} {:>7.1}%",
+            longs,
+            base.jobs[0].duration_secs(),
+            predicted,
+            actual.jobs[0].duration_secs(),
+            pct_err(actual.jobs[0].duration_secs(), predicted)
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! Figure 12: predicting the big data benchmark with one disk removed.
+//!
+//! Paper: monotask profiles from the 2-HDD cluster predict the 1-HDD
+//! runtimes within 9% for every query except 3c, which is overestimated by
+//! 28% (an evenly-bottlenecked shuffle stage where the model cannot see that
+//! lower parallelism raises utilization).
+
+use cluster::{ClusterSpec, DiskSpec, MachineSpec};
+use mt_bench::{header, pct_err, run_mono};
+use perfmodel::{predict_job, profile_stages, Scenario};
+use workloads::{bdb_job, BdbQuery};
+
+fn one_disk() -> MachineSpec {
+    let mut m = MachineSpec::m2_4xlarge();
+    m.disks = vec![DiskSpec::hdd()];
+    m
+}
+
+fn main() {
+    header(
+        "Figure 12",
+        "predict BDB runtimes with 1 HDD instead of 2 (monotasks model)",
+        "errors <= 9% for all queries except 3c (28%)",
+    );
+    let two = ClusterSpec::new(5, MachineSpec::m2_4xlarge());
+    let one = ClusterSpec::new(5, one_disk());
+    println!(
+        "{:<6} {:>12} {:>12} {:>12} {:>8}",
+        "query", "2 disks (s)", "predicted 1", "actual 1 (s)", "err"
+    );
+    for q in BdbQuery::all() {
+        let (job, blocks) = bdb_job(q, 5, 2);
+        let base = run_mono(&two, job, blocks);
+        let profiles = profile_stages(&base.records, &base.jobs);
+        let predicted = predict_job(
+            &profiles,
+            base.jobs[0].duration_secs(),
+            &Scenario::of_cluster(&two),
+            &Scenario::of_cluster(&one),
+        );
+        let (job1, blocks1) = bdb_job(q, 5, 1);
+        let actual = run_mono(&one, job1, blocks1);
+        println!(
+            "{:<6} {:>12.1} {:>12.1} {:>12.1} {:>7.1}%",
+            q.label(),
+            base.jobs[0].duration_secs(),
+            predicted,
+            actual.jobs[0].duration_secs(),
+            pct_err(actual.jobs[0].duration_secs(), predicted)
+        );
+    }
+}

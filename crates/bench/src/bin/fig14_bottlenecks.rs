@@ -1,0 +1,49 @@
+//! Figure 14: bottleneck analysis — runtime with one resource infinitely
+//! fast.
+//!
+//! Paper: replicating the NSDI'15 blocked-time analysis from monotask
+//! runtimes alone, "CPU is the bottleneck for most queries, improving disk
+//! speed could reduce runtime of some queries, and improving network speed
+//! has little effect"; queries like 3c improve from multiple resources
+//! because different stages have different bottlenecks.
+
+use cluster::{ClusterSpec, MachineSpec};
+use mt_bench::{header, run_mono};
+use perfmodel::bottleneck::stage_bottlenecks;
+use perfmodel::{optimized_resource_runtime, profile_stages, Scenario};
+use simcore::ResourceKind;
+use workloads::{bdb_job, BdbQuery};
+
+fn main() {
+    header(
+        "Figure 14",
+        "BDB runtime with an infinitely fast disk / network / CPU",
+        "CPU bottlenecks most queries; disk helps some; network helps little",
+    );
+    let cluster = ClusterSpec::new(5, MachineSpec::m2_4xlarge());
+    let scen = Scenario::of_cluster(&cluster);
+    println!(
+        "{:<6} {:>10} {:>11} {:>11} {:>11}   {}",
+        "query", "actual (s)", "fast disk", "fast net", "fast cpu", "stage bottlenecks"
+    );
+    for q in BdbQuery::all() {
+        let (job, blocks) = bdb_job(q, 5, 2);
+        let out = run_mono(&cluster, job, blocks);
+        let profiles = profile_stages(&out.records, &out.jobs);
+        let actual = out.jobs[0].duration_secs();
+        let fast = |r: ResourceKind| optimized_resource_runtime(&profiles, actual, &scen, r);
+        let kinds: Vec<&str> = stage_bottlenecks(&profiles, &scen)
+            .into_iter()
+            .map(|k| k.name())
+            .collect();
+        println!(
+            "{:<6} {:>10.1} {:>11.1} {:>11.1} {:>11.1}   {}",
+            q.label(),
+            actual,
+            fast(ResourceKind::Disk),
+            fast(ResourceKind::Network),
+            fast(ResourceKind::Cpu),
+            kinds.join(",")
+        );
+    }
+}

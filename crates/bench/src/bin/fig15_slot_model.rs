@@ -1,0 +1,49 @@
+//! Figure 15: the slot-based model cannot predict hardware changes.
+//!
+//! Paper: applying the monotasks-style scaling to Spark's only resource
+//! knob — slots — fails for the 2→1 HDD question: slots track cores, so the
+//! model predicts *no change*, missing every disk-bound slowdown; scaling
+//! slots by disks instead predicts a uniform 2× slowdown, wrong for every
+//! CPU-bound query. "Spark uses one dimension, slots, to control resource
+//! use that is multi-dimensional."
+
+use cluster::{ClusterSpec, DiskSpec, MachineSpec};
+use mt_bench::{header, pct_err, run_mono};
+use perfmodel::slot_model_predict;
+use workloads::{bdb_job, BdbQuery};
+
+fn main() {
+    header(
+        "Figure 15",
+        "slot-based model predicting BDB with 1 HDD instead of 2",
+        "slots don't change with disks -> predicts no change; wrong when disk-bound",
+    );
+    let two = ClusterSpec::new(5, MachineSpec::m2_4xlarge());
+    let mut m1 = MachineSpec::m2_4xlarge();
+    m1.disks = vec![DiskSpec::hdd()];
+    let one = ClusterSpec::new(5, m1);
+    println!(
+        "{:<6} {:>11} {:>12} {:>8} {:>14} {:>8}",
+        "query", "actual (s)", "slots-fixed", "err", "slots-by-disk", "err"
+    );
+    for q in BdbQuery::all() {
+        let (job2, blocks2) = bdb_job(q, 5, 2);
+        let base = run_mono(&two, job2, blocks2);
+        let (job1, blocks1) = bdb_job(q, 5, 1);
+        let actual = run_mono(&one, job1, blocks1).jobs[0].duration_secs();
+        let measured = base.jobs[0].duration_secs();
+        // Slots follow cores: 8 -> 8, i.e. no predicted change.
+        let fixed = slot_model_predict(measured, 8, 8);
+        // Or scale slots with the disk count: 8 -> 4, i.e. uniform 2x.
+        let scaled = slot_model_predict(measured, 8, 4);
+        println!(
+            "{:<6} {:>11.1} {:>12.1} {:>7.1}% {:>14.1} {:>7.1}%",
+            q.label(),
+            actual,
+            fixed,
+            pct_err(actual, fixed),
+            scaled,
+            pct_err(actual, scaled),
+        );
+    }
+}

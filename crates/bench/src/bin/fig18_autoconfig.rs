@@ -1,0 +1,53 @@
+//! Figure 18: auto-configuration of per-machine concurrency.
+//!
+//! Paper: for sorts whose values hold 1, 25, and 100 longs, the best Spark
+//! slot count differs per workload (2–32 swept), while "MonoSpark
+//! automatically uses the ideal amount of concurrency for each resource,
+//! and as a result, performs at least as well as the best Spark
+//! configuration for all workloads — in some cases as much as 30% better."
+
+use cluster::{ClusterSpec, MachineSpec};
+use mt_bench::{header, pct_diff, run_mono};
+use workloads::{sort_job, SortConfig};
+
+fn main() {
+    header(
+        "Figure 18",
+        "sort runtimes under Spark slot configs vs MonoSpark auto-concurrency",
+        "mono >= best Spark config for every workload; up to 30% better",
+    );
+    let cluster = ClusterSpec::new(20, MachineSpec::m2_4xlarge());
+    let slots = [2usize, 4, 8, 16, 32];
+    println!(
+        "{:<12} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10} {:>12}",
+        "workload", "spark2", "spark4", "spark8", "spark16", "spark32", "mono", "vs best"
+    );
+    for longs in [1usize, 25, 100] {
+        let mut cfg = SortConfig::new(150.0, longs, 20, 2);
+        // Plenty of waves per core, per the paper's guidance that default
+        // configurations break jobs into enough tasks (§5.3).
+        cfg.map_tasks = Some(1600);
+        cfg.reduce_tasks = Some(1600);
+        let (job, blocks) = sort_job(&cfg);
+        let mut times = Vec::new();
+        for s in slots {
+            let mut sc = sparklike::SparkConfig::default();
+            sc.slots_per_machine = Some(s);
+            let out = sparklike::run(&cluster, &[(job.clone(), blocks.clone())], &sc);
+            times.push(out.jobs[0].duration_secs());
+        }
+        let mono = run_mono(&cluster, job, blocks).jobs[0].duration_secs();
+        let best = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        println!(
+            "{:<12} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>10.1} {:>+11.1}%",
+            format!("{longs} long(s)"),
+            times[0],
+            times[1],
+            times[2],
+            times[3],
+            times[4],
+            mono,
+            pct_diff(best, mono)
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! §9 what-if: a faster serializer (Project Tungsten).
+//!
+//! "Efforts to reduce serialization time would reduce the runtime for the
+//! compute monotasks that perform (de)serialization in MonoSpark" — and
+//! because compute monotasks report their (de)serialization split, the model
+//! can predict that optimization's payoff *before anyone builds it*. We
+//! validate by actually re-running with a 2× faster serializer in the cost
+//! model.
+
+use cluster::{ClusterSpec, MachineSpec};
+use dataflow::{BlockMap, CostModel, JobBuilder, JobSpec};
+use mt_bench::{header, pct_err, run_mono};
+use perfmodel::{predict_job, profile_stages, Scenario};
+use workloads::GIB;
+
+fn sort_with(cost: CostModel) -> (JobSpec, BlockMap) {
+    let total = 75.0 * GIB;
+    let job = JobBuilder::new("sort", cost)
+        // Small records: the CPU-bound end of the §6.2 sweep, where the
+        // serializer is a visible fraction of compute time.
+        .read_disk(total, total / 16.0, total / 600.0)
+        .map(1.0, 1.0, true)
+        .shuffle(600, false)
+        .map(1.0, 1.0, true)
+        .write_disk(1.0);
+    (job, BlockMap::round_robin(600, 20, 2))
+}
+
+fn main() {
+    header(
+        "§9 what-if",
+        "predict a 2x faster (de)serializer from monotask-reported splits",
+        "serialization improvements are orthogonal to monotasks and predictable",
+    );
+    let cluster = ClusterSpec::new(20, MachineSpec::m2_4xlarge());
+    let (job, blocks) = sort_with(CostModel::spark_1_3());
+    let base = run_mono(&cluster, job, blocks);
+    let profiles = profile_stages(&base.records, &base.jobs);
+    let old = Scenario::of_cluster(&cluster);
+    let mut tungsten = old.clone();
+    tungsten.serde_speedup = 2.0;
+    let measured = base.jobs[0].duration_secs();
+    let predicted = predict_job(&profiles, measured, &old, &tungsten);
+
+    // Ground truth: the same workload with serde costs actually halved.
+    let mut fast = CostModel::spark_1_3();
+    fast.ser_per_byte /= 2.0;
+    fast.deser_per_byte /= 2.0;
+    let (job2, blocks2) = sort_with(fast);
+    let actual = run_mono(&cluster, job2, blocks2).jobs[0].duration_secs();
+
+    println!("measured (Spark-1.3 serializer):  {measured:>7.1} s");
+    println!("predicted with 2x serde:          {predicted:>7.1} s");
+    println!("actual with 2x serde:             {actual:>7.1} s");
+    println!(
+        "prediction error:                 {:>7.1} %",
+        pct_err(actual, predicted)
+    );
+    println!(
+        "\n(Only monotasks can make this prediction: \"deserialization time \
+         cannot be measured in Spark because of record-level pipelining\", §6.3.)"
+    );
+}

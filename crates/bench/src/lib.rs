@@ -1,0 +1,69 @@
+//! Shared harness utilities for the figure/table benchmark binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper's
+//! evaluation (see DESIGN.md §3 for the index) and prints the same series the
+//! paper plots, plus the paper's reported values for side-by-side comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ascii;
+
+use cluster::ClusterSpec;
+use dataflow::{BlockMap, JobSpec};
+
+/// Runs a job under the monotasks executor with default config.
+pub fn run_mono(
+    cluster: &ClusterSpec,
+    job: JobSpec,
+    blocks: BlockMap,
+) -> monotasks_core::MonoRunOutput {
+    monotasks_core::run(
+        cluster,
+        &[(job, blocks)],
+        &monotasks_core::MonoConfig::default(),
+    )
+}
+
+/// Runs a job under the Spark-like executor with default config.
+pub fn run_spark(
+    cluster: &ClusterSpec,
+    job: JobSpec,
+    blocks: BlockMap,
+) -> sparklike::SparkRunOutput {
+    sparklike::run(
+        cluster,
+        &[(job, blocks)],
+        &sparklike::SparkConfig::default(),
+    )
+}
+
+/// Relative difference `(b - a) / a` in percent.
+pub fn pct_diff(a: f64, b: f64) -> f64 {
+    100.0 * (b - a) / a
+}
+
+/// Relative error of `predicted` against `actual`, in percent (absolute).
+pub fn pct_err(actual: f64, predicted: f64) -> f64 {
+    (100.0 * (predicted - actual) / actual).abs()
+}
+
+/// Prints a standard figure header.
+pub fn header(id: &str, title: &str, paper_claim: &str) {
+    println!("================================================================");
+    println!("{id}: {title}");
+    println!("paper: {paper_claim}");
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_helpers() {
+        assert_eq!(pct_diff(100.0, 91.0), -9.0);
+        assert_eq!(pct_err(100.0, 128.0), 28.0);
+        assert_eq!(pct_err(100.0, 72.0), 28.0);
+    }
+}

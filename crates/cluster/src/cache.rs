@@ -1,0 +1,172 @@
+//! OS buffer-cache model: asynchronous write-back.
+//!
+//! In today's frameworks, "data written to disk is typically written to the
+//! buffer cache. The operating system, and not the framework, will eventually
+//! flush the cache, and this write may contend with later disk reads or
+//! writes" (§2.2). This module reproduces the three behaviours that matter:
+//!
+//! 1. Small writes are absorbed instantly and may never reach the disk while
+//!    the job runs (why Spark beats MonoSpark on query 1c, §5.3).
+//! 2. Dirty data is flushed after an expiry delay, or eagerly once dirty bytes
+//!    exceed a background threshold — and the flush contends with reads.
+//! 3. Past a hard threshold, writers are throttled to disk speed (writes
+//!    become synchronous).
+//!
+//! Linux defaults inspire the constants: ~10 % of RAM background ratio, ~20 %
+//! hard ratio, 30 s expiry.
+
+use simcore::{SimDuration, SimTime};
+
+/// Verdict for one write issued through the cache.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum WriteOutcome {
+    /// The write was absorbed by the cache: it completes immediately for the
+    /// writer, and the dirty bytes must be flushed to disk starting at
+    /// `flush_at` (an asynchronous, contending disk stream).
+    Absorbed {
+        /// When the background flusher will start writing these bytes.
+        flush_at: SimTime,
+    },
+    /// Dirty data exceeds the hard threshold: the writer must perform the
+    /// write synchronously at disk speed.
+    Synchronous,
+}
+
+/// Write-back policy knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct CachePolicy {
+    /// Dirty bytes above which the flusher starts immediately.
+    pub background_bytes: f64,
+    /// Dirty bytes above which writers are throttled to synchronous writes.
+    pub hard_bytes: f64,
+    /// Age at which dirty data is flushed regardless of volume.
+    pub expire: SimDuration,
+}
+
+impl CachePolicy {
+    /// Linux-default-shaped policy for a machine with `memory` bytes of RAM.
+    pub fn for_memory(memory: f64) -> CachePolicy {
+        CachePolicy {
+            background_bytes: 0.10 * memory,
+            hard_bytes: 0.20 * memory,
+            expire: SimDuration::from_secs(30),
+        }
+    }
+}
+
+/// Per-machine dirty-page accounting.
+#[derive(Debug)]
+pub struct BufferCache {
+    policy: CachePolicy,
+    dirty: f64,
+}
+
+impl BufferCache {
+    /// Creates an empty cache with the given policy.
+    pub fn new(policy: CachePolicy) -> BufferCache {
+        BufferCache { policy, dirty: 0.0 }
+    }
+
+    /// Bytes currently dirty (written but not yet flushed).
+    pub fn dirty(&self) -> f64 {
+        self.dirty
+    }
+
+    /// Issues a write of `bytes` at time `now`.
+    ///
+    /// On [`WriteOutcome::Absorbed`] the caller must schedule a flush stream
+    /// of `bytes` on the target disk starting at `flush_at`, and call
+    /// [`flushed`](Self::flushed) when it drains. On
+    /// [`WriteOutcome::Synchronous`] the caller performs the write as an
+    /// ordinary disk stream and the cache is not charged.
+    pub fn write(&mut self, now: SimTime, bytes: f64) -> WriteOutcome {
+        assert!(bytes.is_finite() && bytes >= 0.0, "bad write size");
+        if self.dirty + bytes > self.policy.hard_bytes {
+            return WriteOutcome::Synchronous;
+        }
+        self.dirty += bytes;
+        let flush_at = if self.dirty > self.policy.background_bytes {
+            now
+        } else {
+            now + self.policy.expire
+        };
+        WriteOutcome::Absorbed { flush_at }
+    }
+
+    /// Records that `bytes` of dirty data finished flushing to disk.
+    pub fn flushed(&mut self, bytes: f64) {
+        self.dirty = (self.dirty - bytes).max(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache_mb(bg: f64, hard: f64) -> BufferCache {
+        BufferCache::new(CachePolicy {
+            background_bytes: bg,
+            hard_bytes: hard,
+            expire: SimDuration::from_secs(30),
+        })
+    }
+
+    #[test]
+    fn small_write_deferred_by_expiry() {
+        let mut c = cache_mb(100.0, 200.0);
+        let out = c.write(SimTime::ZERO, 10.0);
+        assert_eq!(
+            out,
+            WriteOutcome::Absorbed {
+                flush_at: SimTime::from_secs(30)
+            }
+        );
+        assert_eq!(c.dirty(), 10.0);
+    }
+
+    #[test]
+    fn heavy_dirtying_flushes_immediately() {
+        let mut c = cache_mb(100.0, 200.0);
+        let now = SimTime::from_secs(5);
+        assert!(matches!(
+            c.write(now, 90.0),
+            WriteOutcome::Absorbed { flush_at } if flush_at == now + SimDuration::from_secs(30)
+        ));
+        // Crosses the background threshold: flush starts now.
+        assert!(matches!(
+            c.write(now, 20.0),
+            WriteOutcome::Absorbed { flush_at } if flush_at == now
+        ));
+    }
+
+    #[test]
+    fn hard_threshold_forces_synchronous_writes() {
+        let mut c = cache_mb(100.0, 200.0);
+        assert!(matches!(
+            c.write(SimTime::ZERO, 150.0),
+            WriteOutcome::Absorbed { .. }
+        ));
+        assert_eq!(c.write(SimTime::ZERO, 100.0), WriteOutcome::Synchronous);
+        // Synchronous writes do not charge the cache.
+        assert_eq!(c.dirty(), 150.0);
+    }
+
+    #[test]
+    fn flushed_releases_dirty_bytes() {
+        let mut c = cache_mb(100.0, 200.0);
+        c.write(SimTime::ZERO, 150.0);
+        c.flushed(150.0);
+        assert_eq!(c.dirty(), 0.0);
+        assert!(matches!(
+            c.write(SimTime::ZERO, 150.0),
+            WriteOutcome::Absorbed { .. }
+        ));
+    }
+
+    #[test]
+    fn policy_scales_with_memory() {
+        let p = CachePolicy::for_memory(1000.0);
+        assert_eq!(p.background_bytes, 100.0);
+        assert_eq!(p.hard_bytes, 200.0);
+    }
+}

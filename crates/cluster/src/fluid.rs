@@ -1,0 +1,583 @@
+//! Coupled fluid allocation of machine resources among task streams.
+//!
+//! A **stream** is one phase of one task: a bundle of resource demands that
+//! drain *in lockstep*. A fine-grained-pipelined Spark task phase that reads
+//! 128 MB from disk while spending 2 CPU-seconds deserializing is a stream
+//! with demand `{disk: 128 MB, cpu: 2 s}`: at every instant it consumes disk
+//! bandwidth and CPU in the ratio 64 MB : 1 s, and its progress rate is set by
+//! whichever resource is more contended. A monotask is simply a stream with a
+//! single non-zero demand — so one allocator faithfully runs both the baseline
+//! and the monotasks executor, and any modelling bias cancels out of the
+//! comparison.
+//!
+//! Rates are assigned by progressive filling: repeatedly give every unfrozen
+//! stream the fair share of each resource it uses, freeze the slowest stream
+//! at its resulting rate, release what it does not use, and repeat. Each
+//! stream therefore gets at least the equal share of its bottleneck resource,
+//! and surplus from bottlenecked streams is redistributed — the fluid analogue
+//! of OS round-robin plus work conservation.
+//!
+//! HDD aggregate throughput *falls* with the number of concurrent streams
+//! (seeks) and SSD throughput *rises* up to the device queue depth, via
+//! [`crate::hw::DiskSpec::throughput_at`]. This is how the allocator reproduces §5.4:
+//! eight pipelined Spark tasks interleaving on two HDDs lose ~2× aggregate
+//! disk bandwidth, while the monotasks disk scheduler (one stream per disk)
+//! keeps sequential speed.
+
+use std::collections::BTreeMap;
+
+use simcore::time::{SimDuration, SimTime};
+
+use crate::hw::MachineSpec;
+
+/// Remaining progress below this fraction counts as complete.
+const PROGRESS_EPSILON: f64 = 1e-9;
+
+/// Identifies a machine in the cluster.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct MachineId(pub usize);
+
+/// Identifies a disk within one machine.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct DiskId(pub usize);
+
+/// Identifies a stream within one machine's allocator.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct StreamId(pub u64);
+
+/// Resource demands of one stream, drained proportionally.
+///
+/// Work units: CPU in core-seconds, disk and network in bytes. Disk demand
+/// distinguishes reads from writes because HDD contention does (see
+/// [`crate::hw::DiskSpec`]): parallel sequential readers degrade mildly,
+/// interleaved writers harshly.
+#[derive(Clone, Debug, Default)]
+pub struct StreamDemand {
+    /// CPU work in core-seconds. A stream is single-threaded: it can use at
+    /// most one core regardless of contention (Spark tasks have one thread;
+    /// a compute monotask runs on one core).
+    pub cpu: f64,
+    /// Bytes read from each local disk, indexed by [`DiskId`].
+    pub disk_read: Vec<f64>,
+    /// Bytes written to each local disk, indexed by [`DiskId`].
+    pub disk_write: Vec<f64>,
+    /// Bytes received over the NIC.
+    pub rx: f64,
+}
+
+impl StreamDemand {
+    /// An all-zero demand for a machine with `n_disks` disks.
+    pub fn zero(n_disks: usize) -> StreamDemand {
+        StreamDemand {
+            cpu: 0.0,
+            disk_read: vec![0.0; n_disks],
+            disk_write: vec![0.0; n_disks],
+            rx: 0.0,
+        }
+    }
+
+    /// A pure-CPU demand (a compute monotask).
+    pub fn cpu_only(work: f64, n_disks: usize) -> StreamDemand {
+        let mut d = StreamDemand::zero(n_disks);
+        d.cpu = work;
+        d
+    }
+
+    /// A pure-disk-read demand (a disk read monotask).
+    pub fn disk_read_only(disk: DiskId, bytes: f64, n_disks: usize) -> StreamDemand {
+        let mut d = StreamDemand::zero(n_disks);
+        d.disk_read[disk.0] = bytes;
+        d
+    }
+
+    /// A pure-disk-write demand (a disk write monotask or a cache flush).
+    pub fn disk_write_only(disk: DiskId, bytes: f64, n_disks: usize) -> StreamDemand {
+        let mut d = StreamDemand::zero(n_disks);
+        d.disk_write[disk.0] = bytes;
+        d
+    }
+
+    /// A pure-network-receive demand (a network monotask).
+    pub fn rx_only(bytes: f64, n_disks: usize) -> StreamDemand {
+        let mut d = StreamDemand::zero(n_disks);
+        d.rx = bytes;
+        d
+    }
+
+    /// Bytes moved through disk `i` in either direction.
+    pub fn disk_total(&self, i: usize) -> f64 {
+        self.disk_read[i] + self.disk_write[i]
+    }
+
+    /// Total demand across all resources (used to reject empty streams).
+    fn total(&self) -> f64 {
+        self.cpu
+            + self.disk_read.iter().sum::<f64>()
+            + self.disk_write.iter().sum::<f64>()
+            + self.rx
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Stream {
+    demand: StreamDemand,
+    /// Fraction of the phase still to run, in `[0, 1]`.
+    remaining: f64,
+    /// Progress rate in fractions per second (set by `reallocate`).
+    rate: f64,
+}
+
+/// One machine's fluid resource allocator. See the module docs for the model.
+#[derive(Debug)]
+pub struct FluidMachine {
+    spec: MachineSpec,
+    streams: BTreeMap<StreamId, Stream>,
+    last_advance: SimTime,
+    epoch: u64,
+}
+
+impl FluidMachine {
+    /// Creates an idle machine with the given hardware.
+    pub fn new(spec: MachineSpec) -> FluidMachine {
+        FluidMachine {
+            spec,
+            streams: BTreeMap::new(),
+            last_advance: SimTime::ZERO,
+            epoch: 0,
+        }
+    }
+
+    /// The machine's hardware spec.
+    pub fn spec(&self) -> &MachineSpec {
+        &self.spec
+    }
+
+    /// Stale-event guard; bumped on every stream-set mutation.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of active streams.
+    pub fn active_streams(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Whether `id` is currently active.
+    pub fn contains(&self, id: StreamId) -> bool {
+        self.streams.contains_key(&id)
+    }
+
+    /// Drains all streams at their current rates up to `now`.
+    pub fn advance(&mut self, now: SimTime) {
+        let dt = now.since(self.last_advance).as_secs_f64();
+        self.last_advance = now;
+        if dt == 0.0 {
+            return;
+        }
+        for s in self.streams.values_mut() {
+            s.remaining = (s.remaining - s.rate * dt).max(0.0);
+        }
+    }
+
+    /// Adds a stream; returns the new epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate id, wrong disk-vector length, or a demand that is
+    /// empty or non-finite.
+    pub fn insert(&mut self, now: SimTime, id: StreamId, demand: StreamDemand) -> u64 {
+        assert!(
+            demand.disk_read.len() == self.spec.disks.len()
+                && demand.disk_write.len() == self.spec.disks.len(),
+            "disk demand vector length mismatch"
+        );
+        let total = demand.total();
+        assert!(
+            total.is_finite() && total > 0.0,
+            "stream demand must be positive: {demand:?}"
+        );
+        assert!(
+            demand.cpu >= 0.0
+                && demand.rx >= 0.0
+                && demand.disk_read.iter().all(|b| *b >= 0.0)
+                && demand.disk_write.iter().all(|b| *b >= 0.0),
+            "negative demand component: {demand:?}"
+        );
+        self.advance(now);
+        let prev = self.streams.insert(
+            id,
+            Stream {
+                demand,
+                remaining: 1.0,
+                rate: 0.0,
+            },
+        );
+        assert!(prev.is_none(), "stream {id:?} inserted twice");
+        self.reallocate();
+        self.epoch += 1;
+        self.epoch
+    }
+
+    /// Removes a stream regardless of progress; returns the remaining
+    /// fraction if it was active.
+    pub fn remove(&mut self, now: SimTime, id: StreamId) -> Option<f64> {
+        self.advance(now);
+        let removed = self.streams.remove(&id).map(|s| s.remaining);
+        if removed.is_some() {
+            self.reallocate();
+            self.epoch += 1;
+        }
+        removed
+    }
+
+    /// Removes and returns all streams whose phase has fully drained.
+    pub fn take_completed(&mut self, now: SimTime) -> Vec<StreamId> {
+        self.advance(now);
+        let done: Vec<StreamId> = self
+            .streams
+            .iter()
+            .filter(|(_, s)| s.remaining <= PROGRESS_EPSILON)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in &done {
+            self.streams.remove(id);
+        }
+        if !done.is_empty() {
+            self.reallocate();
+            self.epoch += 1;
+        }
+        done
+    }
+
+    /// Instant of the next stream completion if the set does not change.
+    pub fn next_completion(&self, now: SimTime) -> Option<SimTime> {
+        debug_assert_eq!(self.last_advance, now);
+        let mut best: Option<f64> = None;
+        for s in self.streams.values() {
+            if s.remaining <= PROGRESS_EPSILON {
+                return Some(now);
+            }
+            debug_assert!(s.rate > 0.0, "active stream with zero rate");
+            let dt = s.remaining / s.rate;
+            best = Some(match best {
+                Some(b) => b.min(dt),
+                None => dt,
+            });
+        }
+        best.map(|dt| now + SimDuration::from_secs_f64(dt).max(SimDuration::NANO))
+    }
+
+    /// Current progress rate of `id` in fractions/second, if active.
+    pub fn rate(&self, id: StreamId) -> Option<f64> {
+        self.streams.get(&id).map(|s| s.rate)
+    }
+
+    /// Number of resource "columns": CPU, each disk, NIC receive.
+    fn n_resources(&self) -> usize {
+        2 + self.spec.disks.len()
+    }
+
+    /// Capacity vector given the current stream population (HDD/SSD
+    /// efficiency depends on how many readers and writers touch each disk).
+    fn capacities(&self) -> Vec<f64> {
+        let nd = self.spec.disks.len();
+        let mut caps = Vec::with_capacity(self.n_resources());
+        caps.push(self.spec.cores as f64);
+        for (i, d) in self.spec.disks.iter().enumerate() {
+            let k_r = self
+                .streams
+                .values()
+                .filter(|s| s.demand.disk_read[i] > 0.0)
+                .count();
+            let k_w = self
+                .streams
+                .values()
+                .filter(|s| s.demand.disk_write[i] > 0.0)
+                .count();
+            caps.push(if k_r + k_w == 0 {
+                d.throughput
+            } else {
+                d.throughput_at_rw(k_r, k_w)
+            });
+        }
+        caps.push(self.spec.nic);
+        debug_assert_eq!(caps.len(), 2 + nd);
+        caps
+    }
+
+    /// Demand of `s` on resource column `r`.
+    fn demand_at(s: &Stream, r: usize, nd: usize) -> f64 {
+        if r == 0 {
+            s.demand.cpu
+        } else if r <= nd {
+            s.demand.disk_total(r - 1)
+        } else {
+            s.demand.rx
+        }
+    }
+
+    /// Recomputes stream rates by progressive filling (module docs).
+    ///
+    /// Each round computes every unfrozen stream's tentative rate from the
+    /// fair shares of the capacity still unassigned, then freezes:
+    ///
+    /// 1. streams running at their own single-thread cap (they cannot go
+    ///    faster, and freezing them releases their unused shares), else
+    /// 2. streams whose rate is set by a *saturated* resource (one whose
+    ///    remaining capacity the tentative rates fully consume), else
+    /// 3. the single slowest stream (a deterministic fallback that guarantees
+    ///    termination; its rate is already max-min feasible).
+    fn reallocate(&mut self) {
+        let nd = self.spec.disks.len();
+        let nr = self.n_resources();
+        let mut cap_left = self.capacities();
+        let mut unfrozen: Vec<StreamId> = self.streams.keys().copied().collect();
+        while !unfrozen.is_empty() {
+            // Count unfrozen claimants per resource.
+            let mut counts = vec![0usize; nr];
+            for id in &unfrozen {
+                let s = &self.streams[id];
+                for (r, c) in counts.iter_mut().enumerate() {
+                    if Self::demand_at(s, r, nd) > 0.0 {
+                        *c += 1;
+                    }
+                }
+            }
+            let share = |r: usize, counts: &[usize], cap_left: &[f64]| -> f64 {
+                (cap_left[r] / counts[r] as f64).max(0.0)
+            };
+            // Tentative rate for each unfrozen stream from fair shares.
+            let mut tentative: Vec<(StreamId, f64, bool)> = Vec::with_capacity(unfrozen.len());
+            for id in &unfrozen {
+                let s = &self.streams[id];
+                let mut rate = f64::INFINITY;
+                for r in 0..nr {
+                    let d = Self::demand_at(s, r, nd);
+                    if d > 0.0 {
+                        rate = rate.min(share(r, &counts, &cap_left) / d);
+                    }
+                }
+                // Single-threaded cap: at most one core of CPU.
+                let mut cap_bound = false;
+                if s.demand.cpu > 0.0 {
+                    let cap = 1.0 / s.demand.cpu;
+                    if cap <= rate {
+                        rate = cap;
+                        cap_bound = true;
+                    }
+                }
+                debug_assert!(rate.is_finite());
+                tentative.push((*id, rate, cap_bound));
+            }
+            // Which resources would the tentative rates saturate?
+            let mut usage = vec![0.0f64; nr];
+            for (id, rate, _) in &tentative {
+                let s = &self.streams[id];
+                for (r, u) in usage.iter_mut().enumerate() {
+                    *u += rate * Self::demand_at(s, r, nd);
+                }
+            }
+            let saturated: Vec<bool> = (0..nr)
+                .map(|r| counts[r] > 0 && usage[r] >= cap_left[r] * (1.0 - 1e-9))
+                .collect();
+            // Select the streams to freeze this round.
+            let mut to_freeze: Vec<(StreamId, f64)> = tentative
+                .iter()
+                .filter(|(id, rate, cap_bound)| {
+                    if *cap_bound {
+                        return true;
+                    }
+                    let s = &self.streams[id];
+                    (0..nr).any(|r| {
+                        saturated[r] && {
+                            let d = Self::demand_at(s, r, nd);
+                            d > 0.0 && *rate >= share(r, &counts, &cap_left) / d * (1.0 - 1e-9)
+                        }
+                    })
+                })
+                .map(|(id, rate, _)| (*id, *rate))
+                .collect();
+            if to_freeze.is_empty() {
+                // Fallback: freeze the single slowest stream.
+                let slowest = tentative
+                    .iter()
+                    .min_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN rate").then(a.0.cmp(&b.0)))
+                    .expect("unfrozen set non-empty");
+                to_freeze.push((slowest.0, slowest.1));
+            }
+            for (id, rate) in to_freeze {
+                let s = self.streams.get_mut(&id).expect("stream vanished");
+                s.rate = rate;
+                for (r, cap) in cap_left.iter_mut().enumerate() {
+                    *cap = (*cap - rate * Self::demand_at(s, r, nd)).max(0.0);
+                }
+                unfrozen.retain(|u| *u != id);
+            }
+        }
+    }
+
+    /// Instantaneous delivered rate on resource column `r` (work units/s).
+    fn usage_at(&self, r: usize) -> f64 {
+        let nd = self.spec.disks.len();
+        self.streams
+            .values()
+            .map(|s| s.rate * Self::demand_at(s, r, nd))
+            .sum()
+    }
+
+    /// CPU busy fraction: delivered core-seconds per second over cores.
+    pub fn cpu_busy(&self) -> f64 {
+        (self.usage_at(0) / self.spec.cores as f64).min(1.0)
+    }
+
+    /// Disk busy fraction: delivered bytes/s over what the device can deliver
+    /// at its current concurrency (a fully seek-bound disk reports 1.0).
+    pub fn disk_busy(&self, disk: DiskId) -> f64 {
+        let caps = self.capacities();
+        (self.usage_at(1 + disk.0) / caps[1 + disk.0]).min(1.0)
+    }
+
+    /// NIC receive busy fraction.
+    pub fn rx_busy(&self) -> f64 {
+        (self.usage_at(1 + self.spec.disks.len()) / self.spec.nic).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hw::{DiskSpec, MIB};
+
+    fn machine(cores: u32, disks: usize) -> FluidMachine {
+        FluidMachine::new(MachineSpec {
+            cores,
+            memory: 4.0 * 1024.0 * MIB,
+            disks: vec![DiskSpec::hdd(); disks],
+            nic: 125.0 * MIB,
+        })
+    }
+
+    fn t(secs: f64) -> SimTime {
+        SimTime(SimDuration::from_secs_f64(secs).0)
+    }
+
+    #[test]
+    fn single_cpu_stream_runs_on_one_core() {
+        let mut m = machine(8, 1);
+        m.insert(SimTime::ZERO, StreamId(1), StreamDemand::cpu_only(4.0, 1));
+        // 4 core-seconds on one thread: 4 seconds, not 0.5.
+        assert_eq!(m.next_completion(SimTime::ZERO), Some(t(4.0)));
+        assert!((m.cpu_busy() - 1.0 / 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pipelined_stream_bound_by_slowest_resource() {
+        let mut m = machine(8, 1);
+        let hdd = DiskSpec::hdd().throughput;
+        // Read one disk-second of bytes while using 0.1 CPU-seconds:
+        // disk-bound, finishes in ~1 s with disk fully busy.
+        let mut d = StreamDemand::disk_read_only(DiskId(0), hdd, 1);
+        d.cpu = 0.1;
+        m.insert(SimTime::ZERO, StreamId(1), d);
+        let done = m.next_completion(SimTime::ZERO).unwrap();
+        assert!((done.as_secs_f64() - 1.0).abs() < 1e-6);
+        assert!((m.disk_busy(DiskId(0)) - 1.0).abs() < 1e-9);
+        // CPU used in proportion: 0.1 cores.
+        assert!((m.cpu_busy() - 0.1 / 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hdd_interleaving_slows_aggregate() {
+        let mut m = machine(8, 1);
+        let hdd = DiskSpec::hdd();
+        // Two streams each reading 1 sequential-second of bytes.
+        for i in 0..2 {
+            m.insert(
+                SimTime::ZERO,
+                StreamId(i),
+                StreamDemand::disk_read_only(DiskId(0), hdd.throughput, 1),
+            );
+        }
+        // Two readers → aggregate = 1/(1+read_factor) of sequential; both
+        // finish at 2·(1+read_factor) seconds.
+        let factor = DiskSpec::hdd().read_seek_factor;
+        let done = m.next_completion(SimTime::ZERO).unwrap();
+        assert!(
+            (done.as_secs_f64() - 2.0 * (1.0 + factor)).abs() < 1e-6,
+            "{done:?}"
+        );
+        // The device is flat-out (seek-bound): busy fraction 1.
+        assert!((m.disk_busy(DiskId(0)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn surplus_from_bottlenecked_stream_is_redistributed() {
+        let mut m = machine(1, 1);
+        let hdd = DiskSpec::hdd();
+        // Stream A: CPU-bound (1 core-second + tiny disk).
+        let mut a = StreamDemand::cpu_only(1.0, 1);
+        a.disk_read[0] = 0.01 * hdd.throughput_at(2);
+        // Stream B: disk-only.
+        let b = StreamDemand::disk_read_only(DiskId(0), hdd.throughput_at(2), 1);
+        m.insert(SimTime::ZERO, StreamId(1), a);
+        m.insert(SimTime::ZERO, StreamId(2), b);
+        // A is frozen first (CPU cap), using 1% of disk; B should get the
+        // remaining 99%, not just the 50% equal share.
+        let rb = m.rate(StreamId(2)).unwrap();
+        assert!(rb > 0.95, "B rate {rb} — surplus not redistributed");
+    }
+
+    #[test]
+    fn cpu_shared_fairly_beyond_cores() {
+        let mut m = machine(2, 1);
+        for i in 0..4 {
+            m.insert(SimTime::ZERO, StreamId(i), StreamDemand::cpu_only(1.0, 1));
+        }
+        // 4 single-threaded streams on 2 cores: each at 0.5 cores.
+        for i in 0..4 {
+            assert!((m.rate(StreamId(i)).unwrap() - 0.5).abs() < 1e-9);
+        }
+        assert!((m.cpu_busy() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn completion_frees_capacity() {
+        let mut m = machine(1, 1);
+        m.insert(SimTime::ZERO, StreamId(1), StreamDemand::cpu_only(1.0, 1));
+        m.insert(SimTime::ZERO, StreamId(2), StreamDemand::cpu_only(2.0, 1));
+        // Equal shares: stream 1 done at t=2.
+        let c1 = m.next_completion(SimTime::ZERO).unwrap();
+        assert_eq!(c1, t(2.0));
+        m.advance(c1);
+        assert_eq!(m.take_completed(c1), vec![StreamId(1)]);
+        // Stream 2 has 1 core-second left at full speed: done at t=3.
+        assert_eq!(m.next_completion(c1), Some(t(3.0)));
+    }
+
+    #[test]
+    fn rx_is_a_first_class_resource() {
+        let mut m = machine(8, 1);
+        let nic = 125.0 * MIB;
+        m.insert(
+            SimTime::ZERO,
+            StreamId(1),
+            StreamDemand::rx_only(nic * 2.0, 1),
+        );
+        assert_eq!(m.next_completion(SimTime::ZERO), Some(t(2.0)));
+        assert!((m.rx_busy() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "demand must be positive")]
+    fn empty_demand_rejected() {
+        let mut m = machine(1, 1);
+        m.insert(SimTime::ZERO, StreamId(1), StreamDemand::cpu_only(0.0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_disk_vector_rejected() {
+        let mut m = machine(1, 2);
+        m.insert(SimTime::ZERO, StreamId(1), StreamDemand::cpu_only(1.0, 1));
+    }
+}

@@ -1,0 +1,229 @@
+//! Hardware specifications and the calibration constants of the reproduction.
+//!
+//! All numbers that stand in for the paper's EC2 hardware live here so the
+//! calibration story is auditable in one place. We target the *ratios* the
+//! paper's evaluation depends on (disk vs CPU vs network balance), not the
+//! absolute speeds of 2017 hardware.
+
+use serde::{Deserialize, Serialize};
+use simcore::resource::EfficiencyCurve;
+
+/// One mebibyte in bytes; disk and network throughputs are given in MiB/s.
+pub const MIB: f64 = 1024.0 * 1024.0;
+
+/// One gibibyte in bytes.
+pub const GIB: f64 = 1024.0 * MIB;
+
+/// Disk technology, which determines the concurrency-efficiency curve.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum DiskKind {
+    /// Spinning disk: concurrent streams trigger seeks and *reduce* aggregate
+    /// throughput (§5.4: controlling contention roughly doubled throughput).
+    Hdd,
+    /// Flash: needs several outstanding operations to reach peak throughput
+    /// (§3.3: four outstanding monotasks achieved near-maximum throughput).
+    Ssd,
+}
+
+/// A disk's performance envelope.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct DiskSpec {
+    /// Technology class.
+    pub kind: DiskKind,
+    /// Peak sequential throughput in bytes per second.
+    pub throughput: f64,
+    /// HDD: throughput-loss factor per extra concurrent *reader* (mild —
+    /// kernel readahead batches sequential readers). SSD: ignored.
+    pub read_seek_factor: f64,
+    /// HDD: throughput-loss factor per *writer* interleaved with other
+    /// traffic (harsh — head travel between regions). SSD: ignored.
+    pub write_seek_factor: f64,
+    /// HDD: minimum fraction of sequential throughput retained under heavy
+    /// interleaving (the OS elevator batches requests). SSD: ignored.
+    pub seek_floor: f64,
+    /// SSD: outstanding operations needed for peak throughput. HDD: ignored.
+    pub queue_depth: u32,
+}
+
+impl DiskSpec {
+    /// The paper-era spinning disk: ~110 MiB/s sequential. Extra concurrent
+    /// readers cost 8% each (readahead keeps parallel sequential scans
+    /// efficient), while each interleaved writer costs 60%; a default Spark
+    /// configuration's four readers plus a write-back stream per disk
+    /// therefore lose ~2× aggregate throughput — matching §5.4's "roughly
+    /// twice the disk throughput" observation — and the floor of 35% models
+    /// the OS elevator's batching.
+    pub fn hdd() -> DiskSpec {
+        DiskSpec {
+            kind: DiskKind::Hdd,
+            throughput: 110.0 * MIB,
+            read_seek_factor: 0.08,
+            write_seek_factor: 0.6,
+            seek_floor: 0.35,
+            queue_depth: 1,
+        }
+    }
+
+    /// The paper-era SSD (i2.2xlarge-class): ~450 MiB/s at queue depth 4.
+    pub fn ssd() -> DiskSpec {
+        DiskSpec {
+            kind: DiskKind::Ssd,
+            throughput: 450.0 * MIB,
+            read_seek_factor: 0.0,
+            write_seek_factor: 0.0,
+            seek_floor: 1.0,
+            queue_depth: 4,
+        }
+    }
+
+    /// Efficiency curve for `simcore::PsResource`.
+    pub fn efficiency(&self) -> EfficiencyCurve {
+        match self.kind {
+            DiskKind::Hdd => EfficiencyCurve::HddSeek {
+                read_factor: self.read_seek_factor,
+                write_factor: self.write_seek_factor,
+                floor: self.seek_floor,
+            },
+            DiskKind::Ssd => EfficiencyCurve::SsdQueueDepth {
+                depth: self.queue_depth,
+            },
+        }
+    }
+
+    /// Aggregate throughput with `k ≥ 1` concurrent readers.
+    pub fn throughput_at(&self, k: usize) -> f64 {
+        self.throughput * self.efficiency().at(k)
+    }
+
+    /// Aggregate throughput with `k_r` readers and `k_w` writers.
+    pub fn throughput_at_rw(&self, k_r: usize, k_w: usize) -> f64 {
+        self.throughput * self.efficiency().at_rw(k_r, k_w)
+    }
+
+    /// The ideal concurrency a per-disk scheduler should allow (§3.3):
+    /// one monotask per HDD, `queue_depth` per SSD.
+    pub fn scheduler_slots(&self) -> usize {
+        match self.kind {
+            DiskKind::Hdd => 1,
+            DiskKind::Ssd => self.queue_depth as usize,
+        }
+    }
+}
+
+/// A worker machine.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MachineSpec {
+    /// CPU cores (the paper's instances expose 8 vCPUs).
+    pub cores: u32,
+    /// RAM in bytes (~60 GB on the paper's instances).
+    pub memory: f64,
+    /// Locally attached disks.
+    pub disks: Vec<DiskSpec>,
+    /// NIC bandwidth in bytes per second, full duplex (≈1 Gbps).
+    pub nic: f64,
+}
+
+impl MachineSpec {
+    /// The paper's HDD instance: 8 cores, 60 GB RAM, two HDDs, 1 Gbps.
+    pub fn m2_4xlarge() -> MachineSpec {
+        MachineSpec {
+            cores: 8,
+            memory: 60.0 * GIB,
+            disks: vec![DiskSpec::hdd(), DiskSpec::hdd()],
+            nic: 125.0 * MIB,
+        }
+    }
+
+    /// The paper's SSD instance: 8 cores, 60 GB RAM, `n` SSDs, 1 Gbps.
+    pub fn i2_2xlarge(n_ssds: usize) -> MachineSpec {
+        MachineSpec {
+            cores: 8,
+            memory: 60.0 * GIB,
+            disks: vec![DiskSpec::ssd(); n_ssds],
+            nic: 125.0 * MIB,
+        }
+    }
+
+    /// Total disk-scheduler slots across all disks (§3.4's concurrency sum).
+    pub fn disk_slots(&self) -> usize {
+        self.disks.iter().map(DiskSpec::scheduler_slots).sum()
+    }
+}
+
+/// A homogeneous cluster of workers.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Number of worker machines.
+    pub machines: usize,
+    /// Per-machine hardware.
+    pub machine: MachineSpec,
+}
+
+impl ClusterSpec {
+    /// Builds a cluster of `machines` identical workers.
+    pub fn new(machines: usize, machine: MachineSpec) -> ClusterSpec {
+        assert!(machines > 0, "cluster needs at least one machine");
+        ClusterSpec { machines, machine }
+    }
+
+    /// Total cores in the cluster.
+    pub fn total_cores(&self) -> u32 {
+        self.machines as u32 * self.machine.cores
+    }
+
+    /// Total number of disks in the cluster.
+    pub fn total_disks(&self) -> usize {
+        self.machines * self.machine.disks.len()
+    }
+
+    /// Aggregate single-stream disk bandwidth in bytes/s.
+    pub fn total_disk_bandwidth(&self) -> f64 {
+        self.machines as f64 * self.machine.disks.iter().map(|d| d.throughput).sum::<f64>()
+    }
+
+    /// Total cluster memory in bytes.
+    pub fn total_memory(&self) -> f64 {
+        self.machines as f64 * self.machine.memory
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hdd_contention_roughly_halves_with_writer_in_the_mix() {
+        let d = DiskSpec::hdd();
+        let solo = d.throughput_at(1);
+        // Four readers plus a write-back stream: the default-Spark mix.
+        let mixed = d.throughput_at_rw(4, 1);
+        let loss = solo / mixed;
+        assert!(loss > 1.6 && loss < 3.0, "loss factor {loss}");
+        // Pure parallel sequential readers degrade only mildly.
+        let readers = d.throughput_at(4);
+        assert!(solo / readers < 1.4, "read-only loss {}", solo / readers);
+        // A lone writer is sequential.
+        assert_eq!(d.throughput_at_rw(0, 1), solo);
+    }
+
+    #[test]
+    fn ssd_peaks_at_queue_depth() {
+        let d = DiskSpec::ssd();
+        assert!(d.throughput_at(1) < d.throughput_at(4));
+        assert_eq!(d.throughput_at(4), d.throughput_at(8));
+        assert_eq!(d.scheduler_slots(), 4);
+    }
+
+    #[test]
+    fn presets_match_paper_shape() {
+        let m = MachineSpec::m2_4xlarge();
+        assert_eq!(m.cores, 8);
+        assert_eq!(m.disks.len(), 2);
+        assert_eq!(m.disk_slots(), 2);
+        let s = MachineSpec::i2_2xlarge(2);
+        assert_eq!(s.disk_slots(), 8);
+        let c = ClusterSpec::new(20, m);
+        assert_eq!(c.total_cores(), 160);
+        assert_eq!(c.total_disks(), 40);
+    }
+}

@@ -1,0 +1,180 @@
+//! Property tests for the coupled fluid allocator: capacities hold, work is
+//! conserved, progressive filling never starves a stream, and completion
+//! times respect physical lower bounds.
+
+use cluster::{DiskId, DiskSpec, FluidMachine, MachineSpec, StreamDemand, StreamId};
+use proptest::prelude::*;
+use simcore::SimTime;
+
+const MIB: f64 = 1024.0 * 1024.0;
+
+fn machine(cores: u32, n_disks: usize) -> FluidMachine {
+    FluidMachine::new(MachineSpec {
+        cores,
+        memory: 4096.0 * MIB,
+        disks: vec![DiskSpec::hdd(); n_disks],
+        nic: 125.0 * MIB,
+    })
+}
+
+#[derive(Clone, Debug)]
+struct RandDemand {
+    cpu: f64,
+    disk_read: f64,
+    disk_write: f64,
+    rx: f64,
+    disk: usize,
+}
+
+fn demand_strategy() -> impl Strategy<Value = RandDemand> {
+    (
+        0.0f64..4.0,
+        0.0f64..(256.0 * MIB),
+        0.0f64..(256.0 * MIB),
+        0.0f64..(256.0 * MIB),
+        0usize..2,
+    )
+        .prop_map(|(cpu, disk_read, disk_write, rx, disk)| RandDemand {
+            cpu,
+            disk_read,
+            disk_write,
+            rx,
+            disk,
+        })
+        .prop_filter("demand must be positive", |d| {
+            d.cpu + d.disk_read + d.disk_write + d.rx > 0.01
+        })
+}
+
+fn build(d: &RandDemand, n_disks: usize) -> StreamDemand {
+    let mut sd = StreamDemand::zero(n_disks);
+    sd.cpu = d.cpu;
+    sd.disk_read[d.disk % n_disks] = d.disk_read;
+    sd.disk_write[d.disk % n_disks] = d.disk_write;
+    sd.rx = d.rx;
+    sd
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn all_streams_complete_and_busy_fractions_stay_bounded(
+        demands in prop::collection::vec(demand_strategy(), 1..24),
+        cores in 1u32..16,
+    ) {
+        let mut m = machine(cores, 2);
+        for (i, d) in demands.iter().enumerate() {
+            m.insert(SimTime::ZERO, StreamId(i as u64), build(d, 2));
+        }
+        prop_assert!(m.cpu_busy() <= 1.0 + 1e-9);
+        prop_assert!(m.rx_busy() <= 1.0 + 1e-9);
+        let mut now = SimTime::ZERO;
+        let mut done = 0;
+        let mut guard = 0;
+        while done < demands.len() {
+            let t = m.next_completion(now).expect("active streams progress");
+            prop_assert!(t >= now);
+            now = t;
+            m.advance(now);
+            done += m.take_completed(now).len();
+            prop_assert!(m.cpu_busy() <= 1.0 + 1e-9);
+            prop_assert!(m.disk_busy(DiskId(0)) <= 1.0 + 1e-9);
+            prop_assert!(m.disk_busy(DiskId(1)) <= 1.0 + 1e-9);
+            prop_assert!(m.rx_busy() <= 1.0 + 1e-9);
+            guard += 1;
+            prop_assert!(guard < 10_000, "allocator did not converge");
+        }
+        prop_assert_eq!(m.active_streams(), 0);
+    }
+
+    #[test]
+    fn completion_respects_single_thread_and_device_bounds(
+        d in demand_strategy(),
+        cores in 1u32..16,
+    ) {
+        let mut m = machine(cores, 2);
+        m.insert(SimTime::ZERO, StreamId(0), build(&d, 2));
+        let t = m.next_completion(SimTime::ZERO).expect("one stream");
+        let secs = t.as_secs_f64();
+        // A lone stream contends with nobody — but a stream that reads *and*
+        // writes the same spinning disk seeks between the regions, so the
+        // device capacity is the mixed-traffic one.
+        let spec = DiskSpec::hdd();
+        let disk_cap = spec.throughput_at_rw(
+            usize::from(d.disk_read > 0.0),
+            usize::from(d.disk_write > 0.0),
+        );
+        let lower = d
+            .cpu
+            .max((d.disk_read + d.disk_write) / disk_cap)
+            .max(d.rx / (125.0 * MIB));
+        prop_assert!(
+            secs >= lower * (1.0 - 1e-9),
+            "finished in {secs}s, bound {lower}s"
+        );
+        // And no slower than 1.001x the bound (it is alone on the machine).
+        prop_assert!(secs <= lower * 1.001 + 1e-6);
+    }
+
+    #[test]
+    fn equal_streams_finish_together(
+        d in demand_strategy(),
+        n in 2usize..10,
+    ) {
+        let mut m = machine(4, 2);
+        for i in 0..n {
+            m.insert(SimTime::ZERO, StreamId(i as u64), build(&d, 2));
+        }
+        let t = m.next_completion(SimTime::ZERO).expect("streams active");
+        m.advance(t);
+        let done = m.take_completed(t);
+        prop_assert_eq!(done.len(), n, "identical streams must tie");
+    }
+
+    #[test]
+    fn no_stream_starves_under_progressive_filling(
+        demands in prop::collection::vec(demand_strategy(), 2..16),
+    ) {
+        let mut m = machine(2, 2);
+        for (i, d) in demands.iter().enumerate() {
+            m.insert(SimTime::ZERO, StreamId(i as u64), build(d, 2));
+        }
+        for i in 0..demands.len() {
+            let rate = m.rate(StreamId(i as u64)).expect("stream exists");
+            prop_assert!(rate > 0.0, "stream {i} starved");
+        }
+    }
+
+    #[test]
+    fn removing_a_monotask_never_slows_other_monotasks(
+        // Single-resource streams only: for *coupled* streams the property is
+        // genuinely false — removing a disk competitor can speed a coupled
+        // stream up, making it compete harder on the network and slow a
+        // third stream down. Monotasks (one resource each) are monotone.
+        kinds in prop::collection::vec((0usize..4, 0usize..2), 2..12),
+    ) {
+        let mut m = machine(2, 2);
+        for (i, (kind, disk)) in kinds.iter().enumerate() {
+            let d = match kind {
+                0 => StreamDemand::cpu_only(1.0, 2),
+                1 => StreamDemand::disk_read_only(DiskId(*disk), 64.0 * MIB, 2),
+                2 => StreamDemand::disk_write_only(DiskId(*disk), 64.0 * MIB, 2),
+                _ => StreamDemand::rx_only(64.0 * MIB, 2),
+            };
+            m.insert(SimTime::ZERO, StreamId(i as u64), d);
+        }
+        let before: Vec<f64> = (1..kinds.len())
+            .map(|i| m.rate(StreamId(i as u64)).unwrap())
+            .collect();
+        m.remove(SimTime::ZERO, StreamId(0));
+        for (idx, i) in (1..kinds.len()).enumerate() {
+            let after = m.rate(StreamId(i as u64)).unwrap();
+            prop_assert!(
+                after >= before[idx] * (1.0 - 1e-6),
+                "monotask {i} slowed from {} to {after}",
+                before[idx]
+            );
+        }
+    }
+}

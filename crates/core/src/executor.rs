@@ -1,0 +1,1421 @@
+//! The MonoSpark executor: drives jobs decomposed into monotasks on a
+//! simulated cluster.
+//!
+//! The job scheduler "works in the same way as the Spark job scheduler, with
+//! one exception: more multitasks need to be concurrently assigned to each
+//! machine to fully utilize the machine's resources" (§3.4) — enough for
+//! every resource scheduler to be full, plus one extra multitask so the
+//! round-robin disk queues never idle while a replacement task is in flight.
+//! Concurrency is therefore *derived from the hardware*, not configured: this
+//! is the auto-configuration leveraged in §7.
+//!
+//! On each worker, the Local DAG Scheduler tracks monotask dependencies and
+//! hands ready monotasks to the per-resource schedulers
+//! ([`crate::scheduler`]); completed monotasks release their dependents. All
+//! timing flows into [`MonotaskRecord`]s.
+
+use cluster::{
+    ClusterSpec, FluidMachine, MachineId, ResourceSel, StreamDemand, StreamId, TraceSet,
+};
+use dataflow::{
+    BlockMap, InputSpec, JobId, JobReport, JobSpec, OutputSpec, StageId, StageReport, TaskId,
+};
+use simcore::{FlowAllocator, FlowId};
+use simcore::{ResourceKind, SimTime};
+
+use crate::decompose::{decompose, DecomposeCtx, SenderShare};
+use crate::metrics::{MonotaskRecord, Purpose};
+use crate::monotask::{MonoOp, MultitaskKey};
+use crate::scheduler::MachineScheduler;
+
+/// How the worker picks a disk for a multitask's output write.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum DiskChoice {
+    /// Rotate across disks independent of load (the paper's implementation;
+    /// §8 notes its limitation).
+    #[default]
+    RoundRobin,
+    /// Write to the disk with the shortest monotask queue — §8's suggested
+    /// improvement ("a better strategy would consider the load on each disk
+    /// … for example, writing to the disk with the shorter queue").
+    ShortestQueue,
+}
+
+/// How the job scheduler orders multiple concurrent jobs (§8: the multitask
+/// scheduler "could be used to implement more sophisticated policies, e.g.,
+/// to share machines between different users").
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum JobPolicy {
+    /// Interleave jobs fairly at task-assignment granularity.
+    #[default]
+    Fair,
+    /// Serve jobs strictly in submission order.
+    Fifo,
+}
+
+/// Configuration of the monotasks executor. Defaults are the paper's choices;
+/// the knobs exist for the ablation benchmarks and the §8 extensions.
+#[derive(Clone, Debug)]
+pub struct MonoConfig {
+    /// Receiver-side limit on concurrently-fetching multitasks (§3.3: 4).
+    pub net_outstanding: usize,
+    /// Assign one extra multitask beyond the resource slots (§3.4).
+    pub extra_multitask: bool,
+    /// Round-robin disk queues between reads and writes (§3.3).
+    pub rr_disk_queues: bool,
+    /// Override the per-machine multitask concurrency (None = auto).
+    pub concurrency_override: Option<usize>,
+    /// Override each SSD's scheduler slots (None = the device queue depth).
+    pub ssd_slots_override: Option<usize>,
+    /// Disk selection for output writes.
+    pub write_disk_choice: DiskChoice,
+    /// Ordering of concurrent jobs.
+    pub job_policy: JobPolicy,
+    /// §3.5 memory regulation: when a machine's in-flight monotask buffers
+    /// exceed this fraction of its RAM, its disk queues prefer writes so
+    /// buffered data drains. `None` (the paper's implementation) disables
+    /// regulation.
+    pub memory_limit_fraction: Option<f64>,
+    /// Model the network as a full-duplex max-min fair fabric (sender *and*
+    /// receiver links constrain each transfer) instead of receiver-side
+    /// bandwidth only. Symmetric all-to-all shuffles behave identically
+    /// either way; asymmetric traffic (hot senders) needs the fabric.
+    pub full_duplex_network: bool,
+    /// Safety valve on simulation iterations.
+    pub max_steps: u64,
+}
+
+impl Default for MonoConfig {
+    fn default() -> Self {
+        MonoConfig {
+            net_outstanding: 4,
+            extra_multitask: true,
+            rr_disk_queues: true,
+            concurrency_override: None,
+            ssd_slots_override: None,
+            write_disk_choice: DiskChoice::RoundRobin,
+            job_policy: JobPolicy::Fair,
+            memory_limit_fraction: None,
+            full_duplex_network: false,
+            max_steps: 50_000_000,
+        }
+    }
+}
+
+/// Everything a monotasks run produces.
+#[derive(Debug)]
+pub struct MonoRunOutput {
+    /// Per-job reports (same order as submitted).
+    pub jobs: Vec<JobReport>,
+    /// Every completed monotask.
+    pub records: Vec<MonotaskRecord>,
+    /// Cluster utilization traces.
+    pub traces: TraceSet,
+    /// Per-machine scheduler queue lengths over time (§3.1's visible
+    /// contention), sampled at every simulation step.
+    pub queue_trace: Vec<crate::metrics::QueueSnapshot>,
+    /// Peak bytes of in-flight monotask buffers per machine (the memory
+    /// cost §3.5 discusses).
+    pub peak_buffered: Vec<f64>,
+    /// Time of the last completion.
+    pub makespan: SimTime,
+}
+
+/// Phase of a network-fetch monotask's tiny internal chain.
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum NetPhase {
+    /// Waiting for the receiver's network scheduler to admit the group.
+    Waiting,
+    /// The remote disk-read monotask is queued or running on the sender.
+    RemoteRead,
+    /// Bytes are flowing to the receiver.
+    Transfer,
+}
+
+#[derive(Debug)]
+struct MonoNode {
+    op: MonoOp,
+    purpose: Purpose,
+    deps_remaining: usize,
+    dependents: Vec<usize>,
+    queued: SimTime,
+    started: SimTime,
+    serve_queued: SimTime,
+    serve_started: SimTime,
+    net_phase: NetPhase,
+    done: bool,
+}
+
+#[derive(Debug)]
+struct MtState {
+    key: MultitaskKey,
+    machine: usize,
+    nodes: Vec<MonoNode>,
+    remaining: usize,
+    fetches_outstanding: usize,
+}
+
+#[derive(Debug)]
+struct StageRun {
+    ready: bool,
+    done: bool,
+    total: usize,
+    completed: usize,
+    /// Pending tasks preferring each machine.
+    by_pref: Vec<Vec<u32>>,
+    /// Pending tasks with no locality preference.
+    nopref: Vec<u32>,
+    started: Option<SimTime>,
+    ended: Option<SimTime>,
+    /// Shuffle bytes produced on each machine by completed tasks.
+    shuffle_by_machine: Vec<f64>,
+    /// Whether this stage's shuffle output stays in memory.
+    shuffle_in_memory: bool,
+}
+
+#[derive(Debug)]
+struct JobRun {
+    id: JobId,
+    spec: JobSpec,
+    blocks: BlockMap,
+    stages: Vec<StageRun>,
+    done: bool,
+    end: SimTime,
+}
+
+struct Mach {
+    fluid: FluidMachine,
+    sched: MachineScheduler,
+    assigned: usize,
+    write_cursor: usize,
+    serve_cursor: usize,
+    /// Bytes of monotask buffers currently in memory.
+    buffered: f64,
+    peak_buffered: f64,
+}
+
+struct Exec {
+    cfg: MonoConfig,
+    target: usize,
+    machines: Vec<Mach>,
+    jobs: Vec<JobRun>,
+    mts: Vec<MtState>,
+    records: Vec<MonotaskRecord>,
+    traces: TraceSet,
+    queue_trace: Vec<crate::metrics::QueueSnapshot>,
+    /// Full-duplex network fabric (when `cfg.full_duplex_network`).
+    fabric: Option<FlowAllocator>,
+    now: SimTime,
+    rr_job: usize,
+}
+
+/// Encodes a `(multitask, node)` reference as a fluid stream id.
+fn stream_id(mt: usize, node: usize) -> StreamId {
+    debug_assert!(node < (1 << 16));
+    StreamId(((mt as u64) << 16) | node as u64)
+}
+
+fn decode(id: StreamId) -> (usize, usize) {
+    ((id.0 >> 16) as usize, (id.0 & 0xFFFF) as usize)
+}
+
+/// Runs `jobs` to completion on a simulated `cluster` under the monotasks
+/// architecture, returning reports, monotask records, and utilization traces.
+///
+/// # Examples
+///
+/// ```
+/// use cluster::{ClusterSpec, MachineSpec};
+/// use dataflow::{BlockMap, CostModel, JobBuilder};
+///
+/// let gib = 1024.0 * 1024.0 * 1024.0;
+/// let job = JobBuilder::new("sort", CostModel::spark_1_3())
+///     .read_disk(gib, 1e7, gib / 16.0)
+///     .map(1.0, 1.0, true)
+///     .shuffle(16, false)
+///     .map(1.0, 1.0, true)
+///     .write_disk(1.0);
+/// let blocks = BlockMap::round_robin(16, 4, 2);
+/// let cluster = ClusterSpec::new(4, MachineSpec::m2_4xlarge());
+///
+/// let out = monotasks_core::run(&cluster, &[(job, blocks)], &Default::default());
+/// assert_eq!(out.jobs.len(), 1);
+/// assert!(out.jobs[0].duration_secs() > 0.0);
+/// // Every monotask used exactly one resource and reported its timing.
+/// assert!(!out.records.is_empty());
+/// ```
+///
+/// # Panics
+///
+/// Panics if a job spec fails validation or the simulation deadlocks (which
+/// would indicate an executor bug, not a user error).
+pub fn run(cluster: &ClusterSpec, jobs: &[(JobSpec, BlockMap)], cfg: &MonoConfig) -> MonoRunOutput {
+    for (spec, _) in jobs {
+        if let Err(e) = spec.validate() {
+            panic!("invalid job spec {:?}: {e}", spec.name);
+        }
+    }
+    let n_machines = cluster.machines;
+    let disk_slots: Vec<usize> = cluster
+        .machine
+        .disks
+        .iter()
+        .map(|d| match (d.kind, cfg.ssd_slots_override) {
+            (cluster::DiskKind::Ssd, Some(s)) => s.max(1),
+            _ => d.scheduler_slots(),
+        })
+        .collect();
+    let auto_target = cluster.machine.cores as usize
+        + disk_slots.iter().sum::<usize>()
+        + cfg.net_outstanding
+        + usize::from(cfg.extra_multitask);
+    let target = cfg.concurrency_override.unwrap_or(auto_target).max(1);
+
+    let machines = (0..n_machines)
+        .map(|_| Mach {
+            fluid: FluidMachine::new(cluster.machine.clone()),
+            sched: MachineScheduler::new(
+                cluster.machine.cores as usize,
+                &disk_slots,
+                cfg.net_outstanding,
+                cfg.rr_disk_queues,
+            ),
+            assigned: 0,
+            write_cursor: 0,
+            serve_cursor: 0,
+            buffered: 0.0,
+            peak_buffered: 0.0,
+        })
+        .collect();
+
+    let job_runs = jobs
+        .iter()
+        .enumerate()
+        .map(|(ji, (spec, blocks))| {
+            let stages = spec
+                .stages
+                .iter()
+                .map(|st| {
+                    let shuffle_in_memory = st.tasks.iter().any(|t| {
+                        matches!(
+                            t.output,
+                            OutputSpec::ShuffleWrite {
+                                in_memory: true,
+                                ..
+                            }
+                        )
+                    });
+                    StageRun {
+                        ready: false,
+                        done: false,
+                        total: st.tasks.len(),
+                        completed: 0,
+                        by_pref: vec![Vec::new(); n_machines],
+                        nopref: Vec::new(),
+                        started: None,
+                        ended: None,
+                        shuffle_by_machine: vec![0.0; n_machines],
+                        shuffle_in_memory,
+                    }
+                })
+                .collect();
+            JobRun {
+                id: JobId(ji as u32),
+                spec: spec.clone(),
+                blocks: blocks.clone(),
+                stages,
+                done: false,
+                end: SimTime::ZERO,
+            }
+        })
+        .collect();
+
+    let mut exec = Exec {
+        cfg: cfg.clone(),
+        target,
+        machines,
+        jobs: job_runs,
+        mts: Vec::new(),
+        records: Vec::new(),
+        traces: TraceSet::new(),
+        queue_trace: Vec::new(),
+        fabric: if cfg.full_duplex_network {
+            Some(FlowAllocator::new(
+                n_machines,
+                cluster.machine.nic,
+                cluster.machine.nic,
+            ))
+        } else {
+            None
+        },
+        now: SimTime::ZERO,
+        rr_job: 0,
+    };
+    exec.prime();
+    exec.main_loop();
+    exec.into_output()
+}
+
+impl Exec {
+    fn n_machines(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Marks root stages ready and populates their pending queues.
+    fn prime(&mut self) {
+        for ji in 0..self.jobs.len() {
+            for si in 0..self.jobs[ji].spec.stages.len() {
+                if self.jobs[ji].spec.stages[si].deps.is_empty() {
+                    self.make_stage_ready(ji, si);
+                }
+            }
+        }
+    }
+
+    fn make_stage_ready(&mut self, ji: usize, si: usize) {
+        let n_machines = self.n_machines();
+        let job = &mut self.jobs[ji];
+        let stage_spec = &job.spec.stages[si];
+        let run = &mut job.stages[si];
+        debug_assert!(!run.ready);
+        run.ready = true;
+        for (ti, task) in stage_spec.tasks.iter().enumerate() {
+            match task.input {
+                InputSpec::DiskBlock { block, .. } => {
+                    let m = job.blocks.machine_of(block);
+                    run.by_pref[m].push(ti as u32);
+                }
+                InputSpec::Memory { .. } => {
+                    run.by_pref[ti % n_machines].push(ti as u32);
+                }
+                InputSpec::None | InputSpec::ShuffleFetch { .. } => {
+                    run.nopref.push(ti as u32);
+                }
+            }
+        }
+        // Queues are popped from the back; reverse so low task ids go first.
+        for q in &mut run.by_pref {
+            q.reverse();
+        }
+        run.nopref.reverse();
+    }
+
+    fn main_loop(&mut self) {
+        let mut steps: u64 = 0;
+        loop {
+            // Dispatch to fixpoint: assignment opens queues, queues fill slots,
+            // remote enqueues open other machines' disks, and so on.
+            loop {
+                let mut changed = self.assign_tasks();
+                changed |= self.dispatch_all();
+                if !changed {
+                    break;
+                }
+            }
+            if let Some(fabric) = &mut self.fabric {
+                fabric.advance(self.now);
+            }
+            for m in 0..self.n_machines() {
+                self.machines[m].fluid.advance(self.now);
+                self.traces
+                    .snapshot(self.now, MachineId(m), &self.machines[m].fluid);
+                if let Some(fabric) = &self.fabric {
+                    // In fabric mode the NIC utilization lives on the fabric.
+                    self.traces.set(
+                        self.now,
+                        MachineId(m),
+                        ResourceSel::Network,
+                        fabric.rx_busy_fraction(m).min(1.0),
+                    );
+                }
+                let (cpu_q, disk_q, net_q) = self.machines[m].sched.queue_lengths();
+                self.queue_trace.push(crate::metrics::QueueSnapshot {
+                    time: self.now,
+                    machine: m,
+                    cpu_queued: cpu_q,
+                    disk_queued: disk_q,
+                    net_queued: net_q,
+                });
+            }
+            // Next completion anywhere.
+            let mut next: Option<SimTime> = None;
+            for m in &self.machines {
+                if let Some(t) = m.fluid.next_completion(self.now) {
+                    next = Some(match next {
+                        Some(b) => b.min(t),
+                        None => t,
+                    });
+                }
+            }
+            if let Some(fabric) = &self.fabric {
+                if let Some(t) = fabric.next_completion(self.now) {
+                    next = Some(match next {
+                        Some(b) => b.min(t),
+                        None => t,
+                    });
+                }
+            }
+            let Some(t) = next else {
+                assert!(
+                    self.jobs.iter().all(|j| j.done),
+                    "monotasks executor deadlocked at {:?}: no runnable work but jobs unfinished",
+                    self.now
+                );
+                break;
+            };
+            self.now = t;
+            if let Some(fabric) = &mut self.fabric {
+                fabric.advance(t);
+                let done: Vec<FlowId> = fabric.take_completed(t);
+                for fid in done {
+                    let (mt, node) = decode(StreamId(fid.0));
+                    self.on_stream_done(mt, node);
+                }
+            }
+            for m in 0..self.n_machines() {
+                self.machines[m].fluid.advance(t);
+                let done = self.machines[m].fluid.take_completed(t);
+                for sid in done {
+                    let (mt, node) = decode(sid);
+                    self.on_stream_done(mt, node);
+                }
+            }
+            steps += 1;
+            assert!(
+                steps <= self.cfg.max_steps,
+                "monotasks executor exceeded {} steps",
+                self.cfg.max_steps
+            );
+        }
+    }
+
+    /// Assigns pending multitasks to machines below the concurrency target.
+    fn assign_tasks(&mut self) -> bool {
+        // One task per machine per sweep, so load spreads evenly and a
+        // machine exhausts its *local* tasks before any machine steals them.
+        let mut changed = false;
+        loop {
+            let mut assigned_any = false;
+            for m in 0..self.n_machines() {
+                // A machine under memory pressure takes no new multitasks
+                // (§3.5: schedulers prioritize by remaining memory); it has
+                // work in flight by construction, so this cannot stall it.
+                if self.machines[m].assigned < self.target
+                    && !(self.machines[m].sched.prefer_writes() && self.machines[m].assigned > 0)
+                {
+                    if let Some((ji, si, ti)) = self.pick_task(m) {
+                        self.start_multitask(m, ji, si, ti);
+                        assigned_any = true;
+                        changed = true;
+                    }
+                }
+            }
+            if !assigned_any {
+                break;
+            }
+        }
+        changed
+    }
+
+    /// Chooses the next task for machine `m`: a local task from any ready
+    /// stage (jobs ordered per [`JobPolicy`]), else any pending task.
+    fn pick_task(&mut self, m: usize) -> Option<(usize, usize, usize)> {
+        let n_jobs = self.jobs.len();
+        let offset = match self.cfg.job_policy {
+            JobPolicy::Fair => self.rr_job,
+            JobPolicy::Fifo => 0,
+        };
+        // Pass 1: locality.
+        for jo in 0..n_jobs {
+            let ji = (offset + jo) % n_jobs;
+            for si in 0..self.jobs[ji].stages.len() {
+                let run = &mut self.jobs[ji].stages[si];
+                if !run.ready || run.done {
+                    continue;
+                }
+                if let Some(ti) = run.by_pref[m].pop() {
+                    self.rr_job = ji + 1;
+                    return Some((ji, si, ti as usize));
+                }
+            }
+        }
+        // Pass 2: anything pending (no-pref first, then steal remote-local).
+        for jo in 0..n_jobs {
+            let ji = (offset + jo) % n_jobs;
+            for si in 0..self.jobs[ji].stages.len() {
+                let run = &mut self.jobs[ji].stages[si];
+                if !run.ready || run.done {
+                    continue;
+                }
+                if let Some(ti) = run.nopref.pop() {
+                    self.rr_job = ji + 1;
+                    return Some((ji, si, ti as usize));
+                }
+                for q in &mut run.by_pref {
+                    if let Some(ti) = q.pop() {
+                        self.rr_job = ji + 1;
+                        return Some((ji, si, ti as usize));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Builds the monotask DAG for one task and enqueues its roots.
+    fn start_multitask(&mut self, m: usize, ji: usize, si: usize, ti: usize) {
+        let n_disks = self.machines[m].fluid.spec().disks.len();
+        let task = self.jobs[ji].spec.stages[si].tasks[ti];
+        let input_disk = match task.input {
+            InputSpec::DiskBlock { block, .. } => self.jobs[ji].blocks.disk_of(block),
+            _ => 0,
+        };
+        let write_disk = if n_disks > 0 {
+            match self.cfg.write_disk_choice {
+                DiskChoice::RoundRobin => {
+                    let c = self.machines[m].write_cursor;
+                    self.machines[m].write_cursor = c + 1;
+                    c % n_disks
+                }
+                DiskChoice::ShortestQueue => {
+                    let (_, disk_qs, _) = self.machines[m].sched.queue_lengths();
+                    disk_qs
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, q)| **q)
+                        .map(|(d, _)| d)
+                        .unwrap_or(0)
+                }
+            }
+        } else {
+            0
+        };
+        let senders = match task.input {
+            InputSpec::ShuffleFetch { bytes } => self.sender_shares(ji, si, bytes),
+            _ => Vec::new(),
+        };
+        let ctx = DecomposeCtx {
+            machine: m,
+            input_disk,
+            write_disk,
+            senders,
+        };
+        let dag = decompose(&task, &ctx);
+        let mt_idx = self.mts.len();
+        let nodes: Vec<MonoNode> = dag
+            .nodes
+            .into_iter()
+            .map(|n| MonoNode {
+                op: n.op,
+                purpose: n.purpose,
+                deps_remaining: n.deps_remaining,
+                dependents: n.dependents,
+                queued: self.now,
+                started: self.now,
+                serve_queued: self.now,
+                serve_started: self.now,
+                net_phase: NetPhase::Waiting,
+                done: false,
+            })
+            .collect();
+        let remaining = nodes.len();
+        self.mts.push(MtState {
+            key: MultitaskKey {
+                job: JobId(ji as u32),
+                stage: StageId(si as u32),
+                task: TaskId(ti as u32),
+            },
+            machine: m,
+            nodes,
+            remaining,
+            fetches_outstanding: 0,
+        });
+        self.machines[m].assigned += 1;
+        let run = &mut self.jobs[ji].stages[si];
+        if run.started.is_none() {
+            run.started = Some(self.now);
+        }
+        // Enqueue DAG roots.
+        let root_ids: Vec<usize> = self.mts[mt_idx]
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.deps_remaining == 0)
+            .map(|(i, _)| i)
+            .collect();
+        let mut has_fetches = false;
+        for node in root_ids {
+            match self.mts[mt_idx].nodes[node].op {
+                MonoOp::NetFetch { .. } => {
+                    has_fetches = true;
+                    self.mts[mt_idx].fetches_outstanding += 1;
+                }
+                _ => self.enqueue_node(mt_idx, node),
+            }
+        }
+        if has_fetches {
+            self.machines[m].sched.enqueue_net_group(mt_idx);
+        }
+    }
+
+    /// Per-sender shuffle shares for task of `(job, stage)` fetching `bytes`.
+    fn sender_shares(&mut self, ji: usize, si: usize, _bytes: f64) -> Vec<SenderShare> {
+        let n_machines = self.n_machines();
+        let n_tasks = self.jobs[ji].spec.stages[si].tasks.len() as f64;
+        let deps = self.jobs[ji].spec.stages[si].deps.clone();
+        let mut shares: Vec<SenderShare> = Vec::new();
+        for dep in deps {
+            let drun = &self.jobs[ji].stages[dep.0 as usize];
+            debug_assert!(drun.done, "fetching from unfinished stage");
+            let total: f64 = drun.shuffle_by_machine.iter().sum();
+            if total <= 0.0 {
+                continue;
+            }
+            let per_task = total / n_tasks;
+            let via_disk = !drun.shuffle_in_memory;
+            for s in 0..n_machines {
+                let frac = drun.shuffle_by_machine[s] / total;
+                let b = per_task * frac;
+                if b <= 0.0 {
+                    continue;
+                }
+                let disk = {
+                    let nd = self.machines[s].fluid.spec().disks.len().max(1);
+                    let c = self.machines[s].serve_cursor;
+                    self.machines[s].serve_cursor = c + 1;
+                    c % nd
+                };
+                shares.push(SenderShare {
+                    machine: s,
+                    disk,
+                    bytes: b,
+                    via_disk,
+                });
+            }
+        }
+        shares
+    }
+
+    /// Queues a ready non-fetch monotask on its resource scheduler.
+    fn enqueue_node(&mut self, mt: usize, node: usize) {
+        self.mts[mt].nodes[node].queued = self.now;
+        let machine = self.mts[mt].machine;
+        match self.mts[mt].nodes[node].op {
+            MonoOp::Compute { .. } => self.machines[machine].sched.enqueue_cpu((mt, node)),
+            MonoOp::DiskRead { disk, .. } => {
+                self.machines[machine]
+                    .sched
+                    .enqueue_disk(disk, (mt, node), false)
+            }
+            MonoOp::DiskWrite { disk, .. } => {
+                self.machines[machine]
+                    .sched
+                    .enqueue_disk(disk, (mt, node), true)
+            }
+            MonoOp::NetFetch { .. } => unreachable!("fetches are admitted as groups"),
+        }
+    }
+
+    /// Admits queued monotasks wherever slots are free. Returns whether any
+    /// state changed.
+    fn dispatch_all(&mut self) -> bool {
+        let mut changed = false;
+        for m in 0..self.n_machines() {
+            while let Some((mt, node)) = self.machines[m].sched.pop_cpu() {
+                self.start_cpu(m, mt, node);
+                changed = true;
+            }
+            for d in 0..self.machines[m].sched.n_disks() {
+                loop {
+                    let popped = if self.machines[m].sched.prefer_writes() {
+                        // Under §3.5 memory pressure, admit reads only when
+                        // the machine is otherwise idle (progress guarantee).
+                        let idle = self.machines[m].fluid.active_streams() == 0;
+                        self.machines[m].sched.pop_disk_pressured(d, idle)
+                    } else {
+                        self.machines[m].sched.pop_disk(d)
+                    };
+                    let Some((mt, node)) = popped else { break };
+                    self.start_disk(m, d, mt, node);
+                    changed = true;
+                }
+            }
+            while let Some(mt) = self.machines[m].sched.pop_net_group() {
+                self.start_fetch_group(mt);
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    fn start_cpu(&mut self, machine: usize, mt: usize, node: usize) {
+        let work = match self.mts[mt].nodes[node].op {
+            MonoOp::Compute { work } => work,
+            ref op => panic!("CPU scheduler admitted non-compute monotask {op:?}"),
+        };
+        self.mts[mt].nodes[node].started = self.now;
+        let n_disks = self.machines[machine].fluid.spec().disks.len();
+        self.machines[machine].fluid.insert(
+            self.now,
+            stream_id(mt, node),
+            StreamDemand::cpu_only(work.total().max(1e-9), n_disks),
+        );
+    }
+
+    fn start_disk(&mut self, machine: usize, disk: usize, mt: usize, node: usize) {
+        let n_disks = self.machines[machine].fluid.spec().disks.len();
+        let (bytes, is_write) = match self.mts[mt].nodes[node].op {
+            MonoOp::DiskRead { bytes, .. } => {
+                self.mts[mt].nodes[node].started = self.now;
+                // Reserve the read buffer up front: the memory is committed
+                // the moment the monotask is admitted (§3.5 accounting).
+                self.adjust_buffered(machine, bytes);
+                (bytes, false)
+            }
+            MonoOp::DiskWrite { bytes, .. } => {
+                self.mts[mt].nodes[node].started = self.now;
+                (bytes, true)
+            }
+            MonoOp::NetFetch { bytes, .. } => {
+                // The remote serve read on the sender's disk.
+                debug_assert_eq!(self.mts[mt].nodes[node].net_phase, NetPhase::RemoteRead);
+                self.mts[mt].nodes[node].serve_started = self.now;
+                (bytes, false)
+            }
+            MonoOp::Compute { .. } => panic!("disk scheduler admitted a compute monotask"),
+        };
+        let demand = if is_write {
+            StreamDemand::disk_write_only(cluster::DiskId(disk), bytes.max(1e-9), n_disks)
+        } else {
+            StreamDemand::disk_read_only(cluster::DiskId(disk), bytes.max(1e-9), n_disks)
+        };
+        self.machines[machine]
+            .fluid
+            .insert(self.now, stream_id(mt, node), demand);
+    }
+
+    /// The receiver's network scheduler admitted multitask `mt`'s fetches.
+    fn start_fetch_group(&mut self, mt: usize) {
+        let fetch_nodes: Vec<usize> = self.mts[mt]
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| matches!(n.op, MonoOp::NetFetch { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        debug_assert!(!fetch_nodes.is_empty());
+        // Reserve the whole group's receive buffers at admission (§3.5).
+        let group_bytes: f64 = fetch_nodes
+            .iter()
+            .map(|n| self.mts[mt].nodes[*n].op.bytes())
+            .sum();
+        let machine = self.mts[mt].machine;
+        self.adjust_buffered(machine, group_bytes);
+        for node in fetch_nodes {
+            match self.mts[mt].nodes[node].op {
+                MonoOp::NetFetch {
+                    from,
+                    remote_disk,
+                    via_disk,
+                    ..
+                } => {
+                    if via_disk {
+                        self.mts[mt].nodes[node].net_phase = NetPhase::RemoteRead;
+                        self.mts[mt].nodes[node].serve_queued = self.now;
+                        self.machines[from]
+                            .sched
+                            .enqueue_disk(remote_disk, (mt, node), false);
+                    } else {
+                        self.start_transfer(mt, node);
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    /// Begins the receive stream of a fetch (after any remote read): an
+    /// rx-only fluid stream on the receiver, or a sender+receiver flow on
+    /// the max-min fabric in full-duplex mode.
+    fn start_transfer(&mut self, mt: usize, node: usize) {
+        let bytes = self.mts[mt].nodes[node].op.bytes();
+        self.mts[mt].nodes[node].net_phase = NetPhase::Transfer;
+        self.mts[mt].nodes[node].started = self.now;
+        let machine = self.mts[mt].machine;
+        if let Some(fabric) = &mut self.fabric {
+            let from = match self.mts[mt].nodes[node].op {
+                MonoOp::NetFetch { from, .. } => from,
+                _ => unreachable!("transfer on non-fetch node"),
+            };
+            fabric.insert(
+                self.now,
+                FlowId(stream_id(mt, node).0),
+                from,
+                machine,
+                bytes.max(1e-9),
+            );
+            return;
+        }
+        let n_disks = self.machines[machine].fluid.spec().disks.len();
+        self.machines[machine].fluid.insert(
+            self.now,
+            stream_id(mt, node),
+            StreamDemand::rx_only(bytes.max(1e-9), n_disks),
+        );
+    }
+
+    /// A fluid stream finished: route by monotask kind and phase.
+    fn on_stream_done(&mut self, mt: usize, node: usize) {
+        let op = self.mts[mt].nodes[node].op;
+        match op {
+            MonoOp::Compute { work } => {
+                let machine = self.mts[mt].machine;
+                self.machines[machine].sched.finish_cpu();
+                // The compute consumed its input buffers and produced its
+                // serialized output buffer.
+                let consumed: f64 = self.mts[mt]
+                    .nodes
+                    .iter()
+                    .filter(|n| matches!(n.op, MonoOp::DiskRead { .. } | MonoOp::NetFetch { .. }))
+                    .map(|n| n.op.bytes())
+                    .sum();
+                let produced: f64 = self.mts[mt]
+                    .nodes
+                    .iter()
+                    .filter(|n| matches!(n.op, MonoOp::DiskWrite { .. }))
+                    .map(|n| n.op.bytes())
+                    .sum();
+                self.adjust_buffered(machine, produced - consumed);
+                self.emit(mt, node, machine, ResourceKind::Cpu, 0.0, Some(work));
+                self.complete_node(mt, node);
+            }
+            MonoOp::DiskRead {
+                machine,
+                disk,
+                bytes,
+            } => {
+                self.machines[machine].sched.finish_disk(disk, false);
+                self.emit(mt, node, machine, ResourceKind::Disk, bytes, None);
+                self.complete_node(mt, node);
+            }
+            MonoOp::DiskWrite {
+                machine,
+                disk,
+                bytes,
+            } => {
+                self.machines[machine].sched.finish_disk(disk, true);
+                self.adjust_buffered(machine, -bytes);
+                self.emit(mt, node, machine, ResourceKind::Disk, bytes, None);
+                self.complete_node(mt, node);
+            }
+            MonoOp::NetFetch {
+                from,
+                remote_disk,
+                bytes,
+                ..
+            } => match self.mts[mt].nodes[node].net_phase {
+                NetPhase::RemoteRead => {
+                    self.machines[from].sched.finish_disk(remote_disk, false);
+                    // Emit the serve read as its own record on the sender.
+                    let n = &self.mts[mt].nodes[node];
+                    self.records.push(MonotaskRecord {
+                        multitask: self.mts[mt].key,
+                        machine: from,
+                        resource: ResourceKind::Disk,
+                        purpose: Purpose::ReadShuffleServe,
+                        queued: n.serve_queued,
+                        started: n.serve_started,
+                        ended: self.now,
+                        bytes,
+                        cpu: None,
+                    });
+                    self.start_transfer(mt, node);
+                }
+                NetPhase::Transfer => {
+                    let machine = self.mts[mt].machine;
+                    self.emit(mt, node, machine, ResourceKind::Network, bytes, None);
+                    self.mts[mt].fetches_outstanding -= 1;
+                    if self.mts[mt].fetches_outstanding == 0 {
+                        self.machines[machine].sched.finish_net_group();
+                    }
+                    self.complete_node(mt, node);
+                }
+                NetPhase::Waiting => panic!("fetch completed while waiting"),
+            },
+        }
+    }
+
+    /// Adjusts a machine's in-flight buffer accounting and flips the §3.5
+    /// memory-pressure mode across its disk queues.
+    fn adjust_buffered(&mut self, machine: usize, delta: f64) {
+        let Some(limit_frac) = self.cfg.memory_limit_fraction else {
+            let mach = &mut self.machines[machine];
+            mach.buffered = (mach.buffered + delta).max(0.0);
+            mach.peak_buffered = mach.peak_buffered.max(mach.buffered);
+            return;
+        };
+        let limit = limit_frac * self.machines[machine].fluid.spec().memory;
+        let mach = &mut self.machines[machine];
+        mach.buffered = (mach.buffered + delta).max(0.0);
+        mach.peak_buffered = mach.peak_buffered.max(mach.buffered);
+        let pressured = mach.buffered > limit;
+        mach.sched.set_prefer_writes(pressured);
+    }
+
+    fn emit(
+        &mut self,
+        mt: usize,
+        node: usize,
+        machine: usize,
+        resource: ResourceKind,
+        bytes: f64,
+        cpu: Option<dataflow::CpuWork>,
+    ) {
+        let n = &self.mts[mt].nodes[node];
+        self.records.push(MonotaskRecord {
+            multitask: self.mts[mt].key,
+            machine,
+            resource,
+            purpose: n.purpose,
+            queued: n.queued,
+            started: n.started,
+            ended: self.now,
+            bytes,
+            cpu,
+        });
+    }
+
+    /// Marks a monotask done, releases dependents, and finishes the
+    /// multitask / stage / job when complete.
+    fn complete_node(&mut self, mt: usize, node: usize) {
+        debug_assert!(!self.mts[mt].nodes[node].done);
+        self.mts[mt].nodes[node].done = true;
+        let dependents = self.mts[mt].nodes[node].dependents.clone();
+        for d in dependents {
+            self.mts[mt].nodes[d].deps_remaining -= 1;
+            if self.mts[mt].nodes[d].deps_remaining == 0 {
+                debug_assert!(
+                    !matches!(self.mts[mt].nodes[d].op, MonoOp::NetFetch { .. }),
+                    "fetches must be DAG roots"
+                );
+                self.enqueue_node(mt, d);
+            }
+        }
+        self.mts[mt].remaining -= 1;
+        if self.mts[mt].remaining == 0 {
+            self.finish_multitask(mt);
+        }
+    }
+
+    fn finish_multitask(&mut self, mt: usize) {
+        let key = self.mts[mt].key;
+        let machine = self.mts[mt].machine;
+        self.machines[machine].assigned -= 1;
+        let ji = key.job.0 as usize;
+        let si = key.stage.0 as usize;
+        let task = self.jobs[ji].spec.stages[si].tasks[key.task.0 as usize];
+        {
+            let run = &mut self.jobs[ji].stages[si];
+            if let OutputSpec::ShuffleWrite { bytes, .. } = task.output {
+                run.shuffle_by_machine[machine] += bytes;
+            }
+            run.completed += 1;
+            if run.completed == run.total {
+                run.done = true;
+                run.ended = Some(self.now);
+            }
+        }
+        if self.jobs[ji].stages[si].done {
+            self.unlock_dependents(ji, si);
+            if self.jobs[ji].stages.iter().all(|s| s.done) {
+                self.jobs[ji].done = true;
+                self.jobs[ji].end = self.now;
+            }
+        }
+    }
+
+    /// Readies stages whose dependencies are now all complete.
+    fn unlock_dependents(&mut self, ji: usize, completed: usize) {
+        for si in 0..self.jobs[ji].spec.stages.len() {
+            let deps = &self.jobs[ji].spec.stages[si].deps;
+            if self.jobs[ji].stages[si].ready || !deps.iter().any(|d| d.0 as usize == completed) {
+                continue;
+            }
+            let all_done = deps.iter().all(|d| self.jobs[ji].stages[d.0 as usize].done);
+            if all_done {
+                self.make_stage_ready(ji, si);
+            }
+        }
+    }
+
+    fn into_output(self) -> MonoRunOutput {
+        let makespan = self.now;
+        let peak_buffered = self.machines.iter().map(|m| m.peak_buffered).collect();
+        let jobs = self
+            .jobs
+            .into_iter()
+            .map(|j| JobReport {
+                job: j.id,
+                name: j.spec.name.clone(),
+                start: SimTime::ZERO,
+                end: j.end,
+                stages: j
+                    .stages
+                    .iter()
+                    .enumerate()
+                    .map(|(si, s)| StageReport {
+                        stage: StageId(si as u32),
+                        start: s.started.expect("stage never started"),
+                        end: s.ended.expect("stage never ended"),
+                    })
+                    .collect(),
+            })
+            .collect();
+        MonoRunOutput {
+            jobs,
+            records: self.records,
+            traces: self.traces,
+            queue_trace: self.queue_trace,
+            peak_buffered,
+            makespan,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::MachineSpec;
+    use dataflow::CostModel;
+
+    const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+
+    fn small_cluster() -> ClusterSpec {
+        ClusterSpec::new(4, MachineSpec::m2_4xlarge())
+    }
+
+    fn sort_job(total_gib: f64, tasks: usize) -> (JobSpec, BlockMap) {
+        let total = total_gib * GIB;
+        let job = dataflow::JobBuilder::new("sort", CostModel::spark_1_3())
+            .read_disk(total, total / 100.0, total / tasks as f64)
+            .map(1.0, 1.0, true)
+            .shuffle(tasks, false)
+            .map(1.0, 1.0, true)
+            .write_disk(1.0);
+        let blocks = BlockMap::round_robin(tasks, 4, 2);
+        (job, blocks)
+    }
+
+    #[test]
+    fn sort_job_runs_to_completion() {
+        let (job, blocks) = sort_job(4.0, 32);
+        let out = run(&small_cluster(), &[(job, blocks)], &MonoConfig::default());
+        assert_eq!(out.jobs.len(), 1);
+        let report = &out.jobs[0];
+        assert_eq!(report.stages.len(), 2);
+        assert!(report.duration_secs() > 1.0, "{}", report.duration_secs());
+        // The reduce stage starts only after the map stage ends (barrier).
+        assert!(report.stages[1].start >= report.stages[0].end);
+        assert_eq!(out.makespan, report.end);
+    }
+
+    #[test]
+    fn every_monotask_kind_is_recorded() {
+        let (job, blocks) = sort_job(4.0, 32);
+        let out = run(&small_cluster(), &[(job, blocks)], &MonoConfig::default());
+        let has = |p: Purpose| out.records.iter().any(|r| r.purpose == p);
+        assert!(has(Purpose::Compute));
+        assert!(has(Purpose::ReadInput));
+        assert!(has(Purpose::WriteShuffle));
+        assert!(has(Purpose::ReadShuffleLocal));
+        assert!(has(Purpose::ReadShuffleServe));
+        assert!(has(Purpose::NetTransfer));
+        assert!(has(Purpose::WriteOutput));
+    }
+
+    #[test]
+    fn byte_accounting_is_conserved() {
+        let (job, blocks) = sort_job(2.0, 16);
+        let spec = job.clone();
+        let out = run(&small_cluster(), &[(job, blocks)], &MonoConfig::default());
+        let sum = |p: Purpose| -> f64 {
+            out.records
+                .iter()
+                .filter(|r| r.purpose == p)
+                .map(|r| r.bytes)
+                .sum()
+        };
+        let input: f64 = spec.stages[0].tasks.iter().map(|t| t.input.bytes()).sum();
+        assert!((sum(Purpose::ReadInput) - input).abs() / input < 1e-9);
+        let shuffle = spec.stages[0].total_shuffle_write();
+        assert!((sum(Purpose::WriteShuffle) - shuffle).abs() / shuffle < 1e-9);
+        // Local reads + remote transfers = all shuffle data.
+        let read_back = sum(Purpose::ReadShuffleLocal) + sum(Purpose::NetTransfer);
+        assert!(
+            (read_back - shuffle).abs() / shuffle < 1e-6,
+            "{read_back} vs {shuffle}"
+        );
+        // Serve reads equal remote transfers.
+        let served = sum(Purpose::ReadShuffleServe);
+        let net = sum(Purpose::NetTransfer);
+        assert!((served - net).abs() / shuffle < 1e-9);
+    }
+
+    #[test]
+    fn records_have_sane_timings() {
+        let (job, blocks) = sort_job(2.0, 16);
+        let out = run(&small_cluster(), &[(job, blocks)], &MonoConfig::default());
+        for r in &out.records {
+            assert!(r.queued <= r.started, "{r:?}");
+            assert!(r.started < r.ended, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn in_memory_job_uses_no_disk() {
+        let total = 2.0 * GIB;
+        let job = dataflow::JobBuilder::new("mem", CostModel::spark_1_3())
+            .read_memory(total, 1e7, 32, true)
+            .map(1.0, 1.0, true)
+            .shuffle(32, true)
+            .map(1.0, 1.0, true)
+            .write_memory();
+        let blocks = BlockMap::round_robin(1, 4, 2);
+        let out = run(&small_cluster(), &[(job, blocks)], &MonoConfig::default());
+        assert!(out.records.iter().all(|r| r.resource != ResourceKind::Disk));
+        assert!(out
+            .records
+            .iter()
+            .any(|r| r.resource == ResourceKind::Network));
+        // No deserialization CPU in the map stage: input was stored
+        // deserialized. (The reduce stage still deserializes shuffle bytes.)
+        let map_deser: f64 = out
+            .records
+            .iter()
+            .filter(|r| r.multitask.stage == StageId(0))
+            .filter_map(|r| r.cpu)
+            .map(|c| c.deser)
+            .sum();
+        assert_eq!(map_deser, 0.0);
+    }
+
+    #[test]
+    fn concurrent_jobs_share_the_cluster_and_both_finish() {
+        let (a, ba) = sort_job(2.0, 16);
+        let (b, bb) = sort_job(2.0, 16);
+        let solo = run(
+            &small_cluster(),
+            &[(a.clone(), ba.clone())],
+            &MonoConfig::default(),
+        );
+        let both = run(
+            &small_cluster(),
+            &[(a, ba), (b, bb)],
+            &MonoConfig::default(),
+        );
+        assert_eq!(both.jobs.len(), 2);
+        // Sharing slows each job down relative to running alone.
+        assert!(both.jobs[0].duration_secs() > solo.jobs[0].duration_secs());
+        // But the pair finishes in less than 2.5x the solo time (they overlap).
+        assert!(both.makespan.as_secs_f64() < 2.5 * solo.makespan.as_secs_f64());
+    }
+
+    #[test]
+    fn concurrency_override_throttles_parallelism() {
+        let (job, blocks) = sort_job(2.0, 32);
+        let mut cfg = MonoConfig::default();
+        cfg.concurrency_override = Some(1);
+        let slow = run(&small_cluster(), &[(job.clone(), blocks.clone())], &cfg);
+        let fast = run(&small_cluster(), &[(job, blocks)], &MonoConfig::default());
+        assert!(
+            slow.makespan.as_secs_f64() > 1.5 * fast.makespan.as_secs_f64(),
+            "slow={} fast={}",
+            slow.makespan.as_secs_f64(),
+            fast.makespan.as_secs_f64()
+        );
+    }
+
+    #[test]
+    fn memory_regulation_caps_in_flight_buffers() {
+        // A fetch-heavy workload: few large reduce tasks each buffer their
+        // whole shuffle fetch before computing, so throttling concurrent
+        // fetch groups (§3.5) must lower the peak visibly.
+        let total = 6.0 * GIB;
+        let job = dataflow::JobBuilder::new("fetchy", CostModel::spark_1_3())
+            .read_disk(total, total / 100.0, total / 48.0)
+            .map(1.0, 1.0, true)
+            .shuffle(16, false)
+            .map(1.0, 1.0, true)
+            .write_disk(1.0);
+        let blocks = BlockMap::round_robin(48, 4, 2);
+        let base = run(
+            &small_cluster(),
+            &[(job.clone(), blocks.clone())],
+            &MonoConfig::default(),
+        );
+        let mut cfg = MonoConfig::default();
+        cfg.memory_limit_fraction = Some(0.005); // ~320 MB watermark
+        let regulated = run(&small_cluster(), &[(job, blocks)], &cfg);
+        let peak = |o: &MonoRunOutput| o.peak_buffered.iter().cloned().fold(0.0f64, f64::max);
+        assert!(peak(&base) > 0.0);
+        // Regulation trims the peak (fetch groups throttled, reads deferred)
+        // but cannot eliminate produced-output backlog: computes outpace the
+        // disks. The ablation binary shows the full peak to runtime tradeoff.
+        assert!(
+            peak(&regulated) < 0.85 * peak(&base),
+            "regulated {} vs base {}",
+            peak(&regulated),
+            peak(&base)
+        );
+        // Both still complete correctly.
+        assert_eq!(regulated.jobs[0].stages.len(), 2);
+    }
+
+    #[test]
+    fn shortest_queue_writes_avoid_the_hot_disk() {
+        // All input blocks on disk 0 of each machine: round-robin writes
+        // keep hammering the hot disk half the time; shortest-queue writes
+        // drain to the idle disk 1.
+        let total = 4.0 * GIB;
+        let job = dataflow::JobBuilder::new("skew", CostModel::spark_1_3())
+            .read_disk(total, total / 10_000.0, total / 64.0)
+            .map(1.0, 1.0, false)
+            .write_disk(1.0);
+        // disks_per_machine = 1 in the placement → every block on disk 0.
+        let blocks = BlockMap::round_robin(64, 4, 1);
+        let rr = run(
+            &small_cluster(),
+            &[(job.clone(), blocks.clone())],
+            &MonoConfig::default(),
+        );
+        let mut cfg = MonoConfig::default();
+        cfg.write_disk_choice = DiskChoice::ShortestQueue;
+        let sq = run(&small_cluster(), &[(job, blocks)], &cfg);
+        assert!(
+            sq.jobs[0].duration_secs() <= rr.jobs[0].duration_secs() * 1.001,
+            "shortest-queue {} vs round-robin {}",
+            sq.jobs[0].duration_secs(),
+            rr.jobs[0].duration_secs()
+        );
+    }
+
+    #[test]
+    fn fifo_job_policy_prioritizes_the_first_job() {
+        let (a, ba) = sort_job(2.0, 16);
+        let (b, bb) = sort_job(2.0, 16);
+        let fair = run(
+            &small_cluster(),
+            &[(a.clone(), ba.clone()), (b.clone(), bb.clone())],
+            &MonoConfig::default(),
+        );
+        let mut cfg = MonoConfig::default();
+        cfg.job_policy = JobPolicy::Fifo;
+        let fifo = run(&small_cluster(), &[(a, ba), (b, bb)], &cfg);
+        assert!(
+            fifo.jobs[0].duration_secs() <= fair.jobs[0].duration_secs(),
+            "fifo job0 {} vs fair job0 {}",
+            fifo.jobs[0].duration_secs(),
+            fair.jobs[0].duration_secs()
+        );
+        // Total work is the same either way (within scheduling noise).
+        assert!(
+            (fifo.makespan.as_secs_f64() - fair.makespan.as_secs_f64()).abs()
+                / fair.makespan.as_secs_f64()
+                < 0.25
+        );
+    }
+
+    #[test]
+    fn full_duplex_fabric_matches_rx_model_on_symmetric_shuffles() {
+        let (job, blocks) = sort_job(4.0, 32);
+        let rx_only = run(
+            &small_cluster(),
+            &[(job.clone(), blocks.clone())],
+            &MonoConfig::default(),
+        );
+        let mut cfg = MonoConfig::default();
+        cfg.full_duplex_network = true;
+        let duplex = run(&small_cluster(), &[(job, blocks)], &cfg);
+        let (a, b) = (
+            rx_only.jobs[0].duration_secs(),
+            duplex.jobs[0].duration_secs(),
+        );
+        assert!(
+            (a - b).abs() / a < 0.10,
+            "symmetric shuffle should not care: rx {a}, duplex {b}"
+        );
+    }
+
+    #[test]
+    fn full_duplex_fabric_sees_the_hot_sender() {
+        // One map task (a single cached partition, so it cannot be stolen
+        // apart): all shuffle data ends up in one machine's memory, and
+        // reducers everywhere fetch from that lone sender, whose transmit
+        // link binds. The receiver-only model misses this; the fabric does
+        // not.
+        let total = 4.0 * GIB;
+        let job = dataflow::JobBuilder::new("hot", CostModel::spark_1_3())
+            .read_memory(total, total / 10_000.0, 1, true)
+            .map(1.0, 1.0, false)
+            .shuffle(32, true)
+            .map(1.0, 1.0, false)
+            .write_memory();
+        let blocks = BlockMap::round_robin(1, 1, 2);
+        let rx_only = run(
+            &small_cluster(),
+            &[(job.clone(), blocks.clone())],
+            &MonoConfig::default(),
+        );
+        let mut cfg = MonoConfig::default();
+        cfg.full_duplex_network = true;
+        let duplex = run(&small_cluster(), &[(job, blocks)], &cfg);
+        assert!(
+            duplex.jobs[0].duration_secs() > 1.2 * rx_only.jobs[0].duration_secs(),
+            "hot sender invisible: rx {}, duplex {}",
+            rx_only.jobs[0].duration_secs(),
+            duplex.jobs[0].duration_secs()
+        );
+    }
+
+    #[test]
+    fn queue_trace_makes_contention_visible() {
+        // A disk-bound job must show disk queues building up (§3.1: the
+        // design "makes resource contention visible as the queue length").
+        let (job, blocks) = sort_job(4.0, 32);
+        let out = run(&small_cluster(), &[(job, blocks)], &MonoConfig::default());
+        assert!(!out.queue_trace.is_empty());
+        let max_disk_q = out
+            .queue_trace
+            .iter()
+            .flat_map(|s| s.disk_queued.iter())
+            .cloned()
+            .max()
+            .unwrap_or(0);
+        assert!(max_disk_q >= 1, "no disk queueing observed");
+        // Snapshots are time-ordered within each machine.
+        for m in 0..4 {
+            let times: Vec<_> = out
+                .queue_trace
+                .iter()
+                .filter(|s| s.machine == m)
+                .map(|s| s.time)
+                .collect();
+            assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        }
+        let busiest = out.queue_trace.iter().map(|s| s.total()).max().unwrap();
+        assert!(busiest >= 2);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (job, blocks) = sort_job(2.0, 16);
+        let a = run(
+            &small_cluster(),
+            &[(job.clone(), blocks.clone())],
+            &MonoConfig::default(),
+        );
+        let b = run(&small_cluster(), &[(job, blocks)], &MonoConfig::default());
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.records.len(), b.records.len());
+    }
+}

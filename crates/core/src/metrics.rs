@@ -1,0 +1,131 @@
+//! Per-monotask timing records — the instrumentation that is "built into the
+//! framework's execution model" (§6.5).
+//!
+//! Every monotask reports when it was queued, started, and finished, which
+//! resource it used and why, and how much work it performed. The `perfmodel`
+//! crate computes the paper's ideal resource times (Fig 10) directly from
+//! these records; no extra logging is needed — that is the point of the
+//! architecture.
+
+use dataflow::CpuWork;
+use serde::{Deserialize, Serialize};
+use simcore::{ResourceKind, SimTime};
+
+use crate::monotask::MultitaskKey;
+
+/// Why a monotask ran — distinguishes input reads from shuffle and output
+/// I/O, so what-if models can drop exactly the right components (§6.3).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum Purpose {
+    /// The multitask's computation.
+    Compute,
+    /// Reading job input from local disk.
+    ReadInput,
+    /// Reading locally-stored shuffle data for a local reduce multitask.
+    ReadShuffleLocal,
+    /// Reading shuffle data on behalf of a *remote* reduce multitask (runs on
+    /// the sender machine).
+    ReadShuffleServe,
+    /// Writing shuffle output.
+    WriteShuffle,
+    /// Writing job output.
+    WriteOutput,
+    /// Receiving shuffle bytes over the network.
+    NetTransfer,
+}
+
+impl Purpose {
+    /// Whether this purpose is a disk write (for queue round-robin classes).
+    pub fn is_write(self) -> bool {
+        matches!(self, Purpose::WriteShuffle | Purpose::WriteOutput)
+    }
+}
+
+/// A snapshot of one machine's scheduler queues — the architecture's
+/// "visible contention" signal: "this design makes resource contention
+/// 'visible' as the queue length for each resource" (§3.1).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct QueueSnapshot {
+    /// When the snapshot was taken.
+    pub time: SimTime,
+    /// Which machine.
+    pub machine: usize,
+    /// Compute monotasks waiting for a core.
+    pub cpu_queued: usize,
+    /// Disk monotasks waiting, per disk.
+    pub disk_queued: Vec<usize>,
+    /// Multitask fetch groups waiting for the network scheduler.
+    pub net_queued: usize,
+}
+
+impl QueueSnapshot {
+    /// Total monotasks waiting across all of this machine's resources.
+    pub fn total(&self) -> usize {
+        self.cpu_queued + self.disk_queued.iter().sum::<usize>() + self.net_queued
+    }
+}
+
+/// One completed monotask.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct MonotaskRecord {
+    /// Owning multitask.
+    pub multitask: MultitaskKey,
+    /// Machine whose resource ran the monotask (for a network fetch, the
+    /// receiving machine).
+    pub machine: usize,
+    /// Resource class used.
+    pub resource: ResourceKind,
+    /// Why it ran.
+    pub purpose: Purpose,
+    /// When it entered its resource scheduler's queue.
+    pub queued: SimTime,
+    /// When the resource began serving it.
+    pub started: SimTime,
+    /// When it completed.
+    pub ended: SimTime,
+    /// Bytes moved (I/O monotasks; 0 for compute).
+    pub bytes: f64,
+    /// CPU split (compute monotasks only).
+    pub cpu: Option<CpuWork>,
+}
+
+impl MonotaskRecord {
+    /// Service time (excludes queueing).
+    pub fn service_secs(&self) -> f64 {
+        self.ended.since(self.started).as_secs_f64()
+    }
+
+    /// Time spent waiting in the resource queue.
+    pub fn queue_secs(&self) -> f64 {
+        self.started.since(self.queued).as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataflow::{JobId, StageId, TaskId};
+
+    #[test]
+    fn record_timings() {
+        let r = MonotaskRecord {
+            multitask: MultitaskKey {
+                job: JobId(0),
+                stage: StageId(1),
+                task: TaskId(2),
+            },
+            machine: 3,
+            resource: ResourceKind::Disk,
+            purpose: Purpose::ReadInput,
+            queued: SimTime::from_secs(1),
+            started: SimTime::from_secs(3),
+            ended: SimTime::from_secs(7),
+            bytes: 128.0,
+            cpu: None,
+        };
+        assert_eq!(r.queue_secs(), 2.0);
+        assert_eq!(r.service_secs(), 4.0);
+        assert!(!r.purpose.is_write());
+        assert!(Purpose::WriteShuffle.is_write());
+    }
+}

@@ -1,0 +1,107 @@
+//! Input block placement (the HDFS role).
+//!
+//! The paper uses HDFS only as a block store with locality: "HDFS breaks
+//! files into blocks, and distributes the blocks over a cluster of machines"
+//! (§3.2), and the job scheduler assigns a task to a machine holding its
+//! block. This module models exactly that: a deterministic round-robin
+//! placement of blocks over `(machine, disk)` pairs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::types::BlockId;
+
+/// Placement of every input block onto a `(machine, disk)` pair.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BlockMap {
+    machines: usize,
+    disks_per_machine: usize,
+    locations: Vec<(usize, usize)>,
+}
+
+impl BlockMap {
+    /// Places `blocks` blocks round-robin across machines, and round-robin
+    /// across each machine's disks on successive visits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no machines or no disks.
+    pub fn round_robin(blocks: usize, machines: usize, disks_per_machine: usize) -> BlockMap {
+        assert!(machines > 0 && disks_per_machine > 0, "empty cluster");
+        let locations = (0..blocks)
+            .map(|b| {
+                let machine = b % machines;
+                let disk = (b / machines) % disks_per_machine;
+                (machine, disk)
+            })
+            .collect();
+        BlockMap {
+            machines,
+            disks_per_machine,
+            locations,
+        }
+    }
+
+    /// Number of blocks placed.
+    pub fn blocks(&self) -> usize {
+        self.locations.len()
+    }
+
+    /// Number of machines blocks are spread over.
+    pub fn machines(&self) -> usize {
+        self.machines
+    }
+
+    /// The machine holding `block`.
+    pub fn machine_of(&self, block: BlockId) -> usize {
+        self.locations[block.0 as usize].0
+    }
+
+    /// The disk (on [`machine_of`](Self::machine_of)) holding `block`.
+    pub fn disk_of(&self, block: BlockId) -> usize {
+        self.locations[block.0 as usize].1
+    }
+
+    /// Number of blocks on `machine`.
+    pub fn blocks_on(&self, machine: usize) -> usize {
+        self.locations.iter().filter(|(m, _)| *m == machine).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_is_balanced() {
+        let bm = BlockMap::round_robin(100, 4, 2);
+        for m in 0..4 {
+            assert_eq!(bm.blocks_on(m), 25);
+        }
+    }
+
+    #[test]
+    fn disks_alternate_per_machine() {
+        let bm = BlockMap::round_robin(8, 2, 2);
+        // Blocks on machine 0 are ids 0,2,4,6; disk = (b/machines) % disks,
+        // so successive visits to the machine alternate disks: 0,1,0,1.
+        let disks: Vec<usize> = (0..8)
+            .filter(|b| bm.machine_of(BlockId(*b)) == 0)
+            .map(|b| bm.disk_of(BlockId(b)))
+            .collect();
+        assert_eq!(disks, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn uneven_block_counts_stay_near_balanced() {
+        let bm = BlockMap::round_robin(10, 4, 1);
+        let counts: Vec<usize> = (0..4).map(|m| bm.blocks_on(m)).collect();
+        assert_eq!(counts.iter().sum::<usize>(), 10);
+        assert!(counts.iter().all(|c| *c == 2 || *c == 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty cluster")]
+    fn zero_machines_rejected() {
+        BlockMap::round_robin(1, 0, 1);
+    }
+}

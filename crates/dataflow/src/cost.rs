@@ -1,0 +1,117 @@
+//! Operator cost model.
+//!
+//! The simulated executors need to know how many CPU-seconds a task spends
+//! per byte and per record, with (de)serialization separated from the
+//! operator's own computation. The separation matters: §6.3's what-if analysis
+//! ("what if input were stored deserialized in memory?") subtracts exactly the
+//! deserialization component, which MonoSpark can measure and Spark cannot.
+//!
+//! The defaults are calibrated to Spark-1.3-era JVM costs — the paper notes
+//! that version "is known to have various CPU inefficiencies" — such that the
+//! evaluation's resource balances hold: the tuned sort uses CPU and disk
+//! roughly equally, the big data benchmark is mostly CPU-bound, and the ML
+//! workload (which calls into native BLAS) is network-bound.
+
+use serde::{Deserialize, Serialize};
+
+/// CPU cost constants, all in seconds on one core.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Deserialization cost per input byte.
+    pub deser_per_byte: f64,
+    /// Serialization cost per output byte.
+    pub ser_per_byte: f64,
+    /// Baseline per-record overhead of any operator (iterator plumbing,
+    /// object allocation, hashing).
+    pub per_record: f64,
+    /// Extra per-record cost of a sort/aggregation comparison-heavy operator.
+    pub sort_per_record: f64,
+    /// Decompression cost per *uncompressed* byte (the benchmark stores
+    /// compressed sequence files).
+    pub decompress_per_byte: f64,
+}
+
+impl CostModel {
+    /// Spark-1.3-era JVM costs.
+    ///
+    /// ~70 MB/s per-core deserialization, ~100 MB/s serialization, ~300 ns
+    /// per record of iterator/allocation overhead plus ~900 ns per record for
+    /// sort-like operators, ~50 MB/s decompression — magnitudes consistent
+    /// with published Spark 1.x profiling (the paper notes this version "is
+    /// known to have various CPU inefficiencies"). With these constants the
+    /// value-size sweep of §6.2 spans CPU-bound (small values) to disk-bound
+    /// (large values), as in the paper.
+    pub fn spark_1_3() -> CostModel {
+        CostModel {
+            deser_per_byte: 1.0 / (70.0 * 1024.0 * 1024.0),
+            ser_per_byte: 1.0 / (100.0 * 1024.0 * 1024.0),
+            per_record: 300e-9,
+            sort_per_record: 900e-9,
+            decompress_per_byte: 1.0 / (50.0 * 1024.0 * 1024.0),
+        }
+    }
+
+    /// An optimized runtime (used for the ML workload, which "has been
+    /// optimized to use the CPU efficiently" and calls into OpenBLAS):
+    /// serialization is cheap flat arrays of doubles.
+    pub fn optimized_native() -> CostModel {
+        CostModel {
+            deser_per_byte: 1.0 / (600.0 * 1024.0 * 1024.0),
+            ser_per_byte: 1.0 / (600.0 * 1024.0 * 1024.0),
+            per_record: 20e-9,
+            sort_per_record: 60e-9,
+            decompress_per_byte: 1.0 / (200.0 * 1024.0 * 1024.0),
+        }
+    }
+
+    /// CPU-seconds to deserialize `bytes` of input.
+    pub fn deser(&self, bytes: f64) -> f64 {
+        self.deser_per_byte * bytes
+    }
+
+    /// CPU-seconds to serialize `bytes` of output.
+    pub fn ser(&self, bytes: f64) -> f64 {
+        self.ser_per_byte * bytes
+    }
+
+    /// CPU-seconds of operator work over `records` records, with
+    /// `sort_like = true` for comparison-heavy operators.
+    pub fn compute(&self, records: f64, sort_like: bool) -> f64 {
+        let per = if sort_like {
+            self.per_record + self.sort_per_record
+        } else {
+            self.per_record
+        };
+        per * records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_have_sane_magnitudes() {
+        let c = CostModel::spark_1_3();
+        // Deserializing 1 GiB takes 10–60 s on one core.
+        let gib = 1024.0 * 1024.0 * 1024.0;
+        let t = c.deser(gib);
+        assert!(t > 5.0 && t < 60.0, "deser 1GiB = {t}s");
+        // Serialization is cheaper than deserialization.
+        assert!(c.ser(gib) < t);
+    }
+
+    #[test]
+    fn sort_costs_more_than_scan() {
+        let c = CostModel::spark_1_3();
+        assert!(c.compute(1e6, true) > c.compute(1e6, false));
+    }
+
+    #[test]
+    fn optimized_runtime_is_faster() {
+        let s = CostModel::spark_1_3();
+        let o = CostModel::optimized_native();
+        assert!(o.deser(1e9) < s.deser(1e9));
+        assert!(o.compute(1e6, false) < s.compute(1e6, false));
+    }
+}

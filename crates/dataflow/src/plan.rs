@@ -1,0 +1,466 @@
+//! High-level job planner.
+//!
+//! [`JobBuilder`] mirrors the narrow/wide structure of a Spark program
+//! (Fig 1): a chain of narrow operators forms a stage; every shuffle starts a
+//! new one. The builder tracks the bytes and records flowing through the
+//! chain, charges CPU via the [`CostModel`] (deserialization and
+//! serialization separated from operator compute, as monotasks report them),
+//! and divides stage totals evenly over tasks.
+
+use crate::cost::CostModel;
+use crate::stage::{CpuWork, InputSpec, JobSpec, OutputSpec, StageSpec, TaskSpec};
+use crate::types::{BlockId, StageId};
+
+/// In-memory deserialized data is about twice its serialized size (§6.4: the
+/// 100 GB input "takes up approximately 200GB in memory").
+pub const DESER_EXPANSION: f64 = 2.0;
+
+#[derive(Clone, Debug)]
+enum PendingInput {
+    Disk { block_bytes: f64 },
+    Memory { deserialized: bool },
+    Shuffle,
+}
+
+#[derive(Clone, Debug)]
+struct PendingStage {
+    deps: Vec<StageId>,
+    name: String,
+    tasks: usize,
+    input: PendingInput,
+    /// Serialized bytes entering the stage (total across tasks).
+    input_bytes: f64,
+    /// Current serialized bytes flowing after applied operators.
+    bytes: f64,
+    /// Current records flowing.
+    records: f64,
+    /// Accumulated operator CPU-seconds (total across tasks).
+    compute: f64,
+    /// Deserialization CPU-seconds (total across tasks).
+    deser: f64,
+}
+
+/// Builds a [`JobSpec`] from a chain of dataflow operators.
+///
+/// # Examples
+///
+/// ```
+/// use dataflow::{CostModel, JobBuilder};
+///
+/// let gib = 1024.0 * 1024.0 * 1024.0;
+/// let job = JobBuilder::new("sort", CostModel::spark_1_3())
+///     .read_disk(10.0 * gib, 1e8, 0.125 * gib)
+///     .map(1.0, 1.0, true) // sort-like map
+///     .shuffle(64, false)
+///     .map(1.0, 1.0, true)
+///     .write_disk(1.0);
+/// assert_eq!(job.stages.len(), 2);
+/// assert!(job.validate().is_ok());
+/// ```
+#[derive(Clone, Debug)]
+pub struct JobBuilder {
+    name: String,
+    cost: CostModel,
+    stages: Vec<StageSpec>,
+    cur: Option<PendingStage>,
+    next_block: u32,
+}
+
+impl JobBuilder {
+    /// Starts a job plan using the given cost model.
+    pub fn new(name: impl Into<String>, cost: CostModel) -> JobBuilder {
+        JobBuilder {
+            name: name.into(),
+            cost,
+            stages: Vec::new(),
+            cur: None,
+            next_block: 0,
+        }
+    }
+
+    /// Reads a serialized on-disk input of `total_bytes` holding `records`,
+    /// split into blocks of (at most) `block_bytes`. One task per block.
+    pub fn read_disk(mut self, total_bytes: f64, records: f64, block_bytes: f64) -> JobBuilder {
+        assert!(self.cur.is_none(), "read_* must start a stage");
+        assert!(total_bytes > 0.0 && block_bytes > 0.0);
+        let tasks = (total_bytes / block_bytes).ceil().max(1.0) as usize;
+        self.cur = Some(PendingStage {
+            deps: vec![],
+            name: "map".into(),
+            tasks,
+            input: PendingInput::Disk {
+                block_bytes: total_bytes / tasks as f64,
+            },
+            input_bytes: total_bytes,
+            bytes: total_bytes,
+            records,
+            compute: 0.0,
+            deser: self.cost.deser(total_bytes),
+        });
+        self
+    }
+
+    /// Reads a cached in-memory dataset of `total_bytes` *serialized* size
+    /// holding `records`, split over `tasks` partitions. When `deserialized`,
+    /// no deserialization CPU is charged but the cached partitions occupy
+    /// [`DESER_EXPANSION`]× the bytes.
+    pub fn read_memory(
+        mut self,
+        total_bytes: f64,
+        records: f64,
+        tasks: usize,
+        deserialized: bool,
+    ) -> JobBuilder {
+        assert!(self.cur.is_none(), "read_* must start a stage");
+        assert!(total_bytes > 0.0 && tasks > 0);
+        self.cur = Some(PendingStage {
+            deps: vec![],
+            name: "map".into(),
+            tasks,
+            input: PendingInput::Memory { deserialized },
+            input_bytes: total_bytes,
+            bytes: total_bytes,
+            records,
+            compute: 0.0,
+            deser: if deserialized {
+                0.0
+            } else {
+                self.cost.deser(total_bytes)
+            },
+        });
+        self
+    }
+
+    fn pending(&mut self) -> &mut PendingStage {
+        self.cur.as_mut().expect("no open stage: call read_* first")
+    }
+
+    /// Applies a narrow operator: records scale by `rec_sel`, bytes by
+    /// `byte_sel`; CPU is charged per input record (`sort_like` uses the
+    /// comparison-heavy rate).
+    pub fn map(mut self, rec_sel: f64, byte_sel: f64, sort_like: bool) -> JobBuilder {
+        let cost = self.cost;
+        let p = self.pending();
+        p.compute += cost.compute(p.records, sort_like);
+        p.records *= rec_sel;
+        p.bytes *= byte_sel;
+        self
+    }
+
+    /// Adds raw operator CPU-seconds (total across tasks) to the current
+    /// stage — used for UDF-style operators (the benchmark's query 4 runs a
+    /// Python script) and native compute (the ML workload's BLAS calls).
+    pub fn add_compute(mut self, cpu_seconds: f64) -> JobBuilder {
+        assert!(cpu_seconds >= 0.0);
+        self.pending().compute += cpu_seconds;
+        self
+    }
+
+    /// Closes the current stage as a shuffle write and opens the reduce stage
+    /// with `tasks` tasks. When `in_memory`, shuffle data never touches disk.
+    pub fn shuffle(mut self, tasks: usize, in_memory: bool) -> JobBuilder {
+        assert!(tasks > 0);
+        let (bytes, records) = {
+            let p = self.pending();
+            (p.bytes, p.records)
+        };
+        let dep = self.close_stage(OutputSpec::ShuffleWrite { bytes, in_memory });
+        self.cur = Some(PendingStage {
+            deps: vec![dep],
+            name: "reduce".into(),
+            tasks,
+            input: PendingInput::Shuffle,
+            input_bytes: bytes,
+            bytes,
+            records,
+            compute: 0.0,
+            deser: self.cost.deser(bytes),
+        });
+        self
+    }
+
+    /// Joins this chain with `other` through a shuffle into a single reduce
+    /// stage of `tasks` tasks (the shape of the benchmark's join query).
+    pub fn shuffle_join(
+        mut self,
+        mut other: JobBuilder,
+        tasks: usize,
+        in_memory: bool,
+    ) -> JobBuilder {
+        assert!(tasks > 0);
+        let (a_bytes, a_records) = self.flowing();
+        let left = self.close_stage(OutputSpec::ShuffleWrite {
+            bytes: a_bytes,
+            in_memory,
+        });
+        let (b_bytes, b_records) = other.flowing();
+        let right_local = other.close_stage(OutputSpec::ShuffleWrite {
+            bytes: b_bytes,
+            in_memory,
+        });
+        // Absorb the other chain's stages, re-indexing stage and block ids.
+        let stage_off = self.stages.len() as u32;
+        let block_off = self.next_block;
+        for mut s in std::mem::take(&mut other.stages) {
+            s.id = StageId(s.id.0 + stage_off);
+            for d in &mut s.deps {
+                *d = StageId(d.0 + stage_off);
+            }
+            for t in &mut s.tasks {
+                if let InputSpec::DiskBlock { block, .. } = &mut t.input {
+                    *block = BlockId(block.0 + block_off);
+                }
+            }
+            self.stages.push(s);
+        }
+        self.next_block += other.next_block;
+        let right = StageId(right_local.0 + stage_off);
+        self.cur = Some(PendingStage {
+            deps: vec![left, right],
+            name: "join".into(),
+            tasks,
+            input: PendingInput::Shuffle,
+            input_bytes: a_bytes + b_bytes,
+            bytes: a_bytes + b_bytes,
+            records: a_records + b_records,
+            compute: 0.0,
+            deser: self.cost.deser(a_bytes + b_bytes),
+        });
+        self
+    }
+
+    /// Closes the job writing `byte_sel` of the flowing bytes to the DFS.
+    pub fn write_disk(mut self, byte_sel: f64) -> JobSpec {
+        let bytes = self.pending().bytes * byte_sel;
+        self.pending().bytes = bytes;
+        self.close_stage(OutputSpec::DiskWrite { bytes });
+        self.into_job()
+    }
+
+    /// Closes the job caching the result in memory.
+    pub fn write_memory(mut self) -> JobSpec {
+        let bytes = self.pending().bytes;
+        self.close_stage(OutputSpec::Memory { bytes });
+        self.into_job()
+    }
+
+    /// Closes the job with no materialized output (driver-side result).
+    pub fn collect(mut self) -> JobSpec {
+        self.close_stage(OutputSpec::None);
+        self.into_job()
+    }
+
+    /// Current flowing `(bytes, records)` — for tests and workload tuning.
+    pub fn flowing(&self) -> (f64, f64) {
+        let p = self.cur.as_ref().expect("no open stage");
+        (p.bytes, p.records)
+    }
+
+    fn into_job(self) -> JobSpec {
+        assert!(self.cur.is_none());
+        JobSpec {
+            name: self.name,
+            stages: self.stages,
+        }
+    }
+
+    /// Closes the pending stage with `output`, appends it, returns its id.
+    fn close_stage(&mut self, output: OutputSpec) -> StageId {
+        let cost = self.cost;
+        let p = self.cur.take().expect("no open stage");
+        let id = StageId(self.stages.len() as u32);
+        let stage = Self::materialize(cost, p, output, id, &mut self.next_block);
+        self.stages.push(stage);
+        id
+    }
+
+    fn materialize(
+        cost: CostModel,
+        p: PendingStage,
+        output: OutputSpec,
+        id: StageId,
+        next_block: &mut u32,
+    ) -> StageSpec {
+        let n = p.tasks as f64;
+        let ser_total = match output {
+            OutputSpec::None => 0.0,
+            OutputSpec::Memory { .. } => 0.0,
+            OutputSpec::ShuffleWrite { bytes, .. } | OutputSpec::DiskWrite { bytes } => {
+                cost.ser(bytes)
+            }
+        };
+        let cpu = CpuWork {
+            deser: p.deser / n,
+            compute: p.compute / n,
+            ser: ser_total / n,
+        };
+        let per_task_output = match output {
+            OutputSpec::None => OutputSpec::None,
+            OutputSpec::ShuffleWrite { bytes, in_memory } => OutputSpec::ShuffleWrite {
+                bytes: bytes / n,
+                in_memory,
+            },
+            OutputSpec::DiskWrite { bytes } => OutputSpec::DiskWrite { bytes: bytes / n },
+            OutputSpec::Memory { bytes } => OutputSpec::Memory { bytes: bytes / n },
+        };
+        let tasks = (0..p.tasks)
+            .map(|_| {
+                let input = match p.input {
+                    PendingInput::Disk { block_bytes } => {
+                        let b = BlockId(*next_block);
+                        *next_block += 1;
+                        InputSpec::DiskBlock {
+                            block: b,
+                            bytes: block_bytes,
+                        }
+                    }
+                    PendingInput::Memory { deserialized } => InputSpec::Memory {
+                        bytes: p.input_bytes / n * if deserialized { DESER_EXPANSION } else { 1.0 },
+                    },
+                    PendingInput::Shuffle => InputSpec::ShuffleFetch {
+                        bytes: p.input_bytes / n,
+                    },
+                };
+                TaskSpec {
+                    input,
+                    cpu,
+                    output: per_task_output,
+                }
+            })
+            .collect();
+        StageSpec {
+            id,
+            deps: p.deps,
+            name: p.name,
+            tasks,
+        }
+    }
+
+    /// Number of input blocks allocated so far (for building a
+    /// [`crate::blocks::BlockMap`] covering the whole job).
+    pub fn blocks_allocated(job: &JobSpec) -> usize {
+        job.stages
+            .iter()
+            .flat_map(|s| &s.tasks)
+            .filter(|t| matches!(t.input, InputSpec::DiskBlock { .. }))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+
+    #[test]
+    fn linear_job_shape() {
+        let job = JobBuilder::new("sort", CostModel::spark_1_3())
+            .read_disk(10.0 * GIB, 1e8, 0.125 * GIB)
+            .map(1.0, 1.0, true)
+            .shuffle(40, false)
+            .map(1.0, 1.0, true)
+            .write_disk(1.0);
+        assert!(job.validate().is_ok());
+        assert_eq!(job.stages.len(), 2);
+        assert_eq!(job.stages[0].tasks.len(), 80);
+        assert_eq!(job.stages[1].tasks.len(), 40);
+        // Map tasks read disk blocks; reduce tasks fetch shuffle data.
+        assert!(matches!(
+            job.stages[0].tasks[0].input,
+            InputSpec::DiskBlock { .. }
+        ));
+        assert!(matches!(
+            job.stages[1].tasks[0].input,
+            InputSpec::ShuffleFetch { .. }
+        ));
+    }
+
+    #[test]
+    fn bytes_conserved_through_shuffle() {
+        let job = JobBuilder::new("j", CostModel::spark_1_3())
+            .read_disk(8.0 * GIB, 1e8, 1.0 * GIB)
+            .map(1.0, 0.5, false)
+            .shuffle(16, false)
+            .write_disk(1.0);
+        let written = job.stages[0].total_shuffle_write();
+        let fetched = job.stages[1].total_shuffle_fetch();
+        assert!((written - 4.0 * GIB).abs() < 1.0);
+        assert!((fetched - written).abs() < 1.0);
+    }
+
+    #[test]
+    fn selectivity_reduces_output() {
+        let job = JobBuilder::new("filter", CostModel::spark_1_3())
+            .read_disk(4.0 * GIB, 1e7, 1.0 * GIB)
+            .map(0.01, 0.01, false)
+            .write_disk(1.0);
+        let out: f64 = job.stages[0]
+            .tasks
+            .iter()
+            .map(|t| t.output.disk_bytes())
+            .sum();
+        assert!((out - 0.04 * GIB).abs() < 1.0);
+    }
+
+    #[test]
+    fn deserialized_memory_input_skips_deser_cpu() {
+        let cached = JobBuilder::new("mem", CostModel::spark_1_3())
+            .read_memory(4.0 * GIB, 1e7, 32, true)
+            .map(1.0, 1.0, true)
+            .write_disk(1.0);
+        let on_disk = JobBuilder::new("disk", CostModel::spark_1_3())
+            .read_disk(4.0 * GIB, 1e7, 0.125 * GIB)
+            .map(1.0, 1.0, true)
+            .write_disk(1.0);
+        assert_eq!(cached.stages[0].tasks[0].cpu.deser, 0.0);
+        assert!(on_disk.stages[0].tasks[0].cpu.deser > 0.0);
+        // Cached partitions occupy the deserialization expansion.
+        let mem_bytes = cached.stages[0].tasks[0].input.bytes();
+        assert!((mem_bytes - DESER_EXPANSION * 4.0 * GIB / 32.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn join_produces_three_stages() {
+        let left = JobBuilder::new("q3", CostModel::spark_1_3())
+            .read_disk(4.0 * GIB, 1e7, 1.0 * GIB)
+            .map(1.0, 0.5, false);
+        let right = JobBuilder::new("q3b", CostModel::spark_1_3())
+            .read_disk(2.0 * GIB, 5e6, 1.0 * GIB)
+            .map(1.0, 1.0, false);
+        let job = left
+            .shuffle_join(right, 8, false)
+            .map(1.0, 0.2, true)
+            .write_disk(1.0);
+        assert_eq!(job.stages.len(), 3, "{job:#?}");
+        assert!(job.validate().is_ok(), "{:?}", job.validate());
+        // Join fetches both sides.
+        let fetched = job.stages[2].total_shuffle_fetch();
+        assert!((fetched - (2.0 + 2.0) * GIB).abs() < 1.0);
+        // Block ids are globally unique.
+        let mut blocks: Vec<u32> = job
+            .stages
+            .iter()
+            .flat_map(|s| &s.tasks)
+            .filter_map(|t| match t.input {
+                InputSpec::DiskBlock { block, .. } => Some(block.0),
+                _ => None,
+            })
+            .collect();
+        blocks.sort_unstable();
+        let n = blocks.len();
+        blocks.dedup();
+        assert_eq!(blocks.len(), n, "duplicate block ids");
+    }
+
+    #[test]
+    fn cpu_split_reported_per_component() {
+        let job = JobBuilder::new("j", CostModel::spark_1_3())
+            .read_disk(1.0 * GIB, 1e7, 0.5 * GIB)
+            .map(1.0, 1.0, false)
+            .write_disk(1.0);
+        let cpu = job.stages[0].tasks[0].cpu;
+        assert!(cpu.deser > 0.0 && cpu.compute > 0.0 && cpu.ser > 0.0);
+        assert!((cpu.total() - (cpu.deser + cpu.compute + cpu.ser)).abs() < 1e-12);
+    }
+}

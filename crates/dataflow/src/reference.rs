@@ -1,0 +1,449 @@
+//! A real, typed, in-memory dataset engine.
+//!
+//! [`LocalDataset`] implements the operator semantics that the planned layer
+//! describes with costs: `map`, `flat_map`, `filter`, `reduce_by_key`,
+//! `sort_by_key`, `join`, `count`. It executes partition-at-a-time in one
+//! process, with hash partitioning at every shuffle boundary — the same
+//! partitioning contract the distributed engines honour. Examples and tests
+//! use it to compute *actual answers* (word counts, join results) next to the
+//! simulated runs.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// A partitioned in-memory dataset.
+#[derive(Clone, Debug)]
+pub struct LocalDataset<T> {
+    parts: Vec<Vec<T>>,
+}
+
+fn hash_of<K: Hash>(key: &K) -> u64 {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    h.finish()
+}
+
+impl<T> LocalDataset<T> {
+    /// Distributes `data` round-robin over `partitions` partitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partitions == 0`.
+    pub fn from_vec(data: Vec<T>, partitions: usize) -> LocalDataset<T> {
+        assert!(partitions > 0, "need at least one partition");
+        let mut parts: Vec<Vec<T>> = (0..partitions).map(|_| Vec::new()).collect();
+        for (i, x) in data.into_iter().enumerate() {
+            parts[i % partitions].push(x);
+        }
+        LocalDataset { parts }
+    }
+
+    /// Number of partitions.
+    pub fn partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Total number of records.
+    pub fn count(&self) -> usize {
+        self.parts.iter().map(Vec::len).sum()
+    }
+
+    /// Applies `f` to every record.
+    pub fn map<U>(self, f: impl Fn(T) -> U) -> LocalDataset<U> {
+        LocalDataset {
+            parts: self
+                .parts
+                .into_iter()
+                .map(|p| p.into_iter().map(&f).collect())
+                .collect(),
+        }
+    }
+
+    /// Applies `f` to every record and flattens the results.
+    pub fn flat_map<U, I: IntoIterator<Item = U>>(self, f: impl Fn(T) -> I) -> LocalDataset<U> {
+        LocalDataset {
+            parts: self
+                .parts
+                .into_iter()
+                .map(|p| p.into_iter().flat_map(&f).collect())
+                .collect(),
+        }
+    }
+
+    /// Keeps records satisfying `pred`.
+    pub fn filter(self, pred: impl Fn(&T) -> bool) -> LocalDataset<T> {
+        LocalDataset {
+            parts: self
+                .parts
+                .into_iter()
+                .map(|p| p.into_iter().filter(&pred).collect())
+                .collect(),
+        }
+    }
+
+    /// Gathers all records into one vector (partition order).
+    pub fn collect(self) -> Vec<T> {
+        self.parts.into_iter().flatten().collect()
+    }
+}
+
+impl<K: Hash + Eq + Clone, V> LocalDataset<(K, V)> {
+    /// Hash-partitions into `partitions` buckets by key — the shuffle.
+    pub fn partition_by_key(self, partitions: usize) -> LocalDataset<(K, V)> {
+        assert!(partitions > 0, "need at least one partition");
+        let mut parts: Vec<Vec<(K, V)>> = (0..partitions).map(|_| Vec::new()).collect();
+        for (k, v) in self.parts.into_iter().flatten() {
+            let p = (hash_of(&k) % partitions as u64) as usize;
+            parts[p].push((k, v));
+        }
+        LocalDataset { parts }
+    }
+
+    /// Shuffles by key and combines values with `combine` — `reduceByKey`.
+    pub fn reduce_by_key(
+        self,
+        partitions: usize,
+        combine: impl Fn(V, V) -> V,
+    ) -> LocalDataset<(K, V)> {
+        let shuffled = self.partition_by_key(partitions);
+        LocalDataset {
+            parts: shuffled
+                .parts
+                .into_iter()
+                .map(|p| {
+                    let mut agg: HashMap<K, V> = HashMap::new();
+                    for (k, v) in p {
+                        match agg.remove(&k) {
+                            Some(old) => {
+                                let merged = combine(old, v);
+                                agg.insert(k, merged);
+                            }
+                            None => {
+                                agg.insert(k, v);
+                            }
+                        }
+                    }
+                    agg.into_iter().collect()
+                })
+                .collect(),
+        }
+    }
+
+    /// Inner hash join with `other` on the key, shuffled to `partitions`.
+    pub fn join<W: Clone>(
+        self,
+        other: LocalDataset<(K, W)>,
+        partitions: usize,
+    ) -> LocalDataset<(K, (V, W))>
+    where
+        V: Clone,
+    {
+        let left = self.partition_by_key(partitions);
+        let right = other.partition_by_key(partitions);
+        let parts = left
+            .parts
+            .into_iter()
+            .zip(right.parts)
+            .map(|(lp, rp)| {
+                let mut table: HashMap<K, Vec<W>> = HashMap::new();
+                for (k, w) in rp {
+                    table.entry(k).or_default().push(w);
+                }
+                let mut out = Vec::new();
+                for (k, v) in lp {
+                    if let Some(ws) = table.get(&k) {
+                        for w in ws {
+                            out.push((k.clone(), (v.clone(), w.clone())));
+                        }
+                    }
+                }
+                out
+            })
+            .collect();
+        LocalDataset { parts }
+    }
+}
+
+impl<T> LocalDataset<T> {
+    /// Concatenates two datasets partition-wise (`union`); the result has
+    /// `max(self.partitions, other.partitions)` partitions.
+    pub fn union(self, other: LocalDataset<T>) -> LocalDataset<T> {
+        let n = self.parts.len().max(other.parts.len());
+        let mut parts: Vec<Vec<T>> = (0..n).map(|_| Vec::new()).collect();
+        for (i, p) in self.parts.into_iter().enumerate() {
+            parts[i].extend(p);
+        }
+        for (i, p) in other.parts.into_iter().enumerate() {
+            parts[i].extend(p);
+        }
+        LocalDataset { parts }
+    }
+
+    /// Takes up to `n` records in partition order (`take`).
+    pub fn take(self, n: usize) -> Vec<T> {
+        self.parts.into_iter().flatten().take(n).collect()
+    }
+
+    /// Deterministically samples roughly a `fraction` of records using a
+    /// counter-based selection (`sample` without replacement; deterministic
+    /// so simulated and reference runs agree).
+    pub fn sample(self, fraction: f64) -> LocalDataset<T> {
+        assert!((0.0..=1.0).contains(&fraction), "fraction out of range");
+        let stride = if fraction <= 0.0 {
+            usize::MAX
+        } else {
+            ((1.0 / fraction).round() as usize).max(1)
+        };
+        LocalDataset {
+            parts: self
+                .parts
+                .into_iter()
+                .map(|p| {
+                    p.into_iter()
+                        .enumerate()
+                        .filter(|(i, _)| stride != usize::MAX && i % stride == 0)
+                        .map(|(_, x)| x)
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+}
+
+impl<T: Hash + Eq + Clone> LocalDataset<T> {
+    /// Removes duplicate records via a shuffle (`distinct`).
+    pub fn distinct(self, partitions: usize) -> LocalDataset<T> {
+        let tagged = self.map(|x| (x, ()));
+        let deduped = tagged.reduce_by_key(partitions, |a, _b| a);
+        deduped.map(|(x, ())| x)
+    }
+}
+
+impl<K: Hash + Eq + Clone, V> LocalDataset<(K, V)> {
+    /// Applies `f` to every value, keeping keys (`mapValues`).
+    pub fn map_values<W>(self, f: impl Fn(V) -> W) -> LocalDataset<(K, W)> {
+        self.map(move |(k, v)| (k, f(v)))
+    }
+
+    /// Shuffles by key and gathers each key's values (`groupByKey`).
+    pub fn group_by_key(self, partitions: usize) -> LocalDataset<(K, Vec<V>)> {
+        let shuffled = self.partition_by_key(partitions);
+        LocalDataset {
+            parts: shuffled
+                .parts
+                .into_iter()
+                .map(|p| {
+                    let mut groups: HashMap<K, Vec<V>> = HashMap::new();
+                    for (k, v) in p {
+                        groups.entry(k).or_default().push(v);
+                    }
+                    groups.into_iter().collect()
+                })
+                .collect(),
+        }
+    }
+
+    /// Left outer hash join: every left record appears once per match, or
+    /// once with `None` when the key has no right-side match.
+    pub fn left_outer_join<W: Clone>(
+        self,
+        other: LocalDataset<(K, W)>,
+        partitions: usize,
+    ) -> LocalDataset<(K, (V, Option<W>))>
+    where
+        V: Clone,
+    {
+        let left = self.partition_by_key(partitions);
+        let right = other.partition_by_key(partitions);
+        let parts = left
+            .parts
+            .into_iter()
+            .zip(right.parts)
+            .map(|(lp, rp)| {
+                let mut table: HashMap<K, Vec<W>> = HashMap::new();
+                for (k, w) in rp {
+                    table.entry(k).or_default().push(w);
+                }
+                let mut out = Vec::new();
+                for (k, v) in lp {
+                    match table.get(&k) {
+                        Some(ws) => {
+                            for w in ws {
+                                out.push((k.clone(), (v.clone(), Some(w.clone()))));
+                            }
+                        }
+                        None => out.push((k, (v, None))),
+                    }
+                }
+                out
+            })
+            .collect();
+        LocalDataset { parts }
+    }
+}
+
+impl<K: Ord + Hash + Eq + Clone, V> LocalDataset<(K, V)> {
+    /// Range-free sort: shuffles by key hash, sorts each partition by key —
+    /// total order within partitions, the contract our sort workloads need.
+    pub fn sort_within_partitions(self, partitions: usize) -> LocalDataset<(K, V)> {
+        let mut shuffled = self.partition_by_key(partitions);
+        for p in &mut shuffled.parts {
+            p.sort_by(|a, b| a.0.cmp(&b.0));
+        }
+        shuffled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_count_end_to_end() {
+        // The paper's running example (Fig 1): flatMap → map → reduceByKey.
+        let lines = vec![
+            "the quick brown fox".to_string(),
+            "the lazy dog".to_string(),
+            "the quick dog".to_string(),
+        ];
+        let counts: HashMap<String, u32> = LocalDataset::from_vec(lines, 2)
+            .flat_map(|l| l.split(' ').map(str::to_string).collect::<Vec<_>>())
+            .map(|w| (w, 1u32))
+            .reduce_by_key(4, |a, b| a + b)
+            .collect()
+            .into_iter()
+            .collect();
+        assert_eq!(counts["the"], 3);
+        assert_eq!(counts["quick"], 2);
+        assert_eq!(counts["fox"], 1);
+        assert_eq!(counts.len(), 6);
+    }
+
+    #[test]
+    fn map_filter_count() {
+        let d = LocalDataset::from_vec((0..100).collect(), 7);
+        assert_eq!(d.partitions(), 7);
+        let evens = d.map(|x| x * 2).filter(|x| x % 4 == 0);
+        assert_eq!(evens.count(), 50);
+    }
+
+    #[test]
+    fn partitioning_is_by_key_hash() {
+        let d = LocalDataset::from_vec((0..1000).map(|i| (i % 10, i)).collect::<Vec<_>>(), 3);
+        let p = d.partition_by_key(4);
+        // Every instance of a key lands in the same partition.
+        let parts: Vec<Vec<(i32, i32)>> = p.parts.clone();
+        for part in &parts {
+            for (k, _) in part {
+                let home = (hash_of(k) % 4) as usize;
+                assert!(parts[home].iter().any(|(k2, _)| k2 == k));
+                assert!(parts
+                    .iter()
+                    .enumerate()
+                    .all(|(i, pp)| i == home || !pp.iter().any(|(k2, _)| k2 == k)));
+            }
+        }
+    }
+
+    #[test]
+    fn sort_within_partitions_orders_keys() {
+        let data: Vec<(u64, u64)> = (0..500).rev().map(|i| (i, i * 2)).collect();
+        let sorted = LocalDataset::from_vec(data, 5).sort_within_partitions(8);
+        for p in &sorted.parts {
+            assert!(p.windows(2).all(|w| w[0].0 <= w[1].0));
+        }
+        assert_eq!(sorted.count(), 500);
+    }
+
+    #[test]
+    fn join_matches_keys() {
+        let users = LocalDataset::from_vec(vec![(1, "ann"), (2, "bo"), (3, "cy")], 2);
+        let visits = LocalDataset::from_vec(vec![(1, 10), (1, 20), (3, 30), (4, 40)], 2);
+        let mut joined = users.join(visits, 4).collect();
+        joined.sort();
+        assert_eq!(
+            joined,
+            vec![(1, ("ann", 10)), (1, ("ann", 20)), (3, ("cy", 30))]
+        );
+    }
+
+    #[test]
+    fn union_concatenates_and_take_limits() {
+        let a = LocalDataset::from_vec(vec![1, 2, 3], 2);
+        let b = LocalDataset::from_vec(vec![4, 5], 3);
+        let u = a.union(b);
+        assert_eq!(u.partitions(), 3);
+        assert_eq!(u.count(), 5);
+        let mut all = u.clone().collect();
+        all.sort();
+        assert_eq!(all, vec![1, 2, 3, 4, 5]);
+        assert_eq!(u.take(2).len(), 2);
+    }
+
+    #[test]
+    fn distinct_removes_duplicates() {
+        let d = LocalDataset::from_vec(vec![1, 2, 2, 3, 3, 3, 4], 3);
+        let mut out = d.distinct(2).collect();
+        out.sort();
+        assert_eq!(out, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn sample_is_deterministic_and_roughly_sized() {
+        let d = LocalDataset::from_vec((0..1000).collect::<Vec<i32>>(), 4);
+        let s1 = d.clone().sample(0.1).count();
+        let s2 = d.clone().sample(0.1).count();
+        assert_eq!(s1, s2, "sampling must be deterministic");
+        assert!((80..=120).contains(&s1), "sampled {s1} of 1000 at 10%");
+        assert_eq!(d.clone().sample(0.0).count(), 0);
+        assert_eq!(d.sample(1.0).count(), 1000);
+    }
+
+    #[test]
+    fn map_values_and_group_by_key() {
+        let d = LocalDataset::from_vec(vec![("a", 1), ("b", 2), ("a", 3), ("b", 4), ("a", 5)], 2);
+        let grouped = d.map_values(|v| v * 10).group_by_key(3);
+        let mut out: Vec<(&str, Vec<i32>)> = grouped
+            .collect()
+            .into_iter()
+            .map(|(k, mut vs)| {
+                vs.sort();
+                (k, vs)
+            })
+            .collect();
+        out.sort();
+        assert_eq!(out, vec![("a", vec![10, 30, 50]), ("b", vec![20, 40])]);
+    }
+
+    #[test]
+    fn left_outer_join_keeps_unmatched_left_rows() {
+        let users = LocalDataset::from_vec(vec![(1, "ann"), (2, "bo")], 2);
+        let visits = LocalDataset::from_vec(vec![(1, 10), (1, 20)], 2);
+        let mut out = users.left_outer_join(visits, 4).collect();
+        out.sort();
+        assert_eq!(
+            out,
+            vec![
+                (1, ("ann", Some(10))),
+                (1, ("ann", Some(20))),
+                (2, ("bo", None)),
+            ]
+        );
+    }
+
+    #[test]
+    fn reduce_by_key_is_order_insensitive() {
+        let a: Vec<(u8, u64)> = vec![(1, 1), (2, 2), (1, 3), (2, 4), (1, 5)];
+        let mut b = a.clone();
+        b.reverse();
+        let run = |v: Vec<(u8, u64)>| {
+            let mut out = LocalDataset::from_vec(v, 3)
+                .reduce_by_key(2, |x, y| x + y)
+                .collect();
+            out.sort();
+            out
+        };
+        assert_eq!(run(a), run(b));
+    }
+}

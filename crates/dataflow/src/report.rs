@@ -1,0 +1,76 @@
+//! Common run-report types produced by both executors.
+
+use serde::{Deserialize, Serialize};
+use simcore::{SimDuration, SimTime};
+
+use crate::types::{JobId, StageId};
+
+/// Start/end of one executed stage.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct StageReport {
+    /// Which stage.
+    pub stage: StageId,
+    /// First activity of the stage.
+    pub start: SimTime,
+    /// Last activity of the stage.
+    pub end: SimTime,
+}
+
+impl StageReport {
+    /// Stage duration.
+    pub fn duration(&self) -> SimDuration {
+        self.end.since(self.start)
+    }
+}
+
+/// Start/end of one executed job, with its stages.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct JobReport {
+    /// Which job.
+    pub job: JobId,
+    /// Job name from the spec.
+    pub name: String,
+    /// Submission time.
+    pub start: SimTime,
+    /// Completion time of the last stage.
+    pub end: SimTime,
+    /// Per-stage windows.
+    pub stages: Vec<StageReport>,
+}
+
+impl JobReport {
+    /// Job duration in seconds.
+    pub fn duration_secs(&self) -> f64 {
+        self.end.since(self.start).as_secs_f64()
+    }
+
+    /// The window of one stage.
+    pub fn stage(&self, id: StageId) -> Option<&StageReport> {
+        self.stages.iter().find(|s| s.stage == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durations() {
+        let r = StageReport {
+            stage: StageId(0),
+            start: SimTime::from_secs(1),
+            end: SimTime(3_500_000_000),
+        };
+        assert_eq!(r.duration().as_secs_f64(), 2.5);
+        let j = JobReport {
+            job: JobId(0),
+            name: "j".into(),
+            start: SimTime::ZERO,
+            end: SimTime::from_secs(2),
+            stages: vec![r],
+        };
+        assert_eq!(j.duration_secs(), 2.0);
+        assert!(j.stage(StageId(0)).is_some());
+        assert!(j.stage(StageId(1)).is_none());
+    }
+}

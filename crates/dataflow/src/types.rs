@@ -1,0 +1,35 @@
+//! Identifier newtypes shared across the dataflow and executor crates.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies a job within one simulation run.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct JobId(pub u32);
+
+/// Identifies a stage within one job (topological index).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct StageId(pub u32);
+
+/// Identifies a task (equivalently, its partition) within one stage.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct TaskId(pub u32);
+
+/// A partition index of a distributed dataset.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct PartitionId(pub u32);
+
+/// Identifies a block of an on-disk input file (HDFS-style).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct BlockId(pub u32);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_order_numerically() {
+        assert!(StageId(1) < StageId(2));
+        assert!(TaskId(0) < TaskId(10));
+        assert_eq!(BlockId(3), BlockId(3));
+    }
+}

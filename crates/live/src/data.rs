@@ -1,0 +1,152 @@
+//! On-disk record format: length-prefixed key/value pairs.
+//!
+//! A [`RecordBlock`] is the unit a disk monotask reads or writes — the whole
+//! serialized block moves in one sequential operation, exactly the property
+//! the monotasks design wants from its I/O (§3.2: "reads all of the file
+//! block's bytes from disk into a serialized, in-memory buffer").
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// One key-value record.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Record {
+    /// The record key (partitioning and grouping identity).
+    pub key: Vec<u8>,
+    /// The record value.
+    pub value: Vec<u8>,
+}
+
+impl Record {
+    /// Builds a record from anything byte-like.
+    pub fn new(key: impl Into<Vec<u8>>, value: impl Into<Vec<u8>>) -> Record {
+        Record {
+            key: key.into(),
+            value: value.into(),
+        }
+    }
+
+    /// A record with a UTF-8 key and value (convenience for tests/examples).
+    pub fn utf8(key: &str, value: &str) -> Record {
+        Record::new(key.as_bytes().to_vec(), value.as_bytes().to_vec())
+    }
+
+    /// Serialized size of this record (2 × u32 length prefixes + payloads).
+    pub fn serialized_len(&self) -> usize {
+        8 + self.key.len() + self.value.len()
+    }
+}
+
+/// A serialized block of records.
+#[derive(Clone, Debug, Default)]
+pub struct RecordBlock {
+    bytes: Bytes,
+}
+
+impl RecordBlock {
+    /// Serializes records into a block.
+    pub fn serialize(records: &[Record]) -> RecordBlock {
+        let total: usize = records.iter().map(Record::serialized_len).sum();
+        let mut buf = BytesMut::with_capacity(total);
+        for r in records {
+            buf.put_u32(r.key.len() as u32);
+            buf.put_u32(r.value.len() as u32);
+            buf.put_slice(&r.key);
+            buf.put_slice(&r.value);
+        }
+        RecordBlock {
+            bytes: buf.freeze(),
+        }
+    }
+
+    /// Wraps raw bytes previously produced by [`serialize`](Self::serialize).
+    pub fn from_bytes(bytes: Bytes) -> RecordBlock {
+        RecordBlock { bytes }
+    }
+
+    /// The serialized bytes.
+    pub fn as_bytes(&self) -> &Bytes {
+        &self.bytes
+    }
+
+    /// Serialized length in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the block holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Deserializes the block back into records.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the corruption if the block is malformed.
+    pub fn deserialize(&self) -> Result<Vec<Record>, String> {
+        let mut buf = self.bytes.clone();
+        let mut out = Vec::new();
+        while buf.has_remaining() {
+            if buf.remaining() < 8 {
+                return Err(format!(
+                    "truncated record header: {} bytes left",
+                    buf.remaining()
+                ));
+            }
+            let klen = buf.get_u32() as usize;
+            let vlen = buf.get_u32() as usize;
+            if buf.remaining() < klen + vlen {
+                return Err(format!(
+                    "truncated record body: need {} bytes, have {}",
+                    klen + vlen,
+                    buf.remaining()
+                ));
+            }
+            let key = buf.copy_to_bytes(klen).to_vec();
+            let value = buf.copy_to_bytes(vlen).to_vec();
+            out.push(Record { key, value });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let records = vec![
+            Record::utf8("alpha", "1"),
+            Record::new(vec![], vec![0u8, 1, 2]),
+            Record::utf8("beta", ""),
+        ];
+        let block = RecordBlock::serialize(&records);
+        assert_eq!(block.deserialize().unwrap(), records);
+        assert_eq!(
+            block.len(),
+            records.iter().map(Record::serialized_len).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn empty_block() {
+        let block = RecordBlock::serialize(&[]);
+        assert!(block.is_empty());
+        assert_eq!(block.deserialize().unwrap(), vec![]);
+    }
+
+    #[test]
+    fn truncated_header_detected() {
+        let block = RecordBlock::from_bytes(Bytes::from_static(&[1, 2, 3]));
+        assert!(block.deserialize().unwrap_err().contains("header"));
+    }
+
+    #[test]
+    fn truncated_body_detected() {
+        let good = RecordBlock::serialize(&[Record::utf8("key", "value")]);
+        let cut = good.as_bytes().slice(0..good.len() - 2);
+        let bad = RecordBlock::from_bytes(cut);
+        assert!(bad.deserialize().unwrap_err().contains("body"));
+    }
+}

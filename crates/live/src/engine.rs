@@ -1,0 +1,453 @@
+//! The live engine: a MapReduce-shaped job decomposed into real monotasks.
+//!
+//! The engine plays both roles of §3's architecture on one machine: the job
+//! scheduler (it creates one map multitask per input block and one reduce
+//! multitask per partition, with a barrier between stages) and the Local DAG
+//! Scheduler (each multitask's monotask chain is expressed as continuations:
+//! a finished monotask submits its dependents to their resource pools, and
+//! fan-in joins — a reduce waiting for all its shuffle reads — use an atomic
+//! countdown whose last decrement submits the compute monotask).
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeMap;
+use std::fs;
+use std::hash::{Hash, Hasher};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use crossbeam::channel;
+use parking_lot::Mutex;
+
+use crate::data::{Record, RecordBlock};
+use crate::metrics::{LiveRecord, LiveResource, LiveSummary, Purpose};
+use crate::pools::{CpuPool, DiskPool};
+
+/// The map function: one input record to any number of output records.
+pub type MapFn = Arc<dyn Fn(Record) -> Vec<Record> + Send + Sync>;
+
+/// The reduce function: a key and all its values to output records.
+pub type ReduceFn = Arc<dyn Fn(&[u8], Vec<Vec<u8>>) -> Vec<Record> + Send + Sync>;
+
+/// A MapReduce-shaped job over real files.
+#[derive(Clone)]
+pub struct LiveJob {
+    /// Input block files (create them with [`LiveEngine::write_input_block`]).
+    pub input: Vec<PathBuf>,
+    /// The map function.
+    pub map: MapFn,
+    /// The reduce function.
+    pub reduce: ReduceFn,
+    /// Number of reduce partitions (= output files).
+    pub reduce_partitions: usize,
+    /// Write shuffle data to disk (the paper's default) or keep it in memory.
+    pub shuffle_to_disk: bool,
+    /// Directory for the `part-NNNNN` output files.
+    pub output_dir: PathBuf,
+}
+
+/// What a finished job returns.
+pub struct JobResult {
+    /// One output file per reduce partition.
+    pub output_files: Vec<PathBuf>,
+    /// Every monotask's wall-clock record.
+    pub records: Vec<LiveRecord>,
+    /// Aggregates of `records`.
+    pub summary: LiveSummary,
+    /// End-to-end wall time.
+    pub wall: Duration,
+}
+
+/// The resource pools (shared into monotask continuations).
+struct Ctx {
+    cpu: CpuPool,
+    disks: Vec<DiskPool>,
+}
+
+/// Per-run shared state.
+struct RunState {
+    job: LiveJob,
+    /// In-memory shuffle buffers, one per partition.
+    shuffle_mem: Vec<Mutex<Vec<RecordBlock>>>,
+    /// On-disk shuffle files per partition: `(disk index, path)`.
+    shuffle_files: Vec<Mutex<Vec<(usize, PathBuf)>>>,
+    /// Round-robin cursor for choosing a disk for writes.
+    write_cursor: AtomicUsize,
+    records: Mutex<Vec<LiveRecord>>,
+    done_tx: channel::Sender<()>,
+}
+
+impl RunState {
+    fn record(&self, r: LiveRecord) {
+        self.records.lock().push(r);
+    }
+}
+
+fn hash_partition(key: &[u8], partitions: usize) -> usize {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() % partitions as u64) as usize
+}
+
+/// A single-machine monotasks runtime. See the crate docs.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use monotasks_live::{LiveEngine, LiveJob, Record};
+///
+/// let base = std::env::temp_dir().join(format!("mono-doc-{}", std::process::id()));
+/// let engine = LiveEngine::new(2, vec![base.join("d0"), base.join("d1")]);
+/// let input = vec![engine.write_input_block(
+///     0,
+///     "block-0",
+///     &[Record::utf8("", "one two two")],
+/// )];
+/// let job = LiveJob {
+///     input,
+///     map: Arc::new(|r: Record| {
+///         String::from_utf8_lossy(&r.value)
+///             .split_whitespace()
+///             .map(|w| Record::new(w.as_bytes().to_vec(), vec![1u8]))
+///             .collect()
+///     }),
+///     reduce: Arc::new(|key: &[u8], values: Vec<Vec<u8>>| {
+///         vec![Record::new(key.to_vec(), vec![values.len() as u8])]
+///     }),
+///     reduce_partitions: 2,
+///     shuffle_to_disk: true,
+///     output_dir: base.join("out"),
+/// };
+/// let result = engine.run(job);
+/// let counts = LiveEngine::read_output(&result.output_files);
+/// assert_eq!(counts.len(), 2); // "one" and "two"
+/// ```
+pub struct LiveEngine {
+    ctx: Arc<Ctx>,
+    /// One scratch directory per disk (shuffle files land here).
+    disk_dirs: Vec<PathBuf>,
+}
+
+impl LiveEngine {
+    /// Creates an engine with `cores` CPU workers and one disk thread per
+    /// directory in `disk_dirs` (conventionally one per physical device).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `disk_dirs` is empty or a directory cannot be created.
+    pub fn new(cores: usize, disk_dirs: Vec<PathBuf>) -> LiveEngine {
+        assert!(!disk_dirs.is_empty(), "need at least one disk directory");
+        for d in &disk_dirs {
+            fs::create_dir_all(d).unwrap_or_else(|e| panic!("create {d:?}: {e}"));
+        }
+        let disks = (0..disk_dirs.len()).map(DiskPool::new).collect();
+        LiveEngine {
+            ctx: Arc::new(Ctx {
+                cpu: CpuPool::new(cores),
+                disks,
+            }),
+            disk_dirs,
+        }
+    }
+
+    /// Number of disks the engine schedules.
+    pub fn n_disks(&self) -> usize {
+        self.disk_dirs.len()
+    }
+
+    /// Serializes `records` into an input block file on disk `disk`,
+    /// returning its path.
+    pub fn write_input_block(&self, disk: usize, name: &str, records: &[Record]) -> PathBuf {
+        let path = self.disk_dirs[disk % self.n_disks()].join(name);
+        let block = RecordBlock::serialize(records);
+        fs::write(&path, block.as_bytes()).unwrap_or_else(|e| panic!("write {path:?}: {e}"));
+        path
+    }
+
+    /// Runs `job` to completion, blocking the calling thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O errors or corrupt blocks — runtime integrity errors,
+    /// not user errors.
+    pub fn run(&self, job: LiveJob) -> JobResult {
+        assert!(job.reduce_partitions > 0, "need at least one partition");
+        assert!(!job.input.is_empty(), "need at least one input block");
+        fs::create_dir_all(&job.output_dir)
+            .unwrap_or_else(|e| panic!("create {:?}: {e}", job.output_dir));
+        let start = Instant::now();
+        let (done_tx, done_rx) = channel::unbounded();
+        let n_partitions = job.reduce_partitions;
+        let n_maps = job.input.len();
+        let state = Arc::new(RunState {
+            job,
+            shuffle_mem: (0..n_partitions).map(|_| Mutex::new(Vec::new())).collect(),
+            shuffle_files: (0..n_partitions).map(|_| Mutex::new(Vec::new())).collect(),
+            write_cursor: AtomicUsize::new(0),
+            records: Mutex::new(Vec::new()),
+            done_tx,
+        });
+
+        // Map stage: one multitask per input block.
+        for (i, path) in state.job.input.clone().into_iter().enumerate() {
+            self.submit_map(i, path, &state);
+        }
+        for _ in 0..n_maps {
+            done_rx.recv().expect("map multitask completion");
+        }
+
+        // Barrier, then the reduce stage: one multitask per partition.
+        for p in 0..n_partitions {
+            self.submit_reduce(p, &state);
+        }
+        for _ in 0..n_partitions {
+            done_rx.recv().expect("reduce multitask completion");
+        }
+
+        let output_files = (0..n_partitions)
+            .map(|p| state.job.output_dir.join(format!("part-{p:05}")))
+            .collect();
+        let records = std::mem::take(&mut *state.records.lock());
+        let summary = LiveSummary::from_records(&records);
+        JobResult {
+            output_files,
+            records,
+            summary,
+            wall: start.elapsed(),
+        }
+    }
+
+    /// Map multitask `i`: disk read → compute → shuffle write(s).
+    fn submit_map(&self, i: usize, path: PathBuf, state: &Arc<RunState>) {
+        let ctx = self.ctx.clone();
+        let state = state.clone();
+        let disk_dirs = self.disk_dirs.clone();
+        let disk = i % ctx.disks.len();
+        let queued = Instant::now();
+        self.ctx.disks[disk].submit_read(Box::new(move || {
+            let started = Instant::now();
+            let data = fs::read(&path).unwrap_or_else(|e| panic!("read {path:?}: {e}"));
+            let bytes = data.len();
+            state.record(LiveRecord {
+                resource: LiveResource::Disk(disk),
+                purpose: Purpose::ReadInput,
+                queued,
+                started,
+                ended: Instant::now(),
+                bytes,
+            });
+            // Dependent: the compute monotask.
+            let ctx2 = ctx.clone();
+            let queued = Instant::now();
+            let cpu = ctx.cpu_submitter();
+            cpu(Box::new(move || {
+                let started = Instant::now();
+                let block = RecordBlock::from_bytes(Bytes::from(data));
+                let input = block.deserialize().expect("corrupt input block");
+                let n = state.job.reduce_partitions;
+                let mut buckets: Vec<Vec<Record>> = (0..n).map(|_| Vec::new()).collect();
+                for rec in input {
+                    for out in (state.job.map)(rec) {
+                        buckets[hash_partition(&out.key, n)].push(out);
+                    }
+                }
+                let blocks: Vec<(usize, RecordBlock)> = buckets
+                    .into_iter()
+                    .enumerate()
+                    .filter(|(_, b)| !b.is_empty())
+                    .map(|(p, b)| (p, RecordBlock::serialize(&b)))
+                    .collect();
+                state.record(LiveRecord {
+                    resource: LiveResource::Cpu,
+                    purpose: Purpose::Compute,
+                    queued,
+                    started,
+                    ended: Instant::now(),
+                    bytes,
+                });
+                if state.job.shuffle_to_disk {
+                    Self::write_shuffle_blocks(i, blocks, &ctx2, &state, &disk_dirs);
+                } else {
+                    for (p, b) in blocks {
+                        state.shuffle_mem[p].lock().push(b);
+                    }
+                    state.done_tx.send(()).expect("engine alive");
+                }
+            }));
+        }));
+    }
+
+    /// Writes a map task's shuffle blocks, each as one disk-write monotask;
+    /// the last write completes the multitask.
+    fn write_shuffle_blocks(
+        task: usize,
+        blocks: Vec<(usize, RecordBlock)>,
+        ctx: &Arc<Ctx>,
+        state: &Arc<RunState>,
+        disk_dirs: &[PathBuf],
+    ) {
+        if blocks.is_empty() {
+            state.done_tx.send(()).expect("engine alive");
+            return;
+        }
+        let remaining = Arc::new(AtomicUsize::new(blocks.len()));
+        for (p, block) in blocks {
+            let disk = state.write_cursor.fetch_add(1, Ordering::Relaxed) % ctx.disks.len();
+            let path = disk_dirs[disk].join(format!("shuffle-t{task}-p{p}"));
+            state.shuffle_files[p].lock().push((disk, path.clone()));
+            let state = state.clone();
+            let remaining = remaining.clone();
+            let queued = Instant::now();
+            ctx.disks[disk].submit_write(Box::new(move || {
+                let started = Instant::now();
+                let bytes = block.len();
+                write_flushed(&path, block.as_bytes());
+                state.record(LiveRecord {
+                    resource: LiveResource::Disk(disk),
+                    purpose: Purpose::WriteShuffle,
+                    queued,
+                    started,
+                    ended: Instant::now(),
+                    bytes,
+                });
+                if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    state.done_tx.send(()).expect("engine alive");
+                }
+            }));
+        }
+    }
+
+    /// Reduce multitask `p`: shuffle reads (fan-in) → compute → output write.
+    fn submit_reduce(&self, p: usize, state: &Arc<RunState>) {
+        let ctx = self.ctx.clone();
+        if state.job.shuffle_to_disk {
+            let files = state.shuffle_files[p].lock().clone();
+            if files.is_empty() {
+                Self::submit_reduce_compute(p, Vec::new(), &ctx, state);
+                return;
+            }
+            let remaining = Arc::new(AtomicUsize::new(files.len()));
+            let collected: Arc<Mutex<Vec<RecordBlock>>> = Arc::new(Mutex::new(Vec::new()));
+            for (disk, path) in files {
+                let state = state.clone();
+                let ctx = ctx.clone();
+                let remaining = remaining.clone();
+                let collected = collected.clone();
+                let queued = Instant::now();
+                self.ctx.disks[disk].submit_read(Box::new(move || {
+                    let started = Instant::now();
+                    let data = fs::read(&path).unwrap_or_else(|e| panic!("read {path:?}: {e}"));
+                    let bytes = data.len();
+                    collected
+                        .lock()
+                        .push(RecordBlock::from_bytes(Bytes::from(data)));
+                    state.record(LiveRecord {
+                        resource: LiveResource::Disk(disk),
+                        purpose: Purpose::ReadShuffle,
+                        queued,
+                        started,
+                        ended: Instant::now(),
+                        bytes,
+                    });
+                    if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        let blocks = std::mem::take(&mut *collected.lock());
+                        Self::submit_reduce_compute(p, blocks, &ctx, &state);
+                    }
+                }));
+            }
+        } else {
+            let blocks = std::mem::take(&mut *state.shuffle_mem[p].lock());
+            Self::submit_reduce_compute(p, blocks, &ctx, state);
+        }
+    }
+
+    fn submit_reduce_compute(
+        p: usize,
+        blocks: Vec<RecordBlock>,
+        ctx: &Arc<Ctx>,
+        state: &Arc<RunState>,
+    ) {
+        let state = state.clone();
+        let ctx2 = ctx.clone();
+        let queued = Instant::now();
+        ctx.cpu.submit(Box::new(move || {
+            let started = Instant::now();
+            let in_bytes: usize = blocks.iter().map(RecordBlock::len).sum();
+            // Group by key; BTreeMap keeps output deterministic.
+            let mut groups: BTreeMap<Vec<u8>, Vec<Vec<u8>>> = BTreeMap::new();
+            for b in blocks {
+                for rec in b.deserialize().expect("corrupt shuffle block") {
+                    groups.entry(rec.key).or_default().push(rec.value);
+                }
+            }
+            let mut out = Vec::new();
+            for (key, values) in groups {
+                out.extend((state.job.reduce)(&key, values));
+            }
+            let block = RecordBlock::serialize(&out);
+            state.record(LiveRecord {
+                resource: LiveResource::Cpu,
+                purpose: Purpose::Compute,
+                queued,
+                started,
+                ended: Instant::now(),
+                bytes: in_bytes,
+            });
+            // Output write monotask.
+            let disk = state.write_cursor.fetch_add(1, Ordering::Relaxed) % ctx2.disks.len();
+            let path = state.job.output_dir.join(format!("part-{p:05}"));
+            let state2 = state.clone();
+            let queued = Instant::now();
+            ctx2.disks[disk].submit_write(Box::new(move || {
+                let started = Instant::now();
+                let bytes = block.len();
+                write_flushed(&path, block.as_bytes());
+                state2.record(LiveRecord {
+                    resource: LiveResource::Disk(disk),
+                    purpose: Purpose::WriteOutput,
+                    queued,
+                    started,
+                    ended: Instant::now(),
+                    bytes,
+                });
+                state2.done_tx.send(()).expect("engine alive");
+            }));
+        }));
+    }
+
+    /// Reads output files back into records (test/verification helper).
+    pub fn read_output(files: &[PathBuf]) -> Vec<Record> {
+        let mut out = Vec::new();
+        for f in files {
+            let data = fs::read(f).unwrap_or_else(|e| panic!("read {f:?}: {e}"));
+            out.extend(
+                RecordBlock::from_bytes(Bytes::from(data))
+                    .deserialize()
+                    .expect("corrupt output block"),
+            );
+        }
+        out
+    }
+}
+
+impl Ctx {
+    /// A submit function for the CPU pool usable from inside disk closures.
+    fn cpu_submitter(self: &Arc<Self>) -> impl Fn(crate::pools::Job) {
+        let ctx = self.clone();
+        move |job| ctx.cpu.submit(job)
+    }
+}
+
+/// Writes and flushes a file — monotask writes never linger in the cache
+/// (§3.1, principle 4).
+fn write_flushed(path: &Path, data: &[u8]) {
+    let mut f = fs::File::create(path).unwrap_or_else(|e| panic!("create {path:?}: {e}"));
+    f.write_all(data)
+        .unwrap_or_else(|e| panic!("write {path:?}: {e}"));
+    f.sync_all()
+        .unwrap_or_else(|e| panic!("sync {path:?}: {e}"));
+}

@@ -1,0 +1,38 @@
+//! A *real* monotasks runtime for a single machine.
+//!
+//! The rest of the workspace reproduces the paper's evaluation on a simulated
+//! cluster; this crate is the architecture itself as running code. Jobs are
+//! MapReduce-shaped computations over real files; the engine decomposes each
+//! task into monotasks — a disk read, a computation, a disk write — and
+//! executes them on **per-resource thread pools that embody the paper's
+//! schedulers**:
+//!
+//! * the CPU pool runs one compute monotask per configured core;
+//! * each disk (a directory, conventionally one per physical device) has its
+//!   own I/O thread, so at most one disk monotask uses a device at a time
+//!   and writes are flushed before completion is reported (§3.1);
+//! * disk queues round-robin between reads and writes (§3.3);
+//! * a Local DAG Scheduler tracks dependencies and hands monotasks to the
+//!   pools only when they are ready, so no monotask ever blocks on another
+//!   mid-execution (§3.1, principle 2).
+//!
+//! Every monotask reports queue/start/end wall-clock timestamps and bytes
+//! moved, so the same bottleneck arithmetic as `perfmodel` applies to real
+//! runs: sum compute time over cores vs. bytes over disk bandwidth.
+//!
+//! Shuffle data moves through in-memory buffers (this is one machine; the
+//! paper's network monotasks have no role), so the monotask DAG of a reduce
+//! task is *fetch-from-memory → compute → disk write*.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod data;
+pub mod engine;
+pub mod metrics;
+pub mod pools;
+
+pub use data::{Record, RecordBlock};
+pub use engine::{JobResult, LiveEngine, LiveJob, MapFn, ReduceFn};
+pub use metrics::{LiveRecord, LiveResource, LiveSummary, Purpose};
+pub use pools::{CpuPool, DiskPool};

@@ -1,0 +1,129 @@
+//! Wall-clock monotask records for the live runtime.
+//!
+//! Same shape as the simulator's records, but measured with `Instant` on real
+//! hardware: the point of the architecture is that this instrumentation is
+//! the execution model, not an add-on.
+
+use std::time::{Duration, Instant};
+
+/// Which thread pool ran the monotask.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LiveResource {
+    /// The CPU pool.
+    Cpu,
+    /// One of the disk threads.
+    Disk(usize),
+}
+
+/// Why the monotask ran.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Purpose {
+    /// Reading a job input block.
+    ReadInput,
+    /// Reading shuffle data.
+    ReadShuffle,
+    /// A task's computation.
+    Compute,
+    /// Writing shuffle output.
+    WriteShuffle,
+    /// Writing job output.
+    WriteOutput,
+}
+
+/// One completed live monotask.
+#[derive(Clone, Copy, Debug)]
+pub struct LiveRecord {
+    /// The pool that ran it.
+    pub resource: LiveResource,
+    /// Why it ran.
+    pub purpose: Purpose,
+    /// When it entered its pool's queue.
+    pub queued: Instant,
+    /// When a pool thread began executing it.
+    pub started: Instant,
+    /// When it completed.
+    pub ended: Instant,
+    /// Bytes moved (I/O) or processed (compute input).
+    pub bytes: usize,
+}
+
+impl LiveRecord {
+    /// Time spent executing.
+    pub fn service(&self) -> Duration {
+        self.ended.duration_since(self.started)
+    }
+
+    /// Time spent waiting for a pool slot.
+    pub fn queue_wait(&self) -> Duration {
+        self.started.duration_since(self.queued)
+    }
+}
+
+/// Aggregate view of a run's records — the live analogue of the simulator's
+/// ideal resource times.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LiveSummary {
+    /// Total compute service time across all compute monotasks.
+    pub cpu_busy: Duration,
+    /// Total disk service time across all disk monotasks.
+    pub disk_busy: Duration,
+    /// Bytes read from disk.
+    pub disk_read_bytes: usize,
+    /// Bytes written to disk.
+    pub disk_write_bytes: usize,
+    /// Number of monotasks.
+    pub monotasks: usize,
+}
+
+impl LiveSummary {
+    /// Folds records into a summary.
+    pub fn from_records(records: &[LiveRecord]) -> LiveSummary {
+        let mut s = LiveSummary::default();
+        for r in records {
+            s.monotasks += 1;
+            match r.resource {
+                LiveResource::Cpu => s.cpu_busy += r.service(),
+                LiveResource::Disk(_) => {
+                    s.disk_busy += r.service();
+                    match r.purpose {
+                        Purpose::ReadInput | Purpose::ReadShuffle => s.disk_read_bytes += r.bytes,
+                        Purpose::WriteShuffle | Purpose::WriteOutput => {
+                            s.disk_write_bytes += r.bytes
+                        }
+                        Purpose::Compute => {}
+                    }
+                }
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_folds_by_resource() {
+        let t0 = Instant::now();
+        let rec = |resource, purpose, bytes| LiveRecord {
+            resource,
+            purpose,
+            queued: t0,
+            started: t0,
+            ended: t0 + Duration::from_millis(10),
+            bytes,
+        };
+        let records = vec![
+            rec(LiveResource::Cpu, Purpose::Compute, 100),
+            rec(LiveResource::Disk(0), Purpose::ReadInput, 1000),
+            rec(LiveResource::Disk(1), Purpose::WriteOutput, 500),
+        ];
+        let s = LiveSummary::from_records(&records);
+        assert_eq!(s.monotasks, 3);
+        assert_eq!(s.cpu_busy, Duration::from_millis(10));
+        assert_eq!(s.disk_busy, Duration::from_millis(20));
+        assert_eq!(s.disk_read_bytes, 1000);
+        assert_eq!(s.disk_write_bytes, 500);
+    }
+}

@@ -1,0 +1,310 @@
+//! Per-resource thread pools: the paper's schedulers as real threads.
+//!
+//! * [`CpuPool`] runs one compute monotask per configured core — the CPU
+//!   scheduler of §3.3.
+//! * [`DiskPool`] owns **one thread per disk**, so a device executes one
+//!   monotask at a time, and it round-robins between its read queue and its
+//!   write queue so a backlog of writes cannot starve the reads that feed
+//!   the CPU (§3.3's queueing discussion).
+//!
+//! Jobs are continuation closures: a monotask finishes by submitting its
+//! dependents to their pools, which is how the Local DAG Scheduler expresses
+//! linear chains without central bookkeeping.
+
+use crossbeam::channel::{self, Receiver, Sender, TryRecvError};
+use std::thread::JoinHandle;
+
+/// A unit of work for a pool thread.
+pub type Job = Box<dyn FnOnce() + Send>;
+
+/// A fixed pool of CPU worker threads, one compute monotask per core.
+pub struct CpuPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl CpuPool {
+    /// Spawns `cores` worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn new(cores: usize) -> CpuPool {
+        assert!(cores > 0, "need at least one core");
+        let (tx, rx) = channel::unbounded::<Job>();
+        let workers = (0..cores)
+            .map(|i| {
+                let rx: Receiver<Job> = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("mono-cpu-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("spawn cpu worker")
+            })
+            .collect();
+        CpuPool {
+            tx: Some(tx),
+            workers,
+        }
+    }
+
+    /// Queues a compute monotask.
+    pub fn submit(&self, job: Job) {
+        self.tx
+            .as_ref()
+            .expect("pool alive")
+            .send(job)
+            .expect("cpu pool receiver alive");
+    }
+
+    /// Number of worker threads.
+    pub fn cores(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+impl Drop for CpuPool {
+    fn drop(&mut self) {
+        // Close the channel, then wait for in-flight monotasks to finish.
+        self.tx.take();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// One disk's I/O thread with read/write round-robin admission.
+pub struct DiskPool {
+    read_tx: Option<Sender<Job>>,
+    write_tx: Option<Sender<Job>>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl DiskPool {
+    /// Spawns the disk thread (index used only for the thread name).
+    pub fn new(index: usize) -> DiskPool {
+        let (read_tx, read_rx) = channel::unbounded::<Job>();
+        let (write_tx, write_rx) = channel::unbounded::<Job>();
+        let worker = std::thread::Builder::new()
+            .name(format!("mono-disk-{index}"))
+            .spawn(move || Self::serve(read_rx, write_rx))
+            .expect("spawn disk worker");
+        DiskPool {
+            read_tx: Some(read_tx),
+            write_tx: Some(write_tx),
+            worker: Some(worker),
+        }
+    }
+
+    /// The disk thread's loop: strictly alternate queue classes when both
+    /// have work; block on either when idle; exit when both close.
+    fn serve(read_rx: Receiver<Job>, write_rx: Receiver<Job>) {
+        let mut serve_read_next = true;
+        loop {
+            let (first, second) = if serve_read_next {
+                (&read_rx, &write_rx)
+            } else {
+                (&write_rx, &read_rx)
+            };
+            match first.try_recv() {
+                Ok(job) => {
+                    serve_read_next = !serve_read_next;
+                    job();
+                    continue;
+                }
+                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => {}
+            }
+            match second.try_recv() {
+                Ok(job) => {
+                    // The preferred class was empty: keep preferring it.
+                    job();
+                    continue;
+                }
+                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => {}
+            }
+            // Both queues empty: block until either produces or both close.
+            crossbeam::channel::select! {
+                recv(read_rx) -> job => match job {
+                    Ok(job) => {
+                        serve_read_next = false;
+                        job();
+                    }
+                    Err(_) => {
+                        // Reads closed; drain writes then exit.
+                        while let Ok(job) = write_rx.recv() {
+                            job();
+                        }
+                        return;
+                    }
+                },
+                recv(write_rx) -> job => match job {
+                    Ok(job) => {
+                        serve_read_next = true;
+                        job();
+                    }
+                    Err(_) => {
+                        while let Ok(job) = read_rx.recv() {
+                            job();
+                        }
+                        return;
+                    }
+                },
+            }
+        }
+    }
+
+    /// Queues a disk-read monotask.
+    pub fn submit_read(&self, job: Job) {
+        self.read_tx
+            .as_ref()
+            .expect("pool alive")
+            .send(job)
+            .expect("disk pool alive");
+    }
+
+    /// Queues a disk-write monotask.
+    pub fn submit_write(&self, job: Job) {
+        self.write_tx
+            .as_ref()
+            .expect("pool alive")
+            .send(job)
+            .expect("disk pool alive");
+    }
+}
+
+impl Drop for DiskPool {
+    fn drop(&mut self) {
+        self.read_tx.take();
+        self.write_tx.take();
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn cpu_pool_executes_all_jobs() {
+        let pool = CpuPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let c = counter.clone();
+            pool.submit(Box::new(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        drop(pool); // joins workers
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn cpu_pool_actually_runs_in_parallel() {
+        let pool = CpuPool::new(4);
+        let in_flight = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        for _ in 0..8 {
+            let f = in_flight.clone();
+            let p = peak.clone();
+            pool.submit(Box::new(move || {
+                let now = f.fetch_add(1, Ordering::SeqCst) + 1;
+                p.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(30));
+                f.fetch_sub(1, Ordering::SeqCst);
+            }));
+        }
+        drop(pool);
+        assert!(peak.load(Ordering::SeqCst) >= 2, "no parallelism observed");
+    }
+
+    #[test]
+    fn disk_pool_is_one_at_a_time() {
+        let pool = DiskPool::new(0);
+        let in_flight = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        for i in 0..10 {
+            let f = in_flight.clone();
+            let p = peak.clone();
+            let job: Job = Box::new(move || {
+                let now = f.fetch_add(1, Ordering::SeqCst) + 1;
+                p.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(5));
+                f.fetch_sub(1, Ordering::SeqCst);
+            });
+            if i % 2 == 0 {
+                pool.submit_read(job);
+            } else {
+                pool.submit_write(job);
+            }
+        }
+        drop(pool);
+        assert_eq!(
+            peak.load(Ordering::SeqCst),
+            1,
+            "disk ran monotasks concurrently"
+        );
+    }
+
+    #[test]
+    fn disk_pool_round_robins_reads_and_writes() {
+        let pool = DiskPool::new(0);
+        let order = Arc::new(parking_lot::Mutex::new(Vec::<&'static str>::new()));
+        // Stall the disk with one slow write so the queues build up.
+        {
+            let o = order.clone();
+            pool.submit_write(Box::new(move || {
+                std::thread::sleep(Duration::from_millis(50));
+                o.lock().push("w0");
+            }));
+        }
+        std::thread::sleep(Duration::from_millis(10));
+        for i in 0..3 {
+            let o = order.clone();
+            pool.submit_write(Box::new(move || {
+                o.lock().push(if i == 0 {
+                    "w1"
+                } else if i == 1 {
+                    "w2"
+                } else {
+                    "w3"
+                });
+            }));
+        }
+        let o = order.clone();
+        pool.submit_read(Box::new(move || o.lock().push("r1")));
+        drop(pool);
+        let order = order.lock().clone();
+        let pos = |x: &str| order.iter().position(|o| *o == x).unwrap();
+        // The read must not wait for the whole write backlog.
+        assert!(
+            pos("r1") < pos("w2"),
+            "read starved behind writes: {order:?}"
+        );
+    }
+
+    #[test]
+    fn disk_pool_drains_on_shutdown() {
+        let pool = DiskPool::new(0);
+        let count = Arc::new(AtomicUsize::new(0));
+        for _ in 0..20 {
+            let c = count.clone();
+            pool.submit_read(Box::new(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            }));
+            let c = count.clone();
+            pool.submit_write(Box::new(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        drop(pool);
+        assert_eq!(count.load(Ordering::SeqCst), 40);
+    }
+}

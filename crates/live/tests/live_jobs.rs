@@ -1,0 +1,285 @@
+//! End-to-end tests of the live monotasks runtime: real files, real threads,
+//! real answers.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use monotasks_live::{LiveEngine, LiveJob, LiveRecord, LiveResource, Purpose, Record};
+
+fn scratch(tag: &str) -> Vec<PathBuf> {
+    let base = std::env::temp_dir().join(format!("monotasks-live-{tag}-{}", std::process::id()));
+    let dirs = vec![base.join("disk0"), base.join("disk1")];
+    for d in &dirs {
+        let _ = std::fs::remove_dir_all(d);
+    }
+    dirs
+}
+
+fn wordcount_job(engine: &LiveEngine, out_tag: &str, texts: &[&str]) -> LiveJob {
+    let input = texts
+        .iter()
+        .enumerate()
+        .map(|(i, text)| {
+            let records: Vec<Record> = text
+                .lines()
+                .map(|l| Record::new(Vec::new(), l.as_bytes().to_vec()))
+                .collect();
+            engine.write_input_block(i, &format!("in-{out_tag}-{i}"), &records)
+        })
+        .collect();
+    LiveJob {
+        input,
+        map: Arc::new(|rec: Record| {
+            String::from_utf8_lossy(&rec.value)
+                .split_whitespace()
+                .map(|w| Record::new(w.as_bytes().to_vec(), vec![1u8]))
+                .collect()
+        }),
+        reduce: Arc::new(|key: &[u8], values: Vec<Vec<u8>>| {
+            let count = values.len() as u64;
+            vec![Record::new(key.to_vec(), count.to_be_bytes().to_vec())]
+        }),
+        reduce_partitions: 4,
+        shuffle_to_disk: true,
+        output_dir: std::env::temp_dir().join(format!(
+            "monotasks-live-out-{out_tag}-{}",
+            std::process::id()
+        )),
+    }
+}
+
+fn counts_of(records: Vec<Record>) -> HashMap<String, u64> {
+    records
+        .into_iter()
+        .map(|r| {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(&r.value);
+            (
+                String::from_utf8(r.key).expect("utf8 key"),
+                u64::from_be_bytes(buf),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn wordcount_produces_correct_counts() {
+    let engine = LiveEngine::new(4, scratch("wc"));
+    let job = wordcount_job(
+        &engine,
+        "wc",
+        &[
+            "the quick brown fox\nthe lazy dog",
+            "the quick dog\njumps over the fox",
+        ],
+    );
+    let result = engine.run(job);
+    let counts = counts_of(LiveEngine::read_output(&result.output_files));
+    assert_eq!(counts["the"], 4);
+    assert_eq!(counts["quick"], 2);
+    assert_eq!(counts["fox"], 2);
+    assert_eq!(counts["dog"], 2);
+    assert_eq!(counts["jumps"], 1);
+    assert_eq!(counts.values().sum::<u64>(), 14);
+}
+
+#[test]
+fn in_memory_shuffle_gives_identical_answers_without_shuffle_io() {
+    let engine = LiveEngine::new(4, scratch("mem"));
+    let texts = ["alpha beta gamma alpha", "beta beta gamma"];
+    let mut disk_job = wordcount_job(&engine, "mem-d", &texts);
+    disk_job.shuffle_to_disk = true;
+    let disk_out = counts_of(LiveEngine::read_output(&engine.run(disk_job).output_files));
+
+    let mut mem_job = wordcount_job(&engine, "mem-m", &texts);
+    mem_job.shuffle_to_disk = false;
+    let mem_result = engine.run(mem_job);
+    let mem_out = counts_of(LiveEngine::read_output(&mem_result.output_files));
+    assert_eq!(disk_out, mem_out);
+    // In-memory shuffle must emit no shuffle I/O monotasks.
+    assert!(mem_result
+        .records
+        .iter()
+        .all(|r| { r.purpose != Purpose::WriteShuffle && r.purpose != Purpose::ReadShuffle }));
+}
+
+#[test]
+fn every_monotask_uses_exactly_one_resource_and_timestamps_are_sane() {
+    let engine = LiveEngine::new(2, scratch("rec"));
+    let job = wordcount_job(&engine, "rec", &["one two three", "four five six one"]);
+    let result = engine.run(job);
+    assert!(!result.records.is_empty());
+    let mut saw_cpu = false;
+    let mut saw_disk = false;
+    for r in &result.records {
+        assert!(r.queued <= r.started, "{r:?}");
+        assert!(r.started <= r.ended, "{r:?}");
+        match (r.resource, r.purpose) {
+            (LiveResource::Cpu, Purpose::Compute) => saw_cpu = true,
+            (LiveResource::Cpu, p) => panic!("CPU pool ran I/O monotask {p:?}"),
+            (LiveResource::Disk(_), Purpose::Compute) => {
+                panic!("disk thread ran a compute monotask")
+            }
+            (LiveResource::Disk(_), _) => saw_disk = true,
+        }
+    }
+    assert!(saw_cpu && saw_disk);
+    // 2 maps (read+compute) + shuffle writes + per-partition chains.
+    assert!(result.summary.monotasks >= 8);
+    assert!(result.summary.disk_read_bytes > 0);
+    assert!(result.summary.disk_write_bytes > 0);
+}
+
+#[test]
+fn sort_job_orders_keys_within_partitions() {
+    let engine = LiveEngine::new(4, scratch("sort"));
+    // Identity map, identity reduce: the engine's BTreeMap grouping yields
+    // key-sorted partitions — a sort-by-key in MapReduce clothing.
+    let mut keys: Vec<u32> = (0..500).rev().collect();
+    keys.extend(0..500); // duplicates
+    let records: Vec<Record> = keys
+        .iter()
+        .map(|k| Record::new(k.to_be_bytes().to_vec(), b"v".to_vec()))
+        .collect();
+    let input = vec![
+        engine.write_input_block(0, "sort-0", &records[..400]),
+        engine.write_input_block(1, "sort-1", &records[400..]),
+    ];
+    let job = LiveJob {
+        input,
+        map: Arc::new(|r| vec![r]),
+        reduce: Arc::new(|key: &[u8], values: Vec<Vec<u8>>| {
+            values
+                .into_iter()
+                .map(|v| Record::new(key.to_vec(), v))
+                .collect()
+        }),
+        reduce_partitions: 3,
+        shuffle_to_disk: true,
+        output_dir: std::env::temp_dir()
+            .join(format!("monotasks-live-out-sort-{}", std::process::id())),
+    };
+    let result = engine.run(job);
+    let mut total = 0;
+    for f in &result.output_files {
+        let part = LiveEngine::read_output(std::slice::from_ref(f));
+        total += part.len();
+        assert!(
+            part.windows(2).all(|w| w[0].key <= w[1].key),
+            "partition {f:?} not key-sorted"
+        );
+    }
+    assert_eq!(total, 1000, "records lost or duplicated in the shuffle");
+}
+
+#[test]
+fn cpu_heavy_jobs_overlap_compute_across_cores() {
+    let engine = LiveEngine::new(4, scratch("par"));
+    // 8 blocks of busywork: with 4 cores, total CPU busy time should exceed
+    // the wall time (i.e. computes genuinely overlapped).
+    let records: Vec<Record> = (0..64)
+        .map(|i: u64| Record::new(i.to_be_bytes().to_vec(), vec![0u8; 1024]))
+        .collect();
+    let input: Vec<PathBuf> = (0..8)
+        .map(|i| engine.write_input_block(i, &format!("par-{i}"), &records))
+        .collect();
+    let job = LiveJob {
+        input,
+        map: Arc::new(|r| {
+            // A few hundred microseconds of real work per record.
+            let mut acc = 0u64;
+            for b in r.value.iter() {
+                for i in 0..200u64 {
+                    acc = acc
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(*b as u64 + i);
+                }
+            }
+            vec![Record::new(r.key, acc.to_be_bytes().to_vec())]
+        }),
+        reduce: Arc::new(|key: &[u8], mut values: Vec<Vec<u8>>| {
+            values.sort();
+            vec![Record::new(key.to_vec(), values.swap_remove(0))]
+        }),
+        reduce_partitions: 4,
+        shuffle_to_disk: false,
+        output_dir: std::env::temp_dir()
+            .join(format!("monotasks-live-out-par-{}", std::process::id())),
+    };
+    let result = engine.run(job);
+    let cpu_busy = result.summary.cpu_busy.as_secs_f64();
+    let wall = result.wall.as_secs_f64();
+    assert!(
+        cpu_busy > 1.2 * wall,
+        "no CPU overlap: busy {cpu_busy:.4}s vs wall {wall:.4}s"
+    );
+}
+
+#[test]
+fn empty_and_degenerate_inputs_are_handled() {
+    let engine = LiveEngine::new(2, scratch("edge"));
+    // Block with zero records; map that emits nothing.
+    let input = vec![
+        engine.write_input_block(0, "edge-empty", &[]),
+        engine.write_input_block(1, "edge-one", &[Record::utf8("k", "v")]),
+    ];
+    let job = LiveJob {
+        input,
+        map: Arc::new(|_r| Vec::new()), // drops everything
+        reduce: Arc::new(|key: &[u8], _v| vec![Record::new(key.to_vec(), vec![])]),
+        reduce_partitions: 1,
+        shuffle_to_disk: true,
+        output_dir: std::env::temp_dir()
+            .join(format!("monotasks-live-out-edge-{}", std::process::id())),
+    };
+    let result = engine.run(job);
+    assert_eq!(result.output_files.len(), 1);
+    assert_eq!(LiveEngine::read_output(&result.output_files).len(), 0);
+    // Reads still happened (the engine cannot know blocks are empty a priori).
+    assert!(
+        result
+            .records
+            .iter()
+            .filter(|r| r.purpose == Purpose::ReadInput)
+            .count()
+            == 2
+    );
+}
+
+#[test]
+fn single_core_single_disk_still_completes() {
+    let base = std::env::temp_dir().join(format!("monotasks-live-1x1-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let engine = LiveEngine::new(1, vec![base.join("d0")]);
+    let job = wordcount_job(&engine, "tiny", &["a b a", "b b"]);
+    let counts = counts_of(LiveEngine::read_output(&engine.run(job).output_files));
+    assert_eq!(counts["a"], 2);
+    assert_eq!(counts["b"], 3);
+}
+
+#[test]
+fn deterministic_output_across_runs() {
+    let texts = ["repeatable runs are a feature", "runs repeatable feature"];
+    let run = |tag: &str| {
+        let engine = LiveEngine::new(3, scratch(tag));
+        let job = wordcount_job(&engine, tag, &texts);
+        counts_of(LiveEngine::read_output(&engine.run(job).output_files))
+    };
+    assert_eq!(run("det-a"), run("det-b"));
+}
+
+#[test]
+fn records_cover_the_whole_monotask_chain() {
+    let engine = LiveEngine::new(2, scratch("chain"));
+    let job = wordcount_job(&engine, "chain", &["a b c", "c b a"]);
+    let result = engine.run(job);
+    let count = |p: Purpose| result.records.iter().filter(|r| r.purpose == p).count();
+    assert_eq!(count(Purpose::ReadInput), 2, "one read per input block");
+    assert!(count(Purpose::WriteShuffle) >= 2);
+    assert!(count(Purpose::ReadShuffle) >= 2);
+    assert_eq!(count(Purpose::WriteOutput), 4, "one write per partition");
+    // Compute: one per map task + one per reduce partition.
+    assert_eq!(count(Purpose::Compute), 2 + 4);
+    let _ = LiveRecord::service; // public helper exercised elsewhere
+}

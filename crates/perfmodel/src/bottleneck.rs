@@ -1,0 +1,110 @@
+//! Bottleneck analysis: best-case runtimes with one resource made infinitely
+//! fast (Fig 14).
+//!
+//! This replicates the blocked-time analysis of "Making Sense of Performance
+//! in Data Analytics Frameworks" (NSDI'15) — which required extensive
+//! white-box logging in Spark — from monotask records alone: the predicted
+//! runtime with resource R optimized away is the measured runtime scaled by
+//! `max(ideal times without R) / max(all ideal times)`, per stage.
+
+use simcore::ResourceKind;
+
+use crate::model::{ideal_times, Scenario};
+use crate::profile::StageProfile;
+
+/// Predicted job runtime if `resource` were infinitely fast — a lower bound
+/// on what optimizing that resource can buy (Fig 14's bars). As in
+/// [`crate::model::predict_job`], the measured job duration is scaled by the
+/// stage-duration-weighted ratio so concurrently-running stages are not
+/// double-counted.
+pub fn optimized_resource_runtime(
+    profiles: &[StageProfile],
+    measured_job_secs: f64,
+    scenario: &Scenario,
+    resource: ResourceKind,
+) -> f64 {
+    let weight: f64 = profiles.iter().map(|p| p.measured_secs).sum();
+    if weight <= 0.0 {
+        return measured_job_secs;
+    }
+    let scaled: f64 = profiles
+        .iter()
+        .map(|p| {
+            let t = ideal_times(p, scenario);
+            let full = t.stage_time();
+            if full <= 0.0 {
+                return p.measured_secs;
+            }
+            p.measured_secs * t.stage_time_without(resource) / full
+        })
+        .sum();
+    measured_job_secs * scaled / weight
+}
+
+/// Per-stage bottleneck resources, in stage order.
+pub fn stage_bottlenecks(profiles: &[StageProfile], scenario: &Scenario) -> Vec<ResourceKind> {
+    profiles
+        .iter()
+        .map(|p| ideal_times(p, scenario).bottleneck())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::MachineSpec;
+    use dataflow::{JobId, StageId};
+
+    fn scenario() -> Scenario {
+        Scenario {
+            machines: 1,
+            machine: MachineSpec::m2_4xlarge(),
+            input_deserialized_in_memory: false,
+            cpu_speedup: 1.0,
+            serde_speedup: 1.0,
+        }
+    }
+
+    fn cpu_bound() -> StageProfile {
+        StageProfile {
+            job: JobId(0),
+            stage: StageId(0),
+            measured_secs: 120.0,
+            cpu_secs: 800.0, // ideal 100 s
+            cpu_deser_secs: 0.0,
+            cpu_ser_secs: 0.0,
+            // Two aggregate-disk-seconds (2 HDDs × 110 MiB/s): ideal 2 s.
+            input_read_bytes: 2.0 * 220.0 * 1024.0 * 1024.0,
+            other_disk_bytes: 0.0,
+            net_bytes: 0.0,
+            reads_job_input: true,
+        }
+    }
+
+    #[test]
+    fn optimizing_the_non_bottleneck_buys_nothing() {
+        let p = cpu_bound();
+        let with_fast_disk =
+            optimized_resource_runtime(&[p], 120.0, &scenario(), ResourceKind::Disk);
+        assert!((with_fast_disk - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn optimizing_the_bottleneck_reduces_to_secondary() {
+        let p = cpu_bound();
+        let with_fast_cpu = optimized_resource_runtime(&[p], 120.0, &scenario(), ResourceKind::Cpu);
+        // Disk ideal is 2 s vs CPU 100 s → runtime scales by 2/100.
+        assert!((with_fast_cpu - 2.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bottlenecks_reported_per_stage() {
+        let a = cpu_bound();
+        let mut b = cpu_bound();
+        b.stage = StageId(1);
+        b.cpu_secs = 1.0;
+        b.net_bytes = 1e12;
+        let kinds = stage_bottlenecks(&[a, b], &scenario());
+        assert_eq!(kinds, vec![ResourceKind::Cpu, ResourceKind::Network]);
+    }
+}

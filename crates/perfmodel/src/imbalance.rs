@@ -1,0 +1,138 @@
+//! Per-machine load imbalance — the model's acknowledged blind spot.
+//!
+//! §6.1: "this model is simple and ignores many practicalities, including the
+//! fact that resource use cannot always be perfectly parallelized. For
+//! example, if one disk monotask reads much more data than the other disk
+//! monotasks, the disk that executes that monotask may be disproportionately
+//! highly loaded." Monotask records carry the machine that ran each
+//! monotask, so the imbalance is directly measurable: when it is large, the
+//! ideal-time model's assumption of perfect parallelism is the thing to
+//! distrust.
+
+use std::collections::BTreeMap;
+
+use dataflow::{JobId, StageId};
+use monotasks_core::MonotaskRecord;
+use serde::{Deserialize, Serialize};
+use simcore::ResourceKind;
+
+/// Max-to-mean per-machine load ratios for one stage (1.0 = perfectly even).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct StageImbalance {
+    /// Owning job.
+    pub job: JobId,
+    /// Which stage.
+    pub stage: StageId,
+    /// CPU core-seconds: busiest machine over the mean.
+    pub cpu: f64,
+    /// Disk bytes: busiest machine over the mean.
+    pub disk: f64,
+    /// Network bytes received: busiest machine over the mean.
+    pub network: f64,
+}
+
+impl StageImbalance {
+    /// The worst ratio across resources.
+    pub fn worst(&self) -> f64 {
+        self.cpu.max(self.disk).max(self.network)
+    }
+}
+
+fn ratio(per_machine: &BTreeMap<usize, f64>, machines: usize) -> f64 {
+    if per_machine.is_empty() || machines == 0 {
+        return 1.0;
+    }
+    let total: f64 = per_machine.values().sum();
+    if total <= 0.0 {
+        return 1.0;
+    }
+    let mean = total / machines as f64;
+    let max = per_machine.values().cloned().fold(0.0f64, f64::max);
+    max / mean
+}
+
+/// Computes per-stage machine-load imbalance from monotask records.
+///
+/// `machines` is the cluster size (machines that ran nothing still count in
+/// the mean — an idle machine *is* imbalance).
+pub fn stage_imbalance(records: &[MonotaskRecord], machines: usize) -> Vec<StageImbalance> {
+    #[derive(Default)]
+    struct Acc {
+        cpu: BTreeMap<usize, f64>,
+        disk: BTreeMap<usize, f64>,
+        net: BTreeMap<usize, f64>,
+    }
+    let mut by_stage: BTreeMap<(JobId, StageId), Acc> = BTreeMap::new();
+    for r in records {
+        let acc = by_stage
+            .entry((r.multitask.job, r.multitask.stage))
+            .or_default();
+        match r.resource {
+            ResourceKind::Cpu => *acc.cpu.entry(r.machine).or_default() += r.service_secs(),
+            ResourceKind::Disk => *acc.disk.entry(r.machine).or_default() += r.bytes,
+            ResourceKind::Network => *acc.net.entry(r.machine).or_default() += r.bytes,
+        }
+    }
+    by_stage
+        .into_iter()
+        .map(|((job, stage), acc)| StageImbalance {
+            job,
+            stage,
+            cpu: ratio(&acc.cpu, machines),
+            disk: ratio(&acc.disk, machines),
+            network: ratio(&acc.net, machines),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::{ClusterSpec, MachineSpec};
+    use workloads::{apply_input_skew, sort_job, SortConfig};
+
+    fn run(skew: Option<f64>) -> Vec<StageImbalance> {
+        let cfg = SortConfig::new(4.0, 10, 4, 2);
+        let (mut job, blocks) = sort_job(&cfg);
+        if let Some(s) = skew {
+            apply_input_skew(&mut job, s, 11);
+        }
+        let out = monotasks_core::run(
+            &ClusterSpec::new(4, MachineSpec::m2_4xlarge()),
+            &[(job, blocks)],
+            &monotasks_core::MonoConfig::default(),
+        );
+        stage_imbalance(&out.records, 4)
+    }
+
+    #[test]
+    fn uniform_job_is_nearly_balanced() {
+        let imb = run(None);
+        assert_eq!(imb.len(), 2);
+        for s in &imb {
+            assert!(s.worst() >= 1.0);
+            assert!(s.cpu < 1.3, "cpu imbalance {s:?}");
+            assert!(s.disk < 1.3, "disk imbalance {s:?}");
+        }
+    }
+
+    #[test]
+    fn skewed_input_shows_up_as_disk_imbalance() {
+        let uniform = run(None);
+        let skewed = run(Some(1.5));
+        assert!(
+            skewed[0].disk > uniform[0].disk,
+            "skewed {:?} vs uniform {:?}",
+            skewed[0],
+            uniform[0]
+        );
+        assert!(skewed[0].disk > 1.25);
+    }
+
+    #[test]
+    fn empty_records_are_balanced_by_definition() {
+        assert!(stage_imbalance(&[], 4).is_empty());
+        let m: BTreeMap<usize, f64> = BTreeMap::new();
+        assert_eq!(ratio(&m, 4), 1.0);
+    }
+}

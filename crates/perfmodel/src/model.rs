@@ -1,0 +1,322 @@
+//! Ideal resource times and what-if prediction (Figs 10–13).
+//!
+//! For each stage, the model computes the **ideal resource completion time**
+//! of CPU, disk, and network (§6.1): CPU monotask time divided by cluster
+//! cores, and bytes moved divided by aggregate device throughput. The ideal
+//! stage time is the maximum — the bottleneck resource. To answer a what-if
+//! question, the ideal times are recomputed under the hypothetical hardware
+//! and software configuration, and the *measured* runtime is scaled by the
+//! ratio of modeled times — which corrects for the model's blind spots
+//! (ramp-up periods, imperfect parallelism), exactly as §6.2 prescribes.
+
+use cluster::{ClusterSpec, MachineSpec};
+use serde::{Deserialize, Serialize};
+use simcore::ResourceKind;
+
+use crate::profile::StageProfile;
+
+/// A hardware + software configuration to evaluate the model under.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Number of worker machines.
+    pub machines: usize,
+    /// Per-machine hardware.
+    pub machine: MachineSpec,
+    /// Input data stored in memory, already deserialized (§6.3): input-read
+    /// disk time and input deserialization CPU time both disappear.
+    pub input_deserialized_in_memory: bool,
+    /// Uniform CPU speedup (newer cores, better JIT): all compute monotask
+    /// time divides by this.
+    pub cpu_speedup: f64,
+    /// Speedup of (de)serialization only — the §9 what-if ("efforts to
+    /// reduce serialization time would reduce the runtime for the compute
+    /// monotasks that perform (de)serialization in MonoSpark", e.g. Project
+    /// Tungsten). Only monotask records make this component visible.
+    pub serde_speedup: f64,
+}
+
+impl Scenario {
+    /// The configuration a run actually used.
+    pub fn of_cluster(spec: &ClusterSpec) -> Scenario {
+        Scenario {
+            machines: spec.machines,
+            machine: spec.machine.clone(),
+            input_deserialized_in_memory: false,
+            cpu_speedup: 1.0,
+            serde_speedup: 1.0,
+        }
+    }
+
+    /// Total cores.
+    pub fn total_cores(&self) -> f64 {
+        (self.machines as u32 * self.machine.cores) as f64
+    }
+
+    /// Aggregate sequential disk bandwidth, bytes/s.
+    pub fn total_disk_bw(&self) -> f64 {
+        self.machines as f64 * self.machine.disks.iter().map(|d| d.throughput).sum::<f64>()
+    }
+
+    /// Aggregate NIC receive bandwidth, bytes/s.
+    pub fn total_net_bw(&self) -> f64 {
+        self.machines as f64 * self.machine.nic
+    }
+}
+
+/// Ideal per-resource completion times for one stage (Fig 10).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct IdealTimes {
+    /// Ideal CPU seconds (perfectly parallelized over all cores).
+    pub cpu: f64,
+    /// Ideal disk seconds (bytes over aggregate bandwidth).
+    pub disk: f64,
+    /// Ideal network seconds (bytes over aggregate bandwidth).
+    pub network: f64,
+}
+
+impl IdealTimes {
+    /// The modeled stage time: the maximum ideal resource time.
+    pub fn stage_time(&self) -> f64 {
+        self.cpu.max(self.disk).max(self.network)
+    }
+
+    /// The bottleneck: the resource with the largest ideal time.
+    pub fn bottleneck(&self) -> ResourceKind {
+        if self.cpu >= self.disk && self.cpu >= self.network {
+            ResourceKind::Cpu
+        } else if self.disk >= self.network {
+            ResourceKind::Disk
+        } else {
+            ResourceKind::Network
+        }
+    }
+
+    /// Stage time with one resource made infinitely fast (Fig 14).
+    pub fn stage_time_without(&self, resource: ResourceKind) -> f64 {
+        match resource {
+            ResourceKind::Cpu => self.disk.max(self.network),
+            ResourceKind::Disk => self.cpu.max(self.network),
+            ResourceKind::Network => self.cpu.max(self.disk),
+        }
+    }
+}
+
+/// Computes a stage's ideal resource times under `scenario`.
+pub fn ideal_times(p: &StageProfile, scenario: &Scenario) -> IdealTimes {
+    let drop_input = scenario.input_deserialized_in_memory && p.reads_job_input;
+    let deser = if drop_input { 0.0 } else { p.cpu_deser_secs };
+    let serde = (deser + p.cpu_ser_secs) / scenario.serde_speedup;
+    let other = p.cpu_secs - p.cpu_deser_secs - p.cpu_ser_secs;
+    let cpu_secs = (other + serde) / scenario.cpu_speedup;
+    let disk_bytes = if drop_input {
+        p.other_disk_bytes
+    } else {
+        p.other_disk_bytes + p.input_read_bytes
+    };
+    IdealTimes {
+        cpu: cpu_secs / scenario.total_cores(),
+        disk: if disk_bytes > 0.0 {
+            disk_bytes / scenario.total_disk_bw()
+        } else {
+            0.0
+        },
+        network: p.net_bytes / scenario.total_net_bw(),
+    }
+}
+
+/// Predicts a stage's runtime under `new`, given it was measured under `old`:
+/// the measured time scaled by the ratio of modeled times (§6.2).
+pub fn predict_stage(p: &StageProfile, old: &Scenario, new: &Scenario) -> f64 {
+    let t_old = ideal_times(p, old).stage_time();
+    let t_new = ideal_times(p, new).stage_time();
+    if t_old <= 0.0 {
+        return p.measured_secs;
+    }
+    p.measured_secs * t_new / t_old
+}
+
+/// Predicts a whole job's runtime under `new`.
+///
+/// # Examples
+///
+/// ```
+/// use cluster::{ClusterSpec, DiskSpec, MachineSpec};
+/// use dataflow::{BlockMap, CostModel, JobBuilder};
+/// use perfmodel::{predict_job, profile_stages, Scenario};
+///
+/// let gib = 1024.0 * 1024.0 * 1024.0;
+/// let job = JobBuilder::new("scan", CostModel::spark_1_3())
+///     .read_disk(2.0 * gib, 1e7, gib / 8.0)
+///     .map(1.0, 1.0, true)
+///     .collect();
+/// let blocks = BlockMap::round_robin(16, 4, 2);
+/// let cluster = ClusterSpec::new(4, MachineSpec::m2_4xlarge());
+/// let out = monotasks_core::run(&cluster, &[(job, blocks)], &Default::default());
+///
+/// // Ask: what if every machine had four disks instead of two?
+/// let profiles = profile_stages(&out.records, &out.jobs);
+/// let base = Scenario::of_cluster(&cluster);
+/// let mut upgraded = base.clone();
+/// upgraded.machine.disks = vec![DiskSpec::hdd(); 4];
+/// let measured = out.jobs[0].duration_secs();
+/// let predicted = predict_job(&profiles, measured, &base, &upgraded);
+/// assert!(predicted <= measured);
+/// ```
+///
+/// §6.1 sums stage completion times; our jobs may also run *independent*
+/// stages concurrently (e.g. the two scans feeding a join), so summing
+/// per-stage predictions would double-count overlapped time. Instead the
+/// measured job duration is scaled by the stage-duration-weighted mean of
+/// the per-stage model ratios — identical to the paper's formula when stages
+/// are sequential, and correct under overlap.
+pub fn predict_job(
+    profiles: &[StageProfile],
+    measured_job_secs: f64,
+    old: &Scenario,
+    new: &Scenario,
+) -> f64 {
+    let weight: f64 = profiles.iter().map(|p| p.measured_secs).sum();
+    if weight <= 0.0 {
+        return measured_job_secs;
+    }
+    let scaled: f64 = profiles.iter().map(|p| predict_stage(p, old, new)).sum();
+    measured_job_secs * scaled / weight
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::DiskSpec;
+    use dataflow::{JobId, StageId};
+
+    fn profile() -> StageProfile {
+        StageProfile {
+            job: JobId(0),
+            stage: StageId(0),
+            measured_secs: 100.0,
+            cpu_secs: 800.0,
+            cpu_deser_secs: 400.0,
+            cpu_ser_secs: 0.0,
+            input_read_bytes: 40.0 * 110.0 * 1024.0 * 1024.0, // 40 disk-secs on 1 HDD
+            other_disk_bytes: 0.0,
+            net_bytes: 0.0,
+            reads_job_input: true,
+        }
+    }
+
+    fn hdd_cluster(machines: usize, disks: usize) -> Scenario {
+        let mut m = MachineSpec::m2_4xlarge();
+        m.disks = vec![DiskSpec::hdd(); disks];
+        Scenario {
+            machines,
+            machine: m,
+            input_deserialized_in_memory: false,
+            cpu_speedup: 1.0,
+            serde_speedup: 1.0,
+        }
+    }
+
+    #[test]
+    fn ideal_times_follow_the_formula() {
+        // 1 machine, 8 cores, 2 HDDs: cpu = 800/8 = 100 s; disk = 40/2 = 20 s.
+        let s = hdd_cluster(1, 2);
+        let t = ideal_times(&profile(), &s);
+        assert!((t.cpu - 100.0).abs() < 1e-9);
+        assert!((t.disk - 20.0).abs() < 1e-9);
+        assert_eq!(t.network, 0.0);
+        assert_eq!(t.bottleneck(), ResourceKind::Cpu);
+        assert_eq!(t.stage_time(), 100.0);
+    }
+
+    #[test]
+    fn cpu_bound_stage_unaffected_by_disk_change() {
+        // Fig 11's 10-value result: a CPU-bound job gains nothing from disks.
+        let p = profile();
+        let pred = predict_stage(&p, &hdd_cluster(1, 2), &hdd_cluster(1, 4));
+        assert!((pred - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disk_bound_stage_scales_with_disks_until_bottleneck_shifts() {
+        let mut p = profile();
+        p.cpu_secs = 80.0; // cpu ideal 10 s; disk ideal (1 HDD) 40 s.
+        let one = hdd_cluster(1, 1);
+        let two = hdd_cluster(1, 2);
+        let four = hdd_cluster(1, 4);
+        // 1→2 disks: disk still the bottleneck, 2× improvement.
+        let t2 = predict_stage(&p, &one, &two);
+        assert!((t2 - 50.0).abs() < 1e-9);
+        // 1→4 disks: disk ideal 10 s — ties CPU; improvement caps at 4×, and
+        // further disks would do nothing.
+        let t4 = predict_stage(&p, &one, &four);
+        assert!((t4 - 25.0).abs() < 1e-9);
+        let t8 = predict_stage(&p, &one, &hdd_cluster(1, 8));
+        assert!((t8 - 25.0).abs() < 1e-9, "bottleneck shifted to CPU");
+    }
+
+    #[test]
+    fn in_memory_scenario_drops_input_io_and_deser() {
+        let p = profile();
+        let mut s = hdd_cluster(1, 2);
+        s.input_deserialized_in_memory = true;
+        let t = ideal_times(&p, &s);
+        // CPU halves (deser gone), disk input gone.
+        assert!((t.cpu - 50.0).abs() < 1e-9);
+        assert_eq!(t.disk, 0.0);
+    }
+
+    #[test]
+    fn in_memory_does_not_touch_non_input_stages() {
+        let mut p = profile();
+        p.reads_job_input = false;
+        p.input_read_bytes = 0.0;
+        p.other_disk_bytes = 10.0 * 110.0 * 1024.0 * 1024.0;
+        let mut s = hdd_cluster(1, 2);
+        s.input_deserialized_in_memory = true;
+        let t = ideal_times(&p, &s);
+        assert!((t.cpu - 100.0).abs() < 1e-9, "shuffle deser must remain");
+        assert!(t.disk > 0.0);
+    }
+
+    #[test]
+    fn job_prediction_weights_stage_ratios() {
+        let p1 = profile();
+        let mut p2 = profile();
+        p2.stage = StageId(1);
+        p2.measured_secs = 50.0;
+        let old = hdd_cluster(1, 2);
+        // Unchanged scenario: prediction equals the measured job time.
+        let pred = predict_job(&[p1, p2], 150.0, &old, &old);
+        assert!((pred - 150.0).abs() < 1e-9);
+        // With overlapping stages (job shorter than the stage sum), the
+        // prediction scales the measured job time, not the sum.
+        let pred = predict_job(&[p1, p2], 120.0, &old, &old);
+        assert!((pred - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serde_speedup_scales_only_the_serde_component() {
+        // 800 cpu-s total: 400 deser + 100 ser + 300 operator work.
+        let mut p = profile();
+        p.cpu_ser_secs = 100.0;
+        let mut s = hdd_cluster(1, 2);
+        s.serde_speedup = 2.0;
+        let t = ideal_times(&p, &s);
+        // (400+100)/2 + 300 = 550 over 8 cores.
+        assert!((t.cpu - 550.0 / 8.0).abs() < 1e-9);
+        // A uniform CPU speedup divides everything.
+        s.cpu_speedup = 2.0;
+        let t = ideal_times(&p, &s);
+        assert!((t.cpu - 275.0 / 8.0).abs() < 1e-9);
+        // Disk untouched by CPU-side what-ifs.
+        assert!((t.disk - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bigger_cluster_scales_cpu_and_disk() {
+        let p = profile();
+        // 4× machines: CPU ideal 25 s → prediction 25.
+        let pred = predict_stage(&p, &hdd_cluster(1, 2), &hdd_cluster(4, 2));
+        assert!((pred - 25.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,37 @@
+//! Deterministic discrete-event simulation core.
+//!
+//! This crate provides the building blocks shared by every simulated subsystem
+//! in the monotasks reproduction:
+//!
+//! * [`time`] — integer-nanosecond simulated time ([`SimTime`], [`SimDuration`]),
+//!   chosen over floating-point seconds so that event ordering is exact and runs
+//!   are bit-reproducible.
+//! * [`events`] — a tie-broken event queue ([`EventQueue`]) and a minimal
+//!   [`World`]/[`events::run`] driver loop.
+//! * [`resource`] — a processor-sharing resource ([`PsResource`]) with per-job
+//!   rate caps and a concurrency-dependent efficiency curve. This one primitive
+//!   models CPU core pools, HDDs (whose aggregate throughput *drops* with
+//!   concurrent accesses due to seeks) and SSDs (whose throughput *rises* with
+//!   queue depth up to a device limit).
+//! * [`maxmin`] — max-min fair bandwidth allocation for network flows limited
+//!   at both sender and receiver, the standard fluid model for shuffle traffic.
+//! * [`recorder`] — time-weighted utilization traces with interval resampling
+//!   and percentile queries, used to regenerate the paper's utilization figures.
+//!
+//! Nothing in this crate knows about tasks, jobs, or analytics; it is the
+//! "operating system and hardware physics" layer.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod events;
+pub mod maxmin;
+pub mod recorder;
+pub mod resource;
+pub mod time;
+
+pub use events::{EventQueue, World};
+pub use maxmin::{FlowAllocator, FlowId};
+pub use recorder::UtilizationRecorder;
+pub use resource::{JobId, PsResource, ResourceKind};
+pub use time::{SimDuration, SimTime};

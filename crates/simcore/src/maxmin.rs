@@ -1,0 +1,349 @@
+//! Max-min fair bandwidth allocation for network flows.
+//!
+//! Shuffle traffic is modelled as fluid flows between machines. Each machine
+//! has a full-duplex NIC: a transmit capacity and a receive capacity. A flow's
+//! rate is set by progressive filling (the textbook max-min algorithm):
+//! repeatedly find the most-contended port, freeze its flows at their fair
+//! share, remove that capacity, and continue. The result is the unique max-min
+//! fair allocation, recomputed whenever a flow starts or finishes.
+//!
+//! This is the same fluid abstraction the paper leans on when reasoning about
+//! the network: what matters for performance clarity is how many flows share
+//! each sender and receiver link, not packet-level dynamics.
+
+use std::collections::BTreeMap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Remaining bytes below this are considered transferred.
+const BYTES_EPSILON: f64 = 1e-6;
+
+/// Identifies one flow. Allocated by the caller.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FlowId(pub u64);
+
+/// Index of a machine (port) in the fabric.
+pub type NodeId = usize;
+
+#[derive(Clone, Debug)]
+struct Flow {
+    src: NodeId,
+    dst: NodeId,
+    remaining: f64,
+    rate: f64,
+}
+
+/// A fabric of full-duplex ports carrying max-min fair fluid flows.
+#[derive(Debug)]
+pub struct FlowAllocator {
+    tx_cap: Vec<f64>,
+    rx_cap: Vec<f64>,
+    flows: BTreeMap<FlowId, Flow>,
+    last_advance: SimTime,
+    epoch: u64,
+    delivered: f64,
+}
+
+impl FlowAllocator {
+    /// Creates a fabric of `nodes` ports, each with the given transmit and
+    /// receive capacity in bytes per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either capacity is not strictly positive and finite.
+    pub fn new(nodes: usize, tx_cap: f64, rx_cap: f64) -> FlowAllocator {
+        assert!(tx_cap.is_finite() && tx_cap > 0.0, "bad tx capacity");
+        assert!(rx_cap.is_finite() && rx_cap > 0.0, "bad rx capacity");
+        FlowAllocator {
+            tx_cap: vec![tx_cap; nodes],
+            rx_cap: vec![rx_cap; nodes],
+            flows: BTreeMap::new(),
+            last_advance: SimTime::ZERO,
+            epoch: 0,
+            delivered: 0.0,
+        }
+    }
+
+    /// Number of ports.
+    pub fn nodes(&self) -> usize {
+        self.tx_cap.len()
+    }
+
+    /// Stale-event guard; bumped on every flow-set mutation.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of flows in flight.
+    pub fn active_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Total bytes delivered so far across all flows.
+    pub fn total_delivered(&self) -> f64 {
+        self.delivered
+    }
+
+    /// Current rate of `flow`, if active.
+    pub fn rate(&self, flow: FlowId) -> Option<f64> {
+        self.flows.get(&flow).map(|f| f.rate)
+    }
+
+    /// Fraction of `node`'s receive capacity currently in use.
+    pub fn rx_busy_fraction(&self, node: NodeId) -> f64 {
+        let used: f64 = self
+            .flows
+            .values()
+            .filter(|f| f.dst == node)
+            .map(|f| f.rate)
+            .sum();
+        used / self.rx_cap[node]
+    }
+
+    /// Fraction of `node`'s transmit capacity currently in use.
+    pub fn tx_busy_fraction(&self, node: NodeId) -> f64 {
+        let used: f64 = self
+            .flows
+            .values()
+            .filter(|f| f.src == node)
+            .map(|f| f.rate)
+            .sum();
+        used / self.tx_cap[node]
+    }
+
+    /// Drains all flows at their current rates up to `now`.
+    pub fn advance(&mut self, now: SimTime) {
+        let dt = now.since(self.last_advance).as_secs_f64();
+        self.last_advance = now;
+        if dt == 0.0 {
+            return;
+        }
+        for f in self.flows.values_mut() {
+            let drain = (f.rate * dt).min(f.remaining);
+            f.remaining -= drain;
+            self.delivered += drain;
+        }
+    }
+
+    /// Starts a flow of `bytes` from `src` to `dst`; returns the new epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate id, out-of-range node, or non-positive size.
+    pub fn insert(
+        &mut self,
+        now: SimTime,
+        id: FlowId,
+        src: NodeId,
+        dst: NodeId,
+        bytes: f64,
+    ) -> u64 {
+        assert!(bytes.is_finite() && bytes > 0.0, "bad flow size: {bytes}");
+        assert!(src < self.nodes() && dst < self.nodes(), "bad node id");
+        self.advance(now);
+        let prev = self.flows.insert(
+            id,
+            Flow {
+                src,
+                dst,
+                remaining: bytes,
+                rate: 0.0,
+            },
+        );
+        assert!(prev.is_none(), "flow {id:?} inserted twice");
+        self.reallocate();
+        self.epoch += 1;
+        self.epoch
+    }
+
+    /// Removes a flow regardless of progress; returns remaining bytes if it
+    /// was active.
+    pub fn remove(&mut self, now: SimTime, id: FlowId) -> Option<f64> {
+        self.advance(now);
+        let removed = self.flows.remove(&id).map(|f| f.remaining);
+        if removed.is_some() {
+            self.reallocate();
+            self.epoch += 1;
+        }
+        removed
+    }
+
+    /// Removes and returns all flows whose bytes have been fully delivered.
+    pub fn take_completed(&mut self, now: SimTime) -> Vec<FlowId> {
+        self.advance(now);
+        let done: Vec<FlowId> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| f.remaining <= BYTES_EPSILON)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in &done {
+            self.flows.remove(id);
+        }
+        if !done.is_empty() {
+            self.reallocate();
+            self.epoch += 1;
+        }
+        done
+    }
+
+    /// Instant of the next flow completion if the flow set does not change.
+    pub fn next_completion(&self, now: SimTime) -> Option<SimTime> {
+        debug_assert_eq!(self.last_advance, now);
+        let mut best: Option<f64> = None;
+        for f in self.flows.values() {
+            if f.remaining <= BYTES_EPSILON {
+                return Some(now);
+            }
+            debug_assert!(f.rate > 0.0, "active flow with zero rate");
+            let dt = f.remaining / f.rate;
+            best = Some(match best {
+                Some(b) => b.min(dt),
+                None => dt,
+            });
+        }
+        best.map(|dt| now + SimDuration::from_secs_f64(dt).max(SimDuration::NANO))
+    }
+
+    /// Recomputes the max-min fair allocation by progressive filling.
+    fn reallocate(&mut self) {
+        let n = self.nodes();
+        let mut tx_left = self.tx_cap.clone();
+        let mut rx_left = self.rx_cap.clone();
+        let mut tx_count = vec![0usize; n];
+        let mut rx_count = vec![0usize; n];
+        let ids: Vec<FlowId> = self.flows.keys().copied().collect();
+        let mut unfrozen: Vec<FlowId> = ids.clone();
+        for f in self.flows.values() {
+            tx_count[f.src] += 1;
+            rx_count[f.dst] += 1;
+        }
+        while !unfrozen.is_empty() {
+            // The bottleneck port is the one offering the smallest fair share.
+            let mut share = f64::INFINITY;
+            for i in 0..n {
+                if tx_count[i] > 0 {
+                    share = share.min(tx_left[i] / tx_count[i] as f64);
+                }
+                if rx_count[i] > 0 {
+                    share = share.min(rx_left[i] / rx_count[i] as f64);
+                }
+            }
+            debug_assert!(share.is_finite());
+            // Freeze every flow crossing a port that is exactly at the
+            // bottleneck share (within tolerance).
+            let tol = share * 1e-12 + 1e-15;
+            let mut frozen_any = false;
+            let mut still: Vec<FlowId> = Vec::new();
+            for id in unfrozen.drain(..) {
+                let (src, dst) = {
+                    let f = &self.flows[&id];
+                    (f.src, f.dst)
+                };
+                let tx_share = tx_left[src] / tx_count[src] as f64;
+                let rx_share = rx_left[dst] / rx_count[dst] as f64;
+                if tx_share <= share + tol || rx_share <= share + tol {
+                    let f = self.flows.get_mut(&id).expect("flow vanished");
+                    f.rate = share;
+                    tx_left[src] -= share;
+                    rx_left[dst] -= share;
+                    tx_count[src] -= 1;
+                    rx_count[dst] -= 1;
+                    frozen_any = true;
+                } else {
+                    still.push(id);
+                }
+            }
+            debug_assert!(frozen_any, "progressive filling made no progress");
+            unfrozen = still;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime(SimDuration::from_secs_f64(secs).0)
+    }
+
+    #[test]
+    fn single_flow_gets_min_of_port_caps() {
+        let mut fab = FlowAllocator::new(2, 100.0, 80.0);
+        fab.insert(SimTime::ZERO, FlowId(1), 0, 1, 160.0);
+        // Limited by the receiver at 80 B/s.
+        assert_eq!(fab.rate(FlowId(1)), Some(80.0));
+        assert_eq!(fab.next_completion(SimTime::ZERO), Some(t(2.0)));
+    }
+
+    #[test]
+    fn receiver_shared_fairly() {
+        let mut fab = FlowAllocator::new(3, 100.0, 100.0);
+        fab.insert(SimTime::ZERO, FlowId(1), 0, 2, 100.0);
+        fab.insert(SimTime::ZERO, FlowId(2), 1, 2, 100.0);
+        // Two senders into one receiver: 50 each.
+        assert_eq!(fab.rate(FlowId(1)), Some(50.0));
+        assert_eq!(fab.rate(FlowId(2)), Some(50.0));
+        assert!((fab.rx_busy_fraction(2) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn maxmin_redistributes_leftover_capacity() {
+        // Node 0 sends to 1 and 2; node 3 also sends to 2.
+        // Receiver 2 is the bottleneck for its two flows (50 each), and flow
+        // 0→1 can then use the rest of 0's tx capacity (50).
+        let mut fab = FlowAllocator::new(4, 100.0, 100.0);
+        fab.insert(SimTime::ZERO, FlowId(1), 0, 1, 1e9);
+        fab.insert(SimTime::ZERO, FlowId(2), 0, 2, 1e9);
+        fab.insert(SimTime::ZERO, FlowId(3), 3, 2, 1e9);
+        let r1 = fab.rate(FlowId(1)).unwrap();
+        let r2 = fab.rate(FlowId(2)).unwrap();
+        let r3 = fab.rate(FlowId(3)).unwrap();
+        assert!((r2 - 50.0).abs() < 1e-6, "r2={r2}");
+        assert!((r3 - 50.0).abs() < 1e-6, "r3={r3}");
+        assert!((r1 - 50.0).abs() < 1e-6, "r1={r1}");
+        // Total out of node 0 respects its tx cap.
+        assert!(r1 + r2 <= 100.0 + 1e-6);
+    }
+
+    #[test]
+    fn completion_then_speedup() {
+        let mut fab = FlowAllocator::new(3, 100.0, 100.0);
+        fab.insert(SimTime::ZERO, FlowId(1), 0, 2, 50.0);
+        fab.insert(SimTime::ZERO, FlowId(2), 1, 2, 200.0);
+        // Both at 50 B/s; flow 1 done at t=1.
+        let c = fab.next_completion(SimTime::ZERO).unwrap();
+        assert_eq!(c, t(1.0));
+        fab.advance(c);
+        assert_eq!(fab.take_completed(c), vec![FlowId(1)]);
+        // Flow 2 now gets the full 100 B/s with 150 left: done at t=2.5.
+        assert_eq!(fab.next_completion(c), Some(t(2.5)));
+    }
+
+    #[test]
+    fn conservation_of_bytes() {
+        let mut fab = FlowAllocator::new(4, 10.0, 10.0);
+        let sizes = [3.0, 7.0, 11.0, 5.0];
+        fab.insert(SimTime::ZERO, FlowId(0), 0, 1, sizes[0]);
+        fab.insert(SimTime::ZERO, FlowId(1), 0, 2, sizes[1]);
+        fab.insert(SimTime::ZERO, FlowId(2), 3, 1, sizes[2]);
+        fab.insert(SimTime::ZERO, FlowId(3), 2, 0, sizes[3]);
+        let mut now = SimTime::ZERO;
+        while fab.active_flows() > 0 {
+            now = fab.next_completion(now).unwrap();
+            fab.advance(now);
+            fab.take_completed(now);
+        }
+        let total: f64 = sizes.iter().sum();
+        assert!((fab.total_delivered() - total).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "inserted twice")]
+    fn duplicate_flow_panics() {
+        let mut fab = FlowAllocator::new(2, 1.0, 1.0);
+        fab.insert(SimTime::ZERO, FlowId(1), 0, 1, 1.0);
+        fab.insert(SimTime::ZERO, FlowId(1), 0, 1, 1.0);
+    }
+}

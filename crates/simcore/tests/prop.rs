@@ -1,0 +1,160 @@
+//! Property tests for the simulation primitives: whatever the workload, the
+//! fluid resources must conserve work, respect capacities, and terminate.
+
+use proptest::prelude::*;
+use simcore::resource::EfficiencyCurve;
+use simcore::{FlowAllocator, FlowId, JobId, PsResource, ResourceKind, SimTime};
+
+fn drive_resource(r: &mut PsResource, jobs: usize) -> (f64, SimTime) {
+    let mut now = SimTime::ZERO;
+    let mut completed = 0;
+    let mut guard = 0;
+    while completed < jobs {
+        let t = r.next_completion(now).expect("active jobs must progress");
+        assert!(t >= now, "time went backwards");
+        now = t;
+        r.advance(now);
+        completed += r.take_completed(now).len();
+        guard += 1;
+        assert!(guard < 10_000, "resource did not converge");
+    }
+    (r.total_delivered(), now)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn ps_resource_conserves_work(
+        capacity in 1.0f64..1000.0,
+        cap in prop_oneof![Just(None), (0.1f64..10.0).prop_map(Some)],
+        works in prop::collection::vec(0.1f64..100.0, 1..20),
+    ) {
+        let mut r = PsResource::new(
+            ResourceKind::Cpu,
+            capacity,
+            cap,
+            EfficiencyCurve::Flat,
+        );
+        for (i, w) in works.iter().enumerate() {
+            r.insert(SimTime::ZERO, JobId(i as u64), *w);
+        }
+        let total: f64 = works.iter().sum();
+        let (delivered, _) = drive_resource(&mut r, works.len());
+        prop_assert!((delivered - total).abs() / total < 1e-6);
+        prop_assert_eq!(r.active_jobs(), 0);
+    }
+
+    #[test]
+    fn ps_resource_never_beats_capacity_or_caps(
+        capacity in 1.0f64..100.0,
+        works in prop::collection::vec(1.0f64..50.0, 1..16),
+    ) {
+        // With a per-job cap of 1.0, n jobs of work w each must take at
+        // least max(w, total/capacity) seconds.
+        let mut r = PsResource::new(
+            ResourceKind::Cpu,
+            capacity,
+            Some(1.0),
+            EfficiencyCurve::Flat,
+        );
+        for (i, w) in works.iter().enumerate() {
+            r.insert(SimTime::ZERO, JobId(i as u64), *w);
+        }
+        let total: f64 = works.iter().sum();
+        let max_work = works.iter().cloned().fold(0.0f64, f64::max);
+        let (_, end) = drive_resource(&mut r, works.len());
+        let lower = max_work.max(total / capacity);
+        prop_assert!(
+            end.as_secs_f64() >= lower * (1.0 - 1e-9),
+            "finished at {} but lower bound is {}", end.as_secs_f64(), lower
+        );
+    }
+
+    #[test]
+    fn hdd_curve_is_monotone_and_floored(
+        factor in 0.01f64..2.0,
+        floor in 0.05f64..0.9,
+        k in 1usize..64,
+    ) {
+        let c = EfficiencyCurve::HddSeek {
+            read_factor: factor,
+            write_factor: factor * 2.0,
+            floor,
+        };
+        let e_k = c.at(k);
+        let e_k1 = c.at(k + 1);
+        prop_assert!(e_k1 <= e_k + 1e-12, "efficiency must not rise with k");
+        prop_assert!(e_k >= floor - 1e-12);
+        prop_assert!(e_k <= 1.0 + 1e-12);
+        // Writers hurt at least as much as readers.
+        prop_assert!(c.at_rw(k, 1) <= c.at_rw(k + 1, 0) + 1e-12);
+    }
+
+    #[test]
+    fn flow_allocator_respects_port_caps_and_delivers_all_bytes(
+        n_nodes in 2usize..8,
+        flows in prop::collection::vec(
+            (0usize..8, 0usize..8, 1.0f64..1000.0),
+            1..24,
+        ),
+        cap in 10.0f64..1000.0,
+    ) {
+        let mut fab = FlowAllocator::new(n_nodes, cap, cap);
+        let mut total = 0.0;
+        let mut inserted = 0;
+        for (i, (src, dst, bytes)) in flows.iter().enumerate() {
+            let (src, dst) = (src % n_nodes, dst % n_nodes);
+            fab.insert(SimTime::ZERO, FlowId(i as u64), src, dst, *bytes);
+            total += bytes;
+            inserted += 1;
+        }
+        // Rates never exceed port capacities.
+        for node in 0..n_nodes {
+            prop_assert!(fab.tx_busy_fraction(node) <= 1.0 + 1e-9);
+            prop_assert!(fab.rx_busy_fraction(node) <= 1.0 + 1e-9);
+        }
+        // Drive to completion; all bytes arrive.
+        let mut now = SimTime::ZERO;
+        let mut done = 0;
+        let mut guard = 0;
+        while done < inserted {
+            let t = fab.next_completion(now).expect("flows active");
+            now = t;
+            fab.advance(now);
+            done += fab.take_completed(now).len();
+            // Caps hold at every reallocation point.
+            for node in 0..n_nodes {
+                prop_assert!(fab.tx_busy_fraction(node) <= 1.0 + 1e-9);
+                prop_assert!(fab.rx_busy_fraction(node) <= 1.0 + 1e-9);
+            }
+            guard += 1;
+            prop_assert!(guard < 10_000);
+        }
+        prop_assert!((fab.total_delivered() - total).abs() / total < 1e-6);
+    }
+
+    #[test]
+    fn flow_completion_time_no_better_than_bandwidth_bound(
+        flows in prop::collection::vec(1.0f64..500.0, 1..12),
+        cap in 10.0f64..200.0,
+    ) {
+        // All flows into one receiver: finish no earlier than sum/cap.
+        let n = flows.len();
+        let mut fab = FlowAllocator::new(n + 1, 1e12, cap);
+        for (i, bytes) in flows.iter().enumerate() {
+            fab.insert(SimTime::ZERO, FlowId(i as u64), i, n, *bytes);
+        }
+        let mut now = SimTime::ZERO;
+        let mut done = 0;
+        while done < n {
+            let t = fab.next_completion(now).expect("flows active");
+            now = t;
+            fab.advance(now);
+            done += fab.take_completed(now).len();
+        }
+        let bound = flows.iter().sum::<f64>() / cap;
+        prop_assert!(now.as_secs_f64() >= bound * (1.0 - 1e-9));
+        // And max-min fairness means equal flows finish together.
+    }
+}

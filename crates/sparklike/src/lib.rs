@@ -1,0 +1,28 @@
+//! The baseline: a Spark-1.3-like executor with slot scheduling and
+//! fine-grained multi-resource pipelining.
+//!
+//! This is the architecture §2 describes and the evaluation compares against:
+//!
+//! * The job scheduler assigns tasks to a **fixed number of slots** per
+//!   machine (by default one per core) — "controlling this number of slots is
+//!   the only mechanism the scheduler has for regulating resource use" (§6.6).
+//! * Each task **pipelines** its resource use at fine granularity: while it
+//!   reads its input block it simultaneously deserializes and computes, so a
+//!   task phase is a coupled fluid stream over disk + CPU (+ network for
+//!   shuffle fetches) that progresses at the rate of its most contended
+//!   resource.
+//! * Tasks on a machine **contend in the OS**: concurrent streams on an HDD
+//!   lose aggregate throughput to seeks, and disk writes land in the **buffer
+//!   cache**, flushed later by the OS where they contend with subsequent
+//!   reads (§2.2's third challenge). `write_through` forces synchronous
+//!   writes instead — the second Spark configuration of Fig 5.
+//!
+//! The executor consumes exactly the same [`dataflow::JobSpec`]s as the
+//! monotasks executor, so measured differences are architectural.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod executor;
+
+pub use executor::{run, SparkConfig, SparkRunOutput, TaskRecord};

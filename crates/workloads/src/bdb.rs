@@ -1,0 +1,227 @@
+//! The big data benchmark (§5.2): ten queries over synthetic tables shaped
+//! like the AMPLab benchmark at scale factor five.
+//!
+//! Tables (uncompressed sizes; stored as ~2.5× compressed sequence files,
+//! with decompression charged to CPU — the benchmark configuration the paper
+//! uses):
+//!
+//! * `rankings` (~6.4 GB, ~90 M rows): page, pageRank, avgDuration.
+//! * `uservisits` (~126 GB, ~775 M rows): sourceIP, destURL, date, adRevenue…
+//! * `documents` (~30 GB): unstructured crawl text for the UDF query.
+//!
+//! Queries 1–3 come in three variants whose *result sizes* grow from
+//! business-intelligence-like (a) to ETL-like (c); query 4 runs a
+//! script-style UDF (the paper's version uses a Python script).
+
+use dataflow::{BlockMap, CostModel, JobBuilder, JobSpec};
+
+use crate::{BLOCK_BYTES, GIB};
+
+/// Compression ratio of the on-disk sequence files.
+const COMPRESSION: f64 = 2.5;
+
+/// Uncompressed table sizes and row counts.
+const RANKINGS_BYTES: f64 = 6.4 * GIB;
+const RANKINGS_ROWS: f64 = 90e6;
+const USERVISITS_BYTES: f64 = 126.0 * GIB;
+const USERVISITS_ROWS: f64 = 775e6;
+const DOCUMENTS_BYTES: f64 = 30.0 * GIB;
+const DOCUMENTS_ROWS: f64 = 120e6;
+
+/// CPU cost per byte of the query-4 UDF (a script interpreter, ~10 MB/s).
+const UDF_SECS_PER_BYTE: f64 = 1.0 / (10.0 * 1024.0 * 1024.0);
+
+/// Block size for the small tables: small enough that even the scan of
+/// `rankings` yields several waves of tasks per core (the paper notes all
+/// benchmark defaults "broke jobs into enough tasks", §5.3).
+const SMALL_TABLE_BLOCK: f64 = 16.0 * crate::MIB;
+
+/// One of the benchmark's queries.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[allow(missing_docs)]
+pub enum BdbQuery {
+    Q1a,
+    Q1b,
+    Q1c,
+    Q2a,
+    Q2b,
+    Q2c,
+    Q3a,
+    Q3b,
+    Q3c,
+    Q4,
+}
+
+impl BdbQuery {
+    /// All ten queries in presentation order (Fig 5's x-axis).
+    pub fn all() -> [BdbQuery; 10] {
+        use BdbQuery::*;
+        [Q1a, Q1b, Q1c, Q2a, Q2b, Q2c, Q3a, Q3b, Q3c, Q4]
+    }
+
+    /// The label the paper uses.
+    pub fn label(self) -> &'static str {
+        use BdbQuery::*;
+        match self {
+            Q1a => "1a",
+            Q1b => "1b",
+            Q1c => "1c",
+            Q2a => "2a",
+            Q2b => "2b",
+            Q2c => "2c",
+            Q3a => "3a",
+            Q3b => "3b",
+            Q3c => "3c",
+            Q4 => "4",
+        }
+    }
+}
+
+/// Charges the scan-side CPU for reading a compressed table: decompression
+/// of the raw bytes (deserialization of the compressed bytes is charged by
+/// `read_disk` itself).
+fn scan_compressed(name: &str, raw_bytes: f64, rows: f64, cost: CostModel) -> JobBuilder {
+    let compressed = raw_bytes / COMPRESSION;
+    let block = if compressed < 20.0 * GIB {
+        SMALL_TABLE_BLOCK
+    } else {
+        BLOCK_BYTES
+    };
+    JobBuilder::new(name, cost)
+        .read_disk(compressed, rows, block)
+        .add_compute(raw_bytes * cost.decompress_per_byte)
+}
+
+/// Builds one benchmark query for a cluster of `machines`×`disks` workers.
+pub fn bdb_job(q: BdbQuery, machines: usize, disks: usize) -> (JobSpec, BlockMap) {
+    let cost = CostModel::spark_1_3();
+    let name = format!("bdb-{}", q.label());
+    let reduce_tasks = (machines * 8 * 2).max(8);
+    use BdbQuery::*;
+    let job = match q {
+        // Query 1: SELECT pageURL, pageRank FROM rankings WHERE pageRank > X.
+        // One scan stage; the variants differ in how much survives the
+        // filter and is written out (1c writes an ETL-sized result).
+        Q1a | Q1b | Q1c => {
+            // 1c writes an ETL-scale result (uncompressed, several times the
+            // compressed input) — large enough that forcing the write to disk
+            // visibly slows the query, as in §5.3.
+            let out_sel: f64 = match q {
+                Q1a => 0.0005,
+                Q1b => 0.05,
+                _ => 4.0,
+            };
+            scan_compressed(&name, RANKINGS_BYTES, RANKINGS_ROWS, cost)
+                .map(out_sel.min(1.0), 1.0, false)
+                .write_disk(out_sel)
+        }
+        // Query 2: SELECT SUBSTR(sourceIP, 1, X), SUM(adRevenue) FROM
+        // uservisits GROUP BY SUBSTR(...). Scan + aggregation; the variants
+        // grow the group count and thus the shuffle and result.
+        Q2a | Q2b | Q2c => {
+            let shuffle_sel = match q {
+                Q2a => 0.001,
+                Q2b => 0.01,
+                _ => 0.08,
+            };
+            scan_compressed(&name, USERVISITS_BYTES, USERVISITS_ROWS, cost)
+                .map(1.0, shuffle_sel, true) // hash + partial aggregation
+                .shuffle(reduce_tasks, false)
+                .map(0.5, 0.9, true) // final aggregation
+                .write_disk(1.0)
+        }
+        // Query 3: join of date-filtered uservisits with rankings. Two scan
+        // stages feeding one join stage; variants widen the date range.
+        Q3a | Q3b | Q3c => {
+            let date_sel = match q {
+                Q3a => 0.015,
+                Q3b => 0.06,
+                _ => 0.30,
+            };
+            let visits = scan_compressed(&name, USERVISITS_BYTES, USERVISITS_ROWS, cost)
+                .map(date_sel, date_sel, false);
+            let rankings = scan_compressed("bdb-q3-rankings", RANKINGS_BYTES, RANKINGS_ROWS, cost)
+                .map(1.0, 1.0, false);
+            visits
+                .shuffle_join(rankings, reduce_tasks, false)
+                .map(0.3, 0.3, true) // join + aggregate
+                .write_disk(0.5)
+        }
+        // Query 4: a script UDF over the crawl documents (CPU-heavy), then a
+        // count-like aggregation.
+        Q4 => scan_compressed(&name, DOCUMENTS_BYTES, DOCUMENTS_ROWS, cost)
+            .add_compute(DOCUMENTS_BYTES * UDF_SECS_PER_BYTE)
+            .map(1.0, 0.02, false)
+            .shuffle(reduce_tasks, false)
+            .map(0.5, 0.5, true)
+            .write_disk(1.0),
+    };
+    let blocks = BlockMap::round_robin(JobBuilder::blocks_allocated(&job).max(1), machines, disks);
+    (job, blocks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_queries_validate() {
+        for q in BdbQuery::all() {
+            let (job, blocks) = bdb_job(q, 5, 2);
+            assert!(job.validate().is_ok(), "{q:?}: {:?}", job.validate());
+            assert!(blocks.blocks() > 0);
+        }
+    }
+
+    #[test]
+    fn query_shapes_match_the_benchmark() {
+        let (q1, _) = bdb_job(BdbQuery::Q1a, 5, 2);
+        assert_eq!(q1.stages.len(), 1, "scan query is one stage");
+        let (q2, _) = bdb_job(BdbQuery::Q2b, 5, 2);
+        assert_eq!(q2.stages.len(), 2, "aggregation is scan + reduce");
+        let (q3, _) = bdb_job(BdbQuery::Q3c, 5, 2);
+        assert_eq!(q3.stages.len(), 3, "join has two scans + join stage");
+    }
+
+    #[test]
+    fn result_sizes_grow_across_variants() {
+        let out = |q: BdbQuery| -> f64 {
+            let (job, _) = bdb_job(q, 5, 2);
+            job.stages
+                .iter()
+                .flat_map(|s| &s.tasks)
+                .map(|t| t.output.disk_bytes())
+                .sum()
+        };
+        assert!(out(BdbQuery::Q1a) < out(BdbQuery::Q1b));
+        assert!(out(BdbQuery::Q1b) < out(BdbQuery::Q1c));
+        assert!(out(BdbQuery::Q2a) < out(BdbQuery::Q2c));
+        assert!(out(BdbQuery::Q3a) < out(BdbQuery::Q3c));
+    }
+
+    #[test]
+    fn q1c_writes_an_etl_scale_result() {
+        // §5.3: with 5 workers × 2 disks, each disk writes hundreds of MB of
+        // result (the paper measured ~511 MB; our scan CPU is lighter, so a
+        // proportionally larger result reproduces the runtime ratio).
+        let (job, _) = bdb_job(BdbQuery::Q1c, 5, 2);
+        let out: f64 = job.stages[0]
+            .tasks
+            .iter()
+            .map(|t| t.output.disk_bytes())
+            .sum();
+        let per_disk = out / 10.0;
+        assert!(
+            per_disk > 300e6 && per_disk < 2000e6,
+            "per-disk output {per_disk}"
+        );
+    }
+
+    #[test]
+    fn q4_is_cpu_heavy() {
+        let (q4, _) = bdb_job(BdbQuery::Q4, 5, 2);
+        let cpu: f64 = q4.stages.iter().map(|s| s.total_cpu()).sum();
+        // The UDF alone is ≥ 30 GB × 100 ns/B ≈ 3000 core-seconds.
+        assert!(cpu > 3000.0, "q4 cpu = {cpu}");
+    }
+}

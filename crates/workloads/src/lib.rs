@@ -1,0 +1,42 @@
+//! The paper's evaluation workloads (§5.1–§5.2), as job generators.
+//!
+//! * [`sort`] — the tunable sort: fixed total bytes, variable values-per-key
+//!   so the CPU:disk balance sweeps from CPU-bound (small values) to
+//!   disk-bound (large values), exactly the lever §6.2 uses.
+//! * [`bdb`] — the big data benchmark (AMPLab, derived from Pavlo et al.):
+//!   ten queries over compressed sequence files — scans (1a–1c),
+//!   aggregations (2a–2c), joins (3a–3c), and a UDF query (4) — with
+//!   result-size variants a/b/c.
+//! * [`ml`] — the machine-learning workload: block-coordinate-descent matrix
+//!   multiplications with native-code CPU efficiency and in-memory shuffles,
+//!   making it network-intensive.
+//! * [`wordcount`] — the paper's running example (Fig 1), with both a planned
+//!   job and a real reference-executor implementation.
+//!
+//! Data that the paper draws from Common Crawl and HiBench is generated
+//! synthetically with the published volumes and shapes (see DESIGN.md's
+//! substitution table).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bdb;
+pub mod ml;
+pub mod skew;
+pub mod sort;
+pub mod wordcount;
+
+pub use bdb::{bdb_job, BdbQuery};
+pub use ml::{ml_jobs, MlConfig};
+pub use skew::{apply_input_skew, input_skew_ratio};
+pub use sort::{sort_job, SortConfig};
+pub use wordcount::wordcount_job;
+
+/// One gibibyte in bytes.
+pub const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+
+/// One mebibyte in bytes.
+pub const MIB: f64 = 1024.0 * 1024.0;
+
+/// Default HDFS-style block size (128 MiB).
+pub const BLOCK_BYTES: f64 = 128.0 * MIB;

@@ -1,0 +1,126 @@
+//! The machine-learning workload (§5.2): a least-squares solve by block
+//! coordinate descent, i.e. a series of distributed matrix multiplications.
+//!
+//! Three properties distinguish it from the other workloads, all reproduced
+//! here: the CPU path is *optimized* (flat double arrays, native BLAS — the
+//! [`CostModel::optimized_native`] constants), "a large amount of data is
+//! sent over the network in between each stage" making it network-intensive,
+//! and shuffle data is stored in memory, so disks are never touched.
+//!
+//! Each multiplication is one job (map: multiply row blocks; reduce: sum the
+//! partial products); the workload is the sequence of multiplications, run
+//! back-to-back as the driver would.
+
+use dataflow::{BlockMap, CostModel, JobBuilder, JobSpec};
+
+/// Machine-learning workload parameters.
+#[derive(Clone, Debug)]
+pub struct MlConfig {
+    /// Worker machines (the paper uses 15).
+    pub machines: usize,
+    /// Matrix multiplications (block coordinate descent iterations).
+    pub iterations: usize,
+    /// Matrix rows (the paper: one million).
+    pub rows: f64,
+    /// Matrix columns (the paper: 4096).
+    pub cols: f64,
+}
+
+impl Default for MlConfig {
+    fn default() -> Self {
+        MlConfig {
+            machines: 15,
+            iterations: 3,
+            rows: 1e6,
+            cols: 4096.0,
+        }
+    }
+}
+
+impl MlConfig {
+    /// Bytes of the row-partitioned input matrix (doubles).
+    pub fn matrix_bytes(&self) -> f64 {
+        self.rows * self.cols * 8.0
+    }
+
+    /// Bytes shuffled per multiplication: each map task emits a cols×cols
+    /// partial Gram matrix.
+    pub fn shuffle_bytes(&self, map_tasks: usize) -> f64 {
+        self.cols * self.cols * 8.0 * map_tasks as f64
+    }
+}
+
+/// Builds one job per matrix multiplication; run them sequentially.
+pub fn ml_jobs(cfg: &MlConfig) -> Vec<(JobSpec, BlockMap)> {
+    let cost = CostModel::optimized_native();
+    // Row blocks: a few tasks per core keeps every machine busy.
+    let map_tasks = cfg.machines * 8 * 2;
+    let reduce_tasks = cfg.machines * 8;
+    let matrix = cfg.matrix_bytes();
+    let shuffle = cfg.shuffle_bytes(map_tasks);
+    // BLAS time per multiplication: rows × cols² × 2 flops at ~8 GFLOP/s/core.
+    let flops = cfg.rows * cfg.cols * cfg.cols * 2.0;
+    let blas_secs = flops / 8e9;
+    (0..cfg.iterations)
+        .map(|i| {
+            let job = JobBuilder::new(format!("ml-iter-{i}"), cost)
+                .read_memory(matrix, cfg.rows, map_tasks, true)
+                .add_compute(blas_secs)
+                .map(1.0, shuffle / matrix, false)
+                .shuffle(reduce_tasks, true)
+                // Reduce: sum `map_tasks` partial matrices.
+                .add_compute(shuffle / 8.0 * 1e-9)
+                .map(1.0, 1.0 / map_tasks as f64, false)
+                .write_memory();
+            let blocks = BlockMap::round_robin(1, cfg.machines, 1);
+            (job, blocks)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataflow::OutputSpec;
+
+    #[test]
+    fn jobs_validate_and_never_touch_disk() {
+        let jobs = ml_jobs(&MlConfig::default());
+        assert_eq!(jobs.len(), 3);
+        for (job, _) in &jobs {
+            assert!(job.validate().is_ok());
+            for st in &job.stages {
+                for t in &st.tasks {
+                    assert_eq!(t.output.disk_bytes(), 0.0);
+                    assert!(!matches!(t.input, dataflow::InputSpec::DiskBlock { .. }));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shuffle_is_large_relative_to_network() {
+        let cfg = MlConfig::default();
+        let jobs = ml_jobs(&cfg);
+        let (job, _) = &jobs[0];
+        let shuffle = job.stages[0].total_shuffle_write();
+        // ≈ 240 tasks × 134 MB ≈ 32 GB: several seconds of cluster NIC time.
+        assert!(shuffle > 10.0 * crate::GIB, "shuffle = {shuffle}");
+        assert!(job.stages[0].tasks.iter().all(|t| matches!(
+            t.output,
+            OutputSpec::ShuffleWrite {
+                in_memory: true,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn compute_is_heavy_but_native() {
+        let cfg = MlConfig::default();
+        let (job, _) = &ml_jobs(&cfg)[0];
+        let cpu: f64 = job.stages[0].total_cpu();
+        // 2·rows·cols² flops at 8 GFLOP/s ≈ 4200 core-seconds.
+        assert!(cpu > 3000.0 && cpu < 10_000.0, "cpu = {cpu}");
+    }
+}

@@ -1,0 +1,127 @@
+//! Task-size skew: the straggler generator.
+//!
+//! Real input data is rarely uniform; a few oversized blocks produce the
+//! stragglers that §8's head-of-line-blocking discussion worries about.
+//! [`apply_input_skew`] rescales a job's per-task input sizes by seeded
+//! Zipf-like weights while preserving the stage's total bytes, so the same
+//! workload can be studied uniform and skewed.
+
+use dataflow::{InputSpec, JobSpec};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Multiplies stage 0's per-task input sizes by Zipf(`s`)-distributed weights
+/// (randomly permuted with `seed`), rescaled so the total input is unchanged.
+/// CPU per task is scaled with its bytes, preserving the stage's CPU:byte
+/// ratio.
+///
+/// Larger `s` means heavier skew: `s = 0` is uniform; at `s = 1` the largest
+/// task is roughly `n / H(n)` times the mean.
+///
+/// # Panics
+///
+/// Panics if the job's first stage does not read sized input, or `s < 0`.
+pub fn apply_input_skew(job: &mut JobSpec, s: f64, seed: u64) {
+    assert!(s >= 0.0, "skew exponent must be non-negative");
+    let stage = job.stages.first_mut().expect("job has no stages");
+    let n = stage.tasks.len();
+    assert!(n > 0);
+    // Zipf weights 1/rank^s, shuffled deterministically.
+    let mut weights: Vec<f64> = (1..=n).map(|rank| 1.0 / (rank as f64).powf(s)).collect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Fisher–Yates with the seeded generator.
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        weights.swap(i, j);
+    }
+    let mean_w: f64 = weights.iter().sum::<f64>() / n as f64;
+    for (task, w) in stage.tasks.iter_mut().zip(&weights) {
+        let scale = w / mean_w;
+        match &mut task.input {
+            InputSpec::DiskBlock { bytes, .. } | InputSpec::Memory { bytes } => {
+                *bytes *= scale;
+            }
+            other => panic!("cannot skew input {other:?}"),
+        }
+        task.cpu.deser *= scale;
+        task.cpu.compute *= scale;
+        task.cpu.ser *= scale;
+    }
+}
+
+/// The largest-to-mean input ratio of a job's first stage — how bad the
+/// straggler is.
+pub fn input_skew_ratio(job: &JobSpec) -> f64 {
+    let sizes: Vec<f64> = job.stages[0]
+        .tasks
+        .iter()
+        .map(|t| t.input.bytes())
+        .collect();
+    let mean = sizes.iter().sum::<f64>() / sizes.len() as f64;
+    let max = sizes.iter().cloned().fold(0.0f64, f64::max);
+    if mean > 0.0 {
+        max / mean
+    } else {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{sort_job, SortConfig};
+
+    fn job() -> JobSpec {
+        sort_job(&SortConfig::new(2.0, 10, 4, 2)).0
+    }
+
+    #[test]
+    fn preserves_total_bytes_and_cpu() {
+        let uniform = job();
+        let total = |j: &JobSpec| -> (f64, f64) {
+            (
+                j.stages[0].tasks.iter().map(|t| t.input.bytes()).sum(),
+                j.stages[0].total_cpu(),
+            )
+        };
+        let (b0, c0) = total(&uniform);
+        let mut skewed = uniform;
+        apply_input_skew(&mut skewed, 1.0, 7);
+        let (b1, c1) = total(&skewed);
+        assert!((b0 - b1).abs() / b0 < 1e-9);
+        assert!((c0 - c1).abs() / c0 < 1e-9);
+        assert!(skewed.validate().is_ok());
+    }
+
+    #[test]
+    fn skew_grows_with_the_exponent() {
+        let mut mild = job();
+        apply_input_skew(&mut mild, 0.5, 7);
+        let mut heavy = job();
+        apply_input_skew(&mut heavy, 1.5, 7);
+        assert!(input_skew_ratio(&heavy) > input_skew_ratio(&mild));
+        assert!(input_skew_ratio(&mild) > 1.0);
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let mut j = job();
+        apply_input_skew(&mut j, 0.0, 7);
+        assert!((input_skew_ratio(&j) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn seeded_and_deterministic() {
+        let mut a = job();
+        apply_input_skew(&mut a, 1.0, 42);
+        let mut b = job();
+        apply_input_skew(&mut b, 1.0, 42);
+        let sizes = |j: &JobSpec| -> Vec<f64> {
+            j.stages[0].tasks.iter().map(|t| t.input.bytes()).collect()
+        };
+        assert_eq!(sizes(&a), sizes(&b));
+        let mut c = job();
+        apply_input_skew(&mut c, 1.0, 43);
+        assert_ne!(sizes(&a), sizes(&c), "different seeds, different layout");
+    }
+}

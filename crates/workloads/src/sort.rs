@@ -1,0 +1,144 @@
+//! The tunable sort workload (§5.2, §6.2, §7).
+//!
+//! Sorts `total_bytes` of key-value pairs where each value is an array of
+//! `longs_per_value` 8-byte longs. Fixing the total bytes while shrinking the
+//! values multiplies the record count, and with it the per-record sort CPU —
+//! "smaller values result in more CPU time" (§5.2) — without changing the I/O
+//! demand. The paper sweeps 1–100 longs to move the bottleneck between CPU
+//! and disk (Figs 11, 13, 18).
+
+use dataflow::{BlockMap, CostModel, JobBuilder, JobSpec};
+
+use crate::BLOCK_BYTES;
+
+/// Sort workload parameters.
+#[derive(Clone, Debug)]
+pub struct SortConfig {
+    /// Total input bytes.
+    pub total_bytes: f64,
+    /// Longs per value; the key is one more long.
+    pub longs_per_value: usize,
+    /// Worker machines (for block placement).
+    pub machines: usize,
+    /// Disks per machine (for block placement).
+    pub disks_per_machine: usize,
+    /// Override the number of map tasks (None: one per 128 MiB block).
+    pub map_tasks: Option<usize>,
+    /// Override the number of reduce tasks (None: same as map tasks).
+    pub reduce_tasks: Option<usize>,
+    /// Store input in memory, deserialized (the Fig 13 target config).
+    pub input_in_memory: bool,
+}
+
+impl SortConfig {
+    /// A sort of `gib` GiB with `longs_per_value`-long values on a cluster.
+    pub fn new(gib: f64, longs_per_value: usize, machines: usize, disks: usize) -> SortConfig {
+        SortConfig {
+            total_bytes: gib * crate::GIB,
+            longs_per_value,
+            machines,
+            disks_per_machine: disks,
+            map_tasks: None,
+            reduce_tasks: None,
+            input_in_memory: false,
+        }
+    }
+
+    /// Bytes per record: an 8-byte key plus the value longs.
+    pub fn record_bytes(&self) -> f64 {
+        8.0 * (1 + self.longs_per_value) as f64
+    }
+
+    /// Total records.
+    pub fn records(&self) -> f64 {
+        self.total_bytes / self.record_bytes()
+    }
+}
+
+/// Builds the sort job and its input block placement.
+pub fn sort_job(cfg: &SortConfig) -> (JobSpec, BlockMap) {
+    let records = cfg.records();
+    let map_tasks = cfg
+        .map_tasks
+        .unwrap_or_else(|| (cfg.total_bytes / BLOCK_BYTES).ceil().max(1.0) as usize);
+    let reduce_tasks = cfg.reduce_tasks.unwrap_or(map_tasks);
+    let cost = CostModel::spark_1_3();
+    let builder = if cfg.input_in_memory {
+        JobBuilder::new("sort", cost).read_memory(cfg.total_bytes, records, map_tasks, true)
+    } else {
+        JobBuilder::new("sort", cost).read_disk(
+            cfg.total_bytes,
+            records,
+            cfg.total_bytes / map_tasks as f64,
+        )
+    };
+    let job = builder
+        .map(1.0, 1.0, true) // partition + sort map side
+        .shuffle(reduce_tasks, false)
+        .map(1.0, 1.0, true) // merge/sort reduce side
+        .write_disk(1.0);
+    let blocks = BlockMap::round_robin(
+        dataflow::JobBuilder::blocks_allocated(&job).max(1),
+        cfg.machines,
+        cfg.disks_per_machine,
+    );
+    (job, blocks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataflow::InputSpec;
+
+    #[test]
+    fn record_count_scales_with_value_size() {
+        let small = SortConfig::new(1.0, 1, 4, 2);
+        let large = SortConfig::new(1.0, 99, 4, 2);
+        assert_eq!(small.record_bytes(), 16.0);
+        assert_eq!(large.record_bytes(), 800.0);
+        assert!(small.records() > 40.0 * large.records());
+    }
+
+    #[test]
+    fn smaller_values_cost_more_cpu_same_io() {
+        let (small, _) = sort_job(&SortConfig::new(1.0, 1, 4, 2));
+        let (large, _) = sort_job(&SortConfig::new(1.0, 99, 4, 2));
+        let cpu = |j: &JobSpec| -> f64 { j.stages.iter().map(|s| s.total_cpu()).sum() };
+        assert!(cpu(&small) > 3.0 * cpu(&large));
+        // I/O identical.
+        assert!(
+            (small.stages[0].total_shuffle_write() - large.stages[0].total_shuffle_write()).abs()
+                < 1.0
+        );
+    }
+
+    #[test]
+    fn default_task_count_follows_block_size() {
+        let (job, blocks) = sort_job(&SortConfig::new(2.0, 10, 4, 2));
+        assert_eq!(job.stages[0].tasks.len(), 16); // 2 GiB / 128 MiB
+        assert_eq!(blocks.blocks(), 16);
+        assert!(job.validate().is_ok());
+    }
+
+    #[test]
+    fn in_memory_variant_reads_no_disk() {
+        let mut cfg = SortConfig::new(1.0, 10, 4, 2);
+        cfg.input_in_memory = true;
+        let (job, _) = sort_job(&cfg);
+        assert!(job.stages[0]
+            .tasks
+            .iter()
+            .all(|t| matches!(t.input, InputSpec::Memory { .. })));
+        assert_eq!(job.stages[0].tasks[0].cpu.deser, 0.0);
+    }
+
+    #[test]
+    fn task_overrides_respected() {
+        let mut cfg = SortConfig::new(1.0, 10, 4, 2);
+        cfg.map_tasks = Some(5);
+        cfg.reduce_tasks = Some(3);
+        let (job, _) = sort_job(&cfg);
+        assert_eq!(job.stages[0].tasks.len(), 5);
+        assert_eq!(job.stages[1].tasks.len(), 3);
+    }
+}

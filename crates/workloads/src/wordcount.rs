@@ -1,0 +1,67 @@
+//! Word count — the paper's running example (Fig 1 / Fig 4).
+//!
+//! Provided both as a planned job (for the simulated executors) and as a
+//! real computation on the reference executor (for examples and semantics
+//! tests): `textFile → flatMap(split) → map((w,1)) → reduceByKey(+) →
+//! saveAsTextFile`.
+
+use std::collections::HashMap;
+
+use dataflow::{BlockMap, CostModel, JobBuilder, JobSpec, LocalDataset};
+
+use crate::BLOCK_BYTES;
+
+/// Builds the planned word-count job over `total_bytes` of text.
+///
+/// Text averages ~6 bytes per word; the shuffle carries `(word, count)`
+/// pairs after map-side combining (~10 % of input bytes), and the final
+/// counts are small.
+pub fn wordcount_job(total_bytes: f64, machines: usize, disks: usize) -> (JobSpec, BlockMap) {
+    let words = total_bytes / 6.0;
+    let reduce_tasks = (machines * 8).max(4);
+    let job = JobBuilder::new("wordcount", CostModel::spark_1_3())
+        .read_disk(total_bytes, words / 12.0, BLOCK_BYTES) // lines in, then:
+        .map(12.0, 1.0, false) // flatMap: split lines into words
+        .map(1.0, 0.1, true) // map to pairs + map-side combine
+        .shuffle(reduce_tasks, false)
+        .map(0.2, 0.5, true) // final counts
+        .write_disk(1.0);
+    let blocks = BlockMap::round_robin(JobBuilder::blocks_allocated(&job).max(1), machines, disks);
+    (job, blocks)
+}
+
+/// Runs word count for real on the reference executor.
+pub fn wordcount_reference(lines: Vec<String>, partitions: usize) -> HashMap<String, u64> {
+    LocalDataset::from_vec(lines, partitions)
+        .flat_map(|l| l.split_whitespace().map(str::to_string).collect::<Vec<_>>())
+        .map(|w| (w, 1u64))
+        .reduce_by_key(partitions, |a, b| a + b)
+        .collect()
+        .into_iter()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planned_job_validates() {
+        let (job, blocks) = wordcount_job(4.0 * crate::GIB, 4, 2);
+        assert!(job.validate().is_ok());
+        assert_eq!(job.stages.len(), 2);
+        assert_eq!(blocks.blocks(), job.stages[0].tasks.len());
+    }
+
+    #[test]
+    fn reference_counts_words() {
+        let counts = wordcount_reference(
+            vec!["to be or not to be".into(), "that is the question".into()],
+            3,
+        );
+        assert_eq!(counts["to"], 2);
+        assert_eq!(counts["be"], 2);
+        assert_eq!(counts["question"], 1);
+        assert_eq!(counts.values().sum::<u64>(), 10);
+    }
+}

@@ -1,0 +1,46 @@
+//! Auto-configuration (§7): the concurrency knob users shouldn't have to tune.
+//!
+//! Spark makes the user pick tasks-per-machine; the right answer depends on
+//! the workload's resource mix, and a wrong answer costs real time. The
+//! monotasks job scheduler derives concurrency from the hardware (cores +
+//! disk slots + network outstanding + 1), because the per-resource schedulers
+//! already control contention — so there is nothing left to tune.
+//!
+//! Run with: `cargo run --release --example autoconfig`
+
+use cluster::{ClusterSpec, MachineSpec};
+use workloads::{sort_job, SortConfig};
+
+fn main() {
+    let cluster = ClusterSpec::new(20, MachineSpec::m2_4xlarge());
+    for (label, longs) in [
+        ("CPU-heavy (1-long values)", 1usize),
+        ("disk-heavy (100-long values)", 100),
+    ] {
+        let mut cfg = SortConfig::new(75.0, longs, 20, 2);
+        cfg.map_tasks = Some(1600);
+        cfg.reduce_tasks = Some(1600);
+        let (job, blocks) = sort_job(&cfg);
+        println!("{label}:");
+        let mut best = f64::INFINITY;
+        for slots in [2usize, 4, 8, 16, 32] {
+            let mut sc = sparklike::SparkConfig::default();
+            sc.slots_per_machine = Some(slots);
+            let t = sparklike::run(&cluster, &[(job.clone(), blocks.clone())], &sc).jobs[0]
+                .duration_secs();
+            best = best.min(t);
+            println!("  spark, {slots:>2} slots/machine: {t:>7.1} s");
+        }
+        let mono = monotasks_core::run(
+            &cluster,
+            &[(job, blocks)],
+            &monotasks_core::MonoConfig::default(),
+        )
+        .jobs[0]
+            .duration_secs();
+        println!(
+            "  monotasks, auto:        {mono:>7.1} s  ({:+.0}% vs best hand-tuned Spark)\n",
+            100.0 * (mono - best) / best
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Bottleneck hunt: "why did my workload run so slowly?" (§1, §6.5).
+//!
+//! Runs a few benchmark queries under the monotasks executor and, from the
+//! monotask records alone, reports each stage's bottleneck resource, the
+//! visible queue picture, and how much an infinitely fast disk / network /
+//! CPU would help — the analysis that needed bespoke instrumentation in
+//! NSDI'15 and falls out of the architecture here.
+//!
+//! Run with: `cargo run --release --example bottleneck_hunt`
+
+use cluster::{ClusterSpec, MachineSpec};
+use perfmodel::bottleneck::stage_bottlenecks;
+use perfmodel::{optimized_resource_runtime, profile_stages, stage_imbalance, Scenario};
+use simcore::ResourceKind;
+use workloads::{bdb_job, BdbQuery};
+
+fn main() {
+    let cluster = ClusterSpec::new(5, MachineSpec::m2_4xlarge());
+    let scen = Scenario::of_cluster(&cluster);
+    for q in [BdbQuery::Q1c, BdbQuery::Q2c, BdbQuery::Q3c, BdbQuery::Q4] {
+        let (job, blocks) = bdb_job(q, 5, 2);
+        let out = monotasks_core::run(
+            &cluster,
+            &[(job, blocks)],
+            &monotasks_core::MonoConfig::default(),
+        );
+        let profiles = profile_stages(&out.records, &out.jobs);
+        let actual = out.jobs[0].duration_secs();
+        println!("query {} finished in {actual:.1} s", q.label());
+        for (p, b) in profiles.iter().zip(stage_bottlenecks(&profiles, &scen)) {
+            let t = perfmodel::model::ideal_times(p, &scen);
+            println!(
+                "  stage {} ({:>5.1}s): bottleneck {:<7}  [cpu {:>5.1}  disk {:>5.1}  net {:>5.1}]",
+                p.stage.0,
+                p.measured_secs,
+                b.name(),
+                t.cpu,
+                t.disk,
+                t.network
+            );
+        }
+        for imb in stage_imbalance(&out.records, 5) {
+            if imb.worst() > 1.5 {
+                println!(
+                    "  stage {} load imbalance: busiest machine carries {:.1}x the mean — \
+                     distrust the perfect-parallelism assumption here (§6.1)",
+                    imb.stage.0,
+                    imb.worst()
+                );
+            }
+        }
+        for r in [ResourceKind::Disk, ResourceKind::Network, ResourceKind::Cpu] {
+            let opt = optimized_resource_runtime(&profiles, actual, &scen, r);
+            println!(
+                "  with an infinitely fast {:<7}: {:>6.1} s ({:+.0}%)",
+                r.name(),
+                opt,
+                100.0 * (opt - actual) / actual
+            );
+        }
+        println!();
+    }
+}

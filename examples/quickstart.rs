@@ -1,0 +1,67 @@
+//! Quickstart: run the paper's word-count example (Fig 1) three ways.
+//!
+//! 1. For real, on the in-memory reference executor (actual counts).
+//! 2. On the simulated Spark-like baseline (fine-grained pipelining).
+//! 3. On the simulated monotasks executor (single-resource monotasks),
+//!    then use the monotask records to print where the time went — the
+//!    performance clarity the architecture exists for.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use cluster::{ClusterSpec, MachineSpec};
+use perfmodel::{profile_stages, Scenario};
+use workloads::wordcount::{wordcount_job, wordcount_reference};
+use workloads::GIB;
+
+fn main() {
+    // 1. Real semantics on the reference executor.
+    let lines = vec![
+        "monotasks architecting for performance clarity".to_string(),
+        "performance clarity in data analytics frameworks".to_string(),
+        "each monotask uses exactly one resource".to_string(),
+    ];
+    let counts = wordcount_reference(lines, 4);
+    let mut top: Vec<_> = counts.iter().collect();
+    top.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+    println!("reference executor word counts (top 5):");
+    for (w, c) in top.iter().take(5) {
+        println!("  {c}x {w}");
+    }
+
+    // 2 + 3. The same job shape at cluster scale, on both simulated engines.
+    let cluster = ClusterSpec::new(5, MachineSpec::m2_4xlarge());
+    let (job, blocks) = wordcount_job(20.0 * GIB, 5, 2);
+    let spark = sparklike::run(
+        &cluster,
+        &[(job.clone(), blocks.clone())],
+        &sparklike::SparkConfig::default(),
+    );
+    let mono = monotasks_core::run(
+        &cluster,
+        &[(job, blocks)],
+        &monotasks_core::MonoConfig::default(),
+    );
+    println!("\n20 GiB word count on 5 workers (2 HDDs each):");
+    println!(
+        "  spark-like: {:>6.1} s    monotasks: {:>6.1} s",
+        spark.jobs[0].duration_secs(),
+        mono.jobs[0].duration_secs()
+    );
+
+    // Performance clarity: per-stage ideal resource times from the records.
+    let profiles = profile_stages(&mono.records, &mono.jobs);
+    let scen = Scenario::of_cluster(&cluster);
+    println!("\nwhere the time went (ideal resource seconds per stage):");
+    for p in &profiles {
+        let t = perfmodel::model::ideal_times(p, &scen);
+        println!(
+            "  stage {}: cpu {:>5.1}s  disk {:>5.1}s  network {:>5.1}s  -> bottleneck: {}  (measured {:.1}s)",
+            p.stage.0,
+            t.cpu,
+            t.disk,
+            t.network,
+            t.bottleneck().name(),
+            p.measured_secs
+        );
+    }
+}

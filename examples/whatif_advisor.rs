@@ -1,0 +1,76 @@
+//! What-if advisor: answer the introduction's hardware questions for a job.
+//!
+//! "What hardware should I run on? Is it worth it to get enough memory to
+//! cache on-disk data? How much will upgrading the network from 1Gbps to
+//! 10Gbps improve performance?" (§1). The advisor runs a job once under the
+//! monotasks executor and answers every question from the model — no re-runs,
+//! no offline training.
+//!
+//! Run with: `cargo run --release --example whatif_advisor`
+
+use cluster::{ClusterSpec, MachineSpec};
+use perfmodel::{predict_job, profile_stages, Scenario};
+use workloads::{sort_job, SortConfig};
+
+fn main() {
+    let cluster = ClusterSpec::new(20, MachineSpec::m2_4xlarge());
+    let cfg = SortConfig::new(150.0, 4, 20, 2);
+    let (job, blocks) = sort_job(&cfg);
+    println!("running the 150 GiB sort once on 20 workers (2 HDDs, 1 Gbps)...");
+    let out = monotasks_core::run(
+        &cluster,
+        &[(job, blocks)],
+        &monotasks_core::MonoConfig::default(),
+    );
+    let measured = out.jobs[0].duration_secs();
+    let profiles = profile_stages(&out.records, &out.jobs);
+    let base = Scenario::of_cluster(&cluster);
+    println!("measured: {measured:.1} s\n");
+
+    let ask = |question: &str, scenario: Scenario| {
+        let t = predict_job(&profiles, measured, &base, &scenario);
+        println!(
+            "{question}\n  -> predicted {t:.1} s ({:+.0}%)\n",
+            100.0 * (t - measured) / measured
+        );
+    };
+
+    let mut twice_disks = base.clone();
+    twice_disks.machine.disks = vec![cluster::DiskSpec::hdd(); 4];
+    ask("What if each machine had twice as many disks?", twice_disks);
+
+    let mut ssds = base.clone();
+    ssds.machine.disks = vec![cluster::DiskSpec::ssd(); 2];
+    ask("What if we swapped the HDDs for SSDs?", ssds);
+
+    let mut fat_pipe = base.clone();
+    fat_pipe.machine.nic *= 10.0;
+    ask(
+        "What if we upgraded the network from 1 Gbps to 10 Gbps?",
+        fat_pipe,
+    );
+
+    let mut cached = base.clone();
+    cached.input_deserialized_in_memory = true;
+    ask(
+        "Is it worth buying memory to cache the input, deserialized?",
+        cached,
+    );
+
+    let mut bigger = base.clone();
+    bigger.machines = 40;
+    ask("What about doubling the cluster instead?", bigger);
+
+    let mut tungsten = base.clone();
+    tungsten.serde_speedup = 2.0;
+    ask(
+        "What if we adopted a 2x faster serializer (the §9 Tungsten question)?",
+        tungsten,
+    );
+
+    let mut dream = base.clone();
+    dream.machines = 40;
+    dream.machine.disks = vec![cluster::DiskSpec::ssd(); 2];
+    dream.input_deserialized_in_memory = true;
+    ask("All of the above at once?", dream);
+}

@@ -1,0 +1,389 @@
+//! `monotasks-sim`: run the paper's workloads on either architecture from
+//! the command line, and answer what-if questions about the run.
+//!
+//! ```text
+//! monotasks-sim sort --gib 50 --values 10 --machines 10 --engine both
+//! monotasks-sim bdb --query 2c --machines 5 --engine mono
+//! monotasks-sim wordcount --gib 20 --machines 5 --engine spark
+//! monotasks-sim sort --gib 50 --machines 10 --predict-machines 20 --predict-ssd
+//! ```
+//!
+//! Run via `cargo run --release --bin monotasks-sim -- <args>`.
+
+use std::process::ExitCode;
+
+use cluster::{ClusterSpec, DiskSpec, MachineSpec};
+use dataflow::{BlockMap, JobSpec};
+use monotasks_repro::perfmodel::{predict_job, profile_stages, Scenario};
+use monotasks_repro::workloads::{bdb_job, sort_job, wordcount_job, BdbQuery, SortConfig};
+use monotasks_repro::{monotasks_core, sparklike};
+
+/// Parsed command-line request.
+#[derive(Clone, Debug, PartialEq)]
+struct Request {
+    command: Command,
+    machines: usize,
+    disks: usize,
+    ssd: bool,
+    engine: Engine,
+    slots: Option<usize>,
+    write_through: bool,
+    duplex: bool,
+    predict_machines: Option<usize>,
+    predict_ssd: bool,
+    predict_disks: Option<usize>,
+    predict_in_memory: bool,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Command {
+    Sort {
+        gib: f64,
+        values: usize,
+        tasks: Option<usize>,
+    },
+    Bdb {
+        query: BdbQuery,
+    },
+    Wordcount {
+        gib: f64,
+    },
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Engine {
+    Mono,
+    Spark,
+    Both,
+}
+
+const USAGE: &str = "\
+monotasks-sim — simulated MonoSpark vs Spark, from the SOSP'17 reproduction
+
+USAGE:
+  monotasks-sim sort      --gib <N> [--values <N>] [--tasks <N>] [common]
+  monotasks-sim bdb       --query <1a..3c|4>                     [common]
+  monotasks-sim wordcount --gib <N>                              [common]
+
+COMMON OPTIONS:
+  --machines <N>        worker machines            [default: 5]
+  --disks <N>           disks per machine          [default: 2]
+  --ssd                 SSDs instead of HDDs
+  --engine <mono|spark|both>                       [default: both]
+  --slots <N>           Spark tasks per machine    [default: cores]
+  --write-through       Spark flushes writes to disk
+  --duplex              full-duplex network fabric (mono)
+  --predict-machines <N>  what-if: cluster size    (mono only)
+  --predict-disks <N>     what-if: disks per machine
+  --predict-ssd           what-if: swap disks for SSDs
+  --predict-in-memory     what-if: input cached, deserialized
+";
+
+fn parse(args: &[String]) -> Result<Request, String> {
+    let mut it = args.iter().peekable();
+    let cmd_name = it.next().ok_or("missing command")?;
+    let mut gib = 10.0;
+    let mut values = 10usize;
+    let mut tasks = None;
+    let mut query = None;
+    let mut req = Request {
+        command: Command::Wordcount { gib },
+        machines: 5,
+        disks: 2,
+        ssd: false,
+        engine: Engine::Both,
+        slots: None,
+        write_through: false,
+        duplex: false,
+        predict_machines: None,
+        predict_ssd: false,
+        predict_disks: None,
+        predict_in_memory: false,
+    };
+    let value_of = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
+                    flag: &str|
+     -> Result<String, String> {
+        it.next()
+            .map(|s| s.to_string())
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--gib" => {
+                gib = value_of(&mut it, "--gib")?
+                    .parse()
+                    .map_err(|e| format!("--gib: {e}"))?
+            }
+            "--values" => {
+                values = value_of(&mut it, "--values")?
+                    .parse()
+                    .map_err(|e| format!("--values: {e}"))?
+            }
+            "--tasks" => {
+                tasks = Some(
+                    value_of(&mut it, "--tasks")?
+                        .parse()
+                        .map_err(|e| format!("--tasks: {e}"))?,
+                )
+            }
+            "--query" => {
+                let q = value_of(&mut it, "--query")?;
+                query = Some(
+                    BdbQuery::all()
+                        .into_iter()
+                        .find(|c| c.label() == q)
+                        .ok_or_else(|| format!("unknown query {q:?}"))?,
+                );
+            }
+            "--machines" => {
+                req.machines = value_of(&mut it, "--machines")?
+                    .parse()
+                    .map_err(|e| format!("--machines: {e}"))?
+            }
+            "--disks" => {
+                req.disks = value_of(&mut it, "--disks")?
+                    .parse()
+                    .map_err(|e| format!("--disks: {e}"))?
+            }
+            "--ssd" => req.ssd = true,
+            "--engine" => {
+                req.engine = match value_of(&mut it, "--engine")?.as_str() {
+                    "mono" => Engine::Mono,
+                    "spark" => Engine::Spark,
+                    "both" => Engine::Both,
+                    other => return Err(format!("unknown engine {other:?}")),
+                }
+            }
+            "--slots" => {
+                req.slots = Some(
+                    value_of(&mut it, "--slots")?
+                        .parse()
+                        .map_err(|e| format!("--slots: {e}"))?,
+                )
+            }
+            "--write-through" => req.write_through = true,
+            "--duplex" => req.duplex = true,
+            "--predict-machines" => {
+                req.predict_machines = Some(
+                    value_of(&mut it, "--predict-machines")?
+                        .parse()
+                        .map_err(|e| format!("--predict-machines: {e}"))?,
+                )
+            }
+            "--predict-disks" => {
+                req.predict_disks = Some(
+                    value_of(&mut it, "--predict-disks")?
+                        .parse()
+                        .map_err(|e| format!("--predict-disks: {e}"))?,
+                )
+            }
+            "--predict-ssd" => req.predict_ssd = true,
+            "--predict-in-memory" => req.predict_in_memory = true,
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    req.command = match cmd_name.as_str() {
+        "sort" => Command::Sort { gib, values, tasks },
+        "bdb" => Command::Bdb {
+            query: query.ok_or("bdb needs --query")?,
+        },
+        "wordcount" => Command::Wordcount { gib },
+        other => return Err(format!("unknown command {other:?}")),
+    };
+    if req.machines == 0 || req.disks == 0 {
+        return Err("--machines and --disks must be positive".into());
+    }
+    Ok(req)
+}
+
+fn build_cluster(req: &Request) -> ClusterSpec {
+    let mut machine = MachineSpec::m2_4xlarge();
+    machine.disks = if req.ssd {
+        vec![DiskSpec::ssd(); req.disks]
+    } else {
+        vec![DiskSpec::hdd(); req.disks]
+    };
+    ClusterSpec::new(req.machines, machine)
+}
+
+fn build_job(req: &Request) -> (JobSpec, BlockMap) {
+    match &req.command {
+        Command::Sort { gib, values, tasks } => {
+            let mut cfg = SortConfig::new(*gib, *values, req.machines, req.disks);
+            cfg.map_tasks = *tasks;
+            cfg.reduce_tasks = *tasks;
+            sort_job(&cfg)
+        }
+        Command::Bdb { query } => bdb_job(*query, req.machines, req.disks),
+        Command::Wordcount { gib } => {
+            wordcount_job(gib * 1024.0 * 1024.0 * 1024.0, req.machines, req.disks)
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let req = match parse(&args) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cluster = build_cluster(&req);
+    let (job, blocks) = build_job(&req);
+    println!(
+        "cluster: {} machines x {} cores, {} {} disk(s), {:.0} MiB/s NIC",
+        cluster.machines,
+        cluster.machine.cores,
+        cluster.machine.disks.len(),
+        if req.ssd { "SSD" } else { "HDD" },
+        cluster.machine.nic / (1024.0 * 1024.0),
+    );
+    println!(
+        "job: {} ({} stages, {} tasks)\n",
+        job.name,
+        job.stages.len(),
+        job.total_tasks()
+    );
+
+    let mono_out = if matches!(req.engine, Engine::Mono | Engine::Both) {
+        let mut cfg = monotasks_core::MonoConfig::default();
+        cfg.full_duplex_network = req.duplex;
+        let out = monotasks_core::run(&cluster, &[(job.clone(), blocks.clone())], &cfg);
+        println!("monotasks: {:>8.1} s", out.jobs[0].duration_secs());
+        let profiles = profile_stages(&out.records, &out.jobs);
+        let scen = Scenario::of_cluster(&cluster);
+        for p in &profiles {
+            let t = monotasks_repro::perfmodel::model::ideal_times(p, &scen);
+            println!(
+                "  stage {}: {:>7.1} s  bottleneck {:<7} [cpu {:.1} disk {:.1} net {:.1}]",
+                p.stage.0,
+                p.measured_secs,
+                t.bottleneck().name(),
+                t.cpu,
+                t.disk,
+                t.network
+            );
+        }
+        Some(out)
+    } else {
+        None
+    };
+
+    if matches!(req.engine, Engine::Spark | Engine::Both) {
+        let mut cfg = sparklike::SparkConfig::default();
+        cfg.slots_per_machine = req.slots;
+        cfg.write_through = req.write_through;
+        let out = sparklike::run(&cluster, &[(job.clone(), blocks)], &cfg);
+        println!("spark-like: {:>7.1} s", out.jobs[0].duration_secs());
+    }
+
+    // What-if prediction from the monotasks run.
+    let wants_prediction = req.predict_machines.is_some()
+        || req.predict_disks.is_some()
+        || req.predict_ssd
+        || req.predict_in_memory;
+    if wants_prediction {
+        let Some(out) = &mono_out else {
+            eprintln!("error: predictions need --engine mono or both");
+            return ExitCode::FAILURE;
+        };
+        let profiles = profile_stages(&out.records, &out.jobs);
+        let base = Scenario::of_cluster(&cluster);
+        let mut target = base.clone();
+        if let Some(m) = req.predict_machines {
+            target.machines = m;
+        }
+        let n_disks = req.predict_disks.unwrap_or(target.machine.disks.len());
+        target.machine.disks = if req.predict_ssd {
+            vec![DiskSpec::ssd(); n_disks]
+        } else if req.predict_disks.is_some() {
+            vec![target.machine.disks[0]; n_disks]
+        } else {
+            target.machine.disks.clone()
+        };
+        target.input_deserialized_in_memory = req.predict_in_memory;
+        let measured = out.jobs[0].duration_secs();
+        let predicted = predict_job(&profiles, measured, &base, &target);
+        println!(
+            "\npredicted under the what-if configuration: {predicted:.1} s ({:+.0}%)",
+            100.0 * (predicted - measured) / measured
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_a_full_sort_request() {
+        let r = parse(&args(
+            "sort --gib 50 --values 25 --machines 10 --disks 1 --ssd --engine mono --duplex",
+        ))
+        .unwrap();
+        assert_eq!(
+            r.command,
+            Command::Sort {
+                gib: 50.0,
+                values: 25,
+                tasks: None
+            }
+        );
+        assert_eq!(r.machines, 10);
+        assert_eq!(r.disks, 1);
+        assert!(r.ssd && r.duplex);
+        assert_eq!(r.engine, Engine::Mono);
+    }
+
+    #[test]
+    fn parses_bdb_queries_by_label() {
+        let r = parse(&args("bdb --query 3c")).unwrap();
+        assert_eq!(
+            r.command,
+            Command::Bdb {
+                query: BdbQuery::Q3c
+            }
+        );
+        assert!(parse(&args("bdb --query 9z")).is_err());
+        assert!(parse(&args("bdb")).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_commands() {
+        assert!(parse(&args("sort --wat 3")).is_err());
+        assert!(parse(&args("fly --gib 2")).is_err());
+        assert!(parse(&args("sort --gib")).is_err());
+        assert!(parse(&args("sort --machines 0")).is_err());
+    }
+
+    #[test]
+    fn prediction_flags_parse() {
+        let r = parse(&args(
+            "sort --gib 10 --predict-machines 20 --predict-ssd --predict-in-memory",
+        ))
+        .unwrap();
+        assert_eq!(r.predict_machines, Some(20));
+        assert!(r.predict_ssd && r.predict_in_memory);
+    }
+
+    #[test]
+    fn builds_runnable_jobs() {
+        for cmd in ["sort --gib 2", "bdb --query 1a", "wordcount --gib 2"] {
+            let r = parse(&args(cmd)).unwrap();
+            let (job, blocks) = build_job(&r);
+            assert!(job.validate().is_ok(), "{cmd}");
+            assert!(blocks.blocks() > 0);
+        }
+    }
+}

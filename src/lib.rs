@@ -1,0 +1,20 @@
+//! Umbrella crate for the monotasks reproduction: re-exports the workspace
+//! crates so examples and integration tests can use one dependency, and the
+//! README's code snippets resolve.
+//!
+//! See the individual crates for the substance:
+//! [`monotasks_core`] (the contribution), [`sparklike`] (the baseline),
+//! [`perfmodel`] (the §6 model), [`workloads`], [`dataflow`], [`cluster`],
+//! and [`simcore`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use cluster;
+pub use dataflow;
+pub use monotasks_core;
+pub use monotasks_live;
+pub use perfmodel;
+pub use simcore;
+pub use sparklike;
+pub use workloads;

@@ -1,0 +1,81 @@
+//! End-to-end tests of the `monotasks-sim` command-line interface.
+
+use std::process::Command;
+
+fn run_cli(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_monotasks-sim"))
+        .args(args)
+        .output()
+        .expect("spawn monotasks-sim");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn help_prints_usage() {
+    let (stdout, _, ok) = run_cli(&["--help"]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+    assert!(stdout.contains("monotasks-sim sort"));
+}
+
+#[test]
+fn sort_runs_both_engines_and_reports_bottlenecks() {
+    let (stdout, stderr, ok) =
+        run_cli(&["sort", "--gib", "2", "--values", "10", "--machines", "2"]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("monotasks:"), "{stdout}");
+    assert!(stdout.contains("spark-like:"), "{stdout}");
+    assert!(stdout.contains("bottleneck"), "{stdout}");
+}
+
+#[test]
+fn prediction_flag_produces_a_what_if_line() {
+    let (stdout, stderr, ok) = run_cli(&[
+        "sort",
+        "--gib",
+        "2",
+        "--machines",
+        "2",
+        "--engine",
+        "mono",
+        "--predict-machines",
+        "4",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(
+        stdout.contains("predicted under the what-if configuration"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn bad_arguments_fail_with_usage() {
+    let (_, stderr, ok) = run_cli(&["sort", "--nope"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown option"));
+    assert!(stderr.contains("USAGE"));
+
+    let (_, stderr, ok) = run_cli(&["bdb"]);
+    assert!(!ok);
+    assert!(stderr.contains("bdb needs --query"));
+}
+
+#[test]
+fn prediction_without_mono_engine_is_an_error() {
+    let (_, stderr, ok) = run_cli(&[
+        "sort",
+        "--gib",
+        "1",
+        "--machines",
+        "2",
+        "--engine",
+        "spark",
+        "--predict-ssd",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("predictions need"));
+}

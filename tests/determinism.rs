@@ -1,0 +1,87 @@
+//! Determinism: identical inputs must produce bit-identical simulations.
+//!
+//! The whole reproduction rests on this — figures must regenerate exactly,
+//! and A/B comparisons must not be noise.
+
+use cluster::{ClusterSpec, MachineSpec};
+use workloads::{bdb_job, sort_job, BdbQuery, SortConfig};
+
+#[test]
+fn monotasks_runs_are_bit_identical() {
+    let cluster = ClusterSpec::new(4, MachineSpec::m2_4xlarge());
+    let (job, blocks) = sort_job(&SortConfig::new(4.0, 10, 4, 2));
+    let run = || {
+        monotasks_core::run(
+            &cluster,
+            &[(job.clone(), blocks.clone())],
+            &monotasks_core::MonoConfig::default(),
+        )
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.records.len(), b.records.len());
+    for (ra, rb) in a.records.iter().zip(&b.records) {
+        assert_eq!(ra.multitask, rb.multitask);
+        assert_eq!(ra.started, rb.started);
+        assert_eq!(ra.ended, rb.ended);
+        assert_eq!(ra.machine, rb.machine);
+    }
+}
+
+#[test]
+fn spark_runs_are_bit_identical() {
+    let cluster = ClusterSpec::new(4, MachineSpec::m2_4xlarge());
+    let (job, blocks) = bdb_job(BdbQuery::Q2a, 4, 2);
+    let run = || {
+        sparklike::run(
+            &cluster,
+            &[(job.clone(), blocks.clone())],
+            &sparklike::SparkConfig::default(),
+        )
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.tasks.len(), b.tasks.len());
+    for (ta, tb) in a.tasks.iter().zip(&b.tasks) {
+        assert_eq!((ta.job, ta.stage, ta.task), (tb.job, tb.stage, tb.task));
+        assert_eq!(ta.start, tb.start);
+        assert_eq!(ta.end, tb.end);
+    }
+}
+
+#[test]
+fn concurrent_job_runs_are_bit_identical() {
+    let cluster = ClusterSpec::new(4, MachineSpec::m2_4xlarge());
+    let (a_job, a_blocks) = sort_job(&SortConfig::new(2.0, 10, 4, 2));
+    let (b_job, b_blocks) = sort_job(&SortConfig::new(2.0, 50, 4, 2));
+    let run = || {
+        monotasks_core::run(
+            &cluster,
+            &[
+                (a_job.clone(), a_blocks.clone()),
+                (b_job.clone(), b_blocks.clone()),
+            ],
+            &monotasks_core::MonoConfig::default(),
+        )
+    };
+    let (x, y) = (run(), run());
+    assert_eq!(x.makespan, y.makespan);
+    assert_eq!(
+        x.jobs.iter().map(|j| j.end).collect::<Vec<_>>(),
+        y.jobs.iter().map(|j| j.end).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn job_submission_order_is_respected_in_ids() {
+    let cluster = ClusterSpec::new(2, MachineSpec::m2_4xlarge());
+    let (a_job, a_blocks) = sort_job(&SortConfig::new(1.0, 10, 2, 2));
+    let (b_job, b_blocks) = sort_job(&SortConfig::new(1.0, 50, 2, 2));
+    let out = monotasks_core::run(
+        &cluster,
+        &[(a_job, a_blocks), (b_job, b_blocks)],
+        &monotasks_core::MonoConfig::default(),
+    );
+    assert_eq!(out.jobs[0].job, dataflow::JobId(0));
+    assert_eq!(out.jobs[1].job, dataflow::JobId(1));
+}
