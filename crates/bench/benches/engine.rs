@@ -16,7 +16,7 @@ use workloads::{bdb_job, sort_job, BdbQuery, SortConfig};
 /// Insert/advance/drain cycles on one machine's fluid allocator.
 fn bench_fluid(c: &mut Criterion) {
     let mut g = c.benchmark_group("fluid_allocator");
-    for streams in [4usize, 16, 64] {
+    for streams in [4usize, 16, 64, 256] {
         g.bench_with_input(
             BenchmarkId::new("insert_drain", streams),
             &streams,
@@ -45,7 +45,7 @@ fn bench_fluid(c: &mut Criterion) {
 /// Max-min fair reallocation under churn.
 fn bench_maxmin(c: &mut Criterion) {
     let mut g = c.benchmark_group("maxmin");
-    for flows in [8usize, 64, 256] {
+    for flows in [8usize, 64, 256, 1024] {
         g.bench_with_input(BenchmarkId::new("churn", flows), &flows, |b, &n| {
             b.iter(|| {
                 let mut fab = FlowAllocator::new(20, 1e8, 1e8);

@@ -23,16 +23,20 @@ fn main() {
         monotasks_core::run(&cluster, &[(job.clone(), blocks.clone())], &mc).jobs[0].duration_secs()
     };
     let auto = run_with(monotasks_core::MonoConfig::default());
-    let mut no_extra = monotasks_core::MonoConfig::default();
-    no_extra.extra_multitask = false;
+    let no_extra = monotasks_core::MonoConfig {
+        extra_multitask: false,
+        ..monotasks_core::MonoConfig::default()
+    };
     let without = run_with(no_extra);
     println!("auto (cores+disks+net+1 = 15): {auto:>8.1} s");
     println!("auto without the +1 (14):      {without:>8.1} s");
     println!();
     println!("{:<22} {:>10}", "override", "total (s)");
     for conc in [2usize, 4, 8, 12, 15, 20, 30, 60] {
-        let mut mc = monotasks_core::MonoConfig::default();
-        mc.concurrency_override = Some(conc);
+        let mc = monotasks_core::MonoConfig {
+            concurrency_override: Some(conc),
+            ..monotasks_core::MonoConfig::default()
+        };
         println!(
             "{:<22} {:>10.1}",
             format!("{conc} multitasks"),

@@ -32,8 +32,10 @@ fn main() {
         ("round-robin", DiskChoice::RoundRobin),
         ("shortest-queue", DiskChoice::ShortestQueue),
     ] {
-        let mut cfg = monotasks_core::MonoConfig::default();
-        cfg.write_disk_choice = choice;
+        let cfg = monotasks_core::MonoConfig {
+            write_disk_choice: choice,
+            ..monotasks_core::MonoConfig::default()
+        };
         let out = monotasks_core::run(&cluster, &[(job.clone(), blocks.clone())], &cfg);
         println!("{:<16} {:>12.1}", name, out.jobs[0].duration_secs());
         results.push(out.jobs[0].duration_secs());

@@ -26,8 +26,10 @@ fn main() {
         &[(q1c.clone(), q1c_blocks.clone())],
         &sparklike::SparkConfig::default(),
     );
-    let mut wt = sparklike::SparkConfig::default();
-    wt.write_through = true;
+    let wt = sparklike::SparkConfig {
+        write_through: true,
+        ..sparklike::SparkConfig::default()
+    };
     let synced = sparklike::run(&cluster5, &[(q1c.clone(), q1c_blocks.clone())], &wt);
     let mono = run_mono(&cluster5, q1c, q1c_blocks);
     println!("query 1c (write-heavy scan):");

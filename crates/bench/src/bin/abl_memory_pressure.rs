@@ -30,8 +30,10 @@ fn main() {
         "watermark", "total (s)", "peak buffers (MB)"
     );
     for limit in [None, Some(0.02), Some(0.005), Some(0.001)] {
-        let mut cfg = monotasks_core::MonoConfig::default();
-        cfg.memory_limit_fraction = limit;
+        let cfg = monotasks_core::MonoConfig {
+            memory_limit_fraction: limit,
+            ..monotasks_core::MonoConfig::default()
+        };
         let out = monotasks_core::run(&cluster, &[(job.clone(), blocks.clone())], &cfg);
         let peak = out.peak_buffered.iter().cloned().fold(0.0f64, f64::max);
         let label = match limit {

@@ -24,8 +24,10 @@ fn main() {
     let (job, blocks) = sort_job(&cfg);
     println!("{:<14} {:>12}", "outstanding", "total (s)");
     for n in [1usize, 2, 4, 8, 16, 32] {
-        let mut mc = monotasks_core::MonoConfig::default();
-        mc.net_outstanding = n;
+        let mc = monotasks_core::MonoConfig {
+            net_outstanding: n,
+            ..monotasks_core::MonoConfig::default()
+        };
         let out = monotasks_core::run(&cluster, &[(job.clone(), blocks.clone())], &mc);
         println!("{:<14} {:>12.1}", n, out.jobs[0].duration_secs());
     }

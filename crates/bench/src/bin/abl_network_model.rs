@@ -13,8 +13,10 @@ use mt_bench::{header, pct_diff};
 use workloads::{sort_job, SortConfig, GIB};
 
 fn run_with(cluster: &ClusterSpec, job: dataflow::JobSpec, blocks: BlockMap, duplex: bool) -> f64 {
-    let mut cfg = monotasks_core::MonoConfig::default();
-    cfg.full_duplex_network = duplex;
+    let cfg = monotasks_core::MonoConfig {
+        full_duplex_network: duplex,
+        ..monotasks_core::MonoConfig::default()
+    };
     monotasks_core::run(cluster, &[(job, blocks)], &cfg).jobs[0].duration_secs()
 }
 

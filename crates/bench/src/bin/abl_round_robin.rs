@@ -25,8 +25,10 @@ fn main() {
     );
     let mut results = Vec::new();
     for rr in [true, false] {
-        let mut mc = monotasks_core::MonoConfig::default();
-        mc.rr_disk_queues = rr;
+        let mc = monotasks_core::MonoConfig {
+            rr_disk_queues: rr,
+            ..monotasks_core::MonoConfig::default()
+        };
         let out = monotasks_core::run(&cluster, &[(job.clone(), blocks.clone())], &mc);
         let r = &out.jobs[0];
         let util = |si: usize| {

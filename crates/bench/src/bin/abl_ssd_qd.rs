@@ -20,8 +20,10 @@ fn main() {
     let (job, blocks) = sort_job(&cfg);
     println!("{:<12} {:>12}", "ssd slots", "total (s)");
     for slots in [1usize, 2, 4, 8, 16] {
-        let mut mc = monotasks_core::MonoConfig::default();
-        mc.ssd_slots_override = Some(slots);
+        let mc = monotasks_core::MonoConfig {
+            ssd_slots_override: Some(slots),
+            ..monotasks_core::MonoConfig::default()
+        };
         let out = monotasks_core::run(&cluster, &[(job.clone(), blocks.clone())], &mc);
         println!("{:<12} {:>12.1}", slots, out.jobs[0].duration_secs());
     }

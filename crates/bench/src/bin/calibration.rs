@@ -52,8 +52,10 @@ fn main() {
         let t0 = std::time::Instant::now();
         let mono = run_mono(&cluster, job.clone(), blocks.clone());
         let spark = run_spark(&cluster, job.clone(), blocks.clone());
-        let mut wt = sparklike::SparkConfig::default();
-        wt.write_through = true;
+        let wt = sparklike::SparkConfig {
+            write_through: true,
+            ..sparklike::SparkConfig::default()
+        };
         let spark_wt = sparklike::run(&cluster, &[(job, blocks)], &wt);
         let wall = t0.elapsed();
         let m = mono.jobs[0].duration_secs();

@@ -24,8 +24,10 @@ fn main() {
     for q in BdbQuery::all() {
         let (job, blocks) = bdb_job(q, 5, 2);
         let spark = run_spark(&cluster, job.clone(), blocks.clone());
-        let mut wt_cfg = sparklike::SparkConfig::default();
-        wt_cfg.write_through = true;
+        let wt_cfg = sparklike::SparkConfig {
+            write_through: true,
+            ..sparklike::SparkConfig::default()
+        };
         let spark_wt = sparklike::run(&cluster, &[(job.clone(), blocks.clone())], &wt_cfg);
         let mono = run_mono(&cluster, job, blocks);
         let s = spark.jobs[0].duration_secs();

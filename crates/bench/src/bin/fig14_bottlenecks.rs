@@ -23,8 +23,8 @@ fn main() {
     let cluster = ClusterSpec::new(5, MachineSpec::m2_4xlarge());
     let scen = Scenario::of_cluster(&cluster);
     println!(
-        "{:<6} {:>10} {:>11} {:>11} {:>11}   {}",
-        "query", "actual (s)", "fast disk", "fast net", "fast cpu", "stage bottlenecks"
+        "{:<6} {:>10} {:>11} {:>11} {:>11}   stage bottlenecks",
+        "query", "actual (s)", "fast disk", "fast net", "fast cpu"
     );
     for q in BdbQuery::all() {
         let (job, blocks) = bdb_job(q, 5, 2);

@@ -31,8 +31,10 @@ fn main() {
         let (job, blocks) = sort_job(&cfg);
         let mut times = Vec::new();
         for s in slots {
-            let mut sc = sparklike::SparkConfig::default();
-            sc.slots_per_machine = Some(s);
+            let sc = sparklike::SparkConfig {
+                slots_per_machine: Some(s),
+                ..sparklike::SparkConfig::default()
+            };
             let out = sparklike::run(&cluster, &[(job.clone(), blocks.clone())], &sc);
             times.push(out.jobs[0].duration_secs());
         }

@@ -1,0 +1,97 @@
+//! Control-plane scaling sweep: the sort workload at 5/20/50/100 machines.
+//!
+//! The paper's evaluation tops out at 20 workers; this sweep tracks whether
+//! the *simulator's* control plane (fluid reallocation, completion scans)
+//! stays cheap enough to model 100-machine clusters. Weak scaling: input
+//! grows with the cluster so per-machine work is constant and any wall-clock
+//! blow-up is allocator overhead, not workload size.
+//!
+//! Emits `BENCH_PR1.json` in the current directory with one record per scale
+//! point (simulated makespan, host wall-clock, events fired, reallocations,
+//! allocator wall-time) so future PRs can diff the perf trajectory.
+
+use std::time::Instant;
+
+use cluster::{ClusterSpec, MachineSpec};
+use mt_bench::header;
+use workloads::{sort_job, SortConfig};
+
+/// GiB of sort input per machine (weak scaling).
+const GIB_PER_MACHINE: f64 = 2.0;
+
+struct Point {
+    machines: usize,
+    tasks: usize,
+    makespan_s: f64,
+    wall_s: f64,
+    events: u64,
+    reallocs: u64,
+    alloc_s: f64,
+}
+
+fn run_point(machines: usize) -> Point {
+    let cluster = ClusterSpec::new(machines, MachineSpec::m2_4xlarge());
+    let cfg = SortConfig::new(GIB_PER_MACHINE * machines as f64, 10, machines, 2);
+    let (job, blocks) = sort_job(&cfg);
+    let tasks = job.stages.iter().map(|s| s.tasks.len()).sum();
+    // The full-duplex fabric holds one flow per live transfer (≈M² in an
+    // all-to-all shuffle wave) — exactly the structure this sweep stresses.
+    let mono_cfg = monotasks_core::MonoConfig {
+        full_duplex_network: true,
+        ..monotasks_core::MonoConfig::default()
+    };
+    let start = Instant::now();
+    let out = monotasks_core::run(&cluster, &[(job, blocks)], &mono_cfg);
+    let wall_s = start.elapsed().as_secs_f64();
+    Point {
+        machines,
+        tasks,
+        makespan_s: out.makespan.as_secs_f64(),
+        wall_s,
+        events: out.stats.events,
+        reallocs: out.stats.reallocs,
+        alloc_s: out.stats.alloc_secs(),
+    }
+}
+
+fn main() {
+    header(
+        "scale_sweep",
+        "sort at 5/20/50/100 machines, full-duplex fabric, weak scaling",
+        "control plane stays tractable at 100 machines (beyond the paper's 20)",
+    );
+    println!(
+        "{:>9} {:>7} {:>11} {:>9} {:>10} {:>10} {:>9}",
+        "machines", "tasks", "makespan(s)", "wall(s)", "events", "reallocs", "alloc(s)"
+    );
+    let mut points = Vec::new();
+    for &m in &[5usize, 20, 50, 100] {
+        let p = run_point(m);
+        println!(
+            "{:>9} {:>7} {:>11.1} {:>9.2} {:>10} {:>10} {:>9.2}",
+            p.machines, p.tasks, p.makespan_s, p.wall_s, p.events, p.reallocs, p.alloc_s
+        );
+        points.push(p);
+    }
+    let mut json = String::from("{\n  \"bench\": \"scale_sweep\",\n  \"workload\": \"sort\",\n");
+    json.push_str(&format!(
+        "  \"gib_per_machine\": {GIB_PER_MACHINE},\n  \"points\": [\n"
+    ));
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"machines\": {}, \"tasks\": {}, \"makespan_s\": {:.3}, \
+             \"wall_s\": {:.3}, \"events\": {}, \"reallocs\": {}, \"alloc_s\": {:.3}}}{}\n",
+            p.machines,
+            p.tasks,
+            p.makespan_s,
+            p.wall_s,
+            p.events,
+            p.reallocs,
+            p.alloc_s,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_PR1.json", &json).expect("write BENCH_PR1.json");
+    println!("\nwrote BENCH_PR1.json");
+}

@@ -58,8 +58,8 @@ fn main() {
         ),
     ];
     println!(
-        "{:<14} {:>9} {:>9} {:>9}   {:<18} {}",
-        "job", "cpu q", "disk q", "net q", "longest queue", "model bottleneck"
+        "{:<14} {:>9} {:>9} {:>9}   {:<18} model bottleneck",
+        "job", "cpu q", "disk q", "net q", "longest queue"
     );
     for (label, job) in jobs {
         let blocks = BlockMap::round_robin(128, 4, 2);

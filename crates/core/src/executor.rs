@@ -21,7 +21,7 @@ use dataflow::{
     BlockMap, InputSpec, JobId, JobReport, JobSpec, OutputSpec, StageId, StageReport, TaskId,
 };
 use simcore::{FlowAllocator, FlowId};
-use simcore::{ResourceKind, SimTime};
+use simcore::{ResourceKind, SimStats, SimTime};
 
 use crate::decompose::{decompose, DecomposeCtx, SenderShare};
 use crate::metrics::{MonotaskRecord, Purpose};
@@ -119,6 +119,9 @@ pub struct MonoRunOutput {
     pub peak_buffered: Vec<f64>,
     /// Time of the last completion.
     pub makespan: SimTime,
+    /// Control-plane cost: simulation steps plus allocator work summed over
+    /// every machine and the fabric.
+    pub stats: SimStats,
 }
 
 /// Phase of a network-fetch monotask's tiny internal chain.
@@ -207,6 +210,7 @@ struct Exec {
     fabric: Option<FlowAllocator>,
     now: SimTime,
     rr_job: usize,
+    stats: SimStats,
 }
 
 /// Encodes a `(multitask, node)` reference as a fluid stream id.
@@ -350,6 +354,7 @@ pub fn run(cluster: &ClusterSpec, jobs: &[(JobSpec, BlockMap)], cfg: &MonoConfig
         },
         now: SimTime::ZERO,
         rr_job: 0,
+        stats: SimStats::new(),
     };
     exec.prime();
     exec.main_loop();
@@ -404,7 +409,10 @@ impl Exec {
         let mut steps: u64 = 0;
         loop {
             // Dispatch to fixpoint: assignment opens queues, queues fill slots,
-            // remote enqueues open other machines' disks, and so on.
+            // remote enqueues open other machines' disks, and so on. The whole
+            // wave of stream starts happens at one instant, so batch it: each
+            // allocator reallocates once at commit instead of per insert.
+            self.begin_update_all();
             loop {
                 let mut changed = self.assign_tasks();
                 changed |= self.dispatch_all();
@@ -412,6 +420,7 @@ impl Exec {
                     break;
                 }
             }
+            self.commit_all(self.now);
             if let Some(fabric) = &mut self.fabric {
                 fabric.advance(self.now);
             }
@@ -439,7 +448,7 @@ impl Exec {
             }
             // Next completion anywhere.
             let mut next: Option<SimTime> = None;
-            for m in &self.machines {
+            for m in self.machines.iter_mut() {
                 if let Some(t) = m.fluid.next_completion(self.now) {
                     next = Some(match next {
                         Some(b) => b.min(t),
@@ -447,7 +456,7 @@ impl Exec {
                     });
                 }
             }
-            if let Some(fabric) = &self.fabric {
+            if let Some(fabric) = &mut self.fabric {
                 if let Some(t) = fabric.next_completion(self.now) {
                     next = Some(match next {
                         Some(b) => b.min(t),
@@ -464,6 +473,10 @@ impl Exec {
                 break;
             };
             self.now = t;
+            // The completion wave also happens at one instant (completions
+            // plus any streams their handlers start, e.g. remote-read →
+            // transfer), so batch it the same way.
+            self.begin_update_all();
             if let Some(fabric) = &mut self.fabric {
                 fabric.advance(t);
                 let done: Vec<FlowId> = fabric.take_completed(t);
@@ -480,12 +493,34 @@ impl Exec {
                     self.on_stream_done(mt, node);
                 }
             }
+            self.commit_all(t);
             steps += 1;
             assert!(
                 steps <= self.cfg.max_steps,
                 "monotasks executor exceeded {} steps",
                 self.cfg.max_steps
             );
+        }
+        self.stats.events = steps;
+    }
+
+    /// Opens a batched-update scope on every allocator (machines + fabric).
+    fn begin_update_all(&mut self) {
+        for m in self.machines.iter_mut() {
+            m.fluid.begin_update();
+        }
+        if let Some(fabric) = &mut self.fabric {
+            fabric.begin_update();
+        }
+    }
+
+    /// Commits every allocator's batch, reallocating the dirty ones once.
+    fn commit_all(&mut self, now: SimTime) {
+        for m in self.machines.iter_mut() {
+            m.fluid.commit(now);
+        }
+        if let Some(fabric) = &mut self.fabric {
+            fabric.commit(now);
         }
     }
 
@@ -1050,6 +1085,13 @@ impl Exec {
 
     fn into_output(self) -> MonoRunOutput {
         let makespan = self.now;
+        let mut stats = self.stats;
+        for m in &self.machines {
+            stats.merge(&m.fluid.stats());
+        }
+        if let Some(fabric) = &self.fabric {
+            stats.merge(&fabric.stats());
+        }
         let peak_buffered = self.machines.iter().map(|m| m.peak_buffered).collect();
         let jobs = self
             .jobs
@@ -1078,6 +1120,7 @@ impl Exec {
             queue_trace: self.queue_trace,
             peak_buffered,
             makespan,
+            stats,
         }
     }
 }
@@ -1223,8 +1266,10 @@ mod tests {
     #[test]
     fn concurrency_override_throttles_parallelism() {
         let (job, blocks) = sort_job(2.0, 32);
-        let mut cfg = MonoConfig::default();
-        cfg.concurrency_override = Some(1);
+        let cfg = MonoConfig {
+            concurrency_override: Some(1),
+            ..MonoConfig::default()
+        };
         let slow = run(&small_cluster(), &[(job.clone(), blocks.clone())], &cfg);
         let fast = run(&small_cluster(), &[(job, blocks)], &MonoConfig::default());
         assert!(
@@ -1253,8 +1298,10 @@ mod tests {
             &[(job.clone(), blocks.clone())],
             &MonoConfig::default(),
         );
-        let mut cfg = MonoConfig::default();
-        cfg.memory_limit_fraction = Some(0.005); // ~320 MB watermark
+        let cfg = MonoConfig {
+            memory_limit_fraction: Some(0.005), // ~320 MB watermark
+            ..MonoConfig::default()
+        };
         let regulated = run(&small_cluster(), &[(job, blocks)], &cfg);
         let peak = |o: &MonoRunOutput| o.peak_buffered.iter().cloned().fold(0.0f64, f64::max);
         assert!(peak(&base) > 0.0);
@@ -1288,8 +1335,10 @@ mod tests {
             &[(job.clone(), blocks.clone())],
             &MonoConfig::default(),
         );
-        let mut cfg = MonoConfig::default();
-        cfg.write_disk_choice = DiskChoice::ShortestQueue;
+        let cfg = MonoConfig {
+            write_disk_choice: DiskChoice::ShortestQueue,
+            ..MonoConfig::default()
+        };
         let sq = run(&small_cluster(), &[(job, blocks)], &cfg);
         assert!(
             sq.jobs[0].duration_secs() <= rr.jobs[0].duration_secs() * 1.001,
@@ -1308,8 +1357,10 @@ mod tests {
             &[(a.clone(), ba.clone()), (b.clone(), bb.clone())],
             &MonoConfig::default(),
         );
-        let mut cfg = MonoConfig::default();
-        cfg.job_policy = JobPolicy::Fifo;
+        let cfg = MonoConfig {
+            job_policy: JobPolicy::Fifo,
+            ..MonoConfig::default()
+        };
         let fifo = run(&small_cluster(), &[(a, ba), (b, bb)], &cfg);
         assert!(
             fifo.jobs[0].duration_secs() <= fair.jobs[0].duration_secs(),
@@ -1333,8 +1384,10 @@ mod tests {
             &[(job.clone(), blocks.clone())],
             &MonoConfig::default(),
         );
-        let mut cfg = MonoConfig::default();
-        cfg.full_duplex_network = true;
+        let cfg = MonoConfig {
+            full_duplex_network: true,
+            ..MonoConfig::default()
+        };
         let duplex = run(&small_cluster(), &[(job, blocks)], &cfg);
         let (a, b) = (
             rx_only.jobs[0].duration_secs(),
@@ -1366,8 +1419,10 @@ mod tests {
             &[(job.clone(), blocks.clone())],
             &MonoConfig::default(),
         );
-        let mut cfg = MonoConfig::default();
-        cfg.full_duplex_network = true;
+        let cfg = MonoConfig {
+            full_duplex_network: true,
+            ..MonoConfig::default()
+        };
         let duplex = run(&small_cluster(), &[(job, blocks)], &cfg);
         assert!(
             duplex.jobs[0].duration_secs() > 1.2 * rx_only.jobs[0].duration_secs(),

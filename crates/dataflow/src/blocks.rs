@@ -51,6 +51,11 @@ impl BlockMap {
         self.machines
     }
 
+    /// Number of disks per machine blocks are spread over.
+    pub fn disks_per_machine(&self) -> usize {
+        self.disks_per_machine
+    }
+
     /// The machine holding `block`.
     pub fn machine_of(&self, block: BlockId) -> usize {
         self.locations[block.0 as usize].0

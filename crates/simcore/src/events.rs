@@ -7,6 +7,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use crate::stats::SimStats;
 use crate::time::SimTime;
 
 /// A scheduled event: payload `E` plus its firing time and tie-break sequence.
@@ -125,6 +126,23 @@ pub trait World {
 /// Panics if more than `max_events` events fire, which indicates a scheduling
 /// livelock (an event handler perpetually rescheduling itself).
 pub fn run<W: World>(world: &mut W, queue: &mut EventQueue<W::Event>, max_events: u64) -> SimTime {
+    let mut stats = SimStats::new();
+    run_with_stats(world, queue, max_events, &mut stats)
+}
+
+/// Like [`run`], but also accumulates the number of events fired into
+/// `stats.events` so callers can report the control plane's cost.
+///
+/// # Panics
+///
+/// Panics if more than `max_events` events fire, which indicates a scheduling
+/// livelock (an event handler perpetually rescheduling itself).
+pub fn run_with_stats<W: World>(
+    world: &mut W,
+    queue: &mut EventQueue<W::Event>,
+    max_events: u64,
+    stats: &mut SimStats,
+) -> SimTime {
     let mut fired: u64 = 0;
     let mut now = SimTime::ZERO;
     while let Some((t, ev)) = queue.pop() {
@@ -137,6 +155,7 @@ pub fn run<W: World>(world: &mut W, queue: &mut EventQueue<W::Event>, max_events
             "simulation exceeded {max_events} events: likely a scheduling livelock"
         );
     }
+    stats.events += fired;
     now
 }
 

@@ -17,6 +17,8 @@
 //!   at both sender and receiver, the standard fluid model for shuffle traffic.
 //! * [`recorder`] — time-weighted utilization traces with interval resampling
 //!   and percentile queries, used to regenerate the paper's utilization figures.
+//! * [`stats`] — wall-clock counters ([`SimStats`]) for the simulator's own
+//!   control plane: events fired, allocator reallocations, allocator time.
 //!
 //! Nothing in this crate knows about tasks, jobs, or analytics; it is the
 //! "operating system and hardware physics" layer.
@@ -28,10 +30,12 @@ pub mod events;
 pub mod maxmin;
 pub mod recorder;
 pub mod resource;
+pub mod stats;
 pub mod time;
 
 pub use events::{EventQueue, World};
 pub use maxmin::{FlowAllocator, FlowId};
 pub use recorder::UtilizationRecorder;
 pub use resource::{JobId, PsResource, ResourceKind};
+pub use stats::SimStats;
 pub use time::{SimDuration, SimTime};

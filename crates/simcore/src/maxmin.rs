@@ -10,9 +10,38 @@
 //! This is the same fluid abstraction the paper leans on when reasoning about
 //! the network: what matters for performance clarity is how many flows share
 //! each sender and receiver link, not packet-level dynamics.
+//!
+//! # Incremental implementation
+//!
+//! The allocator is built to stay cheap on clusters of 100+ machines with
+//! thousands of concurrent shuffle flows:
+//!
+//! * **Per-port flow indices** (`tx_flows`/`rx_flows`) let progressive filling
+//!   freeze a whole bottleneck port at once instead of re-scanning every flow
+//!   per round, and make insert/remove O(1) on the index itself.
+//! * **Per-port used-rate accumulators** (`tx_used`/`rx_used`) are maintained
+//!   at each reallocation, so [`FlowAllocator::tx_busy_fraction`] and
+//!   [`FlowAllocator::rx_busy_fraction`] are O(1) reads instead of O(flows)
+//!   scans per trace sample.
+//! * **A cached next-completion deadline**: reallocation recomputes every
+//!   flow's completion instant in its single pass and keeps the minimum, so
+//!   [`FlowAllocator::next_completion`] is O(1) and
+//!   [`FlowAllocator::take_completed`] returns in O(1) when nothing is due
+//!   (it only scans — and then reallocates — when a completion actually
+//!   fires).
+//! * **Batched mutations** ([`FlowAllocator::begin_update`] /
+//!   [`FlowAllocator::commit`]) collapse a wave of inserts or removals at one
+//!   instant into a single reallocation.
+//!
+//! Max-min fairness has a unique fixpoint, so the incremental algorithm must
+//! produce the same rates as the original quadratic one. That original is kept
+//! as [`FlowAllocator::reference_reallocate`], and with the `slowcheck` cargo
+//! feature every reallocation is `debug_assert!`-checked against it.
 
 use std::collections::BTreeMap;
+use std::time::Instant;
 
+use crate::stats::SimStats;
 use crate::time::{SimDuration, SimTime};
 
 /// Remaining bytes below this are considered transferred.
@@ -25,12 +54,23 @@ pub struct FlowId(pub u64);
 /// Index of a machine (port) in the fabric.
 pub type NodeId = usize;
 
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 struct Flow {
+    id: FlowId,
     src: NodeId,
     dst: NodeId,
     remaining: f64,
     rate: f64,
+    /// Position of this flow's dense index inside `tx_flows[src]`.
+    tx_slot: usize,
+    /// Position of this flow's dense index inside `rx_flows[dst]`.
+    rx_slot: usize,
+    /// Completion instant at the current rate ([`SimTime::FAR_FUTURE`] until
+    /// the first reallocation assigns one).
+    deadline: SimTime,
+    /// Reallocation round stamp; equals the allocator's `freeze_stamp` while
+    /// this flow's rate is frozen during the current reallocation.
+    frozen_at: u64,
 }
 
 /// A fabric of full-duplex ports carrying max-min fair fluid flows.
@@ -38,10 +78,40 @@ struct Flow {
 pub struct FlowAllocator {
     tx_cap: Vec<f64>,
     rx_cap: Vec<f64>,
-    flows: BTreeMap<FlowId, Flow>,
+    /// Dense flow storage (swap-removed); the hot per-reallocation passes are
+    /// linear scans over this vector, not tree walks.
+    flows: Vec<Flow>,
+    /// Id → dense index. Only lookups touch this; iteration stays dense.
+    index: BTreeMap<FlowId, usize>,
+    /// Per-port indices: dense indices of flows transmitting from /
+    /// receiving at a port.
+    tx_flows: Vec<Vec<u32>>,
+    rx_flows: Vec<Vec<u32>>,
+    /// Sum of allocated rates per port, refreshed at each reallocation.
+    tx_used: Vec<f64>,
+    rx_used: Vec<f64>,
+    /// Minimum completion deadline across all flows, maintained by
+    /// reallocation ([`SimTime::FAR_FUTURE`] when no flow is live).
+    next_deadline: SimTime,
+    /// Reusable progressive-filling scratch (remaining capacity and unfrozen
+    /// flow count per port), refilled at each reallocation to avoid
+    /// allocating four vectors per call.
+    scratch_left: Vec<f64>,
+    scratch_n: Vec<u32>,
+    freeze_stamp: u64,
     last_advance: SimTime,
+    /// Instant up to which flow `remaining` fields are materialized; drain
+    /// between `synced` and `last_advance` is virtual (rates are constant in
+    /// between, so it is recoverable on demand).
+    synced: SimTime,
     epoch: u64,
     delivered: f64,
+    /// Open `begin_update` scopes; mutations defer reallocation while > 0.
+    batch_depth: u32,
+    /// A mutation happened inside the open batch.
+    dirty: bool,
+    reallocs: u64,
+    alloc_nanos: u64,
 }
 
 impl FlowAllocator {
@@ -57,10 +127,24 @@ impl FlowAllocator {
         FlowAllocator {
             tx_cap: vec![tx_cap; nodes],
             rx_cap: vec![rx_cap; nodes],
-            flows: BTreeMap::new(),
+            flows: Vec::new(),
+            index: BTreeMap::new(),
+            tx_flows: vec![Vec::new(); nodes],
+            rx_flows: vec![Vec::new(); nodes],
+            tx_used: vec![0.0; nodes],
+            rx_used: vec![0.0; nodes],
+            next_deadline: SimTime::FAR_FUTURE,
+            scratch_left: vec![0.0; 2 * nodes],
+            scratch_n: vec![0; 2 * nodes],
+            freeze_stamp: 0,
             last_advance: SimTime::ZERO,
+            synced: SimTime::ZERO,
             epoch: 0,
             delivered: 0.0,
+            batch_depth: 0,
+            dirty: false,
+            reallocs: 0,
+            alloc_nanos: 0,
         }
     }
 
@@ -81,48 +165,110 @@ impl FlowAllocator {
 
     /// Total bytes delivered so far across all flows.
     pub fn total_delivered(&self) -> f64 {
-        self.delivered
+        let dt = self.last_advance.since(self.synced).as_secs_f64();
+        let pending: f64 = if dt == 0.0 {
+            0.0
+        } else {
+            self.flows
+                .iter()
+                .map(|f| (f.rate * dt).min(f.remaining))
+                .sum()
+        };
+        self.delivered + pending
     }
 
     /// Current rate of `flow`, if active.
     pub fn rate(&self, flow: FlowId) -> Option<f64> {
-        self.flows.get(&flow).map(|f| f.rate)
+        self.index.get(&flow).map(|&i| self.flows[i].rate)
+    }
+
+    /// Control-plane cost counters for this allocator.
+    pub fn stats(&self) -> SimStats {
+        SimStats {
+            events: 0,
+            reallocs: self.reallocs,
+            alloc_nanos: self.alloc_nanos,
+        }
     }
 
     /// Fraction of `node`'s receive capacity currently in use.
+    ///
+    /// O(1): reads the per-port accumulator maintained by reallocation.
     pub fn rx_busy_fraction(&self, node: NodeId) -> f64 {
-        let used: f64 = self
-            .flows
-            .values()
-            .filter(|f| f.dst == node)
-            .map(|f| f.rate)
-            .sum();
-        used / self.rx_cap[node]
+        self.rx_used[node] / self.rx_cap[node]
     }
 
     /// Fraction of `node`'s transmit capacity currently in use.
+    ///
+    /// O(1): reads the per-port accumulator maintained by reallocation.
     pub fn tx_busy_fraction(&self, node: NodeId) -> f64 {
-        let used: f64 = self
-            .flows
-            .values()
-            .filter(|f| f.src == node)
-            .map(|f| f.rate)
-            .sum();
-        used / self.tx_cap[node]
+        self.tx_used[node] / self.tx_cap[node]
     }
 
     /// Drains all flows at their current rates up to `now`.
+    ///
+    /// O(1): only the clock moves. Rates are constant between reallocations,
+    /// so per-flow progress is materialized lazily by the operations that
+    /// read or change `remaining` (reallocation, removal, completion).
     pub fn advance(&mut self, now: SimTime) {
-        let dt = now.since(self.last_advance).as_secs_f64();
+        let dt = now.since(self.last_advance);
         self.last_advance = now;
+        debug_assert!(
+            !(dt > SimDuration::ZERO && self.batch_depth > 0 && self.dirty),
+            "time advanced inside an open batch with pending mutations"
+        );
+    }
+
+    /// Applies the virtual drain accumulated since `synced` to every flow's
+    /// `remaining` (and the delivered total).
+    fn materialize(&mut self) {
+        let dt = self.last_advance.since(self.synced).as_secs_f64();
+        self.synced = self.last_advance;
         if dt == 0.0 {
             return;
         }
-        for f in self.flows.values_mut() {
+        for f in self.flows.iter_mut() {
             let drain = (f.rate * dt).min(f.remaining);
             f.remaining -= drain;
             self.delivered += drain;
         }
+    }
+
+    /// Opens a batched-update scope: mutations (insert / remove /
+    /// take_completed) made before the matching [`FlowAllocator::commit`]
+    /// defer their reallocation, so a wave of changes at one instant costs a
+    /// single recomputation. Scopes nest; only the outermost commit
+    /// reallocates. All mutations inside a batch must happen at the same
+    /// instant (time must not advance until commit).
+    pub fn begin_update(&mut self) {
+        self.batch_depth += 1;
+    }
+
+    /// Closes a [`FlowAllocator::begin_update`] scope, reallocating once if
+    /// any mutation happened inside it. Returns the current epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no batch is open.
+    pub fn commit(&mut self, now: SimTime) -> u64 {
+        assert!(self.batch_depth > 0, "commit without begin_update");
+        self.batch_depth -= 1;
+        if self.batch_depth == 0 && self.dirty {
+            self.advance(now);
+            self.dirty = false;
+            self.reallocate();
+        }
+        self.epoch
+    }
+
+    /// Reallocates now, or defers to the enclosing batch's commit.
+    fn after_mutation(&mut self) {
+        if self.batch_depth > 0 {
+            self.dirty = true;
+        } else {
+            self.reallocate();
+        }
+        self.epoch += 1;
     }
 
     /// Starts a flow of `bytes` from `src` to `dst`; returns the new epoch.
@@ -141,18 +287,23 @@ impl FlowAllocator {
         assert!(bytes.is_finite() && bytes > 0.0, "bad flow size: {bytes}");
         assert!(src < self.nodes() && dst < self.nodes(), "bad node id");
         self.advance(now);
-        let prev = self.flows.insert(
-            id,
-            Flow {
-                src,
-                dst,
-                remaining: bytes,
-                rate: 0.0,
-            },
-        );
+        let idx = self.flows.len();
+        let prev = self.index.insert(id, idx);
         assert!(prev.is_none(), "flow {id:?} inserted twice");
-        self.reallocate();
-        self.epoch += 1;
+        self.flows.push(Flow {
+            id,
+            src,
+            dst,
+            remaining: bytes,
+            rate: 0.0,
+            tx_slot: self.tx_flows[src].len(),
+            rx_slot: self.rx_flows[dst].len(),
+            deadline: SimTime::FAR_FUTURE,
+            frozen_at: 0,
+        });
+        self.tx_flows[src].push(idx as u32);
+        self.rx_flows[dst].push(idx as u32);
+        self.after_mutation();
         self.epoch
     }
 
@@ -160,66 +311,271 @@ impl FlowAllocator {
     /// was active.
     pub fn remove(&mut self, now: SimTime, id: FlowId) -> Option<f64> {
         self.advance(now);
-        let removed = self.flows.remove(&id).map(|f| f.remaining);
-        if removed.is_some() {
-            self.reallocate();
-            self.epoch += 1;
-        }
-        removed
+        self.materialize();
+        let idx = self.index.remove(&id)?;
+        let f = self.remove_at(idx);
+        self.after_mutation();
+        Some(f.remaining)
     }
 
-    /// Removes and returns all flows whose bytes have been fully delivered.
+    /// Removes the flow at dense index `idx` (already unlinked from `index`),
+    /// keeping the port indices and the dense vector's swap-removed survivors
+    /// consistent. Returns the removed flow.
+    fn remove_at(&mut self, idx: usize) -> Flow {
+        let f = self.flows[idx];
+        // Unlink from the port lists; a survivor swapped into the vacated
+        // port slot needs its slot field re-pointed.
+        self.tx_flows[f.src].swap_remove(f.tx_slot);
+        if let Some(&moved) = self.tx_flows[f.src].get(f.tx_slot) {
+            self.flows[moved as usize].tx_slot = f.tx_slot;
+        }
+        self.rx_flows[f.dst].swap_remove(f.rx_slot);
+        if let Some(&moved) = self.rx_flows[f.dst].get(f.rx_slot) {
+            self.flows[moved as usize].rx_slot = f.rx_slot;
+        }
+        // Swap-remove from the dense vector; the flow moved into `idx` (if
+        // any) must be re-pointed in the id map and both port lists.
+        self.flows.swap_remove(idx);
+        if let Some(moved) = self.flows.get(idx) {
+            let (mid, msrc, mdst, mtx, mrx) =
+                (moved.id, moved.src, moved.dst, moved.tx_slot, moved.rx_slot);
+            self.tx_flows[msrc][mtx] = idx as u32;
+            self.rx_flows[mdst][mrx] = idx as u32;
+            *self.index.get_mut(&mid).expect("indexed flow") = idx;
+        }
+        f
+    }
+
+    /// Removes and returns all flows whose bytes have been fully delivered,
+    /// in ascending id order.
     pub fn take_completed(&mut self, now: SimTime) -> Vec<FlowId> {
         self.advance(now);
-        let done: Vec<FlowId> = self
-            .flows
-            .iter()
-            .filter(|(_, f)| f.remaining <= BYTES_EPSILON)
-            .map(|(id, _)| *id)
-            .collect();
+        // Fast path: the cached minimum deadline says nothing is due, so skip
+        // the scan entirely. This is what keeps speculative polling (every
+        // event step asks every allocator) O(1).
+        if self.next_deadline > now || self.flows.is_empty() {
+            return Vec::new();
+        }
+        let dt = self.last_advance.since(self.synced).as_secs_f64();
+        let mut done: Vec<FlowId> = Vec::new();
+        let mut min_left = SimTime::FAR_FUTURE;
+        for f in self.flows.iter_mut() {
+            if f.deadline > now {
+                min_left = min_left.min(f.deadline);
+                continue;
+            }
+            if (f.remaining - f.rate * dt).max(0.0) <= BYTES_EPSILON {
+                done.push(f.id);
+            } else {
+                // Floating-point drift: the deadline undershot the true
+                // completion by a whisker. Reschedule from current progress.
+                let left = (f.remaining - f.rate * dt).max(0.0);
+                f.deadline = now + SimDuration::from_secs_f64(left / f.rate).max(SimDuration::NANO);
+                min_left = min_left.min(f.deadline);
+            }
+        }
+        if done.is_empty() {
+            // Everything that looked due healed forward; refresh the cache so
+            // the fast path works again.
+            self.next_deadline = min_left;
+            return done;
+        }
+        self.materialize();
+        done.sort_unstable();
         for id in &done {
-            self.flows.remove(id);
+            let idx = self.index.remove(id).expect("completed flow present");
+            let f = self.remove_at(idx);
+            self.delivered += f.remaining; // at most BYTES_EPSILON of dust
         }
-        if !done.is_empty() {
-            self.reallocate();
-            self.epoch += 1;
-        }
+        // The reallocation triggered here recomputes `next_deadline`.
+        self.after_mutation();
         done
     }
 
     /// Instant of the next flow completion if the flow set does not change.
-    pub fn next_completion(&self, now: SimTime) -> Option<SimTime> {
-        debug_assert_eq!(self.last_advance, now);
-        let mut best: Option<f64> = None;
-        for f in self.flows.values() {
-            if f.remaining <= BYTES_EPSILON {
-                return Some(now);
-            }
-            debug_assert!(f.rate > 0.0, "active flow with zero rate");
-            let dt = f.remaining / f.rate;
-            best = Some(match best {
-                Some(b) => b.min(dt),
-                None => dt,
-            });
+    ///
+    /// # Contract
+    ///
+    /// `now` may be at or after the last observed time: the allocator first
+    /// self-advances to `now` (draining flows at their current rates), then
+    /// reads the cached minimum deadline. Passing a `now` earlier than a
+    /// previously observed instant panics with "time ran backwards". Must not
+    /// be called inside an open [`FlowAllocator::begin_update`] batch, where
+    /// rates are stale by construction.
+    pub fn next_completion(&mut self, now: SimTime) -> Option<SimTime> {
+        debug_assert!(
+            self.batch_depth == 0,
+            "next_completion inside an open batch"
+        );
+        self.advance(now);
+        if self.flows.is_empty() {
+            return None;
         }
-        best.map(|dt| now + SimDuration::from_secs_f64(dt).max(SimDuration::NANO))
+        debug_assert!(
+            self.next_deadline < SimTime::FAR_FUTURE,
+            "live flow without a deadline"
+        );
+        Some(self.next_deadline.max(now))
     }
 
-    /// Recomputes the max-min fair allocation by progressive filling.
+    /// Recomputes the max-min fair allocation by progressive filling over the
+    /// per-port indices: each round finds the bottleneck share, then freezes
+    /// every not-yet-frozen flow crossing a port at that share. Refreshes the
+    /// per-port used-rate accumulators and the cached next deadline.
     fn reallocate(&mut self) {
+        let timer = Instant::now();
+        self.reallocs += 1;
+        // Virtual drain since `synced` is settled inside the freeze loop
+        // (each flow drains at its old rate just before the new one lands),
+        // so reallocation is a single pass over the flows.
+        let dt = self.last_advance.since(self.synced).as_secs_f64();
+        self.synced = self.last_advance;
+        for u in &mut self.tx_used {
+            *u = 0.0;
+        }
+        for u in &mut self.rx_used {
+            *u = 0.0;
+        }
+        self.next_deadline = SimTime::FAR_FUTURE;
+        if !self.flows.is_empty() {
+            self.fill_rates(dt);
+            #[cfg(feature = "slowcheck")]
+            self.assert_matches_reference();
+        }
+        self.alloc_nanos += timer.elapsed().as_nanos() as u64;
+    }
+
+    /// Progressive filling proper: drains each flow at its old rate over
+    /// `dt`, sets its new `rate`, and refreshes its completion deadline —
+    /// all at the moment it freezes (every flow freezes exactly once).
+    fn fill_rates(&mut self, dt: f64) {
+        let FlowAllocator {
+            tx_cap,
+            rx_cap,
+            flows,
+            tx_flows,
+            rx_flows,
+            tx_used,
+            rx_used,
+            next_deadline,
+            scratch_left,
+            scratch_n,
+            freeze_stamp,
+            last_advance,
+            delivered,
+            ..
+        } = self;
+        let now = *last_advance;
+        let n = tx_cap.len();
+        let (tx_left, rx_left) = scratch_left.split_at_mut(n);
+        let (tx_n, rx_n) = scratch_n.split_at_mut(n);
+        tx_left.copy_from_slice(tx_cap);
+        rx_left.copy_from_slice(rx_cap);
+        for i in 0..n {
+            tx_n[i] = tx_flows[i].len() as u32;
+            rx_n[i] = rx_flows[i].len() as u32;
+        }
+        let mut unfrozen = flows.len();
+        *freeze_stamp += 1;
+        let stamp = *freeze_stamp;
+        // Freezing a flow: drain it at the old rate, assign the share, and
+        // refresh its completion deadline (folding it into the cached min).
+        let mut freeze = |f: &mut Flow, share: f64| {
+            let drain = (f.rate * dt).min(f.remaining);
+            f.remaining -= drain;
+            *delivered += drain;
+            f.frozen_at = stamp;
+            // An unchanged rate means the (absolute) completion instant is
+            // unchanged too; keeping the stored deadline skips the division
+            // and avoids re-rounding drift.
+            if f.rate != share || f.remaining <= BYTES_EPSILON {
+                f.rate = share;
+                f.deadline = if f.remaining <= BYTES_EPSILON {
+                    now
+                } else {
+                    debug_assert!(share > 0.0, "active flow with zero rate");
+                    now + SimDuration::from_secs_f64(f.remaining / share).max(SimDuration::NANO)
+                };
+            }
+            *next_deadline = (*next_deadline).min(f.deadline);
+        };
+        while unfrozen > 0 {
+            // The bottleneck port is the one offering the smallest fair share.
+            let mut share = f64::INFINITY;
+            for i in 0..n {
+                if tx_n[i] > 0 {
+                    share = share.min(tx_left[i] / tx_n[i] as f64);
+                }
+                if rx_n[i] > 0 {
+                    share = share.min(rx_left[i] / rx_n[i] as f64);
+                }
+            }
+            debug_assert!(share.is_finite());
+            let tol = share * 1e-12 + 1e-15;
+            let before = unfrozen;
+            // Freeze whole ports sitting at the bottleneck share. Freezing a
+            // flow debits both its ports, which can only keep other ports at
+            // or above the share, so port-order traversal freezes exactly the
+            // flows the per-flow round would.
+            for p in 0..n {
+                if tx_n[p] > 0 && tx_left[p] / tx_n[p] as f64 <= share + tol {
+                    for &i in &tx_flows[p] {
+                        let f = &mut flows[i as usize];
+                        if f.frozen_at == stamp {
+                            continue;
+                        }
+                        freeze(f, share);
+                        tx_left[f.src] -= share;
+                        tx_n[f.src] -= 1;
+                        rx_left[f.dst] -= share;
+                        rx_n[f.dst] -= 1;
+                        unfrozen -= 1;
+                    }
+                }
+                if rx_n[p] > 0 && rx_left[p] / rx_n[p] as f64 <= share + tol {
+                    for &i in &rx_flows[p] {
+                        let f = &mut flows[i as usize];
+                        if f.frozen_at == stamp {
+                            continue;
+                        }
+                        freeze(f, share);
+                        tx_left[f.src] -= share;
+                        tx_n[f.src] -= 1;
+                        rx_left[f.dst] -= share;
+                        rx_n[f.dst] -= 1;
+                        unfrozen -= 1;
+                    }
+                }
+            }
+            debug_assert!(unfrozen < before, "progressive filling made no progress");
+            if unfrozen >= before {
+                break; // release-mode safety valve; unreachable in practice
+            }
+        }
+        // Allocated rate per port is whatever progressive filling debited.
+        for i in 0..n {
+            tx_used[i] = tx_cap[i] - tx_left[i];
+            rx_used[i] = rx_cap[i] - rx_left[i];
+        }
+    }
+
+    /// The original quadratic progressive-filling algorithm, kept verbatim as
+    /// the executable specification of max-min fairness. Returns the rate for
+    /// every active flow without touching allocator state. With the
+    /// `slowcheck` feature, every reallocation is checked against this.
+    pub fn reference_reallocate(&self) -> BTreeMap<FlowId, f64> {
         let n = self.nodes();
+        let mut rates: BTreeMap<FlowId, f64> = BTreeMap::new();
         let mut tx_left = self.tx_cap.clone();
         let mut rx_left = self.rx_cap.clone();
         let mut tx_count = vec![0usize; n];
         let mut rx_count = vec![0usize; n];
-        let ids: Vec<FlowId> = self.flows.keys().copied().collect();
-        let mut unfrozen: Vec<FlowId> = ids.clone();
-        for f in self.flows.values() {
+        let mut unfrozen: Vec<FlowId> = self.index.keys().copied().collect();
+        for f in self.flows.iter() {
             tx_count[f.src] += 1;
             rx_count[f.dst] += 1;
         }
         while !unfrozen.is_empty() {
-            // The bottleneck port is the one offering the smallest fair share.
             let mut share = f64::INFINITY;
             for i in 0..n {
                 if tx_count[i] > 0 {
@@ -230,32 +586,46 @@ impl FlowAllocator {
                 }
             }
             debug_assert!(share.is_finite());
-            // Freeze every flow crossing a port that is exactly at the
-            // bottleneck share (within tolerance).
             let tol = share * 1e-12 + 1e-15;
             let mut frozen_any = false;
             let mut still: Vec<FlowId> = Vec::new();
             for id in unfrozen.drain(..) {
-                let (src, dst) = {
-                    let f = &self.flows[&id];
-                    (f.src, f.dst)
-                };
-                let tx_share = tx_left[src] / tx_count[src] as f64;
-                let rx_share = rx_left[dst] / rx_count[dst] as f64;
+                let f = &self.flows[self.index[&id]];
+                let tx_share = tx_left[f.src] / tx_count[f.src] as f64;
+                let rx_share = rx_left[f.dst] / rx_count[f.dst] as f64;
                 if tx_share <= share + tol || rx_share <= share + tol {
-                    let f = self.flows.get_mut(&id).expect("flow vanished");
-                    f.rate = share;
-                    tx_left[src] -= share;
-                    rx_left[dst] -= share;
-                    tx_count[src] -= 1;
-                    rx_count[dst] -= 1;
+                    rates.insert(id, share);
+                    tx_left[f.src] -= share;
+                    rx_left[f.dst] -= share;
+                    tx_count[f.src] -= 1;
+                    rx_count[f.dst] -= 1;
                     frozen_any = true;
                 } else {
                     still.push(id);
                 }
             }
             debug_assert!(frozen_any, "progressive filling made no progress");
+            if !frozen_any {
+                break;
+            }
             unfrozen = still;
+        }
+        rates
+    }
+
+    /// Asserts the incremental rates match the reference fixpoint.
+    #[cfg(feature = "slowcheck")]
+    fn assert_matches_reference(&self) {
+        let reference = self.reference_reallocate();
+        for f in &self.flows {
+            let want = reference[&f.id];
+            let tol = want.abs() * 1e-9 + 1e-12;
+            debug_assert!(
+                (f.rate - want).abs() <= tol,
+                "rate mismatch for {:?}: incremental {} vs reference {want}",
+                f.id,
+                f.rate
+            );
         }
     }
 }
@@ -345,5 +715,112 @@ mod tests {
         let mut fab = FlowAllocator::new(2, 1.0, 1.0);
         fab.insert(SimTime::ZERO, FlowId(1), 0, 1, 1.0);
         fab.insert(SimTime::ZERO, FlowId(1), 0, 1, 1.0);
+    }
+
+    #[test]
+    fn rates_match_reference_fixpoint() {
+        let mut fab = FlowAllocator::new(6, 125e6, 125e6);
+        for i in 0..24u64 {
+            fab.insert(
+                SimTime::ZERO,
+                FlowId(i),
+                (i % 6) as usize,
+                ((i * 5 + 2) % 6) as usize,
+                1e6 * (i + 1) as f64,
+            );
+        }
+        let reference = fab.reference_reallocate();
+        for (id, want) in reference {
+            let got = fab.rate(id).unwrap();
+            assert!(
+                (got - want).abs() <= want.abs() * 1e-9 + 1e-12,
+                "{id:?}: {got} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_insert_matches_unbatched_and_reallocates_once() {
+        let mut plain = FlowAllocator::new(8, 1e8, 1e8);
+        let mut batched = FlowAllocator::new(8, 1e8, 1e8);
+        batched.begin_update();
+        for i in 0..32u64 {
+            let (src, dst) = ((i % 8) as usize, ((i + 3) % 8) as usize);
+            plain.insert(SimTime::ZERO, FlowId(i), src, dst, 1e6);
+            batched.insert(SimTime::ZERO, FlowId(i), src, dst, 1e6);
+        }
+        let epoch = batched.commit(SimTime::ZERO);
+        assert_eq!(epoch, plain.epoch());
+        for i in 0..32u64 {
+            assert_eq!(batched.rate(FlowId(i)), plain.rate(FlowId(i)));
+        }
+        // One reallocation for the whole batch vs one per insert.
+        assert_eq!(batched.stats().reallocs, 1);
+        assert_eq!(plain.stats().reallocs, 32);
+        // Both agree on the next completion too.
+        assert_eq!(
+            batched.next_completion(SimTime::ZERO),
+            plain.next_completion(SimTime::ZERO)
+        );
+    }
+
+    #[test]
+    fn busy_fractions_track_port_rates() {
+        let mut fab = FlowAllocator::new(4, 100.0, 100.0);
+        fab.insert(SimTime::ZERO, FlowId(1), 0, 1, 1e9);
+        fab.insert(SimTime::ZERO, FlowId(2), 0, 2, 1e9);
+        fab.insert(SimTime::ZERO, FlowId(3), 3, 2, 1e9);
+        let r1 = fab.rate(FlowId(1)).unwrap();
+        let r2 = fab.rate(FlowId(2)).unwrap();
+        let r3 = fab.rate(FlowId(3)).unwrap();
+        assert!((fab.tx_busy_fraction(0) - (r1 + r2) / 100.0).abs() < 1e-12);
+        assert!((fab.rx_busy_fraction(2) - (r2 + r3) / 100.0).abs() < 1e-12);
+        assert!((fab.rx_busy_fraction(1) - r1 / 100.0).abs() < 1e-12);
+        assert_eq!(fab.tx_busy_fraction(1), 0.0);
+        // Removal updates the accumulators at the triggered reallocation.
+        fab.remove(SimTime::ZERO, FlowId(2));
+        let r1b = fab.rate(FlowId(1)).unwrap();
+        assert!((fab.tx_busy_fraction(0) - r1b / 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn removal_invalidates_stale_heap_entries() {
+        let mut fab = FlowAllocator::new(3, 100.0, 100.0);
+        fab.insert(SimTime::ZERO, FlowId(1), 0, 2, 100.0);
+        fab.insert(SimTime::ZERO, FlowId(2), 1, 2, 100.0);
+        // Both at 50 B/s → first completion would be t=2.
+        assert_eq!(fab.next_completion(SimTime::ZERO), Some(t(2.0)));
+        // Removing flow 1 speeds flow 2 up to 100 B/s → completion at t=1.
+        fab.remove(SimTime::ZERO, FlowId(1));
+        assert_eq!(fab.next_completion(SimTime::ZERO), Some(t(1.0)));
+        // And the stale t=2 entry never resurfaces.
+        fab.advance(t(1.0));
+        assert_eq!(fab.take_completed(t(1.0)), vec![FlowId(2)]);
+        assert_eq!(fab.next_completion(t(1.0)), None);
+    }
+
+    #[test]
+    fn take_completed_returns_ascending_ids() {
+        let mut fab = FlowAllocator::new(8, 100.0, 100.0);
+        // Insert in descending id order; all finish simultaneously.
+        for id in (0..4u64).rev() {
+            fab.insert(
+                SimTime::ZERO,
+                FlowId(id),
+                id as usize,
+                (id + 4) as usize,
+                100.0,
+            );
+        }
+        let c = fab.next_completion(SimTime::ZERO).unwrap();
+        let done = fab.take_completed(c);
+        assert_eq!(done, vec![FlowId(0), FlowId(1), FlowId(2), FlowId(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "commit without begin_update")]
+    fn commit_without_begin_panics() {
+        let mut fab = FlowAllocator::new(2, 1.0, 1.0);
+        fab.commit(SimTime::ZERO);
     }
 }

@@ -1,0 +1,65 @@
+//! Wall-clock observability for the simulator's own control plane.
+//!
+//! The paper's thesis is performance *clarity*; this module applies it to the
+//! simulator itself: how many events fired, how many allocator recomputations
+//! they triggered, and how much wall-clock time the allocators consumed.
+//! `scale_sweep` (in `mt-bench`) uses these counters to track the control
+//! plane's cost as clusters grow.
+
+/// Counters describing one simulation run's control-plane cost.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Simulation events handled (driver-loop iterations).
+    pub events: u64,
+    /// Allocator reallocations (progressive-filling recomputations).
+    pub reallocs: u64,
+    /// Wall-clock nanoseconds spent inside allocator recomputations.
+    pub alloc_nanos: u64,
+}
+
+impl SimStats {
+    /// All-zero counters.
+    pub fn new() -> SimStats {
+        SimStats::default()
+    }
+
+    /// Adds `other`'s counters into `self`.
+    pub fn merge(&mut self, other: &SimStats) {
+        self.events += other.events;
+        self.reallocs += other.reallocs;
+        self.alloc_nanos += other.alloc_nanos;
+    }
+
+    /// Wall-clock seconds spent in allocators.
+    pub fn alloc_secs(&self) -> f64 {
+        self.alloc_nanos as f64 / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = SimStats {
+            events: 1,
+            reallocs: 2,
+            alloc_nanos: 3,
+        };
+        a.merge(&SimStats {
+            events: 10,
+            reallocs: 20,
+            alloc_nanos: 30,
+        });
+        assert_eq!(
+            a,
+            SimStats {
+                events: 11,
+                reallocs: 22,
+                alloc_nanos: 33,
+            }
+        );
+        assert!((a.alloc_secs() - 33e-9).abs() < 1e-18);
+    }
+}

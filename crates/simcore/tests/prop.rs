@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use simcore::resource::EfficiencyCurve;
-use simcore::{FlowAllocator, FlowId, JobId, PsResource, ResourceKind, SimTime};
+use simcore::{FlowAllocator, FlowId, JobId, PsResource, ResourceKind, SimDuration, SimTime};
 
 fn drive_resource(r: &mut PsResource, jobs: usize) -> (f64, SimTime) {
     let mut now = SimTime::ZERO;
@@ -156,5 +156,126 @@ proptest! {
         let bound = flows.iter().sum::<f64>() / cap;
         prop_assert!(now.as_secs_f64() >= bound * (1.0 - 1e-9));
         // And max-min fairness means equal flows finish together.
+    }
+
+    #[test]
+    fn incremental_rates_match_reference_under_churn(
+        n_nodes in 2usize..6,
+        tx_cap in 10.0f64..500.0,
+        rx_cap in 10.0f64..500.0,
+        ops in prop::collection::vec(
+            (0u8..4, 0usize..8, 0usize..8, 1.0f64..500.0, 0.1f64..0.9),
+            1..40,
+        ),
+    ) {
+        // Random insert/remove/advance churn: after every mutation the
+        // incremental allocator's rates must equal the from-scratch
+        // progressive-filling fixpoint (which is unique).
+        let mut fab = FlowAllocator::new(n_nodes, tx_cap, rx_cap);
+        let mut now = SimTime::ZERO;
+        let mut live: Vec<FlowId> = Vec::new();
+        let mut next_id = 0u64;
+        for (op, src, dst, bytes, frac) in ops {
+            match op {
+                // Weighted toward inserts so churn builds real populations.
+                0 | 1 => {
+                    let id = FlowId(next_id);
+                    next_id += 1;
+                    fab.insert(now, id, src % n_nodes, dst % n_nodes, bytes);
+                    live.push(id);
+                }
+                2 => {
+                    if !live.is_empty() {
+                        let idx = (bytes as usize) % live.len();
+                        fab.remove(now, live.swap_remove(idx));
+                    }
+                }
+                _ => {
+                    if let Some(t) = fab.next_completion(now) {
+                        let dt = t.since(now).as_secs_f64();
+                        now += SimDuration::from_secs_f64(dt * frac);
+                        fab.advance(now);
+                        if frac > 0.5 {
+                            now = t.max(now);
+                            fab.advance(now);
+                            let done = fab.take_completed(now);
+                            live.retain(|id| !done.contains(id));
+                        }
+                    }
+                }
+            }
+            let want = fab.reference_reallocate();
+            prop_assert_eq!(want.len(), live.len());
+            for (id, w) in &want {
+                let got = fab.rate(*id).expect("live flow has a rate");
+                prop_assert!(
+                    (got - w).abs() <= w.abs() * 1e-9 + 1e-12,
+                    "flow {:?}: incremental {} vs reference {}", id, got, w
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn randomized_fabric_conserves_bytes_under_staggered_arrivals(
+        n_nodes in 2usize..6,
+        flows in prop::collection::vec(
+            (0usize..8, 0usize..8, 1.0f64..300.0, 0.0f64..5.0),
+            1..24,
+        ),
+        cap in 10.0f64..300.0,
+    ) {
+        // Flows arrive at random times mid-flight (reallocation while other
+        // flows are partially drained); every byte still lands and port caps
+        // hold at every reallocation point.
+        let mut arrivals: Vec<(SimTime, usize, usize, f64)> = flows
+            .iter()
+            .map(|&(s, d, bytes, at)| {
+                (
+                    SimTime::ZERO + SimDuration::from_secs_f64(at),
+                    s % n_nodes,
+                    d % n_nodes,
+                    bytes,
+                )
+            })
+            .collect();
+        arrivals.sort_by_key(|a| a.0);
+        let total: f64 = flows.iter().map(|f| f.2).sum();
+        let mut fab = FlowAllocator::new(n_nodes, cap, cap);
+        let mut now = SimTime::ZERO;
+        let mut next_arrival = 0;
+        let mut next_id = 0u64;
+        let mut done = 0;
+        let mut guard = 0;
+        while next_arrival < arrivals.len() || done < next_id as usize {
+            let completion = fab.next_completion(now);
+            let arrival = arrivals.get(next_arrival).map(|a| a.0);
+            let t = match (completion, arrival) {
+                (Some(c), Some(a)) => c.min(a),
+                (Some(c), None) => c,
+                (None, Some(a)) => a,
+                (None, None) => break,
+            };
+            now = t;
+            fab.advance(now);
+            while arrivals.get(next_arrival).is_some_and(|a| a.0 == t) {
+                let (_, s, d, bytes) = arrivals[next_arrival];
+                fab.insert(now, FlowId(next_id), s, d, bytes);
+                next_id += 1;
+                next_arrival += 1;
+            }
+            done += fab.take_completed(now).len();
+            for node in 0..n_nodes {
+                prop_assert!(fab.tx_busy_fraction(node) <= 1.0 + 1e-9);
+                prop_assert!(fab.rx_busy_fraction(node) <= 1.0 + 1e-9);
+            }
+            guard += 1;
+            prop_assert!(guard < 10_000);
+        }
+        prop_assert_eq!(fab.active_flows(), 0);
+        prop_assert!(
+            (fab.total_delivered() - total).abs() / total < 1e-6,
+            "delivered {} of {} bytes", fab.total_delivered(), total
+        );
     }
 }

@@ -9,7 +9,7 @@ use cluster::{
 use dataflow::{
     BlockMap, InputSpec, JobId, JobReport, JobSpec, OutputSpec, StageId, StageReport, TaskId,
 };
-use simcore::{EventQueue, SimTime};
+use simcore::{EventQueue, SimStats, SimTime};
 
 /// Configuration of the baseline executor.
 #[derive(Clone, Debug)]
@@ -63,6 +63,9 @@ pub struct SparkRunOutput {
     pub traces: TraceSet,
     /// Time of the last *job* completion (background flushes may continue).
     pub makespan: SimTime,
+    /// Control-plane cost: simulation steps plus allocator work summed over
+    /// every machine.
+    pub stats: SimStats,
 }
 
 #[derive(Debug)]
@@ -176,6 +179,7 @@ struct Exec {
     aux_seq: u64,
     now: SimTime,
     rr_job: usize,
+    stats: SimStats,
 }
 
 /// Runs `jobs` on a simulated `cluster` under the Spark-like architecture.
@@ -276,6 +280,7 @@ pub fn run(
         aux_seq: 0,
         now: SimTime::ZERO,
         rr_job: 0,
+        stats: SimStats::new(),
     };
     exec.prime();
     exec.main_loop();
@@ -321,7 +326,11 @@ impl Exec {
     fn main_loop(&mut self) {
         let mut steps: u64 = 0;
         loop {
+            // Batch the assignment sweep: a wave of task launches inserts many
+            // streams per machine but triggers one reallocation at commit.
+            self.begin_update_all();
             while self.assign_tasks() {}
+            self.commit_all(self.now);
             for m in 0..self.n_machines() {
                 self.machines[m].fluid.advance(self.now);
                 self.traces
@@ -332,7 +341,7 @@ impl Exec {
             }
             // Next event: stream completion or flush timer.
             let mut next: Option<SimTime> = None;
-            for m in &self.machines {
+            for m in self.machines.iter_mut() {
                 if let Some(t) = m.fluid.next_completion(self.now) {
                     next = Some(next.map_or(t, |b: SimTime| b.min(t)));
                 }
@@ -347,6 +356,10 @@ impl Exec {
                 );
             };
             self.now = t;
+            // Batch the completion wave too: flush timers and finished streams
+            // cascade into follow-up inserts (next task phases, write-back
+            // flush streams); each machine reallocates once at commit.
+            self.begin_update_all();
             while self.timers.peek_time() == Some(t) {
                 let (_, f) = self.timers.pop().expect("peeked");
                 self.start_flush(f);
@@ -358,12 +371,26 @@ impl Exec {
                     self.on_stream_done(m, sid);
                 }
             }
+            self.commit_all(t);
             steps += 1;
             assert!(
                 steps <= self.cfg.max_steps,
                 "spark-like executor exceeded {} steps",
                 self.cfg.max_steps
             );
+        }
+        self.stats.events = steps;
+    }
+
+    fn begin_update_all(&mut self) {
+        for m in &mut self.machines {
+            m.fluid.begin_update();
+        }
+    }
+
+    fn commit_all(&mut self, now: SimTime) {
+        for m in &mut self.machines {
+            m.fluid.commit(now);
         }
     }
 
@@ -707,6 +734,10 @@ impl Exec {
 
     fn into_output(self) -> SparkRunOutput {
         let makespan = self.now;
+        let mut stats = self.stats;
+        for m in &self.machines {
+            stats.merge(&m.fluid.stats());
+        }
         let jobs = self
             .jobs
             .into_iter()
@@ -732,6 +763,7 @@ impl Exec {
             tasks: self.records,
             traces: self.traces,
             makespan,
+            stats,
         }
     }
 }
@@ -778,8 +810,10 @@ mod tests {
             .add_compute(400.0)
             .collect();
         let blocks = BlockMap::round_robin(1, 4, 2);
-        let mut cfg = SparkConfig::default();
-        cfg.slots_per_machine = Some(1);
+        let cfg = SparkConfig {
+            slots_per_machine: Some(1),
+            ..SparkConfig::default()
+        };
         let narrow = run(&small_cluster(), &[(job.clone(), blocks.clone())], &cfg);
         let wide = run(&small_cluster(), &[(job, blocks)], &SparkConfig::default());
         assert!(
@@ -803,8 +837,10 @@ mod tests {
             .write_disk(1.0);
         let blocks = BlockMap::round_robin(64, 1, 2);
         let cluster = ClusterSpec::new(1, MachineSpec::m2_4xlarge());
-        let mut cfg = SparkConfig::default();
-        cfg.write_through = true;
+        let cfg = SparkConfig {
+            write_through: true,
+            ..SparkConfig::default()
+        };
         let out = run(&cluster, &[(job, blocks)], &cfg);
         let hdd = 110.0 * 1024.0 * 1024.0;
         let sequential_bound = 2.0 * total / (2.0 * hdd);
@@ -832,8 +868,10 @@ mod tests {
             &[(mk(), blocks.clone())],
             &SparkConfig::default(),
         );
-        let mut cfg = SparkConfig::default();
-        cfg.write_through = true;
+        let cfg = SparkConfig {
+            write_through: true,
+            ..SparkConfig::default()
+        };
         let sync = run(&small_cluster(), &[(mk(), blocks)], &cfg);
         assert!(
             sync.jobs[0].duration_secs() > cached.jobs[0].duration_secs(),
@@ -896,8 +934,10 @@ mod tests {
     #[test]
     fn concurrent_tasks_per_machine_never_exceed_slots() {
         let (job, blocks) = sort_job(4.0, 64);
-        let mut cfg = SparkConfig::default();
-        cfg.slots_per_machine = Some(3);
+        let cfg = SparkConfig {
+            slots_per_machine: Some(3),
+            ..SparkConfig::default()
+        };
         let out = run(&small_cluster(), &[(job, blocks)], &cfg);
         // Sweep each task's [start, end) and count the maximum overlap per
         // machine at task boundaries (overlap only changes there).

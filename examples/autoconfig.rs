@@ -24,8 +24,10 @@ fn main() {
         println!("{label}:");
         let mut best = f64::INFINITY;
         for slots in [2usize, 4, 8, 16, 32] {
-            let mut sc = sparklike::SparkConfig::default();
-            sc.slots_per_machine = Some(slots);
+            let sc = sparklike::SparkConfig {
+                slots_per_machine: Some(slots),
+                ..sparklike::SparkConfig::default()
+            };
             let t = sparklike::run(&cluster, &[(job.clone(), blocks.clone())], &sc).jobs[0]
                 .duration_secs();
             best = best.min(t);

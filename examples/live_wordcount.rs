@@ -67,7 +67,7 @@ fn main() {
             (String::from_utf8(r.key).unwrap(), u64::from_be_bytes(b))
         })
         .collect();
-    counts.sort_by(|a, b| b.1.cmp(&a.1));
+    counts.sort_by_key(|c| std::cmp::Reverse(c.1));
     for (w, c) in &counts {
         println!("  {c:>7}  {w}");
     }

@@ -252,8 +252,10 @@ fn main() -> ExitCode {
     );
 
     let mono_out = if matches!(req.engine, Engine::Mono | Engine::Both) {
-        let mut cfg = monotasks_core::MonoConfig::default();
-        cfg.full_duplex_network = req.duplex;
+        let cfg = monotasks_core::MonoConfig {
+            full_duplex_network: req.duplex,
+            ..monotasks_core::MonoConfig::default()
+        };
         let out = monotasks_core::run(&cluster, &[(job.clone(), blocks.clone())], &cfg);
         println!("monotasks: {:>8.1} s", out.jobs[0].duration_secs());
         let profiles = profile_stages(&out.records, &out.jobs);
@@ -276,9 +278,11 @@ fn main() -> ExitCode {
     };
 
     if matches!(req.engine, Engine::Spark | Engine::Both) {
-        let mut cfg = sparklike::SparkConfig::default();
-        cfg.slots_per_machine = req.slots;
-        cfg.write_through = req.write_through;
+        let cfg = sparklike::SparkConfig {
+            slots_per_machine: req.slots,
+            write_through: req.write_through,
+            ..sparklike::SparkConfig::default()
+        };
         let out = sparklike::run(&cluster, &[(job.clone(), blocks)], &cfg);
         println!("spark-like: {:>7.1} s", out.jobs[0].duration_secs());
     }

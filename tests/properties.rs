@@ -175,18 +175,20 @@ proptest! {
         // Whatever the configuration knobs, the executor must complete the
         // job with barriers intact and never beat the model's lower bound.
         let (cluster, job, blocks) = rj.build();
-        let mut cfg = MonoConfig::default();
-        cfg.net_outstanding = net_outstanding;
-        cfg.extra_multitask = extra;
-        cfg.rr_disk_queues = rr;
-        cfg.full_duplex_network = duplex;
-        cfg.write_disk_choice = if shortest_queue {
-            DiskChoice::ShortestQueue
-        } else {
-            DiskChoice::RoundRobin
+        let cfg = MonoConfig {
+            net_outstanding,
+            extra_multitask: extra,
+            rr_disk_queues: rr,
+            full_duplex_network: duplex,
+            write_disk_choice: if shortest_queue {
+                DiskChoice::ShortestQueue
+            } else {
+                DiskChoice::RoundRobin
+            },
+            job_policy: if fifo { JobPolicy::Fifo } else { JobPolicy::Fair },
+            memory_limit_fraction: mem_limit,
+            ..MonoConfig::default()
         };
-        cfg.job_policy = if fifo { JobPolicy::Fifo } else { JobPolicy::Fair };
-        cfg.memory_limit_fraction = mem_limit;
         let out = monotasks_core::run(&cluster, &[(job.clone(), blocks)], &cfg);
         let report = &out.jobs[0];
         for w in report.stages.windows(2) {
