@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/abl_concurrency_plus_one-487d74d54cd3b0d0.d: crates/bench/src/bin/abl_concurrency_plus_one.rs Cargo.toml
+
+/root/repo/target/debug/deps/libabl_concurrency_plus_one-487d74d54cd3b0d0.rmeta: crates/bench/src/bin/abl_concurrency_plus_one.rs Cargo.toml
+
+crates/bench/src/bin/abl_concurrency_plus_one.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_concurrency_plus_one-6394b58f3e1b071e.d: crates/bench/src/bin/abl_concurrency_plus_one.rs
+
+/root/repo/target/debug/deps/abl_concurrency_plus_one-6394b58f3e1b071e: crates/bench/src/bin/abl_concurrency_plus_one.rs
+
+crates/bench/src/bin/abl_concurrency_plus_one.rs:

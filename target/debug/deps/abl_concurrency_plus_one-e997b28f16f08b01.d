@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_concurrency_plus_one-e997b28f16f08b01.d: crates/bench/src/bin/abl_concurrency_plus_one.rs
+
+/root/repo/target/debug/deps/abl_concurrency_plus_one-e997b28f16f08b01: crates/bench/src/bin/abl_concurrency_plus_one.rs
+
+crates/bench/src/bin/abl_concurrency_plus_one.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_disk_choice-a32d3d1e4ee06805.d: crates/bench/src/bin/abl_disk_choice.rs
+
+/root/repo/target/debug/deps/abl_disk_choice-a32d3d1e4ee06805: crates/bench/src/bin/abl_disk_choice.rs
+
+crates/bench/src/bin/abl_disk_choice.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/abl_disk_choice-a84b5c511d5d2def.d: crates/bench/src/bin/abl_disk_choice.rs Cargo.toml
+
+/root/repo/target/debug/deps/libabl_disk_choice-a84b5c511d5d2def.rmeta: crates/bench/src/bin/abl_disk_choice.rs Cargo.toml
+
+crates/bench/src/bin/abl_disk_choice.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_disk_choice-d2cf49c87208ec78.d: crates/bench/src/bin/abl_disk_choice.rs
+
+/root/repo/target/debug/deps/abl_disk_choice-d2cf49c87208ec78: crates/bench/src/bin/abl_disk_choice.rs
+
+crates/bench/src/bin/abl_disk_choice.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_flush_policy-01cc8568ac80e544.d: crates/bench/src/bin/abl_flush_policy.rs
+
+/root/repo/target/debug/deps/abl_flush_policy-01cc8568ac80e544: crates/bench/src/bin/abl_flush_policy.rs
+
+crates/bench/src/bin/abl_flush_policy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/abl_flush_policy-259bdf93f5de5373.d: crates/bench/src/bin/abl_flush_policy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libabl_flush_policy-259bdf93f5de5373.rmeta: crates/bench/src/bin/abl_flush_policy.rs Cargo.toml
+
+crates/bench/src/bin/abl_flush_policy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_flush_policy-e4f5ca23fc01c6fa.d: crates/bench/src/bin/abl_flush_policy.rs
+
+/root/repo/target/debug/deps/abl_flush_policy-e4f5ca23fc01c6fa: crates/bench/src/bin/abl_flush_policy.rs
+
+crates/bench/src/bin/abl_flush_policy.rs:

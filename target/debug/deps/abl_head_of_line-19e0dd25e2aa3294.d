@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_head_of_line-19e0dd25e2aa3294.d: crates/bench/src/bin/abl_head_of_line.rs
+
+/root/repo/target/debug/deps/abl_head_of_line-19e0dd25e2aa3294: crates/bench/src/bin/abl_head_of_line.rs
+
+crates/bench/src/bin/abl_head_of_line.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/abl_head_of_line-41bfa296fffb6bb2.d: crates/bench/src/bin/abl_head_of_line.rs Cargo.toml
+
+/root/repo/target/debug/deps/libabl_head_of_line-41bfa296fffb6bb2.rmeta: crates/bench/src/bin/abl_head_of_line.rs Cargo.toml
+
+crates/bench/src/bin/abl_head_of_line.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_head_of_line-a263aad6ad4012b1.d: crates/bench/src/bin/abl_head_of_line.rs
+
+/root/repo/target/debug/deps/abl_head_of_line-a263aad6ad4012b1: crates/bench/src/bin/abl_head_of_line.rs
+
+crates/bench/src/bin/abl_head_of_line.rs:

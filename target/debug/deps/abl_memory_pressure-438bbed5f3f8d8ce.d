@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/abl_memory_pressure-438bbed5f3f8d8ce.d: crates/bench/src/bin/abl_memory_pressure.rs Cargo.toml
+
+/root/repo/target/debug/deps/libabl_memory_pressure-438bbed5f3f8d8ce.rmeta: crates/bench/src/bin/abl_memory_pressure.rs Cargo.toml
+
+crates/bench/src/bin/abl_memory_pressure.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_memory_pressure-83a172ebc0ea040b.d: crates/bench/src/bin/abl_memory_pressure.rs
+
+/root/repo/target/debug/deps/abl_memory_pressure-83a172ebc0ea040b: crates/bench/src/bin/abl_memory_pressure.rs
+
+crates/bench/src/bin/abl_memory_pressure.rs:

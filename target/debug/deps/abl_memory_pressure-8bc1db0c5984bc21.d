@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_memory_pressure-8bc1db0c5984bc21.d: crates/bench/src/bin/abl_memory_pressure.rs
+
+/root/repo/target/debug/deps/abl_memory_pressure-8bc1db0c5984bc21: crates/bench/src/bin/abl_memory_pressure.rs
+
+crates/bench/src/bin/abl_memory_pressure.rs:

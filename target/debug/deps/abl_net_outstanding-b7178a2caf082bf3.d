@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_net_outstanding-b7178a2caf082bf3.d: crates/bench/src/bin/abl_net_outstanding.rs
+
+/root/repo/target/debug/deps/abl_net_outstanding-b7178a2caf082bf3: crates/bench/src/bin/abl_net_outstanding.rs
+
+crates/bench/src/bin/abl_net_outstanding.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_net_outstanding-d38d0d03fc6103bd.d: crates/bench/src/bin/abl_net_outstanding.rs
+
+/root/repo/target/debug/deps/abl_net_outstanding-d38d0d03fc6103bd: crates/bench/src/bin/abl_net_outstanding.rs
+
+crates/bench/src/bin/abl_net_outstanding.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/abl_net_outstanding-eb2758a7e7d3675c.d: crates/bench/src/bin/abl_net_outstanding.rs Cargo.toml
+
+/root/repo/target/debug/deps/libabl_net_outstanding-eb2758a7e7d3675c.rmeta: crates/bench/src/bin/abl_net_outstanding.rs Cargo.toml
+
+crates/bench/src/bin/abl_net_outstanding.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

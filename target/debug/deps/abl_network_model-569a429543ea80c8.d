@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_network_model-569a429543ea80c8.d: crates/bench/src/bin/abl_network_model.rs
+
+/root/repo/target/debug/deps/abl_network_model-569a429543ea80c8: crates/bench/src/bin/abl_network_model.rs
+
+crates/bench/src/bin/abl_network_model.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/abl_network_model-9e67469629d285ff.d: crates/bench/src/bin/abl_network_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libabl_network_model-9e67469629d285ff.rmeta: crates/bench/src/bin/abl_network_model.rs Cargo.toml
+
+crates/bench/src/bin/abl_network_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_network_model-e8a3434d1bdbd5d4.d: crates/bench/src/bin/abl_network_model.rs
+
+/root/repo/target/debug/deps/abl_network_model-e8a3434d1bdbd5d4: crates/bench/src/bin/abl_network_model.rs
+
+crates/bench/src/bin/abl_network_model.rs:

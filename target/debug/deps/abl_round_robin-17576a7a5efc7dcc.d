@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_round_robin-17576a7a5efc7dcc.d: crates/bench/src/bin/abl_round_robin.rs
+
+/root/repo/target/debug/deps/abl_round_robin-17576a7a5efc7dcc: crates/bench/src/bin/abl_round_robin.rs
+
+crates/bench/src/bin/abl_round_robin.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_round_robin-5e25837b897af16d.d: crates/bench/src/bin/abl_round_robin.rs
+
+/root/repo/target/debug/deps/abl_round_robin-5e25837b897af16d: crates/bench/src/bin/abl_round_robin.rs
+
+crates/bench/src/bin/abl_round_robin.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/abl_round_robin-dd95130192017b21.d: crates/bench/src/bin/abl_round_robin.rs Cargo.toml
+
+/root/repo/target/debug/deps/libabl_round_robin-dd95130192017b21.rmeta: crates/bench/src/bin/abl_round_robin.rs Cargo.toml
+
+crates/bench/src/bin/abl_round_robin.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_ssd_qd-00fe5d5f62540861.d: crates/bench/src/bin/abl_ssd_qd.rs
+
+/root/repo/target/debug/deps/abl_ssd_qd-00fe5d5f62540861: crates/bench/src/bin/abl_ssd_qd.rs
+
+crates/bench/src/bin/abl_ssd_qd.rs:

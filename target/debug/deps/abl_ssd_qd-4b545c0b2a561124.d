@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_ssd_qd-4b545c0b2a561124.d: crates/bench/src/bin/abl_ssd_qd.rs
+
+/root/repo/target/debug/deps/abl_ssd_qd-4b545c0b2a561124: crates/bench/src/bin/abl_ssd_qd.rs
+
+crates/bench/src/bin/abl_ssd_qd.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/abl_ssd_qd-8fd2452dc3623c5d.d: crates/bench/src/bin/abl_ssd_qd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libabl_ssd_qd-8fd2452dc3623c5d.rmeta: crates/bench/src/bin/abl_ssd_qd.rs Cargo.toml
+
+crates/bench/src/bin/abl_ssd_qd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

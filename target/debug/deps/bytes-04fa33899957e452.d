@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-04fa33899957e452.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-04fa33899957e452.rlib: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-04fa33899957e452.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

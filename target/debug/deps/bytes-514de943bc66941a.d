@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-514de943bc66941a.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/bytes-514de943bc66941a: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

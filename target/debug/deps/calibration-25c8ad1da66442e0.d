@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/calibration-25c8ad1da66442e0.d: crates/bench/src/bin/calibration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcalibration-25c8ad1da66442e0.rmeta: crates/bench/src/bin/calibration.rs Cargo.toml
+
+crates/bench/src/bin/calibration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

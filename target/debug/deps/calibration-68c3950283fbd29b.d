@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibration-68c3950283fbd29b.d: crates/bench/src/bin/calibration.rs
+
+/root/repo/target/debug/deps/calibration-68c3950283fbd29b: crates/bench/src/bin/calibration.rs
+
+crates/bench/src/bin/calibration.rs:

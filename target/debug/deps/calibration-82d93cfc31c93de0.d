@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibration-82d93cfc31c93de0.d: crates/bench/src/bin/calibration.rs
+
+/root/repo/target/debug/deps/calibration-82d93cfc31c93de0: crates/bench/src/bin/calibration.rs
+
+crates/bench/src/bin/calibration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/calibration-839d8c450ae0d9ac.d: crates/bench/src/bin/calibration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcalibration-839d8c450ae0d9ac.rmeta: crates/bench/src/bin/calibration.rs Cargo.toml
+
+crates/bench/src/bin/calibration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-521e7aa3d12e47cc.d: tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-521e7aa3d12e47cc.rmeta: tests/cli.rs Cargo.toml
+
+tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_monotasks-sim=placeholder:monotasks-sim
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-c56a0e6aff82227b.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-c56a0e6aff82227b: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_monotasks-sim=/root/repo/target/debug/monotasks-sim

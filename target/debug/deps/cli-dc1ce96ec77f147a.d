@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-dc1ce96ec77f147a.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-dc1ce96ec77f147a: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_monotasks-sim=/root/repo/target/debug/monotasks-sim

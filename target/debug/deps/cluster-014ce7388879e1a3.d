@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cluster-014ce7388879e1a3.d: crates/cluster/src/lib.rs crates/cluster/src/cache.rs crates/cluster/src/fluid.rs crates/cluster/src/hw.rs crates/cluster/src/trace.rs
+
+/root/repo/target/debug/deps/cluster-014ce7388879e1a3: crates/cluster/src/lib.rs crates/cluster/src/cache.rs crates/cluster/src/fluid.rs crates/cluster/src/hw.rs crates/cluster/src/trace.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/cache.rs:
+crates/cluster/src/fluid.rs:
+crates/cluster/src/hw.rs:
+crates/cluster/src/trace.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cluster-4a2ad5a7211599a8.d: crates/cluster/src/lib.rs crates/cluster/src/cache.rs crates/cluster/src/fluid.rs crates/cluster/src/hw.rs crates/cluster/src/trace.rs
+
+/root/repo/target/debug/deps/libcluster-4a2ad5a7211599a8.rlib: crates/cluster/src/lib.rs crates/cluster/src/cache.rs crates/cluster/src/fluid.rs crates/cluster/src/hw.rs crates/cluster/src/trace.rs
+
+/root/repo/target/debug/deps/libcluster-4a2ad5a7211599a8.rmeta: crates/cluster/src/lib.rs crates/cluster/src/cache.rs crates/cluster/src/fluid.rs crates/cluster/src/hw.rs crates/cluster/src/trace.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/cache.rs:
+crates/cluster/src/fluid.rs:
+crates/cluster/src/hw.rs:
+crates/cluster/src/trace.rs:

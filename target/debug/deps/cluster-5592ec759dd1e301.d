@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cluster-5592ec759dd1e301.d: crates/cluster/src/lib.rs crates/cluster/src/cache.rs crates/cluster/src/fluid.rs crates/cluster/src/hw.rs crates/cluster/src/trace.rs
+
+/root/repo/target/debug/deps/libcluster-5592ec759dd1e301.rlib: crates/cluster/src/lib.rs crates/cluster/src/cache.rs crates/cluster/src/fluid.rs crates/cluster/src/hw.rs crates/cluster/src/trace.rs
+
+/root/repo/target/debug/deps/libcluster-5592ec759dd1e301.rmeta: crates/cluster/src/lib.rs crates/cluster/src/cache.rs crates/cluster/src/fluid.rs crates/cluster/src/hw.rs crates/cluster/src/trace.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/cache.rs:
+crates/cluster/src/fluid.rs:
+crates/cluster/src/hw.rs:
+crates/cluster/src/trace.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cluster-a804acc5e0c7f2e3.d: crates/cluster/src/lib.rs crates/cluster/src/cache.rs crates/cluster/src/fluid.rs crates/cluster/src/hw.rs crates/cluster/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcluster-a804acc5e0c7f2e3.rmeta: crates/cluster/src/lib.rs crates/cluster/src/cache.rs crates/cluster/src/fluid.rs crates/cluster/src/hw.rs crates/cluster/src/trace.rs Cargo.toml
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/cache.rs:
+crates/cluster/src/fluid.rs:
+crates/cluster/src/hw.rs:
+crates/cluster/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

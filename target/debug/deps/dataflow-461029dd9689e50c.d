@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dataflow-461029dd9689e50c.d: crates/dataflow/src/lib.rs crates/dataflow/src/blocks.rs crates/dataflow/src/cost.rs crates/dataflow/src/plan.rs crates/dataflow/src/reference.rs crates/dataflow/src/report.rs crates/dataflow/src/stage.rs crates/dataflow/src/types.rs
+
+/root/repo/target/debug/deps/libdataflow-461029dd9689e50c.rlib: crates/dataflow/src/lib.rs crates/dataflow/src/blocks.rs crates/dataflow/src/cost.rs crates/dataflow/src/plan.rs crates/dataflow/src/reference.rs crates/dataflow/src/report.rs crates/dataflow/src/stage.rs crates/dataflow/src/types.rs
+
+/root/repo/target/debug/deps/libdataflow-461029dd9689e50c.rmeta: crates/dataflow/src/lib.rs crates/dataflow/src/blocks.rs crates/dataflow/src/cost.rs crates/dataflow/src/plan.rs crates/dataflow/src/reference.rs crates/dataflow/src/report.rs crates/dataflow/src/stage.rs crates/dataflow/src/types.rs
+
+crates/dataflow/src/lib.rs:
+crates/dataflow/src/blocks.rs:
+crates/dataflow/src/cost.rs:
+crates/dataflow/src/plan.rs:
+crates/dataflow/src/reference.rs:
+crates/dataflow/src/report.rs:
+crates/dataflow/src/stage.rs:
+crates/dataflow/src/types.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dataflow-8dce9111ffb68b34.d: crates/dataflow/src/lib.rs crates/dataflow/src/blocks.rs crates/dataflow/src/cost.rs crates/dataflow/src/plan.rs crates/dataflow/src/reference.rs crates/dataflow/src/report.rs crates/dataflow/src/stage.rs crates/dataflow/src/types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdataflow-8dce9111ffb68b34.rmeta: crates/dataflow/src/lib.rs crates/dataflow/src/blocks.rs crates/dataflow/src/cost.rs crates/dataflow/src/plan.rs crates/dataflow/src/reference.rs crates/dataflow/src/report.rs crates/dataflow/src/stage.rs crates/dataflow/src/types.rs Cargo.toml
+
+crates/dataflow/src/lib.rs:
+crates/dataflow/src/blocks.rs:
+crates/dataflow/src/cost.rs:
+crates/dataflow/src/plan.rs:
+crates/dataflow/src/reference.rs:
+crates/dataflow/src/report.rs:
+crates/dataflow/src/stage.rs:
+crates/dataflow/src/types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

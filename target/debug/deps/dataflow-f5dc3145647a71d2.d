@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dataflow-f5dc3145647a71d2.d: crates/dataflow/src/lib.rs crates/dataflow/src/blocks.rs crates/dataflow/src/cost.rs crates/dataflow/src/plan.rs crates/dataflow/src/reference.rs crates/dataflow/src/report.rs crates/dataflow/src/stage.rs crates/dataflow/src/types.rs
+
+/root/repo/target/debug/deps/libdataflow-f5dc3145647a71d2.rlib: crates/dataflow/src/lib.rs crates/dataflow/src/blocks.rs crates/dataflow/src/cost.rs crates/dataflow/src/plan.rs crates/dataflow/src/reference.rs crates/dataflow/src/report.rs crates/dataflow/src/stage.rs crates/dataflow/src/types.rs
+
+/root/repo/target/debug/deps/libdataflow-f5dc3145647a71d2.rmeta: crates/dataflow/src/lib.rs crates/dataflow/src/blocks.rs crates/dataflow/src/cost.rs crates/dataflow/src/plan.rs crates/dataflow/src/reference.rs crates/dataflow/src/report.rs crates/dataflow/src/stage.rs crates/dataflow/src/types.rs
+
+crates/dataflow/src/lib.rs:
+crates/dataflow/src/blocks.rs:
+crates/dataflow/src/cost.rs:
+crates/dataflow/src/plan.rs:
+crates/dataflow/src/reference.rs:
+crates/dataflow/src/report.rs:
+crates/dataflow/src/stage.rs:
+crates/dataflow/src/types.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-806ec911bfcd246f.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-806ec911bfcd246f: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-a4e7712de3a36627.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-a4e7712de3a36627: tests/determinism.rs
+
+tests/determinism.rs:

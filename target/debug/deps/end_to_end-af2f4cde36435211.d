@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-af2f4cde36435211.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-af2f4cde36435211: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02_spark_util-16272b865e821350.d: crates/bench/src/bin/fig02_spark_util.rs
+
+/root/repo/target/debug/deps/fig02_spark_util-16272b865e821350: crates/bench/src/bin/fig02_spark_util.rs
+
+crates/bench/src/bin/fig02_spark_util.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig02_spark_util-77a0aa53e162f800.d: crates/bench/src/bin/fig02_spark_util.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig02_spark_util-77a0aa53e162f800.rmeta: crates/bench/src/bin/fig02_spark_util.rs Cargo.toml
+
+crates/bench/src/bin/fig02_spark_util.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig05_bdb_runtimes-3ceec9fa619d9440.d: crates/bench/src/bin/fig05_bdb_runtimes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig05_bdb_runtimes-3ceec9fa619d9440.rmeta: crates/bench/src/bin/fig05_bdb_runtimes.rs Cargo.toml
+
+crates/bench/src/bin/fig05_bdb_runtimes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_bdb_runtimes-8ae356a6776b6d6a.d: crates/bench/src/bin/fig05_bdb_runtimes.rs
+
+/root/repo/target/debug/deps/fig05_bdb_runtimes-8ae356a6776b6d6a: crates/bench/src/bin/fig05_bdb_runtimes.rs
+
+crates/bench/src/bin/fig05_bdb_runtimes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_bdb_runtimes-b556205a7541c7a0.d: crates/bench/src/bin/fig05_bdb_runtimes.rs
+
+/root/repo/target/debug/deps/fig05_bdb_runtimes-b556205a7541c7a0: crates/bench/src/bin/fig05_bdb_runtimes.rs
+
+crates/bench/src/bin/fig05_bdb_runtimes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig06_util_boxes-1806d85642e6ae2b.d: crates/bench/src/bin/fig06_util_boxes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig06_util_boxes-1806d85642e6ae2b.rmeta: crates/bench/src/bin/fig06_util_boxes.rs Cargo.toml
+
+crates/bench/src/bin/fig06_util_boxes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_util_boxes-88c49b37f09fb607.d: crates/bench/src/bin/fig06_util_boxes.rs
+
+/root/repo/target/debug/deps/fig06_util_boxes-88c49b37f09fb607: crates/bench/src/bin/fig06_util_boxes.rs
+
+crates/bench/src/bin/fig06_util_boxes.rs:

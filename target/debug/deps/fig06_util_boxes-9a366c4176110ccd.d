@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig06_util_boxes-9a366c4176110ccd.d: crates/bench/src/bin/fig06_util_boxes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig06_util_boxes-9a366c4176110ccd.rmeta: crates/bench/src/bin/fig06_util_boxes.rs Cargo.toml
+
+crates/bench/src/bin/fig06_util_boxes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_util_boxes-cf0a85e5446cbb49.d: crates/bench/src/bin/fig06_util_boxes.rs
+
+/root/repo/target/debug/deps/fig06_util_boxes-cf0a85e5446cbb49: crates/bench/src/bin/fig06_util_boxes.rs
+
+crates/bench/src/bin/fig06_util_boxes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig07_ml_stages-81c07f7287c38fac.d: crates/bench/src/bin/fig07_ml_stages.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig07_ml_stages-81c07f7287c38fac.rmeta: crates/bench/src/bin/fig07_ml_stages.rs Cargo.toml
+
+crates/bench/src/bin/fig07_ml_stages.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_ml_stages-8f75901bc2a67f4a.d: crates/bench/src/bin/fig07_ml_stages.rs
+
+/root/repo/target/debug/deps/fig07_ml_stages-8f75901bc2a67f4a: crates/bench/src/bin/fig07_ml_stages.rs
+
+crates/bench/src/bin/fig07_ml_stages.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_ml_stages-a79b0d97baa06532.d: crates/bench/src/bin/fig07_ml_stages.rs
+
+/root/repo/target/debug/deps/fig07_ml_stages-a79b0d97baa06532: crates/bench/src/bin/fig07_ml_stages.rs
+
+crates/bench/src/bin/fig07_ml_stages.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig07_ml_stages-b71862fd08b679a3.d: crates/bench/src/bin/fig07_ml_stages.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig07_ml_stages-b71862fd08b679a3.rmeta: crates/bench/src/bin/fig07_ml_stages.rs Cargo.toml
+
+crates/bench/src/bin/fig07_ml_stages.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

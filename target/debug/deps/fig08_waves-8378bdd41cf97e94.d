@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig08_waves-8378bdd41cf97e94.d: crates/bench/src/bin/fig08_waves.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig08_waves-8378bdd41cf97e94.rmeta: crates/bench/src/bin/fig08_waves.rs Cargo.toml
+
+crates/bench/src/bin/fig08_waves.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig08_waves-d277bc2b0db5cbc7.d: crates/bench/src/bin/fig08_waves.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig08_waves-d277bc2b0db5cbc7.rmeta: crates/bench/src/bin/fig08_waves.rs Cargo.toml
+
+crates/bench/src/bin/fig08_waves.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_waves-dfee6228b6f9a4cc.d: crates/bench/src/bin/fig08_waves.rs
+
+/root/repo/target/debug/deps/fig08_waves-dfee6228b6f9a4cc: crates/bench/src/bin/fig08_waves.rs
+
+crates/bench/src/bin/fig08_waves.rs:

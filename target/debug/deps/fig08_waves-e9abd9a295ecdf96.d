@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_waves-e9abd9a295ecdf96.d: crates/bench/src/bin/fig08_waves.rs
+
+/root/repo/target/debug/deps/fig08_waves-e9abd9a295ecdf96: crates/bench/src/bin/fig08_waves.rs
+
+crates/bench/src/bin/fig08_waves.rs:

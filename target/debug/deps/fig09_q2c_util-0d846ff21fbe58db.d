@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_q2c_util-0d846ff21fbe58db.d: crates/bench/src/bin/fig09_q2c_util.rs
+
+/root/repo/target/debug/deps/fig09_q2c_util-0d846ff21fbe58db: crates/bench/src/bin/fig09_q2c_util.rs
+
+crates/bench/src/bin/fig09_q2c_util.rs:

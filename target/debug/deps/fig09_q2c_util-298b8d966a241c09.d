@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig09_q2c_util-298b8d966a241c09.d: crates/bench/src/bin/fig09_q2c_util.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig09_q2c_util-298b8d966a241c09.rmeta: crates/bench/src/bin/fig09_q2c_util.rs Cargo.toml
+
+crates/bench/src/bin/fig09_q2c_util.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

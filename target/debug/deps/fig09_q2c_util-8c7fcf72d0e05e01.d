@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_q2c_util-8c7fcf72d0e05e01.d: crates/bench/src/bin/fig09_q2c_util.rs
+
+/root/repo/target/debug/deps/fig09_q2c_util-8c7fcf72d0e05e01: crates/bench/src/bin/fig09_q2c_util.rs
+
+crates/bench/src/bin/fig09_q2c_util.rs:

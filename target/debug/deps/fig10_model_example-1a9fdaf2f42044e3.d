@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_model_example-1a9fdaf2f42044e3.d: crates/bench/src/bin/fig10_model_example.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_model_example-1a9fdaf2f42044e3.rmeta: crates/bench/src/bin/fig10_model_example.rs Cargo.toml
+
+crates/bench/src/bin/fig10_model_example.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_model_example-5e17d6aff28f0123.d: crates/bench/src/bin/fig10_model_example.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_model_example-5e17d6aff28f0123.rmeta: crates/bench/src/bin/fig10_model_example.rs Cargo.toml
+
+crates/bench/src/bin/fig10_model_example.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_model_example-69c5dfab46df7283.d: crates/bench/src/bin/fig10_model_example.rs
+
+/root/repo/target/debug/deps/fig10_model_example-69c5dfab46df7283: crates/bench/src/bin/fig10_model_example.rs
+
+crates/bench/src/bin/fig10_model_example.rs:

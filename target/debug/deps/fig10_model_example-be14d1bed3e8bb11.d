@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_model_example-be14d1bed3e8bb11.d: crates/bench/src/bin/fig10_model_example.rs
+
+/root/repo/target/debug/deps/fig10_model_example-be14d1bed3e8bb11: crates/bench/src/bin/fig10_model_example.rs
+
+crates/bench/src/bin/fig10_model_example.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_predict_2x_ssd-4c5ae69f35f278fd.d: crates/bench/src/bin/fig11_predict_2x_ssd.rs
+
+/root/repo/target/debug/deps/fig11_predict_2x_ssd-4c5ae69f35f278fd: crates/bench/src/bin/fig11_predict_2x_ssd.rs
+
+crates/bench/src/bin/fig11_predict_2x_ssd.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_predict_2x_ssd-b86dcf418fccccc0.d: crates/bench/src/bin/fig11_predict_2x_ssd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_predict_2x_ssd-b86dcf418fccccc0.rmeta: crates/bench/src/bin/fig11_predict_2x_ssd.rs Cargo.toml
+
+crates/bench/src/bin/fig11_predict_2x_ssd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

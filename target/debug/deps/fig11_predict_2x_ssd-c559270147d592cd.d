@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_predict_2x_ssd-c559270147d592cd.d: crates/bench/src/bin/fig11_predict_2x_ssd.rs
+
+/root/repo/target/debug/deps/fig11_predict_2x_ssd-c559270147d592cd: crates/bench/src/bin/fig11_predict_2x_ssd.rs
+
+crates/bench/src/bin/fig11_predict_2x_ssd.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_predict_1_disk-425b0c9a5da64796.d: crates/bench/src/bin/fig12_predict_1_disk.rs
+
+/root/repo/target/debug/deps/fig12_predict_1_disk-425b0c9a5da64796: crates/bench/src/bin/fig12_predict_1_disk.rs
+
+crates/bench/src/bin/fig12_predict_1_disk.rs:

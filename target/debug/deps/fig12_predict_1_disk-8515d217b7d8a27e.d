@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_predict_1_disk-8515d217b7d8a27e.d: crates/bench/src/bin/fig12_predict_1_disk.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_predict_1_disk-8515d217b7d8a27e.rmeta: crates/bench/src/bin/fig12_predict_1_disk.rs Cargo.toml
+
+crates/bench/src/bin/fig12_predict_1_disk.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

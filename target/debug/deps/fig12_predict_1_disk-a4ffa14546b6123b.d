@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_predict_1_disk-a4ffa14546b6123b.d: crates/bench/src/bin/fig12_predict_1_disk.rs
+
+/root/repo/target/debug/deps/fig12_predict_1_disk-a4ffa14546b6123b: crates/bench/src/bin/fig12_predict_1_disk.rs
+
+crates/bench/src/bin/fig12_predict_1_disk.rs:

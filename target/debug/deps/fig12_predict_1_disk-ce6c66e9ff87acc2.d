@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_predict_1_disk-ce6c66e9ff87acc2.d: crates/bench/src/bin/fig12_predict_1_disk.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_predict_1_disk-ce6c66e9ff87acc2.rmeta: crates/bench/src/bin/fig12_predict_1_disk.rs Cargo.toml
+
+crates/bench/src/bin/fig12_predict_1_disk.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

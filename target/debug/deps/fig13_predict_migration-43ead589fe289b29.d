@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_predict_migration-43ead589fe289b29.d: crates/bench/src/bin/fig13_predict_migration.rs
+
+/root/repo/target/debug/deps/fig13_predict_migration-43ead589fe289b29: crates/bench/src/bin/fig13_predict_migration.rs
+
+crates/bench/src/bin/fig13_predict_migration.rs:

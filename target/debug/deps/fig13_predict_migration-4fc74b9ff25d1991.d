@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_predict_migration-4fc74b9ff25d1991.d: crates/bench/src/bin/fig13_predict_migration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_predict_migration-4fc74b9ff25d1991.rmeta: crates/bench/src/bin/fig13_predict_migration.rs Cargo.toml
+
+crates/bench/src/bin/fig13_predict_migration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_predict_migration-6fe55259ac689e5c.d: crates/bench/src/bin/fig13_predict_migration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_predict_migration-6fe55259ac689e5c.rmeta: crates/bench/src/bin/fig13_predict_migration.rs Cargo.toml
+
+crates/bench/src/bin/fig13_predict_migration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

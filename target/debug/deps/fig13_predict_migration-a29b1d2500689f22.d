@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_predict_migration-a29b1d2500689f22.d: crates/bench/src/bin/fig13_predict_migration.rs
+
+/root/repo/target/debug/deps/fig13_predict_migration-a29b1d2500689f22: crates/bench/src/bin/fig13_predict_migration.rs
+
+crates/bench/src/bin/fig13_predict_migration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_bottlenecks-9cde3fb73734d483.d: crates/bench/src/bin/fig14_bottlenecks.rs
+
+/root/repo/target/debug/deps/fig14_bottlenecks-9cde3fb73734d483: crates/bench/src/bin/fig14_bottlenecks.rs
+
+crates/bench/src/bin/fig14_bottlenecks.rs:

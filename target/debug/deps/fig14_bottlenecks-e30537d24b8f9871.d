@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_bottlenecks-e30537d24b8f9871.d: crates/bench/src/bin/fig14_bottlenecks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_bottlenecks-e30537d24b8f9871.rmeta: crates/bench/src/bin/fig14_bottlenecks.rs Cargo.toml
+
+crates/bench/src/bin/fig14_bottlenecks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

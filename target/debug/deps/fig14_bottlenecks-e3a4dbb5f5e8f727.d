@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_bottlenecks-e3a4dbb5f5e8f727.d: crates/bench/src/bin/fig14_bottlenecks.rs
+
+/root/repo/target/debug/deps/fig14_bottlenecks-e3a4dbb5f5e8f727: crates/bench/src/bin/fig14_bottlenecks.rs
+
+crates/bench/src/bin/fig14_bottlenecks.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_slot_model-017598e663533353.d: crates/bench/src/bin/fig15_slot_model.rs
+
+/root/repo/target/debug/deps/fig15_slot_model-017598e663533353: crates/bench/src/bin/fig15_slot_model.rs
+
+crates/bench/src/bin/fig15_slot_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_slot_model-28e6daade6b4d2c7.d: crates/bench/src/bin/fig15_slot_model.rs
+
+/root/repo/target/debug/deps/fig15_slot_model-28e6daade6b4d2c7: crates/bench/src/bin/fig15_slot_model.rs
+
+crates/bench/src/bin/fig15_slot_model.rs:

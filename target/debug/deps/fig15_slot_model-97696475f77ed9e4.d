@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15_slot_model-97696475f77ed9e4.d: crates/bench/src/bin/fig15_slot_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15_slot_model-97696475f77ed9e4.rmeta: crates/bench/src/bin/fig15_slot_model.rs Cargo.toml
+
+crates/bench/src/bin/fig15_slot_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig16_attribution-40abbae7becd2518.d: crates/bench/src/bin/fig16_attribution.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig16_attribution-40abbae7becd2518.rmeta: crates/bench/src/bin/fig16_attribution.rs Cargo.toml
+
+crates/bench/src/bin/fig16_attribution.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

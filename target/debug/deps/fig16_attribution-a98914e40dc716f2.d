@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_attribution-a98914e40dc716f2.d: crates/bench/src/bin/fig16_attribution.rs
+
+/root/repo/target/debug/deps/fig16_attribution-a98914e40dc716f2: crates/bench/src/bin/fig16_attribution.rs
+
+crates/bench/src/bin/fig16_attribution.rs:

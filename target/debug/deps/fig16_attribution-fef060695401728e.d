@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_attribution-fef060695401728e.d: crates/bench/src/bin/fig16_attribution.rs
+
+/root/repo/target/debug/deps/fig16_attribution-fef060695401728e: crates/bench/src/bin/fig16_attribution.rs
+
+crates/bench/src/bin/fig16_attribution.rs:

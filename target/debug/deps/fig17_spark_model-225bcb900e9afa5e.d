@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17_spark_model-225bcb900e9afa5e.d: crates/bench/src/bin/fig17_spark_model.rs
+
+/root/repo/target/debug/deps/fig17_spark_model-225bcb900e9afa5e: crates/bench/src/bin/fig17_spark_model.rs
+
+crates/bench/src/bin/fig17_spark_model.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig17_spark_model-3b030ce9a8100813.d: crates/bench/src/bin/fig17_spark_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig17_spark_model-3b030ce9a8100813.rmeta: crates/bench/src/bin/fig17_spark_model.rs Cargo.toml
+
+crates/bench/src/bin/fig17_spark_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

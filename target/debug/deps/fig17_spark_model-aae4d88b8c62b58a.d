@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17_spark_model-aae4d88b8c62b58a.d: crates/bench/src/bin/fig17_spark_model.rs
+
+/root/repo/target/debug/deps/fig17_spark_model-aae4d88b8c62b58a: crates/bench/src/bin/fig17_spark_model.rs
+
+crates/bench/src/bin/fig17_spark_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig18_autoconfig-695d63f7645973d1.d: crates/bench/src/bin/fig18_autoconfig.rs
+
+/root/repo/target/debug/deps/fig18_autoconfig-695d63f7645973d1: crates/bench/src/bin/fig18_autoconfig.rs
+
+crates/bench/src/bin/fig18_autoconfig.rs:

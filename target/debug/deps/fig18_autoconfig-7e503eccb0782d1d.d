@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig18_autoconfig-7e503eccb0782d1d.d: crates/bench/src/bin/fig18_autoconfig.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig18_autoconfig-7e503eccb0782d1d.rmeta: crates/bench/src/bin/fig18_autoconfig.rs Cargo.toml
+
+crates/bench/src/bin/fig18_autoconfig.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

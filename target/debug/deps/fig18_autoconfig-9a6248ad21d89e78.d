@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig18_autoconfig-9a6248ad21d89e78.d: crates/bench/src/bin/fig18_autoconfig.rs
+
+/root/repo/target/debug/deps/fig18_autoconfig-9a6248ad21d89e78: crates/bench/src/bin/fig18_autoconfig.rs
+
+crates/bench/src/bin/fig18_autoconfig.rs:

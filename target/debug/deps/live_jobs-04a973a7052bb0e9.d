@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/live_jobs-04a973a7052bb0e9.d: crates/live/tests/live_jobs.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblive_jobs-04a973a7052bb0e9.rmeta: crates/live/tests/live_jobs.rs Cargo.toml
+
+crates/live/tests/live_jobs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

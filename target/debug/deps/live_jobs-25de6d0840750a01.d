@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/live_jobs-25de6d0840750a01.d: crates/live/tests/live_jobs.rs
+
+/root/repo/target/debug/deps/live_jobs-25de6d0840750a01: crates/live/tests/live_jobs.rs
+
+crates/live/tests/live_jobs.rs:

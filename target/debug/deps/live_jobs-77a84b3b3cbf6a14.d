@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/live_jobs-77a84b3b3cbf6a14.d: crates/live/tests/live_jobs.rs
+
+/root/repo/target/debug/deps/live_jobs-77a84b3b3cbf6a14: crates/live/tests/live_jobs.rs
+
+crates/live/tests/live_jobs.rs:

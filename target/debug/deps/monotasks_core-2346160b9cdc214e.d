@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/monotasks_core-2346160b9cdc214e.d: crates/core/src/lib.rs crates/core/src/decompose.rs crates/core/src/executor.rs crates/core/src/metrics.rs crates/core/src/monotask.rs crates/core/src/scheduler.rs
+
+/root/repo/target/debug/deps/monotasks_core-2346160b9cdc214e: crates/core/src/lib.rs crates/core/src/decompose.rs crates/core/src/executor.rs crates/core/src/metrics.rs crates/core/src/monotask.rs crates/core/src/scheduler.rs
+
+crates/core/src/lib.rs:
+crates/core/src/decompose.rs:
+crates/core/src/executor.rs:
+crates/core/src/metrics.rs:
+crates/core/src/monotask.rs:
+crates/core/src/scheduler.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/monotasks_core-3a2d6b8dc9efde42.d: crates/core/src/lib.rs crates/core/src/decompose.rs crates/core/src/executor.rs crates/core/src/metrics.rs crates/core/src/monotask.rs crates/core/src/scheduler.rs
+
+/root/repo/target/debug/deps/libmonotasks_core-3a2d6b8dc9efde42.rlib: crates/core/src/lib.rs crates/core/src/decompose.rs crates/core/src/executor.rs crates/core/src/metrics.rs crates/core/src/monotask.rs crates/core/src/scheduler.rs
+
+/root/repo/target/debug/deps/libmonotasks_core-3a2d6b8dc9efde42.rmeta: crates/core/src/lib.rs crates/core/src/decompose.rs crates/core/src/executor.rs crates/core/src/metrics.rs crates/core/src/monotask.rs crates/core/src/scheduler.rs
+
+crates/core/src/lib.rs:
+crates/core/src/decompose.rs:
+crates/core/src/executor.rs:
+crates/core/src/metrics.rs:
+crates/core/src/monotask.rs:
+crates/core/src/scheduler.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/monotasks_core-cbf75433212d76ba.d: crates/core/src/lib.rs crates/core/src/decompose.rs crates/core/src/executor.rs crates/core/src/metrics.rs crates/core/src/monotask.rs crates/core/src/scheduler.rs
+
+/root/repo/target/debug/deps/libmonotasks_core-cbf75433212d76ba.rlib: crates/core/src/lib.rs crates/core/src/decompose.rs crates/core/src/executor.rs crates/core/src/metrics.rs crates/core/src/monotask.rs crates/core/src/scheduler.rs
+
+/root/repo/target/debug/deps/libmonotasks_core-cbf75433212d76ba.rmeta: crates/core/src/lib.rs crates/core/src/decompose.rs crates/core/src/executor.rs crates/core/src/metrics.rs crates/core/src/monotask.rs crates/core/src/scheduler.rs
+
+crates/core/src/lib.rs:
+crates/core/src/decompose.rs:
+crates/core/src/executor.rs:
+crates/core/src/metrics.rs:
+crates/core/src/monotask.rs:
+crates/core/src/scheduler.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/monotasks_core-df0bc688601f3031.d: crates/core/src/lib.rs crates/core/src/decompose.rs crates/core/src/executor.rs crates/core/src/metrics.rs crates/core/src/monotask.rs crates/core/src/scheduler.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmonotasks_core-df0bc688601f3031.rmeta: crates/core/src/lib.rs crates/core/src/decompose.rs crates/core/src/executor.rs crates/core/src/metrics.rs crates/core/src/monotask.rs crates/core/src/scheduler.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/decompose.rs:
+crates/core/src/executor.rs:
+crates/core/src/metrics.rs:
+crates/core/src/monotask.rs:
+crates/core/src/scheduler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/monotasks_live-52e313875e32ec71.d: crates/live/src/lib.rs crates/live/src/data.rs crates/live/src/engine.rs crates/live/src/metrics.rs crates/live/src/pools.rs
+
+/root/repo/target/debug/deps/monotasks_live-52e313875e32ec71: crates/live/src/lib.rs crates/live/src/data.rs crates/live/src/engine.rs crates/live/src/metrics.rs crates/live/src/pools.rs
+
+crates/live/src/lib.rs:
+crates/live/src/data.rs:
+crates/live/src/engine.rs:
+crates/live/src/metrics.rs:
+crates/live/src/pools.rs:

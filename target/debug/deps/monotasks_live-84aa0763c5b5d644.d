@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/monotasks_live-84aa0763c5b5d644.d: crates/live/src/lib.rs crates/live/src/data.rs crates/live/src/engine.rs crates/live/src/metrics.rs crates/live/src/pools.rs
+
+/root/repo/target/debug/deps/monotasks_live-84aa0763c5b5d644: crates/live/src/lib.rs crates/live/src/data.rs crates/live/src/engine.rs crates/live/src/metrics.rs crates/live/src/pools.rs
+
+crates/live/src/lib.rs:
+crates/live/src/data.rs:
+crates/live/src/engine.rs:
+crates/live/src/metrics.rs:
+crates/live/src/pools.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/monotasks_live-d9b16c4fecd382b4.d: crates/live/src/lib.rs crates/live/src/data.rs crates/live/src/engine.rs crates/live/src/metrics.rs crates/live/src/pools.rs
+
+/root/repo/target/debug/deps/libmonotasks_live-d9b16c4fecd382b4.rlib: crates/live/src/lib.rs crates/live/src/data.rs crates/live/src/engine.rs crates/live/src/metrics.rs crates/live/src/pools.rs
+
+/root/repo/target/debug/deps/libmonotasks_live-d9b16c4fecd382b4.rmeta: crates/live/src/lib.rs crates/live/src/data.rs crates/live/src/engine.rs crates/live/src/metrics.rs crates/live/src/pools.rs
+
+crates/live/src/lib.rs:
+crates/live/src/data.rs:
+crates/live/src/engine.rs:
+crates/live/src/metrics.rs:
+crates/live/src/pools.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/monotasks_repro-4de5964fce86ad4a.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmonotasks_repro-4de5964fce86ad4a.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/monotasks_repro-4dea974a1642498e.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmonotasks_repro-4dea974a1642498e.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmonotasks_repro-4dea974a1642498e.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/monotasks_repro-987686b42b6182f4.d: src/lib.rs
+
+/root/repo/target/debug/deps/monotasks_repro-987686b42b6182f4: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/monotasks_repro-9f7015eda0fa82d7.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmonotasks_repro-9f7015eda0fa82d7.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

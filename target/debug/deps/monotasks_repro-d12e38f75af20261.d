@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/monotasks_repro-d12e38f75af20261.d: src/lib.rs
+
+/root/repo/target/debug/deps/monotasks_repro-d12e38f75af20261: src/lib.rs
+
+src/lib.rs:

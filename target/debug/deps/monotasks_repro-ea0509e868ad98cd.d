@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/monotasks_repro-ea0509e868ad98cd.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmonotasks_repro-ea0509e868ad98cd.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmonotasks_repro-ea0509e868ad98cd.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/monotasks_sim-095ad83133e0294d.d: src/bin/monotasks-sim.rs
+
+/root/repo/target/debug/deps/monotasks_sim-095ad83133e0294d: src/bin/monotasks-sim.rs
+
+src/bin/monotasks-sim.rs:

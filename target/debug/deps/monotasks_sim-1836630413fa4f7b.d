@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/monotasks_sim-1836630413fa4f7b.d: src/bin/monotasks-sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmonotasks_sim-1836630413fa4f7b.rmeta: src/bin/monotasks-sim.rs Cargo.toml
+
+src/bin/monotasks-sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/monotasks_sim-3ab32398f2a0ad5f.d: src/bin/monotasks-sim.rs
+
+/root/repo/target/debug/deps/monotasks_sim-3ab32398f2a0ad5f: src/bin/monotasks-sim.rs
+
+src/bin/monotasks-sim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/monotasks_sim-3cd06357a8ee4b88.d: src/bin/monotasks-sim.rs
+
+/root/repo/target/debug/deps/monotasks_sim-3cd06357a8ee4b88: src/bin/monotasks-sim.rs
+
+src/bin/monotasks-sim.rs:

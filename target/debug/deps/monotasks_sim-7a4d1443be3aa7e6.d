@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/monotasks_sim-7a4d1443be3aa7e6.d: src/bin/monotasks-sim.rs
+
+/root/repo/target/debug/deps/monotasks_sim-7a4d1443be3aa7e6: src/bin/monotasks-sim.rs
+
+src/bin/monotasks-sim.rs:

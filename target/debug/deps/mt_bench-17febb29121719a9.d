@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mt_bench-17febb29121719a9.d: crates/bench/src/lib.rs crates/bench/src/ascii.rs
+
+/root/repo/target/debug/deps/libmt_bench-17febb29121719a9.rlib: crates/bench/src/lib.rs crates/bench/src/ascii.rs
+
+/root/repo/target/debug/deps/libmt_bench-17febb29121719a9.rmeta: crates/bench/src/lib.rs crates/bench/src/ascii.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ascii.rs:

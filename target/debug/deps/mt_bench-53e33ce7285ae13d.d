@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/mt_bench-53e33ce7285ae13d.d: crates/bench/src/lib.rs crates/bench/src/ascii.rs
+
+/root/repo/target/debug/deps/mt_bench-53e33ce7285ae13d: crates/bench/src/lib.rs crates/bench/src/ascii.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ascii.rs:

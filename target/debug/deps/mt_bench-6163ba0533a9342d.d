@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mt_bench-6163ba0533a9342d.d: crates/bench/src/lib.rs crates/bench/src/ascii.rs
+
+/root/repo/target/debug/deps/libmt_bench-6163ba0533a9342d.rlib: crates/bench/src/lib.rs crates/bench/src/ascii.rs
+
+/root/repo/target/debug/deps/libmt_bench-6163ba0533a9342d.rmeta: crates/bench/src/lib.rs crates/bench/src/ascii.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ascii.rs:

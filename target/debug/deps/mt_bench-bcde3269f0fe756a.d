@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/mt_bench-bcde3269f0fe756a.d: crates/bench/src/lib.rs crates/bench/src/ascii.rs
+
+/root/repo/target/debug/deps/mt_bench-bcde3269f0fe756a: crates/bench/src/lib.rs crates/bench/src/ascii.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ascii.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mt_bench-c27ff4e4855e7dad.d: crates/bench/src/lib.rs crates/bench/src/ascii.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmt_bench-c27ff4e4855e7dad.rmeta: crates/bench/src/lib.rs crates/bench/src/ascii.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/ascii.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-5fe641bca6d747df.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/parking_lot-5fe641bca6d747df: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

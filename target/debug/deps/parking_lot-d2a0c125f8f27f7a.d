@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-d2a0c125f8f27f7a.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-d2a0c125f8f27f7a.rlib: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-d2a0c125f8f27f7a.rmeta: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/perfmodel-1954a4cc8eebd875.d: crates/perfmodel/src/lib.rs crates/perfmodel/src/bottleneck.rs crates/perfmodel/src/imbalance.rs crates/perfmodel/src/model.rs crates/perfmodel/src/profile.rs crates/perfmodel/src/strawman.rs
+
+/root/repo/target/debug/deps/libperfmodel-1954a4cc8eebd875.rlib: crates/perfmodel/src/lib.rs crates/perfmodel/src/bottleneck.rs crates/perfmodel/src/imbalance.rs crates/perfmodel/src/model.rs crates/perfmodel/src/profile.rs crates/perfmodel/src/strawman.rs
+
+/root/repo/target/debug/deps/libperfmodel-1954a4cc8eebd875.rmeta: crates/perfmodel/src/lib.rs crates/perfmodel/src/bottleneck.rs crates/perfmodel/src/imbalance.rs crates/perfmodel/src/model.rs crates/perfmodel/src/profile.rs crates/perfmodel/src/strawman.rs
+
+crates/perfmodel/src/lib.rs:
+crates/perfmodel/src/bottleneck.rs:
+crates/perfmodel/src/imbalance.rs:
+crates/perfmodel/src/model.rs:
+crates/perfmodel/src/profile.rs:
+crates/perfmodel/src/strawman.rs:

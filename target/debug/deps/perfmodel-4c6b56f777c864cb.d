@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/perfmodel-4c6b56f777c864cb.d: crates/perfmodel/src/lib.rs crates/perfmodel/src/bottleneck.rs crates/perfmodel/src/imbalance.rs crates/perfmodel/src/model.rs crates/perfmodel/src/profile.rs crates/perfmodel/src/strawman.rs Cargo.toml
+
+/root/repo/target/debug/deps/libperfmodel-4c6b56f777c864cb.rmeta: crates/perfmodel/src/lib.rs crates/perfmodel/src/bottleneck.rs crates/perfmodel/src/imbalance.rs crates/perfmodel/src/model.rs crates/perfmodel/src/profile.rs crates/perfmodel/src/strawman.rs Cargo.toml
+
+crates/perfmodel/src/lib.rs:
+crates/perfmodel/src/bottleneck.rs:
+crates/perfmodel/src/imbalance.rs:
+crates/perfmodel/src/model.rs:
+crates/perfmodel/src/profile.rs:
+crates/perfmodel/src/strawman.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

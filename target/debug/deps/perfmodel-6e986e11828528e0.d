@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/perfmodel-6e986e11828528e0.d: crates/perfmodel/src/lib.rs crates/perfmodel/src/bottleneck.rs crates/perfmodel/src/imbalance.rs crates/perfmodel/src/model.rs crates/perfmodel/src/profile.rs crates/perfmodel/src/strawman.rs
+
+/root/repo/target/debug/deps/libperfmodel-6e986e11828528e0.rlib: crates/perfmodel/src/lib.rs crates/perfmodel/src/bottleneck.rs crates/perfmodel/src/imbalance.rs crates/perfmodel/src/model.rs crates/perfmodel/src/profile.rs crates/perfmodel/src/strawman.rs
+
+/root/repo/target/debug/deps/libperfmodel-6e986e11828528e0.rmeta: crates/perfmodel/src/lib.rs crates/perfmodel/src/bottleneck.rs crates/perfmodel/src/imbalance.rs crates/perfmodel/src/model.rs crates/perfmodel/src/profile.rs crates/perfmodel/src/strawman.rs
+
+crates/perfmodel/src/lib.rs:
+crates/perfmodel/src/bottleneck.rs:
+crates/perfmodel/src/imbalance.rs:
+crates/perfmodel/src/model.rs:
+crates/perfmodel/src/profile.rs:
+crates/perfmodel/src/strawman.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/perfmodel-8ccde7b3662e550b.d: crates/perfmodel/src/lib.rs crates/perfmodel/src/bottleneck.rs crates/perfmodel/src/imbalance.rs crates/perfmodel/src/model.rs crates/perfmodel/src/profile.rs crates/perfmodel/src/strawman.rs
+
+/root/repo/target/debug/deps/perfmodel-8ccde7b3662e550b: crates/perfmodel/src/lib.rs crates/perfmodel/src/bottleneck.rs crates/perfmodel/src/imbalance.rs crates/perfmodel/src/model.rs crates/perfmodel/src/profile.rs crates/perfmodel/src/strawman.rs
+
+crates/perfmodel/src/lib.rs:
+crates/perfmodel/src/bottleneck.rs:
+crates/perfmodel/src/imbalance.rs:
+crates/perfmodel/src/model.rs:
+crates/perfmodel/src/profile.rs:
+crates/perfmodel/src/strawman.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-0a15b9d5ac164900.d: crates/simcore/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-0a15b9d5ac164900.rmeta: crates/simcore/tests/prop.rs Cargo.toml
+
+crates/simcore/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-26ed9b94576e0bd1.d: crates/simcore/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-26ed9b94576e0bd1: crates/simcore/tests/prop.rs
+
+crates/simcore/tests/prop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-3b1dd1acca27bf12.d: crates/cluster/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-3b1dd1acca27bf12.rmeta: crates/cluster/tests/prop.rs Cargo.toml
+
+crates/cluster/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

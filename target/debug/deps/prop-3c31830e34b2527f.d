@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-3c31830e34b2527f.d: crates/cluster/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-3c31830e34b2527f: crates/cluster/tests/prop.rs
+
+crates/cluster/tests/prop.rs:

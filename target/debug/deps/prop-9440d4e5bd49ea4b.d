@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-9440d4e5bd49ea4b.d: crates/cluster/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-9440d4e5bd49ea4b: crates/cluster/tests/prop.rs
+
+crates/cluster/tests/prop.rs:

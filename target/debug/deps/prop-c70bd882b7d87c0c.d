@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-c70bd882b7d87c0c.d: crates/simcore/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-c70bd882b7d87c0c: crates/simcore/tests/prop.rs
+
+crates/simcore/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-20e031eca4471785.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-20e031eca4471785: tests/properties.rs
+
+tests/properties.rs:

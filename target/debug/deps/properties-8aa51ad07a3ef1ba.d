@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-8aa51ad07a3ef1ba.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-8aa51ad07a3ef1ba: tests/properties.rs
+
+tests/properties.rs:

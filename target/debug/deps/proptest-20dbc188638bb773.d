@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-20dbc188638bb773.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-20dbc188638bb773.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-20dbc188638bb773.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

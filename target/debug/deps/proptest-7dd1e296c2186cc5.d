@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-7dd1e296c2186cc5.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-7dd1e296c2186cc5: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-3c9c9ab68539d937.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-3c9c9ab68539d937.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-3c9c9ab68539d937.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

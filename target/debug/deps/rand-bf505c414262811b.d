@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-bf505c414262811b.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-bf505c414262811b: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

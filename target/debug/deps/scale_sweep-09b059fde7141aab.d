@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scale_sweep-09b059fde7141aab.d: crates/bench/src/bin/scale_sweep.rs
+
+/root/repo/target/debug/deps/scale_sweep-09b059fde7141aab: crates/bench/src/bin/scale_sweep.rs
+
+crates/bench/src/bin/scale_sweep.rs:

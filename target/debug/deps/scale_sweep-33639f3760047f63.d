@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scale_sweep-33639f3760047f63.d: crates/bench/src/bin/scale_sweep.rs
+
+/root/repo/target/debug/deps/scale_sweep-33639f3760047f63: crates/bench/src/bin/scale_sweep.rs
+
+crates/bench/src/bin/scale_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scale_sweep-e25f123cacb21d81.d: crates/bench/src/bin/scale_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscale_sweep-e25f123cacb21d81.rmeta: crates/bench/src/bin/scale_sweep.rs Cargo.toml
+
+crates/bench/src/bin/scale_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

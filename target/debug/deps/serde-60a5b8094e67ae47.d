@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-60a5b8094e67ae47.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-60a5b8094e67ae47.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-60a5b8094e67ae47.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-9e4086e3694841a2.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-9e4086e3694841a2: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

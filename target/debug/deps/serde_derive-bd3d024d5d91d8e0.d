@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-bd3d024d5d91d8e0.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/serde_derive-bd3d024d5d91d8e0: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/simcore-84363721678d6e53.d: crates/simcore/src/lib.rs crates/simcore/src/events.rs crates/simcore/src/maxmin.rs crates/simcore/src/recorder.rs crates/simcore/src/resource.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+/root/repo/target/debug/deps/simcore-84363721678d6e53: crates/simcore/src/lib.rs crates/simcore/src/events.rs crates/simcore/src/maxmin.rs crates/simcore/src/recorder.rs crates/simcore/src/resource.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/events.rs:
+crates/simcore/src/maxmin.rs:
+crates/simcore/src/recorder.rs:
+crates/simcore/src/resource.rs:
+crates/simcore/src/stats.rs:
+crates/simcore/src/time.rs:

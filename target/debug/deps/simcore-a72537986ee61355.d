@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/simcore-a72537986ee61355.d: crates/simcore/src/lib.rs crates/simcore/src/events.rs crates/simcore/src/maxmin.rs crates/simcore/src/recorder.rs crates/simcore/src/resource.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+/root/repo/target/debug/deps/libsimcore-a72537986ee61355.rlib: crates/simcore/src/lib.rs crates/simcore/src/events.rs crates/simcore/src/maxmin.rs crates/simcore/src/recorder.rs crates/simcore/src/resource.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+/root/repo/target/debug/deps/libsimcore-a72537986ee61355.rmeta: crates/simcore/src/lib.rs crates/simcore/src/events.rs crates/simcore/src/maxmin.rs crates/simcore/src/recorder.rs crates/simcore/src/resource.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/events.rs:
+crates/simcore/src/maxmin.rs:
+crates/simcore/src/recorder.rs:
+crates/simcore/src/resource.rs:
+crates/simcore/src/stats.rs:
+crates/simcore/src/time.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/simcore-b0adc630082da641.d: crates/simcore/src/lib.rs crates/simcore/src/events.rs crates/simcore/src/maxmin.rs crates/simcore/src/recorder.rs crates/simcore/src/resource.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+/root/repo/target/debug/deps/simcore-b0adc630082da641: crates/simcore/src/lib.rs crates/simcore/src/events.rs crates/simcore/src/maxmin.rs crates/simcore/src/recorder.rs crates/simcore/src/resource.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/events.rs:
+crates/simcore/src/maxmin.rs:
+crates/simcore/src/recorder.rs:
+crates/simcore/src/resource.rs:
+crates/simcore/src/stats.rs:
+crates/simcore/src/time.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sparklike-3099e9a4ddb35079.d: crates/sparklike/src/lib.rs crates/sparklike/src/executor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsparklike-3099e9a4ddb35079.rmeta: crates/sparklike/src/lib.rs crates/sparklike/src/executor.rs Cargo.toml
+
+crates/sparklike/src/lib.rs:
+crates/sparklike/src/executor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/sparklike-a17149fe1ef225b8.d: crates/sparklike/src/lib.rs crates/sparklike/src/executor.rs
+
+/root/repo/target/debug/deps/sparklike-a17149fe1ef225b8: crates/sparklike/src/lib.rs crates/sparklike/src/executor.rs
+
+crates/sparklike/src/lib.rs:
+crates/sparklike/src/executor.rs:

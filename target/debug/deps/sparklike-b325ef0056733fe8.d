@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sparklike-b325ef0056733fe8.d: crates/sparklike/src/lib.rs crates/sparklike/src/executor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsparklike-b325ef0056733fe8.rmeta: crates/sparklike/src/lib.rs crates/sparklike/src/executor.rs Cargo.toml
+
+crates/sparklike/src/lib.rs:
+crates/sparklike/src/executor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/sparklike-bd56383d04f225ef.d: crates/sparklike/src/lib.rs crates/sparklike/src/executor.rs
+
+/root/repo/target/debug/deps/libsparklike-bd56383d04f225ef.rlib: crates/sparklike/src/lib.rs crates/sparklike/src/executor.rs
+
+/root/repo/target/debug/deps/libsparklike-bd56383d04f225ef.rmeta: crates/sparklike/src/lib.rs crates/sparklike/src/executor.rs
+
+crates/sparklike/src/lib.rs:
+crates/sparklike/src/executor.rs:

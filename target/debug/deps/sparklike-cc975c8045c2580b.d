@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/sparklike-cc975c8045c2580b.d: crates/sparklike/src/lib.rs crates/sparklike/src/executor.rs
+
+/root/repo/target/debug/deps/sparklike-cc975c8045c2580b: crates/sparklike/src/lib.rs crates/sparklike/src/executor.rs
+
+crates/sparklike/src/lib.rs:
+crates/sparklike/src/executor.rs:

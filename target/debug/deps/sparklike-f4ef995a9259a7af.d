@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/sparklike-f4ef995a9259a7af.d: crates/sparklike/src/lib.rs crates/sparklike/src/executor.rs
+
+/root/repo/target/debug/deps/libsparklike-f4ef995a9259a7af.rlib: crates/sparklike/src/lib.rs crates/sparklike/src/executor.rs
+
+/root/repo/target/debug/deps/libsparklike-f4ef995a9259a7af.rmeta: crates/sparklike/src/lib.rs crates/sparklike/src/executor.rs
+
+crates/sparklike/src/lib.rs:
+crates/sparklike/src/executor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_deser_predict-464f5193341876be.d: crates/bench/src/bin/tab_deser_predict.rs
+
+/root/repo/target/debug/deps/tab_deser_predict-464f5193341876be: crates/bench/src/bin/tab_deser_predict.rs
+
+crates/bench/src/bin/tab_deser_predict.rs:

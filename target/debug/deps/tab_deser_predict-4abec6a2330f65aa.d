@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_deser_predict-4abec6a2330f65aa.d: crates/bench/src/bin/tab_deser_predict.rs
+
+/root/repo/target/debug/deps/tab_deser_predict-4abec6a2330f65aa: crates/bench/src/bin/tab_deser_predict.rs
+
+crates/bench/src/bin/tab_deser_predict.rs:

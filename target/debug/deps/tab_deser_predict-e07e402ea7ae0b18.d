@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab_deser_predict-e07e402ea7ae0b18.d: crates/bench/src/bin/tab_deser_predict.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab_deser_predict-e07e402ea7ae0b18.rmeta: crates/bench/src/bin/tab_deser_predict.rs Cargo.toml
+
+crates/bench/src/bin/tab_deser_predict.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_queue_visibility-5a2c0cefbcfae18d.d: crates/bench/src/bin/tab_queue_visibility.rs
+
+/root/repo/target/debug/deps/tab_queue_visibility-5a2c0cefbcfae18d: crates/bench/src/bin/tab_queue_visibility.rs
+
+crates/bench/src/bin/tab_queue_visibility.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab_queue_visibility-7948d0db843307f7.d: crates/bench/src/bin/tab_queue_visibility.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab_queue_visibility-7948d0db843307f7.rmeta: crates/bench/src/bin/tab_queue_visibility.rs Cargo.toml
+
+crates/bench/src/bin/tab_queue_visibility.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_queue_visibility-ece809dad798de19.d: crates/bench/src/bin/tab_queue_visibility.rs
+
+/root/repo/target/debug/deps/tab_queue_visibility-ece809dad798de19: crates/bench/src/bin/tab_queue_visibility.rs
+
+crates/bench/src/bin/tab_queue_visibility.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_sort_hdd-09c142f6ddd7f4dd.d: crates/bench/src/bin/tab_sort_hdd.rs
+
+/root/repo/target/debug/deps/tab_sort_hdd-09c142f6ddd7f4dd: crates/bench/src/bin/tab_sort_hdd.rs
+
+crates/bench/src/bin/tab_sort_hdd.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_sort_hdd-10a0252be4acdd5a.d: crates/bench/src/bin/tab_sort_hdd.rs
+
+/root/repo/target/debug/deps/tab_sort_hdd-10a0252be4acdd5a: crates/bench/src/bin/tab_sort_hdd.rs
+
+crates/bench/src/bin/tab_sort_hdd.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab_sort_hdd-223a658c348287d5.d: crates/bench/src/bin/tab_sort_hdd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab_sort_hdd-223a658c348287d5.rmeta: crates/bench/src/bin/tab_sort_hdd.rs Cargo.toml
+
+crates/bench/src/bin/tab_sort_hdd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_tungsten_whatif-160424f0ca15b22d.d: crates/bench/src/bin/tab_tungsten_whatif.rs
+
+/root/repo/target/debug/deps/tab_tungsten_whatif-160424f0ca15b22d: crates/bench/src/bin/tab_tungsten_whatif.rs
+
+crates/bench/src/bin/tab_tungsten_whatif.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_tungsten_whatif-1d49a8b4dea4033d.d: crates/bench/src/bin/tab_tungsten_whatif.rs
+
+/root/repo/target/debug/deps/tab_tungsten_whatif-1d49a8b4dea4033d: crates/bench/src/bin/tab_tungsten_whatif.rs
+
+crates/bench/src/bin/tab_tungsten_whatif.rs:

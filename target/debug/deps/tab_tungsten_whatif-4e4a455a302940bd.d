@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab_tungsten_whatif-4e4a455a302940bd.d: crates/bench/src/bin/tab_tungsten_whatif.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab_tungsten_whatif-4e4a455a302940bd.rmeta: crates/bench/src/bin/tab_tungsten_whatif.rs Cargo.toml
+
+crates/bench/src/bin/tab_tungsten_whatif.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

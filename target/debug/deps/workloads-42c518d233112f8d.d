@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/workloads-42c518d233112f8d.d: crates/workloads/src/lib.rs crates/workloads/src/bdb.rs crates/workloads/src/ml.rs crates/workloads/src/skew.rs crates/workloads/src/sort.rs crates/workloads/src/wordcount.rs
+
+/root/repo/target/debug/deps/workloads-42c518d233112f8d: crates/workloads/src/lib.rs crates/workloads/src/bdb.rs crates/workloads/src/ml.rs crates/workloads/src/skew.rs crates/workloads/src/sort.rs crates/workloads/src/wordcount.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/bdb.rs:
+crates/workloads/src/ml.rs:
+crates/workloads/src/skew.rs:
+crates/workloads/src/sort.rs:
+crates/workloads/src/wordcount.rs:

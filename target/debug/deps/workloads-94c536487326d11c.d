@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/workloads-94c536487326d11c.d: crates/workloads/src/lib.rs crates/workloads/src/bdb.rs crates/workloads/src/ml.rs crates/workloads/src/skew.rs crates/workloads/src/sort.rs crates/workloads/src/wordcount.rs
+
+/root/repo/target/debug/deps/libworkloads-94c536487326d11c.rlib: crates/workloads/src/lib.rs crates/workloads/src/bdb.rs crates/workloads/src/ml.rs crates/workloads/src/skew.rs crates/workloads/src/sort.rs crates/workloads/src/wordcount.rs
+
+/root/repo/target/debug/deps/libworkloads-94c536487326d11c.rmeta: crates/workloads/src/lib.rs crates/workloads/src/bdb.rs crates/workloads/src/ml.rs crates/workloads/src/skew.rs crates/workloads/src/sort.rs crates/workloads/src/wordcount.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/bdb.rs:
+crates/workloads/src/ml.rs:
+crates/workloads/src/skew.rs:
+crates/workloads/src/sort.rs:
+crates/workloads/src/wordcount.rs:

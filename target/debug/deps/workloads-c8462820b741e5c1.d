@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/workloads-c8462820b741e5c1.d: crates/workloads/src/lib.rs crates/workloads/src/bdb.rs crates/workloads/src/ml.rs crates/workloads/src/skew.rs crates/workloads/src/sort.rs crates/workloads/src/wordcount.rs
+
+/root/repo/target/debug/deps/libworkloads-c8462820b741e5c1.rlib: crates/workloads/src/lib.rs crates/workloads/src/bdb.rs crates/workloads/src/ml.rs crates/workloads/src/skew.rs crates/workloads/src/sort.rs crates/workloads/src/wordcount.rs
+
+/root/repo/target/debug/deps/libworkloads-c8462820b741e5c1.rmeta: crates/workloads/src/lib.rs crates/workloads/src/bdb.rs crates/workloads/src/ml.rs crates/workloads/src/skew.rs crates/workloads/src/sort.rs crates/workloads/src/wordcount.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/bdb.rs:
+crates/workloads/src/ml.rs:
+crates/workloads/src/skew.rs:
+crates/workloads/src/sort.rs:
+crates/workloads/src/wordcount.rs:

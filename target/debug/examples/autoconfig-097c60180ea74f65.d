@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/autoconfig-097c60180ea74f65.d: examples/autoconfig.rs
+
+/root/repo/target/debug/examples/autoconfig-097c60180ea74f65: examples/autoconfig.rs
+
+examples/autoconfig.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/autoconfig-13d4ecd6af61782e.d: examples/autoconfig.rs
+
+/root/repo/target/debug/examples/autoconfig-13d4ecd6af61782e: examples/autoconfig.rs
+
+examples/autoconfig.rs:

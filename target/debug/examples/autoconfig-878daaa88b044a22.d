@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/autoconfig-878daaa88b044a22.d: examples/autoconfig.rs Cargo.toml
+
+/root/repo/target/debug/examples/libautoconfig-878daaa88b044a22.rmeta: examples/autoconfig.rs Cargo.toml
+
+examples/autoconfig.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bottleneck_hunt-37b32eaa7c49db6c.d: examples/bottleneck_hunt.rs
+
+/root/repo/target/debug/examples/bottleneck_hunt-37b32eaa7c49db6c: examples/bottleneck_hunt.rs
+
+examples/bottleneck_hunt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bottleneck_hunt-9c3a4aa5ffb2d73a.d: examples/bottleneck_hunt.rs
+
+/root/repo/target/debug/examples/bottleneck_hunt-9c3a4aa5ffb2d73a: examples/bottleneck_hunt.rs
+
+examples/bottleneck_hunt.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/bottleneck_hunt-d66583b9dccd97d5.d: examples/bottleneck_hunt.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbottleneck_hunt-d66583b9dccd97d5.rmeta: examples/bottleneck_hunt.rs Cargo.toml
+
+examples/bottleneck_hunt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/live_wordcount-1205653a176e87dd.d: examples/live_wordcount.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblive_wordcount-1205653a176e87dd.rmeta: examples/live_wordcount.rs Cargo.toml
+
+examples/live_wordcount.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/live_wordcount-71c2fb6a7ebed2d8.d: examples/live_wordcount.rs
+
+/root/repo/target/debug/examples/live_wordcount-71c2fb6a7ebed2d8: examples/live_wordcount.rs
+
+examples/live_wordcount.rs:

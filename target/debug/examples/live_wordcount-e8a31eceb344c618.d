@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/live_wordcount-e8a31eceb344c618.d: examples/live_wordcount.rs
+
+/root/repo/target/debug/examples/live_wordcount-e8a31eceb344c618: examples/live_wordcount.rs
+
+examples/live_wordcount.rs:

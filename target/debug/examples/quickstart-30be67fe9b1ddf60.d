@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-30be67fe9b1ddf60.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-30be67fe9b1ddf60: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f081fd5fea8770a3.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f081fd5fea8770a3: examples/quickstart.rs
+
+examples/quickstart.rs:

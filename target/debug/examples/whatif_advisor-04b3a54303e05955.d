@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/whatif_advisor-04b3a54303e05955.d: examples/whatif_advisor.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwhatif_advisor-04b3a54303e05955.rmeta: examples/whatif_advisor.rs Cargo.toml
+
+examples/whatif_advisor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

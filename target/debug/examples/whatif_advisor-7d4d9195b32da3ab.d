@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/whatif_advisor-7d4d9195b32da3ab.d: examples/whatif_advisor.rs
+
+/root/repo/target/debug/examples/whatif_advisor-7d4d9195b32da3ab: examples/whatif_advisor.rs
+
+examples/whatif_advisor.rs:

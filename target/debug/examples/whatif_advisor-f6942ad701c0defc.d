@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/whatif_advisor-f6942ad701c0defc.d: examples/whatif_advisor.rs
+
+/root/repo/target/debug/examples/whatif_advisor-f6942ad701c0defc: examples/whatif_advisor.rs
+
+examples/whatif_advisor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/abl_concurrency_plus_one-526ae631a364faf2.d: crates/bench/src/bin/abl_concurrency_plus_one.rs
+
+/root/repo/target/release/deps/abl_concurrency_plus_one-526ae631a364faf2: crates/bench/src/bin/abl_concurrency_plus_one.rs
+
+crates/bench/src/bin/abl_concurrency_plus_one.rs:

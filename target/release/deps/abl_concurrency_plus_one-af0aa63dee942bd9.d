@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/abl_concurrency_plus_one-af0aa63dee942bd9.d: crates/bench/src/bin/abl_concurrency_plus_one.rs
+
+/root/repo/target/release/deps/abl_concurrency_plus_one-af0aa63dee942bd9: crates/bench/src/bin/abl_concurrency_plus_one.rs
+
+crates/bench/src/bin/abl_concurrency_plus_one.rs:

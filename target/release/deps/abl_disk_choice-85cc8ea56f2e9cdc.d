@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/abl_disk_choice-85cc8ea56f2e9cdc.d: crates/bench/src/bin/abl_disk_choice.rs
+
+/root/repo/target/release/deps/abl_disk_choice-85cc8ea56f2e9cdc: crates/bench/src/bin/abl_disk_choice.rs
+
+crates/bench/src/bin/abl_disk_choice.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/abl_disk_choice-d262fc91208040fa.d: crates/bench/src/bin/abl_disk_choice.rs
+
+/root/repo/target/release/deps/abl_disk_choice-d262fc91208040fa: crates/bench/src/bin/abl_disk_choice.rs
+
+crates/bench/src/bin/abl_disk_choice.rs:

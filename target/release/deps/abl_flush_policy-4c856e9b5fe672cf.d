@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/abl_flush_policy-4c856e9b5fe672cf.d: crates/bench/src/bin/abl_flush_policy.rs
+
+/root/repo/target/release/deps/abl_flush_policy-4c856e9b5fe672cf: crates/bench/src/bin/abl_flush_policy.rs
+
+crates/bench/src/bin/abl_flush_policy.rs:

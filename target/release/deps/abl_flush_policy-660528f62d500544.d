@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/abl_flush_policy-660528f62d500544.d: crates/bench/src/bin/abl_flush_policy.rs
+
+/root/repo/target/release/deps/abl_flush_policy-660528f62d500544: crates/bench/src/bin/abl_flush_policy.rs
+
+crates/bench/src/bin/abl_flush_policy.rs:

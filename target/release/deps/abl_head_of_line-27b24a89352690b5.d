@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/abl_head_of_line-27b24a89352690b5.d: crates/bench/src/bin/abl_head_of_line.rs
+
+/root/repo/target/release/deps/abl_head_of_line-27b24a89352690b5: crates/bench/src/bin/abl_head_of_line.rs
+
+crates/bench/src/bin/abl_head_of_line.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/abl_head_of_line-71a8d27fa16d3ac1.d: crates/bench/src/bin/abl_head_of_line.rs
+
+/root/repo/target/release/deps/abl_head_of_line-71a8d27fa16d3ac1: crates/bench/src/bin/abl_head_of_line.rs
+
+crates/bench/src/bin/abl_head_of_line.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/abl_memory_pressure-354d593023c5067a.d: crates/bench/src/bin/abl_memory_pressure.rs
+
+/root/repo/target/release/deps/abl_memory_pressure-354d593023c5067a: crates/bench/src/bin/abl_memory_pressure.rs
+
+crates/bench/src/bin/abl_memory_pressure.rs:

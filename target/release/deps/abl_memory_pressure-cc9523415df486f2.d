@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/abl_memory_pressure-cc9523415df486f2.d: crates/bench/src/bin/abl_memory_pressure.rs
+
+/root/repo/target/release/deps/abl_memory_pressure-cc9523415df486f2: crates/bench/src/bin/abl_memory_pressure.rs
+
+crates/bench/src/bin/abl_memory_pressure.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/abl_net_outstanding-2c2bb229973923e4.d: crates/bench/src/bin/abl_net_outstanding.rs
+
+/root/repo/target/release/deps/abl_net_outstanding-2c2bb229973923e4: crates/bench/src/bin/abl_net_outstanding.rs
+
+crates/bench/src/bin/abl_net_outstanding.rs:

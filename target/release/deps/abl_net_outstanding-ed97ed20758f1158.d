@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/abl_net_outstanding-ed97ed20758f1158.d: crates/bench/src/bin/abl_net_outstanding.rs
+
+/root/repo/target/release/deps/abl_net_outstanding-ed97ed20758f1158: crates/bench/src/bin/abl_net_outstanding.rs
+
+crates/bench/src/bin/abl_net_outstanding.rs:

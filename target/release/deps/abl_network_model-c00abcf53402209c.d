@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/abl_network_model-c00abcf53402209c.d: crates/bench/src/bin/abl_network_model.rs
+
+/root/repo/target/release/deps/abl_network_model-c00abcf53402209c: crates/bench/src/bin/abl_network_model.rs
+
+crates/bench/src/bin/abl_network_model.rs:

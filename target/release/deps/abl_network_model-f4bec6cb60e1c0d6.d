@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/abl_network_model-f4bec6cb60e1c0d6.d: crates/bench/src/bin/abl_network_model.rs
+
+/root/repo/target/release/deps/abl_network_model-f4bec6cb60e1c0d6: crates/bench/src/bin/abl_network_model.rs
+
+crates/bench/src/bin/abl_network_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/abl_round_robin-19d820d428b67cd4.d: crates/bench/src/bin/abl_round_robin.rs
+
+/root/repo/target/release/deps/abl_round_robin-19d820d428b67cd4: crates/bench/src/bin/abl_round_robin.rs
+
+crates/bench/src/bin/abl_round_robin.rs:

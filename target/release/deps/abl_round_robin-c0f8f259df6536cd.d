@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/abl_round_robin-c0f8f259df6536cd.d: crates/bench/src/bin/abl_round_robin.rs
+
+/root/repo/target/release/deps/abl_round_robin-c0f8f259df6536cd: crates/bench/src/bin/abl_round_robin.rs
+
+crates/bench/src/bin/abl_round_robin.rs:

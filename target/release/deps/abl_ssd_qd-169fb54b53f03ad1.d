@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/abl_ssd_qd-169fb54b53f03ad1.d: crates/bench/src/bin/abl_ssd_qd.rs
+
+/root/repo/target/release/deps/abl_ssd_qd-169fb54b53f03ad1: crates/bench/src/bin/abl_ssd_qd.rs
+
+crates/bench/src/bin/abl_ssd_qd.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/abl_ssd_qd-ac04894ede910f2f.d: crates/bench/src/bin/abl_ssd_qd.rs
+
+/root/repo/target/release/deps/abl_ssd_qd-ac04894ede910f2f: crates/bench/src/bin/abl_ssd_qd.rs
+
+crates/bench/src/bin/abl_ssd_qd.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bytes-8cad37180accce52.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/bytes-8cad37180accce52: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

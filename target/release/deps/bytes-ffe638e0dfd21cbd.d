@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-ffe638e0dfd21cbd.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-ffe638e0dfd21cbd.rlib: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-ffe638e0dfd21cbd.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibration-18c8ab50ceb0bdcb.d: crates/bench/src/bin/calibration.rs
+
+/root/repo/target/release/deps/calibration-18c8ab50ceb0bdcb: crates/bench/src/bin/calibration.rs
+
+crates/bench/src/bin/calibration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibration-2b05074dae3a2c5c.d: crates/bench/src/bin/calibration.rs
+
+/root/repo/target/release/deps/calibration-2b05074dae3a2c5c: crates/bench/src/bin/calibration.rs
+
+crates/bench/src/bin/calibration.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cli-f4d856f0a8f37043.d: tests/cli.rs
+
+/root/repo/target/release/deps/cli-f4d856f0a8f37043: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_monotasks-sim=/root/repo/target/release/monotasks-sim

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/cluster-62d23f3ec9e29da6.d: crates/cluster/src/lib.rs crates/cluster/src/cache.rs crates/cluster/src/fluid.rs crates/cluster/src/hw.rs crates/cluster/src/trace.rs
+
+/root/repo/target/release/deps/libcluster-62d23f3ec9e29da6.rlib: crates/cluster/src/lib.rs crates/cluster/src/cache.rs crates/cluster/src/fluid.rs crates/cluster/src/hw.rs crates/cluster/src/trace.rs
+
+/root/repo/target/release/deps/libcluster-62d23f3ec9e29da6.rmeta: crates/cluster/src/lib.rs crates/cluster/src/cache.rs crates/cluster/src/fluid.rs crates/cluster/src/hw.rs crates/cluster/src/trace.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/cache.rs:
+crates/cluster/src/fluid.rs:
+crates/cluster/src/hw.rs:
+crates/cluster/src/trace.rs:

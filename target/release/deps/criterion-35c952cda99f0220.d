@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-35c952cda99f0220.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-35c952cda99f0220: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

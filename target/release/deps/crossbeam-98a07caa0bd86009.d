@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/crossbeam-98a07caa0bd86009.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/crossbeam-98a07caa0bd86009: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

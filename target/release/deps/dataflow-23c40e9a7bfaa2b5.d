@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/dataflow-23c40e9a7bfaa2b5.d: crates/dataflow/src/lib.rs crates/dataflow/src/blocks.rs crates/dataflow/src/cost.rs crates/dataflow/src/plan.rs crates/dataflow/src/reference.rs crates/dataflow/src/report.rs crates/dataflow/src/stage.rs crates/dataflow/src/types.rs
+
+/root/repo/target/release/deps/libdataflow-23c40e9a7bfaa2b5.rlib: crates/dataflow/src/lib.rs crates/dataflow/src/blocks.rs crates/dataflow/src/cost.rs crates/dataflow/src/plan.rs crates/dataflow/src/reference.rs crates/dataflow/src/report.rs crates/dataflow/src/stage.rs crates/dataflow/src/types.rs
+
+/root/repo/target/release/deps/libdataflow-23c40e9a7bfaa2b5.rmeta: crates/dataflow/src/lib.rs crates/dataflow/src/blocks.rs crates/dataflow/src/cost.rs crates/dataflow/src/plan.rs crates/dataflow/src/reference.rs crates/dataflow/src/report.rs crates/dataflow/src/stage.rs crates/dataflow/src/types.rs
+
+crates/dataflow/src/lib.rs:
+crates/dataflow/src/blocks.rs:
+crates/dataflow/src/cost.rs:
+crates/dataflow/src/plan.rs:
+crates/dataflow/src/reference.rs:
+crates/dataflow/src/report.rs:
+crates/dataflow/src/stage.rs:
+crates/dataflow/src/types.rs:

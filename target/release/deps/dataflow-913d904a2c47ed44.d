@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dataflow-913d904a2c47ed44.d: crates/dataflow/src/lib.rs crates/dataflow/src/blocks.rs crates/dataflow/src/cost.rs crates/dataflow/src/plan.rs crates/dataflow/src/reference.rs crates/dataflow/src/report.rs crates/dataflow/src/stage.rs crates/dataflow/src/types.rs
+
+/root/repo/target/release/deps/dataflow-913d904a2c47ed44: crates/dataflow/src/lib.rs crates/dataflow/src/blocks.rs crates/dataflow/src/cost.rs crates/dataflow/src/plan.rs crates/dataflow/src/reference.rs crates/dataflow/src/report.rs crates/dataflow/src/stage.rs crates/dataflow/src/types.rs
+
+crates/dataflow/src/lib.rs:
+crates/dataflow/src/blocks.rs:
+crates/dataflow/src/cost.rs:
+crates/dataflow/src/plan.rs:
+crates/dataflow/src/reference.rs:
+crates/dataflow/src/report.rs:
+crates/dataflow/src/stage.rs:
+crates/dataflow/src/types.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-a9d846b4eed25f53.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-a9d846b4eed25f53: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-059e712835603984.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-059e712835603984: tests/end_to_end.rs
+
+tests/end_to_end.rs:

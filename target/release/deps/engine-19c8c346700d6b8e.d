@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engine-19c8c346700d6b8e.d: crates/bench/benches/engine.rs
+
+/root/repo/target/release/deps/engine-19c8c346700d6b8e: crates/bench/benches/engine.rs
+
+crates/bench/benches/engine.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engine-945cf1636dcd2efd.d: crates/bench/benches/engine.rs
+
+/root/repo/target/release/deps/engine-945cf1636dcd2efd: crates/bench/benches/engine.rs
+
+crates/bench/benches/engine.rs:

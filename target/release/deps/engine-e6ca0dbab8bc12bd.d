@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engine-e6ca0dbab8bc12bd.d: crates/bench/benches/engine.rs
+
+/root/repo/target/release/deps/engine-e6ca0dbab8bc12bd: crates/bench/benches/engine.rs
+
+crates/bench/benches/engine.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig02_spark_util-118e68a51562ab72.d: crates/bench/src/bin/fig02_spark_util.rs
+
+/root/repo/target/release/deps/fig02_spark_util-118e68a51562ab72: crates/bench/src/bin/fig02_spark_util.rs
+
+crates/bench/src/bin/fig02_spark_util.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig02_spark_util-b54fe130af8c5611.d: crates/bench/src/bin/fig02_spark_util.rs
+
+/root/repo/target/release/deps/fig02_spark_util-b54fe130af8c5611: crates/bench/src/bin/fig02_spark_util.rs
+
+crates/bench/src/bin/fig02_spark_util.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig05_bdb_runtimes-5aacccfc6fb71159.d: crates/bench/src/bin/fig05_bdb_runtimes.rs
+
+/root/repo/target/release/deps/fig05_bdb_runtimes-5aacccfc6fb71159: crates/bench/src/bin/fig05_bdb_runtimes.rs
+
+crates/bench/src/bin/fig05_bdb_runtimes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig05_bdb_runtimes-af491cfcced6eff7.d: crates/bench/src/bin/fig05_bdb_runtimes.rs
+
+/root/repo/target/release/deps/fig05_bdb_runtimes-af491cfcced6eff7: crates/bench/src/bin/fig05_bdb_runtimes.rs
+
+crates/bench/src/bin/fig05_bdb_runtimes.rs:

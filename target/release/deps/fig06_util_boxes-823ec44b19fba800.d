@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig06_util_boxes-823ec44b19fba800.d: crates/bench/src/bin/fig06_util_boxes.rs
+
+/root/repo/target/release/deps/fig06_util_boxes-823ec44b19fba800: crates/bench/src/bin/fig06_util_boxes.rs
+
+crates/bench/src/bin/fig06_util_boxes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig06_util_boxes-fcc3b1a4f715650b.d: crates/bench/src/bin/fig06_util_boxes.rs
+
+/root/repo/target/release/deps/fig06_util_boxes-fcc3b1a4f715650b: crates/bench/src/bin/fig06_util_boxes.rs
+
+crates/bench/src/bin/fig06_util_boxes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07_ml_stages-07d6f40705e74ad1.d: crates/bench/src/bin/fig07_ml_stages.rs
+
+/root/repo/target/release/deps/fig07_ml_stages-07d6f40705e74ad1: crates/bench/src/bin/fig07_ml_stages.rs
+
+crates/bench/src/bin/fig07_ml_stages.rs:

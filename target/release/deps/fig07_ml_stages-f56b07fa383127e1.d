@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07_ml_stages-f56b07fa383127e1.d: crates/bench/src/bin/fig07_ml_stages.rs
+
+/root/repo/target/release/deps/fig07_ml_stages-f56b07fa383127e1: crates/bench/src/bin/fig07_ml_stages.rs
+
+crates/bench/src/bin/fig07_ml_stages.rs:

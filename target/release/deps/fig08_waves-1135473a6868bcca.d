@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08_waves-1135473a6868bcca.d: crates/bench/src/bin/fig08_waves.rs
+
+/root/repo/target/release/deps/fig08_waves-1135473a6868bcca: crates/bench/src/bin/fig08_waves.rs
+
+crates/bench/src/bin/fig08_waves.rs:

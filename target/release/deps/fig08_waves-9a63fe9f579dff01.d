@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08_waves-9a63fe9f579dff01.d: crates/bench/src/bin/fig08_waves.rs
+
+/root/repo/target/release/deps/fig08_waves-9a63fe9f579dff01: crates/bench/src/bin/fig08_waves.rs
+
+crates/bench/src/bin/fig08_waves.rs:

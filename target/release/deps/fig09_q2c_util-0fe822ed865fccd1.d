@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_q2c_util-0fe822ed865fccd1.d: crates/bench/src/bin/fig09_q2c_util.rs
+
+/root/repo/target/release/deps/fig09_q2c_util-0fe822ed865fccd1: crates/bench/src/bin/fig09_q2c_util.rs
+
+crates/bench/src/bin/fig09_q2c_util.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_q2c_util-5523eb13614c0b5e.d: crates/bench/src/bin/fig09_q2c_util.rs
+
+/root/repo/target/release/deps/fig09_q2c_util-5523eb13614c0b5e: crates/bench/src/bin/fig09_q2c_util.rs
+
+crates/bench/src/bin/fig09_q2c_util.rs:

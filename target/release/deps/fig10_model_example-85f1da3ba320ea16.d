@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_model_example-85f1da3ba320ea16.d: crates/bench/src/bin/fig10_model_example.rs
+
+/root/repo/target/release/deps/fig10_model_example-85f1da3ba320ea16: crates/bench/src/bin/fig10_model_example.rs
+
+crates/bench/src/bin/fig10_model_example.rs:

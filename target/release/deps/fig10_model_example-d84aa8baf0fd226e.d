@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_model_example-d84aa8baf0fd226e.d: crates/bench/src/bin/fig10_model_example.rs
+
+/root/repo/target/release/deps/fig10_model_example-d84aa8baf0fd226e: crates/bench/src/bin/fig10_model_example.rs
+
+crates/bench/src/bin/fig10_model_example.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_predict_2x_ssd-0795ca8b3d164c59.d: crates/bench/src/bin/fig11_predict_2x_ssd.rs
+
+/root/repo/target/release/deps/fig11_predict_2x_ssd-0795ca8b3d164c59: crates/bench/src/bin/fig11_predict_2x_ssd.rs
+
+crates/bench/src/bin/fig11_predict_2x_ssd.rs:

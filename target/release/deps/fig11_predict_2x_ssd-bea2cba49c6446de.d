@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_predict_2x_ssd-bea2cba49c6446de.d: crates/bench/src/bin/fig11_predict_2x_ssd.rs
+
+/root/repo/target/release/deps/fig11_predict_2x_ssd-bea2cba49c6446de: crates/bench/src/bin/fig11_predict_2x_ssd.rs
+
+crates/bench/src/bin/fig11_predict_2x_ssd.rs:

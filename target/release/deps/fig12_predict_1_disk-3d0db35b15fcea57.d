@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_predict_1_disk-3d0db35b15fcea57.d: crates/bench/src/bin/fig12_predict_1_disk.rs
+
+/root/repo/target/release/deps/fig12_predict_1_disk-3d0db35b15fcea57: crates/bench/src/bin/fig12_predict_1_disk.rs
+
+crates/bench/src/bin/fig12_predict_1_disk.rs:

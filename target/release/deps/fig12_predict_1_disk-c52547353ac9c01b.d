@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_predict_1_disk-c52547353ac9c01b.d: crates/bench/src/bin/fig12_predict_1_disk.rs
+
+/root/repo/target/release/deps/fig12_predict_1_disk-c52547353ac9c01b: crates/bench/src/bin/fig12_predict_1_disk.rs
+
+crates/bench/src/bin/fig12_predict_1_disk.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_predict_migration-b9042bfd949bf4a0.d: crates/bench/src/bin/fig13_predict_migration.rs
+
+/root/repo/target/release/deps/fig13_predict_migration-b9042bfd949bf4a0: crates/bench/src/bin/fig13_predict_migration.rs
+
+crates/bench/src/bin/fig13_predict_migration.rs:

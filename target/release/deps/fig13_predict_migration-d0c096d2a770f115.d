@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_predict_migration-d0c096d2a770f115.d: crates/bench/src/bin/fig13_predict_migration.rs
+
+/root/repo/target/release/deps/fig13_predict_migration-d0c096d2a770f115: crates/bench/src/bin/fig13_predict_migration.rs
+
+crates/bench/src/bin/fig13_predict_migration.rs:

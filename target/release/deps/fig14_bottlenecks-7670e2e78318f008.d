@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_bottlenecks-7670e2e78318f008.d: crates/bench/src/bin/fig14_bottlenecks.rs
+
+/root/repo/target/release/deps/fig14_bottlenecks-7670e2e78318f008: crates/bench/src/bin/fig14_bottlenecks.rs
+
+crates/bench/src/bin/fig14_bottlenecks.rs:

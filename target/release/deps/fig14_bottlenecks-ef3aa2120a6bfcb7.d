@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_bottlenecks-ef3aa2120a6bfcb7.d: crates/bench/src/bin/fig14_bottlenecks.rs
+
+/root/repo/target/release/deps/fig14_bottlenecks-ef3aa2120a6bfcb7: crates/bench/src/bin/fig14_bottlenecks.rs
+
+crates/bench/src/bin/fig14_bottlenecks.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_slot_model-11ba5e8adfeedf14.d: crates/bench/src/bin/fig15_slot_model.rs
+
+/root/repo/target/release/deps/fig15_slot_model-11ba5e8adfeedf14: crates/bench/src/bin/fig15_slot_model.rs
+
+crates/bench/src/bin/fig15_slot_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_slot_model-b497b07e63392a81.d: crates/bench/src/bin/fig15_slot_model.rs
+
+/root/repo/target/release/deps/fig15_slot_model-b497b07e63392a81: crates/bench/src/bin/fig15_slot_model.rs
+
+crates/bench/src/bin/fig15_slot_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16_attribution-c1d0f910745da1f9.d: crates/bench/src/bin/fig16_attribution.rs
+
+/root/repo/target/release/deps/fig16_attribution-c1d0f910745da1f9: crates/bench/src/bin/fig16_attribution.rs
+
+crates/bench/src/bin/fig16_attribution.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16_attribution-dbc7c55990f9e617.d: crates/bench/src/bin/fig16_attribution.rs
+
+/root/repo/target/release/deps/fig16_attribution-dbc7c55990f9e617: crates/bench/src/bin/fig16_attribution.rs
+
+crates/bench/src/bin/fig16_attribution.rs:

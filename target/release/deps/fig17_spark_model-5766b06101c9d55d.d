@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig17_spark_model-5766b06101c9d55d.d: crates/bench/src/bin/fig17_spark_model.rs
+
+/root/repo/target/release/deps/fig17_spark_model-5766b06101c9d55d: crates/bench/src/bin/fig17_spark_model.rs
+
+crates/bench/src/bin/fig17_spark_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig17_spark_model-fe645ff8563eb7cb.d: crates/bench/src/bin/fig17_spark_model.rs
+
+/root/repo/target/release/deps/fig17_spark_model-fe645ff8563eb7cb: crates/bench/src/bin/fig17_spark_model.rs
+
+crates/bench/src/bin/fig17_spark_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig18_autoconfig-7664e4aae08d083f.d: crates/bench/src/bin/fig18_autoconfig.rs
+
+/root/repo/target/release/deps/fig18_autoconfig-7664e4aae08d083f: crates/bench/src/bin/fig18_autoconfig.rs
+
+crates/bench/src/bin/fig18_autoconfig.rs:

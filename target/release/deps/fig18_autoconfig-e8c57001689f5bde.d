@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig18_autoconfig-e8c57001689f5bde.d: crates/bench/src/bin/fig18_autoconfig.rs
+
+/root/repo/target/release/deps/fig18_autoconfig-e8c57001689f5bde: crates/bench/src/bin/fig18_autoconfig.rs
+
+crates/bench/src/bin/fig18_autoconfig.rs:

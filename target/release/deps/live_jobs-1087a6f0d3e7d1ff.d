@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/live_jobs-1087a6f0d3e7d1ff.d: crates/live/tests/live_jobs.rs
+
+/root/repo/target/release/deps/live_jobs-1087a6f0d3e7d1ff: crates/live/tests/live_jobs.rs
+
+crates/live/tests/live_jobs.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/monotasks_core-ab857d207be82373.d: crates/core/src/lib.rs crates/core/src/decompose.rs crates/core/src/executor.rs crates/core/src/metrics.rs crates/core/src/monotask.rs crates/core/src/scheduler.rs
+
+/root/repo/target/release/deps/libmonotasks_core-ab857d207be82373.rlib: crates/core/src/lib.rs crates/core/src/decompose.rs crates/core/src/executor.rs crates/core/src/metrics.rs crates/core/src/monotask.rs crates/core/src/scheduler.rs
+
+/root/repo/target/release/deps/libmonotasks_core-ab857d207be82373.rmeta: crates/core/src/lib.rs crates/core/src/decompose.rs crates/core/src/executor.rs crates/core/src/metrics.rs crates/core/src/monotask.rs crates/core/src/scheduler.rs
+
+crates/core/src/lib.rs:
+crates/core/src/decompose.rs:
+crates/core/src/executor.rs:
+crates/core/src/metrics.rs:
+crates/core/src/monotask.rs:
+crates/core/src/scheduler.rs:

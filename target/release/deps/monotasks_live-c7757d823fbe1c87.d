@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/monotasks_live-c7757d823fbe1c87.d: crates/live/src/lib.rs crates/live/src/data.rs crates/live/src/engine.rs crates/live/src/metrics.rs crates/live/src/pools.rs
+
+/root/repo/target/release/deps/monotasks_live-c7757d823fbe1c87: crates/live/src/lib.rs crates/live/src/data.rs crates/live/src/engine.rs crates/live/src/metrics.rs crates/live/src/pools.rs
+
+crates/live/src/lib.rs:
+crates/live/src/data.rs:
+crates/live/src/engine.rs:
+crates/live/src/metrics.rs:
+crates/live/src/pools.rs:

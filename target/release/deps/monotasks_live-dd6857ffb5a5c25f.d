@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/monotasks_live-dd6857ffb5a5c25f.d: crates/live/src/lib.rs crates/live/src/data.rs crates/live/src/engine.rs crates/live/src/metrics.rs crates/live/src/pools.rs
+
+/root/repo/target/release/deps/libmonotasks_live-dd6857ffb5a5c25f.rlib: crates/live/src/lib.rs crates/live/src/data.rs crates/live/src/engine.rs crates/live/src/metrics.rs crates/live/src/pools.rs
+
+/root/repo/target/release/deps/libmonotasks_live-dd6857ffb5a5c25f.rmeta: crates/live/src/lib.rs crates/live/src/data.rs crates/live/src/engine.rs crates/live/src/metrics.rs crates/live/src/pools.rs
+
+crates/live/src/lib.rs:
+crates/live/src/data.rs:
+crates/live/src/engine.rs:
+crates/live/src/metrics.rs:
+crates/live/src/pools.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/monotasks_repro-6e2010a358435169.d: src/lib.rs
+
+/root/repo/target/release/deps/monotasks_repro-6e2010a358435169: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/monotasks_repro-784083dedf50eaa1.d: src/lib.rs
+
+/root/repo/target/release/deps/libmonotasks_repro-784083dedf50eaa1.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmonotasks_repro-784083dedf50eaa1.rmeta: src/lib.rs
+
+src/lib.rs:

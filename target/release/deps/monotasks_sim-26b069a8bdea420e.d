@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/monotasks_sim-26b069a8bdea420e.d: src/bin/monotasks-sim.rs
+
+/root/repo/target/release/deps/monotasks_sim-26b069a8bdea420e: src/bin/monotasks-sim.rs
+
+src/bin/monotasks-sim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/monotasks_sim-69a20e6b5f7ee755.d: src/bin/monotasks-sim.rs
+
+/root/repo/target/release/deps/monotasks_sim-69a20e6b5f7ee755: src/bin/monotasks-sim.rs
+
+src/bin/monotasks-sim.rs:

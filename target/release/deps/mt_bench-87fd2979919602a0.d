@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/mt_bench-87fd2979919602a0.d: crates/bench/src/lib.rs crates/bench/src/ascii.rs
+
+/root/repo/target/release/deps/libmt_bench-87fd2979919602a0.rlib: crates/bench/src/lib.rs crates/bench/src/ascii.rs
+
+/root/repo/target/release/deps/libmt_bench-87fd2979919602a0.rmeta: crates/bench/src/lib.rs crates/bench/src/ascii.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ascii.rs:

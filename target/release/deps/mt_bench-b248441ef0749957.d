@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/mt_bench-b248441ef0749957.d: crates/bench/src/lib.rs crates/bench/src/ascii.rs
+
+/root/repo/target/release/deps/mt_bench-b248441ef0749957: crates/bench/src/lib.rs crates/bench/src/ascii.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ascii.rs:

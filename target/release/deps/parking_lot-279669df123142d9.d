@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-279669df123142d9.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-279669df123142d9.rlib: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-279669df123142d9.rmeta: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parking_lot-6aab020bb9d41bda.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/parking_lot-6aab020bb9d41bda: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/perfmodel-12d2369ab31eba98.d: crates/perfmodel/src/lib.rs crates/perfmodel/src/bottleneck.rs crates/perfmodel/src/imbalance.rs crates/perfmodel/src/model.rs crates/perfmodel/src/profile.rs crates/perfmodel/src/strawman.rs
+
+/root/repo/target/release/deps/libperfmodel-12d2369ab31eba98.rlib: crates/perfmodel/src/lib.rs crates/perfmodel/src/bottleneck.rs crates/perfmodel/src/imbalance.rs crates/perfmodel/src/model.rs crates/perfmodel/src/profile.rs crates/perfmodel/src/strawman.rs
+
+/root/repo/target/release/deps/libperfmodel-12d2369ab31eba98.rmeta: crates/perfmodel/src/lib.rs crates/perfmodel/src/bottleneck.rs crates/perfmodel/src/imbalance.rs crates/perfmodel/src/model.rs crates/perfmodel/src/profile.rs crates/perfmodel/src/strawman.rs
+
+crates/perfmodel/src/lib.rs:
+crates/perfmodel/src/bottleneck.rs:
+crates/perfmodel/src/imbalance.rs:
+crates/perfmodel/src/model.rs:
+crates/perfmodel/src/profile.rs:
+crates/perfmodel/src/strawman.rs:

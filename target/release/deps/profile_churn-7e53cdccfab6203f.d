@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/profile_churn-7e53cdccfab6203f.d: crates/bench/src/bin/profile_churn.rs
+
+/root/repo/target/release/deps/profile_churn-7e53cdccfab6203f: crates/bench/src/bin/profile_churn.rs
+
+crates/bench/src/bin/profile_churn.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/profile_churn-fe170acc369f3cef.d: crates/bench/src/bin/profile_churn.rs
+
+/root/repo/target/release/deps/profile_churn-fe170acc369f3cef: crates/bench/src/bin/profile_churn.rs
+
+crates/bench/src/bin/profile_churn.rs:

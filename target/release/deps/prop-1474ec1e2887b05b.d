@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop-1474ec1e2887b05b.d: crates/simcore/tests/prop.rs
+
+/root/repo/target/release/deps/prop-1474ec1e2887b05b: crates/simcore/tests/prop.rs
+
+crates/simcore/tests/prop.rs:

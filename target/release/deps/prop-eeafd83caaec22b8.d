@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop-eeafd83caaec22b8.d: crates/cluster/tests/prop.rs
+
+/root/repo/target/release/deps/prop-eeafd83caaec22b8: crates/cluster/tests/prop.rs
+
+crates/cluster/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-b7b8bad1d6c09339.d: tests/properties.rs
+
+/root/repo/target/release/deps/properties-b7b8bad1d6c09339: tests/properties.rs
+
+tests/properties.rs:

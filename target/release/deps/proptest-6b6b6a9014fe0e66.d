@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-6b6b6a9014fe0e66.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-6b6b6a9014fe0e66.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-6b6b6a9014fe0e66.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

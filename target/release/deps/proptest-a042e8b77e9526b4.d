@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-a042e8b77e9526b4.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-a042e8b77e9526b4: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-c4fc6a9f09921f3d.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-c4fc6a9f09921f3d: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

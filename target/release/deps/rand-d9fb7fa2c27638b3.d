@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-d9fb7fa2c27638b3.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-d9fb7fa2c27638b3.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-d9fb7fa2c27638b3.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scale_sweep-799dee90280e2617.d: crates/bench/src/bin/scale_sweep.rs
+
+/root/repo/target/release/deps/scale_sweep-799dee90280e2617: crates/bench/src/bin/scale_sweep.rs
+
+crates/bench/src/bin/scale_sweep.rs:

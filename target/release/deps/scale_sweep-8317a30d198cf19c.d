@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scale_sweep-8317a30d198cf19c.d: crates/bench/src/bin/scale_sweep.rs
+
+/root/repo/target/release/deps/scale_sweep-8317a30d198cf19c: crates/bench/src/bin/scale_sweep.rs
+
+crates/bench/src/bin/scale_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde-1b6dff2ea16a8d83.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/serde-1b6dff2ea16a8d83: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-29ded6c5b3653cfa.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-29ded6c5b3653cfa.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-29ded6c5b3653cfa.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-3765f94d45802149.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-3765f94d45802149.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-dc8d2c335b2529b3.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/serde_derive-dc8d2c335b2529b3: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/simcore-02c5be68314698a7.d: crates/simcore/src/lib.rs crates/simcore/src/events.rs crates/simcore/src/maxmin.rs crates/simcore/src/recorder.rs crates/simcore/src/resource.rs crates/simcore/src/time.rs
+
+/root/repo/target/release/deps/simcore-02c5be68314698a7: crates/simcore/src/lib.rs crates/simcore/src/events.rs crates/simcore/src/maxmin.rs crates/simcore/src/recorder.rs crates/simcore/src/resource.rs crates/simcore/src/time.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/events.rs:
+crates/simcore/src/maxmin.rs:
+crates/simcore/src/recorder.rs:
+crates/simcore/src/resource.rs:
+crates/simcore/src/time.rs:

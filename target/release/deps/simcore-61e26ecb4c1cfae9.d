@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/simcore-61e26ecb4c1cfae9.d: crates/simcore/src/lib.rs crates/simcore/src/events.rs crates/simcore/src/maxmin.rs crates/simcore/src/recorder.rs crates/simcore/src/resource.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+/root/repo/target/release/deps/libsimcore-61e26ecb4c1cfae9.rlib: crates/simcore/src/lib.rs crates/simcore/src/events.rs crates/simcore/src/maxmin.rs crates/simcore/src/recorder.rs crates/simcore/src/resource.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+/root/repo/target/release/deps/libsimcore-61e26ecb4c1cfae9.rmeta: crates/simcore/src/lib.rs crates/simcore/src/events.rs crates/simcore/src/maxmin.rs crates/simcore/src/recorder.rs crates/simcore/src/resource.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/events.rs:
+crates/simcore/src/maxmin.rs:
+crates/simcore/src/recorder.rs:
+crates/simcore/src/resource.rs:
+crates/simcore/src/stats.rs:
+crates/simcore/src/time.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/sparklike-e3018197d0b9bbc1.d: crates/sparklike/src/lib.rs crates/sparklike/src/executor.rs
+
+/root/repo/target/release/deps/sparklike-e3018197d0b9bbc1: crates/sparklike/src/lib.rs crates/sparklike/src/executor.rs
+
+crates/sparklike/src/lib.rs:
+crates/sparklike/src/executor.rs:

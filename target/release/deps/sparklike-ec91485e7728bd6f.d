@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/sparklike-ec91485e7728bd6f.d: crates/sparklike/src/lib.rs crates/sparklike/src/executor.rs
+
+/root/repo/target/release/deps/libsparklike-ec91485e7728bd6f.rlib: crates/sparklike/src/lib.rs crates/sparklike/src/executor.rs
+
+/root/repo/target/release/deps/libsparklike-ec91485e7728bd6f.rmeta: crates/sparklike/src/lib.rs crates/sparklike/src/executor.rs
+
+crates/sparklike/src/lib.rs:
+crates/sparklike/src/executor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab_deser_predict-81a1286a9e11eb56.d: crates/bench/src/bin/tab_deser_predict.rs
+
+/root/repo/target/release/deps/tab_deser_predict-81a1286a9e11eb56: crates/bench/src/bin/tab_deser_predict.rs
+
+crates/bench/src/bin/tab_deser_predict.rs:

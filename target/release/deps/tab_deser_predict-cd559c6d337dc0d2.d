@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab_deser_predict-cd559c6d337dc0d2.d: crates/bench/src/bin/tab_deser_predict.rs
+
+/root/repo/target/release/deps/tab_deser_predict-cd559c6d337dc0d2: crates/bench/src/bin/tab_deser_predict.rs
+
+crates/bench/src/bin/tab_deser_predict.rs:

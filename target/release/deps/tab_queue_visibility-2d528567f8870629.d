@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab_queue_visibility-2d528567f8870629.d: crates/bench/src/bin/tab_queue_visibility.rs
+
+/root/repo/target/release/deps/tab_queue_visibility-2d528567f8870629: crates/bench/src/bin/tab_queue_visibility.rs
+
+crates/bench/src/bin/tab_queue_visibility.rs:

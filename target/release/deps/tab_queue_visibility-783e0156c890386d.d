@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab_queue_visibility-783e0156c890386d.d: crates/bench/src/bin/tab_queue_visibility.rs
+
+/root/repo/target/release/deps/tab_queue_visibility-783e0156c890386d: crates/bench/src/bin/tab_queue_visibility.rs
+
+crates/bench/src/bin/tab_queue_visibility.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab_sort_hdd-66d82a46abf42438.d: crates/bench/src/bin/tab_sort_hdd.rs
+
+/root/repo/target/release/deps/tab_sort_hdd-66d82a46abf42438: crates/bench/src/bin/tab_sort_hdd.rs
+
+crates/bench/src/bin/tab_sort_hdd.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab_sort_hdd-7cf30284ba65f7c1.d: crates/bench/src/bin/tab_sort_hdd.rs
+
+/root/repo/target/release/deps/tab_sort_hdd-7cf30284ba65f7c1: crates/bench/src/bin/tab_sort_hdd.rs
+
+crates/bench/src/bin/tab_sort_hdd.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab_tungsten_whatif-51e93dc9e84e077a.d: crates/bench/src/bin/tab_tungsten_whatif.rs
+
+/root/repo/target/release/deps/tab_tungsten_whatif-51e93dc9e84e077a: crates/bench/src/bin/tab_tungsten_whatif.rs
+
+crates/bench/src/bin/tab_tungsten_whatif.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab_tungsten_whatif-d1049330c5b9e359.d: crates/bench/src/bin/tab_tungsten_whatif.rs
+
+/root/repo/target/release/deps/tab_tungsten_whatif-d1049330c5b9e359: crates/bench/src/bin/tab_tungsten_whatif.rs
+
+crates/bench/src/bin/tab_tungsten_whatif.rs:

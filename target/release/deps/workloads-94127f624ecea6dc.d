@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/workloads-94127f624ecea6dc.d: crates/workloads/src/lib.rs crates/workloads/src/bdb.rs crates/workloads/src/ml.rs crates/workloads/src/skew.rs crates/workloads/src/sort.rs crates/workloads/src/wordcount.rs
+
+/root/repo/target/release/deps/libworkloads-94127f624ecea6dc.rlib: crates/workloads/src/lib.rs crates/workloads/src/bdb.rs crates/workloads/src/ml.rs crates/workloads/src/skew.rs crates/workloads/src/sort.rs crates/workloads/src/wordcount.rs
+
+/root/repo/target/release/deps/libworkloads-94127f624ecea6dc.rmeta: crates/workloads/src/lib.rs crates/workloads/src/bdb.rs crates/workloads/src/ml.rs crates/workloads/src/skew.rs crates/workloads/src/sort.rs crates/workloads/src/wordcount.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/bdb.rs:
+crates/workloads/src/ml.rs:
+crates/workloads/src/skew.rs:
+crates/workloads/src/sort.rs:
+crates/workloads/src/wordcount.rs:

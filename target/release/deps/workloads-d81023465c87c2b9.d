@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/workloads-d81023465c87c2b9.d: crates/workloads/src/lib.rs crates/workloads/src/bdb.rs crates/workloads/src/ml.rs crates/workloads/src/skew.rs crates/workloads/src/sort.rs crates/workloads/src/wordcount.rs
+
+/root/repo/target/release/deps/workloads-d81023465c87c2b9: crates/workloads/src/lib.rs crates/workloads/src/bdb.rs crates/workloads/src/ml.rs crates/workloads/src/skew.rs crates/workloads/src/sort.rs crates/workloads/src/wordcount.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/bdb.rs:
+crates/workloads/src/ml.rs:
+crates/workloads/src/skew.rs:
+crates/workloads/src/sort.rs:
+crates/workloads/src/wordcount.rs:

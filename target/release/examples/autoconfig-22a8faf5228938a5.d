@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/autoconfig-22a8faf5228938a5.d: examples/autoconfig.rs
+
+/root/repo/target/release/examples/autoconfig-22a8faf5228938a5: examples/autoconfig.rs
+
+examples/autoconfig.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/bottleneck_hunt-6eee593d424e20cf.d: examples/bottleneck_hunt.rs
+
+/root/repo/target/release/examples/bottleneck_hunt-6eee593d424e20cf: examples/bottleneck_hunt.rs
+
+examples/bottleneck_hunt.rs:

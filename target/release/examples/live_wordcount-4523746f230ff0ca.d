@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/live_wordcount-4523746f230ff0ca.d: examples/live_wordcount.rs
+
+/root/repo/target/release/examples/live_wordcount-4523746f230ff0ca: examples/live_wordcount.rs
+
+examples/live_wordcount.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-90dc2725d6b62d9a.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-90dc2725d6b62d9a: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/whatif_advisor-4ddc477a9794ba0d.d: examples/whatif_advisor.rs
+
+/root/repo/target/release/examples/whatif_advisor-4ddc477a9794ba0d: examples/whatif_advisor.rs
+
+examples/whatif_advisor.rs:

@@ -1,0 +1,235 @@
+//! Offline shim of `bytes`: reference-counted immutable byte buffers with
+//! cheap slicing, a growable builder, and big-endian cursor traits — the
+//! subset the live runtime's record blocks use.
+
+use std::ops::{Bound, Deref, DerefMut, RangeBounds};
+use std::sync::Arc;
+
+/// A cheaply cloneable, sliceable, immutable byte buffer.
+#[derive(Clone, Debug, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Bytes {
+        Bytes::default()
+    }
+
+    /// Wraps a static byte slice without copying semantics concerns.
+    pub fn from_static(bytes: &'static [u8]) -> Bytes {
+        Bytes::from(bytes.to_vec())
+    }
+
+    /// Length of the view in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Returns a sub-view sharing the same backing allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or inverted.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let lo = match range.start_bound() {
+            Bound::Included(&i) => i,
+            Bound::Excluded(&i) => i + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&i) => i + 1,
+            Bound::Excluded(&i) => i,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice out of bounds");
+        Bytes {
+            data: self.data.clone(),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        let end = v.len();
+        Bytes {
+            data: v.into(),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self[..] == other[..]
+    }
+}
+impl Eq for Bytes {}
+
+/// A growable byte buffer that freezes into [`Bytes`].
+#[derive(Clone, Debug, Default)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    /// Creates an empty buffer with room for `cap` bytes.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut(Vec::with_capacity(cap))
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Converts the buffer into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.0)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.0
+    }
+}
+
+/// Read cursor over a byte buffer (big-endian integers, like the real crate).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Next `n` readable bytes (here: all remaining).
+    fn chunk(&self) -> &[u8];
+
+    /// Skips `n` bytes.
+    fn advance(&mut self, n: usize);
+
+    /// Whether any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    /// Reads a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        assert!(self.remaining() >= 4, "buffer underflow");
+        let c = self.chunk();
+        let v = u32::from_be_bytes([c[0], c[1], c[2], c[3]]);
+        self.advance(4);
+        v
+    }
+
+    /// Copies the next `n` bytes out as an owned [`Bytes`].
+    fn copy_to_bytes(&mut self, n: usize) -> Bytes {
+        assert!(self.remaining() >= n, "buffer underflow");
+        let out = Bytes::from(self.chunk()[..n].to_vec());
+        self.advance(n);
+        out
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end");
+        self.start += n;
+    }
+}
+
+/// Write cursor over a growable byte buffer.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.0.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_u32_and_slices() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u32(0xDEAD_BEEF);
+        b.put_slice(b"hello");
+        let mut r = b.freeze();
+        assert_eq!(r.len(), 9);
+        assert_eq!(r.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(r.copy_to_bytes(5).to_vec(), b"hello");
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    fn slicing_shares_backing() {
+        let b = Bytes::from(vec![0, 1, 2, 3, 4, 5]);
+        let s = b.slice(2..5);
+        assert_eq!(&s[..], &[2, 3, 4]);
+        let s2 = s.slice(1..);
+        assert_eq!(&s2[..], &[3, 4]);
+        assert_eq!(b.len(), 6);
+    }
+}

@@ -1,0 +1,230 @@
+//! Offline shim of `criterion`: same macros and builder API, simple
+//! median-of-samples wall-clock measurement underneath.
+//!
+//! Each benchmark warms up briefly, then takes `sample_size` samples whose
+//! iteration counts are auto-tuned toward ~10 ms per sample, and prints the
+//! median time per iteration. When cargo runs bench targets in test mode
+//! (`--test` on the command line), every benchmark executes exactly once so
+//! `cargo test` stays fast.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export for compatibility (`criterion::black_box`).
+pub use std::hint::black_box;
+
+/// Top-level harness state.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 20,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let samples = self.sample_size;
+        let test_mode = self.test_mode;
+        run_bench(name, samples, test_mode, &mut f);
+        self
+    }
+}
+
+/// A named benchmark id with an optional parameter, e.g. `churn/256`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Benchmarks `f`, which receives the input by reference.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        let samples = self.sample_size.unwrap_or(self.c.sample_size);
+        run_bench(&full, samples, self.c.test_mode, &mut |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f` under this group's name.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        let samples = self.sample_size.unwrap_or(self.c.sample_size);
+        run_bench(&full, samples, self.c.test_mode, &mut f);
+        self
+    }
+
+    /// Ends the group (printing happens as benches run).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; call [`Bencher::iter`] with the body.
+pub struct Bencher {
+    /// Iterations to run this sample.
+    iters: u64,
+    /// Measured duration for those iterations.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` executions of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_once<F: FnMut(&mut Bencher)>(f: &mut F, iters: u64) -> Duration {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    b.elapsed
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, test_mode: bool, f: &mut F) {
+    if test_mode {
+        run_once(f, 1);
+        println!("test {name} ... ok (bench smoke run)");
+        return;
+    }
+    // Warm up and estimate cost to pick an iteration count per sample.
+    let mut iters: u64 = 1;
+    let mut est = run_once(f, iters);
+    while est < Duration::from_millis(5) && iters < 1 << 20 {
+        iters *= 4;
+        est = run_once(f, iters);
+    }
+    let per_iter = est.as_secs_f64() / iters as f64;
+    // Target ~10ms per sample, capped so one bench stays under ~2s total.
+    let budget = 2.0 / samples as f64;
+    let target = 0.01f64.min(budget).max(per_iter);
+    let sample_iters = ((target / per_iter).round() as u64).max(1);
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| run_once(f, sample_iters).as_secs_f64() / sample_iters as f64)
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("time is not NaN"));
+    let median = times[times.len() / 2];
+    let lo = times[0];
+    let hi = times[times.len() - 1];
+    println!(
+        "{name:<44} time: [{} {} {}]",
+        fmt_time(lo),
+        fmt_time(median),
+        fmt_time(hi)
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Declares a function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_function_run() {
+        let mut c = Criterion::default();
+        c.sample_size(2);
+        // Force test-mode so the unit test is instant regardless of args.
+        c.test_mode = true;
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(2);
+            g.bench_with_input(BenchmarkId::new("f", 4), &4u32, |b, &n| {
+                b.iter(|| n * 2);
+            });
+            g.finish();
+        }
+        c.bench_function("standalone", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        assert!(ran >= 1);
+    }
+}

@@ -1,0 +1,280 @@
+//! Offline shim of `crossbeam`: an unbounded MPMC channel (both `Sender`
+//! and `Receiver` are cloneable) and a polling `select!` over `recv` arms,
+//! which is the exact surface the live thread pools use.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+    pub use crate::select;
+
+    struct Inner<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    /// Error returned when sending into a channel with no receivers left.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned when receiving from an empty, sender-less channel.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty, disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message available right now.
+        Empty,
+        /// No message available and all senders are gone.
+        Disconnected,
+    }
+
+    /// The sending half; clone freely.
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// The receiving half; clone freely (MPMC).
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                inner: inner.clone(),
+            },
+            Receiver { inner },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `value`; fails only if every receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            if self.inner.receivers.load(Ordering::SeqCst) == 0 {
+                return Err(SendError(value));
+            }
+            self.inner
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push_back(value);
+            self.inner.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            self.inner.senders.fetch_add(1, Ordering::SeqCst);
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.inner.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Last sender gone: wake blocked receivers so they observe it.
+                self.inner.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or every sender is dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut q = self
+                .inner
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(v) = q.pop_front() {
+                    return Ok(v);
+                }
+                if self.inner.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvError);
+                }
+                q = self
+                    .inner
+                    .ready
+                    .wait(q)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        /// Non-blocking poll for `select!`: `Some(Ok)` on a message,
+        /// `Some(Err)` on disconnect, `None` when merely empty.
+        #[doc(hidden)]
+        pub fn try_select(&self) -> Option<Result<T, RecvError>> {
+            match self.try_recv() {
+                Ok(v) => Some(Ok(v)),
+                Err(TryRecvError::Disconnected) => Some(Err(RecvError)),
+                Err(TryRecvError::Empty) => None,
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut q = self
+                .inner
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            if let Some(v) = q.pop_front() {
+                return Ok(v);
+            }
+            if self.inner.senders.load(Ordering::SeqCst) == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            self.inner.receivers.fetch_add(1, Ordering::SeqCst);
+            Receiver {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.inner.receivers.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Waits on several `recv(rx) -> msg => body` arms, firing the first ready
+/// one. A disconnected channel counts as ready with `Err(RecvError)`,
+/// matching crossbeam's semantics. Implemented by polling with a short
+/// sleep, which is plenty for coarse-grained worker handoff.
+#[macro_export]
+macro_rules! select {
+    ($(recv($rx:expr) -> $msg:pat => $body:expr),+ $(,)?) => {{
+        loop {
+            let mut fired = false;
+            $(
+                if !fired {
+                    if let ::std::option::Option::Some(r) = $rx.try_select() {
+                        // A diverging arm body never reads the flag; that is
+                        // fine, the remaining arms are skipped either way.
+                        #[allow(unused_assignments)]
+                        {
+                            fired = true;
+                        }
+                        let $msg = r;
+                        $body
+                    }
+                }
+            )+
+            if fired {
+                break;
+            }
+            ::std::thread::sleep(::std::time::Duration::from_micros(100));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn mpmc_delivers_every_message_once() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                let rx = rx.clone();
+                let hits = hits.clone();
+                std::thread::spawn(move || {
+                    while rx.recv().is_ok() {
+                        hits.fetch_add(1, Ordering::SeqCst);
+                    }
+                })
+            })
+            .collect();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        for w in workers {
+            w.join().unwrap();
+        }
+        assert_eq!(hits.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn try_recv_reports_empty_then_disconnected() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Empty));
+        tx.send(9).unwrap();
+        assert_eq!(rx.try_recv(), Ok(9));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn select_fires_ready_arm() {
+        let (tx_a, rx_a) = channel::unbounded::<u32>();
+        let (_tx_b, rx_b) = channel::unbounded::<u32>();
+        tx_a.send(5).unwrap();
+        let mut got = 0;
+        select! {
+            recv(rx_a) -> m => got = m.unwrap(),
+            recv(rx_b) -> m => { let _ = m; unreachable!("b never sends") },
+        }
+        assert_eq!(got, 5);
+    }
+
+    #[test]
+    fn select_sees_disconnect() {
+        let (tx_a, rx_a) = channel::unbounded::<u32>();
+        let (tx_b, rx_b) = channel::unbounded::<u32>();
+        drop(tx_a);
+        let mut disconnected = false;
+        select! {
+            recv(rx_a) -> m => disconnected = m.is_err(),
+            recv(rx_b) -> m => { let _ = m; unreachable!("b stays alive") },
+        }
+        assert!(disconnected);
+        drop(tx_b);
+    }
+}

@@ -1,0 +1,14 @@
+//! Offline shim of `serde`: marker traits and derive re-exports only.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on model types but never
+//! serializes anything (there is no `serde_json` in the tree), so empty
+//! marker traits and no-op derives are fully sufficient.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

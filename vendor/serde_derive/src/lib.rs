@@ -1,0 +1,20 @@
+//! Offline shim of `serde_derive`: the derives expand to nothing.
+//!
+//! Nothing in this workspace performs actual serialization; the derives
+//! only mark types as serializable for future interchange work. Accepting
+//! (and ignoring) `#[serde(...)]` attributes keeps source compatibility
+//! with the real crate.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
