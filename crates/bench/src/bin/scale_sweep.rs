@@ -1,14 +1,26 @@
-//! Control-plane scaling sweep: the sort workload at 5/20/50/100 machines.
+//! Control-plane scaling sweep: the sort workload at 5–400 machines.
 //!
 //! The paper's evaluation tops out at 20 workers; this sweep tracks whether
-//! the *simulator's* control plane (fluid reallocation, completion scans)
-//! stays cheap enough to model 100-machine clusters. Weak scaling: input
-//! grows with the cluster so per-machine work is constant and any wall-clock
-//! blow-up is allocator overhead, not workload size.
+//! the *simulator's* control plane (fluid reallocation, lazy drain,
+//! completion collection) stays cheap enough to model clusters well beyond
+//! that. Weak scaling: input grows with the cluster so per-machine work is
+//! constant and any wall-clock blow-up is allocator overhead, not workload
+//! size.
 //!
-//! Emits `BENCH_PR1.json` in the current directory with one record per scale
-//! point (simulated makespan, host wall-clock, events fired, reallocations,
-//! allocator wall-time) so future PRs can diff the perf trajectory.
+//! Emits one JSON record per scale point (simulated makespan, host
+//! wall-clock, events fired, reallocations, and per-phase wall-clock
+//! attribution: alloc / drain / completion / executor control — performance
+//! clarity applied to the simulator itself).
+//!
+//! Usage:
+//!   scale_sweep [--out PATH] [--points 5,20,50]
+//!               [--check BASELINE.json --max-factor 2.0]
+//!
+//! The output path defaults to `$SCALE_SWEEP_OUT` or `BENCH_PR2.json`, so
+//! each PR appends a new record to the perf trajectory instead of silently
+//! overwriting the previous one. `--check` compares the measured wall times
+//! against a committed baseline and exits non-zero on a >`max-factor`
+//! regression at any shared point (the CI wall-clock budget guard).
 
 use std::time::Instant;
 
@@ -19,6 +31,8 @@ use workloads::{sort_job, SortConfig};
 /// GiB of sort input per machine (weak scaling).
 const GIB_PER_MACHINE: f64 = 2.0;
 
+const DEFAULT_POINTS: &[usize] = &[5, 20, 50, 100, 200, 400];
+
 struct Point {
     machines: usize,
     tasks: usize,
@@ -27,6 +41,9 @@ struct Point {
     events: u64,
     reallocs: u64,
     alloc_s: f64,
+    drain_s: f64,
+    completion_s: f64,
+    control_s: f64,
 }
 
 fn run_point(machines: usize) -> Point {
@@ -36,8 +53,11 @@ fn run_point(machines: usize) -> Point {
     let tasks = job.stages.iter().map(|s| s.tasks.len()).sum();
     // The full-duplex fabric holds one flow per live transfer (≈M² in an
     // all-to-all shuffle wave) — exactly the structure this sweep stresses.
+    // Traces are off: at hundreds of machines the per-machine-per-event
+    // samples would dominate memory without affecting simulation results.
     let mono_cfg = monotasks_core::MonoConfig {
         full_duplex_network: true,
+        collect_traces: false,
         ..monotasks_core::MonoConfig::default()
     };
     let start = Instant::now();
@@ -51,27 +71,136 @@ fn run_point(machines: usize) -> Point {
         events: out.stats.events,
         reallocs: out.stats.reallocs,
         alloc_s: out.stats.alloc_secs(),
+        drain_s: out.stats.drain_secs(),
+        completion_s: out.stats.completion_secs(),
+        control_s: out.stats.control_secs(),
     }
 }
 
+struct Args {
+    out: String,
+    points: Vec<usize>,
+    check: Option<String>,
+    max_factor: f64,
+}
+
+fn parse_args() -> Args {
+    let default_out =
+        std::env::var("SCALE_SWEEP_OUT").unwrap_or_else(|_| "BENCH_PR2.json".to_string());
+    let mut args = Args {
+        out: default_out,
+        points: DEFAULT_POINTS.to_vec(),
+        check: None,
+        max_factor: 2.0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        match a.as_str() {
+            "--out" => args.out = value("--out"),
+            "--points" => {
+                args.points = value("--points")
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("bad --points entry"))
+                    .collect();
+            }
+            "--check" => args.check = Some(value("--check")),
+            "--max-factor" => {
+                args.max_factor = value("--max-factor").parse().expect("bad --max-factor")
+            }
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+    args
+}
+
+/// Pulls `(machines, wall_s)` pairs out of a sweep JSON file without a JSON
+/// dependency: each point record is one line with known key order.
+fn baseline_walls(json: &str) -> Vec<(usize, f64)> {
+    let field = |line: &str, key: &str| -> Option<f64> {
+        let rest = &line[line.find(key)? + key.len()..];
+        let rest = rest.trim_start_matches([':', ' ']);
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+            .unwrap_or(rest.len());
+        rest[..end].parse().ok()
+    };
+    json.lines()
+        .filter_map(|line| {
+            let m = field(line, "\"machines\"")? as usize;
+            let w = field(line, "\"wall_s\"")?;
+            Some((m, w))
+        })
+        .collect()
+}
+
 fn main() {
+    let args = parse_args();
     header(
         "scale_sweep",
-        "sort at 5/20/50/100 machines, full-duplex fabric, weak scaling",
-        "control plane stays tractable at 100 machines (beyond the paper's 20)",
+        "sort at 5-400 machines, full-duplex fabric, weak scaling",
+        "per-event control-plane cost proportional to what the event touches",
     );
     println!(
-        "{:>9} {:>7} {:>11} {:>9} {:>10} {:>10} {:>9}",
-        "machines", "tasks", "makespan(s)", "wall(s)", "events", "reallocs", "alloc(s)"
+        "{:>9} {:>7} {:>11} {:>9} {:>10} {:>10} {:>9} {:>9} {:>9} {:>9}",
+        "machines",
+        "tasks",
+        "makespan(s)",
+        "wall(s)",
+        "events",
+        "reallocs",
+        "alloc(s)",
+        "drain(s)",
+        "compl(s)",
+        "ctrl(s)"
     );
     let mut points = Vec::new();
-    for &m in &[5usize, 20, 50, 100] {
+    for &m in &args.points {
         let p = run_point(m);
         println!(
-            "{:>9} {:>7} {:>11.1} {:>9.2} {:>10} {:>10} {:>9.2}",
-            p.machines, p.tasks, p.makespan_s, p.wall_s, p.events, p.reallocs, p.alloc_s
+            "{:>9} {:>7} {:>11.1} {:>9.2} {:>10} {:>10} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
+            p.machines,
+            p.tasks,
+            p.makespan_s,
+            p.wall_s,
+            p.events,
+            p.reallocs,
+            p.alloc_s,
+            p.drain_s,
+            p.completion_s,
+            p.control_s
         );
         points.push(p);
+    }
+    if let Some(baseline_path) = &args.check {
+        let baseline = std::fs::read_to_string(baseline_path)
+            .unwrap_or_else(|e| panic!("read {baseline_path}: {e}"));
+        let walls = baseline_walls(&baseline);
+        let mut failed = false;
+        for p in &points {
+            let Some(&(_, base)) = walls.iter().find(|(m, _)| *m == p.machines) else {
+                println!("check: {} machines not in baseline, skipping", p.machines);
+                continue;
+            };
+            // Tiny points measure scheduler noise more than allocator cost;
+            // a floor keeps the guard meaningful on shared CI runners.
+            let budget = (base * args.max_factor).max(0.25);
+            let ok = p.wall_s <= budget;
+            println!(
+                "check: {} machines wall {:.3}s vs baseline {:.3}s (budget {:.3}s) {}",
+                p.machines,
+                p.wall_s,
+                base,
+                budget,
+                if ok { "OK" } else { "REGRESSED" }
+            );
+            failed |= !ok;
+        }
+        if failed {
+            eprintln!("scale_sweep --check: wall-clock budget exceeded");
+            std::process::exit(1);
+        }
+        return; // check mode never rewrites the committed record
     }
     let mut json = String::from("{\n  \"bench\": \"scale_sweep\",\n  \"workload\": \"sort\",\n");
     json.push_str(&format!(
@@ -80,7 +209,8 @@ fn main() {
     for (i, p) in points.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"machines\": {}, \"tasks\": {}, \"makespan_s\": {:.3}, \
-             \"wall_s\": {:.3}, \"events\": {}, \"reallocs\": {}, \"alloc_s\": {:.3}}}{}\n",
+             \"wall_s\": {:.3}, \"events\": {}, \"reallocs\": {}, \"alloc_s\": {:.3}, \
+             \"drain_s\": {:.3}, \"completion_s\": {:.3}, \"control_s\": {:.3}}}{}\n",
             p.machines,
             p.tasks,
             p.makespan_s,
@@ -88,10 +218,13 @@ fn main() {
             p.events,
             p.reallocs,
             p.alloc_s,
+            p.drain_s,
+            p.completion_s,
+            p.control_s,
             if i + 1 < points.len() { "," } else { "" }
         ));
     }
     json.push_str("  ]\n}\n");
-    std::fs::write("BENCH_PR1.json", &json).expect("write BENCH_PR1.json");
-    println!("\nwrote BENCH_PR1.json");
+    std::fs::write(&args.out, &json).unwrap_or_else(|e| panic!("write {}: {e}", args.out));
+    println!("\nwrote {}", args.out);
 }

@@ -213,6 +213,8 @@ pub struct FluidMachine {
     dirty: bool,
     reallocs: u64,
     alloc_nanos: u64,
+    drain_nanos: u64,
+    completion_nanos: u64,
 }
 
 impl FluidMachine {
@@ -237,6 +239,8 @@ impl FluidMachine {
             dirty: false,
             reallocs: 0,
             alloc_nanos: 0,
+            drain_nanos: 0,
+            completion_nanos: 0,
         };
         m.caps = m.capacities();
         m
@@ -265,9 +269,11 @@ impl FluidMachine {
     /// Control-plane cost counters for this machine.
     pub fn stats(&self) -> SimStats {
         SimStats {
-            events: 0,
             reallocs: self.reallocs,
             alloc_nanos: self.alloc_nanos,
+            drain_nanos: self.drain_nanos,
+            completion_nanos: self.completion_nanos,
+            ..SimStats::default()
         }
     }
 
@@ -406,22 +412,44 @@ impl FluidMachine {
 
     /// Removes a stream regardless of progress; returns the remaining
     /// fraction if it was active.
+    ///
+    /// Only the removed stream's lazy drain is materialized (O(1)); the
+    /// survivors are drained by the reallocation this removal triggers, at
+    /// the same instant and the same rates, so the result is identical to an
+    /// eager full drain.
     pub fn remove(&mut self, now: SimTime, id: StreamId) -> Option<f64> {
         self.advance(now);
-        self.materialize();
-        let removed = self.streams.remove(&id);
-        if let Some(s) = removed.as_ref() {
-            self.detach(s);
-            self.after_mutation();
-        }
-        removed.map(|s| s.remaining)
+        let remaining = self.streams.get(&id).map(|s| self.remaining_now(s))?;
+        let s = self.streams.remove(&id).expect("stream present");
+        self.detach(&s);
+        self.after_mutation();
+        Some(remaining)
     }
 
     /// Removes and returns all streams whose phase has fully drained, in
-    /// ascending id order. O(1) when nothing is due.
+    /// ascending id order. Equivalent to
+    /// [`FluidMachine::take_completed_into`] with a fresh buffer.
     pub fn take_completed(&mut self, now: SimTime) -> Vec<StreamId> {
+        let mut done = Vec::new();
+        self.take_completed_into(now, &mut done);
+        done
+    }
+
+    /// Removes all streams whose phase has fully drained, appending their
+    /// ids to `done` (cleared first) in ascending id order. O(1) when
+    /// nothing is due — the speculative-polling fast path allocates nothing.
+    ///
+    /// Completed streams are dropped without a full drain pass: survivors
+    /// are materialized by the reallocation the wave triggers, at the same
+    /// instant and rates, so the outcome matches the eager version exactly.
+    pub fn take_completed_into(&mut self, now: SimTime, done: &mut Vec<StreamId>) {
         self.advance(now);
-        let mut done: Vec<StreamId> = Vec::new();
+        done.clear();
+        match self.heap.peek() {
+            Some(&Reverse((deadline, _, _))) if deadline <= now => {}
+            _ => return,
+        }
+        let timer = Instant::now();
         while let Some(&Reverse((deadline, id, gen))) = self.heap.peek() {
             if deadline > now {
                 break;
@@ -448,16 +476,15 @@ impl FluidMachine {
                 self.heap.push(Reverse((next, id, s.gen)));
             }
         }
+        self.completion_nanos += timer.elapsed().as_nanos() as u64;
         if !done.is_empty() {
             done.sort_unstable();
-            self.materialize();
-            for id in &done {
+            for id in done.iter() {
                 let s = self.streams.remove(id).expect("completed stream present");
                 self.detach(&s);
             }
             self.after_mutation();
         }
-        done
     }
 
     /// Instant of the next stream completion if the set does not change.
@@ -532,9 +559,12 @@ impl FluidMachine {
     /// Recomputes stream rates, capacities, used-rate accumulators, and
     /// completion deadlines. Called on every effective mutation.
     fn reallocate(&mut self) {
-        let timer = Instant::now();
+        let drain_timer = Instant::now();
         self.reallocs += 1;
         self.materialize();
+        let drained = drain_timer.elapsed().as_nanos() as u64;
+        self.drain_nanos += drained;
+        let timer = Instant::now();
         self.caps = self.capacities();
         for u in &mut self.res_used {
             *u = 0.0;

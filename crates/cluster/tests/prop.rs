@@ -4,7 +4,7 @@
 
 use cluster::{DiskId, DiskSpec, FluidMachine, MachineSpec, StreamDemand, StreamId};
 use proptest::prelude::*;
-use simcore::SimTime;
+use simcore::{SimDuration, SimTime};
 
 const MIB: f64 = 1024.0 * 1024.0;
 
@@ -143,6 +143,51 @@ proptest! {
         for i in 0..demands.len() {
             let rate = m.rate(StreamId(i as u64)).expect("stream exists");
             prop_assert!(rate > 0.0, "stream {i} starved");
+        }
+    }
+
+    #[test]
+    fn lazy_drain_matches_linear_interpolation_between_events(
+        demands in prop::collection::vec(demand_strategy(), 2..12),
+        fracs in (0.05f64..0.45, 0.5f64..0.95),
+        victim in 0usize..12,
+    ) {
+        // Between two mutation-free instants a stream drains at a constant
+        // rate, so the remaining work reported by `remove` must interpolate
+        // linearly in the removal instant — the lazy (deferred) drain can
+        // neither leak nor invent progress, no matter how the advance calls
+        // are interleaved (one machine advances once, the other twice).
+        let build_machine = || {
+            let mut m = machine(4, 2);
+            for (i, d) in demands.iter().enumerate() {
+                m.insert(SimTime::ZERO, StreamId(i as u64), build(d, 2));
+            }
+            m
+        };
+        let victim = StreamId((victim % demands.len()) as u64);
+        let mut a = build_machine();
+        let mut b = build_machine();
+        let rate = a.rate(victim).expect("victim exists");
+        let horizon = a.next_completion(SimTime::ZERO).expect("work pending");
+        let t1 = SimTime::ZERO + SimDuration::from_secs_f64(horizon.as_secs_f64() * fracs.0);
+        let t2 = SimTime::ZERO + SimDuration::from_secs_f64(horizon.as_secs_f64() * fracs.1);
+        a.advance(t1);
+        b.advance(t1);
+        b.advance(t2);
+        let rem1 = a.remove(t1, victim).expect("still active at t1");
+        let rem2 = b.remove(t2, victim).expect("still active at t2");
+        let dt = t2.since(t1).as_secs_f64();
+        prop_assert!(
+            (rem1 - rem2 - rate * dt).abs() <= rem1.abs() * 1e-9 + 1e-6,
+            "lazy drain drifted: rem@t1={rem1} rem@t2={rem2} rate={rate} dt={dt}"
+        );
+        // Survivors' post-removal rates depend on the surviving stream set,
+        // not on when the victim left.
+        for i in 0..demands.len() {
+            let id = StreamId(i as u64);
+            if id != victim {
+                prop_assert_eq!(a.rate(id), b.rate(id));
+            }
         }
     }
 

@@ -83,6 +83,11 @@ pub struct MonoConfig {
     pub full_duplex_network: bool,
     /// Safety valve on simulation iterations.
     pub max_steps: u64,
+    /// Record utilization and queue-length traces (one sample per machine
+    /// per event). Figure generation needs them; large-scale benchmarks turn
+    /// them off — at hundreds of machines the samples dominate memory and
+    /// per-event cost without affecting simulation results.
+    pub collect_traces: bool,
 }
 
 impl Default for MonoConfig {
@@ -98,6 +103,7 @@ impl Default for MonoConfig {
             memory_limit_fraction: None,
             full_duplex_network: false,
             max_steps: 50_000_000,
+            collect_traces: true,
         }
     }
 }
@@ -406,13 +412,50 @@ impl Exec {
     }
 
     fn main_loop(&mut self) {
+        let loop_timer = std::time::Instant::now();
         let mut steps: u64 = 0;
+        // Completion buffers reused across events: the speculative poll runs
+        // per allocator per event and must not allocate.
+        let mut done_flows: Vec<FlowId> = Vec::new();
+        let mut done_streams: Vec<StreamId> = Vec::new();
+        // Per-machine next-completion cache keyed on the allocator epoch.
+        // Most events touch a handful of machines; the rest keep their cached
+        // deadline, so the per-event sweep and the speculative completion
+        // poll stop interrogating every allocator on every event.
+        let n_machines = self.n_machines();
+        let mut next_cache: Vec<Option<SimTime>> = vec![None; n_machines];
+        let mut epoch_cache: Vec<u64> = vec![u64::MAX; n_machines];
         loop {
-            // Dispatch to fixpoint: assignment opens queues, queues fill slots,
-            // remote enqueues open other machines' disks, and so on. The whole
-            // wave of stream starts happens at one instant, so batch it: each
-            // allocator reallocates once at commit instead of per insert.
+            // One batch per event instant: the completion wave (empty on the
+            // first iteration), then dispatch to fixpoint — assignment opens
+            // queues, queues fill slots, remote enqueues open other machines'
+            // disks, and so on. Everything happens at one instant, so each
+            // allocator reallocates once per event instead of once for the
+            // completions and again for the dispatches; the intermediate
+            // fixpoint between the two waves is never observed by handlers.
             self.begin_update_all();
+            if let Some(fabric) = &mut self.fabric {
+                fabric.advance(self.now);
+                fabric.take_completed_into(self.now, &mut done_flows);
+                for &fid in &done_flows {
+                    let (mt, node) = decode(StreamId(fid.0));
+                    self.on_stream_done(mt, node);
+                }
+            }
+            for m in 0..self.n_machines() {
+                // A machine whose cached deadline (still valid: same epoch)
+                // lies in the future cannot have a completion due now.
+                let fluid = &mut self.machines[m].fluid;
+                if epoch_cache[m] == fluid.epoch() && next_cache[m].is_none_or(|t| t > self.now) {
+                    continue;
+                }
+                fluid.advance(self.now);
+                fluid.take_completed_into(self.now, &mut done_streams);
+                for &sid in &done_streams {
+                    let (mt, node) = decode(sid);
+                    self.on_stream_done(mt, node);
+                }
+            }
             loop {
                 let mut changed = self.assign_tasks();
                 changed |= self.dispatch_all();
@@ -426,6 +469,9 @@ impl Exec {
             }
             for m in 0..self.n_machines() {
                 self.machines[m].fluid.advance(self.now);
+                if !self.cfg.collect_traces {
+                    continue;
+                }
                 self.traces
                     .snapshot(self.now, MachineId(m), &self.machines[m].fluid);
                 if let Some(fabric) = &self.fabric {
@@ -446,10 +492,18 @@ impl Exec {
                     net_queued: net_q,
                 });
             }
-            // Next completion anywhere.
+            // Next completion anywhere. Only machines whose allocator epoch
+            // moved this event re-derive their deadline; epochs only move on
+            // flow-set mutations, and deadlines only move on reallocations,
+            // which mutations trigger.
             let mut next: Option<SimTime> = None;
-            for m in self.machines.iter_mut() {
-                if let Some(t) = m.fluid.next_completion(self.now) {
+            for (m, machine) in self.machines.iter_mut().enumerate() {
+                let epoch = machine.fluid.epoch();
+                if epoch_cache[m] != epoch {
+                    next_cache[m] = machine.fluid.next_completion(self.now);
+                    epoch_cache[m] = epoch;
+                }
+                if let Some(t) = next_cache[m] {
                     next = Some(match next {
                         Some(b) => b.min(t),
                         None => t,
@@ -473,27 +527,6 @@ impl Exec {
                 break;
             };
             self.now = t;
-            // The completion wave also happens at one instant (completions
-            // plus any streams their handlers start, e.g. remote-read →
-            // transfer), so batch it the same way.
-            self.begin_update_all();
-            if let Some(fabric) = &mut self.fabric {
-                fabric.advance(t);
-                let done: Vec<FlowId> = fabric.take_completed(t);
-                for fid in done {
-                    let (mt, node) = decode(StreamId(fid.0));
-                    self.on_stream_done(mt, node);
-                }
-            }
-            for m in 0..self.n_machines() {
-                self.machines[m].fluid.advance(t);
-                let done = self.machines[m].fluid.take_completed(t);
-                for sid in done {
-                    let (mt, node) = decode(sid);
-                    self.on_stream_done(mt, node);
-                }
-            }
-            self.commit_all(t);
             steps += 1;
             assert!(
                 steps <= self.cfg.max_steps,
@@ -502,6 +535,9 @@ impl Exec {
             );
         }
         self.stats.events = steps;
+        // Raw loop wall time; into_output subtracts what the allocators
+        // account for, leaving pure executor-control overhead.
+        self.stats.control_nanos = loop_timer.elapsed().as_nanos() as u64;
     }
 
     /// Opens a batched-update scope on every allocator (machines + fabric).
@@ -1092,6 +1128,9 @@ impl Exec {
         if let Some(fabric) = &self.fabric {
             stats.merge(&fabric.stats());
         }
+        // main_loop stored raw loop wall time; what the allocators account
+        // for is attributed to them, the rest is executor control.
+        stats.control_nanos = stats.control_nanos.saturating_sub(stats.allocator_nanos());
         let peak_buffered = self.machines.iter().map(|m| m.peak_buffered).collect();
         let jobs = self
             .jobs

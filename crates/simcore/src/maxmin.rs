@@ -11,34 +11,70 @@
 //! the network: what matters for performance clarity is how many flows share
 //! each sender and receiver link, not packet-level dynamics.
 //!
-//! # Incremental implementation
+//! # Incremental implementation: flow classes over port resources
 //!
-//! The allocator is built to stay cheap on clusters of 100+ machines with
-//! thousands of concurrent shuffle flows:
+//! An all-to-all shuffle wave holds ≈M² concurrent flows on an M-machine
+//! fabric, and the executor mutates the flow set at almost every simulation
+//! event. Per-event cost must therefore be proportional to what the event
+//! *touches*, never to the cluster-wide flow count. The allocator gets there
+//! in two layers:
 //!
-//! * **Per-port flow indices** (`tx_flows`/`rx_flows`) let progressive filling
-//!   freeze a whole bottleneck port at once instead of re-scanning every flow
-//!   per round, and make insert/remove O(1) on the index itself.
-//! * **Per-port used-rate accumulators** (`tx_used`/`rx_used`) are maintained
-//!   at each reallocation, so [`FlowAllocator::tx_busy_fraction`] and
-//!   [`FlowAllocator::rx_busy_fraction`] are O(1) reads instead of O(flows)
-//!   scans per trace sample.
-//! * **A cached next-completion deadline**: reallocation recomputes every
-//!   flow's completion instant in its single pass and keeps the minimum, so
-//!   [`FlowAllocator::next_completion`] is O(1) and
-//!   [`FlowAllocator::take_completed`] returns in O(1) when nothing is due
-//!   (it only scans — and then reallocates — when a completion actually
-//!   fires).
+//! * **Flow classes keyed by `(src, dst)` — exact, not approximate.** Two
+//!   flows with the same source and destination port see identical
+//!   constraints, and swapping them is an automorphism of the max-min system;
+//!   by uniqueness of the max-min fixpoint they carry the same rate at every
+//!   instant. (Coarser keys do not work: flows whose ports merely have equal
+//!   flow *counts* can have different rates, because the rate depends on the
+//!   whole constraint graph.) With the `slowcheck` cargo feature every
+//!   reallocation is `debug_assert!`-checked against the quadratic per-flow
+//!   reference, [`FlowAllocator::reference_reallocate`].
+//! * **Progressive filling runs over port *resources*, not classes.** The
+//!   fabric has `2n` resources (each port's tx side and rx side). Filling
+//!   maintains only per-resource scratch (`left`, `count`, cached share) plus
+//!   compact per-resource entry lists — one `u64` packing
+//!   `(class, peer resource, member count)` per class, kept in sync on every
+//!   membership change; freezing a bottleneck resource streams its entries
+//!   and debits the unfrozen peers. No per-class state is read or written
+//!   during filling at all. A class's rate is *derived* afterwards as
+//!   `min(freeze_share(tx src), freeze_share(rx dst))`: round shares are
+//!   strictly increasing (debiting a resource at share `s` leaves its fair
+//!   share strictly above `s`), so the min recovers the share of whichever
+//!   resource froze the class first — exactly what per-class filling would
+//!   have assigned.
+//! * **Share-diff propagation.** After filling, the new per-resource freeze
+//!   shares are diffed against the previous reallocation's (`stored_share`).
+//!   Only classes on *changed* resources — plus classes whose membership
+//!   changed since the last reallocation (`pending_dirty`) — get their rate,
+//!   drain, and deadline refreshed. A reallocation therefore costs
+//!   O(resource entries + rounds × ports) to fill and O(changed classes) to
+//!   apply; untouched classes are never visited.
+//! * **Lazy per-flow drain.** Each class keeps a cumulative per-member byte
+//!   counter `cum` (valid as of the class's own `synced` instant). A flow
+//!   stores only the value `cum` will reach when it completes
+//!   (`finish_cum`); its remaining bytes materialize on demand as
+//!   `finish_cum - cum`. Removing or completing one flow touches one class,
+//!   not every flow. The global `delivered` total is maintained
+//!   incrementally as classes drain.
+//! * **Completion heaps.** Inside a class, completion order is the static
+//!   order of `finish_cum`, so members sit in a per-class binary min-heap
+//!   with lazy deletion (a serial number invalidates entries whose flow was
+//!   removed), and the earliest live member's finish mark is cached in
+//!   `min_finish`. Across classes, a global min-heap keyed on
+//!   `(deadline, class)` with generation-based lazy invalidation makes
+//!   [`FlowAllocator::next_completion`] O(1) amortized and
+//!   [`FlowAllocator::take_completed`] O(due · log classes). A completion
+//!   wave never rescans the flow set, and the returned ids keep the
+//!   deterministic ascending order.
+//! * **Busy fractions on demand.** [`FlowAllocator::tx_busy_fraction`] /
+//!   [`FlowAllocator::rx_busy_fraction`] sum `rate × size` over the port's
+//!   entry list: O(classes at the port), exact, and zero cost on the
+//!   reallocation hot path.
 //! * **Batched mutations** ([`FlowAllocator::begin_update`] /
 //!   [`FlowAllocator::commit`]) collapse a wave of inserts or removals at one
 //!   instant into a single reallocation.
-//!
-//! Max-min fairness has a unique fixpoint, so the incremental algorithm must
-//! produce the same rates as the original quadratic one. That original is kept
-//! as [`FlowAllocator::reference_reallocate`], and with the `slowcheck` cargo
-//! feature every reallocation is `debug_assert!`-checked against it.
 
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
 use std::time::Instant;
 
 use crate::stats::SimStats;
@@ -54,64 +90,170 @@ pub struct FlowId(pub u64);
 /// Index of a machine (port) in the fabric.
 pub type NodeId = usize;
 
+/// `f64` completion key ordered by `total_cmp` (finite by construction).
+#[derive(Clone, Copy, PartialEq, Debug)]
+struct FinishCum(f64);
+
+impl Eq for FinishCum {}
+
+impl Ord for FinishCum {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl PartialOrd for FinishCum {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Per-flow state: everything else lives on the flow's class.
 #[derive(Clone, Copy, Debug)]
-struct Flow {
-    id: FlowId,
+struct FlowState {
+    /// Slab index of the `(src, dst)` class this flow belongs to (immutable
+    /// for the flow's lifetime — a flow never migrates between classes).
+    class: u32,
+    /// Value of the class's `cum` at which this flow completes.
+    finish_cum: f64,
+    /// Uniqueness guard for the class member heap: a re-inserted id gets a
+    /// fresh serial, so entries from its previous life are recognizably stale.
+    serial: u64,
+}
+
+/// One slot of a per-resource entry list, packed into a word so progressive
+/// filling streams 8 bytes per class with no side lookups: the class index,
+/// the class's *other* resource (for a tx-side entry the peer is the
+/// destination's rx resource, and vice versa), and the class's live size
+/// (mirrored here on every membership change).
+///
+/// Layout: bits 0..22 size, 22..40 peer resource, 40..64 class index.
+type PortEntry = u64;
+
+const ENTRY_SIZE_BITS: u32 = 22;
+const ENTRY_PEER_BITS: u32 = 18;
+const ENTRY_SIZE_MASK: u64 = (1 << ENTRY_SIZE_BITS) - 1;
+const ENTRY_PEER_MASK: u64 = (1 << ENTRY_PEER_BITS) - 1;
+
+#[inline]
+fn pack_entry(ci: u32, peer: u32, size: u32) -> PortEntry {
+    debug_assert!(size as u64 <= ENTRY_SIZE_MASK && peer as u64 <= ENTRY_PEER_MASK);
+    ((ci as u64) << (ENTRY_SIZE_BITS + ENTRY_PEER_BITS))
+        | ((peer as u64) << ENTRY_SIZE_BITS)
+        | size as u64
+}
+
+#[inline]
+fn entry_ci(e: PortEntry) -> u32 {
+    (e >> (ENTRY_SIZE_BITS + ENTRY_PEER_BITS)) as u32
+}
+
+#[inline]
+fn entry_peer(e: PortEntry) -> u32 {
+    ((e >> ENTRY_SIZE_BITS) & ENTRY_PEER_MASK) as u32
+}
+
+#[inline]
+fn entry_size(e: PortEntry) -> u32 {
+    (e & ENTRY_SIZE_MASK) as u32
+}
+
+/// Per-resource progressive-filling scratch, fused into one 16-byte record so
+/// a debit dirties a single cache line.
+#[derive(Clone, Copy, Debug)]
+struct ResFill {
+    /// Capacity not yet claimed by frozen classes.
+    left: f64,
+    /// Flows not yet frozen (0 = frozen or out of the game).
+    cnt: u32,
+    /// The resource was debited: its `share_cache` entry is out of date.
+    stale: bool,
+}
+
+/// One `(src, dst)` equivalence class of flows. All members carry the same
+/// max-min rate at every instant (see module docs), so drain progress and the
+/// completion schedule live here instead of on flows. The rate and size sit
+/// in dense side arrays (`c_rate`, `c_size`) so the reallocation hot path
+/// never touches this struct for unchanged classes.
+#[derive(Debug)]
+// Hot update fields first and the struct line-aligned, so a rate/deadline
+// refresh (the per-class unit of work on the reallocation hot path) touches
+// exactly one cache line of the slab.
+#[repr(C, align(64))]
+struct FlowClass {
+    /// Bytes delivered per member since the class was created, valid as of
+    /// `synced`; drain between `synced` and the allocator clock is virtual.
+    cum: f64,
+    synced: SimTime,
+    /// Cached `finish_cum` of the earliest live member (infinity if none).
+    /// Maintained on insert (min), removal of the minimum (recompute), and
+    /// completion (recompute) — so deadline refreshes never search the heap.
+    min_finish: f64,
+    /// Completion instant of the earliest member at the current rate.
+    deadline: SimTime,
+    /// Generation of this class's live entry in the global deadline heap;
+    /// 0 means no entry yet.
+    gen: u64,
+    /// Membership changed since the last reallocation applied shares; the
+    /// class sits in `pending_dirty` and gets its deadline refreshed even if
+    /// neither of its resources' shares moved.
+    members_dirty: bool,
+    // ---- cold from here: touched on membership changes only ----
     src: NodeId,
     dst: NodeId,
-    remaining: f64,
-    rate: f64,
-    /// Position of this flow's dense index inside `tx_flows[src]`.
-    tx_slot: usize,
-    /// Position of this flow's dense index inside `rx_flows[dst]`.
-    rx_slot: usize,
-    /// Completion instant at the current rate ([`SimTime::FAR_FUTURE`] until
-    /// the first reallocation assigns one).
-    deadline: SimTime,
-    /// Reallocation round stamp; equals the allocator's `freeze_stamp` while
-    /// this flow's rate is frozen during the current reallocation.
-    frozen_at: u64,
+    /// Members by completion order; lazy deletion via the serial.
+    members: BinaryHeap<Reverse<(FinishCum, FlowId, u64)>>,
+    /// Position inside the tx / rx resource entry lists.
+    tx_slot: u32,
+    rx_slot: u32,
 }
 
 /// A fabric of full-duplex ports carrying max-min fair fluid flows.
+///
+/// Resources are indexed `0..n` for port tx sides and `n..2n` for rx sides.
 #[derive(Debug)]
 pub struct FlowAllocator {
     tx_cap: Vec<f64>,
     rx_cap: Vec<f64>,
-    /// Dense flow storage (swap-removed); the hot per-reallocation passes are
-    /// linear scans over this vector, not tree walks.
-    flows: Vec<Flow>,
-    /// Id → dense index. Only lookups touch this; iteration stays dense.
-    index: BTreeMap<FlowId, usize>,
-    /// Per-port indices: dense indices of flows transmitting from /
-    /// receiving at a port.
-    tx_flows: Vec<Vec<u32>>,
-    rx_flows: Vec<Vec<u32>>,
-    /// Sum of allocated rates per port, refreshed at each reallocation.
-    tx_used: Vec<f64>,
-    rx_used: Vec<f64>,
-    /// Minimum completion deadline across all flows, maintained by
-    /// reallocation ([`SimTime::FAR_FUTURE`] when no flow is live).
-    next_deadline: SimTime,
-    /// Reusable progressive-filling scratch (remaining capacity and unfrozen
-    /// flow count per port), refilled at each reallocation to avoid
-    /// allocating four vectors per call.
-    scratch_left: Vec<f64>,
-    scratch_n: Vec<u32>,
-    freeze_stamp: u64,
+    /// Id → per-flow state.
+    index: BTreeMap<FlowId, FlowState>,
+    /// Class slab; slots of destroyed classes (size 0) are recycled.
+    classes: Vec<FlowClass>,
+    /// Dense hot mirrors of the slab: current per-member rate and live size.
+    c_rate: Vec<f64>,
+    c_size: Vec<u32>,
+    free_classes: Vec<u32>,
+    /// `(src, dst)` → live class slot.
+    pair_index: HashMap<(NodeId, NodeId), u32>,
+    /// Per-resource entry lists (dense, swap-removed).
+    res_list: Vec<Vec<PortEntry>>,
+    /// Per-resource live *flow* counts (Σ class sizes), maintained on mutation.
+    res_nflows: Vec<u32>,
+    /// Progressive-filling scratch, `2n`-sized and reused.
+    res_fill: Vec<ResFill>,
+    share_cache: Vec<f64>,
+    /// This reallocation's freeze share per resource (∞ = never froze).
+    frozen_share: Vec<f64>,
+    /// Previous reallocation's freeze shares, for the dirty diff.
+    stored_share: Vec<f64>,
+    dirty_res: Vec<u32>,
+    /// Classes whose membership changed since shares were last applied.
+    pending_dirty: Vec<u32>,
+    /// Min-heap of (deadline, class, generation); stale entries (dead class
+    /// or generation mismatch) are skipped lazily.
+    class_heap: BinaryHeap<Reverse<(SimTime, u32, u64)>>,
+    gen_counter: u64,
+    serial_counter: u64,
     last_advance: SimTime,
-    /// Instant up to which flow `remaining` fields are materialized; drain
-    /// between `synced` and `last_advance` is virtual (rates are constant in
-    /// between, so it is recoverable on demand).
-    synced: SimTime,
-    epoch: u64,
     delivered: f64,
+    epoch: u64,
     /// Open `begin_update` scopes; mutations defer reallocation while > 0.
     batch_depth: u32,
     /// A mutation happened inside the open batch.
     dirty: bool,
     reallocs: u64,
     alloc_nanos: u64,
+    completion_nanos: u64,
 }
 
 impl FlowAllocator {
@@ -124,27 +266,42 @@ impl FlowAllocator {
     pub fn new(nodes: usize, tx_cap: f64, rx_cap: f64) -> FlowAllocator {
         assert!(tx_cap.is_finite() && tx_cap > 0.0, "bad tx capacity");
         assert!(rx_cap.is_finite() && rx_cap > 0.0, "bad rx capacity");
+        let nr = 2 * nodes;
         FlowAllocator {
             tx_cap: vec![tx_cap; nodes],
             rx_cap: vec![rx_cap; nodes],
-            flows: Vec::new(),
             index: BTreeMap::new(),
-            tx_flows: vec![Vec::new(); nodes],
-            rx_flows: vec![Vec::new(); nodes],
-            tx_used: vec![0.0; nodes],
-            rx_used: vec![0.0; nodes],
-            next_deadline: SimTime::FAR_FUTURE,
-            scratch_left: vec![0.0; 2 * nodes],
-            scratch_n: vec![0; 2 * nodes],
-            freeze_stamp: 0,
+            classes: Vec::new(),
+            c_rate: Vec::new(),
+            c_size: Vec::new(),
+            free_classes: Vec::new(),
+            pair_index: HashMap::new(),
+            res_list: vec![Vec::new(); nr],
+            res_nflows: vec![0; nr],
+            res_fill: vec![
+                ResFill {
+                    left: 0.0,
+                    cnt: 0,
+                    stale: false,
+                };
+                nr
+            ],
+            share_cache: vec![0.0; nr],
+            frozen_share: vec![f64::INFINITY; nr],
+            stored_share: vec![f64::INFINITY; nr],
+            dirty_res: Vec::new(),
+            pending_dirty: Vec::new(),
+            class_heap: BinaryHeap::new(),
+            gen_counter: 0,
+            serial_counter: 0,
             last_advance: SimTime::ZERO,
-            synced: SimTime::ZERO,
-            epoch: 0,
             delivered: 0.0,
+            epoch: 0,
             batch_depth: 0,
             dirty: false,
             reallocs: 0,
             alloc_nanos: 0,
+            completion_nanos: 0,
         }
     }
 
@@ -160,56 +317,74 @@ impl FlowAllocator {
 
     /// Number of flows in flight.
     pub fn active_flows(&self) -> usize {
-        self.flows.len()
+        self.index.len()
+    }
+
+    /// Number of live `(src, dst)` flow classes.
+    pub fn active_classes(&self) -> usize {
+        self.pair_index.len()
     }
 
     /// Total bytes delivered so far across all flows.
+    ///
+    /// O(classes): pending virtual drain is summed per class, not per flow.
     pub fn total_delivered(&self) -> f64 {
-        let dt = self.last_advance.since(self.synced).as_secs_f64();
-        let pending: f64 = if dt == 0.0 {
-            0.0
-        } else {
-            self.flows
-                .iter()
-                .map(|f| (f.rate * dt).min(f.remaining))
-                .sum()
-        };
+        let now = self.last_advance;
+        let pending: f64 = self
+            .classes
+            .iter()
+            .enumerate()
+            .filter(|(ci, _)| self.c_size[*ci] > 0)
+            .map(|(ci, c)| {
+                self.c_size[ci] as f64 * self.c_rate[ci] * now.since(c.synced).as_secs_f64()
+            })
+            .sum();
         self.delivered + pending
     }
 
     /// Current rate of `flow`, if active.
     pub fn rate(&self, flow: FlowId) -> Option<f64> {
-        self.index.get(&flow).map(|&i| self.flows[i].rate)
+        self.index.get(&flow).map(|f| self.c_rate[f.class as usize])
     }
 
     /// Control-plane cost counters for this allocator.
     pub fn stats(&self) -> SimStats {
         SimStats {
-            events: 0,
             reallocs: self.reallocs,
             alloc_nanos: self.alloc_nanos,
+            completion_nanos: self.completion_nanos,
+            ..SimStats::default()
         }
     }
 
     /// Fraction of `node`'s receive capacity currently in use.
     ///
-    /// O(1): reads the per-port accumulator maintained by reallocation.
+    /// O(classes at the port): sums `rate × size` over the rx entry list, so
+    /// the reallocation hot path carries no used-rate bookkeeping.
     pub fn rx_busy_fraction(&self, node: NodeId) -> f64 {
-        self.rx_used[node] / self.rx_cap[node]
+        let used: f64 = self.res_list[self.nodes() + node]
+            .iter()
+            .map(|&e| self.c_rate[entry_ci(e) as usize] * entry_size(e) as f64)
+            .sum();
+        used / self.rx_cap[node]
     }
 
     /// Fraction of `node`'s transmit capacity currently in use.
     ///
-    /// O(1): reads the per-port accumulator maintained by reallocation.
+    /// O(classes at the port); see [`FlowAllocator::rx_busy_fraction`].
     pub fn tx_busy_fraction(&self, node: NodeId) -> f64 {
-        self.tx_used[node] / self.tx_cap[node]
+        let used: f64 = self.res_list[node]
+            .iter()
+            .map(|&e| self.c_rate[entry_ci(e) as usize] * entry_size(e) as f64)
+            .sum();
+        used / self.tx_cap[node]
     }
 
     /// Drains all flows at their current rates up to `now`.
     ///
     /// O(1): only the clock moves. Rates are constant between reallocations,
-    /// so per-flow progress is materialized lazily by the operations that
-    /// read or change `remaining` (reallocation, removal, completion).
+    /// so per-class progress is materialized lazily by the operations that
+    /// touch a class (reallocation, removal, completion).
     pub fn advance(&mut self, now: SimTime) {
         let dt = now.since(self.last_advance);
         self.last_advance = now;
@@ -219,18 +394,16 @@ impl FlowAllocator {
         );
     }
 
-    /// Applies the virtual drain accumulated since `synced` to every flow's
-    /// `remaining` (and the delivered total).
-    fn materialize(&mut self) {
-        let dt = self.last_advance.since(self.synced).as_secs_f64();
-        self.synced = self.last_advance;
-        if dt == 0.0 {
-            return;
-        }
-        for f in self.flows.iter_mut() {
-            let drain = (f.rate * dt).min(f.remaining);
-            f.remaining -= drain;
-            self.delivered += drain;
+    /// Materializes one class's virtual drain up to the allocator clock,
+    /// folding it into the global delivered total. Exact because rates are
+    /// constant between reallocations.
+    fn drain_class(class: &mut FlowClass, rate: f64, size: u32, delivered: &mut f64, now: SimTime) {
+        let dt = now.since(class.synced).as_secs_f64();
+        class.synced = now;
+        if dt > 0.0 {
+            let per_member = rate * dt;
+            *delivered += size as f64 * per_member;
+            class.cum += per_member;
         }
     }
 
@@ -271,6 +444,16 @@ impl FlowAllocator {
         self.epoch += 1;
     }
 
+    /// Flags `ci` for a deadline refresh at the next share application even
+    /// if neither of its resources' freeze shares move.
+    fn mark_pending(&mut self, ci: u32) {
+        let class = &mut self.classes[ci as usize];
+        if !class.members_dirty {
+            class.members_dirty = true;
+            self.pending_dirty.push(ci);
+        }
+    }
+
     /// Starts a flow of `bytes` from `src` to `dst`; returns the new epoch.
     ///
     /// # Panics
@@ -287,109 +470,300 @@ impl FlowAllocator {
         assert!(bytes.is_finite() && bytes > 0.0, "bad flow size: {bytes}");
         assert!(src < self.nodes() && dst < self.nodes(), "bad node id");
         self.advance(now);
-        let idx = self.flows.len();
-        let prev = self.index.insert(id, idx);
+        let ci = match self.pair_index.get(&(src, dst)) {
+            Some(&ci) => ci,
+            None => self.create_class(src, dst, now),
+        };
+        let i = ci as usize;
+        Self::drain_class(
+            &mut self.classes[i],
+            self.c_rate[i],
+            self.c_size[i],
+            &mut self.delivered,
+            now,
+        );
+        let class = &mut self.classes[i];
+        self.serial_counter += 1;
+        let state = FlowState {
+            class: ci,
+            finish_cum: class.cum + bytes,
+            serial: self.serial_counter,
+        };
+        let prev = self.index.insert(id, state);
         assert!(prev.is_none(), "flow {id:?} inserted twice");
-        self.flows.push(Flow {
-            id,
-            src,
-            dst,
-            remaining: bytes,
-            rate: 0.0,
-            tx_slot: self.tx_flows[src].len(),
-            rx_slot: self.rx_flows[dst].len(),
-            deadline: SimTime::FAR_FUTURE,
-            frozen_at: 0,
-        });
-        self.tx_flows[src].push(idx as u32);
-        self.rx_flows[dst].push(idx as u32);
+        class
+            .members
+            .push(Reverse((FinishCum(state.finish_cum), id, state.serial)));
+        if state.finish_cum < class.min_finish {
+            class.min_finish = state.finish_cum;
+        }
+        self.c_size[i] += 1;
+        let n = self.nodes();
+        Self::sync_entry_size(&mut self.res_list, n, &self.classes[i], self.c_size[i]);
+        self.res_nflows[src] += 1;
+        self.res_nflows[n + dst] += 1;
+        self.mark_pending(ci);
         self.after_mutation();
         self.epoch
     }
 
-    /// Removes a flow regardless of progress; returns remaining bytes if it
-    /// was active.
-    pub fn remove(&mut self, now: SimTime, id: FlowId) -> Option<f64> {
-        self.advance(now);
-        self.materialize();
-        let idx = self.index.remove(&id)?;
-        let f = self.remove_at(idx);
-        self.after_mutation();
-        Some(f.remaining)
+    /// Allocates (or recycles) a class slot for a new `(src, dst)` pair and
+    /// links it into both resource entry lists.
+    fn create_class(&mut self, src: NodeId, dst: NodeId, now: SimTime) -> u32 {
+        let n = self.nodes();
+        let fresh = FlowClass {
+            src,
+            dst,
+            members: BinaryHeap::new(),
+            cum: 0.0,
+            synced: now,
+            min_finish: f64::INFINITY,
+            deadline: SimTime::FAR_FUTURE,
+            gen: 0,
+            members_dirty: false,
+            tx_slot: self.res_list[src].len() as u32,
+            rx_slot: self.res_list[n + dst].len() as u32,
+        };
+        let ci = match self.free_classes.pop() {
+            Some(ci) => {
+                self.classes[ci as usize] = fresh;
+                self.c_rate[ci as usize] = 0.0;
+                self.c_size[ci as usize] = 0;
+                ci
+            }
+            None => {
+                self.classes.push(fresh);
+                self.c_rate.push(0.0);
+                self.c_size.push(0);
+                (self.classes.len() - 1) as u32
+            }
+        };
+        self.res_list[src].push(pack_entry(ci, (n + dst) as u32, 0));
+        self.res_list[n + dst].push(pack_entry(ci, src as u32, 0));
+        self.pair_index.insert((src, dst), ci);
+        ci
     }
 
-    /// Removes the flow at dense index `idx` (already unlinked from `index`),
-    /// keeping the port indices and the dense vector's swap-removed survivors
-    /// consistent. Returns the removed flow.
-    fn remove_at(&mut self, idx: usize) -> Flow {
-        let f = self.flows[idx];
-        // Unlink from the port lists; a survivor swapped into the vacated
-        // port slot needs its slot field re-pointed.
-        self.tx_flows[f.src].swap_remove(f.tx_slot);
-        if let Some(&moved) = self.tx_flows[f.src].get(f.tx_slot) {
-            self.flows[moved as usize].tx_slot = f.tx_slot;
+    /// Rewrites the size bits of both of `class`'s resource entries; called on
+    /// every membership change so filling can read sizes off the entry stream.
+    fn sync_entry_size(res_list: &mut [Vec<PortEntry>], n: usize, class: &FlowClass, size: u32) {
+        debug_assert!(size as u64 <= ENTRY_SIZE_MASK);
+        let e = &mut res_list[class.src][class.tx_slot as usize];
+        *e = (*e & !ENTRY_SIZE_MASK) | size as u64;
+        let e = &mut res_list[n + class.dst][class.rx_slot as usize];
+        *e = (*e & !ENTRY_SIZE_MASK) | size as u64;
+    }
+
+    /// Unlinks a now-empty class from both resource lists and recycles its
+    /// slot.
+    fn destroy_class(&mut self, ci: u32) {
+        let i = ci as usize;
+        let n = self.nodes();
+        let (src, dst, tx_slot, rx_slot) = {
+            let c = &self.classes[i];
+            debug_assert_eq!(self.c_size[i], 0, "destroying a non-empty class");
+            (c.src, c.dst, c.tx_slot as usize, c.rx_slot as usize)
+        };
+        self.res_list[src].swap_remove(tx_slot);
+        if let Some(&moved) = self.res_list[src].get(tx_slot) {
+            self.classes[entry_ci(moved) as usize].tx_slot = tx_slot as u32;
         }
-        self.rx_flows[f.dst].swap_remove(f.rx_slot);
-        if let Some(&moved) = self.rx_flows[f.dst].get(f.rx_slot) {
-            self.flows[moved as usize].rx_slot = f.rx_slot;
+        self.res_list[n + dst].swap_remove(rx_slot);
+        if let Some(&moved) = self.res_list[n + dst].get(rx_slot) {
+            self.classes[entry_ci(moved) as usize].rx_slot = rx_slot as u32;
         }
-        // Swap-remove from the dense vector; the flow moved into `idx` (if
-        // any) must be re-pointed in the id map and both port lists.
-        self.flows.swap_remove(idx);
-        if let Some(moved) = self.flows.get(idx) {
-            let (mid, msrc, mdst, mtx, mrx) =
-                (moved.id, moved.src, moved.dst, moved.tx_slot, moved.rx_slot);
-            self.tx_flows[msrc][mtx] = idx as u32;
-            self.rx_flows[mdst][mrx] = idx as u32;
-            *self.index.get_mut(&mid).expect("indexed flow") = idx;
+        self.pair_index.remove(&(src, dst));
+        self.c_rate[i] = 0.0;
+        self.classes[i].members = BinaryHeap::new();
+        self.free_classes.push(ci);
+    }
+
+    /// Removes a flow regardless of progress; returns remaining bytes if it
+    /// was active.
+    ///
+    /// O(log flows): touches only the flow's own class (lazy drain), never
+    /// the rest of the flow set.
+    pub fn remove(&mut self, now: SimTime, id: FlowId) -> Option<f64> {
+        self.advance(now);
+        let state = self.index.remove(&id)?;
+        let ci = state.class;
+        let i = ci as usize;
+        Self::drain_class(
+            &mut self.classes[i],
+            self.c_rate[i],
+            self.c_size[i],
+            &mut self.delivered,
+            now,
+        );
+        let class = &mut self.classes[i];
+        // The aggregate drain counted this flow at full rate; if it had
+        // already finished (dust past its completion), give the overshoot
+        // back so `delivered` stays exact.
+        let raw = state.finish_cum - class.cum;
+        if raw < 0.0 {
+            self.delivered += raw;
         }
-        f
+        self.c_size[i] -= 1;
+        // The member heap entry goes stale (serial mismatch); rebuild when
+        // stale entries dominate so memory stays O(live members).
+        if class.members.len() > 2 * self.c_size[i] as usize + 8 {
+            let index = &self.index;
+            let live = |e: &Reverse<(FinishCum, FlowId, u64)>| {
+                index.get(&e.0 .1).is_some_and(|f| f.serial == e.0 .2)
+            };
+            let kept: Vec<_> = class.members.drain().filter(live).collect();
+            class.members = BinaryHeap::from(kept);
+        }
+        // If the departing flow held the cached minimum finish mark, find the
+        // next live one (the flow is already out of `index`, so its heap
+        // entries are stale).
+        if state.finish_cum == class.min_finish {
+            class.min_finish =
+                Self::peek_finish(&mut class.members, &self.index, ci).unwrap_or(f64::INFINITY);
+        }
+        let (src, dst) = (class.src, class.dst);
+        let n = self.nodes();
+        self.res_nflows[src] -= 1;
+        self.res_nflows[n + dst] -= 1;
+        if self.c_size[i] == 0 {
+            self.destroy_class(ci);
+        } else {
+            Self::sync_entry_size(&mut self.res_list, n, &self.classes[i], self.c_size[i]);
+            self.mark_pending(ci);
+        }
+        self.after_mutation();
+        Some(raw.max(0.0))
     }
 
     /// Removes and returns all flows whose bytes have been fully delivered,
-    /// in ascending id order.
+    /// in ascending id order. Equivalent to
+    /// [`FlowAllocator::take_completed_into`] with a fresh buffer.
     pub fn take_completed(&mut self, now: SimTime) -> Vec<FlowId> {
+        let mut done = Vec::new();
+        self.take_completed_into(now, &mut done);
+        done
+    }
+
+    /// Removes all flows whose bytes have been fully delivered, appending
+    /// their ids to `done` (cleared first) in ascending id order.
+    ///
+    /// O(1) when nothing is due (the speculative-polling fast path: every
+    /// event step asks every allocator); a completion wave costs
+    /// O(due · log) via the class heaps, never a scan of the flow set.
+    pub fn take_completed_into(&mut self, now: SimTime, done: &mut Vec<FlowId>) {
         self.advance(now);
-        // Fast path: the cached minimum deadline says nothing is due, so skip
-        // the scan entirely. This is what keeps speculative polling (every
-        // event step asks every allocator) O(1).
-        if self.next_deadline > now || self.flows.is_empty() {
-            return Vec::new();
+        done.clear();
+        // Fast path: the earliest valid class deadline says nothing is due.
+        match self.peek_deadline() {
+            Some(d) if d <= now => {}
+            _ => return,
         }
-        let dt = self.last_advance.since(self.synced).as_secs_f64();
-        let mut done: Vec<FlowId> = Vec::new();
-        let mut min_left = SimTime::FAR_FUTURE;
-        for f in self.flows.iter_mut() {
-            if f.deadline > now {
-                min_left = min_left.min(f.deadline);
+        let timer = Instant::now();
+        let n = self.nodes();
+        while let Some(&Reverse((deadline, ci, gen))) = self.class_heap.peek() {
+            if deadline > now {
+                break;
+            }
+            self.class_heap.pop();
+            let i = ci as usize;
+            if self.c_size[i] == 0 || self.classes[i].gen != gen {
+                continue; // stale: class died or was rescheduled
+            }
+            Self::drain_class(
+                &mut self.classes[i],
+                self.c_rate[i],
+                self.c_size[i],
+                &mut self.delivered,
+                now,
+            );
+            let class = &mut self.classes[i];
+            // Collect members the drain has carried past their finish mark.
+            let mut died = false;
+            while let Some(&Reverse((finish, id, serial))) = class.members.peek() {
+                let live = self
+                    .index
+                    .get(&id)
+                    .is_some_and(|f| f.serial == serial && f.class == ci);
+                if !live {
+                    class.members.pop();
+                    continue;
+                }
+                let remaining = finish.0 - class.cum;
+                if remaining > BYTES_EPSILON {
+                    break;
+                }
+                class.members.pop();
+                self.index.remove(&id);
+                self.delivered += remaining; // at most ±epsilon of dust
+                self.c_size[i] -= 1;
+                self.res_nflows[class.src] -= 1;
+                self.res_nflows[n + class.dst] -= 1;
+                done.push(id);
+                if self.c_size[i] == 0 {
+                    died = true;
+                    break;
+                }
+            }
+            if died {
+                self.destroy_class(ci);
                 continue;
             }
-            if (f.remaining - f.rate * dt).max(0.0) <= BYTES_EPSILON {
-                done.push(f.id);
-            } else {
-                // Floating-point drift: the deadline undershot the true
-                // completion by a whisker. Reschedule from current progress.
-                let left = (f.remaining - f.rate * dt).max(0.0);
-                f.deadline = now + SimDuration::from_secs_f64(left / f.rate).max(SimDuration::NANO);
-                min_left = min_left.min(f.deadline);
+            Self::sync_entry_size(&mut self.res_list, n, &self.classes[i], self.c_size[i]);
+            // Earliest survivor: reschedule the class (this also heals
+            // floating-point drift when the deadline undershot the true
+            // completion by a whisker).
+            let class = &mut self.classes[i];
+            let rate = self.c_rate[i];
+            let next = match Self::peek_finish(&mut class.members, &self.index, ci) {
+                Some(finish) => {
+                    class.min_finish = finish;
+                    debug_assert!(rate > 0.0, "scheduled class with zero rate");
+                    now + SimDuration::from_secs_f64((finish - class.cum) / rate)
+                        .max(SimDuration::NANO)
+                }
+                None => unreachable!("non-empty class without live members"),
+            };
+            self.gen_counter += 1;
+            class.gen = self.gen_counter;
+            class.deadline = next;
+            self.class_heap.push(Reverse((next, ci, class.gen)));
+        }
+        self.completion_nanos += timer.elapsed().as_nanos() as u64;
+        if !done.is_empty() {
+            done.sort_unstable();
+            // The reallocation triggered here refreshes rates and deadlines.
+            self.after_mutation();
+        }
+    }
+
+    /// Earliest live member's `finish_cum`, popping stale entries.
+    fn peek_finish(
+        members: &mut BinaryHeap<Reverse<(FinishCum, FlowId, u64)>>,
+        index: &BTreeMap<FlowId, FlowState>,
+        ci: u32,
+    ) -> Option<f64> {
+        while let Some(&Reverse((finish, id, serial))) = members.peek() {
+            if index
+                .get(&id)
+                .is_some_and(|f| f.serial == serial && f.class == ci)
+            {
+                return Some(finish.0);
             }
+            members.pop();
         }
-        if done.is_empty() {
-            // Everything that looked due healed forward; refresh the cache so
-            // the fast path works again.
-            self.next_deadline = min_left;
-            return done;
+        None
+    }
+
+    /// Earliest valid class deadline, lazily discarding stale heap entries.
+    fn peek_deadline(&mut self) -> Option<SimTime> {
+        while let Some(&Reverse((deadline, ci, gen))) = self.class_heap.peek() {
+            let class = &self.classes[ci as usize];
+            if self.c_size[ci as usize] > 0 && class.gen == gen {
+                return Some(deadline);
+            }
+            self.class_heap.pop();
         }
-        self.materialize();
-        done.sort_unstable();
-        for id in &done {
-            let idx = self.index.remove(id).expect("completed flow present");
-            let f = self.remove_at(idx);
-            self.delivered += f.remaining; // at most BYTES_EPSILON of dust
-        }
-        // The reallocation triggered here recomputes `next_deadline`.
-        self.after_mutation();
-        done
+        None
     }
 
     /// Instant of the next flow completion if the flow set does not change.
@@ -398,7 +772,7 @@ impl FlowAllocator {
     ///
     /// `now` may be at or after the last observed time: the allocator first
     /// self-advances to `now` (draining flows at their current rates), then
-    /// reads the cached minimum deadline. Passing a `now` earlier than a
+    /// reads the earliest class deadline. Passing a `now` earlier than a
     /// previously observed instant panics with "time ran backwards". Must not
     /// be called inside an open [`FlowAllocator::begin_update`] batch, where
     /// rates are stale by construction.
@@ -408,143 +782,107 @@ impl FlowAllocator {
             "next_completion inside an open batch"
         );
         self.advance(now);
-        if self.flows.is_empty() {
+        if self.index.is_empty() {
             return None;
         }
-        debug_assert!(
-            self.next_deadline < SimTime::FAR_FUTURE,
-            "live flow without a deadline"
-        );
-        Some(self.next_deadline.max(now))
+        let deadline = self.peek_deadline().expect("live flow without a deadline");
+        Some(deadline.max(now))
     }
 
-    /// Recomputes the max-min fair allocation by progressive filling over the
-    /// per-port indices: each round finds the bottleneck share, then freezes
-    /// every not-yet-frozen flow crossing a port at that share. Refreshes the
-    /// per-port used-rate accumulators and the cached next deadline.
+    /// Recomputes the max-min fair allocation: progressive filling over port
+    /// resources, then share-diff application to the touched classes only.
     fn reallocate(&mut self) {
         let timer = Instant::now();
         self.reallocs += 1;
-        // Virtual drain since `synced` is settled inside the freeze loop
-        // (each flow drains at its old rate just before the new one lands),
-        // so reallocation is a single pass over the flows.
-        let dt = self.last_advance.since(self.synced).as_secs_f64();
-        self.synced = self.last_advance;
-        for u in &mut self.tx_used {
-            *u = 0.0;
-        }
-        for u in &mut self.rx_used {
-            *u = 0.0;
-        }
-        self.next_deadline = SimTime::FAR_FUTURE;
-        if !self.flows.is_empty() {
-            self.fill_rates(dt);
-            #[cfg(feature = "slowcheck")]
-            self.assert_matches_reference();
-        }
+        self.fill_shares();
+        self.apply_shares();
+        #[cfg(feature = "slowcheck")]
+        self.assert_matches_reference();
         self.alloc_nanos += timer.elapsed().as_nanos() as u64;
     }
 
-    /// Progressive filling proper: drains each flow at its old rate over
-    /// `dt`, sets its new `rate`, and refreshes its completion deadline —
-    /// all at the moment it freezes (every flow freezes exactly once).
-    fn fill_rates(&mut self, dt: f64) {
+    /// Progressive filling over the `2n` port resources. Produces
+    /// `frozen_share[r]` for every resource (∞ if the resource never became
+    /// a bottleneck before running out of flows) and touches no per-class
+    /// state beyond the size array. Each round finds the smallest fair
+    /// share, then freezes — in port order, with live re-evaluation exactly
+    /// like the per-flow reference — every resource sitting at that share,
+    /// streaming its entry list to debit unfrozen peers.
+    fn fill_shares(&mut self) {
+        let n = self.nodes();
+        let nr = 2 * n;
         let FlowAllocator {
             tx_cap,
             rx_cap,
-            flows,
-            tx_flows,
-            rx_flows,
-            tx_used,
-            rx_used,
-            next_deadline,
-            scratch_left,
-            scratch_n,
-            freeze_stamp,
-            last_advance,
-            delivered,
+            pair_index,
+            res_list,
+            res_nflows,
+            res_fill,
+            share_cache,
+            frozen_share,
             ..
         } = self;
-        let now = *last_advance;
-        let n = tx_cap.len();
-        let (tx_left, rx_left) = scratch_left.split_at_mut(n);
-        let (tx_n, rx_n) = scratch_n.split_at_mut(n);
-        tx_left.copy_from_slice(tx_cap);
-        rx_left.copy_from_slice(rx_cap);
-        for i in 0..n {
-            tx_n[i] = tx_flows[i].len() as u32;
-            rx_n[i] = rx_flows[i].len() as u32;
+        for r in 0..nr {
+            res_fill[r] = ResFill {
+                left: if r < n { tx_cap[r] } else { rx_cap[r - n] },
+                cnt: res_nflows[r],
+                stale: true,
+            };
         }
-        let mut unfrozen = flows.len();
-        *freeze_stamp += 1;
-        let stamp = *freeze_stamp;
-        // Freezing a flow: drain it at the old rate, assign the share, and
-        // refresh its completion deadline (folding it into the cached min).
-        let mut freeze = |f: &mut Flow, share: f64| {
-            let drain = (f.rate * dt).min(f.remaining);
-            f.remaining -= drain;
-            *delivered += drain;
-            f.frozen_at = stamp;
-            // An unchanged rate means the (absolute) completion instant is
-            // unchanged too; keeping the stored deadline skips the division
-            // and avoids re-rounding drift.
-            if f.rate != share || f.remaining <= BYTES_EPSILON {
-                f.rate = share;
-                f.deadline = if f.remaining <= BYTES_EPSILON {
-                    now
-                } else {
-                    debug_assert!(share > 0.0, "active flow with zero rate");
-                    now + SimDuration::from_secs_f64(f.remaining / share).max(SimDuration::NANO)
-                };
-            }
-            *next_deadline = (*next_deadline).min(f.deadline);
-        };
+        frozen_share.fill(f64::INFINITY);
+        let mut unfrozen = pair_index.len();
         while unfrozen > 0 {
-            // The bottleneck port is the one offering the smallest fair share.
+            // The bottleneck resource is the one offering the smallest fair
+            // share. Frozen resources have their count zeroed, so one dense
+            // guarded scan covers exactly the survivors; a share costs one
+            // division at most once per debit, not once per scan.
             let mut share = f64::INFINITY;
-            for i in 0..n {
-                if tx_n[i] > 0 {
-                    share = share.min(tx_left[i] / tx_n[i] as f64);
-                }
-                if rx_n[i] > 0 {
-                    share = share.min(rx_left[i] / rx_n[i] as f64);
+            for r in 0..nr {
+                let f = res_fill[r];
+                if f.cnt > 0 {
+                    if f.stale {
+                        share_cache[r] = f.left / f.cnt as f64;
+                        res_fill[r].stale = false;
+                    }
+                    if share_cache[r] < share {
+                        share = share_cache[r];
+                    }
                 }
             }
             debug_assert!(share.is_finite());
             let tol = share * 1e-12 + 1e-15;
             let before = unfrozen;
-            // Freeze whole ports sitting at the bottleneck share. Freezing a
-            // flow debits both its ports, which can only keep other ports at
-            // or above the share, so port-order traversal freezes exactly the
-            // flows the per-flow round would.
-            for p in 0..n {
-                if tx_n[p] > 0 && tx_left[p] / tx_n[p] as f64 <= share + tol {
-                    for &i in &tx_flows[p] {
-                        let f = &mut flows[i as usize];
-                        if f.frozen_at == stamp {
-                            continue;
-                        }
-                        freeze(f, share);
-                        tx_left[f.src] -= share;
-                        tx_n[f.src] -= 1;
-                        rx_left[f.dst] -= share;
-                        rx_n[f.dst] -= 1;
-                        unfrozen -= 1;
-                    }
+            // Freeze the resources sitting at the bottleneck share, streaming
+            // each one's entry list to debit unfrozen peers. Shares are
+            // re-evaluated live, so a resource nudged onto the share by an
+            // earlier freeze in the same round still joins it.
+            for r in 0..nr {
+                let f = res_fill[r];
+                if f.cnt == 0 {
+                    continue;
                 }
-                if rx_n[p] > 0 && rx_left[p] / rx_n[p] as f64 <= share + tol {
-                    for &i in &rx_flows[p] {
-                        let f = &mut flows[i as usize];
-                        if f.frozen_at == stamp {
-                            continue;
-                        }
-                        freeze(f, share);
-                        tx_left[f.src] -= share;
-                        tx_n[f.src] -= 1;
-                        rx_left[f.dst] -= share;
-                        rx_n[f.dst] -= 1;
-                        unfrozen -= 1;
+                if f.stale {
+                    share_cache[r] = f.left / f.cnt as f64;
+                    res_fill[r].stale = false;
+                }
+                if share_cache[r] > share + tol {
+                    continue;
+                }
+                frozen_share[r] = share;
+                res_fill[r].cnt = 0; // out of the game for later rounds
+                for &e in &res_list[r] {
+                    let peer = entry_peer(e) as usize;
+                    if frozen_share[peer].is_finite() {
+                        continue; // class already froze via its peer
                     }
+                    // This class freezes now, at `share`: r is the first of
+                    // its two resources to freeze.
+                    unfrozen -= 1;
+                    let k = entry_size(e);
+                    let pf = &mut res_fill[peer];
+                    pf.left -= share * k as f64;
+                    pf.cnt -= k;
+                    pf.stale = true;
                 }
             }
             debug_assert!(unfrozen < before, "progressive filling made no progress");
@@ -552,17 +890,145 @@ impl FlowAllocator {
                 break; // release-mode safety valve; unreachable in practice
             }
         }
-        // Allocated rate per port is whatever progressive filling debited.
-        for i in 0..n {
-            tx_used[i] = tx_cap[i] - tx_left[i];
-            rx_used[i] = rx_cap[i] - rx_left[i];
+    }
+
+    /// Applies the freeze shares computed by [`FlowAllocator::fill_shares`]:
+    /// diffs them against the previous reallocation's, then refreshes rate,
+    /// drain, and deadline for exactly (a) classes on a changed resource
+    /// whose derived rate moved and (b) classes with changed membership
+    /// (`pending_dirty`). A class's rate is `min` of its two resources'
+    /// freeze shares — the share of whichever froze it first, since round
+    /// shares strictly increase.
+    fn apply_shares(&mut self) {
+        let n = self.nodes();
+        let nr = 2 * n;
+        let now = self.last_advance;
+        let FlowAllocator {
+            classes,
+            c_rate,
+            c_size,
+            pair_index,
+            res_list,
+            frozen_share,
+            stored_share,
+            dirty_res,
+            pending_dirty,
+            class_heap,
+            gen_counter,
+            delivered,
+            ..
+        } = self;
+        dirty_res.clear();
+        for r in 0..nr {
+            if frozen_share[r] != stored_share[r] {
+                dirty_res.push(r as u32);
+            }
+        }
+        // Refreshes one class at its newly derived rate: drain at the old
+        // rate, swap the rate in, recompute the deadline, and (re)schedule
+        // it in the global heap if the schedule moved. Idempotent. (A free fn
+        // taking split borrows, hence the argument count.)
+        #[allow(clippy::too_many_arguments)]
+        fn update_one(
+            classes: &mut [FlowClass],
+            c_rate: &mut [f64],
+            size: u32,
+            class_heap: &mut BinaryHeap<Reverse<(SimTime, u32, u64)>>,
+            gen_counter: &mut u64,
+            delivered: &mut f64,
+            now: SimTime,
+            ci: u32,
+            new_rate: f64,
+        ) {
+            let i = ci as usize;
+            FlowAllocator::drain_class(&mut classes[i], c_rate[i], size, delivered, now);
+            c_rate[i] = new_rate;
+            let class = &mut classes[i];
+            class.members_dirty = false;
+            let remaining = class.min_finish - class.cum;
+            let deadline = if remaining <= BYTES_EPSILON {
+                now
+            } else {
+                debug_assert!(new_rate > 0.0, "active class with zero rate");
+                now + SimDuration::from_secs_f64(remaining / new_rate).max(SimDuration::NANO)
+            };
+            if deadline != class.deadline || class.gen == 0 {
+                *gen_counter += 1;
+                class.gen = *gen_counter;
+                class.deadline = deadline;
+                class_heap.push(Reverse((deadline, ci, class.gen)));
+            }
+        }
+        // The current rate of every non-pending class is the min of its two
+        // *stored* shares (the invariant `update_one` maintains), so the scan
+        // decides "did this class's rate move?" from the two small share
+        // arrays alone — no per-class loads for the untouched majority. A
+        // class sitting on two dirty resources is visited twice; the second
+        // visit re-derives the same rate and finds the deadline unchanged.
+        for &r in dirty_res.iter() {
+            let r = r as usize;
+            let (fr, or) = (frozen_share[r], stored_share[r]);
+            for &e in &res_list[r] {
+                let peer = entry_peer(e) as usize;
+                let new_rate = fr.min(frozen_share[peer]);
+                let old_rate = or.min(stored_share[peer]);
+                if new_rate != old_rate {
+                    update_one(
+                        classes,
+                        c_rate,
+                        entry_size(e),
+                        class_heap,
+                        gen_counter,
+                        delivered,
+                        now,
+                        entry_ci(e),
+                        new_rate,
+                    );
+                }
+            }
+        }
+        for &r in dirty_res.iter() {
+            stored_share[r as usize] = frozen_share[r as usize];
+        }
+        // Membership changed but neither resource's share moved (and the
+        // derived rate may be bitwise unchanged): the deadline still has to
+        // track the new earliest member.
+        for &ci in pending_dirty.iter() {
+            let i = ci as usize;
+            if c_size[i] == 0 || !classes[i].members_dirty {
+                continue; // destroyed, or already refreshed above
+            }
+            let (src, dst) = (classes[i].src, classes[i].dst);
+            let new_rate = frozen_share[src].min(frozen_share[n + dst]);
+            update_one(
+                classes,
+                c_rate,
+                c_size[i],
+                class_heap,
+                gen_counter,
+                delivered,
+                now,
+                ci,
+                new_rate,
+            );
+        }
+        pending_dirty.clear();
+        // Stale global-heap entries are dropped lazily; rebuild when they
+        // dominate so the heap stays O(classes).
+        let live = pair_index.len();
+        if class_heap.len() > 2 * live + 64 {
+            class_heap.clear();
+            for &ci in pair_index.values() {
+                let c = &classes[ci as usize];
+                class_heap.push(Reverse((c.deadline, ci, c.gen)));
+            }
         }
     }
 
-    /// The original quadratic progressive-filling algorithm, kept verbatim as
+    /// The original quadratic per-flow progressive-filling algorithm, kept as
     /// the executable specification of max-min fairness. Returns the rate for
     /// every active flow without touching allocator state. With the
-    /// `slowcheck` feature, every reallocation is checked against this.
+    /// `slowcheck` cargo feature, every reallocation is checked against this.
     pub fn reference_reallocate(&self) -> BTreeMap<FlowId, f64> {
         let n = self.nodes();
         let mut rates: BTreeMap<FlowId, f64> = BTreeMap::new();
@@ -570,10 +1036,18 @@ impl FlowAllocator {
         let mut rx_left = self.rx_cap.clone();
         let mut tx_count = vec![0usize; n];
         let mut rx_count = vec![0usize; n];
-        let mut unfrozen: Vec<FlowId> = self.index.keys().copied().collect();
-        for f in self.flows.iter() {
-            tx_count[f.src] += 1;
-            rx_count[f.dst] += 1;
+        let ports: BTreeMap<FlowId, (NodeId, NodeId)> = self
+            .index
+            .iter()
+            .map(|(&id, f)| {
+                let c = &self.classes[f.class as usize];
+                (id, (c.src, c.dst))
+            })
+            .collect();
+        let mut unfrozen: Vec<FlowId> = ports.keys().copied().collect();
+        for &(src, dst) in ports.values() {
+            tx_count[src] += 1;
+            rx_count[dst] += 1;
         }
         while !unfrozen.is_empty() {
             let mut share = f64::INFINITY;
@@ -590,15 +1064,15 @@ impl FlowAllocator {
             let mut frozen_any = false;
             let mut still: Vec<FlowId> = Vec::new();
             for id in unfrozen.drain(..) {
-                let f = &self.flows[self.index[&id]];
-                let tx_share = tx_left[f.src] / tx_count[f.src] as f64;
-                let rx_share = rx_left[f.dst] / rx_count[f.dst] as f64;
+                let (src, dst) = ports[&id];
+                let tx_share = tx_left[src] / tx_count[src] as f64;
+                let rx_share = rx_left[dst] / rx_count[dst] as f64;
                 if tx_share <= share + tol || rx_share <= share + tol {
                     rates.insert(id, share);
-                    tx_left[f.src] -= share;
-                    rx_left[f.dst] -= share;
-                    tx_count[f.src] -= 1;
-                    rx_count[f.dst] -= 1;
+                    tx_left[src] -= share;
+                    rx_left[dst] -= share;
+                    tx_count[src] -= 1;
+                    rx_count[dst] -= 1;
                     frozen_any = true;
                 } else {
                     still.push(id);
@@ -613,18 +1087,17 @@ impl FlowAllocator {
         rates
     }
 
-    /// Asserts the incremental rates match the reference fixpoint.
+    /// Asserts the class rates match the per-flow reference fixpoint.
     #[cfg(feature = "slowcheck")]
     fn assert_matches_reference(&self) {
         let reference = self.reference_reallocate();
-        for f in &self.flows {
-            let want = reference[&f.id];
+        for (id, f) in &self.index {
+            let got = self.c_rate[f.class as usize];
+            let want = reference[id];
             let tol = want.abs() * 1e-9 + 1e-12;
             debug_assert!(
-                (f.rate - want).abs() <= tol,
-                "rate mismatch for {:?}: incremental {} vs reference {want}",
-                f.id,
-                f.rate
+                (got - want).abs() <= tol,
+                "rate mismatch for {id:?}: class {got} vs reference {want}"
             );
         }
     }
@@ -822,5 +1295,70 @@ mod tests {
     fn commit_without_begin_panics() {
         let mut fab = FlowAllocator::new(2, 1.0, 1.0);
         fab.commit(SimTime::ZERO);
+    }
+
+    #[test]
+    fn class_members_complete_in_finish_order() {
+        // Three flows share one (src, dst) class; they complete strictly in
+        // insertion-size order even though rates are always identical.
+        let mut fab = FlowAllocator::new(2, 100.0, 100.0);
+        fab.begin_update();
+        fab.insert(SimTime::ZERO, FlowId(7), 0, 1, 300.0);
+        fab.insert(SimTime::ZERO, FlowId(3), 0, 1, 100.0);
+        fab.insert(SimTime::ZERO, FlowId(5), 0, 1, 200.0);
+        fab.commit(SimTime::ZERO);
+        assert_eq!(fab.active_classes(), 1);
+        // 3 flows share 100 B/s: smallest (100 B) finishes at t=3.
+        let c1 = fab.next_completion(SimTime::ZERO).unwrap();
+        assert_eq!(c1, t(3.0));
+        assert_eq!(fab.take_completed(c1), vec![FlowId(3)]);
+        // Two 100-B-remaining flows at 50 B/s each: next at t=5.
+        let c2 = fab.next_completion(c1).unwrap();
+        assert_eq!(c2, t(5.0));
+        assert_eq!(fab.take_completed(c2), vec![FlowId(5)]);
+        let c3 = fab.next_completion(c2).unwrap();
+        assert_eq!(fab.take_completed(c3), vec![FlowId(7)]);
+        assert_eq!(fab.active_flows(), 0);
+        assert_eq!(fab.active_classes(), 0);
+        assert!((fab.total_delivered() - 600.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn reinserted_id_is_not_confused_with_its_past_life() {
+        // Remove a flow mid-transfer, then reuse its id in the same class:
+        // the stale member-heap entry must not complete the new flow early.
+        let mut fab = FlowAllocator::new(2, 100.0, 100.0);
+        fab.insert(SimTime::ZERO, FlowId(1), 0, 1, 100.0);
+        fab.insert(SimTime::ZERO, FlowId(2), 0, 1, 1000.0);
+        fab.advance(t(1.0));
+        let rem = fab.remove(t(1.0), FlowId(1)).unwrap();
+        assert!((rem - 50.0).abs() < 1e-9, "rem={rem}");
+        fab.insert(t(1.0), FlowId(1), 0, 1, 500.0);
+        // Old entry would fire at the old finish mark; the new flow needs
+        // 500 B at 50 B/s.
+        fab.advance(t(2.0));
+        assert_eq!(fab.take_completed(t(2.0)), Vec::<FlowId>::new());
+        let mut now = t(2.0);
+        let mut done = Vec::new();
+        while fab.active_flows() > 0 {
+            now = fab.next_completion(now).unwrap();
+            fab.advance(now);
+            done.extend(fab.take_completed(now));
+        }
+        assert_eq!(done, vec![FlowId(1), FlowId(2)]);
+        // 100 + 1000 + 500 bytes offered, 50 withdrawn.
+        assert!((fab.total_delivered() - 1550.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn take_completed_into_reuses_buffer() {
+        let mut fab = FlowAllocator::new(2, 100.0, 100.0);
+        fab.insert(SimTime::ZERO, FlowId(1), 0, 1, 100.0);
+        let mut buf = vec![FlowId(999)];
+        fab.take_completed_into(SimTime::ZERO, &mut buf);
+        assert!(buf.is_empty(), "buffer must be cleared on the fast path");
+        let c = fab.next_completion(SimTime::ZERO).unwrap();
+        fab.take_completed_into(c, &mut buf);
+        assert_eq!(buf, vec![FlowId(1)]);
     }
 }

@@ -2,9 +2,10 @@
 //!
 //! The paper's thesis is performance *clarity*; this module applies it to the
 //! simulator itself: how many events fired, how many allocator recomputations
-//! they triggered, and how much wall-clock time the allocators consumed.
-//! `scale_sweep` (in `mt-bench`) uses these counters to track the control
-//! plane's cost as clusters grow.
+//! they triggered, and where the host wall-clock time went — split by phase
+//! (rate filling, lazy-drain materialization, completion collection, and the
+//! executor's own control loop). `scale_sweep` (in `mt-bench`) uses these
+//! counters to attribute the control plane's cost as clusters grow.
 
 /// Counters describing one simulation run's control-plane cost.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -15,6 +16,15 @@ pub struct SimStats {
     pub reallocs: u64,
     /// Wall-clock nanoseconds spent inside allocator recomputations.
     pub alloc_nanos: u64,
+    /// Wall-clock nanoseconds materializing lazy per-flow/stream drain
+    /// outside of recomputations.
+    pub drain_nanos: u64,
+    /// Wall-clock nanoseconds collecting completed flows/streams (excluding
+    /// the reallocation a completion wave triggers, counted above).
+    pub completion_nanos: u64,
+    /// Wall-clock nanoseconds in the executor's own control loop: total
+    /// driver wall time minus everything the allocators account for.
+    pub control_nanos: u64,
 }
 
 impl SimStats {
@@ -28,11 +38,34 @@ impl SimStats {
         self.events += other.events;
         self.reallocs += other.reallocs;
         self.alloc_nanos += other.alloc_nanos;
+        self.drain_nanos += other.drain_nanos;
+        self.completion_nanos += other.completion_nanos;
+        self.control_nanos += other.control_nanos;
     }
 
-    /// Wall-clock seconds spent in allocators.
+    /// Wall-clock nanoseconds the allocators account for across all phases.
+    pub fn allocator_nanos(&self) -> u64 {
+        self.alloc_nanos + self.drain_nanos + self.completion_nanos
+    }
+
+    /// Wall-clock seconds spent in allocator recomputations.
     pub fn alloc_secs(&self) -> f64 {
         self.alloc_nanos as f64 / 1e9
+    }
+
+    /// Wall-clock seconds materializing lazy drain.
+    pub fn drain_secs(&self) -> f64 {
+        self.drain_nanos as f64 / 1e9
+    }
+
+    /// Wall-clock seconds collecting completions.
+    pub fn completion_secs(&self) -> f64 {
+        self.completion_nanos as f64 / 1e9
+    }
+
+    /// Wall-clock seconds in the executor control loop.
+    pub fn control_secs(&self) -> f64 {
+        self.control_nanos as f64 / 1e9
     }
 }
 
@@ -46,11 +79,17 @@ mod tests {
             events: 1,
             reallocs: 2,
             alloc_nanos: 3,
+            drain_nanos: 4,
+            completion_nanos: 5,
+            control_nanos: 6,
         };
         a.merge(&SimStats {
             events: 10,
             reallocs: 20,
             alloc_nanos: 30,
+            drain_nanos: 40,
+            completion_nanos: 50,
+            control_nanos: 60,
         });
         assert_eq!(
             a,
@@ -58,8 +97,12 @@ mod tests {
                 events: 11,
                 reallocs: 22,
                 alloc_nanos: 33,
+                drain_nanos: 44,
+                completion_nanos: 55,
+                control_nanos: 66,
             }
         );
         assert!((a.alloc_secs() - 33e-9).abs() < 1e-18);
+        assert_eq!(a.allocator_nanos(), 33 + 44 + 55);
     }
 }

@@ -5,6 +5,22 @@ use proptest::prelude::*;
 use simcore::resource::EfficiencyCurve;
 use simcore::{FlowAllocator, FlowId, JobId, PsResource, ResourceKind, SimDuration, SimTime};
 
+/// Every live flow's class-derived rate must equal the unique per-flow
+/// max-min fixpoint computed from scratch by the quadratic reference.
+fn assert_matches_reference(fab: &FlowAllocator) -> Result<(), TestCaseError> {
+    for (id, want) in fab.reference_reallocate() {
+        let got = fab.rate(id).expect("live flow has a rate");
+        prop_assert!(
+            (got - want).abs() <= want.abs() * 1e-9 + 1e-12,
+            "flow {:?}: class rate {} vs reference {}",
+            id,
+            got,
+            want
+        );
+    }
+    Ok(())
+}
+
 fn drive_resource(r: &mut PsResource, jobs: usize) -> (f64, SimTime) {
     let mut now = SimTime::ZERO;
     let mut completed = 0;
@@ -277,5 +293,138 @@ proptest! {
             (fab.total_delivered() - total).abs() / total < 1e-6,
             "delivered {} of {} bytes", fab.total_delivered(), total
         );
+    }
+
+    #[test]
+    fn same_instant_batched_waves_match_unbatched(
+        n_nodes in 2usize..6,
+        waves in prop::collection::vec(
+            prop::collection::vec((0u8..3, 0usize..8, 0usize..8, 1.0f64..200.0), 1..8),
+            1..10,
+        ),
+        caps in (10.0f64..300.0, 10.0f64..300.0),
+    ) {
+        // Each wave of mutations lands at one instant. One allocator wraps
+        // the wave in begin_update/commit (a single reallocation), the other
+        // mutates step by step; both must agree exactly on rates, remaining
+        // bytes at removal, completion instants, and same-instant completion
+        // batches. Every other wave jumps to the next completion so batches
+        // interleave with real progress.
+        let mut batched = FlowAllocator::new(n_nodes, caps.0, caps.1);
+        let mut plain = FlowAllocator::new(n_nodes, caps.0, caps.1);
+        let mut now = SimTime::ZERO;
+        let mut live: Vec<FlowId> = Vec::new();
+        let mut next_id = 0u64;
+        for (wi, wave) in waves.into_iter().enumerate() {
+            batched.begin_update();
+            for (op, src, dst, bytes) in wave {
+                match op {
+                    // Weighted toward inserts so waves build populations.
+                    0 | 1 => {
+                        let id = FlowId(next_id);
+                        next_id += 1;
+                        batched.insert(now, id, src % n_nodes, dst % n_nodes, bytes);
+                        plain.insert(now, id, src % n_nodes, dst % n_nodes, bytes);
+                        live.push(id);
+                    }
+                    _ => {
+                        if !live.is_empty() {
+                            let idx = (bytes as usize) % live.len();
+                            let id = live.swap_remove(idx);
+                            // Up to fp grouping (batched drains one long
+                            // interval where unbatched drains it piecewise),
+                            // both views agree on the remaining bytes even
+                            // though the batched rates are mid-wave stale.
+                            let a = batched.remove(now, id).expect("live in batched");
+                            let b = plain.remove(now, id).expect("live in plain");
+                            prop_assert!((a - b).abs() <= b.abs() * 1e-9 + 1e-9);
+                        }
+                    }
+                }
+            }
+            batched.commit(now);
+            for &id in &live {
+                let a = batched.rate(id).expect("live in batched");
+                let b = plain.rate(id).expect("live in plain");
+                prop_assert!((a - b).abs() <= b.abs() * 1e-9 + 1e-12);
+            }
+            let (ca, cb) = (batched.next_completion(now), plain.next_completion(now));
+            prop_assert_eq!(ca.is_some(), cb.is_some());
+            if let (Some(ta), Some(tb)) = (ca, cb) {
+                // Deadlines may differ by an ulp of drain grouping; never more.
+                prop_assert!((ta.as_secs_f64() - tb.as_secs_f64()).abs() <= 2e-9);
+                if wi % 2 == 0 {
+                    // Jump past both deadlines so an ulp split cannot divide
+                    // a completion batch between the two views.
+                    now = ta.max(tb);
+                    let a = batched.take_completed(now);
+                    let b = plain.take_completed(now);
+                    prop_assert_eq!(&a, &b, "same-instant completion batches diverged");
+                    live.retain(|id| !a.contains(id));
+                }
+            }
+        }
+        let (da, dp) = (batched.total_delivered(), plain.total_delivered());
+        prop_assert!((da - dp).abs() <= dp.abs() * 1e-9 + 1e-6);
+    }
+
+    #[test]
+    fn asymmetric_hot_sender_straggler_receiver_matches_reference(
+        n_nodes in 3usize..7,
+        hot_fanout in 2usize..6,
+        straggler_fanin in 2usize..6,
+        extra in prop::collection::vec((0usize..8, 0usize..8, 1.0f64..300.0), 0..10),
+        partial in 0.2f64..0.9,
+    ) {
+        // Deliberately asymmetric constraint graphs — a hot sender fanning
+        // out, a straggler receiver fanning in, background pairs riding
+        // along — are exactly where coarser-than-(src,dst) aggregation broke:
+        // equal port *counts* do not imply equal rates. The (src, dst) class
+        // rates must match the per-flow fixpoint at every event, including
+        // mid-flight second waves (partial wave overlap).
+        let mut fab = FlowAllocator::new(n_nodes, 100.0, 100.0);
+        let mut next_id = 0u64;
+        let hot = 0;
+        let straggler = n_nodes - 1;
+        fab.begin_update();
+        for i in 0..hot_fanout {
+            let dst = 1 + (i % (n_nodes - 1));
+            fab.insert(SimTime::ZERO, FlowId(next_id), hot, dst, 50.0 + 10.0 * i as f64);
+            next_id += 1;
+        }
+        for i in 0..straggler_fanin {
+            let src = i % (n_nodes - 1);
+            fab.insert(SimTime::ZERO, FlowId(next_id), src, straggler, 70.0 + 5.0 * i as f64);
+            next_id += 1;
+        }
+        for &(src, dst, bytes) in &extra {
+            fab.insert(SimTime::ZERO, FlowId(next_id), src % n_nodes, dst % n_nodes, bytes);
+            next_id += 1;
+        }
+        fab.commit(SimTime::ZERO);
+        assert_matches_reference(&fab)?;
+        // Advance partway through the first wave, then land a second wave
+        // mid-flight: partially drained classes and fresh ones coexist.
+        let mut now = SimTime::ZERO;
+        if let Some(t) = fab.next_completion(now) {
+            now += SimDuration::from_secs_f64(t.since(now).as_secs_f64() * partial);
+            fab.advance(now);
+        }
+        fab.begin_update();
+        for i in 0..hot_fanout {
+            let dst = 1 + (i % (n_nodes - 1));
+            fab.insert(now, FlowId(next_id), hot, dst, 30.0);
+            next_id += 1;
+        }
+        fab.commit(now);
+        assert_matches_reference(&fab)?;
+        let mut guard = 0;
+        while fab.active_flows() > 0 {
+            now = fab.next_completion(now).expect("live flows must complete");
+            fab.take_completed(now);
+            assert_matches_reference(&fab)?;
+            guard += 1;
+            prop_assert!(guard < 10_000, "fabric did not converge");
+        }
     }
 }
