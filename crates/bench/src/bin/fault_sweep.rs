@@ -1,0 +1,371 @@
+//! Fault-injection sweep: sort under increasing fault intensity, both
+//! executors.
+//!
+//! The same seeded random fault plan (machine crashes, degraded disks and
+//! links, stragglers — see `cluster::FaultPlan::random`) is injected into the
+//! Spark-like and the monotasks executor at each intensity point. Emits one
+//! JSON record per (engine, intensity): simulated makespan, inflation over
+//! the engine's fault-free makespan, and the recovery-overhead counters
+//! (retries, speculative copies, wasted and recomputed seconds).
+//!
+//! Everything simulated is deterministic: the same binary on any host must
+//! produce identical makespans and counters, which `--check` exploits — it
+//! compares the measured makespans against the committed baseline *exactly*
+//! (plus a wall-clock budget), so CI catches both behavioral drift and
+//! perf regressions.
+//!
+//! Usage:
+//!   fault_sweep [--out PATH] [--points 0,0.5,1,2]
+//!               [--check BASELINE.json --max-factor 2.0]
+//!
+//! The output path defaults to `$FAULT_SWEEP_OUT` or `BENCH_PR3.json`.
+//! `--check` never rewrites the committed record.
+
+use std::time::Instant;
+
+use cluster::{ClusterSpec, FaultPlan, MachineSpec};
+use mt_bench::header;
+use workloads::{sort_job, sweep_plan, SortConfig};
+
+const MACHINES: usize = 5;
+const GIB_PER_MACHINE: f64 = 2.0;
+const SEED: u64 = 42;
+
+const DEFAULT_POINTS: &[f64] = &[0.0, 0.5, 1.0, 2.0];
+
+struct Point {
+    engine: &'static str,
+    intensity: f64,
+    completed: bool,
+    error: String,
+    makespan_s: f64,
+    inflation: f64,
+    tasks_retried: u64,
+    tasks_speculated: u64,
+    wasted_s: f64,
+    recompute_s: f64,
+    wall_s: f64,
+}
+
+fn cluster() -> ClusterSpec {
+    ClusterSpec::new(MACHINES, MachineSpec::m2_4xlarge())
+}
+
+fn workload() -> (dataflow::JobSpec, dataflow::BlockMap) {
+    let cfg = SortConfig::new(GIB_PER_MACHINE * MACHINES as f64, 10, MACHINES, 2);
+    sort_job(&cfg)
+}
+
+/// The fault horizon is the *fault-free monotasks makespan*: simulated, hence
+/// identical on every host, so the generated plans — and therefore the whole
+/// sweep — are reproducible everywhere.
+fn plan_for(intensity: f64, horizon_s: f64, tasks_per_stage: usize) -> FaultPlan {
+    if intensity <= 0.0 {
+        return FaultPlan::new();
+    }
+    sweep_plan(SEED, &cluster(), horizon_s, 2, tasks_per_stage, intensity)
+}
+
+fn run_mono(intensity: f64, horizon_s: f64, tasks_per_stage: usize, baseline_s: f64) -> Point {
+    let (job, blocks) = workload();
+    let cfg = monotasks_core::MonoConfig {
+        collect_traces: false,
+        ..monotasks_core::MonoConfig::default()
+    };
+    let plan = plan_for(intensity, horizon_s, tasks_per_stage);
+    let start = Instant::now();
+    let result = monotasks_core::run_with_faults(&cluster(), &[(job, blocks)], &cfg, &plan);
+    let wall_s = start.elapsed().as_secs_f64();
+    match result {
+        Ok(out) => Point {
+            engine: "mono",
+            intensity,
+            completed: true,
+            error: String::new(),
+            makespan_s: out.makespan.as_secs_f64(),
+            inflation: if baseline_s > 0.0 {
+                out.makespan.as_secs_f64() / baseline_s
+            } else {
+                1.0
+            },
+            tasks_retried: out.stats.tasks_retried,
+            tasks_speculated: out.stats.tasks_speculated,
+            wasted_s: out.stats.wasted_work_secs(),
+            recompute_s: out.stats.recompute_secs(),
+            wall_s,
+        },
+        Err(e) => failed_point("mono", intensity, e.to_string(), wall_s),
+    }
+}
+
+fn run_spark(intensity: f64, horizon_s: f64, tasks_per_stage: usize, baseline_s: f64) -> Point {
+    let (job, blocks) = workload();
+    let cfg = sparklike::SparkConfig {
+        speculation_multiplier: Some(1.5),
+        ..sparklike::SparkConfig::default()
+    };
+    let plan = plan_for(intensity, horizon_s, tasks_per_stage);
+    let start = Instant::now();
+    let result = sparklike::run_with_faults(&cluster(), &[(job, blocks)], &cfg, &plan);
+    let wall_s = start.elapsed().as_secs_f64();
+    match result {
+        Ok(out) => Point {
+            engine: "spark",
+            intensity,
+            completed: true,
+            error: String::new(),
+            makespan_s: out.makespan.as_secs_f64(),
+            inflation: if baseline_s > 0.0 {
+                out.makespan.as_secs_f64() / baseline_s
+            } else {
+                1.0
+            },
+            tasks_retried: out.stats.tasks_retried,
+            tasks_speculated: out.stats.tasks_speculated,
+            wasted_s: out.stats.wasted_work_secs(),
+            recompute_s: out.stats.recompute_secs(),
+            wall_s,
+        },
+        Err(e) => failed_point("spark", intensity, e.to_string(), wall_s),
+    }
+}
+
+fn failed_point(engine: &'static str, intensity: f64, error: String, wall_s: f64) -> Point {
+    Point {
+        engine,
+        intensity,
+        completed: false,
+        error,
+        makespan_s: 0.0,
+        inflation: 0.0,
+        tasks_retried: 0,
+        tasks_speculated: 0,
+        wasted_s: 0.0,
+        recompute_s: 0.0,
+        wall_s,
+    }
+}
+
+struct Args {
+    out: String,
+    points: Vec<f64>,
+    check: Option<String>,
+    max_factor: f64,
+}
+
+fn parse_args() -> Args {
+    let default_out =
+        std::env::var("FAULT_SWEEP_OUT").unwrap_or_else(|_| "BENCH_PR3.json".to_string());
+    let mut args = Args {
+        out: default_out,
+        points: DEFAULT_POINTS.to_vec(),
+        check: None,
+        max_factor: 2.0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        match a.as_str() {
+            "--out" => args.out = value("--out"),
+            "--points" => {
+                args.points = value("--points")
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("bad --points entry"))
+                    .collect();
+            }
+            "--check" => args.check = Some(value("--check")),
+            "--max-factor" => {
+                args.max_factor = value("--max-factor").parse().expect("bad --max-factor")
+            }
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+    args
+}
+
+/// Pulls numeric fields out of the sweep JSON without a JSON dependency:
+/// each point record is one line with known key order.
+fn field(line: &str, key: &str) -> Option<f64> {
+    let rest = &line[line.find(key)? + key.len()..];
+    let rest = rest.trim_start_matches([':', ' ']);
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn baseline_records(json: &str) -> Vec<(String, f64, f64, f64)> {
+    json.lines()
+        .filter_map(|line| {
+            let engine = {
+                let rest = &line[line.find("\"engine\"")? + 8..];
+                let rest = &rest[rest.find('"')? + 1..];
+                rest[..rest.find('"')?].to_string()
+            };
+            let intensity = field(line, "\"intensity\"")?;
+            let makespan = field(line, "\"makespan_s\"")?;
+            let wall = field(line, "\"wall_s\"")?;
+            Some((engine, intensity, makespan, wall))
+        })
+        .collect()
+}
+
+fn main() {
+    let args = parse_args();
+    header(
+        "fault_sweep",
+        "sort under increasing fault intensity, both executors",
+        "recovery (lineage resubmission, retries, speculation) completes the job; \
+         makespan inflation and overhead counters quantify the cost",
+    );
+    // Fault-free baselines: intensity 0 for each engine, run once.
+    let tasks_per_stage = {
+        let (job, _) = workload();
+        job.stages.iter().map(|s| s.tasks.len()).max().unwrap_or(1)
+    };
+    let mono_base = run_mono(0.0, 0.0, tasks_per_stage, 0.0);
+    let spark_base = run_spark(0.0, 0.0, tasks_per_stage, 0.0);
+    assert!(
+        mono_base.completed && spark_base.completed,
+        "fault-free baseline failed: mono={} spark={}",
+        mono_base.error,
+        spark_base.error
+    );
+    let horizon_s = mono_base.makespan_s;
+    println!(
+        "{:>6} {:>9} {:>11} {:>9} {:>8} {:>10} {:>9} {:>10} {:>8}",
+        "engine",
+        "intensity",
+        "makespan(s)",
+        "inflate",
+        "retried",
+        "speculated",
+        "wasted(s)",
+        "recomp(s)",
+        "wall(s)"
+    );
+    let mut points: Vec<Point> = Vec::new();
+    for &intensity in &args.points {
+        for engine in ["spark", "mono"] {
+            let p = if intensity == 0.0 {
+                // Reuse the baseline run instead of re-simulating it.
+                let base = if engine == "mono" {
+                    &mono_base
+                } else {
+                    &spark_base
+                };
+                Point {
+                    inflation: 1.0,
+                    error: String::new(),
+                    ..clone_point(base)
+                }
+            } else if engine == "mono" {
+                run_mono(intensity, horizon_s, tasks_per_stage, mono_base.makespan_s)
+            } else {
+                run_spark(intensity, horizon_s, tasks_per_stage, spark_base.makespan_s)
+            };
+            if p.completed {
+                println!(
+                    "{:>6} {:>9} {:>11.1} {:>9.2} {:>8} {:>10} {:>9.1} {:>10.1} {:>8.3}",
+                    p.engine,
+                    p.intensity,
+                    p.makespan_s,
+                    p.inflation,
+                    p.tasks_retried,
+                    p.tasks_speculated,
+                    p.wasted_s,
+                    p.recompute_s,
+                    p.wall_s
+                );
+            } else {
+                println!("{:>6} {:>9} failed: {}", p.engine, p.intensity, p.error);
+            }
+            points.push(p);
+        }
+    }
+    if let Some(baseline_path) = &args.check {
+        let baseline = std::fs::read_to_string(baseline_path)
+            .unwrap_or_else(|e| panic!("read {baseline_path}: {e}"));
+        let records = baseline_records(&baseline);
+        let mut failed = false;
+        for p in &points {
+            let Some((_, _, base_mk, base_wall)) = records
+                .iter()
+                .find(|(e, i, _, _)| *e == p.engine && (*i - p.intensity).abs() < 1e-9)
+            else {
+                println!(
+                    "check: {} intensity {} not in baseline, skipping",
+                    p.engine, p.intensity
+                );
+                continue;
+            };
+            // Makespans are simulated: any drift at all is a behavior change
+            // (the baseline file stores 3 decimals, so compare at that grain).
+            let mk_ok = (p.makespan_s - base_mk).abs() < 5e-4;
+            // Wall clock gets the same budget guard as scale_sweep, with a
+            // floor so tiny points don't measure scheduler noise.
+            let budget = (base_wall * args.max_factor).max(0.25);
+            let wall_ok = p.wall_s <= budget;
+            println!(
+                "check: {} intensity {} makespan {:.3}s vs {:.3}s {} | wall {:.3}s (budget {:.3}s) {}",
+                p.engine,
+                p.intensity,
+                p.makespan_s,
+                base_mk,
+                if mk_ok { "OK" } else { "DRIFTED" },
+                p.wall_s,
+                budget,
+                if wall_ok { "OK" } else { "REGRESSED" }
+            );
+            failed |= !mk_ok || !wall_ok;
+        }
+        if failed {
+            eprintln!("fault_sweep --check: makespan drift or wall-clock budget exceeded");
+            std::process::exit(1);
+        }
+        return; // check mode never rewrites the committed record
+    }
+    let mut json = String::from("{\n  \"bench\": \"fault_sweep\",\n  \"workload\": \"sort\",\n");
+    json.push_str(&format!(
+        "  \"machines\": {MACHINES},\n  \"gib_per_machine\": {GIB_PER_MACHINE},\n  \
+         \"seed\": {SEED},\n  \"points\": [\n"
+    ));
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"engine\": \"{}\", \"intensity\": {}, \"completed\": {}, \
+             \"makespan_s\": {:.3}, \"inflation\": {:.3}, \"tasks_retried\": {}, \
+             \"tasks_speculated\": {}, \"wasted_s\": {:.3}, \"recompute_s\": {:.3}, \
+             \"wall_s\": {:.3}}}{}\n",
+            p.engine,
+            p.intensity,
+            p.completed,
+            p.makespan_s,
+            p.inflation,
+            p.tasks_retried,
+            p.tasks_speculated,
+            p.wasted_s,
+            p.recompute_s,
+            p.wall_s,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&args.out, &json).unwrap_or_else(|e| panic!("write {}: {e}", args.out));
+    println!("\nwrote {}", args.out);
+}
+
+fn clone_point(p: &Point) -> Point {
+    Point {
+        engine: p.engine,
+        intensity: p.intensity,
+        completed: p.completed,
+        error: p.error.clone(),
+        makespan_s: p.makespan_s,
+        inflation: p.inflation,
+        tasks_retried: p.tasks_retried,
+        tasks_speculated: p.tasks_speculated,
+        wasted_s: p.wasted_s,
+        recompute_s: p.recompute_s,
+        wall_s: p.wall_s,
+    }
+}

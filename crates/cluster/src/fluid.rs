@@ -194,6 +194,10 @@ pub struct FluidMachine {
     /// concurrency-dependent capacity without scanning streams).
     disk_readers: Vec<usize>,
     disk_writers: Vec<usize>,
+    /// Fault-injection service-rate multiplier per resource column (1.0 =
+    /// healthy). Multiplying by exactly 1.0 is a bit-exact no-op, so a run
+    /// without degradations is unchanged.
+    scale: Vec<f64>,
     /// Capacity vector as of the last reallocation.
     caps: Vec<f64>,
     /// Delivered rate per resource column as of the last reallocation.
@@ -227,6 +231,7 @@ impl FluidMachine {
             streams: BTreeMap::new(),
             disk_readers: vec![0; nd],
             disk_writers: vec![0; nd],
+            scale: vec![1.0; nr],
             caps: vec![0.0; nr],
             res_used: vec![0.0; nr],
             heap: BinaryHeap::new(),
@@ -534,15 +539,56 @@ impl FluidMachine {
         caps.push(self.spec.cores as f64);
         for (i, d) in self.spec.disks.iter().enumerate() {
             let (k_r, k_w) = (self.disk_readers[i], self.disk_writers[i]);
-            caps.push(if k_r + k_w == 0 {
+            let healthy = if k_r + k_w == 0 {
                 d.throughput
             } else {
                 d.throughput_at_rw(k_r, k_w)
-            });
+            };
+            caps.push(healthy * self.scale[1 + i]);
         }
-        caps.push(self.spec.nic);
+        caps.push(self.spec.nic * self.scale[1 + nd]);
         debug_assert_eq!(caps.len(), 2 + nd);
         caps
+    }
+
+    /// Sets the fault-injection service-rate scale of disk `disk` (`1.0`
+    /// restores the healthy rate exactly). In-flight streams are drained at
+    /// their old rates up to `now`, then rates recompute under the new
+    /// capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a nonexistent disk or a non-positive/non-finite factor.
+    pub fn set_disk_scale(&mut self, now: SimTime, disk: usize, factor: f64) {
+        assert!(
+            disk < self.spec.disks.len(),
+            "set_disk_scale: no disk {disk}"
+        );
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "set_disk_scale: bad factor {factor}"
+        );
+        self.advance(now);
+        self.scale[1 + disk] = factor;
+        self.after_mutation();
+    }
+
+    /// Sets the fault-injection bandwidth scale of the NIC (`1.0` restores
+    /// the healthy rate exactly). Same drain semantics as
+    /// [`FluidMachine::set_disk_scale`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive/non-finite factor.
+    pub fn set_nic_scale(&mut self, now: SimTime, factor: f64) {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "set_nic_scale: bad factor {factor}"
+        );
+        self.advance(now);
+        let nic = self.scale.len() - 1;
+        self.scale[nic] = factor;
+        self.after_mutation();
     }
 
     /// Demand of `s` on resource column `r` (dense; used by the reference).

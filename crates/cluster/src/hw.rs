@@ -185,6 +185,63 @@ impl ClusterSpec {
     pub fn total_memory(&self) -> f64 {
         self.machines as f64 * self.machine.memory
     }
+
+    /// Checks the spec is physically meaningful: at least one machine, at
+    /// least one core, positive finite memory/NIC, and every disk with a
+    /// positive finite throughput and sane efficiency constants. Returns a
+    /// descriptive error instead of letting downstream rate arithmetic
+    /// produce NaNs or deadlocks.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.machines == 0 {
+            return Err("cluster has zero machines".into());
+        }
+        let m = &self.machine;
+        if m.cores == 0 {
+            return Err("machine has zero cores".into());
+        }
+        if !(m.memory.is_finite() && m.memory > 0.0) {
+            return Err(format!(
+                "machine memory {} must be finite and > 0",
+                m.memory
+            ));
+        }
+        if !(m.nic.is_finite() && m.nic > 0.0) {
+            return Err(format!(
+                "machine NIC bandwidth {} must be finite and > 0",
+                m.nic
+            ));
+        }
+        for (i, d) in m.disks.iter().enumerate() {
+            if !(d.throughput.is_finite() && d.throughput > 0.0) {
+                return Err(format!(
+                    "disk {i} throughput {} must be finite and > 0",
+                    d.throughput
+                ));
+            }
+            if !(d.read_seek_factor.is_finite() && d.read_seek_factor >= 0.0) {
+                return Err(format!(
+                    "disk {i} read_seek_factor {} must be finite and >= 0",
+                    d.read_seek_factor
+                ));
+            }
+            if !(d.write_seek_factor.is_finite() && d.write_seek_factor >= 0.0) {
+                return Err(format!(
+                    "disk {i} write_seek_factor {} must be finite and >= 0",
+                    d.write_seek_factor
+                ));
+            }
+            if !(d.seek_floor.is_finite() && d.seek_floor > 0.0 && d.seek_floor <= 1.0) {
+                return Err(format!(
+                    "disk {i} seek_floor {} must be in (0, 1]",
+                    d.seek_floor
+                ));
+            }
+            if d.kind == DiskKind::Ssd && d.queue_depth == 0 {
+                return Err(format!("SSD disk {i} has zero queue depth"));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -225,5 +282,21 @@ mod tests {
         let c = ClusterSpec::new(20, m);
         assert_eq!(c.total_cores(), 160);
         assert_eq!(c.total_disks(), 40);
+    }
+
+    #[test]
+    fn validate_flags_degenerate_hardware() {
+        let mut c = ClusterSpec::new(2, MachineSpec::m2_4xlarge());
+        assert!(c.validate().is_ok());
+        c.machine.cores = 0;
+        assert!(c.validate().unwrap_err().contains("zero cores"));
+        c.machine.cores = 8;
+        c.machine.disks[1].throughput = 0.0;
+        assert!(c.validate().unwrap_err().contains("throughput"));
+        c.machine.disks[1].throughput = f64::NAN;
+        assert!(c.validate().is_err());
+        c.machine.disks[1] = DiskSpec::hdd();
+        c.machine.nic = -1.0;
+        assert!(c.validate().is_err());
     }
 }

@@ -16,16 +16,20 @@
 //!   unpredictability (and of Spark's win on query 1c).
 //! * [`trace`] — per-machine, per-resource utilization traces used to
 //!   regenerate the paper's utilization figures.
+//! * [`faults`] — deterministic fault injection: scheduled machine crashes,
+//!   disk/link degradation windows, and task stragglers (DESIGN.md §6).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod faults;
 pub mod fluid;
 pub mod hw;
 pub mod trace;
 
 pub use cache::{BufferCache, CachePolicy, WriteOutcome};
+pub use faults::{FaultAction, FaultEvent, FaultPlan, FaultSpec, FaultTimeline};
 pub use fluid::{DiskId, FluidMachine, MachineId, StreamDemand, StreamId};
 pub use hw::{ClusterSpec, DiskKind, DiskSpec, MachineSpec};
 pub use trace::{ClassMeans, ResourceSel, TraceSet};

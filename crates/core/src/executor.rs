@@ -14,11 +14,15 @@
 //! ([`crate::scheduler`]); completed monotasks release their dependents. All
 //! timing flows into [`MonotaskRecord`]s.
 
+use std::collections::HashSet;
+
 use cluster::{
-    ClusterSpec, FluidMachine, MachineId, ResourceSel, StreamDemand, StreamId, TraceSet,
+    ClusterSpec, FaultAction, FaultPlan, FaultTimeline, FluidMachine, MachineId, ResourceSel,
+    StreamDemand, StreamId, TraceSet,
 };
 use dataflow::{
-    BlockMap, InputSpec, JobId, JobReport, JobSpec, OutputSpec, StageId, StageReport, TaskId,
+    BlockMap, InputSpec, JobId, JobReport, JobSpec, OutputSpec, RecoveryStats, RunError, StageId,
+    StageReport, TaskId,
 };
 use simcore::{FlowAllocator, FlowId};
 use simcore::{ResourceKind, SimStats, SimTime};
@@ -88,6 +92,10 @@ pub struct MonoConfig {
     /// them off — at hundreds of machines the samples dominate memory and
     /// per-event cost without affecting simulation results.
     pub collect_traces: bool,
+    /// Retries allowed per task beyond its original attempt before the run
+    /// fails with [`RunError::RetriesExhausted`]. Only reachable under fault
+    /// injection.
+    pub max_task_retries: u32,
 }
 
 impl Default for MonoConfig {
@@ -104,7 +112,33 @@ impl Default for MonoConfig {
             full_duplex_network: false,
             max_steps: 50_000_000,
             collect_traces: true,
+            max_task_retries: 4,
         }
+    }
+}
+
+impl MonoConfig {
+    /// Rejects configurations that would deadlock or corrupt rate arithmetic
+    /// downstream, with a descriptive message.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.net_outstanding == 0 {
+            return Err("net_outstanding must be >= 1".into());
+        }
+        if self.concurrency_override == Some(0) {
+            return Err("concurrency_override of 0 would assign no work".into());
+        }
+        if self.ssd_slots_override == Some(0) {
+            return Err("ssd_slots_override of 0 would idle every SSD".into());
+        }
+        if let Some(f) = self.memory_limit_fraction {
+            if !(f.is_finite() && f > 0.0) {
+                return Err(format!("memory_limit_fraction {f} must be finite and > 0"));
+            }
+        }
+        if self.max_steps == 0 {
+            return Err("max_steps must be >= 1".into());
+        }
+        Ok(())
     }
 }
 
@@ -162,6 +196,15 @@ struct MtState {
     nodes: Vec<MonoNode>,
     remaining: usize,
     fetches_outstanding: usize,
+    /// Abandoned by a crash; stale scheduler-queue entries are skipped lazily.
+    aborted: bool,
+    /// Launch time, for wasted-work / recompute attribution.
+    start: SimTime,
+    /// Bytes this multitask currently holds in its machine's buffer
+    /// accounting (released on abort).
+    buffered: f64,
+    /// This attempt re-runs a completed task whose output a crash destroyed.
+    recompute: bool,
 }
 
 #[derive(Debug)]
@@ -180,6 +223,12 @@ struct StageRun {
     shuffle_by_machine: Vec<f64>,
     /// Whether this stage's shuffle output stays in memory.
     shuffle_in_memory: bool,
+    /// Pending queues have been filled once; a stage re-opened after a crash
+    /// resumes with its surviving queue contents instead of repopulating.
+    populated: bool,
+    /// Completed task ids per machine (fault runs only) — the lineage index:
+    /// exactly the tasks to re-run when that machine's outputs are lost.
+    completed_on: Vec<Vec<u32>>,
 }
 
 #[derive(Debug)]
@@ -190,6 +239,7 @@ struct JobRun {
     stages: Vec<StageRun>,
     done: bool,
     end: SimTime,
+    recovery: RecoveryStats,
 }
 
 struct Mach {
@@ -201,6 +251,9 @@ struct Mach {
     /// Bytes of monotask buffers currently in memory.
     buffered: f64,
     peak_buffered: f64,
+    /// False once crashed: the machine is a zombie — its allocator is never
+    /// polled again, its queues never popped, and it takes no assignments.
+    alive: bool,
 }
 
 struct Exec {
@@ -217,6 +270,17 @@ struct Exec {
     now: SimTime,
     rr_job: usize,
     stats: SimStats,
+    /// Compiled fault schedule.
+    faults: FaultTimeline,
+    /// Whether any fault machinery is active this run. False keeps every
+    /// fault hook off the hot path, so an empty plan is bit-identical to the
+    /// plan-free code.
+    faults_on: bool,
+    /// Attempt count per `[job][stage][task]` (0 = only the original ran).
+    attempts: Vec<Vec<Vec<u32>>>,
+    /// Tasks whose next launch is a lineage recomputation (only ever
+    /// membership-tested; iteration order never observed).
+    recompute_pending: HashSet<(usize, usize, usize)>,
 }
 
 /// Encodes a `(multitask, node)` reference as a fluid stream id.
@@ -258,13 +322,46 @@ fn decode(id: StreamId) -> (usize, usize) {
 /// # Panics
 ///
 /// Panics if a job spec fails validation or the simulation deadlocks (which
-/// would indicate an executor bug, not a user error).
+/// would indicate an executor bug, not a user error). Thin wrapper over
+/// [`try_run`] for the figure binaries; fault-injecting callers should use
+/// [`run_with_faults`] and handle the `Result`.
 pub fn run(cluster: &ClusterSpec, jobs: &[(JobSpec, BlockMap)], cfg: &MonoConfig) -> MonoRunOutput {
+    match try_run(cluster, jobs, cfg) {
+        Ok(out) => out,
+        Err(e) => panic!("monotasks run failed: {e}"),
+    }
+}
+
+/// Fault-free [`run`] with structured errors instead of panics.
+pub fn try_run(
+    cluster: &ClusterSpec,
+    jobs: &[(JobSpec, BlockMap)],
+    cfg: &MonoConfig,
+) -> Result<MonoRunOutput, RunError> {
+    run_with_faults(cluster, jobs, cfg, &FaultPlan::new())
+}
+
+/// Runs `jobs` under the monotasks architecture while injecting the faults
+/// scheduled in `plan`. With an empty plan this is exactly [`run`]: every
+/// fault hook stays off the event path, so makespans and records are
+/// bit-identical to the plan-free code.
+pub fn run_with_faults(
+    cluster: &ClusterSpec,
+    jobs: &[(JobSpec, BlockMap)],
+    cfg: &MonoConfig,
+    plan: &FaultPlan,
+) -> Result<MonoRunOutput, RunError> {
+    cluster.validate().map_err(RunError::InvalidConfig)?;
+    cfg.validate().map_err(RunError::InvalidConfig)?;
     for (spec, _) in jobs {
         if let Err(e) = spec.validate() {
-            panic!("invalid job spec {:?}: {e}", spec.name);
+            return Err(RunError::InvalidConfig(format!(
+                "invalid job spec {:?}: {e}",
+                spec.name
+            )));
         }
     }
+    plan.validate(cluster).map_err(RunError::InvalidConfig)?;
     let n_machines = cluster.machines;
     let disk_slots: Vec<usize> = cluster
         .machine
@@ -295,6 +392,7 @@ pub fn run(cluster: &ClusterSpec, jobs: &[(JobSpec, BlockMap)], cfg: &MonoConfig
             serve_cursor: 0,
             buffered: 0.0,
             peak_buffered: 0.0,
+            alive: true,
         })
         .collect();
 
@@ -326,6 +424,8 @@ pub fn run(cluster: &ClusterSpec, jobs: &[(JobSpec, BlockMap)], cfg: &MonoConfig
                         ended: None,
                         shuffle_by_machine: vec![0.0; n_machines],
                         shuffle_in_memory,
+                        populated: false,
+                        completed_on: vec![Vec::new(); n_machines],
                     }
                 })
                 .collect();
@@ -336,6 +436,7 @@ pub fn run(cluster: &ClusterSpec, jobs: &[(JobSpec, BlockMap)], cfg: &MonoConfig
                 stages,
                 done: false,
                 end: SimTime::ZERO,
+                recovery: RecoveryStats::default(),
             }
         })
         .collect();
@@ -361,10 +462,22 @@ pub fn run(cluster: &ClusterSpec, jobs: &[(JobSpec, BlockMap)], cfg: &MonoConfig
         now: SimTime::ZERO,
         rr_job: 0,
         stats: SimStats::new(),
+        faults: plan.compile(),
+        faults_on: !plan.is_empty(),
+        attempts: jobs
+            .iter()
+            .map(|(spec, _)| {
+                spec.stages
+                    .iter()
+                    .map(|st| vec![0; st.tasks.len()])
+                    .collect()
+            })
+            .collect(),
+        recompute_pending: HashSet::new(),
     };
     exec.prime();
-    exec.main_loop();
-    exec.into_output()
+    exec.main_loop()?;
+    Ok(exec.into_output())
 }
 
 impl Exec {
@@ -390,6 +503,14 @@ impl Exec {
         let run = &mut job.stages[si];
         debug_assert!(!run.ready);
         run.ready = true;
+        if run.populated {
+            // Re-opened after a crash un-did an upstream stage: the pending
+            // queues already hold exactly the unfinished tasks (survivors of
+            // the first fill plus crash re-queues) — refilling would duplicate
+            // them.
+            return;
+        }
+        run.populated = true;
         for (ti, task) in stage_spec.tasks.iter().enumerate() {
             match task.input {
                 InputSpec::DiskBlock { block, .. } => {
@@ -411,7 +532,7 @@ impl Exec {
         run.nopref.reverse();
     }
 
-    fn main_loop(&mut self) {
+    fn main_loop(&mut self) -> Result<(), RunError> {
         let loop_timer = std::time::Instant::now();
         let mut steps: u64 = 0;
         // Completion buffers reused across events: the speculative poll runs
@@ -434,6 +555,11 @@ impl Exec {
             // completions and again for the dispatches; the intermediate
             // fixpoint between the two waves is never observed by handlers.
             self.begin_update_all();
+            // Fault actions fire first within their instant: a crash at `t`
+            // wins against completions at `t`, deterministically.
+            if self.faults_on {
+                self.apply_due_faults()?;
+            }
             if let Some(fabric) = &mut self.fabric {
                 fabric.advance(self.now);
                 fabric.take_completed_into(self.now, &mut done_flows);
@@ -443,6 +569,9 @@ impl Exec {
                 }
             }
             for m in 0..self.n_machines() {
+                if !self.machines[m].alive {
+                    continue;
+                }
                 // A machine whose cached deadline (still valid: same epoch)
                 // lies in the future cannot have a completion due now.
                 let fluid = &mut self.machines[m].fluid;
@@ -468,6 +597,9 @@ impl Exec {
                 fabric.advance(self.now);
             }
             for m in 0..self.n_machines() {
+                if !self.machines[m].alive {
+                    continue;
+                }
                 self.machines[m].fluid.advance(self.now);
                 if !self.cfg.collect_traces {
                     continue;
@@ -496,8 +628,19 @@ impl Exec {
             // moved this event re-derive their deadline; epochs only move on
             // flow-set mutations, and deadlines only move on reallocations,
             // which mutations trigger.
+            // Under fault injection, stop at the last job completion instead
+            // of sitting through the remaining scheduled fault actions (e.g.
+            // a degrade window that outlives the workload).
+            if self.faults_on && self.jobs.iter().all(|j| j.done) {
+                break;
+            }
             let mut next: Option<SimTime> = None;
             for (m, machine) in self.machines.iter_mut().enumerate() {
+                if !machine.alive {
+                    next_cache[m] = None;
+                    epoch_cache[m] = machine.fluid.epoch();
+                    continue;
+                }
                 let epoch = machine.fluid.epoch();
                 if epoch_cache[m] != epoch {
                     next_cache[m] = machine.fluid.next_completion(self.now);
@@ -518,26 +661,271 @@ impl Exec {
                     });
                 }
             }
+            if self.faults_on {
+                if let Some(t) = self.faults.next_time() {
+                    next = Some(match next {
+                        Some(b) => b.min(t),
+                        None => t,
+                    });
+                }
+            }
             let Some(t) = next else {
-                assert!(
-                    self.jobs.iter().all(|j| j.done),
-                    "monotasks executor deadlocked at {:?}: no runnable work but jobs unfinished",
-                    self.now
-                );
-                break;
+                if self.jobs.iter().all(|j| j.done) {
+                    break;
+                }
+                return Err(RunError::Unrecoverable {
+                    at: self.now,
+                    reason: "no runnable work but jobs unfinished".into(),
+                });
             };
             self.now = t;
             steps += 1;
-            assert!(
-                steps <= self.cfg.max_steps,
-                "monotasks executor exceeded {} steps",
-                self.cfg.max_steps
-            );
+            if steps > self.cfg.max_steps {
+                return Err(RunError::StepBudgetExhausted { steps });
+            }
         }
         self.stats.events = steps;
         // Raw loop wall time; into_output subtracts what the allocators
         // account for, leaving pure executor-control overhead.
         self.stats.control_nanos = loop_timer.elapsed().as_nanos() as u64;
+        Ok(())
+    }
+
+    /// Applies every fault action due at `now`, inside the open batch.
+    fn apply_due_faults(&mut self) -> Result<(), RunError> {
+        while let Some(action) = self.faults.pop_due(self.now) {
+            match action {
+                FaultAction::SetDiskScale {
+                    machine,
+                    disk,
+                    factor,
+                } => {
+                    if self.machines[machine].alive {
+                        self.machines[machine]
+                            .fluid
+                            .set_disk_scale(self.now, disk, factor);
+                    }
+                }
+                FaultAction::SetLinkScale { machine, factor } => {
+                    // Receiver-side NIC model; in fabric mode per-node link
+                    // degradation is a listed follow-up (ROADMAP), so the
+                    // scale is applied to the machine allocator either way.
+                    if self.machines[machine].alive {
+                        self.machines[machine].fluid.set_nic_scale(self.now, factor);
+                    }
+                }
+                FaultAction::Crash { machine } => self.crash_machine(machine)?,
+            }
+        }
+        Ok(())
+    }
+
+    /// Permanently fails machine `m`: aborts every multitask running on it or
+    /// fetching from it, re-queues their tasks, and re-queues the completed
+    /// upstream tasks whose shuffle outputs lived on it (lineage
+    /// recomputation).
+    fn crash_machine(&mut self, m: usize) -> Result<(), RunError> {
+        if !self.machines[m].alive {
+            return Ok(());
+        }
+        self.machines[m].alive = false;
+        for mt in 0..self.mts.len() {
+            if self.mts[mt].remaining == 0 || self.mts[mt].aborted {
+                continue;
+            }
+            let on_dead = self.mts[mt].machine == m;
+            let dead_fetch = !on_dead
+                && self.mts[mt]
+                    .nodes
+                    .iter()
+                    .any(|n| !n.done && matches!(n.op, MonoOp::NetFetch { from, .. } if from == m));
+            if on_dead || dead_fetch {
+                self.abort_multitask(mt)?;
+            }
+        }
+        self.lose_shuffle_outputs(m)?;
+        if !self.machines.iter().any(|x| x.alive) {
+            return Err(RunError::Unrecoverable {
+                at: self.now,
+                reason: "every machine has crashed".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Tears down an in-flight multitask: removes its active streams from
+    /// every *surviving* allocator (a dead machine's allocator is a zombie
+    /// and is never polled again), frees the scheduler slots those streams
+    /// held, releases its buffer accounting, and re-queues the task. Queued
+    /// but not-yet-started scheduler entries are skipped lazily at pop time.
+    fn abort_multitask(&mut self, mt: usize) -> Result<(), RunError> {
+        self.mts[mt].aborted = true;
+        let machine = self.mts[mt].machine;
+        let home_alive = self.machines[machine].alive;
+        let mut group_admitted = false;
+        for node in 0..self.mts[mt].nodes.len() {
+            let (op, phase, done) = {
+                let n = &self.mts[mt].nodes[node];
+                (n.op, n.net_phase, n.done)
+            };
+            let sid = stream_id(mt, node);
+            if let MonoOp::NetFetch { .. } = op {
+                if done || phase != NetPhase::Waiting {
+                    group_admitted = true;
+                }
+            }
+            if done {
+                continue;
+            }
+            match op {
+                MonoOp::Compute { .. } => {
+                    if home_alive && self.machines[machine].fluid.contains(sid) {
+                        self.machines[machine].fluid.remove(self.now, sid);
+                        self.machines[machine].sched.finish_cpu();
+                    }
+                }
+                MonoOp::DiskRead { disk, .. } => {
+                    if home_alive && self.machines[machine].fluid.contains(sid) {
+                        self.machines[machine].fluid.remove(self.now, sid);
+                        self.machines[machine].sched.finish_disk(disk, false);
+                    }
+                }
+                MonoOp::DiskWrite { disk, .. } => {
+                    if home_alive && self.machines[machine].fluid.contains(sid) {
+                        self.machines[machine].fluid.remove(self.now, sid);
+                        self.machines[machine].sched.finish_disk(disk, true);
+                    }
+                }
+                MonoOp::NetFetch {
+                    from, remote_disk, ..
+                } => match phase {
+                    NetPhase::Waiting => {}
+                    NetPhase::RemoteRead => {
+                        // The serve read runs on the *sender's* disk.
+                        if self.machines[from].alive && self.machines[from].fluid.contains(sid) {
+                            self.machines[from].fluid.remove(self.now, sid);
+                            self.machines[from].sched.finish_disk(remote_disk, false);
+                        }
+                    }
+                    NetPhase::Transfer => {
+                        if let Some(fabric) = &mut self.fabric {
+                            fabric.remove(self.now, FlowId(sid.0));
+                        } else if home_alive && self.machines[machine].fluid.contains(sid) {
+                            self.machines[machine].fluid.remove(self.now, sid);
+                        }
+                    }
+                },
+            }
+        }
+        if home_alive {
+            if group_admitted && self.mts[mt].fetches_outstanding > 0 {
+                self.machines[machine].sched.finish_net_group();
+            }
+            let held = self.mts[mt].buffered;
+            if held != 0.0 {
+                self.adjust_buffered(machine, -held);
+            }
+            self.machines[machine].assigned -= 1;
+        }
+        self.mts[mt].buffered = 0.0;
+        let key = self.mts[mt].key;
+        let ji = key.job.0 as usize;
+        self.jobs[ji].recovery.wasted_work_seconds +=
+            self.now.since(self.mts[mt].start).as_secs_f64();
+        self.requeue_task(
+            ji,
+            key.stage.0 as usize,
+            key.task.0 as usize,
+            self.mts[mt].recompute,
+        )
+    }
+
+    /// Bounded-retry re-queue of one task attempt.
+    fn requeue_task(
+        &mut self,
+        ji: usize,
+        si: usize,
+        ti: usize,
+        recompute: bool,
+    ) -> Result<(), RunError> {
+        let a = &mut self.attempts[ji][si][ti];
+        *a += 1;
+        if *a > self.cfg.max_task_retries {
+            return Err(RunError::RetriesExhausted {
+                job: JobId(ji as u32),
+                stage: StageId(si as u32),
+                task: TaskId(ti as u32),
+                attempts: *a,
+            });
+        }
+        self.jobs[ji].recovery.tasks_retried += 1;
+        if recompute {
+            self.recompute_pending.insert((ji, si, ti));
+        }
+        self.jobs[ji].stages[si].nopref.push(ti as u32);
+        Ok(())
+    }
+
+    /// Spark-style stage resubmission: for every stage with completed shuffle
+    /// output stored on the dead machine `m` that an unfinished stage still
+    /// needs, re-queue exactly the tasks that produced those bytes (the
+    /// lineage index `completed_on[m]`) and close downstream stages until the
+    /// data exists again.
+    fn lose_shuffle_outputs(&mut self, m: usize) -> Result<(), RunError> {
+        for ji in 0..self.jobs.len() {
+            let n_stages = self.jobs[ji].stages.len();
+            for si in 0..n_stages {
+                if self.jobs[ji].stages[si].shuffle_by_machine[m] <= 0.0 {
+                    continue;
+                }
+                let needed = (0..n_stages).any(|sj| {
+                    !self.jobs[ji].stages[sj].done
+                        && self.jobs[ji].spec.stages[sj]
+                            .deps
+                            .iter()
+                            .any(|d| d.0 as usize == si)
+                });
+                if !needed {
+                    // Every consumer already finished; the lost bytes will
+                    // never be fetched again.
+                    continue;
+                }
+                let lost = std::mem::take(&mut self.jobs[ji].stages[si].completed_on[m]);
+                if lost.is_empty() {
+                    continue;
+                }
+                let was_done = {
+                    let run = &mut self.jobs[ji].stages[si];
+                    run.shuffle_by_machine[m] = 0.0;
+                    run.completed -= lost.len();
+                    let was_done = run.done;
+                    run.done = false;
+                    run.ended = None;
+                    was_done
+                };
+                for ti in lost {
+                    self.requeue_task(ji, si, ti as usize, true)?;
+                }
+                if was_done {
+                    for sj in 0..n_stages {
+                        let depends = self.jobs[ji].spec.stages[sj]
+                            .deps
+                            .iter()
+                            .any(|d| d.0 as usize == si);
+                        if depends
+                            && self.jobs[ji].stages[sj].ready
+                            && !self.jobs[ji].stages[sj].done
+                        {
+                            // Pending consumers wait for the recomputation;
+                            // in-flight consumers fetching from `m` were
+                            // already aborted above.
+                            self.jobs[ji].stages[sj].ready = false;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Opens a batched-update scope on every allocator (machines + fabric).
@@ -568,6 +956,9 @@ impl Exec {
         loop {
             let mut assigned_any = false;
             for m in 0..self.n_machines() {
+                if !self.machines[m].alive {
+                    continue;
+                }
                 // A machine under memory pressure takes no new multitasks
                 // (§3.5: schedulers prioritize by remaining memory); it has
                 // work in flight by construction, so this cannot stall it.
@@ -636,7 +1027,21 @@ impl Exec {
     /// Builds the monotask DAG for one task and enqueues its roots.
     fn start_multitask(&mut self, m: usize, ji: usize, si: usize, ti: usize) {
         let n_disks = self.machines[m].fluid.spec().disks.len();
-        let task = self.jobs[ji].spec.stages[si].tasks[ti];
+        let mut task = self.jobs[ji].spec.stages[si].tasks[ti];
+        let mut recompute = false;
+        if self.faults_on {
+            recompute = self.recompute_pending.remove(&(ji, si, ti));
+            // A straggler's *first* attempt drags its compute monotask out by
+            // `factor`; because the slowdown is pinned to one monotask, the
+            // per-resource records attribute it directly (§6.6's clarity win).
+            if self.attempts[ji][si][ti] == 0 {
+                if let Some(f) = self.faults.straggle_factor(si, ti) {
+                    task.cpu.deser *= f;
+                    task.cpu.compute *= f;
+                    task.cpu.ser *= f;
+                }
+            }
+        }
         let input_disk = match task.input {
             InputSpec::DiskBlock { block, .. } => self.jobs[ji].blocks.disk_of(block),
             _ => 0,
@@ -700,6 +1105,10 @@ impl Exec {
             nodes,
             remaining,
             fetches_outstanding: 0,
+            aborted: false,
+            start: self.now,
+            buffered: 0.0,
+            recompute,
         });
         self.machines[m].assigned += 1;
         let run = &mut self.jobs[ji].stages[si];
@@ -792,7 +1201,20 @@ impl Exec {
     fn dispatch_all(&mut self) -> bool {
         let mut changed = false;
         for m in 0..self.n_machines() {
+            if !self.machines[m].alive {
+                // Every entry a dead machine's queues hold belongs to an
+                // aborted multitask (its own, or a serve read for a fetch
+                // from it); nothing may be admitted.
+                continue;
+            }
             while let Some((mt, node)) = self.machines[m].sched.pop_cpu() {
+                if self.mts[mt].aborted {
+                    // Stale entry of a crash-aborted multitask: drop it and
+                    // give back the slot the pop took.
+                    self.machines[m].sched.finish_cpu();
+                    changed = true;
+                    continue;
+                }
                 self.start_cpu(m, mt, node);
                 changed = true;
             }
@@ -807,11 +1229,23 @@ impl Exec {
                         self.machines[m].sched.pop_disk(d)
                     };
                     let Some((mt, node)) = popped else { break };
+                    if self.mts[mt].aborted {
+                        let was_write =
+                            matches!(self.mts[mt].nodes[node].op, MonoOp::DiskWrite { .. });
+                        self.machines[m].sched.finish_disk(d, was_write);
+                        changed = true;
+                        continue;
+                    }
                     self.start_disk(m, d, mt, node);
                     changed = true;
                 }
             }
             while let Some(mt) = self.machines[m].sched.pop_net_group() {
+                if self.mts[mt].aborted {
+                    self.machines[m].sched.finish_net_group();
+                    changed = true;
+                    continue;
+                }
                 self.start_fetch_group(mt);
                 changed = true;
             }
@@ -841,6 +1275,7 @@ impl Exec {
                 // Reserve the read buffer up front: the memory is committed
                 // the moment the monotask is admitted (§3.5 accounting).
                 self.adjust_buffered(machine, bytes);
+                self.mts[mt].buffered += bytes;
                 (bytes, false)
             }
             MonoOp::DiskWrite { bytes, .. } => {
@@ -882,6 +1317,7 @@ impl Exec {
             .sum();
         let machine = self.mts[mt].machine;
         self.adjust_buffered(machine, group_bytes);
+        self.mts[mt].buffered += group_bytes;
         for node in fetch_nodes {
             match self.mts[mt].nodes[node].op {
                 MonoOp::NetFetch {
@@ -957,6 +1393,7 @@ impl Exec {
                     .map(|n| n.op.bytes())
                     .sum();
                 self.adjust_buffered(machine, produced - consumed);
+                self.mts[mt].buffered += produced - consumed;
                 self.emit(mt, node, machine, ResourceKind::Cpu, 0.0, Some(work));
                 self.complete_node(mt, node);
             }
@@ -976,6 +1413,7 @@ impl Exec {
             } => {
                 self.machines[machine].sched.finish_disk(disk, true);
                 self.adjust_buffered(machine, -bytes);
+                self.mts[mt].buffered -= bytes;
                 self.emit(mt, node, machine, ResourceKind::Disk, bytes, None);
                 self.complete_node(mt, node);
             }
@@ -1085,6 +1523,14 @@ impl Exec {
         let ji = key.job.0 as usize;
         let si = key.stage.0 as usize;
         let task = self.jobs[ji].spec.stages[si].tasks[key.task.0 as usize];
+        if self.faults_on {
+            if self.mts[mt].recompute {
+                self.jobs[ji].recovery.recompute_seconds +=
+                    self.now.since(self.mts[mt].start).as_secs_f64();
+            }
+            // Lineage index: which completed tasks' outputs live on `machine`.
+            self.jobs[ji].stages[si].completed_on[machine].push(key.task.0);
+        }
         {
             let run = &mut self.jobs[ji].stages[si];
             if let OutputSpec::ShuffleWrite { bytes, .. } = task.output {
@@ -1131,6 +1577,14 @@ impl Exec {
         // main_loop stored raw loop wall time; what the allocators account
         // for is attributed to them, the rest is executor control.
         stats.control_nanos = stats.control_nanos.saturating_sub(stats.allocator_nanos());
+        let mut total_recovery = RecoveryStats::default();
+        for j in &self.jobs {
+            total_recovery.merge(&j.recovery);
+        }
+        stats.tasks_retried = total_recovery.tasks_retried;
+        stats.tasks_speculated = total_recovery.tasks_speculated;
+        stats.wasted_work_nanos = (total_recovery.wasted_work_seconds * 1e9).round() as u64;
+        stats.recompute_nanos = (total_recovery.recompute_seconds * 1e9).round() as u64;
         let peak_buffered = self.machines.iter().map(|m| m.peak_buffered).collect();
         let jobs = self
             .jobs
@@ -1150,6 +1604,7 @@ impl Exec {
                         end: s.ended.expect("stage never ended"),
                     })
                     .collect(),
+                recovery: j.recovery,
             })
             .collect();
         MonoRunOutput {

@@ -31,6 +31,8 @@ pub mod metrics;
 pub mod monotask;
 pub mod scheduler;
 
-pub use executor::{run, DiskChoice, JobPolicy, MonoConfig, MonoRunOutput};
+pub use executor::{
+    run, run_with_faults, try_run, DiskChoice, JobPolicy, MonoConfig, MonoRunOutput,
+};
 pub use metrics::{MonotaskRecord, Purpose, QueueSnapshot};
 pub use monotask::{MonoOp, Monotask, MultitaskKey};

@@ -1,0 +1,103 @@
+//! Structured run failures shared by both executors.
+//!
+//! The executors historically panicked on every abnormal condition (step
+//! budget exhausted, deadlocked event loop, malformed config). With fault
+//! injection those conditions become *reachable by legitimate inputs* — an
+//! unrecoverable fault plan must produce a clean error a caller can handle,
+//! not an `assert!` backtrace. The legacy panicking `run` entry points remain
+//! as thin wrappers over the `Result`-returning ones.
+
+use std::fmt;
+
+use simcore::SimTime;
+
+use crate::types::{JobId, StageId, TaskId};
+
+/// Why a simulated run could not complete.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunError {
+    /// A config, cluster spec, or fault plan failed up-front validation.
+    InvalidConfig(String),
+    /// The main loop hit its step budget — a livelock guard, now a structured
+    /// error instead of a panic so recovery loops cannot hang a run invisibly.
+    StepBudgetExhausted {
+        /// The budget that was exhausted.
+        steps: u64,
+    },
+    /// Unfinished jobs remain but nothing can ever run again (e.g. every
+    /// machine crashed).
+    Unrecoverable {
+        /// Simulated time at which progress became impossible.
+        at: SimTime,
+        /// Human-readable cause.
+        reason: String,
+    },
+    /// One task failed more often than the retry budget allows.
+    RetriesExhausted {
+        /// Job the task belongs to.
+        job: JobId,
+        /// Stage the task belongs to.
+        stage: StageId,
+        /// The task that kept failing.
+        task: TaskId,
+        /// Attempts consumed (including the original).
+        attempts: u32,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            RunError::StepBudgetExhausted { steps } => {
+                write!(
+                    f,
+                    "step budget exhausted after {steps} events; likely livelock"
+                )
+            }
+            RunError::Unrecoverable { at, reason } => {
+                write!(f, "run unrecoverable at {:.3}s: {reason}", at.as_secs_f64())
+            }
+            RunError::RetriesExhausted {
+                job,
+                stage,
+                task,
+                attempts,
+            } => write!(
+                f,
+                "job {} stage {} task {} failed {attempts} attempts; retry budget exhausted",
+                job.0, stage.0, task.0
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_descriptive() {
+        let e = RunError::Unrecoverable {
+            at: SimTime::from_secs(3),
+            reason: "every machine crashed".into(),
+        };
+        assert!(e.to_string().contains("3.000s"));
+        assert!(e.to_string().contains("every machine crashed"));
+        let e = RunError::RetriesExhausted {
+            job: JobId(1),
+            stage: StageId(2),
+            task: TaskId(3),
+            attempts: 5,
+        };
+        assert!(e.to_string().contains("task 3"));
+        assert!(RunError::InvalidConfig("x".into())
+            .to_string()
+            .contains("x"));
+        assert!(RunError::StepBudgetExhausted { steps: 7 }
+            .to_string()
+            .contains('7'));
+    }
+}

@@ -22,6 +22,7 @@
 
 pub mod blocks;
 pub mod cost;
+pub mod error;
 pub mod plan;
 pub mod reference;
 pub mod report;
@@ -30,8 +31,9 @@ pub mod types;
 
 pub use blocks::BlockMap;
 pub use cost::CostModel;
+pub use error::RunError;
 pub use plan::JobBuilder;
 pub use reference::LocalDataset;
-pub use report::{JobReport, StageReport};
+pub use report::{JobReport, RecoveryStats, StageReport};
 pub use stage::{CpuWork, InputSpec, JobSpec, OutputSpec, StageSpec, TaskSpec};
 pub use types::{BlockId, JobId, PartitionId, StageId, TaskId};

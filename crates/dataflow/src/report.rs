@@ -23,6 +23,37 @@ impl StageReport {
     }
 }
 
+/// Recovery-overhead counters for one job: what fault handling cost beyond
+/// the fault-free critical path. All zero on a fault-free run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryStats {
+    /// Task attempts re-queued after a failure (crash abort or lost output).
+    pub tasks_retried: u64,
+    /// Speculative copies launched against stragglers.
+    pub tasks_speculated: u64,
+    /// Simulated seconds of thrown-away work: aborted in-flight attempts and
+    /// losing speculative copies.
+    pub wasted_work_seconds: f64,
+    /// Simulated seconds re-running previously-completed tasks whose outputs
+    /// a crash destroyed (lineage recomputation).
+    pub recompute_seconds: f64,
+}
+
+impl RecoveryStats {
+    /// Adds `other`'s counters into `self`.
+    pub fn merge(&mut self, other: &RecoveryStats) {
+        self.tasks_retried += other.tasks_retried;
+        self.tasks_speculated += other.tasks_speculated;
+        self.wasted_work_seconds += other.wasted_work_seconds;
+        self.recompute_seconds += other.recompute_seconds;
+    }
+
+    /// True when no recovery activity happened.
+    pub fn is_zero(&self) -> bool {
+        *self == RecoveryStats::default()
+    }
+}
+
 /// Start/end of one executed job, with its stages.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct JobReport {
@@ -36,6 +67,9 @@ pub struct JobReport {
     pub end: SimTime,
     /// Per-stage windows.
     pub stages: Vec<StageReport>,
+    /// Fault-recovery overhead attributed to this job.
+    #[serde(default)]
+    pub recovery: RecoveryStats,
 }
 
 impl JobReport {
@@ -68,7 +102,9 @@ mod tests {
             start: SimTime::ZERO,
             end: SimTime::from_secs(2),
             stages: vec![r],
+            recovery: RecoveryStats::default(),
         };
+        assert!(j.recovery.is_zero());
         assert_eq!(j.duration_secs(), 2.0);
         assert!(j.stage(StageId(0)).is_some());
         assert!(j.stage(StageId(1)).is_none());

@@ -25,6 +25,17 @@ pub struct SimStats {
     /// Wall-clock nanoseconds in the executor's own control loop: total
     /// driver wall time minus everything the allocators account for.
     pub control_nanos: u64,
+    /// Task attempts re-queued after a failure (crash abort or lost shuffle
+    /// output). Simulated-recovery counter, not wall clock.
+    pub tasks_retried: u64,
+    /// Speculative task copies launched (sparklike straggler mitigation).
+    pub tasks_speculated: u64,
+    /// Simulated nanoseconds of task work thrown away: aborted in-flight
+    /// attempts and losing speculative copies.
+    pub wasted_work_nanos: u64,
+    /// Simulated nanoseconds re-executing previously-completed tasks whose
+    /// outputs were lost to a crash (lineage recomputation).
+    pub recompute_nanos: u64,
 }
 
 impl SimStats {
@@ -41,6 +52,10 @@ impl SimStats {
         self.drain_nanos += other.drain_nanos;
         self.completion_nanos += other.completion_nanos;
         self.control_nanos += other.control_nanos;
+        self.tasks_retried += other.tasks_retried;
+        self.tasks_speculated += other.tasks_speculated;
+        self.wasted_work_nanos += other.wasted_work_nanos;
+        self.recompute_nanos += other.recompute_nanos;
     }
 
     /// Wall-clock nanoseconds the allocators account for across all phases.
@@ -67,6 +82,16 @@ impl SimStats {
     pub fn control_secs(&self) -> f64 {
         self.control_nanos as f64 / 1e9
     }
+
+    /// Simulated seconds of wasted (aborted or losing-copy) task work.
+    pub fn wasted_work_secs(&self) -> f64 {
+        self.wasted_work_nanos as f64 / 1e9
+    }
+
+    /// Simulated seconds of lineage recomputation.
+    pub fn recompute_secs(&self) -> f64 {
+        self.recompute_nanos as f64 / 1e9
+    }
 }
 
 #[cfg(test)]
@@ -82,6 +107,10 @@ mod tests {
             drain_nanos: 4,
             completion_nanos: 5,
             control_nanos: 6,
+            tasks_retried: 7,
+            tasks_speculated: 8,
+            wasted_work_nanos: 9,
+            recompute_nanos: 10,
         };
         a.merge(&SimStats {
             events: 10,
@@ -90,6 +119,10 @@ mod tests {
             drain_nanos: 40,
             completion_nanos: 50,
             control_nanos: 60,
+            tasks_retried: 70,
+            tasks_speculated: 80,
+            wasted_work_nanos: 90,
+            recompute_nanos: 100,
         });
         assert_eq!(
             a,
@@ -100,6 +133,10 @@ mod tests {
                 drain_nanos: 44,
                 completion_nanos: 55,
                 control_nanos: 66,
+                tasks_retried: 77,
+                tasks_speculated: 88,
+                wasted_work_nanos: 99,
+                recompute_nanos: 110,
             }
         );
         assert!((a.alloc_secs() - 33e-9).abs() < 1e-18);

@@ -30,6 +30,16 @@ impl SimTime {
         SimTime(secs * 1_000_000_000)
     }
 
+    /// Builds a time from floating-point seconds, rounding up to the next
+    /// nanosecond (same contract as [`SimDuration::from_secs_f64`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative or non-finite input.
+    pub fn from_secs_f64(secs: f64) -> SimTime {
+        SimTime::ZERO.saturating_add(SimDuration::from_secs_f64(secs))
+    }
+
     /// Converts to floating-point seconds (for reporting only).
     pub fn as_secs_f64(self) -> f64 {
         self.0 as f64 / 1e9

@@ -1,15 +1,16 @@
 //! The slot-scheduled, fine-grained-pipelined executor.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use cluster::{
-    BufferCache, CachePolicy, ClusterSpec, DiskId, FluidMachine, MachineId, StreamDemand, StreamId,
-    TraceSet, WriteOutcome,
+    BufferCache, CachePolicy, ClusterSpec, DiskId, FaultAction, FaultPlan, FaultTimeline,
+    FluidMachine, MachineId, StreamDemand, StreamId, TraceSet, WriteOutcome,
 };
 use dataflow::{
-    BlockMap, InputSpec, JobId, JobReport, JobSpec, OutputSpec, StageId, StageReport, TaskId,
+    BlockMap, InputSpec, JobId, JobReport, JobSpec, OutputSpec, RecoveryStats, RunError, StageId,
+    StageReport, TaskId,
 };
-use simcore::{EventQueue, SimStats, SimTime};
+use simcore::{EventQueue, SimDuration, SimStats, SimTime};
 
 /// Configuration of the baseline executor.
 #[derive(Clone, Debug)]
@@ -22,6 +23,15 @@ pub struct SparkConfig {
     pub write_through: bool,
     /// Safety valve on simulation iterations.
     pub max_steps: u64,
+    /// Retries allowed per task beyond its original attempt before the run
+    /// fails with [`RunError::RetriesExhausted`]. `0` = fail fast.
+    pub max_task_retries: u32,
+    /// Speculative execution: when a slot is otherwise idle and a running
+    /// task has exceeded this multiple of its stage's median completed
+    /// duration (with at least half the stage complete), launch a copy on
+    /// another machine; first finisher wins. `None` disables speculation and
+    /// keeps the executor bit-identical to the pre-fault code.
+    pub speculation_multiplier: Option<f64>,
 }
 
 impl Default for SparkConfig {
@@ -30,7 +40,29 @@ impl Default for SparkConfig {
             slots_per_machine: None,
             write_through: false,
             max_steps: 50_000_000,
+            max_task_retries: 4,
+            speculation_multiplier: None,
         }
+    }
+}
+
+impl SparkConfig {
+    /// Rejects configurations that cannot drive a run.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.slots_per_machine == Some(0) {
+            return Err("slots_per_machine must be at least 1".into());
+        }
+        if self.max_steps == 0 {
+            return Err("max_steps must be at least 1".into());
+        }
+        if let Some(f) = self.speculation_multiplier {
+            if !f.is_finite() || f < 1.0 {
+                return Err(format!(
+                    "speculation_multiplier must be finite and >= 1, got {f}"
+                ));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -80,6 +112,17 @@ struct StageRun {
     ended: Option<SimTime>,
     shuffle_by_machine: Vec<f64>,
     shuffle_in_memory: bool,
+    /// Queues already filled once; a stage resumed after lineage loss must
+    /// not re-enqueue every task.
+    populated: bool,
+    /// Lineage index (fault runs only): task indices whose completed output
+    /// lives on each machine.
+    completed_on: Vec<Vec<u32>>,
+    /// Logical completion per task index: guards double-counting when a
+    /// speculative copy and its original race to the finish.
+    task_done: Vec<bool>,
+    /// Completed attempt durations in seconds, for the speculation median.
+    durations: Vec<f64>,
 }
 
 #[derive(Debug)]
@@ -90,6 +133,7 @@ struct JobRun {
     stages: Vec<StageRun>,
     done: bool,
     end: SimTime,
+    recovery: RecoveryStats,
 }
 
 /// A pending disk write at the end of a task.
@@ -121,6 +165,16 @@ struct TaskRun {
     /// Output write to resolve through the cache policy after the last phase.
     out_write: Option<OutWrite>,
     done: bool,
+    /// Aborted by a crash or lost a speculation race; its streams are gone
+    /// and any late completion for it must be ignored.
+    killed: bool,
+    /// A speculative copy of a straggling attempt.
+    speculative: bool,
+    /// Re-running a previously completed task whose output a crash destroyed.
+    recompute: bool,
+    /// Still in its first phase with remote shuffle bytes in flight; a crash
+    /// of any sender fails the whole fetch.
+    fetch_live: bool,
 }
 
 struct Mach {
@@ -133,6 +187,9 @@ struct Mach {
     /// entry is `(bytes, waiting task, charged to the cache)`.
     flush_pending: Vec<Vec<FlushEntry>>,
     flush_active: Vec<bool>,
+    /// False once the machine has crashed: its allocator becomes a zombie
+    /// that is never polled again and its slots never refill.
+    alive: bool,
 }
 
 /// Timer events: background cache flushes reaching their start time.
@@ -165,6 +222,16 @@ fn decode(id: StreamId) -> (u64, u64) {
     (id.0 >> 56, id.0 & ((1 << 56) - 1))
 }
 
+/// Median of completed attempt durations (lower-middle for even counts).
+fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    v[(v.len() - 1) / 2]
+}
+
 struct Exec {
     cfg: SparkConfig,
     slots: usize,
@@ -180,6 +247,17 @@ struct Exec {
     now: SimTime,
     rr_job: usize,
     stats: SimStats,
+    faults: FaultTimeline,
+    faults_on: bool,
+    /// Failure count per `[job][stage][task]`; bounds retries.
+    attempts: Vec<Vec<Vec<u32>>>,
+    recompute_pending: HashSet<(usize, usize, usize)>,
+    /// Logical tasks with a speculative copy outstanding.
+    spec_copies: HashSet<(usize, usize, usize)>,
+    /// Wake-up timers at the instant a running task crosses the speculation
+    /// threshold, so the idle-slot check observes it without waiting for an
+    /// unrelated stream completion.
+    spec_timers: EventQueue<()>,
 }
 
 /// Runs `jobs` on a simulated `cluster` under the Spark-like architecture.
@@ -210,11 +288,42 @@ pub fn run(
     jobs: &[(JobSpec, BlockMap)],
     cfg: &SparkConfig,
 ) -> SparkRunOutput {
+    match try_run(cluster, jobs, cfg) {
+        Ok(out) => out,
+        Err(e) => panic!("spark-like run failed: {e}"),
+    }
+}
+
+/// Fault-free [`run`] with structured errors instead of panics.
+pub fn try_run(
+    cluster: &ClusterSpec,
+    jobs: &[(JobSpec, BlockMap)],
+    cfg: &SparkConfig,
+) -> Result<SparkRunOutput, RunError> {
+    run_with_faults(cluster, jobs, cfg, &FaultPlan::new())
+}
+
+/// Runs `jobs` under the Spark-like architecture while injecting the faults
+/// scheduled in `plan`. With an empty plan (and `speculation_multiplier:
+/// None`) this is exactly [`run`]: every fault hook stays off the event path,
+/// so makespans and records are bit-identical to the plan-free code.
+pub fn run_with_faults(
+    cluster: &ClusterSpec,
+    jobs: &[(JobSpec, BlockMap)],
+    cfg: &SparkConfig,
+    plan: &FaultPlan,
+) -> Result<SparkRunOutput, RunError> {
+    cluster.validate().map_err(RunError::InvalidConfig)?;
+    cfg.validate().map_err(RunError::InvalidConfig)?;
     for (spec, _) in jobs {
         if let Err(e) = spec.validate() {
-            panic!("invalid job spec {:?}: {e}", spec.name);
+            return Err(RunError::InvalidConfig(format!(
+                "invalid job spec {:?}: {e}",
+                spec.name
+            )));
         }
     }
+    plan.validate(cluster).map_err(RunError::InvalidConfig)?;
     let n_machines = cluster.machines;
     let slots = cfg
         .slots_per_machine
@@ -230,6 +339,7 @@ pub fn run(
             read_cursor: 0,
             flush_pending: vec![Vec::new(); n_disks],
             flush_active: vec![false; n_disks],
+            alive: true,
         })
         .collect();
     let job_runs = jobs
@@ -261,10 +371,15 @@ pub fn run(
                             }
                         )
                     }),
+                    populated: false,
+                    completed_on: vec![Vec::new(); n_machines],
+                    task_done: vec![false; st.tasks.len()],
+                    durations: Vec::new(),
                 })
                 .collect(),
             done: false,
             end: SimTime::ZERO,
+            recovery: RecoveryStats::default(),
         })
         .collect();
     let mut exec = Exec {
@@ -281,10 +396,24 @@ pub fn run(
         now: SimTime::ZERO,
         rr_job: 0,
         stats: SimStats::new(),
+        faults: plan.compile(),
+        faults_on: !plan.is_empty(),
+        attempts: jobs
+            .iter()
+            .map(|(spec, _)| {
+                spec.stages
+                    .iter()
+                    .map(|st| vec![0; st.tasks.len()])
+                    .collect()
+            })
+            .collect(),
+        recompute_pending: HashSet::new(),
+        spec_copies: HashSet::new(),
+        spec_timers: EventQueue::new(),
     };
     exec.prime();
-    exec.main_loop();
-    exec.into_output()
+    exec.main_loop()?;
+    Ok(exec.into_output())
 }
 
 impl Exec {
@@ -308,6 +437,12 @@ impl Exec {
         let stage_spec = &job.spec.stages[si];
         let run = &mut job.stages[si];
         run.ready = true;
+        if run.populated {
+            // Resumed after lineage loss: the re-queued tasks are already in
+            // `nopref`, everything else completed or is still queued.
+            return;
+        }
+        run.populated = true;
         for (ti, task) in stage_spec.tasks.iter().enumerate() {
             match task.input {
                 InputSpec::DiskBlock { block, .. } => {
@@ -323,7 +458,7 @@ impl Exec {
         run.nopref.reverse();
     }
 
-    fn main_loop(&mut self) {
+    fn main_loop(&mut self) -> Result<(), RunError> {
         let loop_timer = std::time::Instant::now();
         let mut steps: u64 = 0;
         // Completion buffer reused across events: the speculative poll runs
@@ -336,11 +471,24 @@ impl Exec {
             // Each machine reallocates once per event at commit; the
             // intermediate fixpoint between the waves is never observed.
             self.begin_update_all();
+            // Fault actions fire first within their instant: a crash at `t`
+            // wins against completions at `t`, deterministically.
+            if self.faults_on {
+                self.apply_due_faults()?;
+            }
             while self.timers.peek_time() == Some(self.now) {
                 let (_, f) = self.timers.pop().expect("peeked");
                 self.start_flush(f);
             }
+            // Speculation wake-ups carry no payload; draining them is enough —
+            // the assignment sweep below re-checks every straggler.
+            while self.spec_timers.peek_time() == Some(self.now) {
+                self.spec_timers.pop();
+            }
             for m in 0..self.n_machines() {
+                if !self.machines[m].alive {
+                    continue;
+                }
                 self.machines[m].fluid.advance(self.now);
                 self.machines[m]
                     .fluid
@@ -352,6 +500,9 @@ impl Exec {
             while self.assign_tasks() {}
             self.commit_all(self.now);
             for m in 0..self.n_machines() {
+                if !self.machines[m].alive {
+                    continue;
+                }
                 self.machines[m].fluid.advance(self.now);
                 self.traces
                     .snapshot(self.now, MachineId(m), &self.machines[m].fluid);
@@ -359,9 +510,13 @@ impl Exec {
             if self.jobs.iter().all(|j| j.done) {
                 break;
             }
-            // Next event: stream completion or flush timer.
+            // Next event: stream completion, flush timer, speculation
+            // wake-up, or scheduled fault action.
             let mut next: Option<SimTime> = None;
             for m in self.machines.iter_mut() {
+                if !m.alive {
+                    continue;
+                }
                 if let Some(t) = m.fluid.next_completion(self.now) {
                     next = Some(next.map_or(t, |b: SimTime| b.min(t)));
                 }
@@ -369,24 +524,245 @@ impl Exec {
             if let Some(t) = self.timers.peek_time() {
                 next = Some(next.map_or(t, |b: SimTime| b.min(t)));
             }
+            if let Some(t) = self.spec_timers.peek_time() {
+                next = Some(next.map_or(t, |b: SimTime| b.min(t)));
+            }
+            if self.faults_on {
+                if let Some(t) = self.faults.next_time() {
+                    next = Some(next.map_or(t, |b: SimTime| b.min(t)));
+                }
+            }
             let Some(t) = next else {
-                panic!(
-                    "spark-like executor deadlocked at {:?}: jobs unfinished with no events",
-                    self.now
-                );
+                return Err(RunError::Unrecoverable {
+                    at: self.now,
+                    reason: "no runnable work but jobs unfinished".into(),
+                });
             };
             self.now = t;
             steps += 1;
-            assert!(
-                steps <= self.cfg.max_steps,
-                "spark-like executor exceeded {} steps",
-                self.cfg.max_steps
-            );
+            if steps > self.cfg.max_steps {
+                return Err(RunError::StepBudgetExhausted { steps });
+            }
         }
         self.stats.events = steps;
         // Raw loop wall time; into_output subtracts what the allocators
         // account for, leaving pure executor-control overhead.
         self.stats.control_nanos = loop_timer.elapsed().as_nanos() as u64;
+        Ok(())
+    }
+
+    /// Applies every fault action due at `now`, inside the open batch.
+    fn apply_due_faults(&mut self) -> Result<(), RunError> {
+        while let Some(action) = self.faults.pop_due(self.now) {
+            match action {
+                FaultAction::SetDiskScale {
+                    machine,
+                    disk,
+                    factor,
+                } => {
+                    if self.machines[machine].alive {
+                        self.machines[machine]
+                            .fluid
+                            .set_disk_scale(self.now, disk, factor);
+                    }
+                }
+                FaultAction::SetLinkScale { machine, factor } => {
+                    if self.machines[machine].alive {
+                        self.machines[machine].fluid.set_nic_scale(self.now, factor);
+                    }
+                }
+                FaultAction::Crash { machine } => self.crash_machine(machine)?,
+            }
+        }
+        Ok(())
+    }
+
+    /// Permanently fails machine `m`: kills every task running on it, fails
+    /// in-flight shuffle fetches sourced from it, drops its pending
+    /// write-back work, and re-queues the completed upstream tasks whose
+    /// shuffle outputs lived on it (lineage recomputation).
+    fn crash_machine(&mut self, m: usize) -> Result<(), RunError> {
+        if !self.machines[m].alive {
+            return Ok(());
+        }
+        self.machines[m].alive = false;
+        for t_idx in 0..self.tasks.len() {
+            let t = &self.tasks[t_idx];
+            if t.done || t.killed {
+                continue;
+            }
+            let on_dead = t.machine == m;
+            // A fetch is one merged stream over all senders; losing any
+            // sender fails the whole attempt (Spark's FetchFailed).
+            let dead_fetch = !on_dead
+                && t.fetch_live
+                && self.jobs[t.job].spec.stages[t.stage]
+                    .deps
+                    .iter()
+                    .any(|d| self.jobs[t.job].stages[d.0 as usize].shuffle_by_machine[m] > 0.0);
+            if on_dead || dead_fetch {
+                self.abort_task(t_idx)?;
+            }
+        }
+        // Pending and in-flight write-back on the dead machine is lost; its
+        // waiters were tasks on `m`, all killed above.
+        for q in &mut self.machines[m].flush_pending {
+            q.clear();
+        }
+        self.flushes.retain(|_, (machine, _, _)| *machine != m);
+        self.lose_shuffle_outputs(m)?;
+        if !self.machines.iter().any(|x| x.alive) {
+            return Err(RunError::Unrecoverable {
+                at: self.now,
+                reason: "every machine has crashed".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Tears down one in-flight attempt: removes its active stream from its
+    /// machine's allocator (if that machine survives), scrubs any flush
+    /// waiter reference, frees the slot, and re-queues the logical task
+    /// unless another live attempt of it still runs.
+    fn abort_task(&mut self, t_idx: usize) -> Result<(), RunError> {
+        let (ji, si, ti, machine, start, speculative) = {
+            let t = &self.tasks[t_idx];
+            (t.job, t.stage, t.task, t.machine, t.start, t.speculative)
+        };
+        self.tasks[t_idx].killed = true;
+        if self.machines[machine].alive {
+            let sid = task_stream(t_idx, self.tasks[t_idx].phases.len());
+            if self.machines[machine].fluid.contains(sid) {
+                self.machines[machine].fluid.remove(self.now, sid);
+            }
+            self.scrub_flush_waiter(machine, t_idx);
+            self.machines[machine].running -= 1;
+        }
+        self.jobs[ji].recovery.wasted_work_seconds += self.now.since(start).as_secs_f64();
+        if speculative {
+            self.spec_copies.remove(&(ji, si, ti));
+        }
+        let other_attempt_live = self.tasks.iter().enumerate().any(|(i, t)| {
+            i != t_idx && t.job == ji && t.stage == si && t.task == ti && !t.done && !t.killed
+        });
+        if other_attempt_live || self.jobs[ji].stages[si].task_done[ti] {
+            return Ok(());
+        }
+        let recompute = self.tasks[t_idx].recompute;
+        self.requeue_task(ji, si, ti, recompute)
+    }
+
+    /// Drops any flush-entry reference to `t_idx` so a later write-back
+    /// completion cannot finish a killed task. The bytes still flush.
+    fn scrub_flush_waiter(&mut self, machine: usize, t_idx: usize) {
+        for q in &mut self.machines[machine].flush_pending {
+            for e in q.iter_mut() {
+                if e.waiter == Some(t_idx) {
+                    e.waiter = None;
+                }
+            }
+        }
+        for (m, _, entries) in self.flushes.values_mut() {
+            if *m != machine {
+                continue;
+            }
+            for e in entries.iter_mut() {
+                if e.waiter == Some(t_idx) {
+                    e.waiter = None;
+                }
+            }
+        }
+    }
+
+    /// Bounded-retry re-queue of one logical task.
+    fn requeue_task(
+        &mut self,
+        ji: usize,
+        si: usize,
+        ti: usize,
+        recompute: bool,
+    ) -> Result<(), RunError> {
+        let a = &mut self.attempts[ji][si][ti];
+        *a += 1;
+        if *a > self.cfg.max_task_retries {
+            return Err(RunError::RetriesExhausted {
+                job: JobId(ji as u32),
+                stage: StageId(si as u32),
+                task: TaskId(ti as u32),
+                attempts: *a,
+            });
+        }
+        self.jobs[ji].recovery.tasks_retried += 1;
+        if recompute {
+            self.recompute_pending.insert((ji, si, ti));
+        }
+        self.jobs[ji].stages[si].nopref.push(ti as u32);
+        Ok(())
+    }
+
+    /// Spark-style stage resubmission: for every stage with completed shuffle
+    /// output stored on the dead machine `m` that an unfinished stage still
+    /// needs, re-queue exactly the tasks that produced those bytes (the
+    /// lineage index `completed_on[m]`) and close downstream stages until the
+    /// data exists again.
+    fn lose_shuffle_outputs(&mut self, m: usize) -> Result<(), RunError> {
+        for ji in 0..self.jobs.len() {
+            let n_stages = self.jobs[ji].stages.len();
+            for si in 0..n_stages {
+                if self.jobs[ji].stages[si].shuffle_by_machine[m] <= 0.0 {
+                    continue;
+                }
+                let needed = (0..n_stages).any(|sj| {
+                    !self.jobs[ji].stages[sj].done
+                        && self.jobs[ji].spec.stages[sj]
+                            .deps
+                            .iter()
+                            .any(|d| d.0 as usize == si)
+                });
+                if !needed {
+                    // Every consumer already finished; the lost bytes will
+                    // never be fetched again.
+                    continue;
+                }
+                let lost = std::mem::take(&mut self.jobs[ji].stages[si].completed_on[m]);
+                if lost.is_empty() {
+                    continue;
+                }
+                let was_done = {
+                    let run = &mut self.jobs[ji].stages[si];
+                    run.shuffle_by_machine[m] = 0.0;
+                    run.completed -= lost.len();
+                    for &ti in &lost {
+                        run.task_done[ti as usize] = false;
+                    }
+                    let was_done = run.done;
+                    run.done = false;
+                    run.ended = None;
+                    was_done
+                };
+                for ti in lost {
+                    self.requeue_task(ji, si, ti as usize, true)?;
+                }
+                if was_done {
+                    for sj in 0..n_stages {
+                        let depends = self.jobs[ji].spec.stages[sj]
+                            .deps
+                            .iter()
+                            .any(|d| d.0 as usize == si);
+                        if depends
+                            && self.jobs[ji].stages[sj].ready
+                            && !self.jobs[ji].stages[sj].done
+                        {
+                            // Pending consumers wait for the recomputation;
+                            // in-flight consumers fetching from `m` were
+                            // already aborted above.
+                            self.jobs[ji].stages[sj].ready = false;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     fn begin_update_all(&mut self) {
@@ -408,11 +784,20 @@ impl Exec {
         loop {
             let mut assigned_any = false;
             for m in 0..self.n_machines() {
+                if !self.machines[m].alive {
+                    continue;
+                }
                 if self.machines[m].running < self.slots {
                     if let Some((ji, si, ti)) = self.pick_task(m) {
-                        self.launch_task(m, ji, si, ti);
+                        self.launch_task(m, ji, si, ti, false);
                         assigned_any = true;
                         changed = true;
+                    } else if self.cfg.speculation_multiplier.is_some() {
+                        if let Some((ji, si, ti)) = self.pick_speculative(m) {
+                            self.launch_task(m, ji, si, ti, true);
+                            assigned_any = true;
+                            changed = true;
+                        }
                     }
                 }
             }
@@ -421,6 +806,33 @@ impl Exec {
             }
         }
         changed
+    }
+
+    /// An idle slot with no regular work: find the straggler most worth
+    /// duplicating. A candidate's stage must be at least half complete, the
+    /// attempt must have run longer than `speculation_multiplier ×` the
+    /// stage's median completed duration, no copy may be outstanding, and
+    /// the copy must land on a different machine than the original.
+    fn pick_speculative(&self, m: usize) -> Option<(usize, usize, usize)> {
+        let mult = self.cfg.speculation_multiplier?;
+        for t in &self.tasks {
+            if t.done || t.killed || t.speculative || t.machine == m {
+                continue;
+            }
+            let key = (t.job, t.stage, t.task);
+            let run = &self.jobs[t.job].stages[t.stage];
+            if run.task_done[t.task] || self.spec_copies.contains(&key) {
+                continue;
+            }
+            if run.durations.len() * 2 < run.total {
+                continue;
+            }
+            let med = median(&run.durations);
+            if med > 0.0 && self.now.since(t.start).as_secs_f64() > mult * med {
+                return Some(key);
+            }
+        }
+        None
     }
 
     fn pick_task(&mut self, m: usize) -> Option<(usize, usize, usize)> {
@@ -461,9 +873,29 @@ impl Exec {
     }
 
     /// Builds the task's pipelined phases and starts the first one.
-    fn launch_task(&mut self, m: usize, ji: usize, si: usize, ti: usize) {
+    fn launch_task(&mut self, m: usize, ji: usize, si: usize, ti: usize, speculative: bool) {
         let n_disks = self.machines[m].fluid.spec().disks.len();
-        let spec = self.jobs[ji].spec.stages[si].tasks[ti];
+        let mut spec = self.jobs[ji].spec.stages[si].tasks[ti];
+        let mut recompute = false;
+        if speculative {
+            // The copy inherits the original's recompute attribution and
+            // runs clean — the straggle factor applies to first attempts
+            // only, which is exactly what speculation exists to beat.
+            recompute = self.tasks.iter().any(|t| {
+                t.job == ji && t.stage == si && t.task == ti && !t.done && !t.killed && t.recompute
+            });
+            self.spec_copies.insert((ji, si, ti));
+            self.jobs[ji].recovery.tasks_speculated += 1;
+        } else if self.faults_on {
+            recompute = self.recompute_pending.remove(&(ji, si, ti));
+            if self.attempts[ji][si][ti] == 0 {
+                if let Some(f) = self.faults.straggle_factor(si, ti) {
+                    spec.cpu.deser *= f;
+                    spec.cpu.compute *= f;
+                    spec.cpu.ser *= f;
+                }
+            }
+        }
         // Phase 1: input + deserialize + compute, fully pipelined.
         let mut p1 = StreamDemand::zero(n_disks);
         p1.cpu = spec.cpu.deser + spec.cpu.compute;
@@ -532,6 +964,10 @@ impl Exec {
             phases,
             out_write,
             done: false,
+            killed: false,
+            speculative,
+            recompute,
+            fetch_live: matches!(spec.input, InputSpec::ShuffleFetch { .. }),
         });
         self.machines[m].running += 1;
         if self.jobs[ji].stages[si].started.is_none() {
@@ -567,6 +1003,10 @@ impl Exec {
     /// A flush timer fired: hand the dirty bytes to the per-disk kernel
     /// flusher, which writes back one coalesced stream at a time.
     fn start_flush(&mut self, f: FlushStart) {
+        if !self.machines[f.machine].alive {
+            // The dirty bytes died with the machine.
+            return;
+        }
         self.enqueue_flush(
             f.machine,
             f.disk,
@@ -672,6 +1112,13 @@ impl Exec {
         match tag {
             TAG_TASK => {
                 let t_idx = (rest >> 8) as usize;
+                if self.tasks[t_idx].killed {
+                    // Same-instant race: the attempt was killed in this batch
+                    // after its stream already drained as completed.
+                    return;
+                }
+                // Any phase completion means the (first-phase) fetch is over.
+                self.tasks[t_idx].fetch_live = false;
                 self.start_next_phase(t_idx);
             }
             TAG_FLUSH => {
@@ -683,7 +1130,9 @@ impl Exec {
                         self.machines[m].cache.flushed(e.bytes);
                     }
                     if let Some(t_idx) = e.waiter {
-                        self.finish_task(t_idx);
+                        if !self.tasks[t_idx].killed {
+                            self.finish_task(t_idx);
+                        }
                     }
                 }
                 self.pump_flush(m, disk);
@@ -694,10 +1143,35 @@ impl Exec {
 
     fn finish_task(&mut self, t_idx: usize) {
         let t = &mut self.tasks[t_idx];
-        debug_assert!(!t.done);
+        debug_assert!(!t.done && !t.killed);
         t.done = true;
-        let (ji, si, ti, machine, start) = (t.job, t.stage, t.task, t.machine, t.start);
+        let (ji, si, ti, machine, start, recompute) =
+            (t.job, t.stage, t.task, t.machine, t.start, t.recompute);
         self.machines[machine].running -= 1;
+        let elapsed = self.now.since(start).as_secs_f64();
+        if self.jobs[ji].stages[si].task_done[ti] {
+            // A slower attempt crossed the line after the winner already
+            // counted: pure wasted work, no record, no stage progress.
+            self.jobs[ji].recovery.wasted_work_seconds += elapsed;
+            return;
+        }
+        self.jobs[ji].stages[si].task_done[ti] = true;
+        // First finisher wins: a still-running twin (original or copy) is
+        // killed and its time charged as waste.
+        if self.spec_copies.remove(&(ji, si, ti)) || self.tasks[t_idx].speculative {
+            for loser in 0..self.tasks.len() {
+                let l = &self.tasks[loser];
+                if loser != t_idx
+                    && l.job == ji
+                    && l.stage == si
+                    && l.task == ti
+                    && !l.done
+                    && !l.killed
+                {
+                    self.kill_task(loser);
+                }
+            }
+        }
         self.records.push(TaskRecord {
             job: JobId(ji as u32),
             stage: StageId(si as u32),
@@ -706,6 +1180,13 @@ impl Exec {
             start,
             end: self.now,
         });
+        if self.faults_on {
+            if recompute {
+                self.jobs[ji].recovery.recompute_seconds += elapsed;
+            }
+            // Lineage index: which completed tasks' outputs live on `machine`.
+            self.jobs[ji].stages[si].completed_on[machine].push(ti as u32);
+        }
         let spec = self.jobs[ji].spec.stages[si].tasks[ti];
         {
             let run = &mut self.jobs[ji].stages[si];
@@ -718,12 +1199,73 @@ impl Exec {
                 run.ended = Some(self.now);
             }
         }
+        if let Some(mult) = self.cfg.speculation_multiplier {
+            self.jobs[ji].stages[si].durations.push(elapsed);
+            self.schedule_speculation_wakeups(ji, si, mult);
+        }
         if self.jobs[ji].stages[si].done {
             self.unlock_dependents(ji, si);
             if self.jobs[ji].stages.iter().all(|s| s.done) {
                 self.jobs[ji].done = true;
                 self.jobs[ji].end = self.now;
             }
+        }
+    }
+
+    /// Kills a losing attempt in a speculation race: removes its active
+    /// stream (or flush waiter), frees its slot, and charges its runtime as
+    /// wasted work. The logical task is already complete, so nothing
+    /// re-queues.
+    fn kill_task(&mut self, t_idx: usize) {
+        let (ji, machine, start, speculative) = {
+            let t = &self.tasks[t_idx];
+            (t.job, t.machine, t.start, t.speculative)
+        };
+        self.tasks[t_idx].killed = true;
+        if self.machines[machine].alive {
+            let sid = task_stream(t_idx, self.tasks[t_idx].phases.len());
+            if self.machines[machine].fluid.contains(sid) {
+                self.machines[machine].fluid.remove(self.now, sid);
+            }
+            self.scrub_flush_waiter(machine, t_idx);
+            self.machines[machine].running -= 1;
+        }
+        if speculative {
+            let t = &self.tasks[t_idx];
+            self.spec_copies.remove(&(t.job, t.stage, t.task));
+        }
+        self.jobs[ji].recovery.wasted_work_seconds += self.now.since(start).as_secs_f64();
+    }
+
+    /// Once a stage's median is known, the instant each still-running
+    /// attempt crosses the speculation threshold is known too — schedule a
+    /// wake-up there so the idle-slot sweep observes it even if no other
+    /// event falls in between (e.g. the straggler is the last stream alive).
+    fn schedule_speculation_wakeups(&mut self, ji: usize, si: usize, mult: f64) {
+        let run = &self.jobs[ji].stages[si];
+        if run.done || run.durations.len() * 2 < run.total {
+            return;
+        }
+        let med = median(&run.durations);
+        if med <= 0.0 {
+            return;
+        }
+        let threshold = SimDuration::from_secs_f64(mult * med);
+        let mut wake: Vec<SimTime> = Vec::new();
+        for t in &self.tasks {
+            if t.done || t.killed || t.speculative || t.job != ji || t.stage != si {
+                continue;
+            }
+            if self.spec_copies.contains(&(t.job, t.stage, t.task)) {
+                continue;
+            }
+            let at = t.start.saturating_add(threshold);
+            if at > self.now {
+                wake.push(at);
+            }
+        }
+        for at in wake {
+            self.spec_timers.schedule(at, ());
         }
     }
 
@@ -748,6 +1290,14 @@ impl Exec {
         // main_loop stored raw loop wall time; what the allocators account
         // for is attributed to them, the rest is executor control.
         stats.control_nanos = stats.control_nanos.saturating_sub(stats.allocator_nanos());
+        let mut total_recovery = RecoveryStats::default();
+        for j in &self.jobs {
+            total_recovery.merge(&j.recovery);
+        }
+        stats.tasks_retried = total_recovery.tasks_retried;
+        stats.tasks_speculated = total_recovery.tasks_speculated;
+        stats.wasted_work_nanos = (total_recovery.wasted_work_seconds * 1e9).round() as u64;
+        stats.recompute_nanos = (total_recovery.recompute_seconds * 1e9).round() as u64;
         let jobs = self
             .jobs
             .into_iter()
@@ -766,6 +1316,7 @@ impl Exec {
                         end: s.ended.expect("stage never ended"),
                     })
                     .collect(),
+                recovery: j.recovery,
             })
             .collect();
         SparkRunOutput {

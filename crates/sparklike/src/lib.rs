@@ -25,4 +25,4 @@
 
 pub mod executor;
 
-pub use executor::{run, SparkConfig, SparkRunOutput, TaskRecord};
+pub use executor::{run, run_with_faults, try_run, SparkConfig, SparkRunOutput, TaskRecord};

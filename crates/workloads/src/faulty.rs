@@ -1,0 +1,73 @@
+//! Canned fault plans for the evaluation workloads.
+//!
+//! Thin builders over [`cluster::FaultPlan`] so benchmarks and tests inject
+//! the same faults without repeating the plumbing: a single mid-shuffle
+//! machine crash (the lineage-recomputation scenario), a crash of every
+//! machine (the unrecoverable scenario), and the seeded random plan the
+//! `fault_sweep` benchmark scales by intensity.
+
+use cluster::{ClusterSpec, FaultPlan, FaultSpec};
+use simcore::SimTime;
+
+/// A single machine crash at `at_secs`, aimed mid-shuffle: with a sort whose
+/// map stage finishes around the midpoint, the crash destroys completed map
+/// outputs and forces Spark-style stage resubmission in both executors.
+pub fn mid_shuffle_crash(machine: usize, at_secs: f64) -> FaultPlan {
+    FaultPlan::new().crash(machine, SimTime::from_secs_f64(at_secs))
+}
+
+/// Crashes every machine in the cluster at `at_secs` — no recovery is
+/// possible and a run must fail with a clean `Unrecoverable` error.
+pub fn crash_all(cluster: &ClusterSpec, at_secs: f64) -> FaultPlan {
+    let mut plan = FaultPlan::new();
+    for m in 0..cluster.machines {
+        plan = plan.crash(m, SimTime::from_secs_f64(at_secs));
+    }
+    plan
+}
+
+/// The seeded random plan the fault sweep uses: `intensity` scales crash,
+/// degradation, and straggler counts over a horizon of `horizon_secs`
+/// (typically the fault-free makespan of the workload under test).
+pub fn sweep_plan(
+    seed: u64,
+    cluster: &ClusterSpec,
+    horizon_secs: f64,
+    stages: usize,
+    tasks_per_stage: usize,
+    intensity: f64,
+) -> FaultPlan {
+    let spec = FaultSpec::new(
+        cluster,
+        SimTime::from_secs_f64(horizon_secs),
+        stages,
+        tasks_per_stage,
+    );
+    FaultPlan::random(seed, &spec, intensity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::MachineSpec;
+
+    #[test]
+    fn builders_produce_valid_plans() {
+        let cluster = ClusterSpec::new(4, MachineSpec::m2_4xlarge());
+        let plan = mid_shuffle_crash(1, 30.0);
+        assert!(plan.validate(&cluster).is_ok());
+        assert_eq!(plan.events().len(), 1);
+
+        let all = crash_all(&cluster, 10.0);
+        assert!(all.validate(&cluster).is_ok());
+        assert_eq!(all.events().len(), 4);
+
+        let swept = sweep_plan(7, &cluster, 120.0, 2, 32, 1.5);
+        assert!(swept.validate(&cluster).is_ok());
+        assert!(!swept.is_empty());
+        assert_eq!(
+            swept.events(),
+            sweep_plan(7, &cluster, 120.0, 2, 32, 1.5).events()
+        );
+    }
+}

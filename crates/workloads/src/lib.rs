@@ -12,6 +12,8 @@
 //!   making it network-intensive.
 //! * [`wordcount`] — the paper's running example (Fig 1), with both a planned
 //!   job and a real reference-executor implementation.
+//! * [`faulty`] — canned fault plans (mid-shuffle crash, crash-all, seeded
+//!   random sweep) for injecting failures into any of the above.
 //!
 //! Data that the paper draws from Common Crawl and HiBench is generated
 //! synthetically with the published volumes and shapes (see DESIGN.md's
@@ -21,12 +23,14 @@
 #![warn(missing_docs)]
 
 pub mod bdb;
+pub mod faulty;
 pub mod ml;
 pub mod skew;
 pub mod sort;
 pub mod wordcount;
 
 pub use bdb::{bdb_job, BdbQuery};
+pub use faulty::{crash_all, mid_shuffle_crash, sweep_plan};
 pub use ml::{ml_jobs, MlConfig};
 pub use skew::{apply_input_skew, input_skew_ratio};
 pub use sort::{sort_job, SortConfig};

@@ -1,0 +1,158 @@
+//! Property tests for the fault-injection layer.
+//!
+//! Two contracts: (1) an *empty* fault plan leaves both executors
+//! bit-identical to the plan-free entry points — every makespan, record
+//! timing, and event count — and (2) fault plans generated from the same
+//! seed and injected twice produce identical outcomes, including identical
+//! structured errors when the plan is unrecoverable.
+
+use cluster::{ClusterSpec, FaultPlan, MachineSpec};
+use dataflow::{BlockMap, CostModel, JobBuilder, JobSpec};
+use monotasks_core::MonoConfig;
+use proptest::prelude::*;
+use sparklike::SparkConfig;
+use workloads::sweep_plan;
+
+const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+
+#[derive(Clone, Debug)]
+struct RandomJob {
+    machines: usize,
+    total_gib: f64,
+    map_tasks: usize,
+    reduce_tasks: Option<usize>,
+    in_memory_shuffle: bool,
+}
+
+impl RandomJob {
+    fn build(&self) -> (ClusterSpec, JobSpec, BlockMap) {
+        let total = self.total_gib * GIB;
+        let mut b = JobBuilder::new("prop", CostModel::spark_1_3()).read_disk(
+            total,
+            total / 64.0,
+            total / self.map_tasks as f64,
+        );
+        b = b.map(1.0, 1.0, true);
+        let job = match self.reduce_tasks {
+            Some(r) => b
+                .shuffle(r, self.in_memory_shuffle)
+                .map(1.0, 1.0, true)
+                .write_disk(1.0),
+            None => b.write_disk(1.0),
+        };
+        let cluster = ClusterSpec::new(self.machines, MachineSpec::m2_4xlarge());
+        let blocks =
+            BlockMap::round_robin(JobBuilder::blocks_allocated(&job).max(1), self.machines, 2);
+        (cluster, job, blocks)
+    }
+}
+
+fn random_job() -> impl Strategy<Value = RandomJob> {
+    (
+        2usize..=4,
+        0.25f64..=2.0,
+        1usize..=16,
+        prop_oneof![Just(None), (1usize..=12).prop_map(Some)],
+        any::<bool>(),
+    )
+        .prop_map(
+            |(machines, total_gib, map_tasks, reduce_tasks, ims)| RandomJob {
+                machines,
+                total_gib,
+                map_tasks,
+                reduce_tasks,
+                in_memory_shuffle: ims,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Empty plan ⇒ bit-identical to the plan-free path, both executors.
+    #[test]
+    fn empty_plan_is_bit_identical(rj in random_job()) {
+        let (cluster, job, blocks) = rj.build();
+
+        let mono_cfg = MonoConfig::default();
+        let plain = monotasks_core::run(&cluster, &[(job.clone(), blocks.clone())], &mono_cfg);
+        let faulted = monotasks_core::run_with_faults(
+            &cluster, &[(job.clone(), blocks.clone())], &mono_cfg, &FaultPlan::new(),
+        ).expect("empty plan must not fail");
+        prop_assert_eq!(plain.makespan, faulted.makespan);
+        prop_assert_eq!(plain.stats.events, faulted.stats.events);
+        prop_assert_eq!(plain.records.len(), faulted.records.len());
+        for (a, b) in plain.records.iter().zip(&faulted.records) {
+            prop_assert_eq!(a.queued, b.queued);
+            prop_assert_eq!(a.started, b.started);
+            prop_assert_eq!(a.ended, b.ended);
+            prop_assert_eq!(a.machine, b.machine);
+        }
+        prop_assert!(faulted.jobs[0].recovery.is_zero());
+
+        let spark_cfg = SparkConfig::default();
+        let plain = sparklike::run(&cluster, &[(job.clone(), blocks.clone())], &spark_cfg);
+        let faulted = sparklike::run_with_faults(
+            &cluster, &[(job, blocks)], &spark_cfg, &FaultPlan::new(),
+        ).expect("empty plan must not fail");
+        prop_assert_eq!(plain.makespan, faulted.makespan);
+        prop_assert_eq!(plain.stats.events, faulted.stats.events);
+        prop_assert_eq!(plain.tasks.len(), faulted.tasks.len());
+        for (a, b) in plain.tasks.iter().zip(&faulted.tasks) {
+            prop_assert_eq!(a.start, b.start);
+            prop_assert_eq!(a.end, b.end);
+            prop_assert_eq!(a.machine, b.machine);
+        }
+        prop_assert!(faulted.jobs[0].recovery.is_zero());
+    }
+
+    /// Same seed, same intensity ⇒ identical outcome on repeat, including
+    /// identical errors for unrecoverable plans.
+    #[test]
+    fn seeded_plans_are_reproducible(
+        rj in random_job(),
+        seed in 0u64..1000,
+        intensity in 0.0f64..2.5,
+    ) {
+        let (cluster, job, blocks) = rj.build();
+        let tasks_per_stage = job.stages.iter().map(|s| s.tasks.len()).max().unwrap_or(1);
+        let plan = sweep_plan(seed, &cluster, 60.0, job.stages.len(), tasks_per_stage, intensity);
+        let again = sweep_plan(seed, &cluster, 60.0, job.stages.len(), tasks_per_stage, intensity);
+        prop_assert_eq!(plan.events(), again.events());
+
+        let mono_cfg = MonoConfig { collect_traces: false, ..MonoConfig::default() };
+        let a = monotasks_core::run_with_faults(
+            &cluster, &[(job.clone(), blocks.clone())], &mono_cfg, &plan,
+        );
+        let b = monotasks_core::run_with_faults(
+            &cluster, &[(job.clone(), blocks.clone())], &mono_cfg, &plan,
+        );
+        match (&a, &b) {
+            (Ok(x), Ok(y)) => {
+                prop_assert_eq!(x.makespan, y.makespan);
+                prop_assert_eq!(x.stats.events, y.stats.events);
+                prop_assert_eq!(x.stats.tasks_retried, y.stats.tasks_retried);
+                prop_assert_eq!(x.stats.wasted_work_nanos, y.stats.wasted_work_nanos);
+            }
+            (Err(x), Err(y)) => prop_assert_eq!(x, y),
+            _ => prop_assert!(false, "one run failed, the other did not"),
+        }
+
+        let spark_cfg = SparkConfig {
+            speculation_multiplier: Some(1.5),
+            ..SparkConfig::default()
+        };
+        let a = sparklike::run_with_faults(&cluster, &[(job.clone(), blocks.clone())], &spark_cfg, &plan);
+        let b = sparklike::run_with_faults(&cluster, &[(job, blocks)], &spark_cfg, &plan);
+        match (&a, &b) {
+            (Ok(x), Ok(y)) => {
+                prop_assert_eq!(x.makespan, y.makespan);
+                prop_assert_eq!(x.stats.events, y.stats.events);
+                prop_assert_eq!(x.stats.tasks_retried, y.stats.tasks_retried);
+                prop_assert_eq!(x.stats.tasks_speculated, y.stats.tasks_speculated);
+            }
+            (Err(x), Err(y)) => prop_assert_eq!(x, y),
+            _ => prop_assert!(false, "one run failed, the other did not"),
+        }
+    }
+}
