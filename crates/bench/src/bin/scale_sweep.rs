@@ -1,56 +1,108 @@
-//! Control-plane scaling sweep: the sort workload at 5–400 machines.
+//! Control-plane scaling sweep: the sort (or BDB) workload at 5–1000+
+//! machines, with an optional ε/Δ approximate-allocator matrix.
 //!
 //! The paper's evaluation tops out at 20 workers; this sweep tracks whether
 //! the *simulator's* control plane (fluid reallocation, lazy drain,
 //! completion collection) stays cheap enough to model clusters well beyond
-//! that. Weak scaling: input grows with the cluster so per-machine work is
-//! constant and any wall-clock blow-up is allocator overhead, not workload
-//! size.
+//! that. Weak scaling: sort input grows with the cluster so per-machine work
+//! is constant and any wall-clock blow-up is allocator overhead, not
+//! workload size. `--workload bdb` runs the ten big-data-benchmark queries
+//! instead — many small stages (churny control plane) rather than one big
+//! shuffle (churny fabric).
 //!
-//! Emits one JSON record per scale point (simulated makespan, host
-//! wall-clock, events fired, reallocations, and per-phase wall-clock
-//! attribution: alloc / drain / completion / executor control — performance
-//! clarity applied to the simulator itself).
+//! Emits one JSON record per (machines, ε, Δ) point: simulated makespan,
+//! host wall-clock, events fired, reallocations, per-phase wall-clock
+//! attribution (fabric alloc / machine alloc / drain / completion / executor
+//! control — performance clarity applied to the simulator itself), and, when
+//! the same run also measured the exact allocator at that scale, the
+//! makespan drift the approximation introduced.
 //!
 //! Usage:
-//!   scale_sweep [--out PATH] [--points 5,20,50]
-//!               [--check BASELINE.json --max-factor 2.0]
+//!   scale_sweep [--out PATH] [--points 5,20,50] [--workload sort|bdb]
+//!               [--epsilon 0,0.01] [--quantum-ms 0,1]
+//!               [--check BASELINE.json --max-factor 2.0 --max-drift PCT]
 //!
-//! The output path defaults to `$SCALE_SWEEP_OUT` or `BENCH_PR2.json`, so
+//! The output path defaults to `$SCALE_SWEEP_OUT` or `BENCH_PR4.json`, so
 //! each PR appends a new record to the perf trajectory instead of silently
 //! overwriting the previous one. `--check` compares the measured wall times
-//! against a committed baseline and exits non-zero on a >`max-factor`
-//! regression at any shared point (the CI wall-clock budget guard).
+//! against a committed baseline (matching on workload, machines, ε and Δ)
+//! and exits non-zero on a >`max-factor` regression at any shared point.
+//! `--max-drift` additionally compares each approximate point's simulated
+//! makespan against the committed *exact* makespan at the same scale —
+//! makespans are bit-deterministic across hosts, so this doubles as the CI
+//! drift ceiling for the ε/Δ mode.
 
 use std::time::Instant;
 
 use cluster::{ClusterSpec, MachineSpec};
+use dataflow::{BlockMap, JobSpec};
 use mt_bench::header;
-use workloads::{sort_job, SortConfig};
+use workloads::{bdb_job, sort_job, BdbQuery, SortConfig};
 
 /// GiB of sort input per machine (weak scaling).
 const GIB_PER_MACHINE: f64 = 2.0;
 
 const DEFAULT_POINTS: &[usize] = &[5, 20, 50, 100, 200, 400];
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Workload {
+    Sort,
+    Bdb,
+}
+
+impl Workload {
+    fn as_str(self) -> &'static str {
+        match self {
+            Workload::Sort => "sort",
+            Workload::Bdb => "bdb",
+        }
+    }
+
+    fn jobs(self, machines: usize) -> Vec<(JobSpec, BlockMap)> {
+        match self {
+            Workload::Sort => {
+                let cfg = SortConfig::new(GIB_PER_MACHINE * machines as f64, 10, machines, 2);
+                vec![sort_job(&cfg)]
+            }
+            // All ten queries in one run: a stream of short stages over
+            // fixed-size tables, stressing scheduler/stage churn instead of
+            // one giant shuffle wave.
+            Workload::Bdb => BdbQuery::all()
+                .iter()
+                .map(|&q| bdb_job(q, machines, 2))
+                .collect(),
+        }
+    }
+}
+
 struct Point {
+    workload: Workload,
     machines: usize,
     tasks: usize,
+    epsilon: f64,
+    quantum_ms: f64,
     makespan_s: f64,
     wall_s: f64,
     events: u64,
     reallocs: u64,
     alloc_s: f64,
+    machine_alloc_s: f64,
     drain_s: f64,
     completion_s: f64,
     control_s: f64,
+    /// Makespan drift vs the exact allocator at the same point, when this
+    /// run measured it too (ε = Δ = 0 points have none by definition).
+    drift_pct: Option<f64>,
 }
 
-fn run_point(machines: usize) -> Point {
+fn run_point(workload: Workload, machines: usize, epsilon: f64, quantum_ms: f64) -> Point {
     let cluster = ClusterSpec::new(machines, MachineSpec::m2_4xlarge());
-    let cfg = SortConfig::new(GIB_PER_MACHINE * machines as f64, 10, machines, 2);
-    let (job, blocks) = sort_job(&cfg);
-    let tasks = job.stages.iter().map(|s| s.tasks.len()).sum();
+    let jobs = workload.jobs(machines);
+    let tasks = jobs
+        .iter()
+        .flat_map(|(job, _)| job.stages.iter())
+        .map(|s| s.tasks.len())
+        .sum();
     // The full-duplex fabric holds one flow per live transfer (≈M² in an
     // all-to-all shuffle wave) — exactly the structure this sweep stresses.
     // Traces are off: at hundreds of machines the per-machine-per-event
@@ -58,40 +110,55 @@ fn run_point(machines: usize) -> Point {
     let mono_cfg = monotasks_core::MonoConfig {
         full_duplex_network: true,
         collect_traces: false,
+        fabric_epsilon: epsilon,
+        fabric_quantum_secs: quantum_ms / 1e3,
         ..monotasks_core::MonoConfig::default()
     };
     let start = Instant::now();
-    let out = monotasks_core::run(&cluster, &[(job, blocks)], &mono_cfg);
+    let out = monotasks_core::run(&cluster, &jobs, &mono_cfg);
     let wall_s = start.elapsed().as_secs_f64();
     Point {
+        workload,
         machines,
         tasks,
+        epsilon,
+        quantum_ms,
         makespan_s: out.makespan.as_secs_f64(),
         wall_s,
         events: out.stats.events,
         reallocs: out.stats.reallocs,
         alloc_s: out.stats.alloc_secs(),
+        machine_alloc_s: out.stats.machine_alloc_secs(),
         drain_s: out.stats.drain_secs(),
         completion_s: out.stats.completion_secs(),
         control_s: out.stats.control_secs(),
+        drift_pct: None,
     }
 }
 
 struct Args {
     out: String,
     points: Vec<usize>,
+    workload: Workload,
+    epsilons: Vec<f64>,
+    quantums_ms: Vec<f64>,
     check: Option<String>,
     max_factor: f64,
+    max_drift: Option<f64>,
 }
 
 fn parse_args() -> Args {
     let default_out =
-        std::env::var("SCALE_SWEEP_OUT").unwrap_or_else(|_| "BENCH_PR2.json".to_string());
+        std::env::var("SCALE_SWEEP_OUT").unwrap_or_else(|_| "BENCH_PR4.json".to_string());
     let mut args = Args {
         out: default_out,
         points: DEFAULT_POINTS.to_vec(),
+        workload: Workload::Sort,
+        epsilons: vec![0.0],
+        quantums_ms: vec![0.0],
         check: None,
         max_factor: 2.0,
+        max_drift: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -104,9 +171,31 @@ fn parse_args() -> Args {
                     .map(|s| s.trim().parse().expect("bad --points entry"))
                     .collect();
             }
+            "--workload" => {
+                args.workload = match value("--workload").as_str() {
+                    "sort" => Workload::Sort,
+                    "bdb" => Workload::Bdb,
+                    other => panic!("unknown workload: {other}"),
+                };
+            }
+            "--epsilon" => {
+                args.epsilons = value("--epsilon")
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("bad --epsilon entry"))
+                    .collect();
+            }
+            "--quantum-ms" => {
+                args.quantums_ms = value("--quantum-ms")
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("bad --quantum-ms entry"))
+                    .collect();
+            }
             "--check" => args.check = Some(value("--check")),
             "--max-factor" => {
                 args.max_factor = value("--max-factor").parse().expect("bad --max-factor")
+            }
+            "--max-drift" => {
+                args.max_drift = Some(value("--max-drift").parse().expect("bad --max-drift"))
             }
             other => panic!("unknown argument: {other}"),
         }
@@ -114,9 +203,20 @@ fn parse_args() -> Args {
     args
 }
 
-/// Pulls `(machines, wall_s)` pairs out of a sweep JSON file without a JSON
-/// dependency: each point record is one line with known key order.
-fn baseline_walls(json: &str) -> Vec<(usize, f64)> {
+/// One point record parsed back out of a committed sweep JSON file.
+struct BasePoint {
+    workload: String,
+    machines: usize,
+    epsilon: f64,
+    quantum_ms: f64,
+    wall_s: f64,
+    makespan_s: f64,
+}
+
+/// Pulls point records out of a sweep JSON file without a JSON dependency:
+/// each point record is one line with known keys. Records predating the
+/// ε/Δ matrix (e.g. BENCH_PR2.json) default to the exact sort allocator.
+fn baseline_points(json: &str) -> Vec<BasePoint> {
     let field = |line: &str, key: &str| -> Option<f64> {
         let rest = &line[line.find(key)? + key.len()..];
         let rest = rest.trim_start_matches([':', ' ']);
@@ -125,102 +225,197 @@ fn baseline_walls(json: &str) -> Vec<(usize, f64)> {
             .unwrap_or(rest.len());
         rest[..end].parse().ok()
     };
+    let str_field = |line: &str, key: &str| -> Option<String> {
+        let rest = &line[line.find(key)? + key.len()..];
+        let rest = rest.trim_start_matches([':', ' ', '"']);
+        Some(rest[..rest.find('"')?].to_string())
+    };
     json.lines()
         .filter_map(|line| {
-            let m = field(line, "\"machines\"")? as usize;
-            let w = field(line, "\"wall_s\"")?;
-            Some((m, w))
+            let machines = field(line, "\"machines\"")? as usize;
+            let wall_s = field(line, "\"wall_s\"")?;
+            let makespan_s = field(line, "\"makespan_s\"")?;
+            Some(BasePoint {
+                workload: str_field(line, "\"workload\"").unwrap_or_else(|| "sort".into()),
+                machines,
+                epsilon: field(line, "\"epsilon\"").unwrap_or(0.0),
+                quantum_ms: field(line, "\"quantum_ms\"").unwrap_or(0.0),
+                wall_s,
+                makespan_s,
+            })
         })
         .collect()
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 + a.abs() * 1e-6
 }
 
 fn main() {
     let args = parse_args();
     header(
         "scale_sweep",
-        "sort at 5-400 machines, full-duplex fabric, weak scaling",
+        "sort/bdb at 5-1000 machines, full-duplex fabric, weak scaling",
         "per-event control-plane cost proportional to what the event touches",
     );
     println!(
-        "{:>9} {:>7} {:>11} {:>9} {:>10} {:>10} {:>9} {:>9} {:>9} {:>9}",
+        "{:>9} {:>7} {:>6} {:>5} {:>11} {:>9} {:>10} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8}",
         "machines",
         "tasks",
+        "eps",
+        "dt_ms",
         "makespan(s)",
         "wall(s)",
         "events",
         "reallocs",
         "alloc(s)",
+        "mach(s)",
         "drain(s)",
         "compl(s)",
-        "ctrl(s)"
+        "ctrl(s)",
+        "drift%"
     );
-    let mut points = Vec::new();
+    let mut points: Vec<Point> = Vec::new();
     for &m in &args.points {
-        let p = run_point(m);
-        println!(
-            "{:>9} {:>7} {:>11.1} {:>9.2} {:>10} {:>10} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
-            p.machines,
-            p.tasks,
-            p.makespan_s,
-            p.wall_s,
-            p.events,
-            p.reallocs,
-            p.alloc_s,
-            p.drain_s,
-            p.completion_s,
-            p.control_s
-        );
-        points.push(p);
+        for &eps in &args.epsilons {
+            for &q in &args.quantums_ms {
+                let mut p = run_point(args.workload, m, eps, q);
+                // Drift vs the exact combo measured earlier in this run (the
+                // combos iterate ε then Δ, so list 0 first to get drift
+                // columns for the rest of the matrix).
+                if eps > 0.0 || q > 0.0 {
+                    p.drift_pct = points
+                        .iter()
+                        .find(|e| e.machines == m && e.epsilon == 0.0 && e.quantum_ms == 0.0)
+                        .map(|e| (p.makespan_s - e.makespan_s) / e.makespan_s * 100.0);
+                }
+                println!(
+                    "{:>9} {:>7} {:>6} {:>5} {:>11.1} {:>9.2} {:>10} {:>10} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>8}",
+                    p.machines,
+                    p.tasks,
+                    p.epsilon,
+                    p.quantum_ms,
+                    p.makespan_s,
+                    p.wall_s,
+                    p.events,
+                    p.reallocs,
+                    p.alloc_s,
+                    p.machine_alloc_s,
+                    p.drain_s,
+                    p.completion_s,
+                    p.control_s,
+                    p.drift_pct
+                        .map(|d| format!("{d:+.3}"))
+                        .unwrap_or_else(|| "-".into()),
+                );
+                points.push(p);
+            }
+        }
     }
     if let Some(baseline_path) = &args.check {
         let baseline = std::fs::read_to_string(baseline_path)
             .unwrap_or_else(|e| panic!("read {baseline_path}: {e}"));
-        let walls = baseline_walls(&baseline);
+        let base = baseline_points(&baseline);
         let mut failed = false;
         for p in &points {
-            let Some(&(_, base)) = walls.iter().find(|(m, _)| *m == p.machines) else {
-                println!("check: {} machines not in baseline, skipping", p.machines);
+            let same_cfg = |b: &&BasePoint| {
+                b.workload == p.workload.as_str()
+                    && b.machines == p.machines
+                    && close(b.epsilon, p.epsilon)
+                    && close(b.quantum_ms, p.quantum_ms)
+            };
+            let Some(b) = base.iter().find(same_cfg) else {
+                println!(
+                    "check: {} machines (eps={}, dt={}ms) not in baseline, skipping",
+                    p.machines, p.epsilon, p.quantum_ms
+                );
                 continue;
             };
             // Tiny points measure scheduler noise more than allocator cost;
             // a floor keeps the guard meaningful on shared CI runners.
-            let budget = (base * args.max_factor).max(0.25);
+            let budget = (b.wall_s * args.max_factor).max(0.25);
             let ok = p.wall_s <= budget;
             println!(
-                "check: {} machines wall {:.3}s vs baseline {:.3}s (budget {:.3}s) {}",
+                "check: {} machines (eps={}, dt={}ms) wall {:.3}s vs baseline {:.3}s (budget {:.3}s) {}",
                 p.machines,
+                p.epsilon,
+                p.quantum_ms,
                 p.wall_s,
-                base,
+                b.wall_s,
                 budget,
                 if ok { "OK" } else { "REGRESSED" }
             );
             failed |= !ok;
+            // Simulated makespans are bit-deterministic across hosts, so an
+            // approximate point can be held to a drift ceiling against the
+            // committed exact makespan at the same scale.
+            if let Some(max_drift) = args.max_drift {
+                if p.epsilon > 0.0 || p.quantum_ms > 0.0 {
+                    let exact = base.iter().find(|b| {
+                        b.workload == p.workload.as_str()
+                            && b.machines == p.machines
+                            && b.epsilon == 0.0
+                            && b.quantum_ms == 0.0
+                    });
+                    match exact {
+                        Some(e) => {
+                            let drift = (p.makespan_s - e.makespan_s) / e.makespan_s * 100.0;
+                            let ok = drift.abs() <= max_drift;
+                            println!(
+                                "check: {} machines (eps={}, dt={}ms) makespan drift {:+.3}% (ceiling {:.3}%) {}",
+                                p.machines,
+                                p.epsilon,
+                                p.quantum_ms,
+                                drift,
+                                max_drift,
+                                if ok { "OK" } else { "DRIFTED" }
+                            );
+                            failed |= !ok;
+                        }
+                        None => println!(
+                            "check: {} machines has no exact baseline point, drift unchecked",
+                            p.machines
+                        ),
+                    }
+                }
+            }
         }
         if failed {
-            eprintln!("scale_sweep --check: wall-clock budget exceeded");
+            eprintln!("scale_sweep --check: wall-clock budget or drift ceiling exceeded");
             std::process::exit(1);
         }
         return; // check mode never rewrites the committed record
     }
-    let mut json = String::from("{\n  \"bench\": \"scale_sweep\",\n  \"workload\": \"sort\",\n");
+    let mut json = String::from("{\n  \"bench\": \"scale_sweep\",\n");
     json.push_str(&format!(
         "  \"gib_per_machine\": {GIB_PER_MACHINE},\n  \"points\": [\n"
     ));
     for (i, p) in points.iter().enumerate() {
+        let drift = p
+            .drift_pct
+            .map(|d| format!(", \"drift_pct\": {d:.4}"))
+            .unwrap_or_default();
         json.push_str(&format!(
-            "    {{\"machines\": {}, \"tasks\": {}, \"makespan_s\": {:.3}, \
+            "    {{\"workload\": \"{}\", \"machines\": {}, \"tasks\": {}, \"epsilon\": {}, \
+             \"quantum_ms\": {}, \"makespan_s\": {:.3}, \
              \"wall_s\": {:.3}, \"events\": {}, \"reallocs\": {}, \"alloc_s\": {:.3}, \
-             \"drain_s\": {:.3}, \"completion_s\": {:.3}, \"control_s\": {:.3}}}{}\n",
+             \"machine_alloc_s\": {:.3}, \"drain_s\": {:.3}, \"completion_s\": {:.3}, \
+             \"control_s\": {:.3}{}}}{}\n",
+            p.workload.as_str(),
             p.machines,
             p.tasks,
+            p.epsilon,
+            p.quantum_ms,
             p.makespan_s,
             p.wall_s,
             p.events,
             p.reallocs,
             p.alloc_s,
+            p.machine_alloc_s,
             p.drain_s,
             p.completion_s,
             p.control_s,
+            drift,
             if i + 1 < points.len() { "," } else { "" }
         ));
     }

@@ -24,8 +24,8 @@ use dataflow::{
     BlockMap, InputSpec, JobId, JobReport, JobSpec, OutputSpec, RecoveryStats, RunError, StageId,
     StageReport, TaskId,
 };
-use simcore::{FlowAllocator, FlowId};
-use simcore::{ResourceKind, SimStats, SimTime};
+use simcore::{FlowAllocator, FlowId, MaxMinPolicy};
+use simcore::{ResourceKind, SimDuration, SimStats, SimTime};
 
 use crate::decompose::{decompose, DecomposeCtx, SenderShare};
 use crate::metrics::{MonotaskRecord, Purpose};
@@ -85,6 +85,18 @@ pub struct MonoConfig {
     /// bandwidth only. Symmetric all-to-all shuffles behave identically
     /// either way; asymmetric traffic (hot senders) needs the fabric.
     pub full_duplex_network: bool,
+    /// Relative rate tolerance ε for the fabric's approximate allocation
+    /// mode (only meaningful with `full_duplex_network`). `0.0` — the
+    /// default and the spec — is the exact max-min allocator, bit-identical
+    /// to runs predating the knob. With ε > 0 every fabric rate is within
+    /// `[exact · (1 − ε), exact]` and port capacity is never exceeded; see
+    /// `simcore::MaxMinPolicy`.
+    pub fabric_epsilon: f64,
+    /// Completion-coalescing quantum Δ in seconds for the fabric (only
+    /// meaningful with `full_duplex_network`): flow completions due within Δ
+    /// of a wave fire together in one reallocation, each at most
+    /// `rate · Δ` bytes early. `0.0` (the default) coalesces nothing.
+    pub fabric_quantum_secs: f64,
     /// Safety valve on simulation iterations.
     pub max_steps: u64,
     /// Record utilization and queue-length traces (one sample per machine
@@ -110,6 +122,8 @@ impl Default for MonoConfig {
             job_policy: JobPolicy::Fair,
             memory_limit_fraction: None,
             full_duplex_network: false,
+            fabric_epsilon: 0.0,
+            fabric_quantum_secs: 0.0,
             max_steps: 50_000_000,
             collect_traces: true,
             max_task_retries: 4,
@@ -137,6 +151,18 @@ impl MonoConfig {
         }
         if self.max_steps == 0 {
             return Err("max_steps must be >= 1".into());
+        }
+        if !(self.fabric_epsilon.is_finite() && (0.0..1.0).contains(&self.fabric_epsilon)) {
+            return Err(format!(
+                "fabric_epsilon {} must be finite and in [0, 1)",
+                self.fabric_epsilon
+            ));
+        }
+        if !(self.fabric_quantum_secs.is_finite() && self.fabric_quantum_secs >= 0.0) {
+            return Err(format!(
+                "fabric_quantum_secs {} must be finite and >= 0",
+                self.fabric_quantum_secs
+            ));
         }
         Ok(())
     }
@@ -451,10 +477,14 @@ pub fn run_with_faults(
         traces: TraceSet::new(),
         queue_trace: Vec::new(),
         fabric: if cfg.full_duplex_network {
-            Some(FlowAllocator::new(
+            Some(FlowAllocator::new_with_policy(
                 n_machines,
                 cluster.machine.nic,
                 cluster.machine.nic,
+                MaxMinPolicy {
+                    epsilon: cfg.fabric_epsilon,
+                    quantum: SimDuration::from_secs_f64(cfg.fabric_quantum_secs),
+                },
             ))
         } else {
             None
@@ -707,11 +737,15 @@ impl Exec {
                     }
                 }
                 FaultAction::SetLinkScale { machine, factor } => {
-                    // Receiver-side NIC model; in fabric mode per-node link
-                    // degradation is a listed follow-up (ROADMAP), so the
-                    // scale is applied to the machine allocator either way.
+                    // The receiver-side NIC model always sees the scale; in
+                    // fabric mode the machine's tx and rx port capacities
+                    // degrade too, so link faults stretch shuffles whichever
+                    // network model carries them.
                     if self.machines[machine].alive {
                         self.machines[machine].fluid.set_nic_scale(self.now, factor);
+                        if let Some(fabric) = &mut self.fabric {
+                            fabric.set_port_scale(self.now, machine, factor);
+                        }
                     }
                 }
                 FaultAction::Crash { machine } => self.crash_machine(machine)?,
@@ -1569,7 +1603,9 @@ impl Exec {
         let makespan = self.now;
         let mut stats = self.stats;
         for m in &self.machines {
-            stats.merge(&m.fluid.stats());
+            // Machine-local allocation is attributed to its own phase so the
+            // fabric's share of the wall stands out at scale.
+            stats.merge(&m.fluid.stats().as_machine_alloc());
         }
         if let Some(fabric) = &self.fabric {
             stats.merge(&fabric.stats());

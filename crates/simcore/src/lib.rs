@@ -34,7 +34,7 @@ pub mod stats;
 pub mod time;
 
 pub use events::{EventQueue, World};
-pub use maxmin::{FlowAllocator, FlowId};
+pub use maxmin::{FlowAllocator, FlowId, MaxMinPolicy};
 pub use recorder::UtilizationRecorder;
 pub use resource::{JobId, PsResource, ResourceKind};
 pub use stats::SimStats;

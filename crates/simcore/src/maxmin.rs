@@ -72,6 +72,19 @@
 //! * **Batched mutations** ([`FlowAllocator::begin_update`] /
 //!   [`FlowAllocator::commit`]) collapse a wave of inserts or removals at one
 //!   instant into a single reallocation.
+//! * **Approximate mode** ([`MaxMinPolicy`]) trades a bounded, one-sided rate
+//!   error for control-plane work at 1000-machine scale. ε-fair fills
+//!   terminate the round loop once every surviving class's exact rate is
+//!   provably within a (1 + ε/3) factor of the current bottleneck share;
+//!   share-diff application defers refreshing resources whose share *rose*
+//!   by less than a (1 + ε/3) factor (decreases always apply), so applied
+//!   rates sit in `[exact · (1 − ε), exact]` and port capacity is never
+//!   exceeded; and completion coalescing fires every flow due within a time
+//!   quantum Δ of a completion wave together, in the same deterministic
+//!   ascending-id order, so a wave costs one reallocation instead of one per
+//!   distinct deadline. ε = 0 and Δ = 0 (the default) run the very same code
+//!   path and are bit-identical to the exact allocator, which remains the
+//!   spec (`reference_reallocate` + the `slowcheck` feature).
 
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashMap};
@@ -86,6 +99,35 @@ const BYTES_EPSILON: f64 = 1e-6;
 /// Identifies one flow. Allocated by the caller.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct FlowId(pub u64);
+
+/// Approximation policy for a [`FlowAllocator`]. The default (ε = 0, Δ = 0)
+/// is the exact max-min allocator, bit-identical to
+/// [`FlowAllocator::new`]'s behaviour before this policy existed.
+///
+/// With ε > 0 every applied rate is guaranteed to stay within
+/// `[exact · (1 − ε), exact]` of the exact max-min rate for the current flow
+/// set (one-sided: approximation only ever under-allocates, so port capacity
+/// is never exceeded). With Δ > 0, a completion wave additionally collects
+/// every flow due within Δ of the wave instant, completing each at most
+/// `rate · Δ` bytes early (the shortfall is forgiven, so delivered-byte
+/// conservation still holds exactly).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct MaxMinPolicy {
+    /// Relative rate tolerance ε ∈ [0, 1). 0 = exact fills.
+    pub epsilon: f64,
+    /// Completion-coalescing quantum Δ. Zero = every wave fires exactly the
+    /// flows due at its instant.
+    pub quantum: SimDuration,
+}
+
+impl Default for MaxMinPolicy {
+    fn default() -> Self {
+        MaxMinPolicy {
+            epsilon: 0.0,
+            quantum: SimDuration::ZERO,
+        }
+    }
+}
 
 /// Index of a machine (port) in the fabric.
 pub type NodeId = usize;
@@ -215,6 +257,17 @@ struct FlowClass {
 pub struct FlowAllocator {
     tx_cap: Vec<f64>,
     rx_cap: Vec<f64>,
+    /// Nominal capacities; `set_port_scale` derives the live ones from these
+    /// so degradation windows compose as scale × base, never scale × scale.
+    tx_base: Vec<f64>,
+    rx_base: Vec<f64>,
+    /// Approximation contract (exact by default); see [`MaxMinPolicy`].
+    policy: MaxMinPolicy,
+    /// `1 + ε/3`, the per-mechanism slack factor: the fill's early
+    /// termination and the apply skip each spend a third of ε so their
+    /// product stays within `1 + ε`. Exactly `1.0` in exact mode, which
+    /// collapses both mechanisms to bit-identical exact behaviour.
+    eps_factor: f64,
     /// Id → per-flow state.
     index: BTreeMap<FlowId, FlowState>,
     /// Class slab; slots of destroyed classes (size 0) are recycled.
@@ -237,6 +290,9 @@ pub struct FlowAllocator {
     /// Previous reallocation's freeze shares, for the dirty diff.
     stored_share: Vec<f64>,
     dirty_res: Vec<u32>,
+    /// Dense mirror of `dirty_res` membership for the current application,
+    /// so the dirty walk can read a peer's *effective* share in O(1).
+    res_dirty: Vec<bool>,
     /// Classes whose membership changed since shares were last applied.
     pending_dirty: Vec<u32>,
     /// Min-heap of (deadline, class, generation); stale entries (dead class
@@ -264,12 +320,37 @@ impl FlowAllocator {
     ///
     /// Panics if either capacity is not strictly positive and finite.
     pub fn new(nodes: usize, tx_cap: f64, rx_cap: f64) -> FlowAllocator {
+        Self::new_with_policy(nodes, tx_cap, rx_cap, MaxMinPolicy::default())
+    }
+
+    /// Creates a fabric under an explicit [`MaxMinPolicy`]. The default
+    /// policy is bit-identical to [`FlowAllocator::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a capacity is not strictly positive and finite, if
+    /// `policy.epsilon` is outside `[0, 1)`, or if it is not finite.
+    pub fn new_with_policy(
+        nodes: usize,
+        tx_cap: f64,
+        rx_cap: f64,
+        policy: MaxMinPolicy,
+    ) -> FlowAllocator {
         assert!(tx_cap.is_finite() && tx_cap > 0.0, "bad tx capacity");
         assert!(rx_cap.is_finite() && rx_cap > 0.0, "bad rx capacity");
+        assert!(
+            policy.epsilon.is_finite() && (0.0..1.0).contains(&policy.epsilon),
+            "bad epsilon: {}",
+            policy.epsilon
+        );
         let nr = 2 * nodes;
         FlowAllocator {
             tx_cap: vec![tx_cap; nodes],
             rx_cap: vec![rx_cap; nodes],
+            tx_base: vec![tx_cap; nodes],
+            rx_base: vec![rx_cap; nodes],
+            policy,
+            eps_factor: 1.0 + policy.epsilon / 3.0,
             index: BTreeMap::new(),
             classes: Vec::new(),
             c_rate: Vec::new(),
@@ -290,6 +371,7 @@ impl FlowAllocator {
             frozen_share: vec![f64::INFINITY; nr],
             stored_share: vec![f64::INFINITY; nr],
             dirty_res: Vec::new(),
+            res_dirty: vec![false; nr],
             pending_dirty: Vec::new(),
             class_heap: BinaryHeap::new(),
             gen_counter: 0,
@@ -308,6 +390,32 @@ impl FlowAllocator {
     /// Number of ports.
     pub fn nodes(&self) -> usize {
         self.tx_cap.len()
+    }
+
+    /// The approximation policy this fabric runs under.
+    pub fn policy(&self) -> MaxMinPolicy {
+        self.policy
+    }
+
+    /// Scales both sides of `node`'s port to `factor × nominal capacity`
+    /// (link degradation; `1.0` restores the nominal rate). Absolute, not
+    /// cumulative, so degradation windows restore exactly. Triggers a
+    /// reallocation (or defers it to the enclosing batch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not strictly positive and finite, or `node` is
+    /// out of range.
+    pub fn set_port_scale(&mut self, now: SimTime, node: NodeId, factor: f64) {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "bad port scale: {factor}"
+        );
+        assert!(node < self.nodes(), "bad node id");
+        self.advance(now);
+        self.tx_cap[node] = self.tx_base[node] * factor;
+        self.rx_cap[node] = self.rx_base[node] * factor;
+        self.after_mutation();
     }
 
     /// Stale-event guard; bumped on every flow-set mutation.
@@ -645,7 +753,12 @@ impl FlowAllocator {
     }
 
     /// Removes all flows whose bytes have been fully delivered, appending
-    /// their ids to `done` (cleared first) in ascending id order.
+    /// their ids to `done` (cleared first) in ascending id order. With a
+    /// coalescing quantum Δ, the wave also collects every flow *due within
+    /// Δ of `now`*, completing each up to `rate · Δ` bytes early (the dust
+    /// is forgiven into `delivered`, so byte conservation is exact); all of
+    /// them fire at `now`, so the `(time, flow id)` completion order stays
+    /// deterministic and one reallocation covers the whole window.
     ///
     /// O(1) when nothing is due (the speculative-polling fast path: every
     /// event step asks every allocator); a completion wave costs
@@ -653,15 +766,22 @@ impl FlowAllocator {
     pub fn take_completed_into(&mut self, now: SimTime, done: &mut Vec<FlowId>) {
         self.advance(now);
         done.clear();
+        let horizon = now.saturating_add(self.policy.quantum);
+        let quantum_secs = self.policy.quantum.as_secs_f64();
+        // Floor for survivor reschedules: strictly past the horizon, so a
+        // class whose computed next deadline rounds onto it cannot be popped
+        // again in this same wave. Exactly the old one-nanosecond floor when
+        // Δ = 0.
+        let min_step = self.policy.quantum + SimDuration::NANO;
         // Fast path: the earliest valid class deadline says nothing is due.
         match self.peek_deadline() {
-            Some(d) if d <= now => {}
+            Some(d) if d <= horizon => {}
             _ => return,
         }
         let timer = Instant::now();
         let n = self.nodes();
         while let Some(&Reverse((deadline, ci, gen))) = self.class_heap.peek() {
-            if deadline > now {
+            if deadline > horizon {
                 break;
             }
             self.class_heap.pop();
@@ -669,13 +789,17 @@ impl FlowAllocator {
             if self.c_size[i] == 0 || self.classes[i].gen != gen {
                 continue; // stale: class died or was rescheduled
             }
+            let rate = self.c_rate[i];
             Self::drain_class(
                 &mut self.classes[i],
-                self.c_rate[i],
+                rate,
                 self.c_size[i],
                 &mut self.delivered,
                 now,
             );
+            // Bytes a member may be short of its finish mark and still
+            // complete in this wave: what the quantum would have delivered.
+            let slack = rate * quantum_secs;
             let class = &mut self.classes[i];
             // Collect members the drain has carried past their finish mark.
             let mut died = false;
@@ -689,12 +813,12 @@ impl FlowAllocator {
                     continue;
                 }
                 let remaining = finish.0 - class.cum;
-                if remaining > BYTES_EPSILON {
+                if remaining > slack + BYTES_EPSILON {
                     break;
                 }
                 class.members.pop();
                 self.index.remove(&id);
-                self.delivered += remaining; // at most ±epsilon of dust
+                self.delivered += remaining; // forgiven: ≤ rate·Δ + epsilon
                 self.c_size[i] -= 1;
                 self.res_nflows[class.src] -= 1;
                 self.res_nflows[n + class.dst] -= 1;
@@ -711,15 +835,14 @@ impl FlowAllocator {
             Self::sync_entry_size(&mut self.res_list, n, &self.classes[i], self.c_size[i]);
             // Earliest survivor: reschedule the class (this also heals
             // floating-point drift when the deadline undershot the true
-            // completion by a whisker).
+            // completion by a whisker). A survivor's remaining bytes exceed
+            // `slack`, so its new deadline lands strictly past the horizon.
             let class = &mut self.classes[i];
-            let rate = self.c_rate[i];
             let next = match Self::peek_finish(&mut class.members, &self.index, ci) {
                 Some(finish) => {
                     class.min_finish = finish;
                     debug_assert!(rate > 0.0, "scheduled class with zero rate");
-                    now + SimDuration::from_secs_f64((finish - class.cum) / rate)
-                        .max(SimDuration::NANO)
+                    now + SimDuration::from_secs_f64((finish - class.cum) / rate).max(min_step)
                 }
                 None => unreachable!("non-empty class without live members"),
             };
@@ -811,6 +934,7 @@ impl FlowAllocator {
     fn fill_shares(&mut self) {
         let n = self.nodes();
         let nr = 2 * n;
+        let eps_factor = self.eps_factor;
         let FlowAllocator {
             tx_cap,
             rx_cap,
@@ -850,6 +974,32 @@ impl FlowAllocator {
                 }
             }
             debug_assert!(share.is_finite());
+            // ε-fair early termination. A surviving resource can freeze no
+            // higher than `left − (cnt − 1)·share` (every other flow on it
+            // must freeze at ≥ the current bottleneck share, and shares only
+            // rise between rounds), so once that bound sits within the
+            // eps_factor band of `share` for every survivor, every surviving
+            // class's exact rate lies in [share, share · eps_factor]:
+            // freezing them all at `share` keeps rates one-sided within the
+            // ε contract and strictly under capacity. Fires in the end-game
+            // rounds where survivors are nearly tied; gated on ε > 0 so the
+            // exact path is untouched.
+            if eps_factor > 1.0 {
+                let bound = share * eps_factor;
+                let done = (0..nr).all(|r| {
+                    let f = res_fill[r];
+                    f.cnt == 0 || f.left - (f.cnt - 1) as f64 * share <= bound
+                });
+                if done {
+                    for r in 0..nr {
+                        if res_fill[r].cnt > 0 {
+                            frozen_share[r] = share;
+                            res_fill[r].cnt = 0;
+                        }
+                    }
+                    break;
+                }
+            }
             let tol = share * 1e-12 + 1e-15;
             let before = unfrozen;
             // Freeze the resources sitting at the bottleneck share, streaming
@@ -903,6 +1053,7 @@ impl FlowAllocator {
         let n = self.nodes();
         let nr = 2 * n;
         let now = self.last_advance;
+        let skip = self.eps_factor;
         let FlowAllocator {
             classes,
             c_rate,
@@ -912,6 +1063,7 @@ impl FlowAllocator {
             frozen_share,
             stored_share,
             dirty_res,
+            res_dirty,
             pending_dirty,
             class_heap,
             gen_counter,
@@ -920,8 +1072,15 @@ impl FlowAllocator {
         } = self;
         dirty_res.clear();
         for r in 0..nr {
-            if frozen_share[r] != stored_share[r] {
+            let (fr, st) = (frozen_share[r], stored_share[r]);
+            // In exact mode (skip = 1.0) this is `fr != st`. With ε > 0 a
+            // share *increase* is deferred until it accumulates past the
+            // skip factor — the stored share then lags the fill by at most
+            // that factor, so applied rates stay in [exact/skip², exact].
+            // Decreases always apply, so capacity is never exceeded.
+            if fr < st || fr > st * skip {
                 dirty_res.push(r as u32);
+                res_dirty[r] = true;
             }
         }
         // Refreshes one class at its newly derived rate: drain at the old
@@ -963,14 +1122,22 @@ impl FlowAllocator {
         // *stored* shares (the invariant `update_one` maintains), so the scan
         // decides "did this class's rate move?" from the two small share
         // arrays alone — no per-class loads for the untouched majority. A
-        // class sitting on two dirty resources is visited twice; the second
-        // visit re-derives the same rate and finds the deadline unchanged.
+        // peer's *effective* share after this application is its fresh
+        // freeze share when it is dirty too, and its (possibly ε-lagging)
+        // stored share otherwise — in exact mode those coincide. A class
+        // sitting on two dirty resources is visited twice; the second visit
+        // re-derives the same rate and finds the deadline unchanged.
         for &r in dirty_res.iter() {
             let r = r as usize;
             let (fr, or) = (frozen_share[r], stored_share[r]);
             for &e in &res_list[r] {
                 let peer = entry_peer(e) as usize;
-                let new_rate = fr.min(frozen_share[peer]);
+                let peer_eff = if res_dirty[peer] {
+                    frozen_share[peer]
+                } else {
+                    stored_share[peer]
+                };
+                let new_rate = fr.min(peer_eff);
                 let old_rate = or.min(stored_share[peer]);
                 if new_rate != old_rate {
                     update_one(
@@ -988,18 +1155,21 @@ impl FlowAllocator {
             }
         }
         for &r in dirty_res.iter() {
-            stored_share[r as usize] = frozen_share[r as usize];
+            let r = r as usize;
+            stored_share[r] = frozen_share[r];
+            res_dirty[r] = false;
         }
         // Membership changed but neither resource's share moved (and the
         // derived rate may be bitwise unchanged): the deadline still has to
-        // track the new earliest member.
+        // track the new earliest member. Stored shares are the effective
+        // ones now, so the derived rate matches what the dirty walk applies.
         for &ci in pending_dirty.iter() {
             let i = ci as usize;
             if c_size[i] == 0 || !classes[i].members_dirty {
                 continue; // destroyed, or already refreshed above
             }
             let (src, dst) = (classes[i].src, classes[i].dst);
-            let new_rate = frozen_share[src].min(frozen_share[n + dst]);
+            let new_rate = stored_share[src].min(stored_share[n + dst]);
             update_one(
                 classes,
                 c_rate,
@@ -1087,17 +1257,52 @@ impl FlowAllocator {
         rates
     }
 
-    /// Asserts the class rates match the per-flow reference fixpoint.
+    /// Asserts the class rates match the per-flow reference fixpoint — to
+    /// floating-point tolerance in exact mode, and to the one-sided
+    /// `[want · (1 − ε), want]` contract (plus port-capacity safety) under
+    /// an ε > 0 policy.
     #[cfg(feature = "slowcheck")]
     fn assert_matches_reference(&self) {
         let reference = self.reference_reallocate();
+        let eps = self.policy.epsilon;
         for (id, f) in &self.index {
             let got = self.c_rate[f.class as usize];
             let want = reference[id];
             let tol = want.abs() * 1e-9 + 1e-12;
+            if eps == 0.0 {
+                debug_assert!(
+                    (got - want).abs() <= tol,
+                    "rate mismatch for {id:?}: class {got} vs reference {want}"
+                );
+            } else {
+                debug_assert!(
+                    got <= want + tol && got >= want * (1.0 - eps) - tol,
+                    "rate outside ε band for {id:?}: {got} vs reference {want} (ε={eps})"
+                );
+            }
+        }
+        // The approximation is one-sided, so port capacity must always hold.
+        let n = self.nodes();
+        let mut tx_used = vec![0.0; n];
+        let mut rx_used = vec![0.0; n];
+        for f in self.index.values() {
+            let c = &self.classes[f.class as usize];
+            let r = self.c_rate[f.class as usize];
+            tx_used[c.src] += r;
+            rx_used[c.dst] += r;
+        }
+        for i in 0..n {
             debug_assert!(
-                (got - want).abs() <= tol,
-                "rate mismatch for {id:?}: class {got} vs reference {want}"
+                tx_used[i] <= self.tx_cap[i] * (1.0 + 1e-9) + 1e-9,
+                "tx port {i} over capacity: {} > {}",
+                tx_used[i],
+                self.tx_cap[i]
+            );
+            debug_assert!(
+                rx_used[i] <= self.rx_cap[i] * (1.0 + 1e-9) + 1e-9,
+                "rx port {i} over capacity: {} > {}",
+                rx_used[i],
+                self.rx_cap[i]
             );
         }
     }
@@ -1348,6 +1553,124 @@ mod tests {
         assert_eq!(done, vec![FlowId(1), FlowId(2)]);
         // 100 + 1000 + 500 bytes offered, 50 withdrawn.
         assert!((fab.total_delivered() - 1550.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn port_scale_degrades_and_restores_rates() {
+        let mut fab = FlowAllocator::new(2, 100.0, 100.0);
+        fab.insert(SimTime::ZERO, FlowId(1), 0, 1, 1000.0);
+        assert_eq!(fab.rate(FlowId(1)), Some(100.0));
+        // Degrading the sender's port halves the flow's rate...
+        fab.set_port_scale(SimTime::ZERO, 0, 0.5);
+        assert_eq!(fab.rate(FlowId(1)), Some(50.0));
+        // ...compounding degradations stay relative to the *nominal* rate...
+        fab.set_port_scale(SimTime::ZERO, 0, 0.25);
+        assert_eq!(fab.rate(FlowId(1)), Some(25.0));
+        // ...and restoring gives back exactly the nominal capacity.
+        fab.set_port_scale(t(1.0), 0, 1.0);
+        assert_eq!(fab.rate(FlowId(1)), Some(100.0));
+        // 25 B in the first second, then full speed: done at 1 + 975/100.
+        assert_eq!(fab.next_completion(t(1.0)), Some(t(10.75)));
+    }
+
+    #[test]
+    fn quantum_coalesces_near_simultaneous_completions() {
+        let policy = MaxMinPolicy {
+            epsilon: 0.0,
+            quantum: SimDuration::from_millis(10),
+        };
+        let mut fab = FlowAllocator::new_with_policy(4, 100.0, 100.0, policy);
+        // Independent port pairs: flow 1 done at t=1.000, flow 2 at t=1.005,
+        // flow 3 at t=2.0 (outside the quantum).
+        fab.begin_update();
+        fab.insert(SimTime::ZERO, FlowId(1), 0, 1, 100.0);
+        fab.insert(SimTime::ZERO, FlowId(2), 2, 3, 100.5);
+        fab.insert(SimTime::ZERO, FlowId(3), 1, 0, 200.0);
+        fab.commit(SimTime::ZERO);
+        let c = fab.next_completion(SimTime::ZERO).unwrap();
+        assert_eq!(c, t(1.0));
+        // One wave takes both flows due within 10 ms, in ascending id order.
+        assert_eq!(fab.take_completed(c), vec![FlowId(1), FlowId(2)]);
+        assert_eq!(fab.next_completion(c), Some(t(2.0)));
+        assert_eq!(fab.take_completed(t(2.0)), vec![FlowId(3)]);
+        // The 0.5 B the quantum forgave still count as delivered.
+        assert!((fab.total_delivered() - 400.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn zero_policy_is_bit_identical_to_exact() {
+        let policy = MaxMinPolicy::default();
+        let mut exact = FlowAllocator::new(4, 125e6, 125e6);
+        let mut approx = FlowAllocator::new_with_policy(4, 125e6, 125e6, policy);
+        for i in 0..16u64 {
+            let (src, dst) = ((i % 4) as usize, ((i * 3 + 1) % 4) as usize);
+            exact.insert(SimTime::ZERO, FlowId(i), src, dst, 1e6 * (i + 1) as f64);
+            approx.insert(SimTime::ZERO, FlowId(i), src, dst, 1e6 * (i + 1) as f64);
+        }
+        let mut now = SimTime::ZERO;
+        while exact.active_flows() > 0 {
+            for i in 0..16u64 {
+                let (a, b) = (exact.rate(FlowId(i)), approx.rate(FlowId(i)));
+                assert_eq!(a.map(f64::to_bits), b.map(f64::to_bits), "flow {i}");
+            }
+            now = exact.next_completion(now).unwrap();
+            assert_eq!(approx.next_completion(now), Some(now));
+            assert_eq!(exact.take_completed(now), approx.take_completed(now));
+        }
+        assert_eq!(approx.active_flows(), 0);
+    }
+
+    #[test]
+    fn epsilon_rates_stay_in_the_one_sided_band() {
+        let eps = 0.05;
+        let policy = MaxMinPolicy {
+            epsilon: eps,
+            quantum: SimDuration::ZERO,
+        };
+        let mut fab = FlowAllocator::new_with_policy(6, 1e3, 1e3, policy);
+        // Churn: staggered inserts and removals force repeated fills whose
+        // skipped share increases must stay within the contract.
+        for i in 0..48u64 {
+            let (src, dst) = ((i % 6) as usize, ((i * 5 + 2) % 6) as usize);
+            fab.insert(SimTime::ZERO, FlowId(i), src, dst, 1e4 * (1 + i % 7) as f64);
+            if i % 3 == 2 {
+                fab.remove(SimTime::ZERO, FlowId(i - 2));
+            }
+            let reference = fab.reference_reallocate();
+            let mut tx_used = [0.0; 6];
+            let mut rx_used = [0.0; 6];
+            for (id, want) in &reference {
+                let got = fab.rate(*id).unwrap();
+                let tol = want * 1e-9 + 1e-12;
+                assert!(
+                    got <= want + tol && got >= want * (1.0 - eps) - tol,
+                    "flow {id:?}: {got} outside [{}, {want}]",
+                    want * (1.0 - eps)
+                );
+            }
+            for i in 0..48u64 {
+                if let Some(r) = fab.rate(FlowId(i)) {
+                    let f = fab.index[&FlowId(i)];
+                    let c = &fab.classes[f.class as usize];
+                    tx_used[c.src] += r;
+                    rx_used[c.dst] += r;
+                }
+            }
+            for p in 0..6 {
+                assert!(tx_used[p] <= 1e3 * (1.0 + 1e-9), "tx {p} over capacity");
+                assert!(rx_used[p] <= 1e3 * (1.0 + 1e-9), "rx {p} over capacity");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bad epsilon")]
+    fn epsilon_out_of_range_panics() {
+        let policy = MaxMinPolicy {
+            epsilon: 1.0,
+            quantum: SimDuration::ZERO,
+        };
+        FlowAllocator::new_with_policy(2, 1.0, 1.0, policy);
     }
 
     #[test]

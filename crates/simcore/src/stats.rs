@@ -16,6 +16,10 @@ pub struct SimStats {
     pub reallocs: u64,
     /// Wall-clock nanoseconds spent inside allocator recomputations.
     pub alloc_nanos: u64,
+    /// Wall-clock nanoseconds inside *per-machine* allocator recomputations
+    /// (`cluster::fluid`): executors re-attribute machine-local allocation
+    /// here so `alloc_nanos` isolates the cluster-wide fabric.
+    pub machine_alloc_nanos: u64,
     /// Wall-clock nanoseconds materializing lazy per-flow/stream drain
     /// outside of recomputations.
     pub drain_nanos: u64,
@@ -49,6 +53,7 @@ impl SimStats {
         self.events += other.events;
         self.reallocs += other.reallocs;
         self.alloc_nanos += other.alloc_nanos;
+        self.machine_alloc_nanos += other.machine_alloc_nanos;
         self.drain_nanos += other.drain_nanos;
         self.completion_nanos += other.completion_nanos;
         self.control_nanos += other.control_nanos;
@@ -60,12 +65,27 @@ impl SimStats {
 
     /// Wall-clock nanoseconds the allocators account for across all phases.
     pub fn allocator_nanos(&self) -> u64 {
-        self.alloc_nanos + self.drain_nanos + self.completion_nanos
+        self.alloc_nanos + self.machine_alloc_nanos + self.drain_nanos + self.completion_nanos
+    }
+
+    /// Moves allocation time into the per-machine bucket. Executors apply
+    /// this to each `cluster::fluid` allocator's stats before merging, so
+    /// per-phase attribution separates machine-local allocation from the
+    /// fabric's.
+    pub fn as_machine_alloc(mut self) -> SimStats {
+        self.machine_alloc_nanos += self.alloc_nanos;
+        self.alloc_nanos = 0;
+        self
     }
 
     /// Wall-clock seconds spent in allocator recomputations.
     pub fn alloc_secs(&self) -> f64 {
         self.alloc_nanos as f64 / 1e9
+    }
+
+    /// Wall-clock seconds inside per-machine allocator recomputations.
+    pub fn machine_alloc_secs(&self) -> f64 {
+        self.machine_alloc_nanos as f64 / 1e9
     }
 
     /// Wall-clock seconds materializing lazy drain.
@@ -104,6 +124,7 @@ mod tests {
             events: 1,
             reallocs: 2,
             alloc_nanos: 3,
+            machine_alloc_nanos: 11,
             drain_nanos: 4,
             completion_nanos: 5,
             control_nanos: 6,
@@ -116,6 +137,7 @@ mod tests {
             events: 10,
             reallocs: 20,
             alloc_nanos: 30,
+            machine_alloc_nanos: 110,
             drain_nanos: 40,
             completion_nanos: 50,
             control_nanos: 60,
@@ -130,6 +152,7 @@ mod tests {
                 events: 11,
                 reallocs: 22,
                 alloc_nanos: 33,
+                machine_alloc_nanos: 121,
                 drain_nanos: 44,
                 completion_nanos: 55,
                 control_nanos: 66,
@@ -140,6 +163,23 @@ mod tests {
             }
         );
         assert!((a.alloc_secs() - 33e-9).abs() < 1e-18);
-        assert_eq!(a.allocator_nanos(), 33 + 44 + 55);
+        assert_eq!(a.allocator_nanos(), 33 + 121 + 44 + 55);
+    }
+
+    #[test]
+    fn as_machine_alloc_reattributes_allocation_time() {
+        let s = SimStats {
+            reallocs: 5,
+            alloc_nanos: 100,
+            machine_alloc_nanos: 7,
+            drain_nanos: 3,
+            ..SimStats::default()
+        };
+        let m = s.as_machine_alloc();
+        assert_eq!(m.alloc_nanos, 0);
+        assert_eq!(m.machine_alloc_nanos, 107);
+        // Totals are preserved: only the attribution moves.
+        assert_eq!(m.allocator_nanos(), s.allocator_nanos());
+        assert_eq!(m.reallocs, 5);
     }
 }

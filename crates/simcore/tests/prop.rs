@@ -3,7 +3,9 @@
 
 use proptest::prelude::*;
 use simcore::resource::EfficiencyCurve;
-use simcore::{FlowAllocator, FlowId, JobId, PsResource, ResourceKind, SimDuration, SimTime};
+use simcore::{
+    FlowAllocator, FlowId, JobId, MaxMinPolicy, PsResource, ResourceKind, SimDuration, SimTime,
+};
 
 /// Every live flow's class-derived rate must equal the unique per-flow
 /// max-min fixpoint computed from scratch by the quadratic reference.
@@ -366,6 +368,188 @@ proptest! {
         }
         let (da, dp) = (batched.total_delivered(), plain.total_delivered());
         prop_assert!((da - dp).abs() <= dp.abs() * 1e-9 + 1e-6);
+    }
+
+    #[test]
+    fn epsilon_rates_stay_in_one_sided_band_under_churn(
+        n_nodes in 2usize..6,
+        tx_cap in 10.0f64..500.0,
+        rx_cap in 10.0f64..500.0,
+        epsilon in 0.001f64..0.2,
+        ops in prop::collection::vec(
+            (0u8..4, 0usize..8, 0usize..8, 1.0f64..500.0, 0.1f64..0.9),
+            1..40,
+        ),
+    ) {
+        // The ε-fair contract: after every mutation, each applied rate sits
+        // in [reference · (1 − ε), reference] — approximation only ever
+        // under-allocates — and port capacity holds. Same churn generator as
+        // the exact-mode property above.
+        let policy = MaxMinPolicy { epsilon, quantum: SimDuration::ZERO };
+        let mut fab = FlowAllocator::new_with_policy(n_nodes, tx_cap, rx_cap, policy);
+        let mut now = SimTime::ZERO;
+        let mut live: Vec<FlowId> = Vec::new();
+        let mut next_id = 0u64;
+        for (op, src, dst, bytes, frac) in ops {
+            match op {
+                0 | 1 => {
+                    let id = FlowId(next_id);
+                    next_id += 1;
+                    fab.insert(now, id, src % n_nodes, dst % n_nodes, bytes);
+                    live.push(id);
+                }
+                2 => {
+                    if !live.is_empty() {
+                        let idx = (bytes as usize) % live.len();
+                        fab.remove(now, live.swap_remove(idx));
+                    }
+                }
+                _ => {
+                    if let Some(t) = fab.next_completion(now) {
+                        let dt = t.since(now).as_secs_f64();
+                        now += SimDuration::from_secs_f64(dt * frac);
+                        fab.advance(now);
+                        if frac > 0.5 {
+                            now = t.max(now);
+                            fab.advance(now);
+                            let done = fab.take_completed(now);
+                            live.retain(|id| !done.contains(id));
+                        }
+                    }
+                }
+            }
+            let want = fab.reference_reallocate();
+            prop_assert_eq!(want.len(), live.len());
+            for (id, w) in &want {
+                let got = fab.rate(*id).expect("live flow has a rate");
+                let tol = w.abs() * 1e-9 + 1e-12;
+                prop_assert!(
+                    got <= w + tol && got >= w * (1.0 - epsilon) - tol,
+                    "flow {:?}: rate {} outside [{}, {}] (ε={})",
+                    id, got, w * (1.0 - epsilon), w, epsilon
+                );
+            }
+            for node in 0..n_nodes {
+                prop_assert!(fab.tx_busy_fraction(node) <= 1.0 + 1e-9);
+                prop_assert!(fab.rx_busy_fraction(node) <= 1.0 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_epsilon_zero_quantum_is_bit_identical_to_exact(
+        n_nodes in 2usize..6,
+        tx_cap in 10.0f64..500.0,
+        rx_cap in 10.0f64..500.0,
+        ops in prop::collection::vec(
+            (0u8..4, 0usize..8, 0usize..8, 1.0f64..500.0, 0.1f64..0.9),
+            1..40,
+        ),
+    ) {
+        // A MaxMinPolicy of ε = 0, Δ = 0 runs the very same code path as the
+        // exact allocator: rates (bitwise), epochs, next-completion instants
+        // and completion batches must all be identical under churn.
+        let policy = MaxMinPolicy { epsilon: 0.0, quantum: SimDuration::ZERO };
+        let mut exact = FlowAllocator::new(n_nodes, tx_cap, rx_cap);
+        let mut approx = FlowAllocator::new_with_policy(n_nodes, tx_cap, rx_cap, policy);
+        let mut now = SimTime::ZERO;
+        let mut live: Vec<FlowId> = Vec::new();
+        let mut next_id = 0u64;
+        for (op, src, dst, bytes, frac) in ops {
+            match op {
+                0 | 1 => {
+                    let id = FlowId(next_id);
+                    next_id += 1;
+                    exact.insert(now, id, src % n_nodes, dst % n_nodes, bytes);
+                    approx.insert(now, id, src % n_nodes, dst % n_nodes, bytes);
+                    live.push(id);
+                }
+                2 => {
+                    if !live.is_empty() {
+                        let idx = (bytes as usize) % live.len();
+                        let id = live.swap_remove(idx);
+                        let a = exact.remove(now, id);
+                        let b = approx.remove(now, id);
+                        prop_assert_eq!(a.map(f64::to_bits), b.map(f64::to_bits));
+                    }
+                }
+                _ => {
+                    let (ta, tb) = (exact.next_completion(now), approx.next_completion(now));
+                    prop_assert_eq!(ta, tb);
+                    if let Some(t) = ta {
+                        let dt = t.since(now).as_secs_f64();
+                        now += SimDuration::from_secs_f64(dt * frac);
+                        if frac > 0.5 {
+                            now = t.max(now);
+                            let da = exact.take_completed(now);
+                            let db = approx.take_completed(now);
+                            prop_assert_eq!(&da, &db);
+                            live.retain(|id| !da.contains(id));
+                        }
+                    }
+                }
+            }
+            prop_assert_eq!(exact.epoch(), approx.epoch());
+            for &id in &live {
+                let a = exact.rate(id).expect("live in exact");
+                let b = approx.rate(id).expect("live in approx");
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "flow {:?} diverged", id);
+            }
+        }
+        prop_assert_eq!(
+            exact.total_delivered().to_bits(),
+            approx.total_delivered().to_bits()
+        );
+    }
+
+    #[test]
+    fn quantum_coalescing_conserves_bytes_and_never_finishes_later(
+        n_nodes in 2usize..6,
+        flows in prop::collection::vec(
+            (0usize..8, 0usize..8, 1.0f64..500.0),
+            1..24,
+        ),
+        cap in 10.0f64..500.0,
+        quantum_ms in 1u64..2000,
+    ) {
+        // Coalescing completes flows at most rate·Δ bytes early, never late,
+        // and removing a flow never slows the survivors (max-min
+        // monotonicity) — so the coalesced run's makespan can only improve
+        // on exact, and every offered byte is still accounted delivered.
+        let policy = MaxMinPolicy {
+            epsilon: 0.0,
+            quantum: SimDuration::from_millis(quantum_ms),
+        };
+        let mut exact = FlowAllocator::new(n_nodes, cap, cap);
+        let mut coal = FlowAllocator::new_with_policy(n_nodes, cap, cap, policy);
+        let mut total = 0.0;
+        for (i, &(src, dst, bytes)) in flows.iter().enumerate() {
+            let (src, dst) = (src % n_nodes, dst % n_nodes);
+            exact.insert(SimTime::ZERO, FlowId(i as u64), src, dst, bytes);
+            coal.insert(SimTime::ZERO, FlowId(i as u64), src, dst, bytes);
+            total += bytes;
+        }
+        let drive = |fab: &mut FlowAllocator| -> Result<SimTime, TestCaseError> {
+            let mut now = SimTime::ZERO;
+            let mut guard = 0;
+            while fab.active_flows() > 0 {
+                now = fab.next_completion(now).expect("flows active");
+                fab.take_completed(now);
+                guard += 1;
+                prop_assert!(guard < 10_000, "fabric did not converge");
+            }
+            Ok(now)
+        };
+        let end_exact = drive(&mut exact)?;
+        let end_coal = drive(&mut coal)?;
+        prop_assert!(
+            end_coal <= end_exact,
+            "coalesced run finished later: {:?} vs {:?}", end_coal, end_exact
+        );
+        prop_assert!(
+            (coal.total_delivered() - total).abs() / total < 1e-6,
+            "delivered {} of {} bytes", coal.total_delivered(), total
+        );
     }
 
     #[test]

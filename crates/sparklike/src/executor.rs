@@ -1285,7 +1285,9 @@ impl Exec {
         let makespan = self.now;
         let mut stats = self.stats;
         for m in &self.machines {
-            stats.merge(&m.fluid.stats());
+            // Machine-local allocation gets its own attribution bucket (the
+            // sparklike executor has no fabric, so all allocation is here).
+            stats.merge(&m.fluid.stats().as_machine_alloc());
         }
         // main_loop stored raw loop wall time; what the allocators account
         // for is attributed to them, the rest is executor control.

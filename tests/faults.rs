@@ -236,6 +236,73 @@ fn disk_degradation_inflates_makespans() {
     assert!(spark.makespan > spark_free.makespan);
 }
 
+/// A degraded NIC reaches the full-duplex fabric: with the fabric modeling
+/// sender *and* receiver ports, halving one machine's link stretches the
+/// shuffle (and the makespan) relative to the fault-free fabric run.
+#[test]
+fn degraded_link_stretches_shuffle_on_the_fabric_path() {
+    let (job, blocks) = sort();
+    let cfg = MonoConfig {
+        full_duplex_network: true,
+        ..MonoConfig::default()
+    };
+    let free = monotasks_core::try_run(&cluster(), &[(job.clone(), blocks.clone())], &cfg)
+        .expect("fault-free fabric run");
+    let plan = FaultPlan::new().degrade_link(1, 0.25, SimTime::ZERO, SimTime::from_secs(100_000));
+    let degraded =
+        monotasks_core::run_with_faults(&cluster(), &[(job.clone(), blocks.clone())], &cfg, &plan)
+            .expect("degraded-link fabric run");
+    assert!(
+        degraded.makespan > free.makespan,
+        "degraded link did not stretch the fabric run: {:?} vs {:?}",
+        degraded.makespan,
+        free.makespan
+    );
+    // The slowdown is visible where the fabric says it should be: network
+    // monotasks (shuffle reads) take longer in aggregate, not just the tail.
+    let net_secs = |out: &monotasks_core::MonoRunOutput| -> f64 {
+        out.records
+            .iter()
+            .filter(|r| r.purpose == Purpose::NetTransfer)
+            .map(|r| r.service_secs())
+            .sum()
+    };
+    assert!(
+        net_secs(&degraded) > net_secs(&free) * 1.5,
+        "shuffle time not stretched: {} vs {}",
+        net_secs(&degraded),
+        net_secs(&free)
+    );
+}
+
+/// ε-fair fills and completion coalescing compose with fault injection: a
+/// crash landing mid-run (inside coalescing windows) yields the exact same
+/// recovery, records, and makespan on every execution.
+#[test]
+fn approximate_fabric_with_a_crash_is_deterministic() {
+    let (job, blocks) = sort();
+    let cfg = MonoConfig {
+        full_duplex_network: true,
+        fabric_epsilon: 0.01,
+        fabric_quantum_secs: 1e-3,
+        ..MonoConfig::default()
+    };
+    let free = monotasks_core::try_run(&cluster(), &[(job.clone(), blocks.clone())], &cfg)
+        .expect("fault-free approximate run");
+    let plan = mid_shuffle_crash(1, free.makespan.as_secs_f64() * 0.5);
+    let run = || {
+        monotasks_core::run_with_faults(&cluster(), &[(job.clone(), blocks.clone())], &cfg, &plan)
+            .expect("approximate run must still recover from one crash")
+    };
+    let a = run();
+    let b = run();
+    assert!(a.jobs[0].recovery.tasks_retried > 0, "crash had no effect");
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.stats.events, b.stats.events);
+    assert_eq!(a.stats.reallocs, b.stats.reallocs);
+    assert_eq!(format!("{:?}", a.records), format!("{:?}", b.records));
+}
+
 /// Up-front validation rejects degenerate configs and plans with a
 /// descriptive `InvalidConfig` instead of failing mid-run.
 #[test]
