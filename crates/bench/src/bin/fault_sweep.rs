@@ -14,18 +14,28 @@
 //! (plus a wall-clock budget), so CI catches both behavioral drift and
 //! perf regressions.
 //!
+//! `--matrix` switches to the *speculation matrix*: straggler-only plans
+//! (no crashes, no degraded hardware) run under three mitigation modes —
+//! none, slot-level (Spark-style whole-task duplicates), and monotask-level
+//! (only the straggling monotask is re-dispatched). The matrix quantifies
+//! the paper's decomposition argument: per-monotask duplicates recover the
+//! straggler makespan while wasting strictly less work, because a compute
+//! duplicate moves zero bytes where a whole-task duplicate re-reads its
+//! entire input.
+//!
 //! Usage:
-//!   fault_sweep [--out PATH] [--points 0,0.5,1,2]
+//!   fault_sweep [--matrix] [--out PATH] [--points 0,0.5,1,2]
 //!               [--check BASELINE.json --max-factor 2.0]
 //!
-//! The output path defaults to `$FAULT_SWEEP_OUT` or `BENCH_PR3.json`.
-//! `--check` never rewrites the committed record.
+//! The output path defaults to `$FAULT_SWEEP_OUT`, or `BENCH_PR3.json`
+//! (`BENCH_PR5.json` with `--matrix`). `--check` never rewrites the
+//! committed record.
 
 use std::time::Instant;
 
 use cluster::{ClusterSpec, FaultPlan, MachineSpec};
 use mt_bench::header;
-use workloads::{sort_job, sweep_plan, SortConfig};
+use workloads::{sort_job, straggler_plan, sweep_plan, SortConfig};
 
 const MACHINES: usize = 5;
 const GIB_PER_MACHINE: f64 = 2.0;
@@ -43,6 +53,9 @@ struct Point {
     tasks_retried: u64,
     tasks_speculated: u64,
     wasted_s: f64,
+    wasted_bytes: u64,
+    mono_copies: u64,
+    mono_copy_wins: u64,
     recompute_s: f64,
     wall_s: f64,
 }
@@ -58,59 +71,43 @@ fn workload() -> (dataflow::JobSpec, dataflow::BlockMap) {
 
 /// The fault horizon is the *fault-free monotasks makespan*: simulated, hence
 /// identical on every host, so the generated plans — and therefore the whole
-/// sweep — are reproducible everywhere.
-fn plan_for(intensity: f64, horizon_s: f64, tasks_per_stage: usize) -> FaultPlan {
+/// sweep — are reproducible everywhere. The matrix draws straggler-only
+/// plans from the same seed so its points isolate mitigation from recovery.
+fn plan_for(matrix: bool, intensity: f64, horizon_s: f64, tasks_per_stage: usize) -> FaultPlan {
     if intensity <= 0.0 {
         return FaultPlan::new();
     }
-    sweep_plan(SEED, &cluster(), horizon_s, 2, tasks_per_stage, intensity)
-}
-
-fn run_mono(intensity: f64, horizon_s: f64, tasks_per_stage: usize, baseline_s: f64) -> Point {
-    let (job, blocks) = workload();
-    let cfg = monotasks_core::MonoConfig {
-        collect_traces: false,
-        ..monotasks_core::MonoConfig::default()
-    };
-    let plan = plan_for(intensity, horizon_s, tasks_per_stage);
-    let start = Instant::now();
-    let result = monotasks_core::run_with_faults(&cluster(), &[(job, blocks)], &cfg, &plan);
-    let wall_s = start.elapsed().as_secs_f64();
-    match result {
-        Ok(out) => Point {
-            engine: "mono",
-            intensity,
-            completed: true,
-            error: String::new(),
-            makespan_s: out.makespan.as_secs_f64(),
-            inflation: if baseline_s > 0.0 {
-                out.makespan.as_secs_f64() / baseline_s
-            } else {
-                1.0
-            },
-            tasks_retried: out.stats.tasks_retried,
-            tasks_speculated: out.stats.tasks_speculated,
-            wasted_s: out.stats.wasted_work_secs(),
-            recompute_s: out.stats.recompute_secs(),
-            wall_s,
-        },
-        Err(e) => failed_point("mono", intensity, e.to_string(), wall_s),
+    if matrix {
+        straggler_plan(SEED, &cluster(), horizon_s, 2, tasks_per_stage, intensity)
+    } else {
+        sweep_plan(SEED, &cluster(), horizon_s, 2, tasks_per_stage, intensity)
     }
 }
 
-fn run_spark(intensity: f64, horizon_s: f64, tasks_per_stage: usize, baseline_s: f64) -> Point {
+/// The speculation knob both engines share in speculative modes; 1.5 is the
+/// Spark default (`spark.speculation.multiplier`).
+const SPEC_MULTIPLIER: f64 = 1.5;
+
+fn run_mono(
+    engine: &'static str,
+    spec: bool,
+    plan: &FaultPlan,
+    intensity: f64,
+    baseline_s: f64,
+) -> Point {
     let (job, blocks) = workload();
-    let cfg = sparklike::SparkConfig {
-        speculation_multiplier: Some(1.5),
-        ..sparklike::SparkConfig::default()
+    let cfg = monotasks_core::MonoConfig {
+        collect_traces: false,
+        mono_speculation_multiplier: spec.then_some(SPEC_MULTIPLIER),
+        mono_speculation_min_runtime: spec.then_some(0.05),
+        ..monotasks_core::MonoConfig::default()
     };
-    let plan = plan_for(intensity, horizon_s, tasks_per_stage);
     let start = Instant::now();
-    let result = sparklike::run_with_faults(&cluster(), &[(job, blocks)], &cfg, &plan);
+    let result = monotasks_core::run_with_faults(&cluster(), &[(job, blocks)], &cfg, plan);
     let wall_s = start.elapsed().as_secs_f64();
     match result {
         Ok(out) => Point {
-            engine: "spark",
+            engine,
             intensity,
             completed: true,
             error: String::new(),
@@ -123,10 +120,53 @@ fn run_spark(intensity: f64, horizon_s: f64, tasks_per_stage: usize, baseline_s:
             tasks_retried: out.stats.tasks_retried,
             tasks_speculated: out.stats.tasks_speculated,
             wasted_s: out.stats.wasted_work_secs(),
+            wasted_bytes: out.stats.wasted_bytes,
+            mono_copies: out.stats.mono_copies,
+            mono_copy_wins: out.stats.mono_copy_wins,
             recompute_s: out.stats.recompute_secs(),
             wall_s,
         },
-        Err(e) => failed_point("spark", intensity, e.to_string(), wall_s),
+        Err(e) => failed_point(engine, intensity, e.to_string(), wall_s),
+    }
+}
+
+fn run_spark(
+    engine: &'static str,
+    spec: bool,
+    plan: &FaultPlan,
+    intensity: f64,
+    baseline_s: f64,
+) -> Point {
+    let (job, blocks) = workload();
+    let cfg = sparklike::SparkConfig {
+        speculation_multiplier: spec.then_some(SPEC_MULTIPLIER),
+        ..sparklike::SparkConfig::default()
+    };
+    let start = Instant::now();
+    let result = sparklike::run_with_faults(&cluster(), &[(job, blocks)], &cfg, plan);
+    let wall_s = start.elapsed().as_secs_f64();
+    match result {
+        Ok(out) => Point {
+            engine,
+            intensity,
+            completed: true,
+            error: String::new(),
+            makespan_s: out.makespan.as_secs_f64(),
+            inflation: if baseline_s > 0.0 {
+                out.makespan.as_secs_f64() / baseline_s
+            } else {
+                1.0
+            },
+            tasks_retried: out.stats.tasks_retried,
+            tasks_speculated: out.stats.tasks_speculated,
+            wasted_s: out.stats.wasted_work_secs(),
+            wasted_bytes: out.stats.wasted_bytes,
+            mono_copies: 0,
+            mono_copy_wins: 0,
+            recompute_s: out.stats.recompute_secs(),
+            wall_s,
+        },
+        Err(e) => failed_point(engine, intensity, e.to_string(), wall_s),
     }
 }
 
@@ -141,32 +181,36 @@ fn failed_point(engine: &'static str, intensity: f64, error: String, wall_s: f64
         tasks_retried: 0,
         tasks_speculated: 0,
         wasted_s: 0.0,
+        wasted_bytes: 0,
+        mono_copies: 0,
+        mono_copy_wins: 0,
         recompute_s: 0.0,
         wall_s,
     }
 }
 
 struct Args {
-    out: String,
+    out: Option<String>,
     points: Vec<f64>,
     check: Option<String>,
     max_factor: f64,
+    matrix: bool,
 }
 
 fn parse_args() -> Args {
-    let default_out =
-        std::env::var("FAULT_SWEEP_OUT").unwrap_or_else(|_| "BENCH_PR3.json".to_string());
     let mut args = Args {
-        out: default_out,
+        out: std::env::var("FAULT_SWEEP_OUT").ok(),
         points: DEFAULT_POINTS.to_vec(),
         check: None,
         max_factor: 2.0,
+        matrix: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         let mut value = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
         match a.as_str() {
-            "--out" => args.out = value("--out"),
+            "--out" => args.out = Some(value("--out")),
+            "--matrix" => args.matrix = true,
             "--points" => {
                 args.points = value("--points")
                     .split(',')
@@ -210,30 +254,71 @@ fn baseline_records(json: &str) -> Vec<(String, f64, f64, f64)> {
         .collect()
 }
 
+/// Engine rows of the sweep: a label, which executor, and whether its
+/// speculation knob is armed. The classic sweep pins Spark speculation on
+/// (its recovery story needs it) and monotask speculation off, matching the
+/// committed BENCH_PR3 baseline; the matrix crosses mitigation modes.
+fn engines(matrix: bool) -> Vec<(&'static str, bool, bool)> {
+    if matrix {
+        vec![
+            ("spark", true, false),
+            ("spark+spec", true, true),
+            ("mono", false, false),
+            ("mono+spec", false, true),
+        ]
+    } else {
+        vec![("spark", true, true), ("mono", false, false)]
+    }
+}
+
 fn main() {
     let args = parse_args();
-    header(
-        "fault_sweep",
-        "sort under increasing fault intensity, both executors",
-        "recovery (lineage resubmission, retries, speculation) completes the job; \
-         makespan inflation and overhead counters quantify the cost",
-    );
-    // Fault-free baselines: intensity 0 for each engine, run once.
+    if args.matrix {
+        header(
+            "fault_sweep --matrix",
+            "sort under straggler-only plans: no, slot-level, and monotask-level speculation",
+            "monotask-level speculation recovers the straggler makespan while wasting \
+             strictly less work than slot-level whole-task duplicates",
+        );
+    } else {
+        header(
+            "fault_sweep",
+            "sort under increasing fault intensity, both executors",
+            "recovery (lineage resubmission, retries, speculation) completes the job; \
+             makespan inflation and overhead counters quantify the cost",
+        );
+    }
+    // Fault-free baselines: intensity 0 for each engine row, run once.
     let tasks_per_stage = {
         let (job, _) = workload();
         job.stages.iter().map(|s| s.tasks.len()).max().unwrap_or(1)
     };
-    let mono_base = run_mono(0.0, 0.0, tasks_per_stage, 0.0);
-    let spark_base = run_spark(0.0, 0.0, tasks_per_stage, 0.0);
-    assert!(
-        mono_base.completed && spark_base.completed,
-        "fault-free baseline failed: mono={} spark={}",
-        mono_base.error,
-        spark_base.error
-    );
-    let horizon_s = mono_base.makespan_s;
+    let empty = FaultPlan::new();
+    let rows = engines(args.matrix);
+    let bases: Vec<Point> = rows
+        .iter()
+        .map(|&(engine, is_spark, spec)| {
+            let p = if is_spark {
+                run_spark(engine, spec, &empty, 0.0, 0.0)
+            } else {
+                run_mono(engine, spec, &empty, 0.0, 0.0)
+            };
+            assert!(
+                p.completed,
+                "fault-free baseline failed: {}={}",
+                engine, p.error
+            );
+            p
+        })
+        .collect();
+    let horizon_s = bases
+        .iter()
+        .zip(&rows)
+        .find(|(_, (engine, _, _))| *engine == "mono")
+        .map(|(p, _)| p.makespan_s)
+        .expect("mono row always present");
     println!(
-        "{:>6} {:>9} {:>11} {:>9} {:>8} {:>10} {:>9} {:>10} {:>8}",
+        "{:>10} {:>9} {:>11} {:>9} {:>8} {:>10} {:>9} {:>11} {:>7} {:>5} {:>8}",
         "engine",
         "intensity",
         "makespan(s)",
@@ -241,32 +326,32 @@ fn main() {
         "retried",
         "speculated",
         "wasted(s)",
-        "recomp(s)",
+        "wasted(MiB)",
+        "copies",
+        "wins",
         "wall(s)"
     );
     let mut points: Vec<Point> = Vec::new();
     for &intensity in &args.points {
-        for engine in ["spark", "mono"] {
+        for (i, &(engine, is_spark, spec)) in rows.iter().enumerate() {
             let p = if intensity == 0.0 {
                 // Reuse the baseline run instead of re-simulating it.
-                let base = if engine == "mono" {
-                    &mono_base
-                } else {
-                    &spark_base
-                };
                 Point {
                     inflation: 1.0,
                     error: String::new(),
-                    ..clone_point(base)
+                    ..clone_point(&bases[i])
                 }
-            } else if engine == "mono" {
-                run_mono(intensity, horizon_s, tasks_per_stage, mono_base.makespan_s)
             } else {
-                run_spark(intensity, horizon_s, tasks_per_stage, spark_base.makespan_s)
+                let plan = plan_for(args.matrix, intensity, horizon_s, tasks_per_stage);
+                if is_spark {
+                    run_spark(engine, spec, &plan, intensity, bases[i].makespan_s)
+                } else {
+                    run_mono(engine, spec, &plan, intensity, bases[i].makespan_s)
+                }
             };
             if p.completed {
                 println!(
-                    "{:>6} {:>9} {:>11.1} {:>9.2} {:>8} {:>10} {:>9.1} {:>10.1} {:>8.3}",
+                    "{:>10} {:>9} {:>11.1} {:>9.2} {:>8} {:>10} {:>9.1} {:>11.1} {:>7} {:>5} {:>8.3}",
                     p.engine,
                     p.intensity,
                     p.makespan_s,
@@ -274,11 +359,13 @@ fn main() {
                     p.tasks_retried,
                     p.tasks_speculated,
                     p.wasted_s,
-                    p.recompute_s,
+                    p.wasted_bytes as f64 / (1024.0 * 1024.0),
+                    p.mono_copies,
+                    p.mono_copy_wins,
                     p.wall_s
                 );
             } else {
-                println!("{:>6} {:>9} failed: {}", p.engine, p.intensity, p.error);
+                println!("{:>10} {:>9} failed: {}", p.engine, p.intensity, p.error);
             }
             points.push(p);
         }
@@ -325,7 +412,12 @@ fn main() {
         }
         return; // check mode never rewrites the committed record
     }
-    let mut json = String::from("{\n  \"bench\": \"fault_sweep\",\n  \"workload\": \"sort\",\n");
+    let bench = if args.matrix {
+        "fault_sweep --matrix"
+    } else {
+        "fault_sweep"
+    };
+    let mut json = format!("{{\n  \"bench\": \"{bench}\",\n  \"workload\": \"sort\",\n");
     json.push_str(&format!(
         "  \"machines\": {MACHINES},\n  \"gib_per_machine\": {GIB_PER_MACHINE},\n  \
          \"seed\": {SEED},\n  \"points\": [\n"
@@ -334,7 +426,8 @@ fn main() {
         json.push_str(&format!(
             "    {{\"engine\": \"{}\", \"intensity\": {}, \"completed\": {}, \
              \"makespan_s\": {:.3}, \"inflation\": {:.3}, \"tasks_retried\": {}, \
-             \"tasks_speculated\": {}, \"wasted_s\": {:.3}, \"recompute_s\": {:.3}, \
+             \"tasks_speculated\": {}, \"wasted_s\": {:.3}, \"wasted_bytes\": {}, \
+             \"mono_copies\": {}, \"mono_copy_wins\": {}, \"recompute_s\": {:.3}, \
              \"wall_s\": {:.3}}}{}\n",
             p.engine,
             p.intensity,
@@ -344,14 +437,24 @@ fn main() {
             p.tasks_retried,
             p.tasks_speculated,
             p.wasted_s,
+            p.wasted_bytes,
+            p.mono_copies,
+            p.mono_copy_wins,
             p.recompute_s,
             p.wall_s,
             if i + 1 < points.len() { "," } else { "" }
         ));
     }
     json.push_str("  ]\n}\n");
-    std::fs::write(&args.out, &json).unwrap_or_else(|e| panic!("write {}: {e}", args.out));
-    println!("\nwrote {}", args.out);
+    let out = args.out.unwrap_or_else(|| {
+        if args.matrix {
+            "BENCH_PR5.json".to_string()
+        } else {
+            "BENCH_PR3.json".to_string()
+        }
+    });
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("\nwrote {out}");
 }
 
 fn clone_point(p: &Point) -> Point {
@@ -365,6 +468,9 @@ fn clone_point(p: &Point) -> Point {
         tasks_retried: p.tasks_retried,
         tasks_speculated: p.tasks_speculated,
         wasted_s: p.wasted_s,
+        wasted_bytes: p.wasted_bytes,
+        mono_copies: p.mono_copies,
+        mono_copy_wins: p.mono_copy_wins,
         recompute_s: p.recompute_s,
         wall_s: p.wall_s,
     }

@@ -360,6 +360,36 @@ impl FaultPlan {
         plan
     }
 
+    /// Generates a reproducible **straggler-only** plan: no crashes, no
+    /// degradations — just `≈ 4 × intensity` distinct `(stage, task)`
+    /// stragglers slowed 2–6×. This is the speculation benchmark's fault
+    /// model: every makespan stretch is attributable to stragglers alone, so
+    /// speculation modes can be ranked on how much of it they recover and at
+    /// what cost in wasted work.
+    pub fn random_stragglers(seed: u64, spec: &FaultSpec, intensity: f64) -> FaultPlan {
+        assert!(
+            intensity.is_finite() && intensity >= 0.0,
+            "intensity must be finite and >= 0"
+        );
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut plan = FaultPlan::new();
+        if intensity == 0.0 || spec.stages == 0 || spec.tasks_per_stage == 0 {
+            return plan;
+        }
+        let mut used: Vec<(usize, usize)> = Vec::new();
+        for _ in 0..((4.0 * intensity).round() as usize) {
+            let s = rng.gen_range(0..spec.stages);
+            let t = rng.gen_range(0..spec.tasks_per_stage);
+            if used.contains(&(s, t)) {
+                continue;
+            }
+            used.push((s, t));
+            let factor = rng.gen_range(2.0..6.0);
+            plan = plan.straggle(s, t, factor);
+        }
+        plan
+    }
+
     /// Lowers the plan into a time-sorted action timeline plus a straggle
     /// lookup table.
     pub fn compile(&self) -> FaultTimeline {
@@ -527,6 +557,27 @@ mod tests {
         let c = FaultPlan::random(8, &spec, 1.5);
         assert_ne!(a, c, "different seeds should give different plans");
         assert!(a.validate(&cluster(8)).is_ok());
+    }
+
+    #[test]
+    fn straggler_only_plans_are_reproducible_and_pure() {
+        let spec = FaultSpec {
+            machines: 5,
+            disks_per_machine: 2,
+            horizon: SimTime::from_secs(100),
+            stages: 2,
+            tasks_per_stage: 10,
+        };
+        let a = FaultPlan::random_stragglers(42, &spec, 1.0);
+        let b = FaultPlan::random_stragglers(42, &spec, 1.0);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        assert!(a
+            .events()
+            .iter()
+            .all(|e| matches!(e, FaultEvent::TaskStraggle { .. })));
+        assert!(a.validate(&cluster(5)).is_ok());
+        assert!(FaultPlan::random_stragglers(42, &spec, 0.0).is_empty());
     }
 
     #[test]

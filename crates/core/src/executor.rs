@@ -14,7 +14,7 @@
 //! ([`crate::scheduler`]); completed monotasks release their dependents. All
 //! timing flows into [`MonotaskRecord`]s.
 
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
 
 use cluster::{
     ClusterSpec, FaultAction, FaultPlan, FaultTimeline, FluidMachine, MachineId, ResourceSel,
@@ -24,7 +24,7 @@ use dataflow::{
     BlockMap, InputSpec, JobId, JobReport, JobSpec, OutputSpec, RecoveryStats, RunError, StageId,
     StageReport, TaskId,
 };
-use simcore::{FlowAllocator, FlowId, MaxMinPolicy};
+use simcore::{EventQueue, FlowAllocator, FlowId, MaxMinPolicy};
 use simcore::{ResourceKind, SimDuration, SimStats, SimTime};
 
 use crate::decompose::{decompose, DecomposeCtx, SenderShare};
@@ -108,6 +108,19 @@ pub struct MonoConfig {
     /// fails with [`RunError::RetriesExhausted`]. Only reachable under fault
     /// injection.
     pub max_task_retries: u32,
+    /// Monotask-level speculation threshold: a running monotask whose elapsed
+    /// service time exceeds `multiplier ×` the median of completed monotasks
+    /// of the same `(job, stage, purpose)` gets a single-resource copy — a
+    /// slow disk read re-issued on another replica disk, a slow fetch
+    /// re-served from a different sender disk, a slow compute duplicated —
+    /// with first-finisher-wins and deterministic loser cancellation. `None`
+    /// (the default) disables the machinery entirely: runs are bit-identical
+    /// to builds predating the knob (proptested).
+    pub mono_speculation_multiplier: Option<f64>,
+    /// Minimum elapsed service seconds before a monotask may be speculated
+    /// (guards against copy storms on tiny monotasks). Only meaningful with
+    /// `mono_speculation_multiplier`; `None` means no floor.
+    pub mono_speculation_min_runtime: Option<f64>,
 }
 
 impl Default for MonoConfig {
@@ -127,6 +140,8 @@ impl Default for MonoConfig {
             max_steps: 50_000_000,
             collect_traces: true,
             max_task_retries: 4,
+            mono_speculation_multiplier: None,
+            mono_speculation_min_runtime: None,
         }
     }
 }
@@ -163,6 +178,20 @@ impl MonoConfig {
                 "fabric_quantum_secs {} must be finite and >= 0",
                 self.fabric_quantum_secs
             ));
+        }
+        if let Some(m) = self.mono_speculation_multiplier {
+            if !(m.is_finite() && m >= 1.0) {
+                return Err(format!(
+                    "mono_speculation_multiplier {m} must be finite and >= 1"
+                ));
+            }
+        }
+        if let Some(r) = self.mono_speculation_min_runtime {
+            if !(r.is_finite() && r >= 0.0) {
+                return Err(format!(
+                    "mono_speculation_min_runtime {r} must be finite and >= 0"
+                ));
+            }
         }
         Ok(())
     }
@@ -213,6 +242,20 @@ struct MonoNode {
     serve_started: SimTime,
     net_phase: NetPhase,
     done: bool,
+    /// Holds a rate allocation right now (its stream/flow is in an
+    /// allocator). Distinguishes queued from in-flight during cancellation.
+    running: bool,
+    /// Lost a speculation race (or its sender died): stale queue entries are
+    /// skipped lazily at pop time, in-flight streams were torn down eagerly.
+    cancelled: bool,
+    /// Index of this node's speculative copy, if one was launched. At most
+    /// one copy per monotask, ever.
+    copy: Option<usize>,
+    /// For copy nodes: the original they duplicate. `None` on originals.
+    copy_of: Option<usize>,
+    /// Next scheduled speculation-check wake-up for this node (dedup so the
+    /// timer queue holds at most one pending entry per node).
+    spec_wake_at: Option<SimTime>,
 }
 
 #[derive(Debug)]
@@ -231,6 +274,13 @@ struct MtState {
     buffered: f64,
     /// This attempt re-runs a completed task whose output a crash destroyed.
     recompute: bool,
+    /// Input block read by this task, if any (replica lookup for disk-read
+    /// speculation).
+    input_block: Option<dataflow::BlockId>,
+    /// Straggle factor applied to this attempt's CPU work, if any. Compute
+    /// copies run clean (divide the inflated work back out), mirroring the
+    /// slot-level semantics where retries and copies run at full speed.
+    straggle: Option<f64>,
 }
 
 #[derive(Debug)]
@@ -307,6 +357,16 @@ struct Exec {
     /// Tasks whose next launch is a lineage recomputation (only ever
     /// membership-tested; iteration order never observed).
     recompute_pending: HashSet<(usize, usize, usize)>,
+    /// Whether monotask-level speculation is active this run. False keeps
+    /// every speculation hook off the hot path, so disabled runs are
+    /// bit-identical to builds predating the feature.
+    spec_on: bool,
+    /// Completed service durations per `(job, stage, purpose)` — the
+    /// straggler-threshold populations. BTreeMap for deterministic layout.
+    durations: BTreeMap<(u32, u32, Purpose), Vec<f64>>,
+    /// Deterministic wake-ups at projected threshold-crossing instants, so a
+    /// straggler is caught even when no completion event lands near it.
+    spec_timers: EventQueue<()>,
 }
 
 /// Encodes a `(multitask, node)` reference as a fluid stream id.
@@ -317,6 +377,24 @@ fn stream_id(mt: usize, node: usize) -> StreamId {
 
 fn decode(id: StreamId) -> (usize, usize) {
     ((id.0 >> 16) as usize, (id.0 & 0xFFFF) as usize)
+}
+
+/// `RecoveryStats` array index for a monotask's resource.
+fn res_index(op: &MonoOp) -> usize {
+    match op {
+        MonoOp::Compute { .. } => dataflow::RES_CPU,
+        MonoOp::DiskRead { .. } | MonoOp::DiskWrite { .. } => dataflow::RES_DISK,
+        MonoOp::NetFetch { .. } => dataflow::RES_NET,
+    }
+}
+
+/// Lower-middle median, matching the slot-level engine's estimator so the
+/// two speculation modes react to the same straggler signal.
+fn median(xs: &[f64]) -> f64 {
+    debug_assert!(!xs.is_empty());
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    v[(v.len() - 1) / 2]
 }
 
 /// Runs `jobs` to completion on a simulated `cluster` under the monotasks
@@ -504,6 +582,9 @@ pub fn run_with_faults(
             })
             .collect(),
         recompute_pending: HashSet::new(),
+        spec_on: cfg.mono_speculation_multiplier.is_some(),
+        durations: BTreeMap::new(),
+        spec_timers: EventQueue::new(),
     };
     exec.prime();
     exec.main_loop()?;
@@ -590,6 +671,13 @@ impl Exec {
             if self.faults_on {
                 self.apply_due_faults()?;
             }
+            if self.spec_on {
+                // Drain due speculation wake-ups: they carry no payload, the
+                // fixpoint's check_speculation sweep does the actual work.
+                while self.spec_timers.peek_time().is_some_and(|t| t <= self.now) {
+                    self.spec_timers.pop();
+                }
+            }
             if let Some(fabric) = &mut self.fabric {
                 fabric.advance(self.now);
                 fabric.take_completed_into(self.now, &mut done_flows);
@@ -618,6 +706,9 @@ impl Exec {
             loop {
                 let mut changed = self.assign_tasks();
                 changed |= self.dispatch_all();
+                if self.spec_on {
+                    changed |= self.check_speculation();
+                }
                 if !changed {
                     break;
                 }
@@ -660,8 +751,10 @@ impl Exec {
             // which mutations trigger.
             // Under fault injection, stop at the last job completion instead
             // of sitting through the remaining scheduled fault actions (e.g.
-            // a degrade window that outlives the workload).
-            if self.faults_on && self.jobs.iter().all(|j| j.done) {
+            // a degrade window that outlives the workload). Speculation runs
+            // stop there too: stale wake-up timers past the last completion
+            // must not stretch the reported makespan.
+            if (self.faults_on || self.spec_on) && self.jobs.iter().all(|j| j.done) {
                 break;
             }
             let mut next: Option<SimTime> = None;
@@ -693,6 +786,14 @@ impl Exec {
             }
             if self.faults_on {
                 if let Some(t) = self.faults.next_time() {
+                    next = Some(match next {
+                        Some(b) => b.min(t),
+                        None => t,
+                    });
+                }
+            }
+            if self.spec_on {
+                if let Some(t) = self.spec_timers.peek_time() {
                     next = Some(match next {
                         Some(b) => b.min(t),
                         None => t,
@@ -768,11 +869,27 @@ impl Exec {
                 continue;
             }
             let on_dead = self.mts[mt].machine == m;
+            if self.spec_on && !on_dead {
+                // A speculative copy served by the dead machine dies alone:
+                // cancel it and let the (healthy) original finish, instead of
+                // aborting the whole multitask.
+                for node in 0..self.mts[mt].nodes.len() {
+                    let n = &self.mts[mt].nodes[node];
+                    if n.copy_of.is_some()
+                        && !n.done
+                        && !n.cancelled
+                        && matches!(n.op, MonoOp::NetFetch { from, .. } if from == m)
+                    {
+                        self.cancel_node(mt, node);
+                    }
+                }
+            }
             let dead_fetch = !on_dead
-                && self.mts[mt]
-                    .nodes
-                    .iter()
-                    .any(|n| !n.done && matches!(n.op, MonoOp::NetFetch { from, .. } if from == m));
+                && self.mts[mt].nodes.iter().any(|n| {
+                    !n.done
+                        && !n.cancelled
+                        && matches!(n.op, MonoOp::NetFetch { from, .. } if from == m)
+                });
             if on_dead || dead_fetch {
                 self.abort_multitask(mt)?;
             }
@@ -796,17 +913,28 @@ impl Exec {
         self.mts[mt].aborted = true;
         let machine = self.mts[mt].machine;
         let home_alive = self.machines[machine].alive;
+        let ji = self.mts[mt].key.job.0 as usize;
         let mut group_admitted = false;
         for node in 0..self.mts[mt].nodes.len() {
-            let (op, phase, done) = {
+            let (op, phase, done, running, cancelled) = {
                 let n = &self.mts[mt].nodes[node];
-                (n.op, n.net_phase, n.done)
+                (n.op, n.net_phase, n.done, n.running, n.cancelled)
             };
             let sid = stream_id(mt, node);
             if let MonoOp::NetFetch { .. } = op {
                 if done || phase != NetPhase::Waiting {
                     group_admitted = true;
                 }
+            }
+            // Discarded I/O: every byte-moving monotask this attempt started
+            // (finished or in flight) is thrown away. Cancelled speculation
+            // losers already charged theirs.
+            if self.faults_on
+                && !cancelled
+                && (done || running)
+                && !matches!(op, MonoOp::Compute { .. })
+            {
+                self.jobs[ji].recovery.wasted_bytes += op.bytes();
             }
             if done {
                 continue;
@@ -1063,6 +1191,7 @@ impl Exec {
         let n_disks = self.machines[m].fluid.spec().disks.len();
         let mut task = self.jobs[ji].spec.stages[si].tasks[ti];
         let mut recompute = false;
+        let mut straggle = None;
         if self.faults_on {
             recompute = self.recompute_pending.remove(&(ji, si, ti));
             // A straggler's *first* attempt drags its compute monotask out by
@@ -1073,6 +1202,7 @@ impl Exec {
                     task.cpu.deser *= f;
                     task.cpu.compute *= f;
                     task.cpu.ser *= f;
+                    straggle = Some(f);
                 }
             }
         }
@@ -1126,9 +1256,18 @@ impl Exec {
                 serve_started: self.now,
                 net_phase: NetPhase::Waiting,
                 done: false,
+                running: false,
+                cancelled: false,
+                copy: None,
+                copy_of: None,
+                spec_wake_at: None,
             })
             .collect();
         let remaining = nodes.len();
+        let input_block = match task.input {
+            InputSpec::DiskBlock { block, .. } => Some(block),
+            _ => None,
+        };
         self.mts.push(MtState {
             key: MultitaskKey {
                 job: JobId(ji as u32),
@@ -1143,6 +1282,8 @@ impl Exec {
             start: self.now,
             buffered: 0.0,
             recompute,
+            input_block,
+            straggle,
         });
         self.machines[m].assigned += 1;
         let run = &mut self.jobs[ji].stages[si];
@@ -1242,9 +1383,10 @@ impl Exec {
                 continue;
             }
             while let Some((mt, node)) = self.machines[m].sched.pop_cpu() {
-                if self.mts[mt].aborted {
-                    // Stale entry of a crash-aborted multitask: drop it and
-                    // give back the slot the pop took.
+                if self.mts[mt].aborted || self.mts[mt].nodes[node].cancelled {
+                    // Stale entry of a crash-aborted multitask or a cancelled
+                    // speculation loser: drop it and give back the slot the
+                    // pop took.
                     self.machines[m].sched.finish_cpu();
                     changed = true;
                     continue;
@@ -1263,7 +1405,7 @@ impl Exec {
                         self.machines[m].sched.pop_disk(d)
                     };
                     let Some((mt, node)) = popped else { break };
-                    if self.mts[mt].aborted {
+                    if self.mts[mt].aborted || self.mts[mt].nodes[node].cancelled {
                         let was_write =
                             matches!(self.mts[mt].nodes[node].op, MonoOp::DiskWrite { .. });
                         self.machines[m].sched.finish_disk(d, was_write);
@@ -1293,6 +1435,7 @@ impl Exec {
             ref op => panic!("CPU scheduler admitted non-compute monotask {op:?}"),
         };
         self.mts[mt].nodes[node].started = self.now;
+        self.mts[mt].nodes[node].running = true;
         let n_disks = self.machines[machine].fluid.spec().disks.len();
         self.machines[machine].fluid.insert(
             self.now,
@@ -1308,8 +1451,12 @@ impl Exec {
                 self.mts[mt].nodes[node].started = self.now;
                 // Reserve the read buffer up front: the memory is committed
                 // the moment the monotask is admitted (§3.5 accounting).
-                self.adjust_buffered(machine, bytes);
-                self.mts[mt].buffered += bytes;
+                // Speculative copies skip the reservation — their original
+                // already holds the buffer, and only one result is kept.
+                if self.mts[mt].nodes[node].copy_of.is_none() {
+                    self.adjust_buffered(machine, bytes);
+                    self.mts[mt].buffered += bytes;
+                }
                 (bytes, false)
             }
             MonoOp::DiskWrite { bytes, .. } => {
@@ -1324,6 +1471,7 @@ impl Exec {
             }
             MonoOp::Compute { .. } => panic!("disk scheduler admitted a compute monotask"),
         };
+        self.mts[mt].nodes[node].running = true;
         let demand = if is_write {
             StreamDemand::disk_write_only(cluster::DiskId(disk), bytes.max(1e-9), n_disks)
         } else {
@@ -1382,6 +1530,7 @@ impl Exec {
         let bytes = self.mts[mt].nodes[node].op.bytes();
         self.mts[mt].nodes[node].net_phase = NetPhase::Transfer;
         self.mts[mt].nodes[node].started = self.now;
+        self.mts[mt].nodes[node].running = true;
         let machine = self.mts[mt].machine;
         if let Some(fabric) = &mut self.fabric {
             let from = match self.mts[mt].nodes[node].op {
@@ -1407,28 +1556,46 @@ impl Exec {
 
     /// A fluid stream finished: route by monotask kind and phase.
     fn on_stream_done(&mut self, mt: usize, node: usize) {
+        if self.mts[mt].nodes[node].cancelled {
+            // Lost a speculation race but drained in the same event batch:
+            // the winner's teardown saw it still in the allocator's completed
+            // list and left its scheduler slot for this handler to release.
+            self.release_drained_loser(mt, node);
+            return;
+        }
+        if self.mts[mt].nodes[node].copy_of.is_some() {
+            self.copy_finished(mt, node);
+            return;
+        }
         let op = self.mts[mt].nodes[node].op;
+        self.mts[mt].nodes[node].running = false;
         match op {
             MonoOp::Compute { work } => {
                 let machine = self.mts[mt].machine;
                 self.machines[machine].sched.finish_cpu();
                 // The compute consumed its input buffers and produced its
-                // serialized output buffer.
+                // serialized output buffer. (Speculative copy nodes are
+                // excluded: only one of each racing pair's buffers is real.)
                 let consumed: f64 = self.mts[mt]
                     .nodes
                     .iter()
+                    .filter(|n| n.copy_of.is_none())
                     .filter(|n| matches!(n.op, MonoOp::DiskRead { .. } | MonoOp::NetFetch { .. }))
                     .map(|n| n.op.bytes())
                     .sum();
                 let produced: f64 = self.mts[mt]
                     .nodes
                     .iter()
+                    .filter(|n| n.copy_of.is_none())
                     .filter(|n| matches!(n.op, MonoOp::DiskWrite { .. }))
                     .map(|n| n.op.bytes())
                     .sum();
                 self.adjust_buffered(machine, produced - consumed);
                 self.mts[mt].buffered += produced - consumed;
                 self.emit(mt, node, machine, ResourceKind::Cpu, 0.0, Some(work));
+                if self.spec_on {
+                    self.push_sample(mt, node);
+                }
                 self.complete_node(mt, node);
             }
             MonoOp::DiskRead {
@@ -1438,6 +1605,9 @@ impl Exec {
             } => {
                 self.machines[machine].sched.finish_disk(disk, false);
                 self.emit(mt, node, machine, ResourceKind::Disk, bytes, None);
+                if self.spec_on {
+                    self.push_sample(mt, node);
+                }
                 self.complete_node(mt, node);
             }
             MonoOp::DiskWrite {
@@ -1481,9 +1651,453 @@ impl Exec {
                     if self.mts[mt].fetches_outstanding == 0 {
                         self.machines[machine].sched.finish_net_group();
                     }
+                    if self.spec_on {
+                        self.push_sample(mt, node);
+                    }
                     self.complete_node(mt, node);
                 }
                 NetPhase::Waiting => panic!("fetch completed while waiting"),
+            },
+        }
+    }
+
+    /// Records one completed monotask's service duration into its
+    /// `(job, stage, purpose)` population — the data the straggler threshold
+    /// is derived from.
+    fn push_sample(&mut self, mt: usize, node: usize) {
+        let n = &self.mts[mt].nodes[node];
+        let anchor = match n.op {
+            // A via-disk fetch's service spans the sender-side serve chain
+            // plus the transfer; anchoring at the serve enqueue matches the
+            // elapsed-time anchor eligibility uses.
+            MonoOp::NetFetch { via_disk: true, .. } => n.serve_queued,
+            _ => n.started,
+        };
+        let d = self.now.since(anchor).as_secs_f64();
+        let key = (self.mts[mt].key.job.0, self.mts[mt].key.stage.0, n.purpose);
+        self.durations.entry(key).or_default().push(d);
+    }
+
+    /// One sweep of the monotask-level speculation policy (§6.6 applied to
+    /// mitigation): for every in-flight original whose service time has
+    /// dragged past `multiplier × median` of its stage/purpose population,
+    /// re-dispatch *only that monotask* against an alternate resource.
+    /// Returns whether any copy was launched (so the dispatch fixpoint runs
+    /// another pass to admit it).
+    fn check_speculation(&mut self) -> bool {
+        let mult = self
+            .cfg
+            .mono_speculation_multiplier
+            .expect("check_speculation called with speculation off");
+        let min_rt = self.cfg.mono_speculation_min_runtime.unwrap_or(0.0);
+        let mut changed = false;
+        for mt in 0..self.mts.len() {
+            if self.mts[mt].aborted || self.mts[mt].remaining == 0 {
+                continue;
+            }
+            for node in 0..self.mts[mt].nodes.len() {
+                let n = &self.mts[mt].nodes[node];
+                if n.done || n.cancelled || n.copy.is_some() || n.copy_of.is_some() {
+                    continue;
+                }
+                let anchor = match n.op {
+                    // CPU and disk originals must be in service: queueing
+                    // delay is contention, which the per-resource schedulers
+                    // already make visible, not a straggler.
+                    MonoOp::Compute { .. } | MonoOp::DiskRead { .. } => {
+                        if !n.running {
+                            continue;
+                        }
+                        n.started
+                    }
+                    // Writes are never speculated: there is no second copy of
+                    // the data to write *from*, and write placement is
+                    // already load-balanced across disks.
+                    MonoOp::DiskWrite { .. } => continue,
+                    MonoOp::NetFetch { via_disk, .. } => {
+                        if n.net_phase == NetPhase::Waiting {
+                            continue;
+                        }
+                        // An in-memory-shuffle fetch has exactly one source
+                        // and an identical re-request would share the same
+                        // ports; nothing to re-dispatch against.
+                        if !via_disk {
+                            continue;
+                        }
+                        // Anchored at the serve enqueue: a pile-up on a
+                        // degraded serve disk is exactly the straggle a
+                        // replica serve disk beats.
+                        n.serve_queued
+                    }
+                };
+                let key = (self.mts[mt].key.job.0, self.mts[mt].key.stage.0, n.purpose);
+                let (med, enough) = match self.durations.get(&key) {
+                    Some(samples) => {
+                        let total = self.jobs[key.0 as usize].stages[key.1 as usize].total;
+                        (
+                            median(samples),
+                            samples.len() >= 2 && samples.len() * 2 >= total,
+                        )
+                    }
+                    None => (0.0, false),
+                };
+                if !enough || med <= 0.0 {
+                    continue;
+                }
+                let threshold = (mult * med).max(min_rt);
+                let elapsed = self.now.since(anchor).as_secs_f64();
+                if elapsed > threshold {
+                    changed |= self.launch_copy(mt, node);
+                } else {
+                    // Not over the line yet: schedule a deterministic wake-up
+                    // at the projected crossing so the straggler is caught
+                    // even if no completion event lands near it.
+                    let mut at = anchor + SimDuration::from_secs_f64(threshold);
+                    if at <= self.now {
+                        at = SimTime(self.now.0 + 1);
+                    }
+                    if self.mts[mt].nodes[node].spec_wake_at != Some(at) {
+                        self.mts[mt].nodes[node].spec_wake_at = Some(at);
+                        self.spec_timers.schedule(at, ());
+                    }
+                }
+            }
+        }
+        changed
+    }
+
+    /// Launches the single-resource speculative copy for `node`, if an
+    /// alternate placement exists. The copy shares the multitask's DAG slot
+    /// (`copy_of` back-pointer) but has no dependents and never touches
+    /// `remaining`: whichever of the pair finishes first completes the
+    /// original's DAG node.
+    fn launch_copy(&mut self, mt: usize, node: usize) -> bool {
+        if self.mts[mt].nodes.len() >= (1 << 16) {
+            return false; // stream-id encoding limit; never hit in practice
+        }
+        let home = self.mts[mt].machine;
+        let orig_op = self.mts[mt].nodes[node].op;
+        let purpose = self.mts[mt].nodes[node].purpose;
+        // Where the copy runs: its op, its net phase, and the disk queue (on
+        // `enqueue_on.0`) or CPU queue it enters.
+        let (copy_op, is_fetch_copy, enqueue_on) = match orig_op {
+            MonoOp::Compute { work } => {
+                // Duplicate the compute on this machine's CPU scheduler. The
+                // copy runs clean: the straggle factor models a degraded
+                // *attempt* (JIT pause, bad core), not degraded data.
+                let mut clean = work;
+                if let Some(f) = self.mts[mt].straggle {
+                    clean.deser /= f;
+                    clean.compute /= f;
+                    clean.ser /= f;
+                }
+                (MonoOp::Compute { work: clean }, false, None)
+            }
+            MonoOp::DiskRead { disk, bytes, .. } => match purpose {
+                Purpose::ReadInput => {
+                    // HDFS replica lookup: prefer another local disk, else
+                    // fetch the block from an alive replica machine's disk.
+                    let Some(block) = self.mts[mt].input_block else {
+                        return false;
+                    };
+                    let replicas: Vec<(usize, usize)> = self.jobs[self.mts[mt].key.job.0 as usize]
+                        .blocks
+                        .extra_replicas(block)
+                        .to_vec();
+                    let local = replicas
+                        .iter()
+                        .find(|(m, d)| *m == home && *d != disk)
+                        .copied();
+                    if let Some((_, alt)) = local {
+                        (
+                            MonoOp::DiskRead {
+                                machine: home,
+                                disk: alt,
+                                bytes,
+                            },
+                            false,
+                            Some((home, alt)),
+                        )
+                    } else if let Some((rm, rd)) = replicas
+                        .iter()
+                        .find(|(m, _)| *m != home && self.machines[*m].alive)
+                        .copied()
+                    {
+                        (
+                            MonoOp::NetFetch {
+                                from: rm,
+                                remote_disk: rd,
+                                bytes,
+                                via_disk: true,
+                            },
+                            true,
+                            Some((rm, rd)),
+                        )
+                    } else {
+                        return false;
+                    }
+                }
+                Purpose::ReadShuffleLocal => {
+                    // The local shuffle share was written round-robin across
+                    // disks; a re-read from the next disk models reading the
+                    // co-located duplicate spill.
+                    let nd = self.machines[home].sched.n_disks();
+                    if nd < 2 {
+                        return false;
+                    }
+                    let alt = (disk + 1) % nd;
+                    (
+                        MonoOp::DiskRead {
+                            machine: home,
+                            disk: alt,
+                            bytes,
+                        },
+                        false,
+                        Some((home, alt)),
+                    )
+                }
+                _ => return false,
+            },
+            MonoOp::NetFetch {
+                from,
+                remote_disk,
+                bytes,
+                via_disk: true,
+            } => {
+                // Re-request the share from the same sender via its next
+                // serve disk (the serve-disk cursor is round-robin, so any
+                // disk can serve any share).
+                if !self.machines[from].alive {
+                    return false;
+                }
+                let nd = self.machines[from].sched.n_disks();
+                if nd < 2 {
+                    return false;
+                }
+                let alt = (remote_disk + 1) % nd;
+                (
+                    MonoOp::NetFetch {
+                        from,
+                        remote_disk: alt,
+                        bytes,
+                        via_disk: true,
+                    },
+                    true,
+                    Some((from, alt)),
+                )
+            }
+            _ => return false,
+        };
+        let idx = self.mts[mt].nodes.len();
+        self.mts[mt].nodes.push(MonoNode {
+            op: copy_op,
+            purpose,
+            deps_remaining: 0,
+            dependents: Vec::new(),
+            queued: self.now,
+            started: self.now,
+            serve_queued: self.now,
+            serve_started: self.now,
+            net_phase: if is_fetch_copy {
+                NetPhase::RemoteRead
+            } else {
+                NetPhase::Waiting
+            },
+            done: false,
+            running: false,
+            cancelled: false,
+            copy: None,
+            copy_of: Some(node),
+            spec_wake_at: None,
+        });
+        self.mts[mt].nodes[node].copy = Some(idx);
+        let ji = self.mts[mt].key.job.0 as usize;
+        self.jobs[ji].recovery.mono_copies[res_index(&orig_op)] += 1;
+        match copy_op {
+            MonoOp::Compute { .. } => self.machines[home].sched.enqueue_cpu((mt, idx)),
+            _ => {
+                let (m, d) = enqueue_on.expect("non-compute copies carry a disk target");
+                self.machines[m].sched.enqueue_disk(d, (mt, idx), false);
+            }
+        }
+        true
+    }
+
+    /// A speculative copy's stream finished. Either its internal serve-read
+    /// segment (chain to the transfer) or the copy itself — in which case it
+    /// wins: it completes the original's DAG node and the original is torn
+    /// down.
+    fn copy_finished(&mut self, mt: usize, copy: usize) {
+        let orig = self.mts[mt].nodes[copy]
+            .copy_of
+            .expect("copy_finished on an original");
+        let copy_op = self.mts[mt].nodes[copy].op;
+        if let MonoOp::NetFetch {
+            from, remote_disk, ..
+        } = copy_op
+        {
+            if self.mts[mt].nodes[copy].net_phase == NetPhase::RemoteRead {
+                // Serve read done on the replica/alternate disk; no serve
+                // record is emitted for copies (the winner pair emits one
+                // record, below).
+                self.machines[from].sched.finish_disk(remote_disk, false);
+                self.start_transfer(mt, copy);
+                return;
+            }
+        }
+        // The copy beat its original (had the original finished first, this
+        // node would have been cancelled). Release the copy's slot …
+        let home = self.mts[mt].machine;
+        match copy_op {
+            MonoOp::Compute { .. } => self.machines[home].sched.finish_cpu(),
+            MonoOp::DiskRead { disk, .. } => self.machines[home].sched.finish_disk(disk, false),
+            // A fetch copy's transfer holds no slot of its own; the fetch
+            // *group* slot is settled against the original below.
+            MonoOp::NetFetch { .. } => {}
+            MonoOp::DiskWrite { .. } => unreachable!("writes are never speculated"),
+        }
+        self.mts[mt].nodes[copy].done = true;
+        self.mts[mt].nodes[copy].running = false;
+        let ji = self.mts[mt].key.job.0 as usize;
+        self.jobs[ji].recovery.mono_copy_wins[res_index(&self.mts[mt].nodes[orig].op)] += 1;
+        self.push_sample(mt, copy);
+        // … then perform, exactly once for the pair, the completion
+        // bookkeeping the original would have done.
+        match self.mts[mt].nodes[orig].op {
+            MonoOp::Compute { work } => {
+                let consumed: f64 = self.mts[mt]
+                    .nodes
+                    .iter()
+                    .filter(|n| n.copy_of.is_none())
+                    .filter(|n| matches!(n.op, MonoOp::DiskRead { .. } | MonoOp::NetFetch { .. }))
+                    .map(|n| n.op.bytes())
+                    .sum();
+                let produced: f64 = self.mts[mt]
+                    .nodes
+                    .iter()
+                    .filter(|n| n.copy_of.is_none())
+                    .filter(|n| matches!(n.op, MonoOp::DiskWrite { .. }))
+                    .map(|n| n.op.bytes())
+                    .sum();
+                self.adjust_buffered(home, produced - consumed);
+                self.mts[mt].buffered += produced - consumed;
+                self.emit(mt, copy, home, ResourceKind::Cpu, 0.0, Some(work));
+            }
+            MonoOp::DiskRead { bytes, .. } => {
+                let (res, m) = match copy_op {
+                    // Replica fetched over the network: record it as such.
+                    MonoOp::NetFetch { .. } => (ResourceKind::Network, home),
+                    _ => (ResourceKind::Disk, home),
+                };
+                self.emit(mt, copy, m, res, bytes, None);
+            }
+            MonoOp::NetFetch { bytes, .. } => {
+                self.emit(mt, copy, home, ResourceKind::Network, bytes, None);
+                self.mts[mt].fetches_outstanding -= 1;
+                if self.mts[mt].fetches_outstanding == 0 {
+                    self.machines[home].sched.finish_net_group();
+                }
+            }
+            MonoOp::DiskWrite { .. } => unreachable!("writes are never speculated"),
+        }
+        // Tear down the losing original and complete its DAG node.
+        self.cancel_node(mt, orig);
+        self.complete_node(mt, orig);
+    }
+
+    /// Deterministically cancels a racing monotask (the loser of a
+    /// first-finisher-wins pair, or a copy whose replica source died). Queued
+    /// losers cost nothing — their stale queue entry is skipped at pop time.
+    /// In-flight losers have their stream torn down, their scheduler slot
+    /// returned, and their elapsed service plus full requested I/O bytes
+    /// charged as waste.
+    fn cancel_node(&mut self, mt: usize, node: usize) {
+        let n = &self.mts[mt].nodes[node];
+        if n.done || n.cancelled {
+            return;
+        }
+        let op = n.op;
+        let phase = n.net_phase;
+        let running = n.running;
+        let anchor = match (op, phase) {
+            (MonoOp::NetFetch { .. }, NetPhase::RemoteRead) => n.serve_started,
+            _ => n.started,
+        };
+        self.mts[mt].nodes[node].cancelled = true;
+        if !running {
+            // Never started: nothing to tear down, nothing wasted.
+            return;
+        }
+        let home = self.mts[mt].machine;
+        let sid = stream_id(mt, node);
+        // Tear the stream down and return the slot. A `contains`/`remove`
+        // miss means the loser drained into the allocator's completed list
+        // this same instant — its pending on_stream_done releases the slot
+        // via the cancelled branch instead.
+        match op {
+            MonoOp::Compute { .. } => {
+                if self.machines[home].fluid.contains(sid) {
+                    self.machines[home].fluid.remove(self.now, sid);
+                    self.machines[home].sched.finish_cpu();
+                }
+            }
+            MonoOp::DiskRead { disk, .. } => {
+                if self.machines[home].fluid.contains(sid) {
+                    self.machines[home].fluid.remove(self.now, sid);
+                    self.machines[home].sched.finish_disk(disk, false);
+                }
+            }
+            MonoOp::DiskWrite { .. } => unreachable!("writes are never speculated"),
+            MonoOp::NetFetch {
+                from, remote_disk, ..
+            } => match phase {
+                NetPhase::RemoteRead => {
+                    if self.machines[from].alive && self.machines[from].fluid.contains(sid) {
+                        self.machines[from].fluid.remove(self.now, sid);
+                        self.machines[from].sched.finish_disk(remote_disk, false);
+                    }
+                }
+                NetPhase::Transfer => {
+                    if let Some(fabric) = &mut self.fabric {
+                        fabric.remove(self.now, FlowId(sid.0));
+                    } else if self.machines[home].fluid.contains(sid) {
+                        self.machines[home].fluid.remove(self.now, sid);
+                    }
+                }
+                NetPhase::Waiting => {}
+            },
+        }
+        // Waste: full requested I/O bytes once service started (the same
+        // rule the slot-level engine charges), plus the elapsed service time.
+        let ji = self.mts[mt].key.job.0 as usize;
+        self.jobs[ji].recovery.wasted_work_seconds += self.now.since(anchor).as_secs_f64();
+        if !matches!(op, MonoOp::Compute { .. }) {
+            self.jobs[ji].recovery.wasted_bytes += op.bytes();
+        }
+    }
+
+    /// A cancelled loser whose stream had already drained into the completed
+    /// list when the winner tore things down: release its scheduler slot
+    /// here. Waste was charged at cancellation.
+    fn release_drained_loser(&mut self, mt: usize, node: usize) {
+        let op = self.mts[mt].nodes[node].op;
+        let phase = self.mts[mt].nodes[node].net_phase;
+        let home = self.mts[mt].machine;
+        self.mts[mt].nodes[node].running = false;
+        match op {
+            MonoOp::Compute { .. } => self.machines[home].sched.finish_cpu(),
+            MonoOp::DiskRead { disk, .. } => self.machines[home].sched.finish_disk(disk, false),
+            MonoOp::DiskWrite { disk, .. } => self.machines[home].sched.finish_disk(disk, true),
+            MonoOp::NetFetch {
+                from, remote_disk, ..
+            } => match phase {
+                NetPhase::RemoteRead => {
+                    if self.machines[from].alive {
+                        self.machines[from].sched.finish_disk(remote_disk, false);
+                    }
+                }
+                // Transfers hold no per-stream slot.
+                NetPhase::Transfer | NetPhase::Waiting => {}
             },
         }
     }
@@ -1533,6 +2147,14 @@ impl Exec {
     fn complete_node(&mut self, mt: usize, node: usize) {
         debug_assert!(!self.mts[mt].nodes[node].done);
         self.mts[mt].nodes[node].done = true;
+        if self.spec_on {
+            // The original finished first: tear down its still-racing copy.
+            if let Some(c) = self.mts[mt].nodes[node].copy {
+                if !self.mts[mt].nodes[c].done && !self.mts[mt].nodes[c].cancelled {
+                    self.cancel_node(mt, c);
+                }
+            }
+        }
         let dependents = self.mts[mt].nodes[node].dependents.clone();
         for d in dependents {
             self.mts[mt].nodes[d].deps_remaining -= 1;
@@ -1621,6 +2243,9 @@ impl Exec {
         stats.tasks_speculated = total_recovery.tasks_speculated;
         stats.wasted_work_nanos = (total_recovery.wasted_work_seconds * 1e9).round() as u64;
         stats.recompute_nanos = (total_recovery.recompute_seconds * 1e9).round() as u64;
+        stats.mono_copies = total_recovery.mono_copies_total();
+        stats.mono_copy_wins = total_recovery.mono_copy_wins_total();
+        stats.wasted_bytes = total_recovery.wasted_bytes.round() as u64;
         let peak_buffered = self.machines.iter().map(|m| m.peak_buffered).collect();
         let jobs = self
             .jobs

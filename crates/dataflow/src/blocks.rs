@@ -10,12 +10,18 @@ use serde::{Deserialize, Serialize};
 
 use crate::types::BlockId;
 
-/// Placement of every input block onto a `(machine, disk)` pair.
+/// Placement of every input block onto a `(machine, disk)` pair, plus
+/// optional extra replicas per block (the HDFS replication factor).
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct BlockMap {
     machines: usize,
     disks_per_machine: usize,
     locations: Vec<(usize, usize)>,
+    /// Extra `(machine, disk)` replicas per block, primary excluded. Empty
+    /// (the `serde` default, so old serialized maps still load) means
+    /// replication factor 1.
+    #[serde(default)]
+    replicas: Vec<Vec<(usize, usize)>>,
 }
 
 impl BlockMap {
@@ -38,7 +44,47 @@ impl BlockMap {
             machines,
             disks_per_machine,
             locations,
+            replicas: Vec::new(),
         }
+    }
+
+    /// Round-robin placement with an HDFS-style replication factor: replica
+    /// `k` of block `b` lives on machine `(primary + k) % machines`, disk
+    /// rotated the same way. Duplicate `(machine, disk)` pairs (small
+    /// clusters) are dropped, so the effective factor is capped by the number
+    /// of distinct sites. `replication == 1` is exactly [`Self::round_robin`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no machines, no disks, or `replication == 0`.
+    pub fn round_robin_replicated(
+        blocks: usize,
+        machines: usize,
+        disks_per_machine: usize,
+        replication: usize,
+    ) -> BlockMap {
+        assert!(replication > 0, "replication factor must be >= 1");
+        let mut bm = BlockMap::round_robin(blocks, machines, disks_per_machine);
+        if replication == 1 {
+            return bm;
+        }
+        bm.replicas = (0..blocks)
+            .map(|b| {
+                let primary = bm.locations[b];
+                let mut extra = Vec::new();
+                for k in 1..replication {
+                    let site = (
+                        (primary.0 + k) % machines,
+                        (b / machines + k) % disks_per_machine,
+                    );
+                    if site != primary && !extra.contains(&site) {
+                        extra.push(site);
+                    }
+                }
+                extra
+            })
+            .collect();
+        bm
     }
 
     /// Number of blocks placed.
@@ -69,6 +115,20 @@ impl BlockMap {
     /// Number of blocks on `machine`.
     pub fn blocks_on(&self, machine: usize) -> usize {
         self.locations.iter().filter(|(m, _)| *m == machine).count()
+    }
+
+    /// Extra `(machine, disk)` replicas of `block` beyond the primary; empty
+    /// for unreplicated maps.
+    pub fn extra_replicas(&self, block: BlockId) -> &[(usize, usize)] {
+        self.replicas
+            .get(block.0 as usize)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// True when at least one block has an extra replica.
+    pub fn is_replicated(&self) -> bool {
+        self.replicas.iter().any(|r| !r.is_empty())
     }
 }
 
@@ -108,5 +168,31 @@ mod tests {
     #[should_panic(expected = "empty cluster")]
     fn zero_machines_rejected() {
         BlockMap::round_robin(1, 0, 1);
+    }
+
+    #[test]
+    fn replicated_placement_spreads_and_dedups() {
+        let bm = BlockMap::round_robin_replicated(8, 4, 2, 2);
+        assert!(bm.is_replicated());
+        for b in 0..8u32 {
+            let primary = (bm.machine_of(BlockId(b)), bm.disk_of(BlockId(b)));
+            let extras = bm.extra_replicas(BlockId(b));
+            assert_eq!(extras.len(), 1);
+            assert_ne!(extras[0], primary);
+            assert_ne!(extras[0].0, primary.0, "replica on a different machine");
+        }
+        // Factor 1 is the plain layout: no replica storage at all.
+        let flat = BlockMap::round_robin_replicated(8, 4, 2, 1);
+        assert!(!flat.is_replicated());
+        assert!(flat.extra_replicas(BlockId(0)).is_empty());
+        // One machine, two disks: replicas fall back to the other local disk.
+        let local = BlockMap::round_robin_replicated(4, 1, 2, 2);
+        for b in 0..4u32 {
+            let primary = (local.machine_of(BlockId(b)), local.disk_of(BlockId(b)));
+            for &site in local.extra_replicas(BlockId(b)) {
+                assert_eq!(site.0, 0);
+                assert_ne!(site, primary);
+            }
+        }
     }
 }

@@ -37,7 +37,27 @@ pub struct RecoveryStats {
     /// Simulated seconds re-running previously-completed tasks whose outputs
     /// a crash destroyed (lineage recomputation).
     pub recompute_seconds: f64,
+    /// Monotask-level speculative copies launched, indexed by the straggling
+    /// resource (`[cpu, disk, network]`). Always zero for slot-level engines.
+    #[serde(default)]
+    pub mono_copies: [u64; 3],
+    /// Monotask-level copies that beat their original, same indexing.
+    #[serde(default)]
+    pub mono_copy_wins: [u64; 3],
+    /// Requested I/O bytes of discarded work: every started-then-thrown-away
+    /// attempt (crash abort or losing speculative copy) charges the full bytes
+    /// of the I/O it had begun. Comparable across slot-level and
+    /// monotask-level speculation — the waste metric BENCH_PR5 ranks on.
+    #[serde(default)]
+    pub wasted_bytes: f64,
 }
+
+/// Index into the per-resource arrays in [`RecoveryStats`].
+pub const RES_CPU: usize = 0;
+/// Index into the per-resource arrays in [`RecoveryStats`].
+pub const RES_DISK: usize = 1;
+/// Index into the per-resource arrays in [`RecoveryStats`].
+pub const RES_NET: usize = 2;
 
 impl RecoveryStats {
     /// Adds `other`'s counters into `self`.
@@ -46,11 +66,26 @@ impl RecoveryStats {
         self.tasks_speculated += other.tasks_speculated;
         self.wasted_work_seconds += other.wasted_work_seconds;
         self.recompute_seconds += other.recompute_seconds;
+        for r in 0..3 {
+            self.mono_copies[r] += other.mono_copies[r];
+            self.mono_copy_wins[r] += other.mono_copy_wins[r];
+        }
+        self.wasted_bytes += other.wasted_bytes;
     }
 
     /// True when no recovery activity happened.
     pub fn is_zero(&self) -> bool {
         *self == RecoveryStats::default()
+    }
+
+    /// Monotask-level copies launched, all resources.
+    pub fn mono_copies_total(&self) -> u64 {
+        self.mono_copies.iter().sum()
+    }
+
+    /// Monotask-level copy wins, all resources.
+    pub fn mono_copy_wins_total(&self) -> u64 {
+        self.mono_copy_wins.iter().sum()
     }
 }
 

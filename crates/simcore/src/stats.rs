@@ -40,6 +40,15 @@ pub struct SimStats {
     /// Simulated nanoseconds re-executing previously-completed tasks whose
     /// outputs were lost to a crash (lineage recomputation).
     pub recompute_nanos: u64,
+    /// Monotask-level speculative copies launched (single-resource re-dispatch
+    /// against a straggling monotask; zero for slot-level engines).
+    pub mono_copies: u64,
+    /// Monotask-level copies that beat their original.
+    pub mono_copy_wins: u64,
+    /// Requested I/O bytes of discarded work (rounded): aborted in-flight
+    /// attempts and losing speculative copies charge the full bytes of every
+    /// I/O they had started.
+    pub wasted_bytes: u64,
 }
 
 impl SimStats {
@@ -61,6 +70,9 @@ impl SimStats {
         self.tasks_speculated += other.tasks_speculated;
         self.wasted_work_nanos += other.wasted_work_nanos;
         self.recompute_nanos += other.recompute_nanos;
+        self.mono_copies += other.mono_copies;
+        self.mono_copy_wins += other.mono_copy_wins;
+        self.wasted_bytes += other.wasted_bytes;
     }
 
     /// Wall-clock nanoseconds the allocators account for across all phases.
@@ -132,6 +144,9 @@ mod tests {
             tasks_speculated: 8,
             wasted_work_nanos: 9,
             recompute_nanos: 10,
+            mono_copies: 12,
+            mono_copy_wins: 13,
+            wasted_bytes: 14,
         };
         a.merge(&SimStats {
             events: 10,
@@ -145,6 +160,9 @@ mod tests {
             tasks_speculated: 80,
             wasted_work_nanos: 90,
             recompute_nanos: 100,
+            mono_copies: 120,
+            mono_copy_wins: 130,
+            wasted_bytes: 140,
         });
         assert_eq!(
             a,
@@ -160,6 +178,9 @@ mod tests {
                 tasks_speculated: 88,
                 wasted_work_nanos: 99,
                 recompute_nanos: 110,
+                mono_copies: 132,
+                mono_copy_wins: 143,
+                wasted_bytes: 154,
             }
         );
         assert!((a.alloc_secs() - 33e-9).abs() < 1e-18);

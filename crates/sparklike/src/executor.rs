@@ -175,6 +175,11 @@ struct TaskRun {
     /// Still in its first phase with remote shuffle bytes in flight; a crash
     /// of any sender fails the whole fetch.
     fetch_live: bool,
+    /// I/O bytes of every phase this attempt has started (plus its issued
+    /// output write): the amount charged as `wasted_bytes` if it is killed
+    /// or finishes late — the same full-requested-bytes-once-started rule
+    /// the monotasks executor charges, so the two engines' waste compares.
+    io_started: f64,
 }
 
 struct Mach {
@@ -625,9 +630,17 @@ impl Exec {
     /// waiter reference, frees the slot, and re-queues the logical task
     /// unless another live attempt of it still runs.
     fn abort_task(&mut self, t_idx: usize) -> Result<(), RunError> {
-        let (ji, si, ti, machine, start, speculative) = {
+        let (ji, si, ti, machine, start, speculative, io_started) = {
             let t = &self.tasks[t_idx];
-            (t.job, t.stage, t.task, t.machine, t.start, t.speculative)
+            (
+                t.job,
+                t.stage,
+                t.task,
+                t.machine,
+                t.start,
+                t.speculative,
+                t.io_started,
+            )
         };
         self.tasks[t_idx].killed = true;
         if self.machines[machine].alive {
@@ -639,6 +652,7 @@ impl Exec {
             self.machines[machine].running -= 1;
         }
         self.jobs[ji].recovery.wasted_work_seconds += self.now.since(start).as_secs_f64();
+        self.jobs[ji].recovery.wasted_bytes += io_started;
         if speculative {
             self.spec_copies.remove(&(ji, si, ti));
         }
@@ -968,6 +982,7 @@ impl Exec {
             speculative,
             recompute,
             fetch_live: matches!(spec.input, InputSpec::ShuffleFetch { .. }),
+            io_started: 0.0,
         });
         self.machines[m].running += 1;
         if self.jobs[ji].stages[si].started.is_none() {
@@ -1046,6 +1061,9 @@ impl Exec {
         let machine = self.tasks[t_idx].machine;
         match self.tasks[t_idx].phases.pop() {
             Some(demand) => {
+                self.tasks[t_idx].io_started += demand.disk_read.iter().sum::<f64>()
+                    + demand.disk_write.iter().sum::<f64>()
+                    + demand.rx;
                 let phase = self.tasks[t_idx].phases.len();
                 self.machines[machine]
                     .fluid
@@ -1062,6 +1080,7 @@ impl Exec {
     fn resolve_output(&mut self, t_idx: usize) {
         let machine = self.tasks[t_idx].machine;
         if let Some(w) = self.tasks[t_idx].out_write.take() {
+            self.tasks[t_idx].io_started += w.bytes;
             if self.cfg.write_through {
                 // Forced flush (§5.3's second Spark configuration): the bytes
                 // go through the per-disk flusher — which still batches like
@@ -1145,14 +1164,22 @@ impl Exec {
         let t = &mut self.tasks[t_idx];
         debug_assert!(!t.done && !t.killed);
         t.done = true;
-        let (ji, si, ti, machine, start, recompute) =
-            (t.job, t.stage, t.task, t.machine, t.start, t.recompute);
+        let (ji, si, ti, machine, start, recompute, io_started) = (
+            t.job,
+            t.stage,
+            t.task,
+            t.machine,
+            t.start,
+            t.recompute,
+            t.io_started,
+        );
         self.machines[machine].running -= 1;
         let elapsed = self.now.since(start).as_secs_f64();
         if self.jobs[ji].stages[si].task_done[ti] {
             // A slower attempt crossed the line after the winner already
             // counted: pure wasted work, no record, no stage progress.
             self.jobs[ji].recovery.wasted_work_seconds += elapsed;
+            self.jobs[ji].recovery.wasted_bytes += io_started;
             return;
         }
         self.jobs[ji].stages[si].task_done[ti] = true;
@@ -1217,9 +1244,9 @@ impl Exec {
     /// wasted work. The logical task is already complete, so nothing
     /// re-queues.
     fn kill_task(&mut self, t_idx: usize) {
-        let (ji, machine, start, speculative) = {
+        let (ji, machine, start, speculative, io_started) = {
             let t = &self.tasks[t_idx];
-            (t.job, t.machine, t.start, t.speculative)
+            (t.job, t.machine, t.start, t.speculative, t.io_started)
         };
         self.tasks[t_idx].killed = true;
         if self.machines[machine].alive {
@@ -1235,6 +1262,7 @@ impl Exec {
             self.spec_copies.remove(&(t.job, t.stage, t.task));
         }
         self.jobs[ji].recovery.wasted_work_seconds += self.now.since(start).as_secs_f64();
+        self.jobs[ji].recovery.wasted_bytes += io_started;
     }
 
     /// Once a stage's median is known, the instant each still-running
@@ -1300,6 +1328,7 @@ impl Exec {
         stats.tasks_speculated = total_recovery.tasks_speculated;
         stats.wasted_work_nanos = (total_recovery.wasted_work_seconds * 1e9).round() as u64;
         stats.recompute_nanos = (total_recovery.recompute_seconds * 1e9).round() as u64;
+        stats.wasted_bytes = total_recovery.wasted_bytes.round() as u64;
         let jobs = self
             .jobs
             .into_iter()

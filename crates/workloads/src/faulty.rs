@@ -46,10 +46,44 @@ pub fn sweep_plan(
     FaultPlan::random(seed, &spec, intensity)
 }
 
+/// Straggler-only variant of [`sweep_plan`]: the same seeded
+/// reproducibility, but every event is a task straggle — no crashes, no
+/// degraded hardware. The speculation benchmark matrix uses this to isolate
+/// straggler *mitigation* from crash *recovery*.
+pub fn straggler_plan(
+    seed: u64,
+    cluster: &ClusterSpec,
+    horizon_secs: f64,
+    stages: usize,
+    tasks_per_stage: usize,
+    intensity: f64,
+) -> FaultPlan {
+    let spec = FaultSpec::new(
+        cluster,
+        SimTime::from_secs_f64(horizon_secs),
+        stages,
+        tasks_per_stage,
+    );
+    FaultPlan::random_stragglers(seed, &spec, intensity)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use cluster::MachineSpec;
+
+    #[test]
+    fn straggler_plan_is_seeded_and_straggler_only() {
+        let cluster = ClusterSpec::new(4, MachineSpec::m2_4xlarge());
+        let plan = straggler_plan(7, &cluster, 60.0, 2, 10, 1.0);
+        assert!(plan.validate(&cluster).is_ok());
+        assert_eq!(
+            plan.events(),
+            straggler_plan(7, &cluster, 60.0, 2, 10, 1.0).events()
+        );
+        assert!(!plan.is_empty());
+        assert!(straggler_plan(7, &cluster, 60.0, 2, 10, 0.0).is_empty());
+    }
 
     #[test]
     fn builders_produce_valid_plans() {

@@ -3,13 +3,14 @@
 //! The whole reproduction rests on this — figures must regenerate exactly,
 //! and A/B comparisons must not be noise.
 
-use cluster::{ClusterSpec, MachineSpec};
+mod testsupport;
+
 use workloads::{bdb_job, sort_job, BdbQuery, SortConfig};
 
 #[test]
 fn monotasks_runs_are_bit_identical() {
-    let cluster = ClusterSpec::new(4, MachineSpec::m2_4xlarge());
-    let (job, blocks) = sort_job(&SortConfig::new(4.0, 10, 4, 2));
+    let cluster = testsupport::cluster(4);
+    let (job, blocks) = testsupport::sort4();
     let run = || {
         monotasks_core::run(
             &cluster,
@@ -30,7 +31,7 @@ fn monotasks_runs_are_bit_identical() {
 
 #[test]
 fn spark_runs_are_bit_identical() {
-    let cluster = ClusterSpec::new(4, MachineSpec::m2_4xlarge());
+    let cluster = testsupport::cluster(4);
     let (job, blocks) = bdb_job(BdbQuery::Q2a, 4, 2);
     let run = || {
         sparklike::run(
@@ -51,7 +52,7 @@ fn spark_runs_are_bit_identical() {
 
 #[test]
 fn concurrent_job_runs_are_bit_identical() {
-    let cluster = ClusterSpec::new(4, MachineSpec::m2_4xlarge());
+    let cluster = testsupport::cluster(4);
     let (a_job, a_blocks) = sort_job(&SortConfig::new(2.0, 10, 4, 2));
     let (b_job, b_blocks) = sort_job(&SortConfig::new(2.0, 50, 4, 2));
     let run = || {
@@ -74,7 +75,7 @@ fn concurrent_job_runs_are_bit_identical() {
 
 #[test]
 fn job_submission_order_is_respected_in_ids() {
-    let cluster = ClusterSpec::new(2, MachineSpec::m2_4xlarge());
+    let cluster = testsupport::cluster(2);
     let (a_job, a_blocks) = sort_job(&SortConfig::new(1.0, 10, 2, 2));
     let (b_job, b_blocks) = sort_job(&SortConfig::new(1.0, 50, 2, 2));
     let out = monotasks_core::run(

@@ -1,70 +1,23 @@
-//! Property tests for the fault-injection layer.
+//! Property tests for the fault-injection and speculation layers.
 //!
-//! Two contracts: (1) an *empty* fault plan leaves both executors
-//! bit-identical to the plan-free entry points — every makespan, record
-//! timing, and event count — and (2) fault plans generated from the same
-//! seed and injected twice produce identical outcomes, including identical
-//! structured errors when the plan is unrecoverable.
+//! Contracts: (1) an *empty* fault plan leaves both executors bit-identical
+//! to the plan-free entry points — every makespan, record timing, and event
+//! count; (2) fault plans generated from the same seed and injected twice
+//! produce identical outcomes, including identical structured errors when
+//! the plan is unrecoverable; (3) with both monotask-speculation knobs
+//! `None` the executor is bit-identical to a build predating the feature —
+//! checked via `f64::to_bits` on the makespan; and (4) speculation enabled
+//! is still fully deterministic: two runs of the same seeded straggler plan
+//! agree byte-for-byte on reports and counters.
 
-use cluster::{ClusterSpec, FaultPlan, MachineSpec};
-use dataflow::{BlockMap, CostModel, JobBuilder, JobSpec};
+mod testsupport;
+
+use cluster::FaultPlan;
 use monotasks_core::MonoConfig;
 use proptest::prelude::*;
 use sparklike::SparkConfig;
+use testsupport::random_job;
 use workloads::sweep_plan;
-
-const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
-
-#[derive(Clone, Debug)]
-struct RandomJob {
-    machines: usize,
-    total_gib: f64,
-    map_tasks: usize,
-    reduce_tasks: Option<usize>,
-    in_memory_shuffle: bool,
-}
-
-impl RandomJob {
-    fn build(&self) -> (ClusterSpec, JobSpec, BlockMap) {
-        let total = self.total_gib * GIB;
-        let mut b = JobBuilder::new("prop", CostModel::spark_1_3()).read_disk(
-            total,
-            total / 64.0,
-            total / self.map_tasks as f64,
-        );
-        b = b.map(1.0, 1.0, true);
-        let job = match self.reduce_tasks {
-            Some(r) => b
-                .shuffle(r, self.in_memory_shuffle)
-                .map(1.0, 1.0, true)
-                .write_disk(1.0),
-            None => b.write_disk(1.0),
-        };
-        let cluster = ClusterSpec::new(self.machines, MachineSpec::m2_4xlarge());
-        let blocks =
-            BlockMap::round_robin(JobBuilder::blocks_allocated(&job).max(1), self.machines, 2);
-        (cluster, job, blocks)
-    }
-}
-
-fn random_job() -> impl Strategy<Value = RandomJob> {
-    (
-        2usize..=4,
-        0.25f64..=2.0,
-        1usize..=16,
-        prop_oneof![Just(None), (1usize..=12).prop_map(Some)],
-        any::<bool>(),
-    )
-        .prop_map(
-            |(machines, total_gib, map_tasks, reduce_tasks, ims)| RandomJob {
-                machines,
-                total_gib,
-                map_tasks,
-                reduce_tasks,
-                in_memory_shuffle: ims,
-            },
-        )
-}
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
@@ -154,5 +107,98 @@ proptest! {
             (Err(x), Err(y)) => prop_assert_eq!(x, y),
             _ => prop_assert!(false, "one run failed, the other did not"),
         }
+    }
+
+    /// Both monotask-speculation knobs `None` ⇒ bit-identical makespans
+    /// (`f64::to_bits`), records, and event counts to the default config,
+    /// under random fault plans and topologies. `min_runtime` alone (no
+    /// multiplier) must also be inert.
+    #[test]
+    fn disabled_mono_speculation_is_bit_identical(
+        rj in random_job(),
+        seed in 0u64..1000,
+        intensity in 0.0f64..1.5,
+        min_runtime_only in any::<bool>(),
+    ) {
+        let (cluster, job, blocks) = rj.build_replicated(2);
+        let tasks_per_stage = job.stages.iter().map(|s| s.tasks.len()).max().unwrap_or(1);
+        let plan = sweep_plan(seed, &cluster, 60.0, job.stages.len(), tasks_per_stage, intensity);
+
+        let base_cfg = MonoConfig { collect_traces: false, ..MonoConfig::default() };
+        prop_assert!(base_cfg.mono_speculation_multiplier.is_none());
+        prop_assert!(base_cfg.mono_speculation_min_runtime.is_none());
+        let off_cfg = MonoConfig {
+            // The multiplier alone arms speculation; min_runtime without it
+            // must leave every hook off the hot path.
+            mono_speculation_min_runtime: if min_runtime_only { Some(3.0) } else { None },
+            ..base_cfg.clone()
+        };
+
+        let base = monotasks_core::run_with_faults(
+            &cluster, &[(job.clone(), blocks.clone())], &base_cfg, &plan,
+        );
+        let off = monotasks_core::run_with_faults(
+            &cluster, &[(job, blocks)], &off_cfg, &plan,
+        );
+        match (&base, &off) {
+            (Ok(x), Ok(y)) => {
+                prop_assert_eq!(
+                    x.makespan.as_secs_f64().to_bits(),
+                    y.makespan.as_secs_f64().to_bits()
+                );
+                prop_assert_eq!(x.stats.events, y.stats.events);
+                prop_assert_eq!(x.stats.mono_copies, 0);
+                prop_assert_eq!(y.stats.mono_copies, 0);
+                prop_assert_eq!(x.records.len(), y.records.len());
+                for (a, b) in x.records.iter().zip(&y.records) {
+                    prop_assert_eq!(a.started, b.started);
+                    prop_assert_eq!(a.ended, b.ended);
+                    prop_assert_eq!(a.machine, b.machine);
+                }
+            }
+            (Err(x), Err(y)) => prop_assert_eq!(x, y),
+            _ => prop_assert!(false, "one run failed, the other did not"),
+        }
+    }
+
+    /// Monotask speculation enabled ⇒ still fully deterministic: the same
+    /// seeded straggler plan run twice agrees byte-for-byte on the
+    /// serialized job reports and on every counter.
+    #[test]
+    fn enabled_mono_speculation_is_run_to_run_identical(
+        rj in random_job(),
+        seed in 0u64..1000,
+        intensity in 0.5f64..2.5,
+    ) {
+        let (cluster, job, blocks) = rj.build_replicated(2);
+        let tasks_per_stage = job.stages.iter().map(|s| s.tasks.len()).max().unwrap_or(1);
+        let plan = workloads::straggler_plan(
+            seed, &cluster, 60.0, job.stages.len(), tasks_per_stage, intensity,
+        );
+
+        let cfg = MonoConfig {
+            collect_traces: false,
+            mono_speculation_multiplier: Some(1.5),
+            mono_speculation_min_runtime: Some(0.05),
+            ..MonoConfig::default()
+        };
+        let run = || monotasks_core::run_with_faults(
+            &cluster, &[(job.clone(), blocks.clone())], &cfg, &plan,
+        ).expect("straggler-only plans are always recoverable");
+        let a = run();
+        let b = run();
+        prop_assert_eq!(
+            a.makespan.as_secs_f64().to_bits(),
+            b.makespan.as_secs_f64().to_bits()
+        );
+        prop_assert_eq!(a.stats.events, b.stats.events);
+        prop_assert_eq!(a.stats.mono_copies, b.stats.mono_copies);
+        prop_assert_eq!(a.stats.mono_copy_wins, b.stats.mono_copy_wins);
+        prop_assert_eq!(a.stats.wasted_bytes, b.stats.wasted_bytes);
+        prop_assert_eq!(a.stats.wasted_work_nanos, b.stats.wasted_work_nanos);
+        // Byte-identical reports and records (full Debug serialization
+        // covers every field, including per-resource copy counters).
+        prop_assert_eq!(format!("{:?}", a.jobs), format!("{:?}", b.jobs));
+        prop_assert_eq!(format!("{:?}", a.records), format!("{:?}", b.records));
     }
 }

@@ -2,19 +2,18 @@
 //! unrecoverable plans, stragglers, and degraded hardware through both
 //! executors.
 
-use cluster::{ClusterSpec, FaultPlan, MachineSpec};
+mod testsupport;
+
+use cluster::{ClusterSpec, FaultPlan};
 use dataflow::{RunError, StageId};
 use monotasks_core::{MonoConfig, Purpose};
 use simcore::SimTime;
 use sparklike::SparkConfig;
-use workloads::{crash_all, mid_shuffle_crash, sort_job, SortConfig};
+use testsupport::sort4 as sort;
+use workloads::{crash_all, mid_shuffle_crash};
 
 fn cluster() -> ClusterSpec {
-    ClusterSpec::new(4, MachineSpec::m2_4xlarge())
-}
-
-fn sort() -> (dataflow::JobSpec, dataflow::BlockMap) {
-    sort_job(&SortConfig::new(4.0, 10, 4, 2))
+    testsupport::cluster(4)
 }
 
 /// A crash while the reduce stage is consuming shuffle output destroys

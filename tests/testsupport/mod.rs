@@ -1,0 +1,89 @@
+//! Helpers shared across the integration-test suite (`tests/*.rs`).
+//!
+//! Each test binary compiles this module independently (`mod testsupport;`),
+//! so not every binary uses every helper.
+#![allow(dead_code)]
+
+use cluster::{ClusterSpec, MachineSpec};
+use dataflow::{BlockMap, CostModel, JobBuilder, JobSpec};
+use proptest::prelude::*;
+use workloads::{sort_job, SortConfig};
+
+pub const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+
+/// The suite's reference cluster: `machines` × m2.4xlarge.
+pub fn cluster(machines: usize) -> ClusterSpec {
+    ClusterSpec::new(machines, MachineSpec::m2_4xlarge())
+}
+
+/// The suite's reference workload: a 4 GiB, 10-task-per-stage disk sort on
+/// four machines with two disks each.
+pub fn sort4() -> (JobSpec, BlockMap) {
+    sort_job(&SortConfig::new(4.0, 10, 4, 2))
+}
+
+/// A small randomly-shaped job for property tests: map over a disk file,
+/// optionally shuffled into a reduce, on a cluster sized to match.
+#[derive(Clone, Debug)]
+pub struct RandomJob {
+    pub machines: usize,
+    pub total_gib: f64,
+    pub map_tasks: usize,
+    pub reduce_tasks: Option<usize>,
+    pub in_memory_shuffle: bool,
+}
+
+impl RandomJob {
+    pub fn build(&self) -> (ClusterSpec, JobSpec, BlockMap) {
+        let total = self.total_gib * GIB;
+        let mut b = JobBuilder::new("prop", CostModel::spark_1_3()).read_disk(
+            total,
+            total / 64.0,
+            total / self.map_tasks as f64,
+        );
+        b = b.map(1.0, 1.0, true);
+        let job = match self.reduce_tasks {
+            Some(r) => b
+                .shuffle(r, self.in_memory_shuffle)
+                .map(1.0, 1.0, true)
+                .write_disk(1.0),
+            None => b.write_disk(1.0),
+        };
+        let cluster = cluster(self.machines);
+        let blocks =
+            BlockMap::round_robin(JobBuilder::blocks_allocated(&job).max(1), self.machines, 2);
+        (cluster, job, blocks)
+    }
+
+    /// Like [`RandomJob::build`] but with HDFS-style input replication, so
+    /// disk-read monotasks have replica sites to speculate against.
+    pub fn build_replicated(&self, replication: usize) -> (ClusterSpec, JobSpec, BlockMap) {
+        let (cluster, job, blocks) = self.build();
+        let blocks = BlockMap::round_robin_replicated(
+            blocks.blocks(),
+            blocks.machines(),
+            blocks.disks_per_machine(),
+            replication,
+        );
+        (cluster, job, blocks)
+    }
+}
+
+pub fn random_job() -> impl Strategy<Value = RandomJob> {
+    (
+        2usize..=4,
+        0.25f64..=2.0,
+        1usize..=16,
+        prop_oneof![Just(None), (1usize..=12).prop_map(Some)],
+        any::<bool>(),
+    )
+        .prop_map(
+            |(machines, total_gib, map_tasks, reduce_tasks, ims)| RandomJob {
+                machines,
+                total_gib,
+                map_tasks,
+                reduce_tasks,
+                in_memory_shuffle: ims,
+            },
+        )
+}
