@@ -10,27 +10,37 @@
 //! instead — many small stages (churny control plane) rather than one big
 //! shuffle (churny fabric).
 //!
-//! Emits one JSON record per (machines, ε, Δ) point: simulated makespan,
-//! host wall-clock, events fired, reallocations, per-phase wall-clock
-//! attribution (fabric alloc / machine alloc / drain / completion / executor
-//! control — performance clarity applied to the simulator itself), and, when
-//! the same run also measured the exact allocator at that scale, the
-//! makespan drift the approximation introduced.
+//! Emits one JSON record per (machines, ε, Δ, templates) point: simulated
+//! makespan, host wall-clock, events fired, reallocations, per-phase
+//! wall-clock attribution (fabric alloc / machine alloc / drain / completion
+//! / executor control / template build / instantiate — performance clarity
+//! applied to the simulator itself), template hit/miss/invalidation counts
+//! with a nested per-stage breakdown, and, when the same run also measured
+//! the exact allocator at that scale, the makespan drift the approximation
+//! introduced.
 //!
 //! Usage:
 //!   scale_sweep [--out PATH] [--points 5,20,50] [--workload sort|bdb]
-//!               [--epsilon 0,0.01] [--quantum-ms 0,1]
+//!               [--epsilon 0,0.01] [--quantum-ms 0,1] [--templates on,off]
 //!               [--check BASELINE.json --max-factor 2.0 --max-drift PCT]
+//!               [--max-control SECS]
 //!
 //! The output path defaults to `$SCALE_SWEEP_OUT` or `BENCH_PR4.json`, so
 //! each PR appends a new record to the perf trajectory instead of silently
 //! overwriting the previous one. `--check` compares the measured wall times
-//! against a committed baseline (matching on workload, machines, ε and Δ)
-//! and exits non-zero on a >`max-factor` regression at any shared point.
-//! `--max-drift` additionally compares each approximate point's simulated
-//! makespan against the committed *exact* makespan at the same scale —
-//! makespans are bit-deterministic across hosts, so this doubles as the CI
-//! drift ceiling for the ε/Δ mode.
+//! against a committed baseline (matching on workload, machines, ε and Δ —
+//! preferring the same templates flag, falling back to any) and exits
+//! non-zero on a >`max-factor` regression at any shared point. Because
+//! execution templates are a pure control-plane optimization, `--check` also
+//! requires each point's simulated makespan to equal the baseline's to
+//! within print precision — templates changing a makespan is a bug, not
+//! drift. `--max-drift` additionally compares each approximate point's
+//! simulated makespan against the committed *exact* makespan at the same
+//! scale — makespans are bit-deterministic across hosts, so this doubles as
+//! the CI drift ceiling for the ε/Δ mode. `--max-control` caps the total
+//! scheduler-side wall time (control + template build + instantiate) of
+//! every measured point — the CI budget that keeps the control plane flat as
+//! the cluster grows.
 
 use std::time::Instant;
 
@@ -75,12 +85,25 @@ impl Workload {
     }
 }
 
+/// Control-plane attribution for one executed stage of one job.
+struct StageCtl {
+    job: String,
+    stage: u32,
+    tasks_started: u64,
+    build_s: f64,
+    instantiate_s: f64,
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+}
+
 struct Point {
     workload: Workload,
     machines: usize,
     tasks: usize,
     epsilon: f64,
     quantum_ms: f64,
+    templates: bool,
     makespan_s: f64,
     wall_s: f64,
     events: u64,
@@ -90,12 +113,25 @@ struct Point {
     drain_s: f64,
     completion_s: f64,
     control_s: f64,
+    template_build_s: f64,
+    instantiate_s: f64,
+    template_hits: u64,
+    template_misses: u64,
+    template_invalidations: u64,
+    /// Per-stage control attribution (nested under the point in the JSON).
+    stages: Vec<StageCtl>,
     /// Makespan drift vs the exact allocator at the same point, when this
     /// run measured it too (ε = Δ = 0 points have none by definition).
     drift_pct: Option<f64>,
 }
 
-fn run_point(workload: Workload, machines: usize, epsilon: f64, quantum_ms: f64) -> Point {
+fn run_point(
+    workload: Workload,
+    machines: usize,
+    epsilon: f64,
+    quantum_ms: f64,
+    templates: bool,
+) -> Point {
     let cluster = ClusterSpec::new(machines, MachineSpec::m2_4xlarge());
     let jobs = workload.jobs(machines);
     let tasks = jobs
@@ -112,17 +148,35 @@ fn run_point(workload: Workload, machines: usize, epsilon: f64, quantum_ms: f64)
         collect_traces: false,
         fabric_epsilon: epsilon,
         fabric_quantum_secs: quantum_ms / 1e3,
+        execution_templates: templates,
         ..monotasks_core::MonoConfig::default()
     };
     let start = Instant::now();
     let out = monotasks_core::run(&cluster, &jobs, &mono_cfg);
     let wall_s = start.elapsed().as_secs_f64();
+    let stages = out
+        .jobs
+        .iter()
+        .flat_map(|j| {
+            j.stages.iter().map(|s| StageCtl {
+                job: j.name.clone(),
+                stage: s.stage.0,
+                tasks_started: s.control.tasks_started,
+                build_s: s.control.build_secs(),
+                instantiate_s: s.control.instantiate_secs(),
+                hits: s.control.template_hits,
+                misses: s.control.template_misses,
+                invalidations: s.control.template_invalidations,
+            })
+        })
+        .collect();
     Point {
         workload,
         machines,
         tasks,
         epsilon,
         quantum_ms,
+        templates,
         makespan_s: out.makespan.as_secs_f64(),
         wall_s,
         events: out.stats.events,
@@ -132,6 +186,12 @@ fn run_point(workload: Workload, machines: usize, epsilon: f64, quantum_ms: f64)
         drain_s: out.stats.drain_secs(),
         completion_s: out.stats.completion_secs(),
         control_s: out.stats.control_secs(),
+        template_build_s: out.stats.template_build_secs(),
+        instantiate_s: out.stats.instantiate_secs(),
+        template_hits: out.stats.template_hits,
+        template_misses: out.stats.template_misses,
+        template_invalidations: out.stats.template_invalidations,
+        stages,
         drift_pct: None,
     }
 }
@@ -142,9 +202,11 @@ struct Args {
     workload: Workload,
     epsilons: Vec<f64>,
     quantums_ms: Vec<f64>,
+    templates: Vec<bool>,
     check: Option<String>,
     max_factor: f64,
     max_drift: Option<f64>,
+    max_control: Option<f64>,
 }
 
 fn parse_args() -> Args {
@@ -156,9 +218,11 @@ fn parse_args() -> Args {
         workload: Workload::Sort,
         epsilons: vec![0.0],
         quantums_ms: vec![0.0],
+        templates: vec![true],
         check: None,
         max_factor: 2.0,
         max_drift: None,
+        max_control: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -190,12 +254,25 @@ fn parse_args() -> Args {
                     .map(|s| s.trim().parse().expect("bad --quantum-ms entry"))
                     .collect();
             }
+            "--templates" => {
+                args.templates = value("--templates")
+                    .split(',')
+                    .map(|s| match s.trim() {
+                        "on" | "true" => true,
+                        "off" | "false" => false,
+                        other => panic!("bad --templates entry: {other}"),
+                    })
+                    .collect();
+            }
             "--check" => args.check = Some(value("--check")),
             "--max-factor" => {
                 args.max_factor = value("--max-factor").parse().expect("bad --max-factor")
             }
             "--max-drift" => {
                 args.max_drift = Some(value("--max-drift").parse().expect("bad --max-drift"))
+            }
+            "--max-control" => {
+                args.max_control = Some(value("--max-control").parse().expect("bad --max-control"))
             }
             other => panic!("unknown argument: {other}"),
         }
@@ -209,13 +286,18 @@ struct BasePoint {
     machines: usize,
     epsilon: f64,
     quantum_ms: f64,
+    templates: bool,
     wall_s: f64,
     makespan_s: f64,
 }
 
 /// Pulls point records out of a sweep JSON file without a JSON dependency:
-/// each point record is one line with known keys. Records predating the
-/// ε/Δ matrix (e.g. BENCH_PR2.json) default to the exact sort allocator.
+/// each point's scalar fields are one line with known keys (the nested
+/// per-stage lines carry none of them and fall through the filter). Records
+/// predating the ε/Δ matrix (e.g. BENCH_PR2.json) default to the exact sort
+/// allocator; records predating the templates flag were measured on the
+/// untemplated path, which templated runs reproduce bit-for-bit, so they
+/// default to `templates: true` and stay comparable.
 fn baseline_points(json: &str) -> Vec<BasePoint> {
     let field = |line: &str, key: &str| -> Option<f64> {
         let rest = &line[line.find(key)? + key.len()..];
@@ -240,6 +322,7 @@ fn baseline_points(json: &str) -> Vec<BasePoint> {
                 machines,
                 epsilon: field(line, "\"epsilon\"").unwrap_or(0.0),
                 quantum_ms: field(line, "\"quantum_ms\"").unwrap_or(0.0),
+                templates: !line.contains("\"templates\": false"),
                 wall_s,
                 makespan_s,
             })
@@ -259,11 +342,12 @@ fn main() {
         "per-event control-plane cost proportional to what the event touches",
     );
     println!(
-        "{:>9} {:>7} {:>6} {:>5} {:>11} {:>9} {:>10} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8}",
+        "{:>9} {:>7} {:>6} {:>5} {:>4} {:>11} {:>9} {:>10} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>6} {:>8}",
         "machines",
         "tasks",
         "eps",
         "dt_ms",
+        "tmpl",
         "makespan(s)",
         "wall(s)",
         "events",
@@ -273,50 +357,92 @@ fn main() {
         "drain(s)",
         "compl(s)",
         "ctrl(s)",
+        "build(s)",
+        "inst(s)",
+        "hit%",
         "drift%"
     );
     let mut points: Vec<Point> = Vec::new();
     for &m in &args.points {
         for &eps in &args.epsilons {
             for &q in &args.quantums_ms {
-                let mut p = run_point(args.workload, m, eps, q);
-                // Drift vs the exact combo measured earlier in this run (the
-                // combos iterate ε then Δ, so list 0 first to get drift
-                // columns for the rest of the matrix).
-                if eps > 0.0 || q > 0.0 {
-                    p.drift_pct = points
-                        .iter()
-                        .find(|e| e.machines == m && e.epsilon == 0.0 && e.quantum_ms == 0.0)
-                        .map(|e| (p.makespan_s - e.makespan_s) / e.makespan_s * 100.0);
+                for &tmpl in &args.templates {
+                    let mut p = run_point(args.workload, m, eps, q, tmpl);
+                    // Drift vs the exact combo measured earlier in this run
+                    // (the combos iterate ε then Δ, so list 0 first to get
+                    // drift columns for the rest of the matrix).
+                    if eps > 0.0 || q > 0.0 {
+                        p.drift_pct = points
+                            .iter()
+                            .find(|e| {
+                                e.machines == m
+                                    && e.epsilon == 0.0
+                                    && e.quantum_ms == 0.0
+                                    && e.templates == tmpl
+                            })
+                            .map(|e| (p.makespan_s - e.makespan_s) / e.makespan_s * 100.0);
+                    }
+                    let looked_up = p.template_hits + p.template_misses;
+                    println!(
+                        "{:>9} {:>7} {:>6} {:>5} {:>4} {:>11.1} {:>9.2} {:>10} {:>10} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>6} {:>8}",
+                        p.machines,
+                        p.tasks,
+                        p.epsilon,
+                        p.quantum_ms,
+                        if p.templates { "on" } else { "off" },
+                        p.makespan_s,
+                        p.wall_s,
+                        p.events,
+                        p.reallocs,
+                        p.alloc_s,
+                        p.machine_alloc_s,
+                        p.drain_s,
+                        p.completion_s,
+                        p.control_s,
+                        p.template_build_s,
+                        p.instantiate_s,
+                        if looked_up > 0 {
+                            format!("{:.1}", p.template_hits as f64 / looked_up as f64 * 100.0)
+                        } else {
+                            "-".into()
+                        },
+                        p.drift_pct
+                            .map(|d| format!("{d:+.3}"))
+                            .unwrap_or_else(|| "-".into()),
+                    );
+                    points.push(p);
                 }
-                println!(
-                    "{:>9} {:>7} {:>6} {:>5} {:>11.1} {:>9.2} {:>10} {:>10} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>8}",
-                    p.machines,
-                    p.tasks,
-                    p.epsilon,
-                    p.quantum_ms,
-                    p.makespan_s,
-                    p.wall_s,
-                    p.events,
-                    p.reallocs,
-                    p.alloc_s,
-                    p.machine_alloc_s,
-                    p.drain_s,
-                    p.completion_s,
-                    p.control_s,
-                    p.drift_pct
-                        .map(|d| format!("{d:+.3}"))
-                        .unwrap_or_else(|| "-".into()),
-                );
-                points.push(p);
             }
+        }
+    }
+    let mut failed = false;
+    // The control-plane budget applies to every measured point, baseline or
+    // not: total scheduler-side wall time must stay under the ceiling.
+    if let Some(max_control) = args.max_control {
+        for p in &points {
+            let total = p.control_s + p.template_build_s + p.instantiate_s;
+            let ok = total <= max_control;
+            println!(
+                "check: {} machines (eps={}, dt={}ms, tmpl={}) control {:.3}s \
+                 (ctrl {:.3} + build {:.3} + inst {:.3}) ceiling {:.3}s {}",
+                p.machines,
+                p.epsilon,
+                p.quantum_ms,
+                if p.templates { "on" } else { "off" },
+                total,
+                p.control_s,
+                p.template_build_s,
+                p.instantiate_s,
+                max_control,
+                if ok { "OK" } else { "OVER BUDGET" }
+            );
+            failed |= !ok;
         }
     }
     if let Some(baseline_path) = &args.check {
         let baseline = std::fs::read_to_string(baseline_path)
             .unwrap_or_else(|e| panic!("read {baseline_path}: {e}"));
         let base = baseline_points(&baseline);
-        let mut failed = false;
         for p in &points {
             let same_cfg = |b: &&BasePoint| {
                 b.workload == p.workload.as_str()
@@ -324,7 +450,15 @@ fn main() {
                     && close(b.epsilon, p.epsilon)
                     && close(b.quantum_ms, p.quantum_ms)
             };
-            let Some(b) = base.iter().find(same_cfg) else {
+            // Prefer the baseline point measured with the same templates
+            // flag; fall back to any matching config — makespans must agree
+            // either way, and wall budgets stay meaningful because templates
+            // only ever make the control plane cheaper.
+            let b = base
+                .iter()
+                .find(|b| same_cfg(b) && b.templates == p.templates)
+                .or_else(|| base.iter().find(same_cfg));
+            let Some(b) = b else {
                 println!(
                     "check: {} machines (eps={}, dt={}ms) not in baseline, skipping",
                     p.machines, p.epsilon, p.quantum_ms
@@ -346,6 +480,21 @@ fn main() {
                 if ok { "OK" } else { "REGRESSED" }
             );
             failed |= !ok;
+            // Simulated makespans are deterministic and templates are a pure
+            // optimization: any divergence from the committed makespan at
+            // the same config is a behavior change, not measurement noise
+            // (tolerance covers the baseline's 3-decimal print precision).
+            let ms_ok = (p.makespan_s - b.makespan_s).abs() <= 2e-3;
+            println!(
+                "check: {} machines (eps={}, dt={}ms) makespan {:.3}s vs baseline {:.3}s {}",
+                p.machines,
+                p.epsilon,
+                p.quantum_ms,
+                p.makespan_s,
+                b.makespan_s,
+                if ms_ok { "OK" } else { "MISMATCH" }
+            );
+            failed |= !ms_ok;
             // Simulated makespans are bit-deterministic across hosts, so an
             // approximate point can be held to a drift ceiling against the
             // committed exact makespan at the same scale.
@@ -381,7 +530,7 @@ fn main() {
             }
         }
         if failed {
-            eprintln!("scale_sweep --check: wall-clock budget or drift ceiling exceeded");
+            eprintln!("scale_sweep --check: budget, makespan, or drift ceiling exceeded");
             std::process::exit(1);
         }
         return; // check mode never rewrites the committed record
@@ -395,17 +544,22 @@ fn main() {
             .drift_pct
             .map(|d| format!(", \"drift_pct\": {d:.4}"))
             .unwrap_or_default();
+        // Scalar fields stay on one line — the line-based baseline parser
+        // keys off machines/wall_s/makespan_s co-occurring; the nested
+        // per-stage lines carry none of those keys.
         json.push_str(&format!(
             "    {{\"workload\": \"{}\", \"machines\": {}, \"tasks\": {}, \"epsilon\": {}, \
-             \"quantum_ms\": {}, \"makespan_s\": {:.3}, \
+             \"quantum_ms\": {}, \"templates\": {}, \"makespan_s\": {:.3}, \
              \"wall_s\": {:.3}, \"events\": {}, \"reallocs\": {}, \"alloc_s\": {:.3}, \
              \"machine_alloc_s\": {:.3}, \"drain_s\": {:.3}, \"completion_s\": {:.3}, \
-             \"control_s\": {:.3}{}}}{}\n",
+             \"control_s\": {:.3}, \"template_build_s\": {:.3}, \"instantiate_s\": {:.3}, \
+             \"template_hits\": {}, \"template_misses\": {}, \"template_invalidations\": {}{},\n",
             p.workload.as_str(),
             p.machines,
             p.tasks,
             p.epsilon,
             p.quantum_ms,
+            p.templates,
             p.makespan_s,
             p.wall_s,
             p.events,
@@ -415,11 +569,40 @@ fn main() {
             p.drain_s,
             p.completion_s,
             p.control_s,
+            p.template_build_s,
+            p.instantiate_s,
+            p.template_hits,
+            p.template_misses,
+            p.template_invalidations,
             drift,
+        ));
+        json.push_str("     \"stages\": [\n");
+        for (k, s) in p.stages.iter().enumerate() {
+            json.push_str(&format!(
+                "       {{\"job\": \"{}\", \"stage\": {}, \"tasks_started\": {}, \
+                 \"build_s\": {:.6}, \"instantiate_s\": {:.6}, \"hits\": {}, \
+                 \"misses\": {}, \"invalidations\": {}}}{}\n",
+                s.job,
+                s.stage,
+                s.tasks_started,
+                s.build_s,
+                s.instantiate_s,
+                s.hits,
+                s.misses,
+                s.invalidations,
+                if k + 1 < p.stages.len() { "," } else { "" }
+            ));
+        }
+        json.push_str(&format!(
+            "     ]}}{}\n",
             if i + 1 < points.len() { "," } else { "" }
         ));
     }
     json.push_str("  ]\n}\n");
     std::fs::write(&args.out, &json).unwrap_or_else(|e| panic!("write {}: {e}", args.out));
     println!("\nwrote {}", args.out);
+    if failed {
+        eprintln!("scale_sweep: control-plane budget exceeded");
+        std::process::exit(1);
+    }
 }

@@ -30,8 +30,10 @@ pub struct SenderShare {
     pub via_disk: bool,
 }
 
-/// Placement facts the worker needs to expand a multitask.
-#[derive(Clone, Debug)]
+/// Placement facts the worker needs to expand a multitask. The executor
+/// keeps one around as a scratch buffer (`Default` + refill per task), so the
+/// per-sender Vec stops being a fresh allocation on every launch.
+#[derive(Clone, Debug, Default)]
 pub struct DecomposeCtx {
     /// The machine executing the multitask.
     pub machine: usize,
@@ -47,6 +49,14 @@ pub struct DecomposeCtx {
 /// Expands one multitask into its monotask DAG.
 pub fn decompose(task: &TaskSpec, ctx: &DecomposeCtx) -> MonotaskDag {
     let mut dag = MonotaskDag::default();
+    decompose_into(task, ctx, &mut dag);
+    dag
+}
+
+/// [`decompose`] into a caller-owned DAG, clearing it first: the executor's
+/// hot path reuses one scratch DAG instead of allocating per task.
+pub fn decompose_into(task: &TaskSpec, ctx: &DecomposeCtx, dag: &mut MonotaskDag) {
+    dag.clear();
     let compute = dag.push(Monotask::new(
         MonoOp::Compute { work: task.cpu },
         Purpose::Compute,
@@ -133,7 +143,6 @@ pub fn decompose(task: &TaskSpec, ctx: &DecomposeCtx) -> MonotaskDag {
     }
 
     debug_assert!(dag.is_well_formed());
-    dag
 }
 
 #[cfg(test)]

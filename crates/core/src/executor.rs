@@ -21,16 +21,18 @@ use cluster::{
     StreamDemand, StreamId, TraceSet,
 };
 use dataflow::{
-    BlockMap, InputSpec, JobId, JobReport, JobSpec, OutputSpec, RecoveryStats, RunError, StageId,
-    StageReport, TaskId,
+    BlockMap, InputSpec, JobId, JobReport, JobSpec, OutputSpec, RecoveryStats, RunError,
+    StageControlStats, StageId, StageReport, TaskId, TaskSpec,
 };
+use simcore::stats::median;
 use simcore::{EventQueue, FlowAllocator, FlowId, MaxMinPolicy};
 use simcore::{ResourceKind, SimDuration, SimStats, SimTime};
 
-use crate::decompose::{decompose, DecomposeCtx, SenderShare};
+use crate::decompose::{decompose_into, DecomposeCtx, SenderShare};
 use crate::metrics::{MonotaskRecord, Purpose};
-use crate::monotask::{MonoOp, MultitaskKey};
+use crate::monotask::{MonoOp, MonotaskDag, MultitaskKey};
 use crate::scheduler::MachineScheduler;
+use crate::template::{StageTemplate, TemplateSender};
 
 /// How the worker picks a disk for a multitask's output write.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -121,6 +123,13 @@ pub struct MonoConfig {
     /// (guards against copy storms on tiny monotasks). Only meaningful with
     /// `mono_speculation_multiplier`; `None` means no floor.
     pub mono_speculation_min_runtime: Option<f64>,
+    /// Cache per-stage control decisions as execution templates
+    /// ([`crate::template`]) and stamp each task's monotask DAG from them,
+    /// instead of re-deriving sender shares and re-expanding the DAG per
+    /// task. Bit-identical to the untemplated path (proptested); `false`
+    /// re-derives everything per task — the A/B baseline for
+    /// `scale_sweep --templates off`.
+    pub execution_templates: bool,
 }
 
 impl Default for MonoConfig {
@@ -142,6 +151,7 @@ impl Default for MonoConfig {
             max_task_retries: 4,
             mono_speculation_multiplier: None,
             mono_speculation_min_runtime: None,
+            execution_templates: true,
         }
     }
 }
@@ -235,7 +245,10 @@ struct MonoNode {
     op: MonoOp,
     purpose: Purpose,
     deps_remaining: usize,
-    dependents: Vec<usize>,
+    /// The single DAG successor, if any. Decomposition only ever produces
+    /// chains into/out of the compute node (inputs → compute → write), so a
+    /// full adjacency list would be a per-node allocation for nothing.
+    dependent: Option<u32>,
     queued: SimTime,
     started: SimTime,
     serve_queued: SimTime,
@@ -305,6 +318,11 @@ struct StageRun {
     /// Completed task ids per machine (fault runs only) — the lineage index:
     /// exactly the tasks to re-run when that machine's outputs are lost.
     completed_on: Vec<Vec<u32>>,
+    /// Bumped whenever `shuffle_by_machine` changes. Consumer-stage templates
+    /// record the epochs they captured and revalidate at instantiation.
+    shuffle_epoch: u64,
+    /// Host-wall control cost of scheduling this stage's tasks.
+    control: StageControlStats,
 }
 
 #[derive(Debug)]
@@ -367,6 +385,20 @@ struct Exec {
     /// Deterministic wake-ups at projected threshold-crossing instants, so a
     /// straggler is caught even when no completion event lands near it.
     spec_timers: EventQueue<()>,
+    /// Whether the execution-template layer is active
+    /// (`cfg.execution_templates`).
+    templates_on: bool,
+    /// Captured control decisions per `[job][stage]` (`None` until the
+    /// stage's first shuffle-input task launches).
+    templates: Vec<Vec<Option<StageTemplate>>>,
+    /// Total entries across every stage's pending queues. Zero lets the
+    /// assignment sweep skip its per-machine × per-stage scan outright —
+    /// most events during a stage's steady state assign nothing.
+    pending_tasks: usize,
+    /// Scratch placement context reused across launches (untemplated path).
+    scratch_ctx: DecomposeCtx,
+    /// Scratch DAG reused by the untemplated decompose path.
+    scratch_dag: MonotaskDag,
 }
 
 /// Encodes a `(multitask, node)` reference as a fluid stream id.
@@ -386,15 +418,6 @@ fn res_index(op: &MonoOp) -> usize {
         MonoOp::DiskRead { .. } | MonoOp::DiskWrite { .. } => dataflow::RES_DISK,
         MonoOp::NetFetch { .. } => dataflow::RES_NET,
     }
-}
-
-/// Lower-middle median, matching the slot-level engine's estimator so the
-/// two speculation modes react to the same straggler signal.
-fn median(xs: &[f64]) -> f64 {
-    debug_assert!(!xs.is_empty());
-    let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
-    v[(v.len() - 1) / 2]
 }
 
 /// Runs `jobs` to completion on a simulated `cluster` under the monotasks
@@ -530,6 +553,8 @@ pub fn run_with_faults(
                         shuffle_in_memory,
                         populated: false,
                         completed_on: vec![Vec::new(); n_machines],
+                        shuffle_epoch: 0,
+                        control: StageControlStats::default(),
                     }
                 })
                 .collect();
@@ -585,6 +610,14 @@ pub fn run_with_faults(
         spec_on: cfg.mono_speculation_multiplier.is_some(),
         durations: BTreeMap::new(),
         spec_timers: EventQueue::new(),
+        templates_on: cfg.execution_templates,
+        templates: jobs
+            .iter()
+            .map(|(spec, _)| vec![None; spec.stages.len()])
+            .collect(),
+        pending_tasks: 0,
+        scratch_ctx: DecomposeCtx::default(),
+        scratch_dag: MonotaskDag::default(),
     };
     exec.prime();
     exec.main_loop()?;
@@ -622,6 +655,7 @@ impl Exec {
             return;
         }
         run.populated = true;
+        self.pending_tasks += stage_spec.tasks.len();
         for (ti, task) in stage_spec.tasks.iter().enumerate() {
             match task.input {
                 InputSpec::DiskBlock { block, .. } => {
@@ -1025,6 +1059,7 @@ impl Exec {
             self.recompute_pending.insert((ji, si, ti));
         }
         self.jobs[ji].stages[si].nopref.push(ti as u32);
+        self.pending_tasks += 1;
         Ok(())
     }
 
@@ -1059,12 +1094,27 @@ impl Exec {
                 let was_done = {
                     let run = &mut self.jobs[ji].stages[si];
                     run.shuffle_by_machine[m] = 0.0;
+                    run.shuffle_epoch += 1;
                     run.completed -= lost.len();
                     let was_done = run.done;
                     run.done = false;
                     run.ended = None;
                     was_done
                 };
+                if self.templates_on {
+                    // Placement changed: consumers must not stamp from the
+                    // stale layout. Dropped eagerly (and counted); the epoch
+                    // check at instantiation is the backstop.
+                    for sj in 0..n_stages {
+                        let consumes = self.jobs[ji].spec.stages[sj]
+                            .deps
+                            .iter()
+                            .any(|d| d.0 as usize == si);
+                        if consumes && self.templates[ji][sj].take().is_some() {
+                            self.jobs[ji].stages[sj].control.template_invalidations += 1;
+                        }
+                    }
+                }
                 for ti in lost {
                     self.requeue_task(ji, si, ti as usize, true)?;
                 }
@@ -1116,6 +1166,12 @@ impl Exec {
         // machine exhausts its *local* tasks before any machine steals them.
         let mut changed = false;
         loop {
+            // Nothing pending anywhere: every pick below would scan all
+            // stages and return None. The counter is exact (queue pushes and
+            // pops mirror it), so this short-circuit is behavior-identical.
+            if self.pending_tasks == 0 {
+                break;
+            }
             let mut assigned_any = false;
             for m in 0..self.n_machines() {
                 if !self.machines[m].alive {
@@ -1158,6 +1214,7 @@ impl Exec {
                     continue;
                 }
                 if let Some(ti) = run.by_pref[m].pop() {
+                    self.pending_tasks -= 1;
                     self.rr_job = ji + 1;
                     return Some((ji, si, ti as usize));
                 }
@@ -1172,11 +1229,13 @@ impl Exec {
                     continue;
                 }
                 if let Some(ti) = run.nopref.pop() {
+                    self.pending_tasks -= 1;
                     self.rr_job = ji + 1;
                     return Some((ji, si, ti as usize));
                 }
                 for q in &mut run.by_pref {
                     if let Some(ti) = q.pop() {
+                        self.pending_tasks -= 1;
                         self.rr_job = ji + 1;
                         return Some((ji, si, ti as usize));
                     }
@@ -1187,7 +1246,15 @@ impl Exec {
     }
 
     /// Builds the monotask DAG for one task and enqueues its roots.
+    ///
+    /// With execution templates on, shuffle-input tasks stamp their nodes
+    /// from the stage's captured [`StageTemplate`] (building it on first use
+    /// or after invalidation); everything that varies per task — straggle
+    /// factors, disk cursors, enqueue order, stream ids — is derived exactly
+    /// as the untemplated path derives it, which `tests/template_props.rs`
+    /// pins bit-exactly.
     fn start_multitask(&mut self, m: usize, ji: usize, si: usize, ti: usize) {
+        let t_start = std::time::Instant::now();
         let n_disks = self.machines[m].fluid.spec().disks.len();
         let mut task = self.jobs[ji].spec.stages[si].tasks[ti];
         let mut recompute = false;
@@ -1230,39 +1297,64 @@ impl Exec {
         } else {
             0
         };
-        let senders = match task.input {
-            InputSpec::ShuffleFetch { bytes } => self.sender_shares(ji, si, bytes),
-            _ => Vec::new(),
+        let is_shuffle = matches!(task.input, InputSpec::ShuffleFetch { .. });
+        let t_built;
+        let nodes = if self.templates_on {
+            if is_shuffle {
+                if self.template_valid(ji, si) {
+                    self.jobs[ji].stages[si].control.template_hits += 1;
+                } else {
+                    self.build_template(ji, si);
+                }
+            }
+            t_built = std::time::Instant::now();
+            self.stamp_nodes(m, ji, si, &task, input_disk, write_disk)
+        } else {
+            // Untemplated baseline: re-derive sender shares and re-expand the
+            // DAG for every task, through reusable scratch buffers.
+            let mut ctx = std::mem::take(&mut self.scratch_ctx);
+            ctx.machine = m;
+            ctx.input_disk = input_disk;
+            ctx.write_disk = write_disk;
+            ctx.senders.clear();
+            if is_shuffle {
+                self.sender_shares_into(ji, si, &mut ctx.senders);
+            }
+            let mut dag = std::mem::take(&mut self.scratch_dag);
+            decompose_into(&task, &ctx, &mut dag);
+            t_built = std::time::Instant::now();
+            let nodes: Vec<MonoNode> = dag
+                .nodes
+                .drain(..)
+                .map(|n| {
+                    debug_assert!(
+                        n.dependents.len() <= 1,
+                        "decomposition produces at most one dependent per node"
+                    );
+                    MonoNode {
+                        op: n.op,
+                        purpose: n.purpose,
+                        deps_remaining: n.deps_remaining,
+                        dependent: n.dependents.first().map(|&d| d as u32),
+                        queued: self.now,
+                        started: self.now,
+                        serve_queued: self.now,
+                        serve_started: self.now,
+                        net_phase: NetPhase::Waiting,
+                        done: false,
+                        running: false,
+                        cancelled: false,
+                        copy: None,
+                        copy_of: None,
+                        spec_wake_at: None,
+                    }
+                })
+                .collect();
+            self.scratch_ctx = ctx;
+            self.scratch_dag = dag;
+            nodes
         };
-        let ctx = DecomposeCtx {
-            machine: m,
-            input_disk,
-            write_disk,
-            senders,
-        };
-        let dag = decompose(&task, &ctx);
         let mt_idx = self.mts.len();
-        let nodes: Vec<MonoNode> = dag
-            .nodes
-            .into_iter()
-            .map(|n| MonoNode {
-                op: n.op,
-                purpose: n.purpose,
-                deps_remaining: n.deps_remaining,
-                dependents: n.dependents,
-                queued: self.now,
-                started: self.now,
-                serve_queued: self.now,
-                serve_started: self.now,
-                net_phase: NetPhase::Waiting,
-                done: false,
-                running: false,
-                cancelled: false,
-                copy: None,
-                copy_of: None,
-                spec_wake_at: None,
-            })
-            .collect();
         let remaining = nodes.len();
         let input_block = match task.input {
             InputSpec::DiskBlock { block, .. } => Some(block),
@@ -1286,20 +1378,12 @@ impl Exec {
             straggle,
         });
         self.machines[m].assigned += 1;
-        let run = &mut self.jobs[ji].stages[si];
-        if run.started.is_none() {
-            run.started = Some(self.now);
-        }
-        // Enqueue DAG roots.
-        let root_ids: Vec<usize> = self.mts[mt_idx]
-            .nodes
-            .iter()
-            .enumerate()
-            .filter(|(_, n)| n.deps_remaining == 0)
-            .map(|(i, _)| i)
-            .collect();
+        // Enqueue DAG roots, in node-index order.
         let mut has_fetches = false;
-        for node in root_ids {
+        for node in 0..self.mts[mt_idx].nodes.len() {
+            if self.mts[mt_idx].nodes[node].deps_remaining != 0 {
+                continue;
+            }
             match self.mts[mt_idx].nodes[node].op {
                 MonoOp::NetFetch { .. } => {
                     has_fetches = true;
@@ -1311,16 +1395,202 @@ impl Exec {
         if has_fetches {
             self.machines[m].sched.enqueue_net_group(mt_idx);
         }
+        let run = &mut self.jobs[ji].stages[si];
+        if run.started.is_none() {
+            run.started = Some(self.now);
+        }
+        run.control.tasks_started += 1;
+        run.control.template_build_nanos += (t_built - t_start).as_nanos() as u64;
+        run.control.instantiate_nanos += t_built.elapsed().as_nanos() as u64;
     }
 
-    /// Per-sender shuffle shares for task of `(job, stage)` fetching `bytes`.
-    fn sender_shares(&mut self, ji: usize, si: usize, _bytes: f64) -> Vec<SenderShare> {
+    /// Is the captured template for `(job, stage)` still valid — present,
+    /// and derived from every producer's current shuffle epoch?
+    fn template_valid(&self, ji: usize, si: usize) -> bool {
+        let Some(tpl) = &self.templates[ji][si] else {
+            return false;
+        };
+        let deps = &self.jobs[ji].spec.stages[si].deps;
+        debug_assert_eq!(tpl.dep_epochs.len(), deps.len());
+        deps.iter()
+            .zip(&tpl.dep_epochs)
+            .all(|(d, &e)| self.jobs[ji].stages[d.0 as usize].shuffle_epoch == e)
+    }
+
+    /// Captures (or recaptures) the `(job, stage)` sender layout: the control
+    /// decision every task of the stage shares. Counts a template miss, plus
+    /// an invalidation when a stale capture is replaced.
+    fn build_template(&mut self, ji: usize, si: usize) {
+        let n_tasks = self.jobs[ji].spec.stages[si].tasks.len() as f64;
+        let n_deps = self.jobs[ji].spec.stages[si].deps.len();
+        let stale = self.templates[ji][si].take().is_some();
+        let mut tpl = StageTemplate::default();
+        for di in 0..n_deps {
+            let dep = self.jobs[ji].spec.stages[si].deps[di].0 as usize;
+            let drun = &self.jobs[ji].stages[dep];
+            debug_assert!(drun.done, "fetching from unfinished stage");
+            tpl.dep_epochs.push(drun.shuffle_epoch);
+            let total: f64 = drun.shuffle_by_machine.iter().sum();
+            if total <= 0.0 {
+                continue;
+            }
+            let per_task = total / n_tasks;
+            let via_disk = !drun.shuffle_in_memory;
+            for s in 0..drun.shuffle_by_machine.len() {
+                // Same arithmetic as the untemplated sweep, so the per-task
+                // byte shares are bit-equal f64s.
+                let frac = drun.shuffle_by_machine[s] / total;
+                let b = per_task * frac;
+                if b <= 0.0 {
+                    continue;
+                }
+                tpl.senders.push(TemplateSender {
+                    machine: s,
+                    bytes: b,
+                    via_disk,
+                });
+            }
+        }
+        let run = &mut self.jobs[ji].stages[si];
+        run.control.template_misses += 1;
+        run.control.template_invalidations += u64::from(stale);
+        self.templates[ji][si] = Some(tpl);
+    }
+
+    /// Stamps one task's monotask nodes: compute at index 0, input nodes in
+    /// template/sender order, the output write last — the exact node layout
+    /// and dependency wiring [`crate::decompose::decompose`] produces, done
+    /// arithmetically instead of via DAG construction.
+    fn stamp_nodes(
+        &mut self,
+        m: usize,
+        ji: usize,
+        si: usize,
+        task: &TaskSpec,
+        input_disk: usize,
+        write_disk: usize,
+    ) -> Vec<MonoNode> {
+        let now = self.now;
+        let blank = |op: MonoOp, purpose: Purpose| MonoNode {
+            op,
+            purpose,
+            deps_remaining: 0,
+            dependent: None,
+            queued: now,
+            started: now,
+            serve_queued: now,
+            serve_started: now,
+            net_phase: NetPhase::Waiting,
+            done: false,
+            running: false,
+            cancelled: false,
+            copy: None,
+            copy_of: None,
+            spec_wake_at: None,
+        };
+        let cap = 2 + match task.input {
+            InputSpec::ShuffleFetch { .. } => self.templates[ji][si]
+                .as_ref()
+                .map_or(0, |t| t.senders.len()),
+            _ => 1,
+        };
+        let mut nodes: Vec<MonoNode> = Vec::with_capacity(cap);
+        nodes.push(blank(MonoOp::Compute { work: task.cpu }, Purpose::Compute));
+        match task.input {
+            InputSpec::None | InputSpec::Memory { .. } => {}
+            InputSpec::DiskBlock { bytes, .. } => {
+                if bytes > 0.0 {
+                    nodes.push(blank(
+                        MonoOp::DiskRead {
+                            machine: m,
+                            disk: input_disk,
+                            bytes,
+                        },
+                        Purpose::ReadInput,
+                    ));
+                }
+            }
+            InputSpec::ShuffleFetch { .. } => {
+                let tpl = self.templates[ji][si]
+                    .as_ref()
+                    .expect("template ensured before stamping");
+                for e in &tpl.senders {
+                    // The serve-disk cursor advances exactly as the
+                    // untemplated sweep advances it: once per positive
+                    // share, local and in-memory shares included.
+                    let nd = self.machines[e.machine].fluid.spec().disks.len().max(1);
+                    let c = self.machines[e.machine].serve_cursor;
+                    self.machines[e.machine].serve_cursor = c + 1;
+                    let disk = c % nd;
+                    if e.machine == m {
+                        // The local share is read straight from local disk
+                        // (or is already in memory: no monotask at all).
+                        if e.via_disk {
+                            nodes.push(blank(
+                                MonoOp::DiskRead {
+                                    machine: m,
+                                    disk,
+                                    bytes: e.bytes,
+                                },
+                                Purpose::ReadShuffleLocal,
+                            ));
+                        }
+                    } else {
+                        nodes.push(blank(
+                            MonoOp::NetFetch {
+                                from: e.machine,
+                                remote_disk: disk,
+                                bytes: e.bytes,
+                                via_disk: e.via_disk,
+                            },
+                            Purpose::NetTransfer,
+                        ));
+                    }
+                }
+            }
+        }
+        let n_inputs = nodes.len() - 1;
+        let write = match task.output {
+            OutputSpec::ShuffleWrite { bytes, in_memory } if !in_memory && bytes > 0.0 => Some((
+                MonoOp::DiskWrite {
+                    machine: m,
+                    disk: write_disk,
+                    bytes,
+                },
+                Purpose::WriteShuffle,
+            )),
+            OutputSpec::DiskWrite { bytes } if bytes > 0.0 => Some((
+                MonoOp::DiskWrite {
+                    machine: m,
+                    disk: write_disk,
+                    bytes,
+                },
+                Purpose::WriteOutput,
+            )),
+            _ => None,
+        };
+        if let Some((op, purpose)) = write {
+            let w = nodes.len();
+            nodes.push(blank(op, purpose));
+            nodes[w].deps_remaining = 1;
+            nodes[0].dependent = Some(w as u32);
+        }
+        nodes[0].deps_remaining = n_inputs;
+        for node in nodes.iter_mut().take(n_inputs + 1).skip(1) {
+            node.dependent = Some(0);
+        }
+        nodes
+    }
+
+    /// Per-sender shuffle shares for one task of `(job, stage)`, appended to
+    /// `shares` — the untemplated baseline [`Self::build_template`] caches.
+    fn sender_shares_into(&mut self, ji: usize, si: usize, shares: &mut Vec<SenderShare>) {
         let n_machines = self.n_machines();
         let n_tasks = self.jobs[ji].spec.stages[si].tasks.len() as f64;
-        let deps = self.jobs[ji].spec.stages[si].deps.clone();
-        let mut shares: Vec<SenderShare> = Vec::new();
-        for dep in deps {
-            let drun = &self.jobs[ji].stages[dep.0 as usize];
+        let n_deps = self.jobs[ji].spec.stages[si].deps.len();
+        for di in 0..n_deps {
+            let dep = self.jobs[ji].spec.stages[si].deps[di].0 as usize;
+            let drun = &self.jobs[ji].stages[dep];
             debug_assert!(drun.done, "fetching from unfinished stage");
             let total: f64 = drun.shuffle_by_machine.iter().sum();
             if total <= 0.0 {
@@ -1348,7 +1618,6 @@ impl Exec {
                 });
             }
         }
-        shares
     }
 
     /// Queues a ready non-fetch monotask on its resource scheduler.
@@ -1893,7 +2162,7 @@ impl Exec {
             op: copy_op,
             purpose,
             deps_remaining: 0,
-            dependents: Vec::new(),
+            dependent: None,
             queued: self.now,
             started: self.now,
             serve_queued: self.now,
@@ -2155,8 +2424,8 @@ impl Exec {
                 }
             }
         }
-        let dependents = self.mts[mt].nodes[node].dependents.clone();
-        for d in dependents {
+        if let Some(d) = self.mts[mt].nodes[node].dependent {
+            let d = d as usize;
             self.mts[mt].nodes[d].deps_remaining -= 1;
             if self.mts[mt].nodes[d].deps_remaining == 0 {
                 debug_assert!(
@@ -2191,6 +2460,7 @@ impl Exec {
             let run = &mut self.jobs[ji].stages[si];
             if let OutputSpec::ShuffleWrite { bytes, .. } = task.output {
                 run.shuffle_by_machine[machine] += bytes;
+                run.shuffle_epoch += 1;
             }
             run.completed += 1;
             if run.completed == run.total {
@@ -2232,9 +2502,21 @@ impl Exec {
         if let Some(fabric) = &self.fabric {
             stats.merge(&fabric.stats());
         }
+        for j in &self.jobs {
+            for s in &j.stages {
+                stats.template_build_nanos += s.control.template_build_nanos;
+                stats.instantiate_nanos += s.control.instantiate_nanos;
+                stats.template_hits += s.control.template_hits;
+                stats.template_misses += s.control.template_misses;
+                stats.template_invalidations += s.control.template_invalidations;
+            }
+        }
         // main_loop stored raw loop wall time; what the allocators account
-        // for is attributed to them, the rest is executor control.
-        stats.control_nanos = stats.control_nanos.saturating_sub(stats.allocator_nanos());
+        // for is attributed to them, and task-launch time is split into the
+        // template build/instantiate buckets — the rest is executor control.
+        stats.control_nanos = stats.control_nanos.saturating_sub(
+            stats.allocator_nanos() + stats.template_build_nanos + stats.instantiate_nanos,
+        );
         let mut total_recovery = RecoveryStats::default();
         for j in &self.jobs {
             total_recovery.merge(&j.recovery);
@@ -2263,6 +2545,7 @@ impl Exec {
                         stage: StageId(si as u32),
                         start: s.started.expect("stage never started"),
                         end: s.ended.expect("stage never ended"),
+                        control: s.control,
                     })
                     .collect(),
                 recovery: j.recovery,

@@ -30,9 +30,11 @@ pub mod executor;
 pub mod metrics;
 pub mod monotask;
 pub mod scheduler;
+pub mod template;
 
 pub use executor::{
     run, run_with_faults, try_run, DiskChoice, JobPolicy, MonoConfig, MonoRunOutput,
 };
 pub use metrics::{MonotaskRecord, Purpose, QueueSnapshot};
 pub use monotask::{MonoOp, Monotask, MultitaskKey};
+pub use template::{StageTemplate, TemplateSender};

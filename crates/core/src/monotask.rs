@@ -110,6 +110,12 @@ pub struct MonotaskDag {
 }
 
 impl MonotaskDag {
+    /// Empties the DAG, keeping the node allocation for reuse
+    /// ([`crate::decompose_into`]'s scratch-buffer contract).
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+    }
+
     /// Adds a node, returning its local index.
     pub fn push(&mut self, m: Monotask) -> usize {
         self.nodes.push(m);

@@ -34,6 +34,8 @@ pub use cost::CostModel;
 pub use error::RunError;
 pub use plan::JobBuilder;
 pub use reference::LocalDataset;
-pub use report::{JobReport, RecoveryStats, StageReport, RES_CPU, RES_DISK, RES_NET};
+pub use report::{
+    JobReport, RecoveryStats, StageControlStats, StageReport, RES_CPU, RES_DISK, RES_NET,
+};
 pub use stage::{CpuWork, InputSpec, JobSpec, OutputSpec, StageSpec, TaskSpec};
 pub use types::{BlockId, JobId, PartitionId, StageId, TaskId};

@@ -5,6 +5,40 @@ use simcore::{SimDuration, SimTime};
 
 use crate::types::{JobId, StageId};
 
+/// Control-plane cost of scheduling one stage's tasks, in *host* wall-clock
+/// nanoseconds (the simulator's own overhead, not simulated time). Template
+/// counters stay zero for engines without an execution-template layer.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct StageControlStats {
+    /// Nanoseconds deriving control decisions (sender-share layout, monotask
+    /// DAG expansion). Paid once per stage with execution templates; once per
+    /// task without.
+    pub template_build_nanos: u64,
+    /// Nanoseconds stamping per-task state from the captured decision and
+    /// enqueueing the resulting monotasks.
+    pub instantiate_nanos: u64,
+    /// Tasks instantiated from a valid cached template.
+    pub template_hits: u64,
+    /// Tasks that had to (re)build the stage template first.
+    pub template_misses: u64,
+    /// Rebuilds forced by placement changes (lost shuffle outputs).
+    pub template_invalidations: u64,
+    /// Task attempts started (the hit/miss denominator; includes retries).
+    pub tasks_started: u64,
+}
+
+impl StageControlStats {
+    /// Host seconds deriving control decisions.
+    pub fn build_secs(&self) -> f64 {
+        self.template_build_nanos as f64 / 1e9
+    }
+
+    /// Host seconds stamping tasks from captured decisions.
+    pub fn instantiate_secs(&self) -> f64 {
+        self.instantiate_nanos as f64 / 1e9
+    }
+}
+
 /// Start/end of one executed stage.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct StageReport {
@@ -14,6 +48,9 @@ pub struct StageReport {
     pub start: SimTime,
     /// Last activity of the stage.
     pub end: SimTime,
+    /// Control-plane scheduling cost attributed to this stage.
+    #[serde(default)]
+    pub control: StageControlStats,
 }
 
 impl StageReport {
@@ -129,6 +166,7 @@ mod tests {
             stage: StageId(0),
             start: SimTime::from_secs(1),
             end: SimTime(3_500_000_000),
+            control: StageControlStats::default(),
         };
         assert_eq!(r.duration().as_secs_f64(), 2.5);
         let j = JobReport {

@@ -37,5 +37,5 @@ pub use events::{EventQueue, World};
 pub use maxmin::{FlowAllocator, FlowId, MaxMinPolicy};
 pub use recorder::UtilizationRecorder;
 pub use resource::{JobId, PsResource, ResourceKind};
-pub use stats::SimStats;
+pub use stats::{median, SimStats};
 pub use time::{SimDuration, SimTime};

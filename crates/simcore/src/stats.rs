@@ -27,8 +27,24 @@ pub struct SimStats {
     /// the reallocation a completion wave triggers, counted above).
     pub completion_nanos: u64,
     /// Wall-clock nanoseconds in the executor's own control loop: total
-    /// driver wall time minus everything the allocators account for.
+    /// driver wall time minus everything the allocators account for *and*
+    /// minus the template-build / instantiate buckets below.
     pub control_nanos: u64,
+    /// Wall-clock nanoseconds deriving control-plane decisions (sender-share
+    /// layout + monotask DAG expansion). With execution templates on, this is
+    /// paid once per stage plus once per invalidation; with templates off,
+    /// once per task — which is exactly the collapse `scale_sweep` measures.
+    pub template_build_nanos: u64,
+    /// Wall-clock nanoseconds stamping per-task state from captured
+    /// decisions and enqueueing the resulting monotasks.
+    pub instantiate_nanos: u64,
+    /// Task launches that instantiated from a valid cached template.
+    pub template_hits: u64,
+    /// Task launches that had to (re)build their stage's template first.
+    pub template_misses: u64,
+    /// Template rebuilds forced by placement changes (shuffle outputs lost to
+    /// a crash, lineage recomputation).
+    pub template_invalidations: u64,
     /// Task attempts re-queued after a failure (crash abort or lost shuffle
     /// output). Simulated-recovery counter, not wall clock.
     pub tasks_retried: u64,
@@ -66,6 +82,11 @@ impl SimStats {
         self.drain_nanos += other.drain_nanos;
         self.completion_nanos += other.completion_nanos;
         self.control_nanos += other.control_nanos;
+        self.template_build_nanos += other.template_build_nanos;
+        self.instantiate_nanos += other.instantiate_nanos;
+        self.template_hits += other.template_hits;
+        self.template_misses += other.template_misses;
+        self.template_invalidations += other.template_invalidations;
         self.tasks_retried += other.tasks_retried;
         self.tasks_speculated += other.tasks_speculated;
         self.wasted_work_nanos += other.wasted_work_nanos;
@@ -115,6 +136,16 @@ impl SimStats {
         self.control_nanos as f64 / 1e9
     }
 
+    /// Wall-clock seconds deriving control-plane decisions.
+    pub fn template_build_secs(&self) -> f64 {
+        self.template_build_nanos as f64 / 1e9
+    }
+
+    /// Wall-clock seconds stamping tasks from captured decisions.
+    pub fn instantiate_secs(&self) -> f64 {
+        self.instantiate_nanos as f64 / 1e9
+    }
+
     /// Simulated seconds of wasted (aborted or losing-copy) task work.
     pub fn wasted_work_secs(&self) -> f64 {
         self.wasted_work_nanos as f64 / 1e9
@@ -124,6 +155,24 @@ impl SimStats {
     pub fn recompute_secs(&self) -> f64 {
         self.recompute_nanos as f64 / 1e9
     }
+}
+
+/// Lower-middle median of a duration population: for even-length inputs the
+/// lower of the two central values — the convention Spark's speculation
+/// estimator uses, shared by both executors so slot-level and monotask-level
+/// speculation react to the same straggler signal. Returns `0.0` on an empty
+/// slice.
+///
+/// # Panics
+///
+/// Panics if any value is NaN (durations are always finite).
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    v[(v.len() - 1) / 2]
 }
 
 #[cfg(test)]
@@ -140,6 +189,11 @@ mod tests {
             drain_nanos: 4,
             completion_nanos: 5,
             control_nanos: 6,
+            template_build_nanos: 15,
+            instantiate_nanos: 16,
+            template_hits: 17,
+            template_misses: 18,
+            template_invalidations: 19,
             tasks_retried: 7,
             tasks_speculated: 8,
             wasted_work_nanos: 9,
@@ -156,6 +210,11 @@ mod tests {
             drain_nanos: 40,
             completion_nanos: 50,
             control_nanos: 60,
+            template_build_nanos: 150,
+            instantiate_nanos: 160,
+            template_hits: 170,
+            template_misses: 180,
+            template_invalidations: 190,
             tasks_retried: 70,
             tasks_speculated: 80,
             wasted_work_nanos: 90,
@@ -174,6 +233,11 @@ mod tests {
                 drain_nanos: 44,
                 completion_nanos: 55,
                 control_nanos: 66,
+                template_build_nanos: 165,
+                instantiate_nanos: 176,
+                template_hits: 187,
+                template_misses: 198,
+                template_invalidations: 209,
                 tasks_retried: 77,
                 tasks_speculated: 88,
                 wasted_work_nanos: 99,
@@ -185,6 +249,20 @@ mod tests {
         );
         assert!((a.alloc_secs() - 33e-9).abs() < 1e-18);
         assert_eq!(a.allocator_nanos(), 33 + 121 + 44 + 55);
+        assert!((a.template_build_secs() - 165e-9).abs() < 1e-18);
+        assert!((a.instantiate_secs() - 176e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn median_uses_the_lower_middle_convention() {
+        // Odd length: the true middle.
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        // Even length: the *lower* of the two central values, not their mean.
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), 2.0);
+        assert_eq!(median(&[4.0, 3.0, 2.0, 1.0]), 2.0);
+        // Degenerate populations.
+        assert_eq!(median(&[5.0]), 5.0);
+        assert_eq!(median(&[]), 0.0);
     }
 
     #[test]

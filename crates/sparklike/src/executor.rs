@@ -10,6 +10,7 @@ use dataflow::{
     BlockMap, InputSpec, JobId, JobReport, JobSpec, OutputSpec, RecoveryStats, RunError, StageId,
     StageReport, TaskId,
 };
+use simcore::stats::median;
 use simcore::{EventQueue, SimDuration, SimStats, SimTime};
 
 /// Configuration of the baseline executor.
@@ -225,16 +226,6 @@ fn aux_stream(tag: u64, n: u64) -> StreamId {
 
 fn decode(id: StreamId) -> (u64, u64) {
     (id.0 >> 56, id.0 & ((1 << 56) - 1))
-}
-
-/// Median of completed attempt durations (lower-middle for even counts).
-fn median(xs: &[f64]) -> f64 {
-    if xs.is_empty() {
-        return 0.0;
-    }
-    let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
-    v[(v.len() - 1) / 2]
 }
 
 struct Exec {
@@ -1345,6 +1336,7 @@ impl Exec {
                         stage: StageId(si as u32),
                         start: s.started.expect("stage never started"),
                         end: s.ended.expect("stage never ended"),
+                        control: Default::default(),
                     })
                     .collect(),
                 recovery: j.recovery,

@@ -1,0 +1,164 @@
+//! Execution-template correctness: plan-once/stamp-many is an *optimization*,
+//! so a templated run must be bit-identical to the untemplated control path —
+//! same makespan bits, same event count, byte-identical monotask records —
+//! under arbitrary workloads, fault plans, and speculation settings. Crashes
+//! that move shuffle placement must invalidate the cached template, count the
+//! invalidation, and rebuild deterministically.
+
+mod testsupport;
+
+use dataflow::StageId;
+use monotasks_core::MonoConfig;
+use proptest::prelude::*;
+use testsupport::{random_job, sort4};
+use workloads::{mid_shuffle_crash, sweep_plan};
+
+fn cluster() -> cluster::ClusterSpec {
+    testsupport::cluster(4)
+}
+
+/// Paired configs differing only in the template knob.
+fn on_off(speculate: bool) -> (MonoConfig, MonoConfig) {
+    let on = MonoConfig {
+        collect_traces: false,
+        mono_speculation_multiplier: speculate.then_some(1.5),
+        mono_speculation_min_runtime: speculate.then_some(0.05),
+        ..MonoConfig::default()
+    };
+    let off = MonoConfig {
+        execution_templates: false,
+        ..on.clone()
+    };
+    (on, off)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Templates on vs off: bit-identical makespans (`f64::to_bits`),
+    /// identical event counts, byte-identical records, and identical stage
+    /// windows and recovery counters, across random topologies × fault
+    /// plans × speculation settings. Only the template bookkeeping itself
+    /// may differ between the two runs.
+    #[test]
+    fn templates_are_bit_identical_to_the_untemplated_path(
+        rj in random_job(),
+        seed in 0u64..1000,
+        intensity in 0.0f64..2.0,
+        speculate in any::<bool>(),
+    ) {
+        let (cluster, job, blocks) = rj.build_replicated(2);
+        let tasks_per_stage = job.stages.iter().map(|s| s.tasks.len()).max().unwrap_or(1);
+        let plan = sweep_plan(seed, &cluster, 60.0, job.stages.len(), tasks_per_stage, intensity);
+        let (cfg_on, cfg_off) = on_off(speculate);
+        // The templated path is the default; the control path is the opt-out.
+        prop_assert!(MonoConfig::default().execution_templates);
+
+        let on = monotasks_core::run_with_faults(
+            &cluster, &[(job.clone(), blocks.clone())], &cfg_on, &plan,
+        );
+        let off = monotasks_core::run_with_faults(
+            &cluster, &[(job, blocks)], &cfg_off, &plan,
+        );
+        match (&on, &off) {
+            (Ok(x), Ok(y)) => {
+                prop_assert_eq!(
+                    x.makespan.as_secs_f64().to_bits(),
+                    y.makespan.as_secs_f64().to_bits()
+                );
+                prop_assert_eq!(x.stats.events, y.stats.events);
+                prop_assert_eq!(format!("{:?}", x.records), format!("{:?}", y.records));
+                prop_assert_eq!(x.jobs.len(), y.jobs.len());
+                for (ja, jb) in x.jobs.iter().zip(&y.jobs) {
+                    prop_assert_eq!(ja.recovery, jb.recovery);
+                    prop_assert_eq!(ja.stages.len(), jb.stages.len());
+                    for (sa, sb) in ja.stages.iter().zip(&jb.stages) {
+                        prop_assert_eq!(sa.start, sb.start);
+                        prop_assert_eq!(sa.end, sb.end);
+                        prop_assert_eq!(sa.control.tasks_started, sb.control.tasks_started);
+                        // The opt-out path must not touch the template cache.
+                        prop_assert_eq!(sb.control.template_hits, 0);
+                        prop_assert_eq!(sb.control.template_misses, 0);
+                        prop_assert_eq!(sb.control.template_invalidations, 0);
+                    }
+                }
+            }
+            (Err(x), Err(y)) => prop_assert_eq!(x, y),
+            _ => prop_assert!(false, "templates changed recoverability"),
+        }
+    }
+}
+
+/// Fault-free sort: the reduce stage derives its control decision exactly
+/// once; every other task stamps from the cached template. Map stages never
+/// consult the cache (their expansion has no sender sweep to save).
+#[test]
+fn fault_free_reduce_stage_builds_one_template() {
+    let (job, blocks) = sort4();
+    let n_reduce = job.stages[1].tasks.len() as u64;
+    let out = monotasks_core::run(&cluster(), &[(job, blocks)], &MonoConfig::default());
+    let c = out.jobs[0].stage(StageId(1)).expect("reduce stage").control;
+    assert_eq!(c.template_misses, 1, "{c:?}");
+    assert_eq!(c.template_hits, n_reduce - 1, "{c:?}");
+    assert_eq!(c.template_invalidations, 0, "{c:?}");
+    assert_eq!(c.tasks_started, n_reduce, "{c:?}");
+    let m = out.jobs[0].stage(StageId(0)).expect("map stage").control;
+    assert_eq!(m.template_hits + m.template_misses, 0, "{m:?}");
+    // The per-stage counters roll up into the run-level stats.
+    assert_eq!(out.stats.template_hits, n_reduce - 1);
+    assert_eq!(out.stats.template_misses, 1);
+}
+
+/// A crash while the reduce stage is consuming shuffle output destroys map
+/// outputs and moves placement: the cached template must be dropped (counted
+/// as an invalidation), rebuilt deterministically, and the recovered run must
+/// still match the untemplated path bit for bit under the same fault plan.
+#[test]
+fn mid_stage_crash_invalidates_and_rebuilds_the_template() {
+    let (job, blocks) = sort4();
+    let free = monotasks_core::try_run(
+        &cluster(),
+        &[(job.clone(), blocks.clone())],
+        &MonoConfig::default(),
+    )
+    .expect("fault-free run");
+    let plan = mid_shuffle_crash(1, free.makespan.as_secs_f64() * 0.5);
+    let run = |cfg: MonoConfig| {
+        monotasks_core::run_with_faults(&cluster(), &[(job.clone(), blocks.clone())], &cfg, &plan)
+            .expect("one crash must be recoverable")
+    };
+
+    let a = run(MonoConfig::default());
+    let c = a.jobs[0].stage(StageId(1)).expect("reduce stage").control;
+    assert!(
+        c.template_invalidations >= 1,
+        "crash did not invalidate: {c:?}"
+    );
+    // Initial build plus at least one post-crash rebuild.
+    assert!(c.template_misses >= 2, "{c:?}");
+    // Every reduce attempt either hit the cache or rebuilt it.
+    assert_eq!(
+        c.template_hits + c.template_misses,
+        c.tasks_started,
+        "{c:?}"
+    );
+
+    // Rebuild is deterministic: identical reports modulo host wall time.
+    let b = run(MonoConfig::default());
+    assert_eq!(
+        testsupport::jobs_debug_sans_host_time(&a.jobs),
+        testsupport::jobs_debug_sans_host_time(&b.jobs)
+    );
+
+    // And bit-identical to the untemplated path under the same plan.
+    let off = run(MonoConfig {
+        execution_templates: false,
+        ..MonoConfig::default()
+    });
+    assert_eq!(
+        a.makespan.as_secs_f64().to_bits(),
+        off.makespan.as_secs_f64().to_bits()
+    );
+    assert_eq!(a.stats.events, off.stats.events);
+    assert_eq!(format!("{:?}", a.records), format!("{:?}", off.records));
+}

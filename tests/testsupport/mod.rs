@@ -5,11 +5,26 @@
 #![allow(dead_code)]
 
 use cluster::{ClusterSpec, MachineSpec};
-use dataflow::{BlockMap, CostModel, JobBuilder, JobSpec};
+use dataflow::{BlockMap, CostModel, JobBuilder, JobReport, JobSpec};
 use proptest::prelude::*;
 use workloads::{sort_job, SortConfig};
 
 pub const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+
+/// Debug-serializes job reports with the host wall-clock control buckets
+/// zeroed. Every simulated quantity and counter is deterministic and stays in
+/// the comparison; `template_build_nanos`/`instantiate_nanos` are measured on
+/// the host and legitimately vary run to run.
+pub fn jobs_debug_sans_host_time(jobs: &[JobReport]) -> String {
+    let mut jobs = jobs.to_vec();
+    for j in &mut jobs {
+        for s in &mut j.stages {
+            s.control.template_build_nanos = 0;
+            s.control.instantiate_nanos = 0;
+        }
+    }
+    format!("{jobs:?}")
+}
 
 /// The suite's reference cluster: `machines` × m2.4xlarge.
 pub fn cluster(machines: usize) -> ClusterSpec {
