@@ -23,19 +23,28 @@
 //! duplicate moves zero bytes where a whole-task duplicate re-reads its
 //! entire input.
 //!
+//! `--partitions` switches to the *partition sweep*: partition-only plans
+//! (one seeded window isolating `≈ intensity` machines mid-shuffle) run
+//! with fetch timeout/retry/backoff armed and the input 2-way replicated,
+//! so recovery can re-plan block reads against a reachable replica and
+//! resubmit unreachable shuffle lineage. Each point also records the
+//! partition-recovery counters (fetch retries, stalled and backoff seconds,
+//! re-planned fetches), and `--check` compares those counters exactly along
+//! with the makespans.
+//!
 //! Usage:
-//!   fault_sweep [--matrix] [--out PATH] [--points 0,0.5,1,2]
+//!   fault_sweep [--matrix | --partitions] [--out PATH] [--points 0,0.5,1,2]
 //!               [--check BASELINE.json --max-factor 2.0]
 //!
 //! The output path defaults to `$FAULT_SWEEP_OUT`, or `BENCH_PR3.json`
-//! (`BENCH_PR5.json` with `--matrix`). `--check` never rewrites the
-//! committed record.
+//! (`BENCH_PR5.json` with `--matrix`, `BENCH_PR8.json` with
+//! `--partitions`). `--check` never rewrites the committed record.
 
 use std::time::Instant;
 
 use cluster::{ClusterSpec, FaultPlan, MachineSpec};
 use mt_bench::header;
-use workloads::{sort_job, straggler_plan, sweep_plan, SortConfig};
+use workloads::{partition_plan, sort_job, straggler_plan, sweep_plan, SortConfig};
 
 const MACHINES: usize = 5;
 const GIB_PER_MACHINE: f64 = 2.0;
@@ -57,6 +66,10 @@ struct Point {
     mono_copies: u64,
     mono_copy_wins: u64,
     recompute_s: f64,
+    fetch_retries: u64,
+    stalled_s: f64,
+    backoff_s: f64,
+    fetches_replanned: u64,
     wall_s: f64,
 }
 
@@ -64,20 +77,41 @@ fn cluster() -> ClusterSpec {
     ClusterSpec::new(MACHINES, MachineSpec::m2_4xlarge())
 }
 
-fn workload() -> (dataflow::JobSpec, dataflow::BlockMap) {
+fn workload(partitions: bool) -> (dataflow::JobSpec, dataflow::BlockMap) {
     let cfg = SortConfig::new(GIB_PER_MACHINE * MACHINES as f64, 10, MACHINES, 2);
-    sort_job(&cfg)
+    let (job, blocks) = sort_job(&cfg);
+    if !partitions {
+        return (job, blocks);
+    }
+    // The partition sweep replicates the input 2-way (the HDFS default the
+    // paper assumes) so recovery has a reachable replica to re-plan block
+    // reads against when a primary is isolated.
+    let n_blocks = job.stages[0].tasks.len();
+    let replicated = dataflow::BlockMap::round_robin_replicated(n_blocks, MACHINES, 2, 2);
+    (job, replicated)
 }
+
+/// Stall timeout armed in partition mode; retries (3) and backoff base
+/// (1 s) stay at the executor defaults.
+const FETCH_TIMEOUT_S: f64 = 5.0;
 
 /// The fault horizon is the *fault-free monotasks makespan*: simulated, hence
 /// identical on every host, so the generated plans — and therefore the whole
 /// sweep — are reproducible everywhere. The matrix draws straggler-only
 /// plans from the same seed so its points isolate mitigation from recovery.
-fn plan_for(matrix: bool, intensity: f64, horizon_s: f64, tasks_per_stage: usize) -> FaultPlan {
+fn plan_for(
+    matrix: bool,
+    partitions: bool,
+    intensity: f64,
+    horizon_s: f64,
+    tasks_per_stage: usize,
+) -> FaultPlan {
     if intensity <= 0.0 {
         return FaultPlan::new();
     }
-    if matrix {
+    if partitions {
+        partition_plan(SEED, &cluster(), horizon_s, intensity)
+    } else if matrix {
         straggler_plan(SEED, &cluster(), horizon_s, 2, tasks_per_stage, intensity)
     } else {
         sweep_plan(SEED, &cluster(), horizon_s, 2, tasks_per_stage, intensity)
@@ -91,15 +125,17 @@ const SPEC_MULTIPLIER: f64 = 1.5;
 fn run_mono(
     engine: &'static str,
     spec: bool,
+    partitions: bool,
     plan: &FaultPlan,
     intensity: f64,
     baseline_s: f64,
 ) -> Point {
-    let (job, blocks) = workload();
+    let (job, blocks) = workload(partitions);
     let cfg = monotasks_core::MonoConfig {
         collect_traces: false,
         mono_speculation_multiplier: spec.then_some(SPEC_MULTIPLIER),
         mono_speculation_min_runtime: spec.then_some(0.05),
+        fetch_timeout_secs: partitions.then_some(FETCH_TIMEOUT_S),
         ..monotasks_core::MonoConfig::default()
     };
     let start = Instant::now();
@@ -124,6 +160,10 @@ fn run_mono(
             mono_copies: out.stats.mono_copies,
             mono_copy_wins: out.stats.mono_copy_wins,
             recompute_s: out.stats.recompute_secs(),
+            fetch_retries: out.stats.fetch_retries,
+            stalled_s: out.stats.stalled_fetch_nanos as f64 / 1e9,
+            backoff_s: out.stats.fetch_backoff_nanos as f64 / 1e9,
+            fetches_replanned: out.stats.fetches_replanned,
             wall_s,
         },
         Err(e) => failed_point(engine, intensity, e.to_string(), wall_s),
@@ -133,13 +173,15 @@ fn run_mono(
 fn run_spark(
     engine: &'static str,
     spec: bool,
+    partitions: bool,
     plan: &FaultPlan,
     intensity: f64,
     baseline_s: f64,
 ) -> Point {
-    let (job, blocks) = workload();
+    let (job, blocks) = workload(partitions);
     let cfg = sparklike::SparkConfig {
         speculation_multiplier: spec.then_some(SPEC_MULTIPLIER),
+        fetch_timeout_secs: partitions.then_some(FETCH_TIMEOUT_S),
         ..sparklike::SparkConfig::default()
     };
     let start = Instant::now();
@@ -164,6 +206,10 @@ fn run_spark(
             mono_copies: 0,
             mono_copy_wins: 0,
             recompute_s: out.stats.recompute_secs(),
+            fetch_retries: out.stats.fetch_retries,
+            stalled_s: out.stats.stalled_fetch_nanos as f64 / 1e9,
+            backoff_s: out.stats.fetch_backoff_nanos as f64 / 1e9,
+            fetches_replanned: out.stats.fetches_replanned,
             wall_s,
         },
         Err(e) => failed_point(engine, intensity, e.to_string(), wall_s),
@@ -185,6 +231,10 @@ fn failed_point(engine: &'static str, intensity: f64, error: String, wall_s: f64
         mono_copies: 0,
         mono_copy_wins: 0,
         recompute_s: 0.0,
+        fetch_retries: 0,
+        stalled_s: 0.0,
+        backoff_s: 0.0,
+        fetches_replanned: 0,
         wall_s,
     }
 }
@@ -195,6 +245,7 @@ struct Args {
     check: Option<String>,
     max_factor: f64,
     matrix: bool,
+    partitions: bool,
 }
 
 fn parse_args() -> Args {
@@ -204,6 +255,7 @@ fn parse_args() -> Args {
         check: None,
         max_factor: 2.0,
         matrix: false,
+        partitions: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -211,6 +263,7 @@ fn parse_args() -> Args {
         match a.as_str() {
             "--out" => args.out = Some(value("--out")),
             "--matrix" => args.matrix = true,
+            "--partitions" => args.partitions = true,
             "--points" => {
                 args.points = value("--points")
                     .split(',')
@@ -224,6 +277,10 @@ fn parse_args() -> Args {
             other => panic!("unknown argument: {other}"),
         }
     }
+    assert!(
+        !(args.matrix && args.partitions),
+        "--matrix and --partitions are mutually exclusive"
+    );
     args
 }
 
@@ -238,7 +295,19 @@ fn field(line: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
-fn baseline_records(json: &str) -> Vec<(String, f64, f64, f64)> {
+struct BaseRec {
+    engine: String,
+    intensity: f64,
+    makespan_s: f64,
+    wall_s: f64,
+    // Recovery counters, absent in baselines written before the partition
+    // sweep; only compared when the baseline recorded them.
+    tasks_retried: Option<f64>,
+    fetch_retries: Option<f64>,
+    fetches_replanned: Option<f64>,
+}
+
+fn baseline_records(json: &str) -> Vec<BaseRec> {
     json.lines()
         .filter_map(|line| {
             let engine = {
@@ -246,10 +315,15 @@ fn baseline_records(json: &str) -> Vec<(String, f64, f64, f64)> {
                 let rest = &rest[rest.find('"')? + 1..];
                 rest[..rest.find('"')?].to_string()
             };
-            let intensity = field(line, "\"intensity\"")?;
-            let makespan = field(line, "\"makespan_s\"")?;
-            let wall = field(line, "\"wall_s\"")?;
-            Some((engine, intensity, makespan, wall))
+            Some(BaseRec {
+                engine,
+                intensity: field(line, "\"intensity\"")?,
+                makespan_s: field(line, "\"makespan_s\"")?,
+                wall_s: field(line, "\"wall_s\"")?,
+                tasks_retried: field(line, "\"tasks_retried\""),
+                fetch_retries: field(line, "\"fetch_retries\""),
+                fetches_replanned: field(line, "\"fetches_replanned\""),
+            })
         })
         .collect()
 }
@@ -257,9 +331,10 @@ fn baseline_records(json: &str) -> Vec<(String, f64, f64, f64)> {
 /// Engine rows of the sweep: a label, which executor, and whether its
 /// speculation knob is armed. The classic sweep pins Spark speculation on
 /// (its recovery story needs it) and monotask speculation off, matching the
-/// committed BENCH_PR3 baseline; the matrix crosses mitigation modes.
-fn engines(matrix: bool) -> Vec<(&'static str, bool, bool)> {
-    if matrix {
+/// committed BENCH_PR3 baseline; the matrix and the partition sweep cross
+/// all four mitigation modes.
+fn engines(matrix: bool, partitions: bool) -> Vec<(&'static str, bool, bool)> {
+    if matrix || partitions {
         vec![
             ("spark", true, false),
             ("spark+spec", true, true),
@@ -273,7 +348,15 @@ fn engines(matrix: bool) -> Vec<(&'static str, bool, bool)> {
 
 fn main() {
     let args = parse_args();
-    if args.matrix {
+    if args.partitions {
+        header(
+            "fault_sweep --partitions",
+            "sort under partition-only plans with 2-way replicated input, both executors",
+            "fetch timeout/retry/backoff plus replica re-planning and lineage \
+             resubmission complete the job through a network partition instead \
+             of hanging; exhausted retries fail fast with a structured error",
+        );
+    } else if args.matrix {
         header(
             "fault_sweep --matrix",
             "sort under straggler-only plans: no, slot-level, and monotask-level speculation",
@@ -290,18 +373,18 @@ fn main() {
     }
     // Fault-free baselines: intensity 0 for each engine row, run once.
     let tasks_per_stage = {
-        let (job, _) = workload();
+        let (job, _) = workload(args.partitions);
         job.stages.iter().map(|s| s.tasks.len()).max().unwrap_or(1)
     };
     let empty = FaultPlan::new();
-    let rows = engines(args.matrix);
+    let rows = engines(args.matrix, args.partitions);
     let bases: Vec<Point> = rows
         .iter()
         .map(|&(engine, is_spark, spec)| {
             let p = if is_spark {
-                run_spark(engine, spec, &empty, 0.0, 0.0)
+                run_spark(engine, spec, args.partitions, &empty, 0.0, 0.0)
             } else {
-                run_mono(engine, spec, &empty, 0.0, 0.0)
+                run_mono(engine, spec, args.partitions, &empty, 0.0, 0.0)
             };
             assert!(
                 p.completed,
@@ -342,11 +425,31 @@ fn main() {
                     ..clone_point(&bases[i])
                 }
             } else {
-                let plan = plan_for(args.matrix, intensity, horizon_s, tasks_per_stage);
+                let plan = plan_for(
+                    args.matrix,
+                    args.partitions,
+                    intensity,
+                    horizon_s,
+                    tasks_per_stage,
+                );
                 if is_spark {
-                    run_spark(engine, spec, &plan, intensity, bases[i].makespan_s)
+                    run_spark(
+                        engine,
+                        spec,
+                        args.partitions,
+                        &plan,
+                        intensity,
+                        bases[i].makespan_s,
+                    )
                 } else {
-                    run_mono(engine, spec, &plan, intensity, bases[i].makespan_s)
+                    run_mono(
+                        engine,
+                        spec,
+                        args.partitions,
+                        &plan,
+                        intensity,
+                        bases[i].makespan_s,
+                    )
                 }
             };
             if p.completed {
@@ -376,9 +479,9 @@ fn main() {
         let records = baseline_records(&baseline);
         let mut failed = false;
         for p in &points {
-            let Some((_, _, base_mk, base_wall)) = records
+            let Some(rec) = records
                 .iter()
-                .find(|(e, i, _, _)| *e == p.engine && (*i - p.intensity).abs() < 1e-9)
+                .find(|r| r.engine == p.engine && (r.intensity - p.intensity).abs() < 1e-9)
             else {
                 println!(
                     "check: {} intensity {} not in baseline, skipping",
@@ -388,31 +491,57 @@ fn main() {
             };
             // Makespans are simulated: any drift at all is a behavior change
             // (the baseline file stores 3 decimals, so compare at that grain).
-            let mk_ok = (p.makespan_s - base_mk).abs() < 5e-4;
+            let mk_ok = (p.makespan_s - rec.makespan_s).abs() < 5e-4;
+            // Recovery counters are integers and simulated too: compare them
+            // exactly, but only when the baseline recorded them (pre-partition
+            // baselines lack the fetch counters).
+            let counters = [
+                ("tasks_retried", rec.tasks_retried, p.tasks_retried),
+                ("fetch_retries", rec.fetch_retries, p.fetch_retries),
+                (
+                    "fetches_replanned",
+                    rec.fetches_replanned,
+                    p.fetches_replanned,
+                ),
+            ];
+            let mut ctr_ok = true;
+            for (name, base, got) in counters {
+                if let Some(base) = base {
+                    if (base - got as f64).abs() > 0.5 {
+                        println!(
+                            "check: {} intensity {} {name} {got} vs baseline {base} DRIFTED",
+                            p.engine, p.intensity
+                        );
+                        ctr_ok = false;
+                    }
+                }
+            }
             // Wall clock gets the same budget guard as scale_sweep, with a
             // floor so tiny points don't measure scheduler noise.
-            let budget = (base_wall * args.max_factor).max(0.25);
+            let budget = (rec.wall_s * args.max_factor).max(0.25);
             let wall_ok = p.wall_s <= budget;
             println!(
                 "check: {} intensity {} makespan {:.3}s vs {:.3}s {} | wall {:.3}s (budget {:.3}s) {}",
                 p.engine,
                 p.intensity,
                 p.makespan_s,
-                base_mk,
+                rec.makespan_s,
                 if mk_ok { "OK" } else { "DRIFTED" },
                 p.wall_s,
                 budget,
                 if wall_ok { "OK" } else { "REGRESSED" }
             );
-            failed |= !mk_ok || !wall_ok;
+            failed |= !mk_ok || !ctr_ok || !wall_ok;
         }
         if failed {
-            eprintln!("fault_sweep --check: makespan drift or wall-clock budget exceeded");
+            eprintln!("fault_sweep --check: makespan/counter drift or wall-clock budget exceeded");
             std::process::exit(1);
         }
         return; // check mode never rewrites the committed record
     }
-    let bench = if args.matrix {
+    let bench = if args.partitions {
+        "fault_sweep --partitions"
+    } else if args.matrix {
         "fault_sweep --matrix"
     } else {
         "fault_sweep"
@@ -428,7 +557,8 @@ fn main() {
              \"makespan_s\": {:.3}, \"inflation\": {:.3}, \"tasks_retried\": {}, \
              \"tasks_speculated\": {}, \"wasted_s\": {:.3}, \"wasted_bytes\": {}, \
              \"mono_copies\": {}, \"mono_copy_wins\": {}, \"recompute_s\": {:.3}, \
-             \"wall_s\": {:.3}}}{}\n",
+             \"fetch_retries\": {}, \"stalled_s\": {:.3}, \"backoff_s\": {:.3}, \
+             \"fetches_replanned\": {}, \"wall_s\": {:.3}}}{}\n",
             p.engine,
             p.intensity,
             p.completed,
@@ -441,13 +571,19 @@ fn main() {
             p.mono_copies,
             p.mono_copy_wins,
             p.recompute_s,
+            p.fetch_retries,
+            p.stalled_s,
+            p.backoff_s,
+            p.fetches_replanned,
             p.wall_s,
             if i + 1 < points.len() { "," } else { "" }
         ));
     }
     json.push_str("  ]\n}\n");
     let out = args.out.unwrap_or_else(|| {
-        if args.matrix {
+        if args.partitions {
+            "BENCH_PR8.json".to_string()
+        } else if args.matrix {
             "BENCH_PR5.json".to_string()
         } else {
             "BENCH_PR3.json".to_string()
@@ -472,6 +608,10 @@ fn clone_point(p: &Point) -> Point {
         mono_copies: p.mono_copies,
         mono_copy_wins: p.mono_copy_wins,
         recompute_s: p.recompute_s,
+        fetch_retries: p.fetch_retries,
+        stalled_s: p.stalled_s,
+        backoff_s: p.backoff_s,
+        fetches_replanned: p.fetches_replanned,
         wall_s: p.wall_s,
     }
 }

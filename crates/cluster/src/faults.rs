@@ -10,7 +10,9 @@
 //! declarative events into a time-sorted [`FaultTimeline`] of atomic
 //! [`FaultAction`]s (a `DiskDegrade` becomes a scale-set at `from` and an
 //! explicit scale-restore to `1.0` at `until` — restoring by multiplication
-//! would not be bit-exact) plus a sorted straggle-factor lookup table.
+//! would not be bit-exact; a `Partition` becomes one `CutPair`/`HealPair`
+//! per directed cross-group pair, in sorted pair order) plus a sorted
+//! straggle-factor lookup table.
 //!
 //! The determinism contract: an **empty plan must be a perfect no-op**. The
 //! compiled timeline of an empty plan schedules nothing, and every hook the
@@ -25,7 +27,7 @@ use simcore::SimTime;
 use crate::hw::ClusterSpec;
 
 /// One declarative fault event.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum FaultEvent {
     /// Machine `machine` fails permanently at time `at`: in-flight work on it
     /// aborts, and its buffer cache and stored shuffle outputs are lost.
@@ -73,6 +75,31 @@ pub enum FaultEvent {
         task: usize,
         /// CPU-work multiplier, `≥ 1`.
         factor: f64,
+    },
+    /// A network partition: machines in different `groups` cannot exchange
+    /// bytes over `[start, heal)`. Every machine stays alive and keeps its
+    /// local disks — only cross-group fabric pairs are cut (both directions).
+    /// `heal: None` means the partition never heals within the run.
+    Partition {
+        /// Disjoint machine groups; traffic is cut between groups, not
+        /// within them.
+        groups: Vec<Vec<usize>>,
+        /// Instant the cut takes effect.
+        start: SimTime,
+        /// Instant connectivity is restored, or `None` for a permanent cut.
+        heal: Option<SimTime>,
+    },
+    /// An asymmetric cut of one directed fabric pair: `src` cannot send to
+    /// `dst` over `[start, heal)`, while the reverse direction stays healthy.
+    LinkCut {
+        /// Sending machine of the cut direction.
+        src: usize,
+        /// Receiving machine of the cut direction.
+        dst: usize,
+        /// Instant the cut takes effect.
+        start: SimTime,
+        /// Instant the direction is restored, or `None` for a permanent cut.
+        heal: Option<SimTime>,
     },
 }
 
@@ -184,29 +211,77 @@ impl FaultPlan {
         self
     }
 
+    /// Adds a network partition separating `groups` over `[start, heal)`.
+    pub fn partition(
+        mut self,
+        groups: Vec<Vec<usize>>,
+        start: SimTime,
+        heal: Option<SimTime>,
+    ) -> FaultPlan {
+        self.events.push(FaultEvent::Partition {
+            groups,
+            start,
+            heal,
+        });
+        self
+    }
+
+    /// Adds an asymmetric cut of the directed pair `src → dst`.
+    pub fn cut_link(
+        mut self,
+        src: usize,
+        dst: usize,
+        start: SimTime,
+        heal: Option<SimTime>,
+    ) -> FaultPlan {
+        self.events.push(FaultEvent::LinkCut {
+            src,
+            dst,
+            start,
+            heal,
+        });
+        self
+    }
+
+    /// True when the plan schedules at least one partition or link cut —
+    /// executors use this to arm their partition-recovery machinery only
+    /// when it can matter, keeping partition-free runs bit-identical.
+    pub fn has_partitions(&self) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e, FaultEvent::Partition { .. } | FaultEvent::LinkCut { .. }))
+    }
+
     /// Checks the plan against a cluster: every referenced machine and disk
     /// must exist, degrade factors must be positive and finite, straggle
     /// factors at least one, and windows non-empty. Degrade windows on the
     /// same device must not overlap (the timeline restores rates to exactly
     /// `1.0`, so overlapping windows would not compose), and a machine may
-    /// crash at most once.
+    /// crash at most once. Partition windows touching the same machine must
+    /// not overlap each other (heal restores connectivity outright, so two
+    /// live cuts on one machine would not compose), and a machine may not
+    /// crash inside a partition window it belongs to — firing order between
+    /// "unreachable" and "dead" would otherwise be undocumented.
     pub fn validate(&self, cluster: &ClusterSpec) -> Result<(), String> {
         let n = cluster.machines;
-        let mut crashes: Vec<usize> = Vec::new();
+        let mut crashes: Vec<(usize, SimTime)> = Vec::new();
         let mut disk_windows: Vec<(usize, usize, SimTime, SimTime)> = Vec::new();
         let mut link_windows: Vec<(usize, SimTime, SimTime)> = Vec::new();
+        // Machine-granularity partition windows (partitions and link cuts),
+        // as (machine, event index, start, effective heal).
+        let mut part_windows: Vec<(usize, usize, SimTime, SimTime)> = Vec::new();
         for (i, ev) in self.events.iter().enumerate() {
             match *ev {
-                FaultEvent::MachineCrash { machine, .. } => {
+                FaultEvent::MachineCrash { machine, at } => {
                     if machine >= n {
                         return Err(format!("fault event {i}: crash of nonexistent machine {machine} (cluster has {n})"));
                     }
-                    if crashes.contains(&machine) {
+                    if crashes.iter().any(|&(m, _)| m == machine) {
                         return Err(format!(
                             "fault event {i}: machine {machine} crashes more than once"
                         ));
                     }
-                    crashes.push(machine);
+                    crashes.push((machine, at));
                 }
                 FaultEvent::DiskDegrade {
                     machine,
@@ -276,6 +351,104 @@ impl FaultPlan {
                         ));
                     }
                 }
+                FaultEvent::Partition {
+                    ref groups,
+                    start,
+                    heal,
+                } => {
+                    if groups.len() < 2 {
+                        return Err(format!(
+                            "fault event {i}: partition needs at least two groups"
+                        ));
+                    }
+                    let mut seen: Vec<usize> = Vec::new();
+                    for g in groups {
+                        if g.is_empty() {
+                            return Err(format!("fault event {i}: empty partition group"));
+                        }
+                        for &m in g {
+                            if m >= n {
+                                return Err(format!("fault event {i}: partition of nonexistent machine {m} (cluster has {n})"));
+                            }
+                            if seen.contains(&m) {
+                                return Err(format!(
+                                    "fault event {i}: machine {m} appears in two partition groups"
+                                ));
+                            }
+                            seen.push(m);
+                        }
+                    }
+                    let until = Self::check_cut_window(i, start, heal)?;
+                    for m in seen {
+                        Self::check_part_overlap(&part_windows, i, m, start, until)?;
+                        part_windows.push((m, i, start, until));
+                    }
+                }
+                FaultEvent::LinkCut {
+                    src,
+                    dst,
+                    start,
+                    heal,
+                } => {
+                    if src >= n || dst >= n {
+                        return Err(format!("fault event {i}: link cut between nonexistent machines {src} -> {dst} (cluster has {n})"));
+                    }
+                    if src == dst {
+                        return Err(format!(
+                            "fault event {i}: link cut of machine {src} to itself"
+                        ));
+                    }
+                    let until = Self::check_cut_window(i, start, heal)?;
+                    for m in [src, dst] {
+                        Self::check_part_overlap(&part_windows, i, m, start, until)?;
+                        part_windows.push((m, i, start, until));
+                    }
+                }
+            }
+        }
+        // Crashes are collected above regardless of event order, so the
+        // crash-inside-partition-window rejection is order-independent.
+        for &(m, at) in &crashes {
+            for &(pm, i, from, until) in &part_windows {
+                if pm == m && from <= at && at < until {
+                    return Err(format!("fault event {i}: machine {m} crashes at {at:?} inside its partition window"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates one cut window, returning its effective end (`FAR_FUTURE`
+    /// for a permanent cut).
+    fn check_cut_window(
+        i: usize,
+        start: SimTime,
+        heal: Option<SimTime>,
+    ) -> Result<SimTime, String> {
+        match heal {
+            Some(h) if start >= h => Err(format!(
+                "fault event {i}: empty partition window ({start:?} >= {h:?})"
+            )),
+            Some(h) => Ok(h),
+            None => Ok(SimTime::FAR_FUTURE),
+        }
+    }
+
+    /// Rejects a cut window touching `machine` that overlaps an earlier one
+    /// on the same machine (self-overlap within one event is fine: the event
+    /// index breaks the tie).
+    fn check_part_overlap(
+        windows: &[(usize, usize, SimTime, SimTime)],
+        i: usize,
+        machine: usize,
+        from: SimTime,
+        until: SimTime,
+    ) -> Result<(), String> {
+        for &(m2, i2, f2, u2) in windows {
+            if m2 == machine && i2 != i && from < u2 && f2 < until {
+                return Err(format!(
+                    "fault event {i}: overlapping partition windows on machine {machine}"
+                ));
             }
         }
         Ok(())
@@ -390,6 +563,44 @@ impl FaultPlan {
         plan
     }
 
+    /// Generates a reproducible **partition-only** plan: one partition window
+    /// isolating `≈ intensity` distinct machines (each in its own group) from
+    /// the rest of the cluster, landing mid-horizon. No crashes,
+    /// degradations, or stragglers — every makespan stretch is attributable
+    /// to unreachable fetches alone, which is what the partition sweep ranks
+    /// recovery modes on. At most `machines - 1` isolations, so the majority
+    /// group is never empty.
+    pub fn random_partitions(seed: u64, spec: &FaultSpec, intensity: f64) -> FaultPlan {
+        assert!(
+            intensity.is_finite() && intensity >= 0.0,
+            "intensity must be finite and >= 0"
+        );
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let plan = FaultPlan::new();
+        if intensity == 0.0 || spec.machines < 2 || spec.horizon == SimTime::ZERO {
+            return plan;
+        }
+        let h = spec.horizon.0;
+        let n_cuts = ((intensity.round() as usize).max(1)).min(spec.machines - 1);
+        let mut isolated: Vec<usize> = Vec::new();
+        while isolated.len() < n_cuts {
+            let m = rng.gen_range(0..spec.machines);
+            if !isolated.contains(&m) {
+                isolated.push(m);
+            }
+        }
+        // Land mid-run (during the shuffle for the repo's sort jobs) and heal
+        // late enough that recovery has to act, not just wait it out.
+        let start = SimTime(h / 5 + rng.gen_range(0..(2 * h / 5).max(1)));
+        let len = rng.gen_range(h / 4..(h / 2).max(h / 4 + 1));
+        let rest: Vec<usize> = (0..spec.machines)
+            .filter(|x| !isolated.contains(x))
+            .collect();
+        let mut groups: Vec<Vec<usize>> = isolated.into_iter().map(|m| vec![m]).collect();
+        groups.push(rest);
+        plan.partition(groups, start, Some(SimTime(start.0 + len)))
+    }
+
     /// Lowers the plan into a time-sorted action timeline plus a straggle
     /// lookup table.
     pub fn compile(&self) -> FaultTimeline {
@@ -446,6 +657,47 @@ impl FaultPlan {
                 } => {
                     straggles.push((stage, task, factor));
                 }
+                FaultEvent::Partition {
+                    ref groups,
+                    start,
+                    heal,
+                } => {
+                    // Cut every directed cross-group pair, in sorted pair
+                    // order so compiled timelines are a deterministic
+                    // function of the plan alone.
+                    let mut pairs: Vec<(usize, usize)> = Vec::new();
+                    for (gi, g) in groups.iter().enumerate() {
+                        for (gj, g2) in groups.iter().enumerate() {
+                            if gi == gj {
+                                continue;
+                            }
+                            for &src in g {
+                                for &dst in g2 {
+                                    pairs.push((src, dst));
+                                }
+                            }
+                        }
+                    }
+                    pairs.sort_unstable();
+                    pairs.dedup();
+                    for &(src, dst) in &pairs {
+                        actions.push((start, FaultAction::CutPair { src, dst }));
+                        if let Some(h) = heal {
+                            actions.push((h, FaultAction::HealPair { src, dst }));
+                        }
+                    }
+                }
+                FaultEvent::LinkCut {
+                    src,
+                    dst,
+                    start,
+                    heal,
+                } => {
+                    actions.push((start, FaultAction::CutPair { src, dst }));
+                    if let Some(h) = heal {
+                        actions.push((h, FaultAction::HealPair { src, dst }));
+                    }
+                }
             }
         }
         // Stable sort keeps same-instant actions in plan order, so compiled
@@ -484,6 +736,20 @@ pub enum FaultAction {
         machine: usize,
         /// New scale factor.
         factor: f64,
+    },
+    /// Cut one directed fabric pair: `src` can no longer send to `dst`.
+    CutPair {
+        /// Sending machine of the cut direction.
+        src: usize,
+        /// Receiving machine of the cut direction.
+        dst: usize,
+    },
+    /// Restore one directed fabric pair cut earlier.
+    HealPair {
+        /// Sending machine of the restored direction.
+        src: usize,
+        /// Receiving machine of the restored direction.
+        dst: usize,
     },
 }
 
@@ -636,6 +902,161 @@ mod tests {
             .straggle(0, 3, 4.0)
             .validate(&c)
             .is_ok());
+    }
+
+    #[test]
+    fn random_partitions_are_reproducible_and_pure() {
+        let spec = FaultSpec {
+            machines: 5,
+            disks_per_machine: 2,
+            horizon: SimTime::from_secs(100),
+            stages: 2,
+            tasks_per_stage: 10,
+        };
+        let a = FaultPlan::random_partitions(42, &spec, 1.0);
+        let b = FaultPlan::random_partitions(42, &spec, 1.0);
+        assert_eq!(a, b);
+        assert!(a.has_partitions());
+        assert!(a
+            .events()
+            .iter()
+            .all(|e| matches!(e, FaultEvent::Partition { .. })));
+        assert!(a.validate(&cluster(5)).is_ok());
+        assert!(FaultPlan::random_partitions(42, &spec, 0.0).is_empty());
+        // Intensity can never isolate the whole cluster.
+        let heavy = FaultPlan::random_partitions(7, &spec, 100.0);
+        assert!(heavy.validate(&cluster(5)).is_ok());
+        // Non-partition plans do not claim to have partitions.
+        assert!(!FaultPlan::new()
+            .crash(0, SimTime::from_secs(1))
+            .has_partitions());
+    }
+
+    #[test]
+    fn validate_rejects_bad_partitions() {
+        let c = cluster(3);
+        let t1 = SimTime::from_secs(1);
+        let t2 = SimTime::from_secs(2);
+        let t3 = SimTime::from_secs(3);
+        // One group is not a partition.
+        assert!(FaultPlan::new()
+            .partition(vec![vec![0, 1, 2]], t1, Some(t2))
+            .validate(&c)
+            .is_err());
+        // Empty groups are meaningless.
+        assert!(FaultPlan::new()
+            .partition(vec![vec![0], vec![]], t1, Some(t2))
+            .validate(&c)
+            .is_err());
+        // Nonexistent machine.
+        assert!(FaultPlan::new()
+            .partition(vec![vec![0], vec![7]], t1, Some(t2))
+            .validate(&c)
+            .is_err());
+        // A machine cannot sit on both sides of the cut.
+        assert!(FaultPlan::new()
+            .partition(vec![vec![0, 1], vec![1, 2]], t1, Some(t2))
+            .validate(&c)
+            .is_err());
+        // Empty window.
+        assert!(FaultPlan::new()
+            .partition(vec![vec![0], vec![1]], t2, Some(t2))
+            .validate(&c)
+            .is_err());
+        // Overlapping partition windows on the same machine.
+        assert!(FaultPlan::new()
+            .partition(vec![vec![0], vec![1]], t1, Some(t3))
+            .partition(vec![vec![0], vec![2]], t2, Some(t3))
+            .validate(&c)
+            .is_err());
+        // A permanent cut overlaps everything after its start.
+        assert!(FaultPlan::new()
+            .partition(vec![vec![0], vec![1]], t1, None)
+            .partition(vec![vec![0], vec![2]], t2, Some(t3))
+            .validate(&c)
+            .is_err());
+        // Crash inside a partition window of the same machine — in either
+        // event order.
+        assert!(FaultPlan::new()
+            .partition(vec![vec![0], vec![1]], t1, Some(t3))
+            .crash(0, t2)
+            .validate(&c)
+            .is_err());
+        assert!(FaultPlan::new()
+            .crash(0, t2)
+            .partition(vec![vec![0], vec![1]], t1, Some(t3))
+            .validate(&c)
+            .is_err());
+        // Self-cut and bad endpoints for asymmetric cuts.
+        assert!(FaultPlan::new()
+            .cut_link(1, 1, t1, Some(t2))
+            .validate(&c)
+            .is_err());
+        assert!(FaultPlan::new()
+            .cut_link(0, 9, t1, Some(t2))
+            .validate(&c)
+            .is_err());
+        // Overlapping cut windows touching the same machine.
+        assert!(FaultPlan::new()
+            .cut_link(0, 1, t1, Some(t3))
+            .cut_link(1, 2, t2, Some(t3))
+            .validate(&c)
+            .is_err());
+        // Disjoint-in-time windows on the same machine are fine, as is a
+        // crash after the heal.
+        assert!(FaultPlan::new()
+            .partition(vec![vec![0], vec![1, 2]], t1, Some(t2))
+            .cut_link(0, 1, t2, Some(t3))
+            .crash(0, t3)
+            .validate(&c)
+            .is_ok());
+    }
+
+    #[test]
+    fn compile_lowers_partitions_to_sorted_pair_cuts() {
+        let t1 = SimTime::from_secs(1);
+        let t2 = SimTime::from_secs(2);
+        let mut tl = FaultPlan::new()
+            .partition(vec![vec![1], vec![0, 2]], t1, Some(t2))
+            .compile();
+        assert!(!tl.is_empty());
+        // Cuts fire in sorted (src, dst) order: both directions of both
+        // cross-group pairs.
+        let mut cuts = Vec::new();
+        while let Some(a) = tl.pop_due(t1) {
+            cuts.push(a);
+        }
+        assert_eq!(
+            cuts,
+            vec![
+                FaultAction::CutPair { src: 0, dst: 1 },
+                FaultAction::CutPair { src: 1, dst: 0 },
+                FaultAction::CutPair { src: 1, dst: 2 },
+                FaultAction::CutPair { src: 2, dst: 1 },
+            ]
+        );
+        let mut heals = Vec::new();
+        while let Some(a) = tl.pop_due(t2) {
+            heals.push(a);
+        }
+        assert_eq!(
+            heals,
+            vec![
+                FaultAction::HealPair { src: 0, dst: 1 },
+                FaultAction::HealPair { src: 1, dst: 0 },
+                FaultAction::HealPair { src: 1, dst: 2 },
+                FaultAction::HealPair { src: 2, dst: 1 },
+            ]
+        );
+        assert!(tl.exhausted());
+        // An asymmetric cut lowers to one direction only, and a permanent
+        // one schedules no heal.
+        let mut tl = FaultPlan::new().cut_link(2, 0, t1, None).compile();
+        assert_eq!(
+            tl.pop_due(t1),
+            Some(FaultAction::CutPair { src: 2, dst: 0 })
+        );
+        assert!(tl.exhausted());
     }
 
     #[test]

@@ -130,6 +130,24 @@ pub struct MonoConfig {
     /// re-derives everything per task — the A/B baseline for
     /// `scale_sweep --templates off`.
     pub execution_templates: bool,
+    /// Partition recovery: simulated seconds a fetch may sit at ~zero rate
+    /// on a cut fabric pair before the timeout/retry machinery engages.
+    /// `None` (the default) disables timeouts entirely — stalled fetches
+    /// wait for the partition to heal, and runs without `Partition` events
+    /// are bit-identical to builds predating the knob.
+    pub fetch_timeout_secs: Option<f64>,
+    /// Retry decisions allowed per stalled fetch before recovery escalates
+    /// to re-planning (relocation, replica, or lineage resubmission).
+    pub fetch_max_retries: u32,
+    /// Base of the deterministic exponential backoff between fetch retries:
+    /// retry `k` waits `base × 2^(k-1)` simulated seconds.
+    pub fetch_backoff_base_secs: f64,
+    /// Key speculation's duration populations by the machine that served the
+    /// monotask, and take the straggler threshold from the median of
+    /// per-machine medians — a partitioned or degraded machine then cannot
+    /// poison the global median. `false` (the default) keeps the single
+    /// global pool and is bit-identical to builds predating the knob.
+    pub per_machine_duration_pools: bool,
 }
 
 impl Default for MonoConfig {
@@ -152,6 +170,10 @@ impl Default for MonoConfig {
             mono_speculation_multiplier: None,
             mono_speculation_min_runtime: None,
             execution_templates: true,
+            fetch_timeout_secs: None,
+            fetch_max_retries: 3,
+            fetch_backoff_base_secs: 1.0,
+            per_machine_duration_pools: false,
         }
     }
 }
@@ -202,6 +224,17 @@ impl MonoConfig {
                     "mono_speculation_min_runtime {r} must be finite and >= 0"
                 ));
             }
+        }
+        if let Some(t) = self.fetch_timeout_secs {
+            if !(t.is_finite() && t > 0.0) {
+                return Err(format!("fetch_timeout_secs {t} must be finite and > 0"));
+            }
+        }
+        if !(self.fetch_backoff_base_secs.is_finite() && self.fetch_backoff_base_secs >= 0.0) {
+            return Err(format!(
+                "fetch_backoff_base_secs {} must be finite and >= 0",
+                self.fetch_backoff_base_secs
+            ));
         }
         Ok(())
     }
@@ -269,6 +302,17 @@ struct MonoNode {
     /// Next scheduled speculation-check wake-up for this node (dedup so the
     /// timer queue holds at most one pending entry per node).
     spec_wake_at: Option<SimTime>,
+    /// When this fetch first observed its pair cut (stall-time attribution;
+    /// partition runs only).
+    stall_since: Option<SimTime>,
+    /// Next stall-timeout / retry-backoff expiry for this fetch.
+    stall_deadline: Option<SimTime>,
+    /// Retry decisions already spent on this fetch.
+    fetch_retries: u32,
+    /// Per-machine-allocator transfers parked by a cut: remaining bytes to
+    /// re-insert on heal. (Fabric transfers stay in the allocator at rate 0
+    /// instead.)
+    parked_bytes: Option<f64>,
 }
 
 #[derive(Debug)]
@@ -323,6 +367,13 @@ struct StageRun {
     shuffle_epoch: u64,
     /// Host-wall control cost of scheduling this stage's tasks.
     control: StageControlStats,
+    /// When this stage's pending tasks first had no placement satisfying the
+    /// partition reachability gate (partition runs only).
+    gate_blocked_since: Option<SimTime>,
+    /// Next timeout expiry for the gate blockage.
+    gate_deadline: Option<SimTime>,
+    /// Retry decisions spent waiting out the gate blockage.
+    gate_retries: u32,
 }
 
 #[derive(Debug)]
@@ -399,6 +450,23 @@ struct Exec {
     scratch_ctx: DecomposeCtx,
     /// Scratch DAG reused by the untemplated decompose path.
     scratch_dag: MonotaskDag,
+    /// Whether the fault plan contains partition/link-cut events. False keeps
+    /// every partition hook (placement gate, stall sweep, timers) off the hot
+    /// path, so partition-free runs are bit-identical to builds predating the
+    /// feature.
+    partitions_on: bool,
+    /// Directed (sender, receiver) pairs currently cut.
+    cut_pairs: HashSet<(usize, usize)>,
+    /// Deterministic wake-ups at stall-timeout / backoff expiries.
+    fetch_timers: EventQueue<()>,
+    /// Machines recovery declared unreachable from the majority: they take no
+    /// assignments until a heal touches them, so lineage re-runs land on
+    /// machines whose output the consumers can actually fetch.
+    quarantined: Vec<bool>,
+    /// Per-(job, stage, purpose, machine) duration populations, used instead
+    /// of `durations` when `cfg.per_machine_duration_pools` — fetch samples
+    /// key by the *sender*, everything else by the serving machine.
+    durations_pm: BTreeMap<(u32, u32, Purpose, u32), Vec<f64>>,
 }
 
 /// Encodes a `(multitask, node)` reference as a fluid stream id.
@@ -555,6 +623,9 @@ pub fn run_with_faults(
                         completed_on: vec![Vec::new(); n_machines],
                         shuffle_epoch: 0,
                         control: StageControlStats::default(),
+                        gate_blocked_since: None,
+                        gate_deadline: None,
+                        gate_retries: 0,
                     }
                 })
                 .collect();
@@ -618,6 +689,11 @@ pub fn run_with_faults(
         pending_tasks: 0,
         scratch_ctx: DecomposeCtx::default(),
         scratch_dag: MonotaskDag::default(),
+        partitions_on: plan.has_partitions(),
+        cut_pairs: HashSet::new(),
+        fetch_timers: EventQueue::new(),
+        quarantined: vec![false; n_machines],
+        durations_pm: BTreeMap::new(),
     };
     exec.prime();
     exec.main_loop()?;
@@ -705,6 +781,9 @@ impl Exec {
             if self.faults_on {
                 self.apply_due_faults()?;
             }
+            if self.partitions_on {
+                self.check_partition_recovery()?;
+            }
             if self.spec_on {
                 // Drain due speculation wake-ups: they carry no payload, the
                 // fixpoint's check_speculation sweep does the actual work.
@@ -746,6 +825,9 @@ impl Exec {
                 if !changed {
                     break;
                 }
+            }
+            if self.partitions_on {
+                self.arm_gate_timers();
             }
             self.commit_all(self.now);
             if let Some(fabric) = &mut self.fabric {
@@ -834,14 +916,29 @@ impl Exec {
                     });
                 }
             }
+            if self.partitions_on {
+                if let Some(t) = self.fetch_timers.peek_time() {
+                    next = Some(match next {
+                        Some(b) => b.min(t),
+                        None => t,
+                    });
+                }
+                // Flows parked by a cut pair report a FAR_FUTURE deadline:
+                // "never" is not a real next event.
+                if next == Some(SimTime::FAR_FUTURE) {
+                    next = None;
+                }
+            }
             let Some(t) = next else {
                 if self.jobs.iter().all(|j| j.done) {
                     break;
                 }
-                return Err(RunError::Unrecoverable {
-                    at: self.now,
-                    reason: "no runnable work but jobs unfinished".into(),
-                });
+                if self.partitions_on {
+                    if let Some(e) = self.partition_starvation_error() {
+                        return Err(e);
+                    }
+                }
+                return Err(RunError::no_runnable_work(self.now));
             };
             self.now = t;
             steps += 1;
@@ -884,6 +981,8 @@ impl Exec {
                     }
                 }
                 FaultAction::Crash { machine } => self.crash_machine(machine)?,
+                FaultAction::CutPair { src, dst } => self.apply_cut(src, dst),
+                FaultAction::HealPair { src, dst } => self.apply_heal(src, dst),
             }
         }
         Ok(())
@@ -930,12 +1029,539 @@ impl Exec {
         }
         self.lose_shuffle_outputs(m)?;
         if !self.machines.iter().any(|x| x.alive) {
-            return Err(RunError::Unrecoverable {
-                at: self.now,
-                reason: "every machine has crashed".into(),
-            });
+            return Err(RunError::all_machines_crashed(self.now));
         }
         Ok(())
+    }
+
+    /// Marks fetch `node` of `mt` stalled on a cut pair: starts the stall
+    /// clock and arms the first timeout expiry (when timeouts are on).
+    fn mark_stalled(&mut self, mt: usize, node: usize) {
+        if self.mts[mt].nodes[node].stall_since.is_none() {
+            self.mts[mt].nodes[node].stall_since = Some(self.now);
+        }
+        if let Some(t) = self.cfg.fetch_timeout_secs {
+            if self.mts[mt].nodes[node].stall_deadline.is_none() {
+                let at = self.now + SimDuration::from_secs_f64(t);
+                self.mts[mt].nodes[node].stall_deadline = Some(at);
+                self.fetch_timers.schedule(at, ());
+            }
+        }
+    }
+
+    /// A fault-plan cut of the directed pair src → dst takes effect: the
+    /// fabric pins the pair's flows at rate 0 (per-machine-allocator
+    /// transfers park instead), every affected in-flight fetch starts its
+    /// stall clock, and speculative copies fetching across the pair are
+    /// cancelled — they can never win.
+    fn apply_cut(&mut self, src: usize, dst: usize) {
+        if !self.cut_pairs.insert((src, dst)) {
+            return;
+        }
+        if let Some(fabric) = &mut self.fabric {
+            fabric.set_pair_cut(self.now, src, dst, true);
+        }
+        for mt in 0..self.mts.len() {
+            if self.mts[mt].aborted || self.mts[mt].remaining == 0 || self.mts[mt].machine != dst {
+                continue;
+            }
+            for node in 0..self.mts[mt].nodes.len() {
+                let (skip, is_copy, in_transfer) = {
+                    let n = &self.mts[mt].nodes[node];
+                    (
+                        n.done
+                            || n.cancelled
+                            || !matches!(n.op, MonoOp::NetFetch { from, .. } if from == src),
+                        n.copy_of.is_some(),
+                        n.net_phase == NetPhase::Transfer && n.running,
+                    )
+                };
+                if skip {
+                    continue;
+                }
+                if is_copy {
+                    self.cancel_node(mt, node);
+                    continue;
+                }
+                if in_transfer && self.fabric.is_none() {
+                    // Park the in-flight receive stream: pull it out of the
+                    // receiver's allocator, remembering the bytes left.
+                    let sid = stream_id(mt, node);
+                    if self.machines[dst].fluid.contains(sid) {
+                        let rem = self.machines[dst].fluid.remove(self.now, sid);
+                        self.mts[mt].nodes[node].parked_bytes = Some(rem.unwrap_or(0.0).max(1e-9));
+                    }
+                }
+                self.mark_stalled(mt, node);
+            }
+        }
+    }
+
+    /// The directed pair src → dst heals: fabric flows resume at fair rates,
+    /// parked receive streams re-enter the receiver's allocator with their
+    /// remaining bytes, stall clocks stop (attributed to
+    /// `stalled_fetch_seconds`), and machines quarantined by recovery become
+    /// schedulable again.
+    fn apply_heal(&mut self, src: usize, dst: usize) {
+        if !self.cut_pairs.remove(&(src, dst)) {
+            return;
+        }
+        if let Some(fabric) = &mut self.fabric {
+            fabric.set_pair_cut(self.now, src, dst, false);
+        }
+        self.quarantined[src] = false;
+        self.quarantined[dst] = false;
+        for mt in 0..self.mts.len() {
+            if self.mts[mt].aborted || self.mts[mt].remaining == 0 || self.mts[mt].machine != dst {
+                continue;
+            }
+            for node in 0..self.mts[mt].nodes.len() {
+                let (skip, since, parked) = {
+                    let n = &self.mts[mt].nodes[node];
+                    (
+                        n.done
+                            || n.cancelled
+                            || n.copy_of.is_some()
+                            || !matches!(n.op, MonoOp::NetFetch { from, .. } if from == src),
+                        n.stall_since,
+                        n.parked_bytes,
+                    )
+                };
+                if skip {
+                    continue;
+                }
+                if let Some(since) = since {
+                    let ji = self.mts[mt].key.job.0 as usize;
+                    self.jobs[ji].recovery.stalled_fetch_seconds +=
+                        self.now.since(since).as_secs_f64();
+                    self.mts[mt].nodes[node].stall_since = None;
+                    self.mts[mt].nodes[node].stall_deadline = None;
+                }
+                if let Some(rem) = parked {
+                    let n_disks = self.machines[dst].fluid.spec().disks.len();
+                    self.machines[dst].fluid.insert(
+                        self.now,
+                        stream_id(mt, node),
+                        StreamDemand::rx_only(rem, n_disks),
+                    );
+                    self.mts[mt].nodes[node].parked_bytes = None;
+                }
+            }
+        }
+    }
+
+    /// Due-deadline sweep of the stall machinery: fires bounded retries with
+    /// deterministic exponential backoff for fetches still cut past their
+    /// deadline, escalating to re-planning when the budget is spent.
+    /// Stage-level gate blockages (no machine can reach any pending task's
+    /// data) walk the same timeout → retries → re-plan path.
+    fn check_partition_recovery(&mut self) -> Result<(), RunError> {
+        while self.fetch_timers.peek_time().is_some_and(|t| t <= self.now) {
+            self.fetch_timers.pop();
+        }
+        if self.cfg.fetch_timeout_secs.is_none() {
+            return Ok(());
+        }
+        for mt in 0..self.mts.len() {
+            if self.mts[mt].aborted || self.mts[mt].remaining == 0 {
+                continue;
+            }
+            let dst = self.mts[mt].machine;
+            for node in 0..self.mts[mt].nodes.len() {
+                let (due, from) = {
+                    let n = &self.mts[mt].nodes[node];
+                    let from = match n.op {
+                        MonoOp::NetFetch { from, .. } => from,
+                        _ => continue,
+                    };
+                    (
+                        !n.done
+                            && !n.cancelled
+                            && n.copy_of.is_none()
+                            && n.stall_deadline.is_some_and(|d| d <= self.now),
+                        from,
+                    )
+                };
+                if !due {
+                    continue;
+                }
+                if !self.cut_pairs.contains(&(from, dst)) {
+                    // Healed in the meantime (defensive: the heal sweep
+                    // normally clears this state).
+                    self.mts[mt].nodes[node].stall_deadline = None;
+                    continue;
+                }
+                let retries = {
+                    let n = &mut self.mts[mt].nodes[node];
+                    n.fetch_retries += 1;
+                    n.fetch_retries
+                };
+                let ji = self.mts[mt].key.job.0 as usize;
+                self.jobs[ji].recovery.fetch_retries += 1;
+                if retries <= self.cfg.fetch_max_retries {
+                    let backoff = self.cfg.fetch_backoff_base_secs * 2f64.powi(retries as i32 - 1);
+                    self.jobs[ji].recovery.fetch_backoff_seconds += backoff;
+                    let mut at = self.now + SimDuration::from_secs_f64(backoff);
+                    if at <= self.now {
+                        at = SimTime(self.now.0 + 1);
+                    }
+                    self.mts[mt].nodes[node].stall_deadline = Some(at);
+                    self.fetch_timers.schedule(at, ());
+                } else {
+                    self.replan_multitask(mt, retries)?;
+                    break;
+                }
+            }
+        }
+        for ji in 0..self.jobs.len() {
+            for si in 0..self.jobs[ji].stages.len() {
+                let due = self.jobs[ji].stages[si]
+                    .gate_deadline
+                    .is_some_and(|d| d <= self.now);
+                if !due {
+                    continue;
+                }
+                if !self.stage_gate_blocked(ji, si) {
+                    let run = &mut self.jobs[ji].stages[si];
+                    run.gate_blocked_since = None;
+                    run.gate_deadline = None;
+                    run.gate_retries = 0;
+                    continue;
+                }
+                let retries = {
+                    let run = &mut self.jobs[ji].stages[si];
+                    run.gate_retries += 1;
+                    run.gate_retries
+                };
+                self.jobs[ji].recovery.fetch_retries += 1;
+                if retries <= self.cfg.fetch_max_retries {
+                    let backoff = self.cfg.fetch_backoff_base_secs * 2f64.powi(retries as i32 - 1);
+                    self.jobs[ji].recovery.fetch_backoff_seconds += backoff;
+                    let mut at = self.now + SimDuration::from_secs_f64(backoff);
+                    if at <= self.now {
+                        at = SimTime(self.now.0 + 1);
+                    }
+                    self.jobs[ji].stages[si].gate_deadline = Some(at);
+                    self.fetch_timers.schedule(at, ());
+                } else {
+                    if let Some(ti) = self.first_pending_task(ji, si) {
+                        self.resolve_unreachable(ji, si, ti, retries)?;
+                    }
+                    let run = &mut self.jobs[ji].stages[si];
+                    run.gate_blocked_since = None;
+                    run.gate_deadline = None;
+                    run.gate_retries = 0;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Retry budget spent on a stalled fetch of `mt`: count and stop the
+    /// attempt's stall clocks, abort the attempt (bounded-retry re-queue of
+    /// its task), and if no machine can host the task across the current
+    /// cuts, escalate to sender-level resolution.
+    fn replan_multitask(&mut self, mt: usize, retries: u32) -> Result<(), RunError> {
+        let key = self.mts[mt].key;
+        let (ji, si, ti) = (
+            key.job.0 as usize,
+            key.stage.0 as usize,
+            key.task.0 as usize,
+        );
+        self.account_replanned_fetches(mt);
+        self.abort_multitask(mt)?;
+        let any_host = (0..self.n_machines()).any(|m| {
+            self.machines[m].alive && !self.quarantined[m] && self.can_host(m, ji, si, ti)
+        });
+        if !any_host {
+            self.resolve_unreachable(ji, si, ti, retries)?;
+        }
+        Ok(())
+    }
+
+    /// Stops and attributes the stall clocks of `mt`'s live fetches, counting
+    /// each as re-planned. Called immediately before the attempt is aborted.
+    fn account_replanned_fetches(&mut self, mt: usize) {
+        let ji = self.mts[mt].key.job.0 as usize;
+        let mut stalled = 0.0;
+        let mut replanned = 0u64;
+        for n in &mut self.mts[mt].nodes {
+            if n.done || n.cancelled || n.copy_of.is_some() {
+                continue;
+            }
+            if !matches!(n.op, MonoOp::NetFetch { .. }) {
+                continue;
+            }
+            if let Some(since) = n.stall_since.take() {
+                stalled += self.now.since(since).as_secs_f64();
+            }
+            n.stall_deadline = None;
+            replanned += 1;
+        }
+        self.jobs[ji].recovery.stalled_fetch_seconds += stalled;
+        self.jobs[ji].recovery.fetches_replanned += replanned;
+    }
+
+    /// Sender-level degraded-mode re-planning: task `(ji, si, ti)` cannot be
+    /// hosted anywhere under the current cuts. Picks the best receiver `m*`
+    /// (the live machine reaching the most senders; lowest index on ties),
+    /// and for every sender `m*` cannot reach either resubmits that sender's
+    /// producer lineage — feasible exactly when each producer can re-run on a
+    /// machine `m*` reaches, i.e. a replica of its input is reachable — or
+    /// fails fast with [`RunError::Unreachable`].
+    fn resolve_unreachable(
+        &mut self,
+        ji: usize,
+        si: usize,
+        ti: usize,
+        retries: u32,
+    ) -> Result<(), RunError> {
+        let mut senders: Vec<usize> = Vec::new();
+        for di in 0..self.jobs[ji].spec.stages[si].deps.len() {
+            let ds = self.jobs[ji].spec.stages[si].deps[di].0 as usize;
+            for (s, &b) in self.jobs[ji].stages[ds]
+                .shuffle_by_machine
+                .iter()
+                .enumerate()
+            {
+                if b > 0.0 && !senders.contains(&s) {
+                    senders.push(s);
+                }
+            }
+        }
+        if senders.is_empty() {
+            // Disk-input task whose block home is cut off from every machine
+            // with no reachable replica: there is no lineage to resubmit —
+            // the input itself sits on the wrong side of the partition.
+            let home = match self.jobs[ji].spec.stages[si].tasks[ti].input {
+                InputSpec::DiskBlock { block, .. } => self.jobs[ji].blocks.machine_of(block),
+                _ => 0,
+            };
+            return Err(RunError::Unreachable {
+                job: JobId(ji as u32),
+                stage: StageId(si as u32),
+                task: TaskId(ti as u32),
+                machine: home,
+                retries,
+            });
+        }
+        let mut best: Option<(usize, usize)> = None;
+        for m in 0..self.n_machines() {
+            if !self.machines[m].alive || self.quarantined[m] {
+                continue;
+            }
+            let reach = senders
+                .iter()
+                .filter(|&&s| s == m || !self.cut_pairs.contains(&(s, m)))
+                .count();
+            if best.is_none_or(|(_, r)| reach > r) {
+                best = Some((m, reach));
+            }
+        }
+        let Some((mstar, _)) = best else {
+            return Err(RunError::all_machines_crashed(self.now));
+        };
+        let offending: Vec<usize> = senders
+            .iter()
+            .copied()
+            .filter(|&s| s != mstar && self.cut_pairs.contains(&(s, mstar)))
+            .collect();
+        for s in offending {
+            // Feasibility: every producer whose shuffle output lives on `s`
+            // must be re-runnable on a machine the receiver reaches (its
+            // input block's home or a replica reachable from there).
+            let dep_sis: Vec<usize> = self.jobs[ji].spec.stages[si]
+                .deps
+                .iter()
+                .map(|d| d.0 as usize)
+                .filter(|&ds| self.jobs[ji].stages[ds].shuffle_by_machine[s] > 0.0)
+                .collect();
+            let mut feasible = true;
+            'deps: for &ds in &dep_sis {
+                for pi in 0..self.jobs[ji].stages[ds].completed_on[s].len() {
+                    let p = self.jobs[ji].stages[ds].completed_on[s][pi] as usize;
+                    let ok = (0..self.n_machines()).any(|m| {
+                        m != s
+                            && self.machines[m].alive
+                            && !self.quarantined[m]
+                            && !self.cut_pairs.contains(&(m, mstar))
+                            && self.can_host(m, ji, ds, p)
+                    });
+                    if !ok {
+                        feasible = false;
+                        break 'deps;
+                    }
+                }
+            }
+            if !feasible {
+                return Err(RunError::Unreachable {
+                    job: JobId(ji as u32),
+                    stage: StageId(si as u32),
+                    task: TaskId(ti as u32),
+                    machine: s,
+                    retries,
+                });
+            }
+            // Abort every attempt still fetching from `s` (their own timers
+            // would walk into this same resolution), resubmit s's producer
+            // lineage, and take `s` out of the assignment rotation until a
+            // heal reconnects it — re-runs must land where consumers can
+            // fetch from.
+            for mt in 0..self.mts.len() {
+                if self.mts[mt].aborted || self.mts[mt].remaining == 0 {
+                    continue;
+                }
+                let has = self.mts[mt].nodes.iter().any(|n| {
+                    !n.done
+                        && !n.cancelled
+                        && n.copy_of.is_none()
+                        && matches!(n.op, MonoOp::NetFetch { from, .. } if from == s)
+                });
+                if has {
+                    self.account_replanned_fetches(mt);
+                    self.abort_multitask(mt)?;
+                }
+            }
+            self.lose_shuffle_outputs(s)?;
+            self.quarantined[s] = true;
+        }
+        Ok(())
+    }
+
+    /// A ready stage with pending tasks is gate-blocked when no live,
+    /// unquarantined machine passes the reachability gate for any of them.
+    fn stage_gate_blocked(&self, ji: usize, si: usize) -> bool {
+        let run = &self.jobs[ji].stages[si];
+        if !run.ready || run.done {
+            return false;
+        }
+        let any_pending = !run.nopref.is_empty() || run.by_pref.iter().any(|q| !q.is_empty());
+        if !any_pending {
+            return false;
+        }
+        !(0..self.n_machines()).any(|m| {
+            self.machines[m].alive
+                && !self.quarantined[m]
+                && self.jobs[ji].stages[si]
+                    .nopref
+                    .iter()
+                    .chain(self.jobs[ji].stages[si].by_pref.iter().flatten())
+                    .any(|&ti| self.can_host(m, ji, si, ti as usize))
+        })
+    }
+
+    /// Lowest-position pending task of a stage (assignment order), if any.
+    fn first_pending_task(&self, ji: usize, si: usize) -> Option<usize> {
+        let run = &self.jobs[ji].stages[si];
+        if let Some(&ti) = run.nopref.last() {
+            return Some(ti as usize);
+        }
+        run.by_pref
+            .iter()
+            .find_map(|q| q.last().map(|&ti| ti as usize))
+    }
+
+    /// Once per event: start (or clear) the gate-blockage clocks of ready
+    /// stages whose pending tasks no machine can reach. Without a configured
+    /// timeout the clock still starts — the starvation error names the stage
+    /// — but no timer ever fires.
+    fn arm_gate_timers(&mut self) {
+        for ji in 0..self.jobs.len() {
+            if self.jobs[ji].done {
+                continue;
+            }
+            for si in 0..self.jobs[ji].stages.len() {
+                let blocked = self.stage_gate_blocked(ji, si);
+                if !blocked {
+                    let run = &mut self.jobs[ji].stages[si];
+                    if run.gate_blocked_since.is_some() {
+                        run.gate_blocked_since = None;
+                        run.gate_deadline = None;
+                        run.gate_retries = 0;
+                    }
+                } else if self.jobs[ji].stages[si].gate_blocked_since.is_none() {
+                    self.jobs[ji].stages[si].gate_blocked_since = Some(self.now);
+                    if let Some(t) = self.cfg.fetch_timeout_secs {
+                        let at = self.now + SimDuration::from_secs_f64(t);
+                        self.jobs[ji].stages[si].gate_deadline = Some(at);
+                        self.fetch_timers.schedule(at, ());
+                    }
+                }
+            }
+        }
+    }
+
+    /// When the event loop has nothing left to fire but jobs remain and
+    /// partitions are active, name the starved work: a stalled fetch (no
+    /// timeout configured, partition never heals) or a gate-blocked stage.
+    fn partition_starvation_error(&self) -> Option<RunError> {
+        for mt in &self.mts {
+            if mt.aborted || mt.remaining == 0 {
+                continue;
+            }
+            for n in &mt.nodes {
+                if n.done || n.cancelled || n.copy_of.is_some() {
+                    continue;
+                }
+                if n.stall_since.is_none() && n.parked_bytes.is_none() {
+                    continue;
+                }
+                if let MonoOp::NetFetch { from, .. } = n.op {
+                    return Some(RunError::Unreachable {
+                        job: mt.key.job,
+                        stage: mt.key.stage,
+                        task: mt.key.task,
+                        machine: from,
+                        retries: n.fetch_retries,
+                    });
+                }
+            }
+        }
+        for (ji, job) in self.jobs.iter().enumerate() {
+            if job.done {
+                continue;
+            }
+            for (si, run) in job.stages.iter().enumerate() {
+                if run.gate_blocked_since.is_none() {
+                    continue;
+                }
+                let Some(ti) = self.first_pending_task(ji, si) else {
+                    continue;
+                };
+                return Some(RunError::Unreachable {
+                    job: job.id,
+                    stage: StageId(si as u32),
+                    task: TaskId(ti as u32),
+                    machine: self.first_unreachable_source(ji, si, ti),
+                    retries: run.gate_retries,
+                });
+            }
+        }
+        None
+    }
+
+    /// First data source of `(ji, si, ti)` some live machine cannot reach —
+    /// best-effort attribution for the starvation error.
+    fn first_unreachable_source(&self, ji: usize, si: usize, ti: usize) -> usize {
+        let job = &self.jobs[ji];
+        match job.spec.stages[si].tasks[ti].input {
+            InputSpec::DiskBlock { block, .. } => job.blocks.machine_of(block),
+            InputSpec::ShuffleFetch { .. } => {
+                for d in &job.spec.stages[si].deps {
+                    let dep = &job.stages[d.0 as usize];
+                    for (s, &b) in dep.shuffle_by_machine.iter().enumerate() {
+                        if b > 0.0
+                            && (0..self.n_machines())
+                                .any(|m| self.machines[m].alive && self.cut_pairs.contains(&(s, m)))
+                        {
+                            return s;
+                        }
+                    }
+                }
+                0
+            }
+            _ => 0,
+        }
     }
 
     /// Tears down an in-flight multitask: removes its active streams from
@@ -1180,6 +1806,9 @@ impl Exec {
                 // A machine under memory pressure takes no new multitasks
                 // (§3.5: schedulers prioritize by remaining memory); it has
                 // work in flight by construction, so this cannot stall it.
+                if self.partitions_on && self.quarantined[m] {
+                    continue;
+                }
                 if self.machines[m].assigned < self.target
                     && !(self.machines[m].sched.prefer_writes() && self.machines[m].assigned > 0)
                 {
@@ -1197,9 +1826,103 @@ impl Exec {
         changed
     }
 
+    /// Partition reachability gate: whether machine `m` could actually get
+    /// the input data of task `(ji, si, ti)` across the current cuts. A disk
+    /// task needs its block's home (or a live replica holder) reachable; a
+    /// shuffle task needs every producing machine reachable. Crash recovery
+    /// deliberately stays out of this gate — dead senders are handled by the
+    /// existing lineage path, and partition-free runs never call it.
+    fn can_host(&self, m: usize, ji: usize, si: usize, ti: usize) -> bool {
+        let job = &self.jobs[ji];
+        match job.spec.stages[si].tasks[ti].input {
+            InputSpec::DiskBlock { block, .. } => {
+                let home = job.blocks.machine_of(block);
+                m == home
+                    || !self.cut_pairs.contains(&(home, m))
+                    || job.blocks.extra_replicas(block).iter().any(|&(rm, _)| {
+                        rm == m || (self.machines[rm].alive && !self.cut_pairs.contains(&(rm, m)))
+                    })
+            }
+            InputSpec::ShuffleFetch { .. } => job.spec.stages[si].deps.iter().all(|d| {
+                let dep = &job.stages[d.0 as usize];
+                dep.shuffle_by_machine
+                    .iter()
+                    .enumerate()
+                    .all(|(s, &b)| b <= 0.0 || s == m || !self.cut_pairs.contains(&(s, m)))
+            }),
+            InputSpec::Memory { .. } | InputSpec::None => true,
+        }
+    }
+
+    /// `pick_task` for partition runs: same two-pass scan, but each queue is
+    /// searched back-to-front for the first entry passing the reachability
+    /// gate instead of blindly popping the tail. Gated entries stay queued
+    /// for a machine that can reach their data (or for the heal).
+    fn pick_task_partitioned(&mut self, m: usize) -> Option<(usize, usize, usize)> {
+        let n_jobs = self.jobs.len();
+        let offset = match self.cfg.job_policy {
+            JobPolicy::Fair => self.rr_job,
+            JobPolicy::Fifo => 0,
+        };
+        // Pass 1: locality.
+        for jo in 0..n_jobs {
+            let ji = (offset + jo) % n_jobs;
+            for si in 0..self.jobs[ji].stages.len() {
+                if !self.jobs[ji].stages[si].ready || self.jobs[ji].stages[si].done {
+                    continue;
+                }
+                let len = self.jobs[ji].stages[si].by_pref[m].len();
+                for k in (0..len).rev() {
+                    let ti = self.jobs[ji].stages[si].by_pref[m][k] as usize;
+                    if self.can_host(m, ji, si, ti) {
+                        self.jobs[ji].stages[si].by_pref[m].remove(k);
+                        self.pending_tasks -= 1;
+                        self.rr_job = ji + 1;
+                        return Some((ji, si, ti));
+                    }
+                }
+            }
+        }
+        // Pass 2: anything pending (no-pref first, then steal remote-local).
+        for jo in 0..n_jobs {
+            let ji = (offset + jo) % n_jobs;
+            for si in 0..self.jobs[ji].stages.len() {
+                if !self.jobs[ji].stages[si].ready || self.jobs[ji].stages[si].done {
+                    continue;
+                }
+                let len = self.jobs[ji].stages[si].nopref.len();
+                for k in (0..len).rev() {
+                    let ti = self.jobs[ji].stages[si].nopref[k] as usize;
+                    if self.can_host(m, ji, si, ti) {
+                        self.jobs[ji].stages[si].nopref.remove(k);
+                        self.pending_tasks -= 1;
+                        self.rr_job = ji + 1;
+                        return Some((ji, si, ti));
+                    }
+                }
+                for q in 0..self.jobs[ji].stages[si].by_pref.len() {
+                    let len = self.jobs[ji].stages[si].by_pref[q].len();
+                    for k in (0..len).rev() {
+                        let ti = self.jobs[ji].stages[si].by_pref[q][k] as usize;
+                        if self.can_host(m, ji, si, ti) {
+                            self.jobs[ji].stages[si].by_pref[q].remove(k);
+                            self.pending_tasks -= 1;
+                            self.rr_job = ji + 1;
+                            return Some((ji, si, ti));
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+
     /// Chooses the next task for machine `m`: a local task from any ready
     /// stage (jobs ordered per [`JobPolicy`]), else any pending task.
     fn pick_task(&mut self, m: usize) -> Option<(usize, usize, usize)> {
+        if self.partitions_on {
+            return self.pick_task_partitioned(m);
+        }
         let n_jobs = self.jobs.len();
         let offset = match self.cfg.job_policy {
             JobPolicy::Fair => self.rr_job,
@@ -1347,6 +2070,10 @@ impl Exec {
                         copy: None,
                         copy_of: None,
                         spec_wake_at: None,
+                        stall_since: None,
+                        stall_deadline: None,
+                        fetch_retries: 0,
+                        parked_bytes: None,
                     }
                 })
                 .collect();
@@ -1487,6 +2214,10 @@ impl Exec {
             copy: None,
             copy_of: None,
             spec_wake_at: None,
+            stall_since: None,
+            stall_deadline: None,
+            fetch_retries: 0,
+            parked_bytes: None,
         };
         let cap = 2 + match task.input {
             InputSpec::ShuffleFetch { .. } => self.templates[ji][si]
@@ -1801,11 +2532,21 @@ impl Exec {
         self.mts[mt].nodes[node].started = self.now;
         self.mts[mt].nodes[node].running = true;
         let machine = self.mts[mt].machine;
+        let from = match self.mts[mt].nodes[node].op {
+            MonoOp::NetFetch { from, .. } => from,
+            _ => unreachable!("transfer on non-fetch node"),
+        };
+        if self.partitions_on && self.cut_pairs.contains(&(from, machine)) {
+            // Starting straight into a cut pair: begin the stall clock now.
+            // Fabric transfers still enter the allocator (their class runs at
+            // rate 0 until heal); per-machine transfers park outright.
+            self.mark_stalled(mt, node);
+            if self.fabric.is_none() {
+                self.mts[mt].nodes[node].parked_bytes = Some(bytes.max(1e-9));
+                return;
+            }
+        }
         if let Some(fabric) = &mut self.fabric {
-            let from = match self.mts[mt].nodes[node].op {
-                MonoOp::NetFetch { from, .. } => from,
-                _ => unreachable!("transfer on non-fetch node"),
-            };
             fabric.insert(
                 self.now,
                 FlowId(stream_id(mt, node).0),
@@ -1944,7 +2685,21 @@ impl Exec {
         };
         let d = self.now.since(anchor).as_secs_f64();
         let key = (self.mts[mt].key.job.0, self.mts[mt].key.stage.0, n.purpose);
-        self.durations.entry(key).or_default().push(d);
+        if self.cfg.per_machine_duration_pools {
+            // Fetch samples are attributed to the *sender* (the serve chain is
+            // where a degraded machine shows up); everything else to the
+            // machine that served the monotask.
+            let pm = match n.op {
+                MonoOp::NetFetch { from, .. } => from,
+                _ => self.mts[mt].machine,
+            } as u32;
+            self.durations_pm
+                .entry((key.0, key.1, key.2, pm))
+                .or_default()
+                .push(d);
+        } else {
+            self.durations.entry(key).or_default().push(d);
+        }
     }
 
     /// One sweep of the monotask-level speculation policy (§6.6 applied to
@@ -2000,15 +2755,31 @@ impl Exec {
                     }
                 };
                 let key = (self.mts[mt].key.job.0, self.mts[mt].key.stage.0, n.purpose);
-                let (med, enough) = match self.durations.get(&key) {
-                    Some(samples) => {
-                        let total = self.jobs[key.0 as usize].stages[key.1 as usize].total;
-                        (
-                            median(samples),
-                            samples.len() >= 2 && samples.len() * 2 >= total,
-                        )
+                let (med, enough) = if self.cfg.per_machine_duration_pools {
+                    // Median of per-machine medians: a single partitioned or
+                    // degraded machine contributes one vote, not a tail that
+                    // drags the whole population's median.
+                    let total = self.jobs[key.0 as usize].stages[key.1 as usize].total;
+                    let lo = (key.0, key.1, key.2, 0u32);
+                    let hi = (key.0, key.1, key.2, u32::MAX);
+                    let mut meds: Vec<f64> = Vec::new();
+                    let mut count = 0usize;
+                    for (_, samples) in self.durations_pm.range(lo..=hi) {
+                        meds.push(median(samples));
+                        count += samples.len();
                     }
-                    None => (0.0, false),
+                    (median(&meds), count >= 2 && count * 2 >= total)
+                } else {
+                    match self.durations.get(&key) {
+                        Some(samples) => {
+                            let total = self.jobs[key.0 as usize].stages[key.1 as usize].total;
+                            (
+                                median(samples),
+                                samples.len() >= 2 && samples.len() * 2 >= total,
+                            )
+                        }
+                        None => (0.0, false),
+                    }
                 };
                 if !enough || med <= 0.0 {
                     continue;
@@ -2157,6 +2928,14 @@ impl Exec {
             }
             _ => return false,
         };
+        if self.partitions_on {
+            // Never speculate across a cut pair: the copy would stall too.
+            if let MonoOp::NetFetch { from, .. } = copy_op {
+                if self.cut_pairs.contains(&(from, home)) {
+                    return false;
+                }
+            }
+        }
         let idx = self.mts[mt].nodes.len();
         self.mts[mt].nodes.push(MonoNode {
             op: copy_op,
@@ -2178,6 +2957,10 @@ impl Exec {
             copy: None,
             copy_of: Some(node),
             spec_wake_at: None,
+            stall_since: None,
+            stall_deadline: None,
+            fetch_retries: 0,
+            parked_bytes: None,
         });
         self.mts[mt].nodes[node].copy = Some(idx);
         let ji = self.mts[mt].key.job.0 as usize;
@@ -2528,6 +3311,10 @@ impl Exec {
         stats.mono_copies = total_recovery.mono_copies_total();
         stats.mono_copy_wins = total_recovery.mono_copy_wins_total();
         stats.wasted_bytes = total_recovery.wasted_bytes.round() as u64;
+        stats.fetch_retries = total_recovery.fetch_retries;
+        stats.stalled_fetch_nanos = (total_recovery.stalled_fetch_seconds * 1e9).round() as u64;
+        stats.fetch_backoff_nanos = (total_recovery.fetch_backoff_seconds * 1e9).round() as u64;
+        stats.fetches_replanned = total_recovery.fetches_replanned;
         let peak_buffered = self.machines.iter().map(|m| m.peak_buffered).collect();
         let jobs = self
             .jobs

@@ -43,6 +43,41 @@ pub enum RunError {
         /// Attempts consumed (including the original).
         attempts: u32,
     },
+    /// A task needs data that no reachable machine can provide: the pair is
+    /// partitioned, fetch retries are spent, and no replica is reachable to
+    /// re-plan against. Fail-fast alternative to waiting out a partition
+    /// that may never heal.
+    Unreachable {
+        /// Job the starved task belongs to.
+        job: JobId,
+        /// Stage the starved task belongs to.
+        stage: StageId,
+        /// The task whose data is unreachable.
+        task: TaskId,
+        /// Machine holding the unreachable data.
+        machine: usize,
+        /// Fetch retries spent before giving up.
+        retries: u32,
+    },
+}
+
+impl RunError {
+    /// The shared "every machine has crashed" terminal error, so the two
+    /// executors construct bit-identical messages.
+    pub fn all_machines_crashed(at: SimTime) -> RunError {
+        RunError::Unrecoverable {
+            at,
+            reason: "every machine has crashed".into(),
+        }
+    }
+
+    /// The shared "nothing can run but jobs remain" terminal error.
+    pub fn no_runnable_work(at: SimTime) -> RunError {
+        RunError::Unrecoverable {
+            at,
+            reason: "no runnable work but jobs unfinished".into(),
+        }
+    }
 }
 
 impl fmt::Display for RunError {
@@ -66,6 +101,18 @@ impl fmt::Display for RunError {
             } => write!(
                 f,
                 "job {} stage {} task {} failed {attempts} attempts; retry budget exhausted",
+                job.0, stage.0, task.0
+            ),
+            RunError::Unreachable {
+                job,
+                stage,
+                task,
+                machine,
+                retries,
+            } => write!(
+                f,
+                "job {} stage {} task {} cannot reach its data on machine {machine} \
+                 after {retries} fetch retries and no replica is reachable",
                 job.0, stage.0, task.0
             ),
         }
@@ -99,5 +146,25 @@ mod tests {
         assert!(RunError::StepBudgetExhausted { steps: 7 }
             .to_string()
             .contains('7'));
+        let e = RunError::Unreachable {
+            job: JobId(0),
+            stage: StageId(1),
+            task: TaskId(2),
+            machine: 4,
+            retries: 3,
+        };
+        assert!(e.to_string().contains("machine 4"));
+        assert!(e.to_string().contains("3 fetch retries"));
+    }
+
+    #[test]
+    fn shared_constructors_match_the_executors_historic_messages() {
+        let at = SimTime::from_secs(1);
+        assert!(RunError::all_machines_crashed(at)
+            .to_string()
+            .contains("every machine has crashed"));
+        assert!(RunError::no_runnable_work(at)
+            .to_string()
+            .contains("no runnable work but jobs unfinished"));
     }
 }

@@ -87,6 +87,23 @@ pub struct RecoveryStats {
     /// monotask-level speculation — the waste metric BENCH_PR5 ranks on.
     #[serde(default)]
     pub wasted_bytes: f64,
+    /// Fetch retry decisions taken after a stall timed out (each burns one
+    /// entry of the bounded per-fetch retry budget).
+    #[serde(default)]
+    pub fetch_retries: u64,
+    /// Simulated seconds spent in deterministic exponential backoff between
+    /// fetch retries.
+    #[serde(default)]
+    pub fetch_backoff_seconds: f64,
+    /// Simulated seconds fetches spent stalled at ~zero rate on a cut pair
+    /// before being healed, retried, or re-planned.
+    #[serde(default)]
+    pub stalled_fetch_seconds: f64,
+    /// Fetches whose source assignment recovery re-planned: moved to another
+    /// receiver, pointed at a replica, or redirected by resubmitting the
+    /// unreachable producer.
+    #[serde(default)]
+    pub fetches_replanned: u64,
 }
 
 /// Index into the per-resource arrays in [`RecoveryStats`].
@@ -108,6 +125,10 @@ impl RecoveryStats {
             self.mono_copy_wins[r] += other.mono_copy_wins[r];
         }
         self.wasted_bytes += other.wasted_bytes;
+        self.fetch_retries += other.fetch_retries;
+        self.fetch_backoff_seconds += other.fetch_backoff_seconds;
+        self.stalled_fetch_seconds += other.stalled_fetch_seconds;
+        self.fetches_replanned += other.fetches_replanned;
     }
 
     /// True when no recovery activity happened.

@@ -72,6 +72,16 @@
 //! * **Batched mutations** ([`FlowAllocator::begin_update`] /
 //!   [`FlowAllocator::commit`]) collapse a wave of inserts or removals at one
 //!   instant into a single reallocation.
+//! * **Per-pair link state** ([`FlowAllocator::set_pair_cut`]) models
+//!   network partitions: while a `(src, dst)` pair is cut its class carries
+//!   rate zero and deadline `FAR_FUTURE`, and is withdrawn from progressive
+//!   filling entirely (its flows release both ports' capacity, exactly as if
+//!   removed) — but membership, delivered bytes, and finish marks stay put,
+//!   so healing the pair restores the class into the fill and the resulting
+//!   allocation is bit-identical to one that never saw the cut. Cut state is
+//!   carried on the class entry size (zero ⇔ cut, impossible for a live
+//!   class otherwise), so the fill and apply hot paths pay one integer
+//!   compare per entry and nothing else when no pair is cut.
 //! * **Approximate mode** ([`MaxMinPolicy`]) trades a bounded, one-sided rate
 //!   error for control-plane work at 1000-machine scale. ε-fair fills
 //!   terminate the round loop once every surviving class's exact rate is
@@ -87,7 +97,7 @@
 //!   spec (`reference_reallocate` + the `slowcheck` feature).
 
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
 use std::time::Instant;
 
 use crate::stats::SimStats;
@@ -240,6 +250,9 @@ struct FlowClass {
     /// class sits in `pending_dirty` and gets its deadline refreshed even if
     /// neither of its resources' shares moved.
     members_dirty: bool,
+    /// The `(src, dst)` pair is cut (network partition): rate pinned to zero,
+    /// withdrawn from progressive filling, deadline `FAR_FUTURE`.
+    cut: bool,
     // ---- cold from here: touched on membership changes only ----
     src: NodeId,
     dst: NodeId,
@@ -278,6 +291,12 @@ pub struct FlowAllocator {
     free_classes: Vec<u32>,
     /// `(src, dst)` → live class slot.
     pair_index: HashMap<(NodeId, NodeId), u32>,
+    /// Directed pairs currently cut by a partition. Source of truth for cut
+    /// state; live classes mirror it in `FlowClass::cut`.
+    cut_pairs: HashSet<(NodeId, NodeId)>,
+    /// Live classes currently cut (subtracted from the fill's unfrozen
+    /// count, since cut classes never freeze).
+    cut_live: usize,
     /// Per-resource entry lists (dense, swap-removed).
     res_list: Vec<Vec<PortEntry>>,
     /// Per-resource live *flow* counts (Σ class sizes), maintained on mutation.
@@ -357,6 +376,8 @@ impl FlowAllocator {
             c_size: Vec::new(),
             free_classes: Vec::new(),
             pair_index: HashMap::new(),
+            cut_pairs: HashSet::new(),
+            cut_live: 0,
             res_list: vec![Vec::new(); nr],
             res_nflows: vec![0; nr],
             res_fill: vec![
@@ -416,6 +437,82 @@ impl FlowAllocator {
         self.tx_cap[node] = self.tx_base[node] * factor;
         self.rx_cap[node] = self.rx_base[node] * factor;
         self.after_mutation();
+    }
+
+    /// Cuts or heals the directed `(src, dst)` pair (network partition).
+    ///
+    /// While cut, every flow of the pair — current and future — carries rate
+    /// zero and never completes; both ports' capacity is redistributed to the
+    /// surviving classes exactly as if the cut flows had been removed.
+    /// Healing re-enters the class into progressive filling with its
+    /// membership and drain progress intact, so the restored allocation is
+    /// bit-identical to one computed for the same flow set without the cut.
+    /// Idempotent: repeating the current state is a no-op (no reallocation,
+    /// no epoch bump). Composes with [`FlowAllocator::set_port_scale`] and
+    /// with ε/Δ policies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range.
+    pub fn set_pair_cut(&mut self, now: SimTime, src: NodeId, dst: NodeId, cut: bool) {
+        assert!(src < self.nodes() && dst < self.nodes(), "bad node id");
+        self.advance(now);
+        let changed = if cut {
+            self.cut_pairs.insert((src, dst))
+        } else {
+            self.cut_pairs.remove(&(src, dst))
+        };
+        if !changed {
+            return;
+        }
+        let Some(&ci) = self.pair_index.get(&(src, dst)) else {
+            return; // no live class; future inserts will see `cut_pairs`
+        };
+        let i = ci as usize;
+        let n = self.nodes();
+        let size = self.c_size[i];
+        if cut {
+            // Materialize drain at the old rate, then park the class: zero
+            // rate, zero entry size (withdrawn from filling), far deadline.
+            Self::drain_class(
+                &mut self.classes[i],
+                self.c_rate[i],
+                size,
+                &mut self.delivered,
+                now,
+            );
+            self.c_rate[i] = 0.0;
+            let class = &mut self.classes[i];
+            class.cut = true;
+            self.res_nflows[class.src] -= size;
+            self.res_nflows[n + class.dst] -= size;
+            Self::sync_entry_size(&mut self.res_list, n, &self.classes[i], 0);
+            self.cut_live += 1;
+            self.gen_counter += 1;
+            let class = &mut self.classes[i];
+            class.gen = self.gen_counter;
+            class.deadline = SimTime::FAR_FUTURE;
+            self.class_heap
+                .push(Reverse((SimTime::FAR_FUTURE, ci, class.gen)));
+        } else {
+            let class = &mut self.classes[i];
+            class.cut = false;
+            self.res_nflows[class.src] += size;
+            self.res_nflows[n + class.dst] += size;
+            Self::sync_entry_size(&mut self.res_list, n, &self.classes[i], size);
+            self.cut_live -= 1;
+            // Force a deadline refresh even if the class was already marked
+            // pending before the cut (the pending list may have been drained
+            // while it was parked).
+            self.classes[i].members_dirty = false;
+            self.mark_pending(ci);
+        }
+        self.after_mutation();
+    }
+
+    /// True when the directed `(src, dst)` pair is currently cut.
+    pub fn pair_cut(&self, src: NodeId, dst: NodeId) -> bool {
+        self.cut_pairs.contains(&(src, dst))
     }
 
     /// Stale-event guard; bumped on every flow-set mutation.
@@ -607,10 +704,25 @@ impl FlowAllocator {
         }
         self.c_size[i] += 1;
         let n = self.nodes();
-        Self::sync_entry_size(&mut self.res_list, n, &self.classes[i], self.c_size[i]);
-        self.res_nflows[src] += 1;
-        self.res_nflows[n + dst] += 1;
-        self.mark_pending(ci);
+        if self.classes[i].cut {
+            // A cut class stays withdrawn from filling (entry size 0, no
+            // resource flow counts) and keeps its FAR_FUTURE deadline; make
+            // sure the global heap has a live entry so `peek_deadline` sees
+            // the class even if every other class is cut too.
+            let class = &mut self.classes[i];
+            if class.gen == 0 || class.deadline != SimTime::FAR_FUTURE {
+                self.gen_counter += 1;
+                class.gen = self.gen_counter;
+                class.deadline = SimTime::FAR_FUTURE;
+                self.class_heap
+                    .push(Reverse((SimTime::FAR_FUTURE, ci, class.gen)));
+            }
+        } else {
+            Self::sync_entry_size(&mut self.res_list, n, &self.classes[i], self.c_size[i]);
+            self.res_nflows[src] += 1;
+            self.res_nflows[n + dst] += 1;
+            self.mark_pending(ci);
+        }
         self.after_mutation();
         self.epoch
     }
@@ -619,6 +731,7 @@ impl FlowAllocator {
     /// links it into both resource entry lists.
     fn create_class(&mut self, src: NodeId, dst: NodeId, now: SimTime) -> u32 {
         let n = self.nodes();
+        let cut = self.cut_pairs.contains(&(src, dst));
         let fresh = FlowClass {
             src,
             dst,
@@ -629,6 +742,7 @@ impl FlowAllocator {
             deadline: SimTime::FAR_FUTURE,
             gen: 0,
             members_dirty: false,
+            cut,
             tx_slot: self.res_list[src].len() as u32,
             rx_slot: self.res_list[n + dst].len() as u32,
         };
@@ -649,6 +763,9 @@ impl FlowAllocator {
         self.res_list[src].push(pack_entry(ci, (n + dst) as u32, 0));
         self.res_list[n + dst].push(pack_entry(ci, src as u32, 0));
         self.pair_index.insert((src, dst), ci);
+        if cut {
+            self.cut_live += 1;
+        }
         ci
     }
 
@@ -672,6 +789,9 @@ impl FlowAllocator {
             debug_assert_eq!(self.c_size[i], 0, "destroying a non-empty class");
             (c.src, c.dst, c.tx_slot as usize, c.rx_slot as usize)
         };
+        if self.classes[i].cut {
+            self.cut_live -= 1;
+        }
         self.res_list[src].swap_remove(tx_slot);
         if let Some(&moved) = self.res_list[src].get(tx_slot) {
             self.classes[entry_ci(moved) as usize].tx_slot = tx_slot as u32;
@@ -729,13 +849,16 @@ impl FlowAllocator {
             class.min_finish =
                 Self::peek_finish(&mut class.members, &self.index, ci).unwrap_or(f64::INFINITY);
         }
-        let (src, dst) = (class.src, class.dst);
+        let (src, dst, cut) = (class.src, class.dst, class.cut);
         let n = self.nodes();
-        self.res_nflows[src] -= 1;
-        self.res_nflows[n + dst] -= 1;
+        if !cut {
+            // A cut class is already withdrawn from the resource flow counts.
+            self.res_nflows[src] -= 1;
+            self.res_nflows[n + dst] -= 1;
+        }
         if self.c_size[i] == 0 {
             self.destroy_class(ci);
-        } else {
+        } else if !cut {
             Self::sync_entry_size(&mut self.res_list, n, &self.classes[i], self.c_size[i]);
             self.mark_pending(ci);
         }
@@ -935,6 +1058,7 @@ impl FlowAllocator {
         let n = self.nodes();
         let nr = 2 * n;
         let eps_factor = self.eps_factor;
+        let cut_live = self.cut_live;
         let FlowAllocator {
             tx_cap,
             rx_cap,
@@ -954,7 +1078,9 @@ impl FlowAllocator {
             };
         }
         frozen_share.fill(f64::INFINITY);
-        let mut unfrozen = pair_index.len();
+        // Cut classes (entry size 0, zero rate) never freeze and are not in
+        // the resource flow counts; they simply sit out the fill.
+        let mut unfrozen = pair_index.len() - cut_live;
         while unfrozen > 0 {
             // The bottleneck resource is the one offering the smallest fair
             // share. Frozen resources have their count zeroed, so one dense
@@ -1021,6 +1147,10 @@ impl FlowAllocator {
                 frozen_share[r] = share;
                 res_fill[r].cnt = 0; // out of the game for later rounds
                 for &e in &res_list[r] {
+                    let k = entry_size(e);
+                    if k == 0 {
+                        continue; // cut class: sits out the fill entirely
+                    }
                     let peer = entry_peer(e) as usize;
                     if frozen_share[peer].is_finite() {
                         continue; // class already froze via its peer
@@ -1028,7 +1158,6 @@ impl FlowAllocator {
                     // This class freezes now, at `share`: r is the first of
                     // its two resources to freeze.
                     unfrozen -= 1;
-                    let k = entry_size(e);
                     let pf = &mut res_fill[peer];
                     pf.left -= share * k as f64;
                     pf.cnt -= k;
@@ -1131,6 +1260,9 @@ impl FlowAllocator {
             let r = r as usize;
             let (fr, or) = (frozen_share[r], stored_share[r]);
             for &e in &res_list[r] {
+                if entry_size(e) == 0 {
+                    continue; // cut class: rate stays pinned at zero
+                }
                 let peer = entry_peer(e) as usize;
                 let peer_eff = if res_dirty[peer] {
                     frozen_share[peer]
@@ -1165,8 +1297,8 @@ impl FlowAllocator {
         // ones now, so the derived rate matches what the dirty walk applies.
         for &ci in pending_dirty.iter() {
             let i = ci as usize;
-            if c_size[i] == 0 || !classes[i].members_dirty {
-                continue; // destroyed, or already refreshed above
+            if c_size[i] == 0 || classes[i].cut || !classes[i].members_dirty {
+                continue; // destroyed, cut, or already refreshed above
             }
             let (src, dst) = (classes[i].src, classes[i].dst);
             let new_rate = stored_share[src].min(stored_share[n + dst]);
@@ -1206,12 +1338,18 @@ impl FlowAllocator {
         let mut rx_left = self.rx_cap.clone();
         let mut tx_count = vec![0usize; n];
         let mut rx_count = vec![0usize; n];
+        // Flows of a cut pair carry rate zero and do not contend for ports.
         let ports: BTreeMap<FlowId, (NodeId, NodeId)> = self
             .index
             .iter()
-            .map(|(&id, f)| {
+            .filter_map(|(&id, f)| {
                 let c = &self.classes[f.class as usize];
-                (id, (c.src, c.dst))
+                if c.cut {
+                    rates.insert(id, 0.0);
+                    None
+                } else {
+                    Some((id, (c.src, c.dst)))
+                }
             })
             .collect();
         let mut unfrozen: Vec<FlowId> = ports.keys().copied().collect();
@@ -1671,6 +1809,157 @@ mod tests {
             quantum: SimDuration::ZERO,
         };
         FlowAllocator::new_with_policy(2, 1.0, 1.0, policy);
+    }
+
+    #[test]
+    fn cut_pair_stalls_flow_and_heal_resumes() {
+        let mut fab = FlowAllocator::new(2, 100.0, 100.0);
+        fab.insert(SimTime::ZERO, FlowId(1), 0, 1, 1000.0);
+        assert_eq!(fab.rate(FlowId(1)), Some(100.0));
+        // Cut at t=1: 900 B remain, rate pinned to zero, no completion.
+        fab.set_pair_cut(t(1.0), 0, 1, true);
+        assert!(fab.pair_cut(0, 1));
+        assert_eq!(fab.rate(FlowId(1)), Some(0.0));
+        assert_eq!(fab.next_completion(t(1.0)), Some(SimTime::FAR_FUTURE));
+        assert_eq!(fab.take_completed(t(2.0)), Vec::<FlowId>::new());
+        // Heal at t=3: the flow resumes at full rate; 900 B at 100 B/s.
+        fab.set_pair_cut(t(3.0), 0, 1, false);
+        assert_eq!(fab.rate(FlowId(1)), Some(100.0));
+        assert_eq!(fab.next_completion(t(3.0)), Some(t(12.0)));
+        assert_eq!(fab.take_completed(t(12.0)), vec![FlowId(1)]);
+        assert!((fab.total_delivered() - 1000.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn cut_releases_capacity_and_heal_restores_bit_exactly() {
+        // Mirror allocators: `a` suffers a cut+heal at one instant, `b`
+        // never does. After the heal, every rate must be bit-identical.
+        let mut a = FlowAllocator::new(3, 100.0, 100.0);
+        let mut b = FlowAllocator::new(3, 100.0, 100.0);
+        for fab in [&mut a, &mut b] {
+            fab.insert(SimTime::ZERO, FlowId(1), 0, 2, 1e6);
+            fab.insert(SimTime::ZERO, FlowId(2), 1, 2, 1e6);
+        }
+        assert_eq!(a.rate(FlowId(1)), Some(50.0));
+        // Cutting (0,2) hands the whole rx port to the surviving flow.
+        a.set_pair_cut(t(1.0), 0, 2, true);
+        assert_eq!(a.rate(FlowId(1)), Some(0.0));
+        assert_eq!(a.rate(FlowId(2)), Some(100.0));
+        a.set_pair_cut(t(1.0), 0, 2, false);
+        b.advance(t(1.0));
+        for id in [FlowId(1), FlowId(2)] {
+            assert_eq!(
+                a.rate(id).map(f64::to_bits),
+                b.rate(id).map(f64::to_bits),
+                "{id:?} not restored bit-exactly"
+            );
+        }
+    }
+
+    #[test]
+    fn insert_into_cut_pair_starts_parked() {
+        let mut fab = FlowAllocator::new(2, 100.0, 100.0);
+        fab.set_pair_cut(SimTime::ZERO, 0, 1, true);
+        // Cutting an idle pair is remembered; cutting it again is a no-op.
+        let reallocs = fab.stats().reallocs;
+        fab.set_pair_cut(SimTime::ZERO, 0, 1, true);
+        assert_eq!(fab.stats().reallocs, reallocs);
+        fab.insert(SimTime::ZERO, FlowId(1), 0, 1, 100.0);
+        assert_eq!(fab.rate(FlowId(1)), Some(0.0));
+        assert_eq!(
+            fab.next_completion(SimTime::ZERO),
+            Some(SimTime::FAR_FUTURE)
+        );
+        // Removing a parked flow returns its untouched remaining bytes.
+        fab.insert(SimTime::ZERO, FlowId(2), 0, 1, 70.0);
+        assert_eq!(fab.remove(SimTime::ZERO, FlowId(2)), Some(70.0));
+        fab.set_pair_cut(t(1.0), 0, 1, false);
+        assert_eq!(fab.rate(FlowId(1)), Some(100.0));
+        assert_eq!(fab.next_completion(t(1.0)), Some(t(2.0)));
+    }
+
+    #[test]
+    fn cut_composes_with_port_scale() {
+        let mut fab = FlowAllocator::new(2, 100.0, 100.0);
+        fab.insert(SimTime::ZERO, FlowId(1), 0, 1, 1000.0);
+        fab.set_port_scale(SimTime::ZERO, 0, 0.5);
+        assert_eq!(fab.rate(FlowId(1)), Some(50.0));
+        fab.set_pair_cut(SimTime::ZERO, 0, 1, true);
+        assert_eq!(fab.rate(FlowId(1)), Some(0.0));
+        // Scale changes while cut apply on heal, not to the parked class.
+        fab.set_port_scale(t(1.0), 0, 0.25);
+        assert_eq!(fab.rate(FlowId(1)), Some(0.0));
+        fab.set_pair_cut(t(2.0), 0, 1, false);
+        assert_eq!(fab.rate(FlowId(1)), Some(25.0));
+        fab.set_port_scale(t(3.0), 0, 1.0);
+        assert_eq!(fab.rate(FlowId(1)), Some(100.0));
+    }
+
+    #[test]
+    fn cut_composes_with_policies() {
+        // ε-fair fills and Δ-coalescing must not resurrect a cut class.
+        let policy = MaxMinPolicy {
+            epsilon: 0.05,
+            quantum: SimDuration::from_millis(10),
+        };
+        let mut fab = FlowAllocator::new_with_policy(4, 100.0, 100.0, policy);
+        fab.begin_update();
+        for i in 0..8u64 {
+            fab.insert(
+                SimTime::ZERO,
+                FlowId(i),
+                (i % 4) as usize,
+                ((i + 1) % 4) as usize,
+                100.0 * (i + 1) as f64,
+            );
+        }
+        fab.commit(SimTime::ZERO);
+        fab.set_pair_cut(SimTime::ZERO, 0, 1, true);
+        assert_eq!(fab.rate(FlowId(0)), Some(0.0));
+        assert_eq!(fab.rate(FlowId(4)), Some(0.0));
+        // Drive the rest to completion; the cut pair's flows never fire.
+        let mut now = SimTime::ZERO;
+        let mut done = Vec::new();
+        loop {
+            now = fab.next_completion(now).unwrap();
+            if now == SimTime::FAR_FUTURE {
+                break;
+            }
+            done.extend(fab.take_completed(now));
+        }
+        assert_eq!(done.len(), 6);
+        assert!(!done.contains(&FlowId(0)) && !done.contains(&FlowId(4)));
+        // Heal releases the survivors of the cut pair.
+        fab.set_pair_cut(now.min(t(100.0)), 0, 1, false);
+        let mut now = t(100.0);
+        while fab.active_flows() > 0 {
+            now = fab.next_completion(now).unwrap();
+            done.extend(fab.take_completed(now));
+        }
+        assert_eq!(done.len(), 8);
+    }
+
+    #[test]
+    fn cut_class_matches_reference_fixpoint() {
+        let mut fab = FlowAllocator::new(4, 100.0, 100.0);
+        for i in 0..12u64 {
+            fab.insert(
+                SimTime::ZERO,
+                FlowId(i),
+                (i % 4) as usize,
+                ((i * 3 + 1) % 4) as usize,
+                1e4,
+            );
+        }
+        fab.set_pair_cut(SimTime::ZERO, 1, 0, true);
+        let reference = fab.reference_reallocate();
+        for (id, want) in reference {
+            let got = fab.rate(id).unwrap();
+            assert!(
+                (got - want).abs() <= want.abs() * 1e-9 + 1e-12,
+                "{id:?}: {got} vs {want}"
+            );
+        }
     }
 
     #[test]

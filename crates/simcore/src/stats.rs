@@ -65,6 +65,17 @@ pub struct SimStats {
     /// attempts and losing speculative copies charge the full bytes of every
     /// I/O they had started.
     pub wasted_bytes: u64,
+    /// Fetch retry decisions taken after a partition stalled a fetch past
+    /// its timeout. Simulated-recovery counter, not wall clock.
+    pub fetch_retries: u64,
+    /// Simulated nanoseconds fetches spent stalled at ~zero rate on a cut
+    /// fabric pair before heal, retry, or re-planning.
+    pub stalled_fetch_nanos: u64,
+    /// Simulated nanoseconds of deterministic exponential backoff between
+    /// fetch retries.
+    pub fetch_backoff_nanos: u64,
+    /// Fetches whose source assignment partition recovery re-planned.
+    pub fetches_replanned: u64,
 }
 
 impl SimStats {
@@ -94,6 +105,10 @@ impl SimStats {
         self.mono_copies += other.mono_copies;
         self.mono_copy_wins += other.mono_copy_wins;
         self.wasted_bytes += other.wasted_bytes;
+        self.fetch_retries += other.fetch_retries;
+        self.stalled_fetch_nanos += other.stalled_fetch_nanos;
+        self.fetch_backoff_nanos += other.fetch_backoff_nanos;
+        self.fetches_replanned += other.fetches_replanned;
     }
 
     /// Wall-clock nanoseconds the allocators account for across all phases.
@@ -201,6 +216,10 @@ mod tests {
             mono_copies: 12,
             mono_copy_wins: 13,
             wasted_bytes: 14,
+            fetch_retries: 20,
+            stalled_fetch_nanos: 21,
+            fetch_backoff_nanos: 22,
+            fetches_replanned: 23,
         };
         a.merge(&SimStats {
             events: 10,
@@ -222,6 +241,10 @@ mod tests {
             mono_copies: 120,
             mono_copy_wins: 130,
             wasted_bytes: 140,
+            fetch_retries: 200,
+            stalled_fetch_nanos: 210,
+            fetch_backoff_nanos: 220,
+            fetches_replanned: 230,
         });
         assert_eq!(
             a,
@@ -245,6 +268,10 @@ mod tests {
                 mono_copies: 132,
                 mono_copy_wins: 143,
                 wasted_bytes: 154,
+                fetch_retries: 220,
+                stalled_fetch_nanos: 231,
+                fetch_backoff_nanos: 242,
+                fetches_replanned: 253,
             }
         );
         assert!((a.alloc_secs() - 33e-9).abs() < 1e-18);

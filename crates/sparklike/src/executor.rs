@@ -33,6 +33,23 @@ pub struct SparkConfig {
     /// another machine; first finisher wins. `None` disables speculation and
     /// keeps the executor bit-identical to the pre-fault code.
     pub speculation_multiplier: Option<f64>,
+    /// How long a shuffle fetch may sit stalled on a cut pair before the
+    /// first retry fires. `None` disables the timeout machinery entirely: a
+    /// partitioned fetch waits for the heal (or starves into
+    /// [`RunError::Unreachable`] once nothing else can run).
+    pub fetch_timeout_secs: Option<f64>,
+    /// Fetch retries allowed per attempt after the stall timeout, each
+    /// separated by exponential backoff, before partition recovery gives up
+    /// waiting and re-plans around the unreachable sender.
+    pub fetch_max_retries: u32,
+    /// Base of the deterministic exponential backoff between fetch retries:
+    /// retry `k` waits `base × 2^(k-1)` seconds.
+    pub fetch_backoff_base_secs: f64,
+    /// Compute the speculation threshold as the median of per-machine
+    /// duration medians instead of the global attempt median, so one
+    /// degraded machine cannot drag the threshold up. Off by default to
+    /// preserve the historic estimator bit-for-bit.
+    pub per_machine_duration_pools: bool,
 }
 
 impl Default for SparkConfig {
@@ -43,6 +60,10 @@ impl Default for SparkConfig {
             max_steps: 50_000_000,
             max_task_retries: 4,
             speculation_multiplier: None,
+            fetch_timeout_secs: None,
+            fetch_max_retries: 3,
+            fetch_backoff_base_secs: 1.0,
+            per_machine_duration_pools: false,
         }
     }
 }
@@ -62,6 +83,19 @@ impl SparkConfig {
                     "speculation_multiplier must be finite and >= 1, got {f}"
                 ));
             }
+        }
+        if let Some(t) = self.fetch_timeout_secs {
+            if !t.is_finite() || t <= 0.0 {
+                return Err(format!(
+                    "fetch_timeout_secs must be finite and > 0, got {t}"
+                ));
+            }
+        }
+        if !self.fetch_backoff_base_secs.is_finite() || self.fetch_backoff_base_secs < 0.0 {
+            return Err(format!(
+                "fetch_backoff_base_secs must be finite and >= 0, got {}",
+                self.fetch_backoff_base_secs
+            ));
         }
         Ok(())
     }
@@ -124,6 +158,16 @@ struct StageRun {
     task_done: Vec<bool>,
     /// Completed attempt durations in seconds, for the speculation median.
     durations: Vec<f64>,
+    /// Completed attempt durations split by executing machine (filled only
+    /// with `per_machine_duration_pools` on).
+    durations_pm: Vec<Vec<f64>>,
+    /// When a partition left this ready stage with pending tasks that no
+    /// reachable machine can host (gate-blocked), the instant that started.
+    gate_blocked_since: Option<SimTime>,
+    /// Retry deadline for the gate-blocked state, when a timeout is set.
+    gate_deadline: Option<SimTime>,
+    /// Retry budget consumed while gate-blocked.
+    gate_retries: u32,
 }
 
 #[derive(Debug)]
@@ -181,6 +225,19 @@ struct TaskRun {
     /// or finishes late — the same full-requested-bytes-once-started rule
     /// the monotasks executor charges, so the two engines' waste compares.
     io_started: f64,
+    /// Instant the attempt's merged fetch stalled on a cut pair.
+    stall_since: Option<SimTime>,
+    /// Next stall-timeout / backoff deadline, when a timeout is configured.
+    stall_deadline: Option<SimTime>,
+    /// Fetch retries this attempt has burned.
+    fetch_retries: u32,
+    /// The in-flight phase, removed from the allocator while every byte of
+    /// it is unreachable: the demand scaled to the remaining fraction, ready
+    /// to re-insert on heal.
+    parked: Option<StreamDemand>,
+    /// Copy of the running phase's demand (kept only on partition runs) so
+    /// parking can scale it by the allocator's remaining fraction.
+    cur_demand: Option<StreamDemand>,
 }
 
 struct Mach {
@@ -228,6 +285,23 @@ fn decode(id: StreamId) -> (u64, u64) {
     (id.0 >> 56, id.0 & ((1 << 56) - 1))
 }
 
+/// `d` scaled to fraction `f`: the remaining work of a parked phase. The
+/// fraction is floored away from zero so the resumed stream always has
+/// demand left to complete on.
+fn scale_demand(d: &StreamDemand, f: f64) -> StreamDemand {
+    let f = f.max(1e-9);
+    let mut s = d.clone();
+    s.cpu *= f;
+    for x in &mut s.disk_read {
+        *x *= f;
+    }
+    for x in &mut s.disk_write {
+        *x *= f;
+    }
+    s.rx *= f;
+    s
+}
+
 struct Exec {
     cfg: SparkConfig,
     slots: usize,
@@ -254,6 +328,19 @@ struct Exec {
     /// threshold, so the idle-slot check observes it without waiting for an
     /// unrelated stream completion.
     spec_timers: EventQueue<()>,
+    /// True when the fault plan contains partition events; every partition
+    /// hook below is gated on this so partition-free runs stay bit-identical.
+    partitions_on: bool,
+    /// Directed cut pairs currently in force: `(src, dst)` means traffic
+    /// from `src` cannot reach `dst`.
+    cut_pairs: HashSet<(usize, usize)>,
+    /// Stall-timeout and backoff deadlines for stalled fetches and
+    /// gate-blocked stages.
+    fetch_timers: EventQueue<()>,
+    /// Machines partition recovery re-planned around: excluded from
+    /// placement until a heal touches them, so lineage re-runs land on
+    /// reachable machines.
+    quarantined: Vec<bool>,
 }
 
 /// Runs `jobs` on a simulated `cluster` under the Spark-like architecture.
@@ -371,6 +458,10 @@ pub fn run_with_faults(
                     completed_on: vec![Vec::new(); n_machines],
                     task_done: vec![false; st.tasks.len()],
                     durations: Vec::new(),
+                    durations_pm: vec![Vec::new(); n_machines],
+                    gate_blocked_since: None,
+                    gate_deadline: None,
+                    gate_retries: 0,
                 })
                 .collect(),
             done: false,
@@ -406,6 +497,10 @@ pub fn run_with_faults(
         recompute_pending: HashSet::new(),
         spec_copies: HashSet::new(),
         spec_timers: EventQueue::new(),
+        partitions_on: plan.has_partitions(),
+        cut_pairs: HashSet::new(),
+        fetch_timers: EventQueue::new(),
+        quarantined: vec![false; n_machines],
     };
     exec.prime();
     exec.main_loop()?;
@@ -472,6 +567,9 @@ impl Exec {
             if self.faults_on {
                 self.apply_due_faults()?;
             }
+            if self.partitions_on {
+                self.check_partition_recovery()?;
+            }
             while self.timers.peek_time() == Some(self.now) {
                 let (_, f) = self.timers.pop().expect("peeked");
                 self.start_flush(f);
@@ -494,6 +592,9 @@ impl Exec {
                 }
             }
             while self.assign_tasks() {}
+            if self.partitions_on {
+                self.arm_gate_timers();
+            }
             self.commit_all(self.now);
             for m in 0..self.n_machines() {
                 if !self.machines[m].alive {
@@ -528,11 +629,18 @@ impl Exec {
                     next = Some(next.map_or(t, |b: SimTime| b.min(t)));
                 }
             }
+            if self.partitions_on {
+                if let Some(t) = self.fetch_timers.peek_time() {
+                    next = Some(next.map_or(t, |b: SimTime| b.min(t)));
+                }
+            }
             let Some(t) = next else {
-                return Err(RunError::Unrecoverable {
-                    at: self.now,
-                    reason: "no runnable work but jobs unfinished".into(),
-                });
+                if self.partitions_on {
+                    if let Some(e) = self.partition_starvation_error() {
+                        return Err(e);
+                    }
+                }
+                return Err(RunError::no_runnable_work(self.now));
             };
             self.now = t;
             steps += 1;
@@ -568,6 +676,8 @@ impl Exec {
                     }
                 }
                 FaultAction::Crash { machine } => self.crash_machine(machine)?,
+                FaultAction::CutPair { src, dst } => self.apply_cut(src, dst),
+                FaultAction::HealPair { src, dst } => self.apply_heal(src, dst),
             }
         }
         Ok(())
@@ -608,12 +718,444 @@ impl Exec {
         self.flushes.retain(|_, (machine, _, _)| *machine != m);
         self.lose_shuffle_outputs(m)?;
         if !self.machines.iter().any(|x| x.alive) {
-            return Err(RunError::Unrecoverable {
-                at: self.now,
-                reason: "every machine has crashed".into(),
-            });
+            return Err(RunError::all_machines_crashed(self.now));
         }
         Ok(())
+    }
+
+    /// Severs `src → dst`: parks every in-flight merged fetch on `dst` that
+    /// still needs bytes from `src` and starts its stall clock. The whole
+    /// attempt blocks — a Spark reduce task cannot finish with one sender
+    /// missing — so the phase leaves the allocator with its remaining
+    /// fraction saved for the heal.
+    fn apply_cut(&mut self, src: usize, dst: usize) {
+        if !self.cut_pairs.insert((src, dst)) {
+            return;
+        }
+        for t_idx in 0..self.tasks.len() {
+            let t = &self.tasks[t_idx];
+            if t.done || t.killed || t.machine != dst || !t.fetch_live {
+                continue;
+            }
+            if !self.task_fetches_from(t_idx, src) {
+                continue;
+            }
+            if self.tasks[t_idx].parked.is_none() {
+                let sid = task_stream(t_idx, self.tasks[t_idx].phases.len());
+                if let Some(frac) = self.machines[dst].fluid.remove(self.now, sid) {
+                    let demand = self.tasks[t_idx]
+                        .cur_demand
+                        .as_ref()
+                        .map(|d| scale_demand(d, frac))
+                        .expect("phase demand recorded on partition runs");
+                    self.tasks[t_idx].parked = Some(demand);
+                }
+            }
+            self.mark_stalled(t_idx);
+        }
+    }
+
+    /// Restores `src → dst` and resumes every parked fetch on `dst` whose
+    /// senders are all reachable again. Heals also lift quarantine from both
+    /// endpoints: connectivity changed, so placement may try them again.
+    fn apply_heal(&mut self, src: usize, dst: usize) {
+        if !self.cut_pairs.remove(&(src, dst)) {
+            return;
+        }
+        self.quarantined[src] = false;
+        self.quarantined[dst] = false;
+        for t_idx in 0..self.tasks.len() {
+            let t = &self.tasks[t_idx];
+            if t.done || t.killed || t.machine != dst {
+                continue;
+            }
+            if t.stall_since.is_none() && t.parked.is_none() {
+                continue;
+            }
+            let still_cut = (0..self.n_machines())
+                .any(|s| self.cut_pairs.contains(&(s, dst)) && self.task_fetches_from(t_idx, s));
+            if still_cut {
+                continue;
+            }
+            let ji = self.tasks[t_idx].job;
+            if let Some(since) = self.tasks[t_idx].stall_since.take() {
+                self.jobs[ji].recovery.stalled_fetch_seconds += self.now.since(since).as_secs_f64();
+            }
+            self.tasks[t_idx].stall_deadline = None;
+            if let Some(demand) = self.tasks[t_idx].parked.take() {
+                let sid = task_stream(t_idx, self.tasks[t_idx].phases.len());
+                self.machines[dst].fluid.insert(self.now, sid, demand);
+            }
+        }
+    }
+
+    /// Whether attempt `t_idx`'s stage still expects shuffle bytes from `src`.
+    fn task_fetches_from(&self, t_idx: usize, src: usize) -> bool {
+        let t = &self.tasks[t_idx];
+        self.jobs[t.job].spec.stages[t.stage]
+            .deps
+            .iter()
+            .any(|d| self.jobs[t.job].stages[d.0 as usize].shuffle_by_machine[src] > 0.0)
+    }
+
+    /// Starts the stall clock on a freshly parked attempt and, when a
+    /// timeout is configured, arms its first retry deadline.
+    fn mark_stalled(&mut self, t_idx: usize) {
+        if self.tasks[t_idx].stall_since.is_none() {
+            self.tasks[t_idx].stall_since = Some(self.now);
+        }
+        if let Some(secs) = self.cfg.fetch_timeout_secs {
+            if self.tasks[t_idx].stall_deadline.is_none() {
+                let at = self.now + SimDuration::from_secs_f64(secs);
+                self.tasks[t_idx].stall_deadline = Some(at);
+                self.fetch_timers.schedule(at, ());
+            }
+        }
+    }
+
+    /// Charges a stalled fetch that is being given up on: accumulates its
+    /// stall time, drops its parked stream, and counts the re-plan.
+    fn account_stalled_fetch(&mut self, t_idx: usize) {
+        let ji = self.tasks[t_idx].job;
+        if let Some(since) = self.tasks[t_idx].stall_since.take() {
+            self.jobs[ji].recovery.stalled_fetch_seconds += self.now.since(since).as_secs_f64();
+        }
+        self.tasks[t_idx].stall_deadline = None;
+        self.tasks[t_idx].parked = None;
+        self.jobs[ji].recovery.fetches_replanned += 1;
+    }
+
+    /// Drives stall timeouts: burns retries with exponential backoff, and
+    /// once a fetch (or a gate-blocked stage) exhausts its budget, re-plans
+    /// around the unreachable sender or fails fast.
+    fn check_partition_recovery(&mut self) -> Result<(), RunError> {
+        while self.fetch_timers.peek_time().is_some_and(|t| t <= self.now) {
+            self.fetch_timers.pop();
+        }
+        if self.cfg.fetch_timeout_secs.is_none() {
+            return Ok(());
+        }
+        let max = self.cfg.fetch_max_retries;
+        let base = self.cfg.fetch_backoff_base_secs;
+        for t_idx in 0..self.tasks.len() {
+            let due = {
+                let t = &self.tasks[t_idx];
+                !t.done && !t.killed && t.stall_deadline.is_some_and(|d| d <= self.now)
+            };
+            if !due {
+                continue;
+            }
+            let ji = self.tasks[t_idx].job;
+            self.tasks[t_idx].fetch_retries += 1;
+            let retries = self.tasks[t_idx].fetch_retries;
+            self.jobs[ji].recovery.fetch_retries += 1;
+            if retries <= max {
+                let backoff = base * 2f64.powi(retries as i32 - 1);
+                self.jobs[ji].recovery.fetch_backoff_seconds += backoff;
+                let mut at = self.now + SimDuration::from_secs_f64(backoff);
+                if at <= self.now {
+                    at = SimTime(self.now.0 + 1);
+                }
+                self.tasks[t_idx].stall_deadline = Some(at);
+                self.fetch_timers.schedule(at, ());
+            } else {
+                self.replan_stalled_attempt(t_idx, retries)?;
+            }
+        }
+        for ji in 0..self.jobs.len() {
+            for si in 0..self.jobs[ji].stages.len() {
+                let due = self.jobs[ji].stages[si]
+                    .gate_deadline
+                    .is_some_and(|d| d <= self.now);
+                if !due {
+                    continue;
+                }
+                if !self.stage_gate_blocked(ji, si) {
+                    let run = &mut self.jobs[ji].stages[si];
+                    run.gate_blocked_since = None;
+                    run.gate_deadline = None;
+                    run.gate_retries = 0;
+                    continue;
+                }
+                self.jobs[ji].stages[si].gate_retries += 1;
+                let retries = self.jobs[ji].stages[si].gate_retries;
+                self.jobs[ji].recovery.fetch_retries += 1;
+                if retries <= max {
+                    let backoff = base * 2f64.powi(retries as i32 - 1);
+                    self.jobs[ji].recovery.fetch_backoff_seconds += backoff;
+                    let mut at = self.now + SimDuration::from_secs_f64(backoff);
+                    if at <= self.now {
+                        at = SimTime(self.now.0 + 1);
+                    }
+                    self.jobs[ji].stages[si].gate_deadline = Some(at);
+                    self.fetch_timers.schedule(at, ());
+                } else {
+                    let ti = self.first_pending_task(ji, si);
+                    {
+                        let run = &mut self.jobs[ji].stages[si];
+                        run.gate_blocked_since = None;
+                        run.gate_deadline = None;
+                    }
+                    self.resolve_unreachable(ji, si, ti, retries)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// A stalled fetch exhausted its retries: charge and abort the attempt,
+    /// re-queue the logical task, and if no reachable machine can host it,
+    /// escalate to sender-level re-planning.
+    fn replan_stalled_attempt(&mut self, t_idx: usize, retries: u32) -> Result<(), RunError> {
+        let (ji, si, ti) = {
+            let t = &self.tasks[t_idx];
+            (t.job, t.stage, t.task)
+        };
+        self.account_stalled_fetch(t_idx);
+        self.abort_task(t_idx)?;
+        let any_host = (0..self.n_machines())
+            .any(|m| self.machines[m].alive && !self.quarantined[m] && self.can_host(m, ji, si));
+        if any_host {
+            return Ok(());
+        }
+        self.resolve_unreachable(ji, si, ti, retries)
+    }
+
+    /// Whether machine `m` can host a task of stage `(ji, si)` under the
+    /// current cuts. Only shuffle fetches traverse the network in this model
+    /// (disk-block and memory inputs are charged locally wherever the task
+    /// runs), so the gate is: every machine still owed shuffle bytes must
+    /// reach `m`.
+    fn can_host(&self, m: usize, ji: usize, si: usize) -> bool {
+        if self.cut_pairs.is_empty() {
+            return true;
+        }
+        for d in &self.jobs[ji].spec.stages[si].deps {
+            let sbm = &self.jobs[ji].stages[d.0 as usize].shuffle_by_machine;
+            for (s, &b) in sbm.iter().enumerate() {
+                if b > 0.0 && s != m && self.cut_pairs.contains(&(s, m)) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Sender-level re-planning for a task no reachable machine can host:
+    /// pick the live machine `m*` reaching the most senders, and for every
+    /// sender cut from it, re-run the producers elsewhere (lineage
+    /// resubmission) — or fail fast with [`RunError::Unreachable`] if some
+    /// producer has nowhere reachable to go.
+    fn resolve_unreachable(
+        &mut self,
+        ji: usize,
+        si: usize,
+        ti: usize,
+        retries: u32,
+    ) -> Result<(), RunError> {
+        let deps: Vec<usize> = self.jobs[ji].spec.stages[si]
+            .deps
+            .iter()
+            .map(|d| d.0 as usize)
+            .collect();
+        let n = self.n_machines();
+        let senders: Vec<usize> = (0..n)
+            .filter(|&s| {
+                deps.iter()
+                    .any(|&d| self.jobs[ji].stages[d].shuffle_by_machine[s] > 0.0)
+            })
+            .collect();
+        let unreachable = |machine: usize| RunError::Unreachable {
+            job: JobId(ji as u32),
+            stage: StageId(si as u32),
+            task: TaskId(ti as u32),
+            machine,
+            retries,
+        };
+        if senders.is_empty() {
+            // No shuffle lineage to resubmit: nothing recovery can move.
+            return Err(unreachable(self.first_unreachable_source(ji, si)));
+        }
+        let mut best: Option<(usize, usize)> = None;
+        for m in 0..n {
+            if !self.machines[m].alive || self.quarantined[m] {
+                continue;
+            }
+            let reach = senders
+                .iter()
+                .filter(|&&s| s == m || !self.cut_pairs.contains(&(s, m)))
+                .count();
+            if best.is_none_or(|(_, r)| reach > r) {
+                best = Some((m, reach));
+            }
+        }
+        let Some((mstar, _)) = best else {
+            return Err(RunError::all_machines_crashed(self.now));
+        };
+        let offending: Vec<usize> = senders
+            .iter()
+            .copied()
+            .filter(|&s| s != mstar && self.cut_pairs.contains(&(s, mstar)))
+            .collect();
+        // Feasibility first: every offending sender's producers must have a
+        // live, unquarantined machine that reaches `m*` to re-run on —
+        // otherwise resubmission just moves the starvation.
+        for &s in &offending {
+            for &d in &deps {
+                if self.jobs[ji].stages[d].completed_on[s].is_empty() {
+                    continue;
+                }
+                let feasible = (0..n).any(|m| {
+                    m != s
+                        && self.machines[m].alive
+                        && !self.quarantined[m]
+                        && !self.cut_pairs.contains(&(m, mstar))
+                        && self.can_host(m, ji, d)
+                });
+                if !feasible {
+                    return Err(unreachable(s));
+                }
+            }
+        }
+        for &s in &offending {
+            // Abort every attempt still fetching from the unreachable sender.
+            for t_idx in 0..self.tasks.len() {
+                let live = {
+                    let t = &self.tasks[t_idx];
+                    !t.done && !t.killed && t.fetch_live
+                };
+                if live && self.task_fetches_from(t_idx, s) {
+                    self.account_stalled_fetch(t_idx);
+                    self.abort_task(t_idx)?;
+                }
+            }
+            // Lineage resubmission: re-run the producers whose outputs sit
+            // on the unreachable machine, and keep new work off it until a
+            // heal changes connectivity.
+            self.lose_shuffle_outputs(s)?;
+            self.quarantined[s] = true;
+        }
+        Ok(())
+    }
+
+    /// A ready stage with pending tasks none of the live, unquarantined
+    /// machines can host: the whole stage is starved by cuts.
+    fn stage_gate_blocked(&self, ji: usize, si: usize) -> bool {
+        let run = &self.jobs[ji].stages[si];
+        if !run.ready || run.done {
+            return false;
+        }
+        let pending = !run.nopref.is_empty() || run.by_pref.iter().any(|q| !q.is_empty());
+        if !pending {
+            return false;
+        }
+        !(0..self.n_machines())
+            .any(|m| self.machines[m].alive && !self.quarantined[m] && self.can_host(m, ji, si))
+    }
+
+    /// An exemplar pending task of a gate-blocked stage (the next one the
+    /// scheduler would have popped), for error attribution.
+    fn first_pending_task(&self, ji: usize, si: usize) -> usize {
+        let run = &self.jobs[ji].stages[si];
+        if let Some(&ti) = run.nopref.last() {
+            return ti as usize;
+        }
+        for q in &run.by_pref {
+            if let Some(&ti) = q.last() {
+                return ti as usize;
+            }
+        }
+        0
+    }
+
+    /// After assignment: start (or clear) the gate-blocked clock on stages
+    /// no reachable machine can host, so the retry/backoff machinery covers
+    /// pending tasks as well as in-flight fetches.
+    fn arm_gate_timers(&mut self) {
+        let timeout = self.cfg.fetch_timeout_secs;
+        for ji in 0..self.jobs.len() {
+            for si in 0..self.jobs[ji].stages.len() {
+                let blocked = self.stage_gate_blocked(ji, si);
+                let now = self.now;
+                let run = &mut self.jobs[ji].stages[si];
+                if !blocked {
+                    if run.gate_blocked_since.is_some() {
+                        run.gate_blocked_since = None;
+                        run.gate_deadline = None;
+                        run.gate_retries = 0;
+                    }
+                    continue;
+                }
+                if run.gate_blocked_since.is_none() {
+                    run.gate_blocked_since = Some(now);
+                    if let Some(secs) = timeout {
+                        let at = now + SimDuration::from_secs_f64(secs);
+                        run.gate_deadline = Some(at);
+                        self.fetch_timers.schedule(at, ());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Nothing can ever run again but jobs remain: attribute the starvation.
+    /// A parked fetch or a gate-blocked stage names the machine holding the
+    /// unreachable bytes; `None` means the partitions are not the cause.
+    fn partition_starvation_error(&self) -> Option<RunError> {
+        for t in &self.tasks {
+            if t.done || t.killed || (t.stall_since.is_none() && t.parked.is_none()) {
+                continue;
+            }
+            let src = (0..self.n_machines())
+                .find(|&s| {
+                    self.cut_pairs.contains(&(s, t.machine))
+                        && self.jobs[t.job].spec.stages[t.stage].deps.iter().any(|d| {
+                            self.jobs[t.job].stages[d.0 as usize].shuffle_by_machine[s] > 0.0
+                        })
+                })
+                .unwrap_or(t.machine);
+            return Some(RunError::Unreachable {
+                job: JobId(t.job as u32),
+                stage: StageId(t.stage as u32),
+                task: TaskId(t.task as u32),
+                machine: src,
+                retries: t.fetch_retries,
+            });
+        }
+        for ji in 0..self.jobs.len() {
+            for si in 0..self.jobs[ji].stages.len() {
+                if !self.stage_gate_blocked(ji, si) {
+                    continue;
+                }
+                let ti = self.first_pending_task(ji, si);
+                return Some(RunError::Unreachable {
+                    job: JobId(ji as u32),
+                    stage: StageId(si as u32),
+                    task: TaskId(ti as u32),
+                    machine: self.first_unreachable_source(ji, si),
+                    retries: self.jobs[ji].stages[si].gate_retries,
+                });
+            }
+        }
+        None
+    }
+
+    /// First machine owed shuffle bytes for `(ji, si)` that some live
+    /// machine cannot reach — the exemplar source named in starvation
+    /// errors.
+    fn first_unreachable_source(&self, ji: usize, si: usize) -> usize {
+        for d in &self.jobs[ji].spec.stages[si].deps {
+            let sbm = &self.jobs[ji].stages[d.0 as usize].shuffle_by_machine;
+            for (s, &b) in sbm.iter().enumerate() {
+                if b > 0.0
+                    && (0..self.n_machines())
+                        .any(|m| self.machines[m].alive && self.cut_pairs.contains(&(s, m)))
+                {
+                    return s;
+                }
+            }
+        }
+        0
     }
 
     /// Tears down one in-flight attempt: removes its active stream from its
@@ -792,6 +1334,9 @@ impl Exec {
                 if !self.machines[m].alive {
                     continue;
                 }
+                if self.partitions_on && self.quarantined[m] {
+                    continue;
+                }
                 if self.machines[m].running < self.slots {
                     if let Some((ji, si, ti)) = self.pick_task(m) {
                         self.launch_task(m, ji, si, ti, false);
@@ -824,15 +1369,18 @@ impl Exec {
             if t.done || t.killed || t.speculative || t.machine == m {
                 continue;
             }
+            if self.partitions_on && !self.can_host(m, t.job, t.stage) {
+                continue;
+            }
             let key = (t.job, t.stage, t.task);
             let run = &self.jobs[t.job].stages[t.stage];
             if run.task_done[t.task] || self.spec_copies.contains(&key) {
                 continue;
             }
-            if run.durations.len() * 2 < run.total {
+            if !self.stage_has_enough_samples(t.job, t.stage) {
                 continue;
             }
-            let med = median(&run.durations);
+            let med = self.stage_median(t.job, t.stage);
             if med > 0.0 && self.now.since(t.start).as_secs_f64() > mult * med {
                 return Some(key);
             }
@@ -840,16 +1388,53 @@ impl Exec {
         None
     }
 
+    /// Straggler threshold median for a stage: the global attempt median,
+    /// or — with per-machine pools on — the median of per-machine medians,
+    /// so one degraded machine cannot drag the threshold up.
+    fn stage_median(&self, ji: usize, si: usize) -> f64 {
+        let run = &self.jobs[ji].stages[si];
+        if !self.cfg.per_machine_duration_pools {
+            return median(&run.durations);
+        }
+        let meds: Vec<f64> = run
+            .durations_pm
+            .iter()
+            .filter(|v| !v.is_empty())
+            .map(|v| median(v))
+            .collect();
+        median(&meds)
+    }
+
+    /// Enough samples to trust the speculation median: half the stage
+    /// complete, and with per-machine pools on, at least two machines
+    /// represented (a single machine's pool carries no comparison signal).
+    fn stage_has_enough_samples(&self, ji: usize, si: usize) -> bool {
+        let run = &self.jobs[ji].stages[si];
+        if run.durations.len() * 2 < run.total {
+            return false;
+        }
+        !self.cfg.per_machine_duration_pools
+            || run.durations_pm.iter().filter(|v| !v.is_empty()).count() >= 2
+    }
+
     fn pick_task(&mut self, m: usize) -> Option<(usize, usize, usize)> {
         let n_jobs = self.jobs.len();
         for jo in 0..n_jobs {
             let ji = (self.rr_job + jo) % n_jobs;
             for si in 0..self.jobs[ji].stages.len() {
-                let run = &mut self.jobs[ji].stages[si];
-                if !run.ready || run.done {
+                {
+                    let run = &self.jobs[ji].stages[si];
+                    if !run.ready || run.done {
+                        continue;
+                    }
+                }
+                // Partition gate: a stage whose shuffle senders cannot all
+                // reach `m` must not land here (its fetch would stall on
+                // arrival).
+                if self.partitions_on && !self.can_host(m, ji, si) {
                     continue;
                 }
-                if let Some(ti) = run.by_pref[m].pop() {
+                if let Some(ti) = self.jobs[ji].stages[si].by_pref[m].pop() {
                     self.rr_job = ji + 1;
                     return Some((ji, si, ti as usize));
                 }
@@ -858,10 +1443,16 @@ impl Exec {
         for jo in 0..n_jobs {
             let ji = (self.rr_job + jo) % n_jobs;
             for si in 0..self.jobs[ji].stages.len() {
-                let run = &mut self.jobs[ji].stages[si];
-                if !run.ready || run.done {
+                {
+                    let run = &self.jobs[ji].stages[si];
+                    if !run.ready || run.done {
+                        continue;
+                    }
+                }
+                if self.partitions_on && !self.can_host(m, ji, si) {
                     continue;
                 }
+                let run = &mut self.jobs[ji].stages[si];
                 if let Some(ti) = run.nopref.pop() {
                     self.rr_job = ji + 1;
                     return Some((ji, si, ti as usize));
@@ -974,6 +1565,11 @@ impl Exec {
             recompute,
             fetch_live: matches!(spec.input, InputSpec::ShuffleFetch { .. }),
             io_started: 0.0,
+            stall_since: None,
+            stall_deadline: None,
+            fetch_retries: 0,
+            parked: None,
+            cur_demand: None,
         });
         self.machines[m].running += 1;
         if self.jobs[ji].stages[si].started.is_none() {
@@ -1055,6 +1651,9 @@ impl Exec {
                 self.tasks[t_idx].io_started += demand.disk_read.iter().sum::<f64>()
                     + demand.disk_write.iter().sum::<f64>()
                     + demand.rx;
+                if self.partitions_on {
+                    self.tasks[t_idx].cur_demand = Some(demand.clone());
+                }
                 let phase = self.tasks[t_idx].phases.len();
                 self.machines[machine]
                     .fluid
@@ -1219,6 +1818,9 @@ impl Exec {
         }
         if let Some(mult) = self.cfg.speculation_multiplier {
             self.jobs[ji].stages[si].durations.push(elapsed);
+            if self.cfg.per_machine_duration_pools {
+                self.jobs[ji].stages[si].durations_pm[machine].push(elapsed);
+            }
             self.schedule_speculation_wakeups(ji, si, mult);
         }
         if self.jobs[ji].stages[si].done {
@@ -1261,11 +1863,10 @@ impl Exec {
     /// wake-up there so the idle-slot sweep observes it even if no other
     /// event falls in between (e.g. the straggler is the last stream alive).
     fn schedule_speculation_wakeups(&mut self, ji: usize, si: usize, mult: f64) {
-        let run = &self.jobs[ji].stages[si];
-        if run.done || run.durations.len() * 2 < run.total {
+        if self.jobs[ji].stages[si].done || !self.stage_has_enough_samples(ji, si) {
             return;
         }
-        let med = median(&run.durations);
+        let med = self.stage_median(ji, si);
         if med <= 0.0 {
             return;
         }
@@ -1320,6 +1921,10 @@ impl Exec {
         stats.wasted_work_nanos = (total_recovery.wasted_work_seconds * 1e9).round() as u64;
         stats.recompute_nanos = (total_recovery.recompute_seconds * 1e9).round() as u64;
         stats.wasted_bytes = total_recovery.wasted_bytes.round() as u64;
+        stats.fetch_retries = total_recovery.fetch_retries;
+        stats.stalled_fetch_nanos = (total_recovery.stalled_fetch_seconds * 1e9).round() as u64;
+        stats.fetch_backoff_nanos = (total_recovery.fetch_backoff_seconds * 1e9).round() as u64;
+        stats.fetches_replanned = total_recovery.fetches_replanned;
         let jobs = self
             .jobs
             .into_iter()

@@ -67,6 +67,22 @@ pub fn straggler_plan(
     FaultPlan::random_stragglers(seed, &spec, intensity)
 }
 
+/// Partition-only variant of [`sweep_plan`]: one seeded partition window
+/// isolating `≈ intensity` machines (each alone, the rest in a majority
+/// group) landing mid-horizon and healing late enough that fetch recovery
+/// must act rather than wait it out. No crashes, degradations, or
+/// stragglers — every makespan stretch is attributable to unreachable
+/// fetches alone, which is what the partition sweep ranks recovery modes on.
+pub fn partition_plan(
+    seed: u64,
+    cluster: &ClusterSpec,
+    horizon_secs: f64,
+    intensity: f64,
+) -> FaultPlan {
+    let spec = FaultSpec::new(cluster, SimTime::from_secs_f64(horizon_secs), 0, 0);
+    FaultPlan::random_partitions(seed, &spec, intensity)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -83,6 +99,19 @@ mod tests {
         );
         assert!(!plan.is_empty());
         assert!(straggler_plan(7, &cluster, 60.0, 2, 10, 0.0).is_empty());
+    }
+
+    #[test]
+    fn partition_plan_is_seeded_and_partition_only() {
+        let cluster = ClusterSpec::new(5, MachineSpec::m2_4xlarge());
+        let plan = partition_plan(7, &cluster, 100.0, 1.0);
+        assert!(plan.validate(&cluster).is_ok());
+        assert!(plan.has_partitions());
+        assert_eq!(
+            plan.events(),
+            partition_plan(7, &cluster, 100.0, 1.0).events()
+        );
+        assert!(partition_plan(7, &cluster, 100.0, 0.0).is_empty());
     }
 
     #[test]

@@ -15,9 +15,10 @@ mod testsupport;
 use cluster::FaultPlan;
 use monotasks_core::MonoConfig;
 use proptest::prelude::*;
+use simcore::SimTime;
 use sparklike::SparkConfig;
 use testsupport::random_job;
-use workloads::sweep_plan;
+use workloads::{partition_plan, sweep_plan};
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
@@ -204,5 +205,127 @@ proptest! {
             testsupport::jobs_debug_sans_host_time(&b.jobs)
         );
         prop_assert_eq!(format!("{:?}", a.records), format!("{:?}", b.records));
+    }
+
+    /// Zero-intensity partition plans are empty, and a plan whose partition
+    /// window opens only after the job has finished leaves both executors
+    /// bit-identical (`f64::to_bits`) to the plan-free run — the partition
+    /// machinery arms but never fires.
+    #[test]
+    fn inert_partition_plan_is_bit_identical(rj in random_job(), seed in 0u64..1000) {
+        let (cluster, job, blocks) = rj.build();
+        prop_assert!(partition_plan(seed, &cluster, 60.0, 0.0).is_empty());
+
+        let mono_cfg = MonoConfig { collect_traces: false, ..MonoConfig::default() };
+        let plain = monotasks_core::run(&cluster, &[(job.clone(), blocks.clone())], &mono_cfg);
+        // One seeded partition landing strictly after the makespan: the
+        // executor runs with partition hooks armed but no cut ever applies.
+        let after = plain.makespan.as_secs_f64() * 2.0 + 10.0;
+        let late = FaultPlan::new().partition(
+            vec![vec![0], (1..cluster.machines).collect()],
+            SimTime::from_secs_f64(after),
+            Some(SimTime::from_secs_f64(after + 5.0)),
+        );
+        prop_assert!(late.has_partitions());
+        let armed = monotasks_core::run_with_faults(
+            &cluster, &[(job.clone(), blocks.clone())], &mono_cfg, &late,
+        ).expect("late partition must not fail");
+        prop_assert_eq!(
+            plain.makespan.as_secs_f64().to_bits(),
+            armed.makespan.as_secs_f64().to_bits()
+        );
+        prop_assert_eq!(plain.stats.events, armed.stats.events);
+        prop_assert!(armed.jobs[0].recovery.is_zero());
+
+        let spark_cfg = SparkConfig::default();
+        let plain = sparklike::run(&cluster, &[(job.clone(), blocks.clone())], &spark_cfg);
+        let after = plain.makespan.as_secs_f64() * 2.0 + 10.0;
+        let late = FaultPlan::new().partition(
+            vec![vec![0], (1..cluster.machines).collect()],
+            SimTime::from_secs_f64(after),
+            Some(SimTime::from_secs_f64(after + 5.0)),
+        );
+        let armed = sparklike::run_with_faults(
+            &cluster, &[(job, blocks)], &spark_cfg, &late,
+        ).expect("late partition must not fail");
+        prop_assert_eq!(
+            plain.makespan.as_secs_f64().to_bits(),
+            armed.makespan.as_secs_f64().to_bits()
+        );
+        prop_assert_eq!(plain.stats.events, armed.stats.events);
+        prop_assert!(armed.jobs[0].recovery.is_zero());
+    }
+
+    /// Partition recovery is fully deterministic: the same seeded partition
+    /// plan run twice through each executor agrees byte-for-byte on reports
+    /// and counters — or fails both times with the identical structured
+    /// error.
+    #[test]
+    fn partition_runs_are_run_to_run_identical(
+        rj in random_job(),
+        seed in 0u64..1000,
+        intensity in 0.5f64..2.5,
+    ) {
+        let (cluster, job, blocks) = rj.build_replicated(2);
+        let plan = partition_plan(seed, &cluster, 60.0, intensity);
+        let again = partition_plan(seed, &cluster, 60.0, intensity);
+        prop_assert_eq!(plan.events(), again.events());
+
+        let mono_cfg = MonoConfig {
+            collect_traces: false,
+            fetch_timeout_secs: Some(2.0),
+            ..MonoConfig::default()
+        };
+        let a = monotasks_core::run_with_faults(
+            &cluster, &[(job.clone(), blocks.clone())], &mono_cfg, &plan,
+        );
+        let b = monotasks_core::run_with_faults(
+            &cluster, &[(job.clone(), blocks.clone())], &mono_cfg, &plan,
+        );
+        match (&a, &b) {
+            (Ok(x), Ok(y)) => {
+                prop_assert_eq!(
+                    x.makespan.as_secs_f64().to_bits(),
+                    y.makespan.as_secs_f64().to_bits()
+                );
+                prop_assert_eq!(x.stats.events, y.stats.events);
+                prop_assert_eq!(x.stats.fetch_retries, y.stats.fetch_retries);
+                prop_assert_eq!(x.stats.stalled_fetch_nanos, y.stats.stalled_fetch_nanos);
+                prop_assert_eq!(x.stats.fetches_replanned, y.stats.fetches_replanned);
+                prop_assert_eq!(
+                    testsupport::jobs_debug_sans_host_time(&x.jobs),
+                    testsupport::jobs_debug_sans_host_time(&y.jobs)
+                );
+                prop_assert_eq!(format!("{:?}", x.records), format!("{:?}", y.records));
+            }
+            (Err(x), Err(y)) => prop_assert_eq!(x, y),
+            _ => prop_assert!(false, "one run failed, the other did not"),
+        }
+
+        let spark_cfg = SparkConfig {
+            fetch_timeout_secs: Some(2.0),
+            ..SparkConfig::default()
+        };
+        let a = sparklike::run_with_faults(&cluster, &[(job.clone(), blocks.clone())], &spark_cfg, &plan);
+        let b = sparklike::run_with_faults(&cluster, &[(job, blocks)], &spark_cfg, &plan);
+        match (&a, &b) {
+            (Ok(x), Ok(y)) => {
+                prop_assert_eq!(
+                    x.makespan.as_secs_f64().to_bits(),
+                    y.makespan.as_secs_f64().to_bits()
+                );
+                prop_assert_eq!(x.stats.events, y.stats.events);
+                prop_assert_eq!(x.stats.fetch_retries, y.stats.fetch_retries);
+                prop_assert_eq!(x.stats.stalled_fetch_nanos, y.stats.stalled_fetch_nanos);
+                prop_assert_eq!(x.stats.fetches_replanned, y.stats.fetches_replanned);
+                prop_assert_eq!(
+                    testsupport::jobs_debug_sans_host_time(&x.jobs),
+                    testsupport::jobs_debug_sans_host_time(&y.jobs)
+                );
+                prop_assert_eq!(format!("{:?}", x.tasks), format!("{:?}", y.tasks));
+            }
+            (Err(x), Err(y)) => prop_assert_eq!(x, y),
+            _ => prop_assert!(false, "one run failed, the other did not"),
+        }
     }
 }
