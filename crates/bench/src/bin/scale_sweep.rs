@@ -22,8 +22,20 @@
 //! Usage:
 //!   scale_sweep [--out PATH] [--points 5,20,50] [--workload sort|bdb]
 //!               [--epsilon 0,0.01] [--quantum-ms 0,1] [--templates on,off]
+//!               [--racks SIZE] [--oversub F] [--shards 1,8]
+//!               [--tasks-per-machine N]
 //!               [--check BASELINE.json --max-factor 2.0 --max-drift PCT]
 //!               [--max-control SECS]
+//!
+//! `--racks SIZE` switches the fabric to the rack-sharded hierarchy:
+//! machines are grouped into racks of SIZE with aggregation bandwidth
+//! `SIZE × NIC / oversub` (`--oversub`, default 4). `--shards` lists worker
+//! thread counts to measure; the sweep *asserts* that every shard count
+//! produces the bit-identical simulated makespan at each point — shards
+//! trade wall-clock only, never results. `--tasks-per-machine N` overrides
+//! the sort's one-map-per-128-MiB sizing (32 tasks/machine) with N coarser
+//! tasks per machine — shuffle bookkeeping is Θ(maps × reduces), so the
+//! 10k-machine point needs this to fit in host memory.
 //!
 //! The output path defaults to `$SCALE_SWEEP_OUT` or `BENCH_PR4.json`, so
 //! each PR appends a new record to the perf trajectory instead of silently
@@ -68,10 +80,19 @@ impl Workload {
         }
     }
 
-    fn jobs(self, machines: usize) -> Vec<(JobSpec, BlockMap)> {
+    fn jobs(self, machines: usize, tasks_per_machine: usize) -> Vec<(JobSpec, BlockMap)> {
         match self {
             Workload::Sort => {
-                let cfg = SortConfig::new(GIB_PER_MACHINE * machines as f64, 10, machines, 2);
+                let mut cfg = SortConfig::new(GIB_PER_MACHINE * machines as f64, 10, machines, 2);
+                // Shuffle bookkeeping is Θ(maps × reduces); the default
+                // one-task-per-128-MiB sizing (32 tasks/machine weak-scaled)
+                // needs ~450 GB of host RAM at 10k machines, so the largest
+                // points trade task granularity for feasibility explicitly.
+                if tasks_per_machine > 0 {
+                    let half = (machines * tasks_per_machine / 2).max(1);
+                    cfg.map_tasks = Some(half);
+                    cfg.reduce_tasks = Some(half);
+                }
                 vec![sort_job(&cfg)]
             }
             // All ten queries in one run: a stream of short stages over
@@ -104,6 +125,10 @@ struct Point {
     epsilon: f64,
     quantum_ms: f64,
     templates: bool,
+    /// Machines per rack (0 = flat single-level fabric).
+    racks: usize,
+    /// Fabric worker threads (1 = everything on the simulation thread).
+    shards: usize,
     makespan_s: f64,
     wall_s: f64,
     events: u64,
@@ -125,15 +150,24 @@ struct Point {
     drift_pct: Option<f64>,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_point(
     workload: Workload,
     machines: usize,
     epsilon: f64,
     quantum_ms: f64,
     templates: bool,
+    racks: usize,
+    oversub: f64,
+    shards: usize,
+    tasks_per_machine: usize,
 ) -> Point {
-    let cluster = ClusterSpec::new(machines, MachineSpec::m2_4xlarge());
-    let jobs = workload.jobs(machines);
+    let cluster = if racks > 0 {
+        ClusterSpec::with_racks(machines, MachineSpec::m2_4xlarge(), racks, oversub)
+    } else {
+        ClusterSpec::new(machines, MachineSpec::m2_4xlarge())
+    };
+    let jobs = workload.jobs(machines, tasks_per_machine);
     let tasks = jobs
         .iter()
         .flat_map(|(job, _)| job.stages.iter())
@@ -149,6 +183,7 @@ fn run_point(
         fabric_epsilon: epsilon,
         fabric_quantum_secs: quantum_ms / 1e3,
         execution_templates: templates,
+        fabric_shards: shards,
         ..monotasks_core::MonoConfig::default()
     };
     let start = Instant::now();
@@ -177,6 +212,8 @@ fn run_point(
         epsilon,
         quantum_ms,
         templates,
+        racks,
+        shards,
         makespan_s: out.makespan.as_secs_f64(),
         wall_s,
         events: out.stats.events,
@@ -203,6 +240,14 @@ struct Args {
     epsilons: Vec<f64>,
     quantums_ms: Vec<f64>,
     templates: Vec<bool>,
+    /// Machines per rack (0 = flat fabric, the default).
+    racks: usize,
+    /// Rack core oversubscription factor (agg = rack_size × NIC / oversub).
+    oversub: f64,
+    /// Fabric worker-thread counts to measure per point.
+    shards: Vec<usize>,
+    /// Sort tasks per machine (0 = one map per 128 MiB block, the default).
+    tasks_per_machine: usize,
     check: Option<String>,
     max_factor: f64,
     max_drift: Option<f64>,
@@ -219,6 +264,10 @@ fn parse_args() -> Args {
         epsilons: vec![0.0],
         quantums_ms: vec![0.0],
         templates: vec![true],
+        racks: 0,
+        oversub: 4.0,
+        shards: vec![1],
+        tasks_per_machine: 0,
         check: None,
         max_factor: 2.0,
         max_drift: None,
@@ -264,6 +313,19 @@ fn parse_args() -> Args {
                     })
                     .collect();
             }
+            "--racks" => args.racks = value("--racks").parse().expect("bad --racks"),
+            "--oversub" => args.oversub = value("--oversub").parse().expect("bad --oversub"),
+            "--shards" => {
+                args.shards = value("--shards")
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("bad --shards entry"))
+                    .collect();
+            }
+            "--tasks-per-machine" => {
+                args.tasks_per_machine = value("--tasks-per-machine")
+                    .parse()
+                    .expect("bad --tasks-per-machine")
+            }
             "--check" => args.check = Some(value("--check")),
             "--max-factor" => {
                 args.max_factor = value("--max-factor").parse().expect("bad --max-factor")
@@ -287,6 +349,10 @@ struct BasePoint {
     epsilon: f64,
     quantum_ms: f64,
     templates: bool,
+    /// Machines per rack (0 for flat-fabric records, the pre-PR9 default).
+    racks: usize,
+    /// Fabric worker threads (1 for pre-PR9 records).
+    shards: usize,
     wall_s: f64,
     makespan_s: f64,
 }
@@ -323,6 +389,8 @@ fn baseline_points(json: &str) -> Vec<BasePoint> {
                 epsilon: field(line, "\"epsilon\"").unwrap_or(0.0),
                 quantum_ms: field(line, "\"quantum_ms\"").unwrap_or(0.0),
                 templates: !line.contains("\"templates\": false"),
+                racks: field(line, "\"racks\"").unwrap_or(0.0) as usize,
+                shards: field(line, "\"shards\"").unwrap_or(1.0) as usize,
                 wall_s,
                 makespan_s,
             })
@@ -342,12 +410,14 @@ fn main() {
         "per-event control-plane cost proportional to what the event touches",
     );
     println!(
-        "{:>9} {:>7} {:>6} {:>5} {:>4} {:>11} {:>9} {:>10} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>6} {:>8}",
+        "{:>9} {:>7} {:>6} {:>5} {:>4} {:>5} {:>6} {:>11} {:>9} {:>10} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>6} {:>8}",
         "machines",
         "tasks",
         "eps",
         "dt_ms",
         "tmpl",
+        "racks",
+        "shards",
         "makespan(s)",
         "wall(s)",
         "events",
@@ -367,50 +437,84 @@ fn main() {
         for &eps in &args.epsilons {
             for &q in &args.quantums_ms {
                 for &tmpl in &args.templates {
-                    let mut p = run_point(args.workload, m, eps, q, tmpl);
-                    // Drift vs the exact combo measured earlier in this run
-                    // (the combos iterate ε then Δ, so list 0 first to get
-                    // drift columns for the rest of the matrix).
-                    if eps > 0.0 || q > 0.0 {
-                        p.drift_pct = points
-                            .iter()
-                            .find(|e| {
-                                e.machines == m
-                                    && e.epsilon == 0.0
-                                    && e.quantum_ms == 0.0
-                                    && e.templates == tmpl
-                            })
-                            .map(|e| (p.makespan_s - e.makespan_s) / e.makespan_s * 100.0);
+                    for &shards in &args.shards {
+                        let mut p = run_point(
+                            args.workload,
+                            m,
+                            eps,
+                            q,
+                            tmpl,
+                            args.racks,
+                            args.oversub,
+                            shards,
+                            args.tasks_per_machine,
+                        );
+                        // Shard-count invariance is a hard correctness claim,
+                        // not a budget: every shard count at the same config
+                        // must produce the bit-identical simulated makespan.
+                        if let Some(first) = points.iter().find(|e| {
+                            e.machines == m
+                                && e.epsilon == eps
+                                && e.quantum_ms == q
+                                && e.templates == tmpl
+                                && e.racks == args.racks
+                        }) {
+                            assert!(
+                                first.makespan_s.to_bits() == p.makespan_s.to_bits(),
+                                "shard-count invariance violated at {m} machines: \
+                                 {} shards -> {}s, {shards} shards -> {}s",
+                                first.shards,
+                                first.makespan_s,
+                                p.makespan_s
+                            );
+                        }
+                        // Drift vs the exact combo measured earlier in this
+                        // run (the combos iterate ε then Δ, so list 0 first
+                        // to get drift columns for the rest of the matrix).
+                        if eps > 0.0 || q > 0.0 {
+                            p.drift_pct = points
+                                .iter()
+                                .find(|e| {
+                                    e.machines == m
+                                        && e.epsilon == 0.0
+                                        && e.quantum_ms == 0.0
+                                        && e.templates == tmpl
+                                        && e.racks == args.racks
+                                })
+                                .map(|e| (p.makespan_s - e.makespan_s) / e.makespan_s * 100.0);
+                        }
+                        let looked_up = p.template_hits + p.template_misses;
+                        println!(
+                            "{:>9} {:>7} {:>6} {:>5} {:>4} {:>5} {:>6} {:>11.1} {:>9.2} {:>10} {:>10} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>6} {:>8}",
+                            p.machines,
+                            p.tasks,
+                            p.epsilon,
+                            p.quantum_ms,
+                            if p.templates { "on" } else { "off" },
+                            p.racks,
+                            p.shards,
+                            p.makespan_s,
+                            p.wall_s,
+                            p.events,
+                            p.reallocs,
+                            p.alloc_s,
+                            p.machine_alloc_s,
+                            p.drain_s,
+                            p.completion_s,
+                            p.control_s,
+                            p.template_build_s,
+                            p.instantiate_s,
+                            if looked_up > 0 {
+                                format!("{:.1}", p.template_hits as f64 / looked_up as f64 * 100.0)
+                            } else {
+                                "-".into()
+                            },
+                            p.drift_pct
+                                .map(|d| format!("{d:+.3}"))
+                                .unwrap_or_else(|| "-".into()),
+                        );
+                        points.push(p);
                     }
-                    let looked_up = p.template_hits + p.template_misses;
-                    println!(
-                        "{:>9} {:>7} {:>6} {:>5} {:>4} {:>11.1} {:>9.2} {:>10} {:>10} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>6} {:>8}",
-                        p.machines,
-                        p.tasks,
-                        p.epsilon,
-                        p.quantum_ms,
-                        if p.templates { "on" } else { "off" },
-                        p.makespan_s,
-                        p.wall_s,
-                        p.events,
-                        p.reallocs,
-                        p.alloc_s,
-                        p.machine_alloc_s,
-                        p.drain_s,
-                        p.completion_s,
-                        p.control_s,
-                        p.template_build_s,
-                        p.instantiate_s,
-                        if looked_up > 0 {
-                            format!("{:.1}", p.template_hits as f64 / looked_up as f64 * 100.0)
-                        } else {
-                            "-".into()
-                        },
-                        p.drift_pct
-                            .map(|d| format!("{d:+.3}"))
-                            .unwrap_or_else(|| "-".into()),
-                    );
-                    points.push(p);
                 }
             }
         }
@@ -449,14 +553,20 @@ fn main() {
                     && b.machines == p.machines
                     && close(b.epsilon, p.epsilon)
                     && close(b.quantum_ms, p.quantum_ms)
+                    && b.racks == p.racks
             };
             // Prefer the baseline point measured with the same templates
-            // flag; fall back to any matching config — makespans must agree
-            // either way, and wall budgets stay meaningful because templates
-            // only ever make the control plane cheaper.
+            // flag and shard count; fall back to any matching config —
+            // makespans must agree either way (templates are a pure
+            // control-plane optimization and shard counts are proven
+            // result-invariant above), and wall budgets stay meaningful.
             let b = base
                 .iter()
-                .find(|b| same_cfg(b) && b.templates == p.templates)
+                .find(|b| same_cfg(b) && b.templates == p.templates && b.shards == p.shards)
+                .or_else(|| {
+                    base.iter()
+                        .find(|b| same_cfg(b) && b.templates == p.templates)
+                })
                 .or_else(|| base.iter().find(same_cfg));
             let Some(b) = b else {
                 println!(
@@ -505,6 +615,7 @@ fn main() {
                             && b.machines == p.machines
                             && b.epsilon == 0.0
                             && b.quantum_ms == 0.0
+                            && b.racks == p.racks
                     });
                     match exact {
                         Some(e) => {
@@ -549,7 +660,8 @@ fn main() {
         // per-stage lines carry none of those keys.
         json.push_str(&format!(
             "    {{\"workload\": \"{}\", \"machines\": {}, \"tasks\": {}, \"epsilon\": {}, \
-             \"quantum_ms\": {}, \"templates\": {}, \"makespan_s\": {:.3}, \
+             \"quantum_ms\": {}, \"templates\": {}, \"racks\": {}, \"shards\": {}, \
+             \"makespan_s\": {:.3}, \
              \"wall_s\": {:.3}, \"events\": {}, \"reallocs\": {}, \"alloc_s\": {:.3}, \
              \"machine_alloc_s\": {:.3}, \"drain_s\": {:.3}, \"completion_s\": {:.3}, \
              \"control_s\": {:.3}, \"template_build_s\": {:.3}, \"instantiate_s\": {:.3}, \
@@ -560,6 +672,8 @@ fn main() {
             p.epsilon,
             p.quantum_ms,
             p.templates,
+            p.racks,
+            p.shards,
             p.makespan_s,
             p.wall_s,
             p.events,

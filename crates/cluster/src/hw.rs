@@ -150,6 +150,90 @@ impl MachineSpec {
     }
 }
 
+/// Physical rack layout of a cluster: which machines share a rack, and the
+/// aggregation bandwidth each rack's uplink/downlink to the cluster core
+/// carries. Present on a [`ClusterSpec`] it switches the monotasks executor's
+/// fabric to the hierarchical two-level allocator (`simcore::shard`): exact
+/// max-min inside each rack, rack-pair super-classes across the core.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RackTopology {
+    /// Machine indices per rack. Must partition `0..machines`: every machine
+    /// in exactly one rack, no empty rack ([`RackTopology::validate`]).
+    pub racks: Vec<Vec<usize>>,
+    /// Per-rack aggregation transmit (uplink) bandwidth in bytes per second.
+    pub agg_tx: f64,
+    /// Per-rack aggregation receive (downlink) bandwidth in bytes per second.
+    pub agg_rx: f64,
+}
+
+impl RackTopology {
+    /// Uniform racks of `rack_size` consecutive machines (last rack takes the
+    /// remainder), with each rack's aggregation link sized
+    /// `rack_size × nic / oversubscription`. `oversubscription = 1` is a
+    /// non-blocking core; datacenter cores typically run 2–8× oversubscribed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `machines` or `rack_size` is zero, or `oversubscription` is
+    /// not strictly positive and finite.
+    pub fn uniform(
+        machines: usize,
+        rack_size: usize,
+        nic: f64,
+        oversubscription: f64,
+    ) -> RackTopology {
+        assert!(machines > 0, "no machines");
+        assert!(rack_size > 0, "zero rack size");
+        assert!(
+            oversubscription.is_finite() && oversubscription > 0.0,
+            "bad oversubscription factor: {oversubscription}"
+        );
+        let racks: Vec<Vec<usize>> = (0..machines)
+            .collect::<Vec<_>>()
+            .chunks(rack_size)
+            .map(|c| c.to_vec())
+            .collect();
+        let agg = rack_size as f64 * nic / oversubscription;
+        RackTopology {
+            racks,
+            agg_tx: agg,
+            agg_rx: agg,
+        }
+    }
+
+    /// Number of racks.
+    pub fn n_racks(&self) -> usize {
+        self.racks.len()
+    }
+
+    /// Checks the topology against a cluster of `machines` workers: racks
+    /// must partition the machine set (no empty rack, no duplicate or
+    /// out-of-range machine, no machine left rackless) and the aggregation
+    /// bandwidths must be positive and finite.
+    pub fn validate(&self, machines: usize) -> Result<(), String> {
+        if !(self.agg_tx.is_finite() && self.agg_tx > 0.0) {
+            return Err(format!(
+                "rack aggregation tx bandwidth {} must be finite and > 0",
+                self.agg_tx
+            ));
+        }
+        if !(self.agg_rx.is_finite() && self.agg_rx > 0.0) {
+            return Err(format!(
+                "rack aggregation rx bandwidth {} must be finite and > 0",
+                self.agg_rx
+            ));
+        }
+        // RackMap::from_groups performs the partition check itself; reuse it
+        // so cluster-level validation and the fabric agree exactly.
+        simcore::RackMap::from_groups(machines, &self.racks).map(|_| ())
+    }
+
+    /// The validated machine → rack assignment for the fabric.
+    pub fn rack_map(&self, machines: usize) -> Result<simcore::RackMap, String> {
+        simcore::RackMap::from_groups(machines, &self.racks)
+    }
+}
+
 /// A homogeneous cluster of workers.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ClusterSpec {
@@ -157,13 +241,41 @@ pub struct ClusterSpec {
     pub machines: usize,
     /// Per-machine hardware.
     pub machine: MachineSpec,
+    /// Optional rack layout. `None` (the default) keeps the single-level
+    /// flat fabric — bit-identical to every run before topologies existed.
+    #[serde(default)]
+    pub topology: Option<RackTopology>,
 }
 
 impl ClusterSpec {
-    /// Builds a cluster of `machines` identical workers.
+    /// Builds a cluster of `machines` identical workers on a flat fabric.
     pub fn new(machines: usize, machine: MachineSpec) -> ClusterSpec {
         assert!(machines > 0, "cluster needs at least one machine");
-        ClusterSpec { machines, machine }
+        ClusterSpec {
+            machines,
+            machine,
+            topology: None,
+        }
+    }
+
+    /// Builds a rack-organized cluster: uniform racks of `rack_size`
+    /// machines, aggregation links `oversubscription`× under the racks'
+    /// aggregate NIC bandwidth.
+    pub fn with_racks(
+        machines: usize,
+        machine: MachineSpec,
+        rack_size: usize,
+        oversubscription: f64,
+    ) -> ClusterSpec {
+        let nic = machine.nic;
+        let mut spec = ClusterSpec::new(machines, machine);
+        spec.topology = Some(RackTopology::uniform(
+            machines,
+            rack_size,
+            nic,
+            oversubscription,
+        ));
+        spec
     }
 
     /// Total cores in the cluster.
@@ -240,6 +352,10 @@ impl ClusterSpec {
                 return Err(format!("SSD disk {i} has zero queue depth"));
             }
         }
+        if let Some(topo) = &self.topology {
+            topo.validate(self.machines)
+                .map_err(|e| format!("rack topology: {e}"))?;
+        }
         Ok(())
     }
 }
@@ -282,6 +398,50 @@ mod tests {
         let c = ClusterSpec::new(20, m);
         assert_eq!(c.total_cores(), 160);
         assert_eq!(c.total_disks(), 40);
+    }
+
+    #[test]
+    fn rack_topology_validation() {
+        let m = MachineSpec::m2_4xlarge();
+        // Uniform construction partitions and validates.
+        let c = ClusterSpec::with_racks(10, m.clone(), 4, 2.5);
+        assert!(c.validate().is_ok());
+        let topo = c.topology.as_ref().unwrap();
+        assert_eq!(topo.n_racks(), 3);
+        assert!((topo.agg_tx - 4.0 * m.nic / 2.5).abs() < 1e-3);
+        // Non-partitioning racks: machine 3 in no rack.
+        let mut bad = ClusterSpec::new(4, m.clone());
+        bad.topology = Some(RackTopology {
+            racks: vec![vec![0, 1], vec![2]],
+            agg_tx: 1e8,
+            agg_rx: 1e8,
+        });
+        let err = bad.validate().unwrap_err();
+        assert!(err.contains("rack topology"), "{err}");
+        assert!(err.contains("machine 3 is in no rack"), "{err}");
+        // Zero-size rack.
+        bad.topology = Some(RackTopology {
+            racks: vec![vec![0, 1, 2, 3], vec![]],
+            agg_tx: 1e8,
+            agg_rx: 1e8,
+        });
+        let err = bad.validate().unwrap_err();
+        assert!(err.contains("rack 1 is empty"), "{err}");
+        // Duplicate machine.
+        bad.topology = Some(RackTopology {
+            racks: vec![vec![0, 1, 2], vec![2, 3]],
+            agg_tx: 1e8,
+            agg_rx: 1e8,
+        });
+        let err = bad.validate().unwrap_err();
+        assert!(err.contains("appears in two racks"), "{err}");
+        // Degenerate aggregation bandwidth.
+        bad.topology = Some(RackTopology {
+            racks: vec![vec![0, 1], vec![2, 3]],
+            agg_tx: 0.0,
+            agg_rx: 1e8,
+        });
+        assert!(bad.validate().unwrap_err().contains("aggregation tx"));
     }
 
     #[test]

@@ -25,7 +25,7 @@ use dataflow::{
     StageControlStats, StageId, StageReport, TaskId, TaskSpec,
 };
 use simcore::stats::median;
-use simcore::{EventQueue, FlowAllocator, FlowId, MaxMinPolicy};
+use simcore::{EventQueue, Fabric, FlowAllocator, FlowId, HierFabric, MaxMinPolicy};
 use simcore::{ResourceKind, SimDuration, SimStats, SimTime};
 
 use crate::decompose::{decompose_into, DecomposeCtx, SenderShare};
@@ -99,6 +99,13 @@ pub struct MonoConfig {
     /// of a wave fire together in one reallocation, each at most
     /// `rate · Δ` bytes early. `0.0` (the default) coalesces nothing.
     pub fabric_quantum_secs: f64,
+    /// Worker threads for the hierarchical fabric's per-rack shards (only
+    /// meaningful when the cluster has a [`cluster::RackTopology`] and
+    /// `full_duplex_network` is on). `1` — the default — runs every rack on
+    /// the simulation thread. Results are bit-identical for any shard count:
+    /// cross-rack effects are exchanged at epoch boundaries in a total
+    /// `(time, shard, seq)` order, so this knob trades wall-clock only.
+    pub fabric_shards: usize,
     /// Safety valve on simulation iterations.
     pub max_steps: u64,
     /// Record utilization and queue-length traces (one sample per machine
@@ -164,6 +171,7 @@ impl Default for MonoConfig {
             full_duplex_network: false,
             fabric_epsilon: 0.0,
             fabric_quantum_secs: 0.0,
+            fabric_shards: 1,
             max_steps: 50_000_000,
             collect_traces: true,
             max_task_retries: 4,
@@ -210,6 +218,9 @@ impl MonoConfig {
                 "fabric_quantum_secs {} must be finite and >= 0",
                 self.fabric_quantum_secs
             ));
+        }
+        if self.fabric_shards == 0 {
+            return Err("fabric_shards must be >= 1".into());
         }
         if let Some(m) = self.mono_speculation_multiplier {
             if !(m.is_finite() && m >= 1.0) {
@@ -410,8 +421,10 @@ struct Exec {
     records: Vec<MonotaskRecord>,
     traces: TraceSet,
     queue_trace: Vec<crate::metrics::QueueSnapshot>,
-    /// Full-duplex network fabric (when `cfg.full_duplex_network`).
-    fabric: Option<FlowAllocator>,
+    /// Full-duplex network fabric (when `cfg.full_duplex_network`): flat
+    /// max-min over every NIC, or the rack-sharded hierarchy when the
+    /// cluster declares a rack topology.
+    fabric: Option<Fabric>,
     now: SimTime,
     rr_job: usize,
     stats: SimStats,
@@ -651,15 +664,31 @@ pub fn run_with_faults(
         traces: TraceSet::new(),
         queue_trace: Vec::new(),
         fabric: if cfg.full_duplex_network {
-            Some(FlowAllocator::new_with_policy(
-                n_machines,
-                cluster.machine.nic,
-                cluster.machine.nic,
-                MaxMinPolicy {
-                    epsilon: cfg.fabric_epsilon,
-                    quantum: SimDuration::from_secs_f64(cfg.fabric_quantum_secs),
-                },
-            ))
+            let policy = MaxMinPolicy {
+                epsilon: cfg.fabric_epsilon,
+                quantum: SimDuration::from_secs_f64(cfg.fabric_quantum_secs),
+            };
+            Some(match &cluster.topology {
+                Some(topo) => Fabric::Hier(Box::new(HierFabric::new(
+                    topo.rack_map(n_machines).expect("validated above"),
+                    cluster.machine.nic,
+                    cluster.machine.nic,
+                    topo.agg_tx,
+                    topo.agg_rx,
+                    // Within a rack the allocation is exact max-min; ε/Δ
+                    // apply to the oversubscribed core where the aggregate
+                    // super-classes make approximation worthwhile.
+                    MaxMinPolicy::default(),
+                    policy,
+                    cfg.fabric_shards,
+                ))),
+                None => Fabric::Flat(Box::new(FlowAllocator::new_with_policy(
+                    n_machines,
+                    cluster.machine.nic,
+                    cluster.machine.nic,
+                    policy,
+                ))),
+            })
         } else {
             None
         },

@@ -11,6 +11,7 @@ use crate::stats::SimStats;
 use crate::time::SimTime;
 
 /// A scheduled event: payload `E` plus its firing time and tie-break sequence.
+#[derive(Debug)]
 struct Scheduled<E> {
     time: SimTime,
     seq: u64,
@@ -53,6 +54,7 @@ impl<E> Ord for Scheduled<E> {
 /// let (t, ev) = q.pop().unwrap();
 /// assert_eq!((t, ev), (SimTime::from_secs(1), "early"));
 /// ```
+#[derive(Debug)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Scheduled<E>>,
     seq: u64,
@@ -92,6 +94,17 @@ impl<E> EventQueue<E> {
     /// Time of the earliest scheduled event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|s| s.time)
+    }
+
+    /// Removes and returns the earliest event if it is due at or before
+    /// `now`; leaves later events untouched. The draining primitive for
+    /// epoch-boundary exchange: a shard outbox is drained up to the epoch
+    /// horizon, never past it.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<(SimTime, E)> {
+        match self.heap.peek() {
+            Some(s) if s.time <= now => self.pop(),
+            _ => None,
+        }
     }
 
     /// Number of pending events.
@@ -172,6 +185,20 @@ mod tests {
         q.schedule(SimTime::from_secs(2), 2u32);
         let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
         assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn pop_due_respects_the_horizon() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(2), "b");
+        q.schedule(SimTime::from_secs(2), "c");
+        let now = SimTime::from_secs(2);
+        let drained: Vec<&str> = std::iter::from_fn(|| q.pop_due(now).map(|(_, e)| e)).collect();
+        assert_eq!(drained, vec!["a", "b", "c"]);
+        q.schedule(SimTime::from_secs(5), "late");
+        assert_eq!(q.pop_due(now), None);
+        assert_eq!(q.len(), 1);
     }
 
     #[test]

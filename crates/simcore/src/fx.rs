@@ -1,0 +1,136 @@
+//! A fast, fully deterministic hasher for hot-path maps.
+//!
+//! `std::collections::HashMap`'s default `RandomState` is seeded per process,
+//! which is fine for determinism here (no iteration order ever reaches an
+//! observable ordering — see the audit notes in [`crate::maxmin`]) but pays
+//! SipHash's full per-lookup cost on keys that are two small integers. This
+//! module provides the Fx multiply-rotate hash (the scheme used by the Rust
+//! compiler's `FxHashMap`), hand-rolled because this workspace vendors no
+//! external hashing crate. It is:
+//!
+//! * **deterministic across processes and platforms** — no random seed, so a
+//!   map's iteration order is a pure function of its insertion history (we
+//!   still never let that order escape; see the rebuild paths in `maxmin`);
+//! * **fast on short fixed-width keys** — one rotate, one xor, and one
+//!   multiply per word, which is what the `(src, dst)` pair index hits on
+//!   every flow insert/remove;
+//! * **not DoS-resistant** — keys here are machine indices produced by the
+//!   simulator itself, never attacker-controlled input.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the Fx hash (64-bit variant): the closest
+/// odd number to 2⁶⁴ / φ, spreading consecutive integers across the table.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx streaming hasher: `hash = (hash rol 5 ⊕ word) × SEED` per word.
+#[derive(Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in chunks.by_ref() {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// Builds [`FxHasher`]s; zero-sized, so maps cost nothing extra to create.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with the deterministic Fx hash.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with the deterministic Fx hash.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_key_same_hash_across_hashers() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write_usize(7);
+        a.write_usize(13);
+        b.write_usize(7);
+        b.write_usize(13);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn byte_stream_matches_padded_words() {
+        // write() must consume trailing bytes (zero-padded), not drop them.
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 3, 0, 0, 0, 0, 0]);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = FxHasher::default();
+        c.write(&[]);
+        assert_eq!(c.finish(), 0, "empty input leaves the state untouched");
+    }
+
+    #[test]
+    fn map_basics() {
+        let mut m: FxHashMap<(usize, usize), u32> = FxHashMap::default();
+        for i in 0..1000 {
+            m.insert((i, i * 2), i as u32);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&(41, 82)), Some(&41));
+        assert_eq!(m.remove(&(41, 82)), Some(41));
+        assert_eq!(m.get(&(41, 82)), None);
+    }
+}

@@ -15,6 +15,12 @@
 //!   queue depth up to a device limit).
 //! * [`maxmin`] — max-min fair bandwidth allocation for network flows limited
 //!   at both sender and receiver, the standard fluid model for shuffle traffic.
+//! * [`shard`] — the rack-sharded hierarchical fabric: exact max-min within
+//!   each rack, ε-fair (src-rack, dst-rack) super-classes across the
+//!   oversubscribed core, with deterministic `(time, shard, seq)` cross-shard
+//!   event exchange and scoped-thread fan-out.
+//! * [`fx`] — a deterministic multiply-rotate hasher for hot-path maps keyed
+//!   by small integers (no random seed, no external crate).
 //! * [`recorder`] — time-weighted utilization traces with interval resampling
 //!   and percentile queries, used to regenerate the paper's utilization figures.
 //! * [`stats`] — wall-clock counters ([`SimStats`]) for the simulator's own
@@ -27,15 +33,19 @@
 #![warn(missing_docs)]
 
 pub mod events;
+pub mod fx;
 pub mod maxmin;
 pub mod recorder;
 pub mod resource;
+pub mod shard;
 pub mod stats;
 pub mod time;
 
 pub use events::{EventQueue, World};
+pub use fx::{FxHashMap, FxHashSet};
 pub use maxmin::{FlowAllocator, FlowId, MaxMinPolicy};
 pub use recorder::UtilizationRecorder;
 pub use resource::{JobId, PsResource, ResourceKind};
+pub use shard::{Fabric, HierFabric, RackMap};
 pub use stats::{median, SimStats};
 pub use time::{SimDuration, SimTime};

@@ -97,14 +97,15 @@
 //!   spec (`reference_reallocate` + the `slowcheck` feature).
 
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
+use std::collections::{BTreeMap, BinaryHeap};
 use std::time::Instant;
 
+use crate::fx::{FxHashMap, FxHashSet};
 use crate::stats::SimStats;
 use crate::time::{SimDuration, SimTime};
 
 /// Remaining bytes below this are considered transferred.
-const BYTES_EPSILON: f64 = 1e-6;
+pub(crate) const BYTES_EPSILON: f64 = 1e-6;
 
 /// Identifies one flow. Allocated by the caller.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -289,11 +290,14 @@ pub struct FlowAllocator {
     c_rate: Vec<f64>,
     c_size: Vec<u32>,
     free_classes: Vec<u32>,
-    /// `(src, dst)` → live class slot.
-    pair_index: HashMap<(NodeId, NodeId), u32>,
+    /// `(src, dst)` → live class slot. Fx-hashed: the pair key is two small
+    /// integers hit on every insert/remove, and nothing observable depends on
+    /// the map's iteration order (the only iteration, the class-heap rebuild
+    /// in `apply_shares`, sorts before heapifying).
+    pair_index: FxHashMap<(NodeId, NodeId), u32>,
     /// Directed pairs currently cut by a partition. Source of truth for cut
-    /// state; live classes mirror it in `FlowClass::cut`.
-    cut_pairs: HashSet<(NodeId, NodeId)>,
+    /// state; live classes mirror it in `FlowClass::cut`. Never iterated.
+    cut_pairs: FxHashSet<(NodeId, NodeId)>,
     /// Live classes currently cut (subtracted from the fill's unfrozen
     /// count, since cut classes never freeze).
     cut_live: usize,
@@ -375,8 +379,8 @@ impl FlowAllocator {
             c_rate: Vec::new(),
             c_size: Vec::new(),
             free_classes: Vec::new(),
-            pair_index: HashMap::new(),
-            cut_pairs: HashSet::new(),
+            pair_index: FxHashMap::default(),
+            cut_pairs: FxHashSet::default(),
             cut_live: 0,
             res_list: vec![Vec::new(); nr],
             res_nflows: vec![0; nr],
@@ -518,6 +522,14 @@ impl FlowAllocator {
     /// Stale-event guard; bumped on every flow-set mutation.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// True while an open batch holds a deferred mutation, i.e. the next
+    /// [`FlowAllocator::commit`] will actually reallocate. The hierarchical
+    /// fabric uses this to count how many rack allocators have real commit
+    /// work before deciding whether to fan the commits out to worker threads.
+    pub(crate) fn batch_pending(&self) -> bool {
+        self.batch_depth > 0 && self.dirty
     }
 
     /// Number of flows in flight.
@@ -732,7 +744,7 @@ impl FlowAllocator {
     fn create_class(&mut self, src: NodeId, dst: NodeId, now: SimTime) -> u32 {
         let n = self.nodes();
         let cut = self.cut_pairs.contains(&(src, dst));
-        let fresh = FlowClass {
+        let mut fresh = FlowClass {
             src,
             dst,
             members: BinaryHeap::new(),
@@ -748,6 +760,10 @@ impl FlowAllocator {
         };
         let ci = match self.free_classes.pop() {
             Some(ci) => {
+                // Recycled slot: adopt its retained (cleared) member-heap
+                // allocation so wave churn stops reallocating heaps.
+                fresh.members = std::mem::take(&mut self.classes[ci as usize].members);
+                debug_assert!(fresh.members.is_empty());
                 self.classes[ci as usize] = fresh;
                 self.c_rate[ci as usize] = 0.0;
                 self.c_size[ci as usize] = 0;
@@ -802,7 +818,9 @@ impl FlowAllocator {
         }
         self.pair_index.remove(&(src, dst));
         self.c_rate[i] = 0.0;
-        self.classes[i].members = BinaryHeap::new();
+        // Keep the member heap's allocation with the recycled slot; the next
+        // class created here inherits it instead of growing from empty.
+        self.classes[i].members.clear();
         self.free_classes.push(ci);
     }
 
@@ -833,13 +851,15 @@ impl FlowAllocator {
         }
         self.c_size[i] -= 1;
         // The member heap entry goes stale (serial mismatch); rebuild when
-        // stale entries dominate so memory stays O(live members).
+        // stale entries dominate so memory stays O(live members). The live
+        // count is known exactly (`c_size`), so the rebuild allocates once.
         if class.members.len() > 2 * self.c_size[i] as usize + 8 {
             let index = &self.index;
             let live = |e: &Reverse<(FinishCum, FlowId, u64)>| {
                 index.get(&e.0 .1).is_some_and(|f| f.serial == e.0 .2)
             };
-            let kept: Vec<_> = class.members.drain().filter(live).collect();
+            let mut kept: Vec<_> = Vec::with_capacity(self.c_size[i] as usize);
+            kept.extend(class.members.drain().filter(live));
             class.members = BinaryHeap::from(kept);
         }
         // If the departing flow held the cached minimum finish mark, find the
@@ -1212,6 +1232,14 @@ impl FlowAllocator {
                 res_dirty[r] = true;
             }
         }
+        // The dirty walk below relies on visiting resources in ascending
+        // index order (peer effective-share reads assume a single coherent
+        // pass); the builder above pushes 0..nr, so this can only fire if
+        // someone reorders the loop.
+        debug_assert!(
+            dirty_res.windows(2).all(|w| w[0] < w[1]),
+            "dirty resource walk must stay in ascending resource order"
+        );
         // Refreshes one class at its newly derived rate: drain at the old
         // rate, swap the rate in, recompute the deadline, and (re)schedule
         // it in the global heap if the schedule moved. Idempotent. (A free fn
@@ -1316,14 +1344,23 @@ impl FlowAllocator {
         }
         pending_dirty.clear();
         // Stale global-heap entries are dropped lazily; rebuild when they
-        // dominate so the heap stays O(classes).
+        // dominate so the heap stays O(classes). `pair_index` iteration order
+        // is hasher-dependent, but entries are totally ordered by
+        // (deadline, class, generation) with generations unique, so no pop
+        // order can depend on insertion order; sorting before heapifying
+        // additionally pins the heap's internal layout, making the rebuild a
+        // pure function of the live class set. The live count is known, so
+        // the rebuild allocates once.
         let live = pair_index.len();
         if class_heap.len() > 2 * live + 64 {
-            class_heap.clear();
-            for &ci in pair_index.values() {
+            let mut entries = Vec::with_capacity(live);
+            entries.extend(pair_index.values().map(|&ci| {
                 let c = &classes[ci as usize];
-                class_heap.push(Reverse((c.deadline, ci, c.gen)));
-            }
+                Reverse((c.deadline, ci, c.gen))
+            }));
+            entries.sort_unstable();
+            debug_assert_eq!(entries.len(), live);
+            *class_heap = BinaryHeap::from(entries);
         }
     }
 

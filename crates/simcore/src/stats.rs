@@ -76,6 +76,15 @@ pub struct SimStats {
     pub fetch_backoff_nanos: u64,
     /// Fetches whose source assignment partition recovery re-planned.
     pub fetches_replanned: u64,
+    /// Epoch-boundary exchanges executed by the hierarchical fabric: instants
+    /// at which at least one rack shard published cross-shard effects.
+    pub shard_epochs: u64,
+    /// Completion events published through a shard outbox and merged in
+    /// `(time, shard, seq)` order at an epoch boundary.
+    pub cross_shard_events: u64,
+    /// Hierarchical commit waves fanned out to scoped worker threads (waves
+    /// below the dirty-rack threshold run serially and are not counted).
+    pub parallel_commits: u64,
 }
 
 impl SimStats {
@@ -109,6 +118,9 @@ impl SimStats {
         self.stalled_fetch_nanos += other.stalled_fetch_nanos;
         self.fetch_backoff_nanos += other.fetch_backoff_nanos;
         self.fetches_replanned += other.fetches_replanned;
+        self.shard_epochs += other.shard_epochs;
+        self.cross_shard_events += other.cross_shard_events;
+        self.parallel_commits += other.parallel_commits;
     }
 
     /// Wall-clock nanoseconds the allocators account for across all phases.
@@ -220,6 +232,9 @@ mod tests {
             stalled_fetch_nanos: 21,
             fetch_backoff_nanos: 22,
             fetches_replanned: 23,
+            shard_epochs: 24,
+            cross_shard_events: 25,
+            parallel_commits: 26,
         };
         a.merge(&SimStats {
             events: 10,
@@ -245,6 +260,9 @@ mod tests {
             stalled_fetch_nanos: 210,
             fetch_backoff_nanos: 220,
             fetches_replanned: 230,
+            shard_epochs: 240,
+            cross_shard_events: 250,
+            parallel_commits: 260,
         });
         assert_eq!(
             a,
@@ -272,6 +290,9 @@ mod tests {
                 stalled_fetch_nanos: 231,
                 fetch_backoff_nanos: 242,
                 fetches_replanned: 253,
+                shard_epochs: 264,
+                cross_shard_events: 275,
+                parallel_commits: 286,
             }
         );
         assert!((a.alloc_secs() - 33e-9).abs() < 1e-18);

@@ -555,6 +555,15 @@ impl Exec {
         // Completion buffer reused across events: the speculative poll runs
         // per machine per event and must not allocate.
         let mut done_streams: Vec<StreamId> = Vec::new();
+        // Per-machine next-completion cache keyed by allocation epoch (the
+        // same scheme the monotasks executor uses): a machine whose rates
+        // did not change since the last sweep keeps its cached deadline, so
+        // the per-event cost scales with the machines that changed, not the
+        // cluster size. Bit-identical — the cache only skips recomputing a
+        // value the allocator would return unchanged.
+        let n_machines = self.n_machines();
+        let mut next_cache: Vec<Option<SimTime>> = vec![None; n_machines];
+        let mut epoch_cache: Vec<u64> = vec![u64::MAX; n_machines];
         loop {
             // One batch per event instant: flush timers and finished streams
             // first (their handlers cascade into follow-up inserts — next task
@@ -583,10 +592,14 @@ impl Exec {
                 if !self.machines[m].alive {
                     continue;
                 }
-                self.machines[m].fluid.advance(self.now);
-                self.machines[m]
-                    .fluid
-                    .take_completed_into(self.now, &mut done_streams);
+                // A machine whose cached deadline (still valid: same epoch)
+                // lies in the future cannot have a completion due now.
+                let fluid = &mut self.machines[m].fluid;
+                if epoch_cache[m] == fluid.epoch() && next_cache[m].is_none_or(|t| t > self.now) {
+                    continue;
+                }
+                fluid.advance(self.now);
+                fluid.take_completed_into(self.now, &mut done_streams);
                 for &sid in &done_streams {
                     self.on_stream_done(m, sid);
                 }
@@ -610,11 +623,18 @@ impl Exec {
             // Next event: stream completion, flush timer, speculation
             // wake-up, or scheduled fault action.
             let mut next: Option<SimTime> = None;
-            for m in self.machines.iter_mut() {
-                if !m.alive {
+            for (m, machine) in self.machines.iter_mut().enumerate() {
+                if !machine.alive {
+                    next_cache[m] = None;
+                    epoch_cache[m] = machine.fluid.epoch();
                     continue;
                 }
-                if let Some(t) = m.fluid.next_completion(self.now) {
+                let epoch = machine.fluid.epoch();
+                if epoch_cache[m] != epoch {
+                    next_cache[m] = machine.fluid.next_completion(self.now);
+                    epoch_cache[m] = epoch;
+                }
+                if let Some(t) = next_cache[m] {
                     next = Some(next.map_or(t, |b: SimTime| b.min(t)));
                 }
             }

@@ -83,6 +83,40 @@ pub fn partition_plan(
     FaultPlan::random_partitions(seed, &spec, intensity)
 }
 
+/// Partitions one entire rack away from the rest of the cluster over
+/// `[start_secs, heal_secs)`: the rack's machines form one group, everything
+/// else the other. The hierarchical-fabric integration tests use this to
+/// exercise quarantine + lineage resubmission when a whole rack goes dark.
+///
+/// # Panics
+///
+/// Panics if the cluster has no rack topology, `rack` is out of range, or
+/// the rack spans the whole cluster (a partition needs two non-empty groups).
+pub fn rack_partition_plan(
+    cluster: &ClusterSpec,
+    rack: usize,
+    start_secs: f64,
+    heal_secs: f64,
+) -> FaultPlan {
+    let topo = cluster
+        .topology
+        .as_ref()
+        .expect("rack_partition_plan needs a rack topology");
+    let rack_members = topo.racks[rack].clone();
+    let rest: Vec<usize> = (0..cluster.machines)
+        .filter(|m| !rack_members.contains(m))
+        .collect();
+    assert!(
+        !rest.is_empty(),
+        "partitioning the only rack would isolate nobody"
+    );
+    FaultPlan::new().partition(
+        vec![rack_members, rest],
+        SimTime::from_secs_f64(start_secs),
+        Some(SimTime::from_secs_f64(heal_secs)),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -112,6 +146,21 @@ mod tests {
             partition_plan(7, &cluster, 100.0, 1.0).events()
         );
         assert!(partition_plan(7, &cluster, 100.0, 0.0).is_empty());
+    }
+
+    #[test]
+    fn rack_partition_isolates_one_rack() {
+        let cluster = ClusterSpec::with_racks(8, MachineSpec::m2_4xlarge(), 4, 2.0);
+        let plan = rack_partition_plan(&cluster, 1, 10.0, 20.0);
+        assert!(plan.validate(&cluster).is_ok());
+        assert!(plan.has_partitions());
+        match &plan.events()[0] {
+            cluster::FaultEvent::Partition { groups, .. } => {
+                assert_eq!(groups[0], vec![4, 5, 6, 7]);
+                assert_eq!(groups[1], vec![0, 1, 2, 3]);
+            }
+            other => panic!("expected a partition, got {other:?}"),
+        }
     }
 
     #[test]

@@ -30,7 +30,9 @@ pub mod sort;
 pub mod wordcount;
 
 pub use bdb::{bdb_job, BdbQuery};
-pub use faulty::{crash_all, mid_shuffle_crash, partition_plan, straggler_plan, sweep_plan};
+pub use faulty::{
+    crash_all, mid_shuffle_crash, partition_plan, rack_partition_plan, straggler_plan, sweep_plan,
+};
 pub use ml::{ml_jobs, MlConfig};
 pub use skew::{apply_input_skew, input_skew_ratio};
 pub use sort::{sort_job, SortConfig};
