@@ -1,0 +1,271 @@
+//! Trace export harness: emit a Perfetto-loadable trace for one run and
+//! score the fault-replay model against simulated ground truth.
+//!
+//! Runs the `fault_sweep` sort workload on either engine with the trace
+//! layer armed, writes the Chrome Trace Event JSON (open it at
+//! `ui.perfetto.dev`), validates it with the dependency-free checker, and —
+//! for each requested fault intensity — compares `perfmodel::replay`'s
+//! predicted makespan against the simulated one. Everything simulated is
+//! deterministic, so the emitted trace bytes are identical on every host.
+//!
+//! Usage:
+//!   trace_export [--machines N] [--gib-per-machine G] [--engine mono|spark|both]
+//!                [--points 0,1] [--out PATH] [--validate]
+//!
+//! `--out` defaults to `$TRACE_EXPORT_OUT` or `trace_{engine}.json`. The
+//! 100-machine CI artifact is produced with `--machines 100 --validate`.
+
+use std::path::PathBuf;
+
+use cluster::{ClusterSpec, FaultPlan, MachineSpec};
+use mt_bench::header;
+use mt_trace::{validate_chrome_json, TraceSummary};
+use workloads::{sort_job, sweep_plan, SortConfig};
+
+const SEED: u64 = 42;
+
+struct Args {
+    machines: usize,
+    gib_per_machine: f64,
+    engine: String,
+    points: Vec<f64>,
+    out: Option<PathBuf>,
+    validate: bool,
+    explain: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        machines: 5,
+        gib_per_machine: 2.0,
+        engine: "mono".into(),
+        points: vec![0.0, 1.0],
+        out: None,
+        validate: false,
+        explain: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--machines" => {
+                args.machines = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--machines N");
+            }
+            "--gib-per-machine" => {
+                args.gib_per_machine = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--gib-per-machine G");
+            }
+            "--engine" => {
+                args.engine = it.next().expect("--engine mono|spark|both");
+            }
+            "--points" => {
+                args.points = it
+                    .next()
+                    .expect("--points list")
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("numeric intensity"))
+                    .collect();
+            }
+            "--out" => args.out = Some(PathBuf::from(it.next().expect("--out PATH"))),
+            "--validate" => args.validate = true,
+            "--explain" => args.explain = true,
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    args
+}
+
+fn cluster(machines: usize) -> ClusterSpec {
+    ClusterSpec::new(machines, MachineSpec::m2_4xlarge())
+}
+
+fn workload(machines: usize, gib_per_machine: f64) -> (dataflow::JobSpec, dataflow::BlockMap) {
+    let cfg = SortConfig::new(gib_per_machine * machines as f64, 10, machines, 2);
+    sort_job(&cfg)
+}
+
+fn out_path(args: &Args, engine: &str) -> PathBuf {
+    match &args.out {
+        Some(p) if args.engine != "both" => p.clone(),
+        Some(p) => {
+            // Suffix the engine when one invocation writes two traces.
+            let stem = p.file_stem().and_then(|s| s.to_str()).unwrap_or("trace");
+            p.with_file_name(format!("{stem}_{engine}.json"))
+        }
+        None => match std::env::var("TRACE_EXPORT_OUT") {
+            Ok(p) => PathBuf::from(p),
+            Err(_) => PathBuf::from(format!("trace_{engine}.json")),
+        },
+    }
+}
+
+fn check(path: &PathBuf) {
+    let json = std::fs::read_to_string(path).expect("read emitted trace");
+    match validate_chrome_json(&json) {
+        Ok(stats) => println!(
+            "  validated: {} metas, {} spans, {} instants, {} counter samples",
+            stats.metas, stats.spans, stats.instants, stats.counters
+        ),
+        Err(e) => panic!("emitted trace failed validation: {e}"),
+    }
+}
+
+fn run_mono(args: &Args) {
+    let cl = cluster(args.machines);
+    let (job, blocks) = workload(args.machines, args.gib_per_machine);
+    let path = out_path(args, "mono");
+    let cfg = monotasks_core::MonoConfig {
+        trace_path: Some(path.clone()),
+        ..monotasks_core::MonoConfig::default()
+    };
+
+    // Fault-free baseline: profile it, trace it, export it.
+    let base = monotasks_core::run(&cl, &[(job.clone(), blocks.clone())], &cfg);
+    let written = mt_trace::export_mono(&cfg, &base)
+        .expect("write trace")
+        .expect("trace_path was set");
+    let summary = TraceSummary::of(&mt_trace::mono_doc(&base));
+    println!(
+        "mono: {} machines, makespan {:.3}s -> {} ({} spans, {} instants, {} counter samples)",
+        args.machines,
+        base.makespan.as_secs_f64(),
+        written.display(),
+        summary.spans,
+        summary.instants,
+        summary.counter_points
+    );
+    if args.validate {
+        check(&written);
+    }
+
+    // Fault replay: predicted vs simulated makespan per intensity.
+    let profiles = perfmodel::profile_stages(&base.records, &base.jobs);
+    let tasks_per_stage: Vec<usize> = profiles
+        .iter()
+        .map(|p| job.stages[p.stage.0 as usize].tasks.len())
+        .collect();
+    let opts = perfmodel::ReplayOptions {
+        scenario: perfmodel::Scenario::of_cluster(&cl),
+        tasks_per_stage,
+    };
+    let baseline_s = base.makespan.as_secs_f64();
+    let horizon = baseline_s;
+    let tasks0 = job.stages[0].tasks.len();
+    println!(
+        "  {:>9} {:>12} {:>12} {:>8}",
+        "intensity", "simulated_s", "predicted_s", "err%"
+    );
+    for &intensity in &args.points {
+        let plan = if intensity <= 0.0 {
+            FaultPlan::new()
+        } else {
+            sweep_plan(SEED, &cl, horizon, job.stages.len(), tasks0, intensity)
+        };
+        // The highest faulty point also exports its trace, so the artifact
+        // shows the instant markers (crashes, degradations, retries, copies)
+        // alongside the spans they perturb.
+        let max_pt = args.points.iter().cloned().fold(0.0, f64::max);
+        let faulty_cfg = if intensity > 0.0 && intensity == max_pt {
+            let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("trace");
+            monotasks_core::MonoConfig {
+                trace_path: Some(path.with_file_name(format!("{stem}_faults.json"))),
+                ..monotasks_core::MonoConfig::default()
+            }
+        } else {
+            monotasks_core::MonoConfig::default()
+        };
+        let sim = monotasks_core::run_with_faults(
+            &cl,
+            &[(job.clone(), blocks.clone())],
+            &faulty_cfg,
+            &plan,
+        )
+        .expect("faulty run completes");
+        if let Some(p) = mt_trace::export_mono(&faulty_cfg, &sim).expect("write faulty trace") {
+            let s = TraceSummary::of(&mt_trace::mono_doc(&sim));
+            println!(
+                "  faulty trace -> {} ({} spans, {} instants)",
+                p.display(),
+                s.spans,
+                s.instants
+            );
+            if args.validate {
+                check(&p);
+            }
+        }
+        let pred = perfmodel::replay(&profiles, &base.jobs, baseline_s, &plan, &opts);
+        let err = pred.relative_error(sim.makespan.as_secs_f64());
+        if args.explain {
+            for p in &pred.penalties {
+                println!("    {:<18} {:+9.3}s", p.label, p.penalty_secs);
+            }
+        }
+        println!(
+            "  {:>9.2} {:>12.3} {:>12.3} {:>7.1}%",
+            intensity,
+            sim.makespan.as_secs_f64(),
+            pred.predicted_secs,
+            err * 100.0
+        );
+        // The band is calibrated for intensities ≤ 1 (see
+        // perfmodel::DOCUMENTED_ERROR_BAND); higher points print but don't
+        // gate.
+        assert!(
+            intensity > 1.0 || err.abs() <= perfmodel::DOCUMENTED_ERROR_BAND,
+            "replay error {:.1}% exceeds the documented ±{:.0}% band at intensity {}",
+            err * 100.0,
+            perfmodel::DOCUMENTED_ERROR_BAND * 100.0,
+            intensity
+        );
+    }
+}
+
+fn run_spark(args: &Args) {
+    let cl = cluster(args.machines);
+    let (job, blocks) = workload(args.machines, args.gib_per_machine);
+    let path = out_path(args, "spark");
+    let cfg = sparklike::SparkConfig {
+        trace_path: Some(path.clone()),
+        ..sparklike::SparkConfig::default()
+    };
+    let out = sparklike::run(&cl, &[(job, blocks)], &cfg);
+    let written = mt_trace::export_spark(&cfg, &out)
+        .expect("write trace")
+        .expect("trace_path was set");
+    let summary = TraceSummary::of(&mt_trace::spark_doc(&out));
+    println!(
+        "spark: {} machines, makespan {:.3}s -> {} ({} spans, {} instants, {} counter samples)",
+        args.machines,
+        out.makespan.as_secs_f64(),
+        written.display(),
+        summary.spans,
+        summary.instants,
+        summary.counter_points
+    );
+    if args.validate {
+        check(&written);
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    header(
+        "trace_export",
+        "Perfetto trace emission + fault-replay scoring",
+        "per-resource monotask timings make performance visible (§6.5); \
+         the same profiles predict faulty-run makespans (DESIGN.md §10)",
+    );
+    match args.engine.as_str() {
+        "mono" => run_mono(&args),
+        "spark" => run_spark(&args),
+        "both" => {
+            run_mono(&args);
+            run_spark(&args);
+        }
+        other => panic!("unknown engine {other:?} (mono|spark|both)"),
+    }
+}

@@ -155,6 +155,15 @@ pub struct MonoConfig {
     /// poison the global median. `false` (the default) keeps the single
     /// global pool and is bit-identical to builds predating the knob.
     pub per_machine_duration_pools: bool,
+    /// Arm the performance-clarity trace layer and name where its
+    /// Perfetto-loadable Chrome Trace Event JSON should be written. `Some`
+    /// collects one [`dataflow::RunInstant`] per fault firing and recovery
+    /// decision into [`MonoRunOutput::instants`]; the `mt-trace` crate's
+    /// `export_mono` (or the `trace_export` bench bin) then serializes the
+    /// run to this path. Collection is observation-only: `None` — the
+    /// default — collects nothing, and traced runs are `to_bits`-identical
+    /// to untraced ones (proptested in `tests/trace_props.rs`).
+    pub trace_path: Option<std::path::PathBuf>,
 }
 
 impl Default for MonoConfig {
@@ -182,6 +191,7 @@ impl Default for MonoConfig {
             fetch_max_retries: 3,
             fetch_backoff_base_secs: 1.0,
             per_machine_duration_pools: false,
+            trace_path: None,
         }
     }
 }
@@ -271,6 +281,9 @@ pub struct MonoRunOutput {
     /// Control-plane cost: simulation steps plus allocator work summed over
     /// every machine and the fabric.
     pub stats: SimStats,
+    /// Timestamped fault and recovery instants, in emission order. Empty
+    /// unless [`MonoConfig::trace_path`] armed the trace layer.
+    pub instants: Vec<cluster::RunInstant>,
 }
 
 /// Phase of a network-fetch monotask's tiny internal chain.
@@ -480,6 +493,11 @@ struct Exec {
     /// of `durations` when `cfg.per_machine_duration_pools` — fetch samples
     /// key by the *sender*, everything else by the serving machine.
     durations_pm: BTreeMap<(u32, u32, Purpose, u32), Vec<f64>>,
+    /// Whether `cfg.trace_path` armed the trace layer's instant collection.
+    trace_on: bool,
+    /// Timestamped fault and recovery instants, in emission order
+    /// (observation-only; empty unless `trace_on`).
+    instants: Vec<cluster::RunInstant>,
 }
 
 /// Encodes a `(multitask, node)` reference as a fluid stream id.
@@ -723,6 +741,8 @@ pub fn run_with_faults(
         fetch_timers: EventQueue::new(),
         quarantined: vec![false; n_machines],
         durations_pm: BTreeMap::new(),
+        trace_on: cfg.trace_path.is_some(),
+        instants: Vec::new(),
     };
     exec.prime();
     exec.main_loop()?;
@@ -732,6 +752,18 @@ pub fn run_with_faults(
 impl Exec {
     fn n_machines(&self) -> usize {
         self.machines.len()
+    }
+
+    /// Records a trace instant at the current simulated time. Pushes to a
+    /// side Vec only — never touches scheduler state — so traced runs stay
+    /// bit-identical to untraced ones.
+    fn emit_instant(&mut self, kind: cluster::InstantKind) {
+        if self.trace_on {
+            self.instants.push(cluster::RunInstant {
+                time: self.now,
+                kind,
+            });
+        }
     }
 
     /// Marks root stages ready and populates their pending queues.
@@ -985,6 +1017,9 @@ impl Exec {
     /// Applies every fault action due at `now`, inside the open batch.
     fn apply_due_faults(&mut self) -> Result<(), RunError> {
         while let Some(action) = self.faults.pop_due(self.now) {
+            if self.trace_on {
+                self.emit_instant(cluster::InstantKind::from(&action));
+            }
             match action {
                 FaultAction::SetDiskScale {
                     machine,
@@ -1226,7 +1261,13 @@ impl Exec {
                     n.fetch_retries
                 };
                 let ji = self.mts[mt].key.job.0 as usize;
+                let si = self.mts[mt].key.stage.0;
                 self.jobs[ji].recovery.fetch_retries += 1;
+                self.emit_instant(cluster::InstantKind::FetchRetry {
+                    job: ji as u32,
+                    stage: si,
+                    attempt: retries,
+                });
                 if retries <= self.cfg.fetch_max_retries {
                     let backoff = self.cfg.fetch_backoff_base_secs * 2f64.powi(retries as i32 - 1);
                     self.jobs[ji].recovery.fetch_backoff_seconds += backoff;
@@ -1263,6 +1304,11 @@ impl Exec {
                     run.gate_retries
                 };
                 self.jobs[ji].recovery.fetch_retries += 1;
+                self.emit_instant(cluster::InstantKind::FetchRetry {
+                    job: ji as u32,
+                    stage: si as u32,
+                    attempt: retries,
+                });
                 if retries <= self.cfg.fetch_max_retries {
                     let backoff = self.cfg.fetch_backoff_base_secs * 2f64.powi(retries as i32 - 1);
                     self.jobs[ji].recovery.fetch_backoff_seconds += backoff;
@@ -1329,6 +1375,13 @@ impl Exec {
         }
         self.jobs[ji].recovery.stalled_fetch_seconds += stalled;
         self.jobs[ji].recovery.fetches_replanned += replanned;
+        let si = self.mts[mt].key.stage.0;
+        for _ in 0..replanned {
+            self.emit_instant(cluster::InstantKind::FetchReplan {
+                job: ji as u32,
+                stage: si,
+            });
+        }
     }
 
     /// Sender-level degraded-mode re-planning: task `(ji, si, ti)` cannot be
@@ -1710,6 +1763,12 @@ impl Exec {
             });
         }
         self.jobs[ji].recovery.tasks_retried += 1;
+        self.emit_instant(cluster::InstantKind::TaskRetry {
+            job: ji as u32,
+            stage: si as u32,
+            task: ti as u32,
+            recompute,
+        });
         if recompute {
             self.recompute_pending.insert((ji, si, ti));
         }
@@ -1767,6 +1826,10 @@ impl Exec {
                             .any(|d| d.0 as usize == si);
                         if consumes && self.templates[ji][sj].take().is_some() {
                             self.jobs[ji].stages[sj].control.template_invalidations += 1;
+                            self.emit_instant(cluster::InstantKind::TemplateInvalidate {
+                                job: ji as u32,
+                                stage: sj as u32,
+                            });
                         }
                     }
                 }
@@ -2210,6 +2273,12 @@ impl Exec {
         let run = &mut self.jobs[ji].stages[si];
         run.control.template_misses += 1;
         run.control.template_invalidations += u64::from(stale);
+        if stale {
+            self.emit_instant(cluster::InstantKind::TemplateInvalidate {
+                job: ji as u32,
+                stage: si as u32,
+            });
+        }
         self.templates[ji][si] = Some(tpl);
     }
 
@@ -2992,8 +3061,15 @@ impl Exec {
             parked_bytes: None,
         });
         self.mts[mt].nodes[node].copy = Some(idx);
-        let ji = self.mts[mt].key.job.0 as usize;
+        let key = self.mts[mt].key;
+        let ji = key.job.0 as usize;
         self.jobs[ji].recovery.mono_copies[res_index(&orig_op)] += 1;
+        self.emit_instant(cluster::InstantKind::MonoCopy {
+            job: key.job.0,
+            stage: key.stage.0,
+            task: key.task.0,
+            resource: res_index(&orig_op),
+        });
         match copy_op {
             MonoOp::Compute { .. } => self.machines[home].sched.enqueue_cpu((mt, idx)),
             _ => {
@@ -3039,8 +3115,16 @@ impl Exec {
         }
         self.mts[mt].nodes[copy].done = true;
         self.mts[mt].nodes[copy].running = false;
-        let ji = self.mts[mt].key.job.0 as usize;
-        self.jobs[ji].recovery.mono_copy_wins[res_index(&self.mts[mt].nodes[orig].op)] += 1;
+        let key = self.mts[mt].key;
+        let ji = key.job.0 as usize;
+        let win_res = res_index(&self.mts[mt].nodes[orig].op);
+        self.jobs[ji].recovery.mono_copy_wins[win_res] += 1;
+        self.emit_instant(cluster::InstantKind::MonoCopyWin {
+            job: key.job.0,
+            stage: key.stage.0,
+            task: key.task.0,
+            resource: win_res,
+        });
         self.push_sample(mt, copy);
         // … then perform, exactly once for the pair, the completion
         // bookkeeping the original would have done.
@@ -3375,6 +3459,7 @@ impl Exec {
             peak_buffered,
             makespan,
             stats,
+            instants: self.instants,
         }
     }
 }

@@ -20,6 +20,9 @@
 //! * [`strawman`] — the models available *without* monotasks: the slot-based
 //!   model (Fig 15), the measured-aggregate Spark model (Fig 17), and
 //!   slot-share resource attribution for concurrent jobs (Fig 16).
+//! * [`replay`] — fault-aware what-ifs (DESIGN.md §10): predicts a faulty
+//!   run's makespan from a fault-free profile and a [`cluster::FaultPlan`],
+//!   with per-event penalty attribution.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,10 +31,12 @@ pub mod bottleneck;
 pub mod imbalance;
 pub mod model;
 pub mod profile;
+pub mod replay;
 pub mod strawman;
 
 pub use bottleneck::optimized_resource_runtime;
 pub use imbalance::{stage_imbalance, StageImbalance};
 pub use model::{predict_job, predict_stage, IdealTimes, Scenario};
 pub use profile::{profile_stages, ResourceUse, StageProfile};
+pub use replay::{replay, EventPenalty, ReplayOptions, ReplayPrediction, DOCUMENTED_ERROR_BAND};
 pub use strawman::{attribute_by_share, slot_model_predict, spec_profile};

@@ -1,0 +1,456 @@
+//! Fault-aware what-if replay (DESIGN.md §10).
+//!
+//! Extends the §6 what-if model from hardware swaps to *fault plans*: given
+//! one fault-free profiled run, predict the makespan of the same workload
+//! under a [`FaultPlan`] — without re-simulating. The model walks the plan's
+//! events against the baseline's stage windows and charges each event a
+//! first-order additive penalty:
+//!
+//! * **machine crash at `t`** — the remaining work, `T₀ − t`, was provisioned
+//!   for `N` machines and must now finish on `N − 1` (capacity loss), and
+//!   every stage-second already completed by `t` had `1/N` of its outputs on
+//!   the dead machine, which the survivors recompute (lineage loss);
+//! * **disk degradation `f` over `[a, b)`** — each overlapped stage-second
+//!   loses `(1 − f)` of one disk out of the cluster's `N·D`, weighted by how
+//!   disk-bound the stage is (its ideal disk time over its ideal stage time);
+//! * **link degradation** — same shape against the stage's network share,
+//!   with one NIC of `N`;
+//! * **partition isolating a group over `[a, b)`** — the isolated fraction of
+//!   the cluster contributes nothing to overlapped network-bound work;
+//! * **straggling task (`factor ×` CPU)** — the stage's tail grows by the
+//!   extra CPU time of one task, `(factor − 1) × cpu_secs / tasks`. Stragglers
+//!   in the *same* stage run concurrently and the stage ends at the max of
+//!   its tasks, so only the worst one charges fully; a lesser same-stage
+//!   straggler is shadowed (charges only its excess over the worst so far).
+//!
+//! The penalties deliberately ignore second-order effects the simulator
+//! captures (retry scheduling, speculation races, fetch backoff, allocator
+//! feedback), so predictions carry a documented error band — the
+//! `replay_tolerance` test measures it against `fault_sweep` ground truth and
+//! pins it below [`DOCUMENTED_ERROR_BAND`]. That a *model this crude* lands
+//! within the band is the §6 argument again: per-resource profiles plus
+//! event arithmetic explain most of a faulty run's makespan.
+
+use cluster::{FaultEvent, FaultPlan};
+use dataflow::JobReport;
+
+use crate::model::{ideal_times, Scenario};
+use crate::profile::StageProfile;
+
+/// Relative error the replay model is documented (and CI-asserted) to stay
+/// within against simulated ground truth on the `fault_sweep` workload at
+/// intensities up to 1 (measured: 0% at intensity 0, +0.8% at 0.5, +13.4%
+/// at 1 on the committed 5-machine sort; +10.5% at 10 machines, +6.1% at
+/// 100). Beyond intensity 1 the additive model compounds crash penalties it
+/// should overlap and the error grows (+21% at intensity 2) — outside the
+/// documented range, printed but not gated.
+pub const DOCUMENTED_ERROR_BAND: f64 = 0.25;
+
+/// Inputs beyond the profiles that fault replay needs.
+#[derive(Clone, Debug)]
+pub struct ReplayOptions {
+    /// The cluster the baseline ran on (and the faults strike).
+    pub scenario: Scenario,
+    /// Task count per profiled stage, aligned with the profiles slice (for
+    /// straggler tail arithmetic).
+    pub tasks_per_stage: Vec<usize>,
+}
+
+/// One fault event's modeled contribution to the predicted makespan.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EventPenalty {
+    /// Which kind of event ("crash", "disk_degrade", "link_degrade",
+    /// "partition", "straggle").
+    pub label: &'static str,
+    /// Modeled additional seconds of makespan.
+    pub penalty_secs: f64,
+}
+
+/// The replay model's output: a predicted makespan with per-event
+/// attribution — *why* the model thinks the run slows down, in the same
+/// spirit as the paper's per-resource clarity.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReplayPrediction {
+    /// The fault-free measured makespan the penalties add onto.
+    pub baseline_secs: f64,
+    /// Predicted faulty makespan: baseline plus all penalties.
+    pub predicted_secs: f64,
+    /// Per-event attribution, in plan event order.
+    pub penalties: Vec<EventPenalty>,
+}
+
+impl ReplayPrediction {
+    /// Signed relative error against a measured faulty makespan.
+    pub fn relative_error(&self, measured_secs: f64) -> f64 {
+        if measured_secs <= 0.0 {
+            return 0.0;
+        }
+        (self.predicted_secs - measured_secs) / measured_secs
+    }
+}
+
+/// Overlap in seconds of `[a0, a1)` and `[b0, b1)`.
+fn overlap(a0: f64, a1: f64, b0: f64, b1: f64) -> f64 {
+    (a1.min(b1) - a0.max(b0)).max(0.0)
+}
+
+/// Baseline `(start, end)` windows in seconds, aligned with `profiles`.
+fn stage_windows(profiles: &[StageProfile], reports: &[JobReport]) -> Vec<(f64, f64)> {
+    profiles
+        .iter()
+        .map(|p| {
+            let rep = reports
+                .iter()
+                .find(|r| r.job == p.job)
+                .expect("profile for an unreported job");
+            let st = rep
+                .stages
+                .iter()
+                .find(|s| s.stage == p.stage)
+                .expect("profile for an unreported stage");
+            (st.start.as_secs_f64(), st.end.as_secs_f64())
+        })
+        .collect()
+}
+
+/// Predicts the makespan of the baseline workload under `plan`.
+///
+/// `profiles` and `reports` must come from a *fault-free* run of the same
+/// workload on `opts.scenario`; `baseline_makespan_secs` is that run's
+/// measured makespan.
+pub fn replay(
+    profiles: &[StageProfile],
+    reports: &[JobReport],
+    baseline_makespan_secs: f64,
+    plan: &FaultPlan,
+    opts: &ReplayOptions,
+) -> ReplayPrediction {
+    assert_eq!(
+        profiles.len(),
+        opts.tasks_per_stage.len(),
+        "tasks_per_stage must align with profiles"
+    );
+    let t0 = baseline_makespan_secs;
+    let n = opts.scenario.machines as f64;
+    let disks_per_machine = opts.scenario.machine.disks.len() as f64;
+    let windows = stage_windows(profiles, reports);
+    // Per-stage resource-boundedness weights from the §6 ideal times.
+    let shares: Vec<(f64, f64)> = profiles
+        .iter()
+        .map(|p| {
+            let t = ideal_times(p, &opts.scenario);
+            let total = t.stage_time();
+            if total <= 0.0 {
+                (0.0, 0.0)
+            } else {
+                ((t.disk / total).min(1.0), (t.network / total).min(1.0))
+            }
+        })
+        .collect();
+
+    let mut penalties = Vec::new();
+    // Worst straggle extension charged so far, per stage: concurrent
+    // same-stage stragglers overlap, so together they extend the stage tail
+    // by their max, not their sum.
+    let mut straggle_charged: std::collections::BTreeMap<usize, f64> =
+        std::collections::BTreeMap::new();
+    for ev in plan.events() {
+        let p = match *ev {
+            FaultEvent::MachineCrash { at, .. } => {
+                let t = at.as_secs_f64();
+                if t >= t0 || n <= 1.0 {
+                    EventPenalty {
+                        label: "crash",
+                        penalty_secs: 0.0,
+                    }
+                } else {
+                    // Capacity: the remaining schedule stretches by N/(N-1).
+                    let capacity = (t0 - t) / (n - 1.0);
+                    // Lineage: 1/N of each completed stage-second is redone
+                    // by the N-1 survivors.
+                    let recompute: f64 = windows
+                        .iter()
+                        .map(|&(s, e)| {
+                            let dur = (e - s).max(0.0);
+                            if dur <= 0.0 {
+                                return 0.0;
+                            }
+                            let done = ((t - s) / dur).clamp(0.0, 1.0);
+                            dur * done / (n - 1.0)
+                        })
+                        .sum();
+                    EventPenalty {
+                        label: "crash",
+                        penalty_secs: capacity + recompute,
+                    }
+                }
+            }
+            FaultEvent::DiskDegrade {
+                factor,
+                from,
+                until,
+                ..
+            } => {
+                let (a, b) = (from.as_secs_f64(), until.as_secs_f64());
+                let lost: f64 = windows
+                    .iter()
+                    .zip(&shares)
+                    .map(|(&(s, e), &(disk_share, _))| {
+                        overlap(s, e, a, b) * disk_share * (1.0 - factor) / (n * disks_per_machine)
+                    })
+                    .sum();
+                EventPenalty {
+                    label: "disk_degrade",
+                    penalty_secs: lost,
+                }
+            }
+            FaultEvent::LinkDegrade {
+                factor,
+                from,
+                until,
+                ..
+            } => {
+                let (a, b) = (from.as_secs_f64(), until.as_secs_f64());
+                let lost: f64 = windows
+                    .iter()
+                    .zip(&shares)
+                    .map(|(&(s, e), &(_, net_share))| {
+                        overlap(s, e, a, b) * net_share * (1.0 - factor) / n
+                    })
+                    .sum();
+                EventPenalty {
+                    label: "link_degrade",
+                    penalty_secs: lost,
+                }
+            }
+            FaultEvent::Partition {
+                ref groups,
+                start,
+                heal,
+            } => {
+                let minority = groups.iter().map(|g| g.len()).min().unwrap_or(0) as f64;
+                let a = start.as_secs_f64();
+                let b = heal.map_or(t0, |h| h.as_secs_f64());
+                let lost: f64 = windows
+                    .iter()
+                    .zip(&shares)
+                    .map(|(&(s, e), &(_, net_share))| {
+                        overlap(s, e, a, b) * net_share * minority / n
+                    })
+                    .sum();
+                EventPenalty {
+                    label: "partition",
+                    penalty_secs: lost,
+                }
+            }
+            FaultEvent::LinkCut { start, heal, .. } => {
+                // One directed pair of the N² fabric goes dark: overlapped
+                // network-bound work loses that pair's share of receive
+                // bandwidth (1/N of the traffic into one receiver of N).
+                let a = start.as_secs_f64();
+                let b = heal.map_or(t0, |h| h.as_secs_f64());
+                let lost: f64 = windows
+                    .iter()
+                    .zip(&shares)
+                    .map(|(&(s, e), &(_, net_share))| overlap(s, e, a, b) * net_share / (n * n))
+                    .sum();
+                EventPenalty {
+                    label: "link_cut",
+                    penalty_secs: lost,
+                }
+            }
+            FaultEvent::TaskStraggle { stage, factor, .. } => {
+                // The straggling first attempt extends its stage's tail by
+                // its extra CPU time — but only past what a concurrent
+                // same-stage straggler already extends it by.
+                let extra: f64 = profiles
+                    .iter()
+                    .zip(&opts.tasks_per_stage)
+                    .filter(|(p, _)| p.stage.0 as usize == stage)
+                    .map(|(p, &tasks)| {
+                        if tasks == 0 {
+                            0.0
+                        } else {
+                            (factor - 1.0).max(0.0) * p.cpu_secs / tasks as f64
+                        }
+                    })
+                    .sum();
+                let charged = straggle_charged.entry(stage).or_insert(0.0);
+                let increment = (extra - *charged).max(0.0);
+                *charged = charged.max(extra);
+                EventPenalty {
+                    label: "straggle",
+                    penalty_secs: increment,
+                }
+            }
+        };
+        penalties.push(p);
+    }
+
+    let predicted = t0 + penalties.iter().map(|p| p.penalty_secs).sum::<f64>();
+    ReplayPrediction {
+        baseline_secs: t0,
+        predicted_secs: predicted,
+        penalties,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::MachineSpec;
+    use dataflow::{JobId, StageId};
+    use simcore::SimTime;
+
+    fn scenario() -> Scenario {
+        Scenario {
+            machines: 4,
+            machine: MachineSpec::m2_4xlarge(),
+            input_deserialized_in_memory: false,
+            cpu_speedup: 1.0,
+            serde_speedup: 1.0,
+        }
+    }
+
+    fn profile(stage: u32, measured: f64, cpu: f64, disk: f64, net: f64) -> StageProfile {
+        StageProfile {
+            job: JobId(0),
+            stage: StageId(stage),
+            measured_secs: measured,
+            cpu_secs: cpu,
+            cpu_deser_secs: 0.0,
+            cpu_ser_secs: 0.0,
+            input_read_bytes: disk,
+            other_disk_bytes: 0.0,
+            net_bytes: net,
+            reads_job_input: disk > 0.0,
+        }
+    }
+
+    fn report(stages: &[(u64, u64)]) -> JobReport {
+        JobReport {
+            job: JobId(0),
+            name: "t".into(),
+            start: SimTime::ZERO,
+            end: SimTime::from_secs(stages.last().map_or(0, |&(_, e)| e)),
+            stages: stages
+                .iter()
+                .enumerate()
+                .map(|(i, &(s, e))| dataflow::StageReport {
+                    stage: StageId(i as u32),
+                    start: SimTime::from_secs(s),
+                    end: SimTime::from_secs(e),
+                    control: Default::default(),
+                })
+                .collect(),
+            recovery: Default::default(),
+        }
+    }
+
+    #[test]
+    fn empty_plan_predicts_baseline_exactly() {
+        let profiles = [profile(0, 10.0, 40.0, 0.0, 0.0)];
+        let reports = [report(&[(0, 10)])];
+        let pred = replay(
+            &profiles,
+            &reports,
+            10.0,
+            &FaultPlan::new(),
+            &ReplayOptions {
+                scenario: scenario(),
+                tasks_per_stage: vec![8],
+            },
+        );
+        assert_eq!(pred.predicted_secs, 10.0);
+        assert!(pred.penalties.is_empty());
+    }
+
+    #[test]
+    fn crash_charges_capacity_and_recompute() {
+        let profiles = [profile(0, 10.0, 40.0, 0.0, 0.0)];
+        let reports = [report(&[(0, 10)])];
+        let plan = FaultPlan::new().crash(1, SimTime::from_secs(5));
+        let pred = replay(
+            &profiles,
+            &reports,
+            10.0,
+            &plan,
+            &ReplayOptions {
+                scenario: scenario(),
+                tasks_per_stage: vec![8],
+            },
+        );
+        // Capacity: 5s remaining / 3 survivors; recompute: 10s window half
+        // done → 10·0.5/3.
+        let expect = 5.0 / 3.0 + 10.0 * 0.5 / 3.0;
+        assert!((pred.predicted_secs - 10.0 - expect).abs() < 1e-9);
+        assert_eq!(pred.penalties[0].label, "crash");
+    }
+
+    #[test]
+    fn post_makespan_crash_is_free() {
+        let profiles = [profile(0, 10.0, 40.0, 0.0, 0.0)];
+        let reports = [report(&[(0, 10)])];
+        let plan = FaultPlan::new().crash(1, SimTime::from_secs(50));
+        let pred = replay(
+            &profiles,
+            &reports,
+            10.0,
+            &plan,
+            &ReplayOptions {
+                scenario: scenario(),
+                tasks_per_stage: vec![8],
+            },
+        );
+        assert_eq!(pred.predicted_secs, 10.0);
+    }
+
+    #[test]
+    fn straggler_charges_one_task_tail() {
+        let profiles = [profile(0, 10.0, 40.0, 0.0, 0.0)];
+        let reports = [report(&[(0, 10)])];
+        let plan = FaultPlan::new().straggle(0, 3, 3.0);
+        let pred = replay(
+            &profiles,
+            &reports,
+            10.0,
+            &plan,
+            &ReplayOptions {
+                scenario: scenario(),
+                tasks_per_stage: vec![8],
+            },
+        );
+        // (3 - 1) × 40 cpu-secs / 8 tasks = 10s.
+        assert!((pred.predicted_secs - 20.0).abs() < 1e-9);
+        assert_eq!(pred.penalties[0].label, "straggle");
+    }
+
+    #[test]
+    fn same_stage_stragglers_overlap_to_their_max() {
+        let profiles = [
+            profile(0, 10.0, 40.0, 0.0, 0.0),
+            profile(1, 10.0, 40.0, 0.0, 0.0),
+        ];
+        let reports = [report(&[(0, 10), (10, 20)])];
+        // Two stragglers on stage 0 (3× shadows the later 2×) plus one on
+        // stage 1: stages extend independently, same-stage ones overlap.
+        let plan = FaultPlan::new()
+            .straggle(0, 3, 3.0)
+            .straggle(0, 5, 2.0)
+            .straggle(1, 1, 2.0);
+        let pred = replay(
+            &profiles,
+            &reports,
+            20.0,
+            &plan,
+            &ReplayOptions {
+                scenario: scenario(),
+                tasks_per_stage: vec![8, 8],
+            },
+        );
+        // Stage 0: max(10, 5) = 10s; stage 1: 5s.
+        assert!((pred.predicted_secs - 35.0).abs() < 1e-9);
+        assert_eq!(pred.penalties[1].penalty_secs, 0.0, "shadowed straggler");
+        assert!((pred.penalties[2].penalty_secs - 5.0).abs() < 1e-9);
+    }
+}

@@ -50,6 +50,11 @@ pub struct SparkConfig {
     /// degraded machine cannot drag the threshold up. Off by default to
     /// preserve the historic estimator bit-for-bit.
     pub per_machine_duration_pools: bool,
+    /// Arms the trace layer: when set, the run collects instant events
+    /// ([`cluster::RunInstant`]) for trace export. Observation-only — the
+    /// schedule is bit-identical whether or not a path is set. The executor
+    /// never writes the file itself; `mt-trace` export helpers honor it.
+    pub trace_path: Option<std::path::PathBuf>,
 }
 
 impl Default for SparkConfig {
@@ -64,6 +69,7 @@ impl Default for SparkConfig {
             fetch_max_retries: 3,
             fetch_backoff_base_secs: 1.0,
             per_machine_duration_pools: false,
+            trace_path: None,
         }
     }
 }
@@ -133,6 +139,9 @@ pub struct SparkRunOutput {
     /// Control-plane cost: simulation steps plus allocator work summed over
     /// every machine.
     pub stats: SimStats,
+    /// Instant events (faults, retries, speculation) collected when
+    /// [`SparkConfig::trace_path`] is set; empty otherwise.
+    pub instants: Vec<cluster::RunInstant>,
 }
 
 #[derive(Debug)]
@@ -341,6 +350,11 @@ struct Exec {
     /// placement until a heal touches them, so lineage re-runs land on
     /// reachable machines.
     quarantined: Vec<bool>,
+    /// True when `cfg.trace_path` is set; gates instant collection so
+    /// trace-off runs never touch the vector.
+    trace_on: bool,
+    /// Instant events collected for trace export (trace runs only).
+    instants: Vec<cluster::RunInstant>,
 }
 
 /// Runs `jobs` on a simulated `cluster` under the Spark-like architecture.
@@ -501,6 +515,8 @@ pub fn run_with_faults(
         cut_pairs: HashSet::new(),
         fetch_timers: EventQueue::new(),
         quarantined: vec![false; n_machines],
+        trace_on: cfg.trace_path.is_some(),
+        instants: Vec::new(),
     };
     exec.prime();
     exec.main_loop()?;
@@ -510,6 +526,15 @@ pub fn run_with_faults(
 impl Exec {
     fn n_machines(&self) -> usize {
         self.machines.len()
+    }
+
+    fn emit_instant(&mut self, kind: cluster::InstantKind) {
+        if self.trace_on {
+            self.instants.push(cluster::RunInstant {
+                time: self.now,
+                kind,
+            });
+        }
     }
 
     fn prime(&mut self) {
@@ -678,6 +703,9 @@ impl Exec {
     /// Applies every fault action due at `now`, inside the open batch.
     fn apply_due_faults(&mut self) -> Result<(), RunError> {
         while let Some(action) = self.faults.pop_due(self.now) {
+            if self.trace_on {
+                self.emit_instant(cluster::InstantKind::from(&action));
+            }
             match action {
                 FaultAction::SetDiskScale {
                     machine,
@@ -843,6 +871,11 @@ impl Exec {
         self.tasks[t_idx].stall_deadline = None;
         self.tasks[t_idx].parked = None;
         self.jobs[ji].recovery.fetches_replanned += 1;
+        let si = self.tasks[t_idx].stage;
+        self.emit_instant(cluster::InstantKind::FetchReplan {
+            job: ji as u32,
+            stage: si as u32,
+        });
     }
 
     /// Drives stall timeouts: burns retries with exponential backoff, and
@@ -869,6 +902,12 @@ impl Exec {
             self.tasks[t_idx].fetch_retries += 1;
             let retries = self.tasks[t_idx].fetch_retries;
             self.jobs[ji].recovery.fetch_retries += 1;
+            let si = self.tasks[t_idx].stage;
+            self.emit_instant(cluster::InstantKind::FetchRetry {
+                job: ji as u32,
+                stage: si as u32,
+                attempt: retries,
+            });
             if retries <= max {
                 let backoff = base * 2f64.powi(retries as i32 - 1);
                 self.jobs[ji].recovery.fetch_backoff_seconds += backoff;
@@ -900,6 +939,11 @@ impl Exec {
                 self.jobs[ji].stages[si].gate_retries += 1;
                 let retries = self.jobs[ji].stages[si].gate_retries;
                 self.jobs[ji].recovery.fetch_retries += 1;
+                self.emit_instant(cluster::InstantKind::FetchRetry {
+                    job: ji as u32,
+                    stage: si as u32,
+                    attempt: retries,
+                });
                 if retries <= max {
                     let backoff = base * 2f64.powi(retries as i32 - 1);
                     self.jobs[ji].recovery.fetch_backoff_seconds += backoff;
@@ -1260,6 +1304,12 @@ impl Exec {
             });
         }
         self.jobs[ji].recovery.tasks_retried += 1;
+        self.emit_instant(cluster::InstantKind::TaskRetry {
+            job: ji as u32,
+            stage: si as u32,
+            task: ti as u32,
+            recompute,
+        });
         if recompute {
             self.recompute_pending.insert((ji, si, ti));
         }
@@ -1502,6 +1552,12 @@ impl Exec {
             });
             self.spec_copies.insert((ji, si, ti));
             self.jobs[ji].recovery.tasks_speculated += 1;
+            self.emit_instant(cluster::InstantKind::TaskSpeculate {
+                job: ji as u32,
+                stage: si as u32,
+                task: ti as u32,
+                machine: m,
+            });
         } else if self.faults_on {
             recompute = self.recompute_pending.remove(&(ji, si, ti));
             if self.attempts[ji][si][ti] == 0 {
@@ -1973,6 +2029,7 @@ impl Exec {
             traces: self.traces,
             makespan,
             stats,
+            instants: self.instants,
         }
     }
 }

@@ -1,0 +1,661 @@
+//! Chrome Trace Event JSON: typed event model, deterministic serializer,
+//! lane packing, and a dependency-free validator.
+//!
+//! Only the event phases Perfetto needs are modelled: `M` metadata (process
+//! and thread names, sort indices), `X` complete spans, `i` instants, and `C`
+//! counters. Serialization is hand-rolled (the workspace vendors no JSON
+//! library) with a fixed field order per phase; timestamps are microsecond
+//! strings with exactly three fractional digits built from integer nanosecond
+//! arithmetic, so no float rounding can perturb the bytes.
+
+use std::fmt::Write as _;
+
+/// One argument value in an event's `args` object.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Arg {
+    /// A float, printed with Rust's shortest-round-trip formatter.
+    F64(f64),
+    /// An unsigned integer.
+    U64(u64),
+    /// A boolean.
+    Bool(bool),
+    /// A string.
+    Str(String),
+}
+
+/// One trace event, in the subset of the Chrome Trace Event format the
+/// exporter emits.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Event {
+    /// `process_name` metadata.
+    ProcessName {
+        /// Process id.
+        pid: u64,
+        /// Display name.
+        name: String,
+    },
+    /// `process_sort_index` metadata: orders processes in the UI.
+    ProcessSortIndex {
+        /// Process id.
+        pid: u64,
+        /// Sort key (ascending).
+        index: i64,
+    },
+    /// `thread_name` metadata.
+    ThreadName {
+        /// Owning process.
+        pid: u64,
+        /// Thread id.
+        tid: u64,
+        /// Display name.
+        name: String,
+    },
+    /// A complete span (`ph:"X"`).
+    Span {
+        /// Owning process.
+        pid: u64,
+        /// Track (lane) within the process.
+        tid: u64,
+        /// Span name.
+        name: String,
+        /// Category — the resource class (`"cpu"`/`"disk"`/`"net"`) for
+        /// monotask spans, `"task"` for pipelined task spans.
+        cat: &'static str,
+        /// Start, nanoseconds.
+        ts_ns: u64,
+        /// Duration, nanoseconds.
+        dur_ns: u64,
+        /// Arguments, serialized in the given order.
+        args: Vec<(&'static str, Arg)>,
+    },
+    /// An instant marker (`ph:"i"`, process scope).
+    Instant {
+        /// Owning process.
+        pid: u64,
+        /// Track within the process.
+        tid: u64,
+        /// Marker name (a stable [`cluster::InstantKind::label`] string).
+        name: String,
+        /// Time, nanoseconds.
+        ts_ns: u64,
+        /// Arguments, serialized in the given order.
+        args: Vec<(&'static str, Arg)>,
+    },
+    /// One sample of a counter track (`ph:"C"`).
+    Counter {
+        /// Owning process.
+        pid: u64,
+        /// Counter track name (e.g. `"cpu util"`).
+        name: String,
+        /// Time, nanoseconds.
+        ts_ns: u64,
+        /// Series key within the counter (constant per track here).
+        key: &'static str,
+        /// Sample value.
+        value: f64,
+    },
+}
+
+/// A whole trace: an ordered list of events, serializable to a
+/// Perfetto-loadable JSON object.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TraceDoc {
+    /// Events, in emission order (metadata first by convention).
+    pub events: Vec<Event>,
+}
+
+/// Escapes a string for a JSON string literal.
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Writes a nanosecond time as a microsecond JSON number with exactly three
+/// fractional digits (`1234.567`). Integer arithmetic only: byte-stable.
+fn ts_into(out: &mut String, ns: u64) {
+    let _ = write!(out, "{}.{:03}", ns / 1_000, ns % 1_000);
+}
+
+/// Writes an f64 as a JSON number. Rust's `Display` for `f64` is the
+/// deterministic shortest round-trip representation; JSON cannot represent
+/// non-finite values, which the simulator never produces (debug-asserted at
+/// recording time).
+fn f64_into(out: &mut String, v: f64) {
+    debug_assert!(v.is_finite(), "non-finite value in trace");
+    if v == v.trunc() && v.abs() < 1e15 {
+        // Integral floats print as `12` in Rust but JSON readers are happier
+        // (and the bytes stabler across formatter versions) with `12.0`.
+        let _ = write!(out, "{:.1}", v);
+    } else {
+        let _ = write!(out, "{}", v);
+    }
+}
+
+fn args_into(out: &mut String, args: &[(&'static str, Arg)]) {
+    out.push('{');
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(k);
+        out.push_str("\":");
+        match v {
+            Arg::F64(x) => f64_into(out, *x),
+            Arg::U64(x) => {
+                let _ = write!(out, "{}", x);
+            }
+            Arg::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Arg::Str(s) => {
+                out.push('"');
+                escape_into(out, s);
+                out.push('"');
+            }
+        }
+    }
+    out.push('}');
+}
+
+impl Event {
+    fn write_into(&self, out: &mut String) {
+        match self {
+            Event::ProcessName { pid, name } => {
+                let _ = write!(
+                    out,
+                    "{{\"ph\":\"M\",\"pid\":{pid},\"name\":\"process_name\",\"args\":{{\"name\":\""
+                );
+                escape_into(out, name);
+                out.push_str("\"}}");
+            }
+            Event::ProcessSortIndex { pid, index } => {
+                let _ = write!(
+                    out,
+                    "{{\"ph\":\"M\",\"pid\":{pid},\"name\":\"process_sort_index\",\"args\":{{\"sort_index\":{index}}}}}"
+                );
+            }
+            Event::ThreadName { pid, tid, name } => {
+                let _ = write!(out, "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_name\",\"args\":{{\"name\":\"");
+                escape_into(out, name);
+                out.push_str("\"}}");
+            }
+            Event::Span {
+                pid,
+                tid,
+                name,
+                cat,
+                ts_ns,
+                dur_ns,
+                args,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"name\":\""
+                );
+                escape_into(out, name);
+                out.push_str("\",\"cat\":\"");
+                out.push_str(cat);
+                out.push_str("\",\"ts\":");
+                ts_into(out, *ts_ns);
+                out.push_str(",\"dur\":");
+                ts_into(out, *dur_ns);
+                out.push_str(",\"args\":");
+                args_into(out, args);
+                out.push('}');
+            }
+            Event::Instant {
+                pid,
+                tid,
+                name,
+                ts_ns,
+                args,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"ph\":\"i\",\"s\":\"p\",\"pid\":{pid},\"tid\":{tid},\"name\":\""
+                );
+                escape_into(out, name);
+                out.push_str("\",\"ts\":");
+                ts_into(out, *ts_ns);
+                out.push_str(",\"args\":");
+                args_into(out, args);
+                out.push('}');
+            }
+            Event::Counter {
+                pid,
+                name,
+                ts_ns,
+                key,
+                value,
+            } => {
+                let _ = write!(out, "{{\"ph\":\"C\",\"pid\":{pid},\"name\":\"");
+                escape_into(out, name);
+                out.push_str("\",\"ts\":");
+                ts_into(out, *ts_ns);
+                out.push_str(",\"args\":{\"");
+                out.push_str(key);
+                out.push_str("\":");
+                f64_into(out, *value);
+                out.push_str("}}");
+            }
+        }
+    }
+}
+
+impl TraceDoc {
+    /// Serializes to a Chrome Trace Event JSON object, one event per line.
+    ///
+    /// Byte-deterministic: identical docs produce identical strings.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(self.events.len() * 96 + 32);
+        out.push_str("{\"traceEvents\":[\n");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            e.write_into(&mut out);
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+/// Greedily packs half-open spans `[start, end)` into the fewest lanes such
+/// that no lane holds two overlapping spans; returns each span's lane.
+///
+/// Spans are placed in `(start, end, index)` order into the first lane whose
+/// previous occupant has ended — the classic interval-partitioning greedy,
+/// which is optimal and, being fully ordered, deterministic. Zero-length
+/// spans never conflict.
+pub fn assign_lanes(spans: &[(u64, u64)]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..spans.len()).collect();
+    order.sort_by_key(|&i| (spans[i].0, spans[i].1, i));
+    let mut lane_free_at: Vec<u64> = Vec::new();
+    let mut lanes = vec![0usize; spans.len()];
+    for &i in &order {
+        let (s, e) = spans[i];
+        debug_assert!(s <= e, "span ends before it starts");
+        match lane_free_at.iter().position(|&free| free <= s) {
+            Some(l) => {
+                lane_free_at[l] = e;
+                lanes[i] = l;
+            }
+            None => {
+                lanes[i] = lane_free_at.len();
+                lane_free_at.push(e);
+            }
+        }
+    }
+    lanes
+}
+
+/// Counts of each event phase found by [`validate_chrome_json`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ValidateStats {
+    /// `ph:"M"` metadata events.
+    pub metas: usize,
+    /// `ph:"X"` complete spans.
+    pub spans: usize,
+    /// `ph:"i"` instants.
+    pub instants: usize,
+    /// `ph:"C"` counter samples.
+    pub counters: usize,
+}
+
+/// Validates that `s` is a syntactically well-formed JSON document of the
+/// shape `{"traceEvents": [ ... ]}` and tallies event phases.
+///
+/// This is a full JSON syntax check (strings, escapes, numbers, nesting) via
+/// a small recursive-descent parser — no third-party dependency — so CI can
+/// assert a generated trace will load before anyone opens it in Perfetto.
+pub fn validate_chrome_json(s: &str) -> Result<ValidateStats, String> {
+    let b = s.as_bytes();
+    let mut p = Parser {
+        b,
+        i: 0,
+        depth: 0,
+        stats: ValidateStats::default(),
+    };
+    p.skip_ws();
+    if !s.trim_start().starts_with("{\"traceEvents\"") {
+        return Err("document must start with {\"traceEvents\"".into());
+    }
+    p.value()?;
+    p.skip_ws();
+    if p.i != b.len() {
+        return Err(format!("trailing bytes at offset {}", p.i));
+    }
+    Ok(p.stats)
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+    depth: usize,
+    stats: ValidateStats,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at offset {}, found {:?}",
+                c as char,
+                self.i,
+                self.peek().map(|x| x as char)
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > 64 {
+            return Err("nesting too deep".into());
+        }
+        self.skip_ws();
+        let r = match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(|_| ()),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at offset {}",
+                other.map(|x| x as char),
+                self.i
+            )),
+        };
+        self.depth -= 1;
+        r
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            // Tally the phase of each event object on its "ph" key.
+            if key == "ph" {
+                match self.string()?.as_str() {
+                    "M" => self.stats.metas += 1,
+                    "X" => self.stats.spans += 1,
+                    "i" => self.stats.instants += 1,
+                    "C" => self.stats.counters += 1,
+                    other => return Err(format!("unknown phase {:?}", other)),
+                }
+            } else {
+                self.value()?;
+            }
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' at offset {}, found {:?}",
+                        self.i,
+                        other.map(|x| x as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or ']' at offset {}, found {:?}",
+                        self.i,
+                        other.map(|x| x as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.peek() {
+                        Some(c @ (b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't')) => {
+                            out.push(c as char);
+                            self.i += 1;
+                        }
+                        Some(b'u') => {
+                            self.i += 1;
+                            for _ in 0..4 {
+                                match self.peek() {
+                                    Some(c) if c.is_ascii_hexdigit() => self.i += 1,
+                                    _ => return Err("bad \\u escape".into()),
+                                }
+                            }
+                            out.push('?');
+                        }
+                        other => return Err(format!("bad escape {:?}", other.map(|x| x as char))),
+                    }
+                }
+                Some(c) if c < 0x20 => return Err("raw control char in string".into()),
+                Some(_) => {
+                    // Advance one UTF-8 scalar; the input is a &str so
+                    // boundaries are valid.
+                    let mut j = self.i + 1;
+                    while j < self.b.len() && (self.b[j] & 0xC0) == 0x80 {
+                        j += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&self.b[self.i..j]).expect("valid utf8"));
+                    self.i = j;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        let mut saw_digit = false;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            saw_digit = true;
+            self.i += 1;
+        }
+        if !saw_digit {
+            return Err(format!("bad number at offset {}", start));
+        }
+        if self.peek() == Some(b'.') {
+            self.i += 1;
+            let mut frac = false;
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                frac = true;
+                self.i += 1;
+            }
+            if !frac {
+                return Err(format!("bad fraction at offset {}", start));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.i += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.i += 1;
+            }
+            let mut exp = false;
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                exp = true;
+                self.i += 1;
+            }
+            if !exp {
+                return Err(format!("bad exponent at offset {}", start));
+            }
+        }
+        Ok(())
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.b[self.i..].starts_with(lit.as_bytes()) {
+            self.i += lit.len();
+            Ok(())
+        } else {
+            Err(format!("bad literal at offset {}", self.i))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serializes_and_validates_round_trip() {
+        let doc = TraceDoc {
+            events: vec![
+                Event::ProcessName {
+                    pid: 100,
+                    name: "machine 0".into(),
+                },
+                Event::ThreadName {
+                    pid: 100,
+                    tid: 1,
+                    name: "cpu lane 0".into(),
+                },
+                Event::Span {
+                    pid: 100,
+                    tid: 1,
+                    name: "Compute j0s0t0".into(),
+                    cat: "cpu",
+                    ts_ns: 1_500,
+                    dur_ns: 2_000_000,
+                    args: vec![("bytes", Arg::F64(0.0)), ("queue_s", Arg::F64(0.25))],
+                },
+                Event::Instant {
+                    pid: 100,
+                    tid: 0,
+                    name: "crash".into(),
+                    ts_ns: 3_000_000_000,
+                    args: vec![("machine", Arg::U64(0))],
+                },
+                Event::Counter {
+                    pid: 100,
+                    name: "cpu util".into(),
+                    ts_ns: 0,
+                    key: "util",
+                    value: 0.5,
+                },
+            ],
+        };
+        let json = doc.to_json();
+        let stats = validate_chrome_json(&json).expect("valid trace json");
+        assert_eq!(
+            stats,
+            ValidateStats {
+                metas: 2,
+                spans: 1,
+                instants: 1,
+                counters: 1,
+            }
+        );
+        // Nanosecond-exact microsecond timestamps.
+        assert!(json.contains("\"ts\":1.500"), "{json}");
+        assert!(json.contains("\"dur\":2000.000"), "{json}");
+    }
+
+    #[test]
+    fn serialization_is_byte_deterministic() {
+        let mk = || TraceDoc {
+            events: vec![Event::Counter {
+                pid: 7,
+                name: "net util".into(),
+                ts_ns: 123_456_789,
+                key: "util",
+                value: 1.0 / 3.0,
+            }],
+        };
+        assert_eq!(mk().to_json(), mk().to_json());
+    }
+
+    #[test]
+    fn lanes_pack_without_overlap() {
+        // Three overlapping spans need three lanes; a fourth starting after
+        // the first ends reuses lane 0.
+        let spans = [(0, 10), (1, 5), (2, 6), (10, 12)];
+        let lanes = assign_lanes(&spans);
+        assert_eq!(lanes, vec![0, 1, 2, 0]);
+        // No two spans in one lane overlap (positive measure).
+        for i in 0..spans.len() {
+            for j in (i + 1)..spans.len() {
+                if lanes[i] == lanes[j] {
+                    let (s1, e1) = spans[i];
+                    let (s2, e2) = spans[j];
+                    assert!(e1 <= s2 || e2 <= s1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn validator_rejects_garbage() {
+        assert!(validate_chrome_json("{\"traceEvents\":[").is_err());
+        assert!(validate_chrome_json("[]").is_err());
+        assert!(validate_chrome_json("{\"traceEvents\":[{\"ph\":\"Z\"}]}").is_err());
+        assert!(validate_chrome_json("{\"traceEvents\":[{\"ph\":\"X\"},]}").is_err());
+    }
+}

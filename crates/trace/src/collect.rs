@@ -1,0 +1,498 @@
+//! Builds [`TraceDoc`]s from executor outputs and writes them to the path
+//! the run's config armed.
+//!
+//! Both builders walk their run output in a fixed order (records in emission
+//! order, utilization recorders in `BTreeMap` key order, instants in
+//! collection order), so the same run output always yields the same document
+//! and therefore — via [`TraceDoc::to_json`] — the same bytes.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use cluster::{InstantKind, ResourceSel, RunInstant, TraceSet};
+use monotasks_core::{MonoConfig, MonoRunOutput, Purpose};
+use simcore::ResourceKind;
+use sparklike::{SparkConfig, SparkRunOutput, TaskRecord};
+
+use crate::chrome::{assign_lanes, Arg, Event, TraceDoc};
+
+/// Machine processes get pids `100 + machine`; the sort index keeps them in
+/// machine order above the job processes.
+const MACHINE_PID_BASE: u64 = 100;
+/// Job processes get pids `100_000 + job`.
+const JOB_PID_BASE: u64 = 100_000;
+/// Per-machine `events` track (fault instants).
+const EVENTS_TID: u64 = 1;
+/// Lane tid bases per resource class within a machine process.
+const CPU_TID_BASE: u64 = 100;
+const DISK_TID_BASE: u64 = 300;
+const NET_TID_BASE: u64 = 600;
+/// Spark task-span lanes within a machine process.
+const TASK_TID_BASE: u64 = 100;
+/// Stage track tids within a job process: `STAGE_TID_BASE * (stage+1) + lane`.
+const STAGE_TID_BASE: u64 = 1_000;
+
+/// `(job, stage, task)` identifying one multitask.
+type TaskKey = (u32, u32, u32);
+/// `(first monotask start, last monotask end, monotask count)` for one task.
+type TaskWindow = (u64, u64, usize);
+
+/// What a built trace contains — the conservation quantities the proptests
+/// check against run statistics.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TraceSummary {
+    /// `ph:"X"` spans.
+    pub spans: usize,
+    /// `ph:"i"` instants.
+    pub instants: usize,
+    /// Counter samples.
+    pub counter_points: usize,
+    /// Total bytes carried by spans of each resource class, indexed by
+    /// [`dataflow::RES_CPU`]/[`dataflow::RES_DISK`]/[`dataflow::RES_NET`].
+    pub bytes_by_resource: [f64; 3],
+}
+
+impl TraceSummary {
+    /// Tallies a document's events.
+    pub fn of(doc: &TraceDoc) -> TraceSummary {
+        let mut s = TraceSummary::default();
+        for e in &doc.events {
+            match e {
+                Event::Span { cat, args, .. } => {
+                    s.spans += 1;
+                    let res = match *cat {
+                        "cpu" => Some(dataflow::RES_CPU),
+                        "disk" => Some(dataflow::RES_DISK),
+                        "net" => Some(dataflow::RES_NET),
+                        _ => None,
+                    };
+                    if let Some(r) = res {
+                        for (k, v) in args {
+                            if let ("bytes", Arg::F64(b)) = (*k, v) {
+                                s.bytes_by_resource[r] += *b;
+                            }
+                        }
+                    }
+                }
+                Event::Instant { .. } => s.instants += 1,
+                Event::Counter { .. } => s.counter_points += 1,
+                _ => {}
+            }
+        }
+        s
+    }
+}
+
+fn purpose_label(p: Purpose) -> &'static str {
+    match p {
+        Purpose::Compute => "compute",
+        Purpose::ReadInput => "read input",
+        Purpose::ReadShuffleLocal => "read shuffle",
+        Purpose::ReadShuffleServe => "serve shuffle",
+        Purpose::WriteShuffle => "write shuffle",
+        Purpose::WriteOutput => "write output",
+        Purpose::NetTransfer => "net transfer",
+    }
+}
+
+fn class_of(r: ResourceKind) -> (&'static str, u64) {
+    match r {
+        ResourceKind::Cpu => ("cpu", CPU_TID_BASE),
+        ResourceKind::Disk => ("disk", DISK_TID_BASE),
+        ResourceKind::Network => ("net", NET_TID_BASE),
+    }
+}
+
+fn sel_counter_name(sel: ResourceSel) -> String {
+    match sel {
+        ResourceSel::Cpu => "cpu util".into(),
+        ResourceSel::Disk(d) => format!("disk{d} util"),
+        ResourceSel::Network => "net util".into(),
+    }
+}
+
+/// Emits process/thread metadata and utilization counter tracks shared by
+/// both engines, returning the set of machine pids named.
+fn push_utilization(doc: &mut TraceDoc, traces: &TraceSet) {
+    for (&(machine, sel), rec) in traces.iter() {
+        let pid = MACHINE_PID_BASE + machine.0 as u64;
+        let name = sel_counter_name(sel);
+        for &(t, v) in rec.points() {
+            doc.events.push(Event::Counter {
+                pid,
+                name: name.clone(),
+                ts_ns: t.0,
+                key: "util",
+                value: v,
+            });
+        }
+    }
+}
+
+fn push_machine_meta(doc: &mut TraceDoc, machines: &[u64]) {
+    for &m in machines {
+        let pid = MACHINE_PID_BASE + m;
+        doc.events.push(Event::ProcessName {
+            pid,
+            name: format!("machine {m}"),
+        });
+        doc.events.push(Event::ProcessSortIndex {
+            pid,
+            index: m as i64,
+        });
+        doc.events.push(Event::ThreadName {
+            pid,
+            tid: EVENTS_TID,
+            name: "events".into(),
+        });
+    }
+}
+
+fn push_job_meta(doc: &mut TraceDoc, jobs: &[(u64, String)]) {
+    for (j, name) in jobs {
+        let pid = JOB_PID_BASE + j;
+        doc.events.push(Event::ProcessName {
+            pid,
+            name: format!("job {j}: {name}"),
+        });
+        doc.events.push(Event::ProcessSortIndex {
+            pid,
+            index: 1_000_000 + *j as i64,
+        });
+        doc.events.push(Event::ThreadName {
+            pid,
+            tid: EVENTS_TID,
+            name: "recovery".into(),
+        });
+    }
+}
+
+fn instant_args(kind: &InstantKind) -> Vec<(&'static str, Arg)> {
+    match *kind {
+        InstantKind::MachineCrash { machine } => vec![("machine", Arg::U64(machine as u64))],
+        InstantKind::DiskScale {
+            machine,
+            disk,
+            factor,
+        } => vec![
+            ("machine", Arg::U64(machine as u64)),
+            ("disk", Arg::U64(disk as u64)),
+            ("factor", Arg::F64(factor)),
+        ],
+        InstantKind::LinkScale { machine, factor } => vec![
+            ("machine", Arg::U64(machine as u64)),
+            ("factor", Arg::F64(factor)),
+        ],
+        InstantKind::PairCut { src, dst } | InstantKind::PairHeal { src, dst } => {
+            vec![("src", Arg::U64(src as u64)), ("dst", Arg::U64(dst as u64))]
+        }
+        InstantKind::TaskRetry {
+            job,
+            stage,
+            task,
+            recompute,
+        } => vec![
+            ("job", Arg::U64(job as u64)),
+            ("stage", Arg::U64(stage as u64)),
+            ("task", Arg::U64(task as u64)),
+            ("recompute", Arg::Bool(recompute)),
+        ],
+        InstantKind::TaskSpeculate {
+            job,
+            stage,
+            task,
+            machine,
+        } => vec![
+            ("job", Arg::U64(job as u64)),
+            ("stage", Arg::U64(stage as u64)),
+            ("task", Arg::U64(task as u64)),
+            ("machine", Arg::U64(machine as u64)),
+        ],
+        InstantKind::MonoCopy {
+            job,
+            stage,
+            task,
+            resource,
+        }
+        | InstantKind::MonoCopyWin {
+            job,
+            stage,
+            task,
+            resource,
+        } => vec![
+            ("job", Arg::U64(job as u64)),
+            ("stage", Arg::U64(stage as u64)),
+            ("task", Arg::U64(task as u64)),
+            ("resource", Arg::U64(resource as u64)),
+        ],
+        InstantKind::TemplateInvalidate { job, stage }
+        | InstantKind::FetchReplan { job, stage } => {
+            vec![
+                ("job", Arg::U64(job as u64)),
+                ("stage", Arg::U64(stage as u64)),
+            ]
+        }
+        InstantKind::FetchRetry {
+            job,
+            stage,
+            attempt,
+        } => vec![
+            ("job", Arg::U64(job as u64)),
+            ("stage", Arg::U64(stage as u64)),
+            ("attempt", Arg::U64(attempt as u64)),
+        ],
+    }
+}
+
+/// Routes each instant to its track: fault instants render on the affected
+/// machine's `events` track, recovery instants on the owning job's
+/// `recovery` track.
+fn push_instants(doc: &mut TraceDoc, instants: &[RunInstant]) {
+    for inst in instants {
+        let pid = match (inst.kind.job(), inst.kind.machine()) {
+            (Some(j), _) => JOB_PID_BASE + j as u64,
+            (None, Some(m)) => MACHINE_PID_BASE + m as u64,
+            (None, None) => MACHINE_PID_BASE,
+        };
+        doc.events.push(Event::Instant {
+            pid,
+            tid: EVENTS_TID,
+            name: inst.kind.label().to_string(),
+            ts_ns: inst.time.0,
+            args: instant_args(&inst.kind),
+        });
+    }
+}
+
+/// Builds the trace document for a monotasks run.
+///
+/// Machine processes carry per-resource monotask span lanes (the
+/// architecture attributes every span to exactly one resource — the paper's
+/// clarity claim), utilization counters, and fault instants; job processes
+/// carry per-stage task lanes and recovery instants.
+pub fn mono_doc(out: &MonoRunOutput) -> TraceDoc {
+    use std::collections::BTreeMap;
+    let mut doc = TraceDoc::default();
+
+    // Group monotask records by (machine, resource class).
+    let mut by_track: BTreeMap<(usize, u64), Vec<usize>> = BTreeMap::new();
+    for (i, r) in out.records.iter().enumerate() {
+        let (_, base) = class_of(r.resource);
+        by_track.entry((r.machine, base)).or_default().push(i);
+    }
+    // Group records by multitask for the job/stage task lanes.
+    let mut by_task: BTreeMap<TaskKey, TaskWindow> = BTreeMap::new();
+    for r in &out.records {
+        let k = (r.multitask.job.0, r.multitask.stage.0, r.multitask.task.0);
+        let e = by_task.entry(k).or_insert((u64::MAX, 0, 0));
+        e.0 = e.0.min(r.started.0);
+        e.1 = e.1.max(r.ended.0);
+        e.2 += 1;
+    }
+
+    // Metadata.
+    let machines: Vec<u64> = by_track
+        .keys()
+        .map(|&(m, _)| m as u64)
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    push_machine_meta(&mut doc, &machines);
+    let jobs: Vec<(u64, String)> = out
+        .jobs
+        .iter()
+        .enumerate()
+        .map(|(j, rep)| (j as u64, rep.name.clone()))
+        .collect();
+    push_job_meta(&mut doc, &jobs);
+
+    // Per-resource span lanes.
+    let mut lane_names: BTreeMap<(u64, u64), String> = BTreeMap::new();
+    for (&(machine, base), idxs) in &by_track {
+        let windows: Vec<(u64, u64)> = idxs
+            .iter()
+            .map(|&i| (out.records[i].started.0, out.records[i].ended.0))
+            .collect();
+        let lanes = assign_lanes(&windows);
+        let pid = MACHINE_PID_BASE + machine as u64;
+        for (&i, &lane) in idxs.iter().zip(&lanes) {
+            let r = &out.records[i];
+            let (cat, _) = class_of(r.resource);
+            let tid = base + lane as u64;
+            lane_names
+                .entry((pid, tid))
+                .or_insert_with(|| format!("{cat} lane {lane}"));
+            doc.events.push(Event::Span {
+                pid,
+                tid,
+                name: format!(
+                    "{} j{}s{}t{}",
+                    purpose_label(r.purpose),
+                    r.multitask.job.0,
+                    r.multitask.stage.0,
+                    r.multitask.task.0
+                ),
+                cat,
+                ts_ns: r.started.0,
+                dur_ns: r.ended.0 - r.started.0,
+                args: vec![
+                    ("bytes", Arg::F64(r.bytes)),
+                    ("queue_s", Arg::F64(r.queue_secs())),
+                ],
+            });
+        }
+    }
+
+    // Job/stage task lanes: one span per multitask from first monotask start
+    // to last monotask end.
+    let mut by_stage: BTreeMap<(u32, u32), Vec<(TaskKey, TaskWindow)>> = BTreeMap::new();
+    for (&k, &v) in &by_task {
+        by_stage.entry((k.0, k.1)).or_default().push((k, v));
+    }
+    for (&(job, stage), tasks) in &by_stage {
+        let windows: Vec<(u64, u64)> = tasks.iter().map(|&(_, (s, e, _))| (s, e)).collect();
+        let lanes = assign_lanes(&windows);
+        let pid = JOB_PID_BASE + job as u64;
+        for (&((_, _, task), (s, e, n)), &lane) in tasks.iter().zip(&lanes) {
+            let tid = STAGE_TID_BASE * (stage as u64 + 1) + lane as u64;
+            lane_names
+                .entry((pid, tid))
+                .or_insert_with(|| format!("stage {stage} lane {lane}"));
+            doc.events.push(Event::Span {
+                pid,
+                tid,
+                name: format!("task {task}"),
+                cat: "task",
+                ts_ns: s,
+                dur_ns: e - s,
+                args: vec![("monotasks", Arg::U64(n as u64))],
+            });
+        }
+    }
+    for ((pid, tid), name) in lane_names {
+        doc.events.push(Event::ThreadName { pid, tid, name });
+    }
+
+    push_utilization(&mut doc, &out.traces);
+    push_instants(&mut doc, &out.instants);
+    doc
+}
+
+/// Builds the trace document for a Spark-like run.
+///
+/// The pipelined executor cannot attribute time to a single resource — each
+/// task uses CPU, disk, and network concurrently (§2.1) — so machine
+/// processes carry undifferentiated `task` span lanes plus the same
+/// utilization counters and instants. The contrast with [`mono_doc`]'s
+/// per-resource lanes *is* the paper's figure 1.
+pub fn spark_doc(out: &SparkRunOutput) -> TraceDoc {
+    use std::collections::BTreeMap;
+    let mut doc = TraceDoc::default();
+
+    let mut by_machine: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (i, t) in out.tasks.iter().enumerate() {
+        by_machine.entry(t.machine).or_default().push(i);
+    }
+    let machines: Vec<u64> = by_machine.keys().map(|&m| m as u64).collect();
+    push_machine_meta(&mut doc, &machines);
+    let jobs: Vec<(u64, String)> = out
+        .jobs
+        .iter()
+        .enumerate()
+        .map(|(j, rep)| (j as u64, rep.name.clone()))
+        .collect();
+    push_job_meta(&mut doc, &jobs);
+
+    let span_of = |t: &TaskRecord| (t.start.0, t.end.0);
+    let mut lane_names: BTreeMap<(u64, u64), String> = BTreeMap::new();
+    for (&machine, idxs) in &by_machine {
+        let windows: Vec<(u64, u64)> = idxs.iter().map(|&i| span_of(&out.tasks[i])).collect();
+        let lanes = assign_lanes(&windows);
+        let pid = MACHINE_PID_BASE + machine as u64;
+        for (&i, &lane) in idxs.iter().zip(&lanes) {
+            let t = &out.tasks[i];
+            let tid = TASK_TID_BASE + lane as u64;
+            lane_names
+                .entry((pid, tid))
+                .or_insert_with(|| format!("slot lane {lane}"));
+            doc.events.push(Event::Span {
+                pid,
+                tid,
+                name: format!("task j{}s{}t{}", t.job.0, t.stage.0, t.task.0),
+                cat: "task",
+                ts_ns: t.start.0,
+                dur_ns: t.end.0 - t.start.0,
+                args: vec![],
+            });
+        }
+    }
+
+    // Job/stage lanes.
+    let mut by_stage: BTreeMap<(u32, u32), Vec<usize>> = BTreeMap::new();
+    for (i, t) in out.tasks.iter().enumerate() {
+        by_stage.entry((t.job.0, t.stage.0)).or_default().push(i);
+    }
+    for (&(job, stage), idxs) in &by_stage {
+        let windows: Vec<(u64, u64)> = idxs.iter().map(|&i| span_of(&out.tasks[i])).collect();
+        let lanes = assign_lanes(&windows);
+        let pid = JOB_PID_BASE + job as u64;
+        for (&i, &lane) in idxs.iter().zip(&lanes) {
+            let t = &out.tasks[i];
+            let tid = STAGE_TID_BASE * (stage as u64 + 1) + lane as u64;
+            lane_names
+                .entry((pid, tid))
+                .or_insert_with(|| format!("stage {stage} lane {lane}"));
+            doc.events.push(Event::Span {
+                pid,
+                tid,
+                name: format!("task {}", t.task.0),
+                cat: "task",
+                ts_ns: t.start.0,
+                dur_ns: t.end.0 - t.start.0,
+                args: vec![],
+            });
+        }
+    }
+    for ((pid, tid), name) in lane_names {
+        doc.events.push(Event::ThreadName { pid, tid, name });
+    }
+
+    push_utilization(&mut doc, &out.traces);
+    push_instants(&mut doc, &out.instants);
+    doc
+}
+
+fn write_doc(doc: &TraceDoc, path: &Path) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, doc.to_json())
+}
+
+/// Writes the mono run's trace to [`MonoConfig::trace_path`], if armed.
+///
+/// Returns the path written, or `None` when tracing is off. The separation —
+/// executors collect, this helper writes — keeps all file I/O out of the
+/// simulation loop.
+pub fn export_mono(cfg: &MonoConfig, out: &MonoRunOutput) -> io::Result<Option<PathBuf>> {
+    match &cfg.trace_path {
+        None => Ok(None),
+        Some(p) => {
+            write_doc(&mono_doc(out), p)?;
+            Ok(Some(p.clone()))
+        }
+    }
+}
+
+/// Writes the spark run's trace to [`SparkConfig::trace_path`], if armed.
+pub fn export_spark(cfg: &SparkConfig, out: &SparkRunOutput) -> io::Result<Option<PathBuf>> {
+    match &cfg.trace_path {
+        None => Ok(None),
+        Some(p) => {
+            write_doc(&spark_doc(out), p)?;
+            Ok(Some(p.clone()))
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Performance-clarity trace layer (DESIGN.md §10).
+//!
+//! The paper's thesis is that the monotasks architecture makes performance
+//! *visible*: per-resource monotask timings are "built into the framework's
+//! execution model" (§6.5) rather than bolted on. This crate turns one run's
+//! instrumentation — utilization traces, monotask records, and the instant
+//! events both executors collect when [`trace_path`] is armed — into a
+//! deterministic [Chrome Trace Event] JSON file that loads directly in
+//! [Perfetto] (`ui.perfetto.dev` → *Open trace file*).
+//!
+//! The export is **observation-only**: executors collect instants into a side
+//! vector gated on `trace_path.is_some()` and never write the file
+//! themselves, so a trace-off run is bit-identical to the pre-trace code and
+//! a trace-on run differs only in what it remembers, not in what it does.
+//!
+//! Track layout:
+//!
+//! * one *process* per machine, holding per-resource utilization **counter**
+//!   tracks (`cpu util`, `disk0 util`, `net util`), per-resource monotask
+//!   **span** lanes (monotasks on one resource overlap — eight cores serve
+//!   eight compute monotasks — so spans are greedily packed into
+//!   non-overlapping lanes), and an `events` track of fault instants;
+//! * one *process* per job, holding per-stage task-span lanes and a
+//!   `recovery` track of retry/speculation/invalidation instants.
+//!
+//! Everything is serialized with a fixed field order, nanosecond-exact
+//! timestamps (`µs.nnn` strings built from integer arithmetic), and `f64`
+//! values printed by Rust's deterministic shortest-round-trip formatter, so
+//! identical runs produce byte-identical files — which the golden-trace
+//! snapshot tests assert.
+//!
+//! [Chrome Trace Event]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+//! [Perfetto]: https://ui.perfetto.dev
+//! [`trace_path`]: monotasks_core::MonoConfig
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod collect;
+
+pub use chrome::{validate_chrome_json, Arg, Event, TraceDoc, ValidateStats};
+pub use collect::{export_mono, export_spark, mono_doc, spark_doc, TraceSummary};

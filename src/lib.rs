@@ -4,8 +4,8 @@
 //!
 //! See the individual crates for the substance:
 //! [`monotasks_core`] (the contribution), [`sparklike`] (the baseline),
-//! [`perfmodel`] (the §6 model), [`workloads`], [`dataflow`], [`cluster`],
-//! and [`simcore`].
+//! [`perfmodel`] (the §6 model), [`mt_trace`] (Perfetto trace export),
+//! [`workloads`], [`dataflow`], [`cluster`], and [`simcore`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -14,6 +14,7 @@ pub use cluster;
 pub use dataflow;
 pub use monotasks_core;
 pub use monotasks_live;
+pub use mt_trace;
 pub use perfmodel;
 pub use simcore;
 pub use sparklike;
